@@ -1,0 +1,319 @@
+//! Programmatic program construction.
+//!
+//! The modeling and EPA crates generate ASP encodings directly as syntax
+//! trees; [`ProgramBuilder`] provides a compact, misuse-resistant API for
+//! that (no string formatting, no re-parsing).
+//!
+//! # Example
+//!
+//! ```
+//! use cpsrisk_asp::{ProgramBuilder, Term};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.fact("component", ["tank"]);
+//! b.fact("fault", ["f1"]);
+//! b.rule("suspect", ["C", "F"])
+//!     .pos("component", ["C"])
+//!     .pos("fault", ["F"])
+//!     .neg("cleared", ["C", "F"])
+//!     .done();
+//! let models = b.finish().solve()?;
+//! assert!(models[0].contains_str("suspect(tank,f1)"));
+//! # Ok::<(), cpsrisk_asp::AspError>(())
+//! ```
+
+use crate::ast::{
+    Atom, ChoiceElement, CmpOp, Head, Literal, MinimizeElement, Program, Rule, Statement, Term,
+};
+
+/// Incremental builder for a [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+/// Convert heterogeneous argument lists (`&str`, `i64`, [`Term`]) to terms.
+pub trait IntoTerms {
+    /// Convert to a term vector.
+    fn into_terms(self) -> Vec<Term>;
+}
+
+impl<T: Into<Term>, const N: usize> IntoTerms for [T; N] {
+    fn into_terms(self) -> Vec<Term> {
+        self.into_iter().map(Into::into).collect()
+    }
+}
+
+impl IntoTerms for Vec<Term> {
+    fn into_terms(self) -> Vec<Term> {
+        self
+    }
+}
+
+impl IntoTerms for () {
+    fn into_terms(self) -> Vec<Term> {
+        Vec::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Add a ground fact `pred(args).`
+    pub fn fact(&mut self, pred: &str, args: impl IntoTerms) -> &mut Self {
+        self.program
+            .push_rule(Rule::fact(Atom::new(pred, args.into_terms())));
+        self
+    }
+
+    /// Start a normal rule with head `pred(args)`.
+    pub fn rule(&mut self, pred: &str, args: impl IntoTerms) -> RuleBuilder<'_> {
+        RuleBuilder {
+            builder: self,
+            head: Head::Atom(Atom::new(pred, args.into_terms())),
+            body: Vec::new(),
+        }
+    }
+
+    /// Start an integrity constraint `:- body.`
+    pub fn constraint(&mut self) -> RuleBuilder<'_> {
+        RuleBuilder { builder: self, head: Head::None, body: Vec::new() }
+    }
+
+    /// Start a choice rule `lower { elements } upper :- body.`
+    pub fn choice(&mut self, lower: Option<u32>, upper: Option<u32>) -> ChoiceBuilder<'_> {
+        ChoiceBuilder {
+            builder: self,
+            lower,
+            upper,
+            elements: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Add a `#minimize` element at a priority: `weight,tuple : cond`.
+    pub fn minimize(
+        &mut self,
+        priority: i64,
+        weight: Term,
+        tuple: impl IntoTerms,
+        condition: Vec<Literal>,
+    ) -> &mut Self {
+        let element = MinimizeElement { weight, terms: tuple.into_terms(), condition };
+        // Merge into an existing statement at the same priority if present.
+        for s in &mut self.program.statements {
+            if let Statement::Minimize { priority: p, elements } = s {
+                if *p == priority {
+                    elements.push(element);
+                    return self;
+                }
+            }
+        }
+        self.program
+            .statements
+            .push(Statement::Minimize { priority, elements: vec![element] });
+        self
+    }
+
+    /// Add a `#show pred/arity.` projection.
+    pub fn show(&mut self, pred: &str, arity: usize) -> &mut Self {
+        self.program.statements.push(Statement::Show { pred: pred.into(), arity });
+        self
+    }
+
+    /// Append all statements of an already-built program (e.g. parsed text).
+    pub fn append(&mut self, other: Program) -> &mut Self {
+        self.program.extend(other);
+        self
+    }
+
+    /// Finish and return the program.
+    #[must_use]
+    pub fn finish(self) -> Program {
+        self.program
+    }
+
+    /// Borrow the program built so far.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+/// Builder for the body of a normal rule or constraint.
+#[derive(Debug)]
+pub struct RuleBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    head: Head,
+    body: Vec<Literal>,
+}
+
+impl RuleBuilder<'_> {
+    /// Add a positive body literal.
+    #[must_use]
+    pub fn pos(mut self, pred: &str, args: impl IntoTerms) -> Self {
+        self.body.push(Literal::Pos(Atom::new(pred, args.into_terms())));
+        self
+    }
+
+    /// Add a negative body literal (`not pred(args)`).
+    #[must_use]
+    pub fn neg(mut self, pred: &str, args: impl IntoTerms) -> Self {
+        self.body.push(Literal::Neg(Atom::new(pred, args.into_terms())));
+        self
+    }
+
+    /// Add a builtin comparison.
+    #[must_use]
+    pub fn cmp(mut self, op: CmpOp, lhs: Term, rhs: Term) -> Self {
+        self.body.push(Literal::Cmp(op, lhs, rhs));
+        self
+    }
+
+    /// Finalize the rule into the program.
+    pub fn done(self) {
+        self.builder
+            .program
+            .push_rule(Rule { head: self.head, body: self.body });
+    }
+}
+
+/// Builder for a choice rule.
+#[derive(Debug)]
+pub struct ChoiceBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    lower: Option<u32>,
+    upper: Option<u32>,
+    elements: Vec<ChoiceElement>,
+    body: Vec<Literal>,
+}
+
+impl ChoiceBuilder<'_> {
+    /// Add an unconditional element.
+    #[must_use]
+    pub fn element(mut self, pred: &str, args: impl IntoTerms) -> Self {
+        self.elements
+            .push(ChoiceElement::plain(Atom::new(pred, args.into_terms())));
+        self
+    }
+
+    /// Add a conditional element `pred(args) : condition`.
+    #[must_use]
+    pub fn element_if(
+        mut self,
+        pred: &str,
+        args: impl IntoTerms,
+        condition: Vec<Literal>,
+    ) -> Self {
+        self.elements
+            .push(ChoiceElement { atom: Atom::new(pred, args.into_terms()), condition });
+        self
+    }
+
+    /// Add a positive body literal.
+    #[must_use]
+    pub fn pos(mut self, pred: &str, args: impl IntoTerms) -> Self {
+        self.body.push(Literal::Pos(Atom::new(pred, args.into_terms())));
+        self
+    }
+
+    /// Add a negative body literal.
+    #[must_use]
+    pub fn neg(mut self, pred: &str, args: impl IntoTerms) -> Self {
+        self.body.push(Literal::Neg(Atom::new(pred, args.into_terms())));
+        self
+    }
+
+    /// Finalize the choice rule into the program.
+    pub fn done(self) {
+        self.builder.program.push_rule(Rule {
+            head: Head::Choice { lower: self.lower, upper: self.upper, elements: self.elements },
+            body: self.body,
+        });
+    }
+}
+
+/// Positive literal helper for conditions.
+#[must_use]
+pub fn pos(pred: &str, args: impl IntoTerms) -> Literal {
+    Literal::Pos(Atom::new(pred, args.into_terms()))
+}
+
+/// Negative literal helper for conditions.
+#[must_use]
+pub fn neg(pred: &str, args: impl IntoTerms) -> Literal {
+    Literal::Neg(Atom::new(pred, args.into_terms()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_facts_and_rules() {
+        let mut b = ProgramBuilder::new();
+        b.fact("p", ["a"]).fact("n", [3i64]);
+        b.rule("q", ["X"]).pos("p", ["X"]).done();
+        let p = b.finish();
+        assert_eq!(p.statements.len(), 3);
+        let models = p.solve().unwrap();
+        assert!(models[0].contains_str("q(a)"));
+        assert!(models[0].contains_str("n(3)"));
+    }
+
+    #[test]
+    fn builds_choice_and_constraint() {
+        let mut b = ProgramBuilder::new();
+        b.fact("item", ["a"]).fact("item", ["b"]);
+        b.choice(Some(1), Some(1))
+            .element_if("pick", ["I"], vec![pos("item", ["I"])])
+            .done();
+        b.constraint().pos("pick", ["a"]).done();
+        let models = b.finish().solve().unwrap();
+        assert_eq!(models.len(), 1);
+        assert!(models[0].contains_str("pick(b)"));
+    }
+
+    #[test]
+    fn builds_minimize_merging_priorities() {
+        let mut b = ProgramBuilder::new();
+        b.fact("item", ["a"]);
+        b.choice(None, None).element("x", ()).done();
+        b.minimize(0, Term::Int(2), ["a"], vec![pos("x", ())]);
+        b.minimize(0, Term::Int(3), ["b"], vec![pos("x", ())]);
+        let p = b.finish();
+        let minimize_stmts = p
+            .statements
+            .iter()
+            .filter(|s| matches!(s, Statement::Minimize { .. }))
+            .count();
+        assert_eq!(minimize_stmts, 1, "same-priority elements merge");
+    }
+
+    #[test]
+    fn append_merges_parsed_text() {
+        let mut b = ProgramBuilder::new();
+        b.fact("p", ["a"]);
+        b.append(crate::parse("q(X) :- p(X).").unwrap());
+        let models = b.finish().solve().unwrap();
+        assert!(models[0].contains_str("q(a)"));
+    }
+
+    #[test]
+    fn cmp_literals() {
+        let mut b = ProgramBuilder::new();
+        b.fact("n", [1i64]).fact("n", [2i64]).fact("n", [3i64]);
+        b.rule("big", ["X"])
+            .pos("n", ["X"])
+            .cmp(CmpOp::Gt, Term::var("X"), Term::Int(1))
+            .done();
+        let models = b.finish().solve().unwrap();
+        assert!(!models[0].contains_str("big(1)"));
+        assert!(models[0].contains_str("big(2)"));
+        assert!(models[0].contains_str("big(3)"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Independent answer-set verification.
+//!
+//! [`is_stable_model`] implements the textbook definition directly: build
+//! the Gelfond–Lifschitz reduct of the program w.r.t. a candidate
+//! interpretation, compute its least model by naive TP iteration, and
+//! compare. Choice-supported atoms are self-justified when their support
+//! body holds. The solver calls this on every complete assignment, so the
+//! engine's correctness rests on this small, obviously-correct function
+//! rather than on the propagation machinery.
+
+use std::collections::HashSet;
+
+use crate::program::{AtomId, CardConstraint, GroundHead, GroundProgram};
+
+/// Is `candidate` (the set of true atoms) a stable model of `program`?
+///
+/// Checks, in order: integrity constraints, cardinality bounds, and the
+/// reduct least-model condition (including support for choice atoms).
+#[must_use]
+pub fn is_stable_model(program: &GroundProgram, candidate: &HashSet<AtomId>) -> bool {
+    // 1. Integrity constraints: no satisfied constraint body.
+    for r in &program.rules {
+        if matches!(r.head, GroundHead::None) && body_satisfied(&r.pos, &r.neg, candidate) {
+            return false;
+        }
+    }
+    // 2. Cardinality bounds.
+    for c in &program.cards {
+        if !card_satisfied(c, candidate) {
+            return false;
+        }
+    }
+    // 3. Reduct least model == candidate.
+    least_model_of_reduct(program, candidate)
+        .map(|lm| lm == *candidate)
+        .unwrap_or(false)
+}
+
+/// Compute the least model of the reduct w.r.t. `candidate`.
+///
+/// Returns `None` if a choice atom in the candidate has no satisfied
+/// support (it could never be derived).
+#[must_use]
+pub fn least_model_of_reduct(
+    program: &GroundProgram,
+    candidate: &HashSet<AtomId>,
+) -> Option<HashSet<AtomId>> {
+    let mut derived: HashSet<AtomId> = HashSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for r in &program.rules {
+            // Reduct: drop rules with a negative literal contradicted by the
+            // candidate; remaining negative literals are deleted.
+            if r.neg.iter().any(|n| candidate.contains(n)) {
+                continue;
+            }
+            if !r.pos.iter().all(|p| derived.contains(p)) {
+                continue;
+            }
+            match r.head {
+                GroundHead::Atom(h) => {
+                    if derived.insert(h) {
+                        changed = true;
+                    }
+                }
+                GroundHead::Choice(h) => {
+                    // A chosen atom is self-justified iff it is in the
+                    // candidate and its support body holds in the reduct.
+                    if candidate.contains(&h) && derived.insert(h) {
+                        changed = true;
+                    }
+                }
+                GroundHead::None => {}
+            }
+        }
+    }
+    // Every candidate atom must be derivable.
+    if candidate.iter().all(|a| derived.contains(a)) {
+        Some(derived)
+    } else {
+        None
+    }
+}
+
+fn body_satisfied(pos: &[AtomId], neg: &[AtomId], m: &HashSet<AtomId>) -> bool {
+    pos.iter().all(|p| m.contains(p)) && neg.iter().all(|n| !m.contains(n))
+}
+
+/// Evaluate a cardinality constraint against a complete interpretation.
+#[must_use]
+pub fn card_satisfied(c: &CardConstraint, m: &HashSet<AtomId>) -> bool {
+    if !body_satisfied(&c.pos, &c.neg, m) {
+        return true; // bounds only apply when the body holds
+    }
+    let held = c
+        .elements
+        .iter()
+        .filter(|e| {
+            m.contains(&e.atom) && body_satisfied(&e.guard_pos, &e.guard_neg, m)
+        })
+        .count() as u32;
+    c.lower <= held && held <= c.upper
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::Grounder;
+    use crate::parse;
+
+    fn ground(src: &str) -> GroundProgram {
+        Grounder::new().ground(&parse(src).unwrap()).unwrap()
+    }
+
+    fn set(program: &GroundProgram, atoms: &[&str]) -> HashSet<AtomId> {
+        atoms
+            .iter()
+            .map(|s| {
+                program
+                    .atoms()
+                    .find(|(_, a)| a.to_string() == *s)
+                    .unwrap_or_else(|| panic!("atom {s} not interned"))
+                    .0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn definite_program_least_model() {
+        let g = ground("p. q :- p. r :- q.");
+        assert!(is_stable_model(&g, &set(&g, &["p", "q", "r"])));
+        assert!(!is_stable_model(&g, &set(&g, &["p", "q"])), "r missing");
+        assert!(!is_stable_model(&g, &set(&g, &["p"])), "not closed");
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let g = ground("{ q }. p :- not q.");
+        assert!(is_stable_model(&g, &set(&g, &["p"])), "q unchosen, p derived");
+        assert!(is_stable_model(&g, &set(&g, &["q"])), "q chosen blocks p");
+        assert!(!is_stable_model(&g, &set(&g, &["p", "q"])));
+        assert!(!is_stable_model(&g, &set(&g, &[])), "p must be derived");
+    }
+
+    #[test]
+    fn unsupported_atoms_are_rejected() {
+        let g = ground("{ a }. b :- a.");
+        assert!(is_stable_model(&g, &set(&g, &[])));
+        assert!(is_stable_model(&g, &set(&g, &["a", "b"])));
+        assert!(!is_stable_model(&g, &set(&g, &["b"])), "b unsupported without a");
+    }
+
+    #[test]
+    fn positive_loops_are_unfounded() {
+        // Built manually: the grounder would simplify this program away
+        // (neither atom is derivable), which is itself correct.
+        use crate::ast::Atom;
+        use crate::program::GroundRule;
+        let mut g = GroundProgram::new();
+        let a = g.intern(Atom::prop("a"));
+        let b = g.intern(Atom::prop("b"));
+        g.rules.push(GroundRule { head: GroundHead::Atom(a), pos: vec![b], neg: vec![] });
+        g.rules.push(GroundRule { head: GroundHead::Atom(b), pos: vec![a], neg: vec![] });
+        assert!(is_stable_model(&g, &HashSet::new()));
+        assert!(
+            !is_stable_model(&g, &[a, b].into_iter().collect()),
+            "mutual support is unfounded"
+        );
+    }
+
+    #[test]
+    fn constraints_exclude_models() {
+        let g = ground("{ a }. :- a.");
+        assert!(is_stable_model(&g, &set(&g, &[])));
+        assert!(!is_stable_model(&g, &set(&g, &["a"])));
+    }
+
+    #[test]
+    fn cardinality_bounds_checked() {
+        let g = ground("item(x). item(y). 1 { pick(I) : item(I) } 1.");
+        assert!(is_stable_model(&g, &set(&g, &["item(x)", "item(y)", "pick(x)"])));
+        assert!(!is_stable_model(&g, &set(&g, &["item(x)", "item(y)"])), "lower bound");
+        assert!(
+            !is_stable_model(&g, &set(&g, &["item(x)", "item(y)", "pick(x)", "pick(y)"])),
+            "upper bound"
+        );
+    }
+
+    #[test]
+    fn choice_support_requires_body() {
+        let g = ground("{ a } :- t. { t }.");
+        assert!(is_stable_model(&g, &set(&g, &[])));
+        assert!(is_stable_model(&g, &set(&g, &["t"])));
+        assert!(is_stable_model(&g, &set(&g, &["t", "a"])));
+        assert!(!is_stable_model(&g, &set(&g, &["a"])), "a needs t");
+    }
+}

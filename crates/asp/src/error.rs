@@ -1,0 +1,55 @@
+//! Error type for the ASP engine.
+
+use std::fmt;
+
+/// Errors produced by parsing, grounding, or solving a logic program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AspError {
+    /// Syntax error with a human-readable message and source position.
+    Parse(String),
+    /// A rule is unsafe: `var` does not occur in any positive body literal.
+    UnsafeRule {
+        /// The offending variable name.
+        var: String,
+        /// Display form of the rule.
+        rule: String,
+    },
+    /// Arithmetic on non-integer terms during grounding.
+    BadArithmetic(String),
+    /// Grounding exceeded the configured instance budget.
+    GroundingBudget {
+        /// The configured maximum number of ground rule instances.
+        limit: usize,
+    },
+    /// Solving exceeded the configured branch budget.
+    SolveBudget {
+        /// The configured maximum number of decisions.
+        limit: u64,
+    },
+    /// The program is inconsistent where a model was required.
+    Unsatisfiable,
+    /// An internal invariant failed (a bug; reported rather than panicking).
+    Internal(String),
+}
+
+impl fmt::Display for AspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AspError::Parse(msg) => write!(f, "parse error: {msg}"),
+            AspError::UnsafeRule { var, rule } => {
+                write!(f, "unsafe rule: variable `{var}` unbound in `{rule}`")
+            }
+            AspError::BadArithmetic(t) => write!(f, "arithmetic on non-integer term `{t}`"),
+            AspError::GroundingBudget { limit } => {
+                write!(f, "grounding exceeded the budget of {limit} rule instances")
+            }
+            AspError::SolveBudget { limit } => {
+                write!(f, "solving exceeded the budget of {limit} decisions")
+            }
+            AspError::Unsatisfiable => write!(f, "program has no answer set"),
+            AspError::Internal(msg) => write!(f, "internal solver error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AspError {}

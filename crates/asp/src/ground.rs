@@ -1,0 +1,692 @@
+//! Grounder: instantiates a non-ground [`Program`] into a [`GroundProgram`].
+//!
+//! The grounder first computes a superset of the derivable ground atoms (the
+//! *possible set*) by a fixpoint over the rules with negation ignored, then
+//! emits ground rule instances by joining positive body literals against the
+//! possible set. Negative literals over atoms that can never be derived are
+//! trivially true and dropped; builtin comparisons and arithmetic are
+//! evaluated during instantiation.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::ast::{Atom, ChoiceElement, CmpOp, Head, Literal, Program, Rule, Statement, Term};
+use crate::error::AspError;
+use crate::program::{
+    AtomId, CardConstraint, CardElement, GroundHead, GroundProgram, GroundRule, MinimizeLit,
+};
+
+type Subst = BTreeMap<String, Term>;
+
+/// Grounder with a configurable instance budget.
+#[derive(Debug, Clone)]
+pub struct Grounder {
+    /// Maximum number of ground rule instances before aborting.
+    pub max_instances: usize,
+}
+
+impl Default for Grounder {
+    fn default() -> Self {
+        Grounder { max_instances: 2_000_000 }
+    }
+}
+
+/// Index of possible ground atoms by predicate signature, with a secondary
+/// index on the first argument (a big win for the `state(c, S, T)`-style
+/// patterns the behavioural encodings produce).
+#[derive(Default)]
+struct PossibleSet {
+    by_sig: HashMap<(String, usize), Vec<Atom>>,
+    by_first: HashMap<(String, usize, Term), Vec<Atom>>,
+    all: HashSet<Atom>,
+}
+
+impl PossibleSet {
+    fn insert(&mut self, atom: Atom) -> bool {
+        if self.all.insert(atom.clone()) {
+            if let Some(first) = atom.args.first() {
+                self.by_first
+                    .entry((atom.pred.clone(), atom.args.len(), first.clone()))
+                    .or_default()
+                    .push(atom.clone());
+            }
+            self.by_sig
+                .entry((atom.pred.clone(), atom.args.len()))
+                .or_default()
+                .push(atom);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn contains(&self, atom: &Atom) -> bool {
+        self.all.contains(atom)
+    }
+
+    fn candidates(&self, pred: &str, arity: usize) -> &[Atom] {
+        self.by_sig
+            .get(&(pred.to_owned(), arity))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Candidates narrowed by a ground first argument.
+    fn candidates_first(&self, pred: &str, arity: usize, first: &Term) -> &[Atom] {
+        self.by_first
+            .get(&(pred.to_owned(), arity, first.clone()))
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+impl Grounder {
+    /// A grounder with default limits.
+    #[must_use]
+    pub fn new() -> Self {
+        Grounder::default()
+    }
+
+    /// A grounder with a custom instance budget.
+    #[must_use]
+    pub fn with_budget(max_instances: usize) -> Self {
+        Grounder { max_instances }
+    }
+
+    /// Ground a program.
+    ///
+    /// # Errors
+    ///
+    /// * [`AspError::UnsafeRule`] for rules whose variables cannot be bound,
+    /// * [`AspError::BadArithmetic`] for invalid arithmetic,
+    /// * [`AspError::GroundingBudget`] if the instance budget is exceeded.
+    pub fn ground(&self, program: &Program) -> Result<GroundProgram, AspError> {
+        let rules: Vec<&Rule> = program.rules().collect();
+        for r in &rules {
+            r.check_safety()?;
+        }
+
+        // Phase 1: possible-atom fixpoint (negation ignored).
+        let mut possible = PossibleSet::default();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for rule in &rules {
+                let plan = plan_body(&rule.body);
+                let mut new_atoms: Vec<Atom> = Vec::new();
+                join(&possible, &plan, Subst::new(), &mut |theta| {
+                    match &rule.head {
+                        Head::Atom(a) => {
+                            new_atoms.push(ground_atom(a, theta)?);
+                        }
+                        Head::Choice { elements, .. } => {
+                            for el in elements {
+                                collect_choice_atoms(&possible, el, theta, &mut new_atoms)?;
+                            }
+                        }
+                        Head::None => {}
+                    }
+                    Ok(())
+                })?;
+                for a in new_atoms {
+                    changed |= possible.insert(a);
+                }
+            }
+        }
+
+        // Phase 2: emit ground instances.
+        let mut out = GroundProgram::new();
+        let mut seen_rules: HashSet<GroundRule> = HashSet::new();
+        for rule in &rules {
+            let plan = plan_body(&rule.body);
+            let mut instances: Vec<(Subst,)> = Vec::new();
+            join(&possible, &plan, Subst::new(), &mut |theta| {
+                instances.push((theta.clone(),));
+                Ok(())
+            })?;
+            for (theta,) in instances {
+                self.emit_rule(rule, &theta, &possible, &mut out, &mut seen_rules)?;
+                if out.rules.len() > self.max_instances {
+                    return Err(AspError::GroundingBudget { limit: self.max_instances });
+                }
+            }
+        }
+
+        // Phase 3: optimization statements and projections.
+        let mut minimize: BTreeMap<i64, Vec<MinimizeLit>> = BTreeMap::new();
+        for stmt in &program.statements {
+            match stmt {
+                Statement::Minimize { priority, elements } => {
+                    for el in elements {
+                        let plan = plan_body(&el.condition);
+                        let mut found: Vec<Subst> = Vec::new();
+                        join(&possible, &plan, Subst::new(), &mut |theta| {
+                            found.push(theta.clone());
+                            Ok(())
+                        })?;
+                        for theta in found {
+                            let w = apply(&el.weight, &theta).eval()?;
+                            let Term::Int(weight) = w else {
+                                return Err(AspError::BadArithmetic(format!(
+                                    "minimize weight `{w}` is not an integer"
+                                )));
+                            };
+                            let tuple = el
+                                .terms
+                                .iter()
+                                .map(|t| apply(t, &theta).eval())
+                                .collect::<Result<Vec<_>, _>>()?;
+                            let (pos, neg, alive) =
+                                ground_condition(&el.condition, &theta, &possible, &mut out)?;
+                            if alive {
+                                minimize
+                                    .entry(*priority)
+                                    .or_default()
+                                    .push(MinimizeLit { weight, tuple, pos, neg });
+                            }
+                        }
+                    }
+                }
+                Statement::Show { pred, arity } => out.shows.push((pred.clone(), *arity)),
+                Statement::Rule(_) => {}
+            }
+        }
+        // Higher priorities first.
+        out.minimize = minimize.into_iter().rev().collect();
+        Ok(out)
+    }
+
+    fn emit_rule(
+        &self,
+        rule: &Rule,
+        theta: &Subst,
+        possible: &PossibleSet,
+        out: &mut GroundProgram,
+        seen: &mut HashSet<GroundRule>,
+    ) -> Result<(), AspError> {
+        let (body_pos, body_neg, alive) = ground_condition(&rule.body, theta, possible, out)?;
+        if !alive {
+            return Ok(());
+        }
+        match &rule.head {
+            Head::Atom(a) => {
+                let head = out.intern(ground_atom(a, theta)?);
+                push_rule(
+                    out,
+                    seen,
+                    GroundRule { head: GroundHead::Atom(head), pos: body_pos, neg: body_neg },
+                );
+            }
+            Head::None => {
+                push_rule(
+                    out,
+                    seen,
+                    GroundRule { head: GroundHead::None, pos: body_pos, neg: body_neg },
+                );
+            }
+            Head::Choice { lower, upper, elements } => {
+                let mut card_elems: Vec<CardElement> = Vec::new();
+                for el in elements {
+                    let plan = plan_body(&el.condition);
+                    let mut exts: Vec<Subst> = Vec::new();
+                    join(possible, &plan, theta.clone(), &mut |sigma| {
+                        exts.push(sigma.clone());
+                        Ok(())
+                    })?;
+                    for sigma in exts {
+                        let atom = out.intern(ground_atom(&el.atom, &sigma)?);
+                        let (gpos, gneg, galive) =
+                            ground_condition(&el.condition, &sigma, possible, out)?;
+                        if !galive {
+                            continue;
+                        }
+                        let mut pos = body_pos.clone();
+                        pos.extend(gpos.iter().copied());
+                        let mut neg = body_neg.clone();
+                        neg.extend(gneg.iter().copied());
+                        push_rule(
+                            out,
+                            seen,
+                            GroundRule { head: GroundHead::Choice(atom), pos, neg },
+                        );
+                        if lower.is_some() || upper.is_some() {
+                            card_elems.push(CardElement { atom, guard_pos: gpos, guard_neg: gneg });
+                        }
+                    }
+                }
+                if lower.is_some() || upper.is_some() {
+                    let n = card_elems.len() as u32;
+                    out.cards.push(CardConstraint {
+                        pos: body_pos,
+                        neg: body_neg,
+                        elements: card_elems,
+                        lower: lower.unwrap_or(0),
+                        upper: upper.unwrap_or(n),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn push_rule(out: &mut GroundProgram, seen: &mut HashSet<GroundRule>, rule: GroundRule) {
+    if seen.insert(rule.clone()) {
+        out.rules.push(rule);
+    }
+}
+
+/// Ground the positive/negative atoms of a literal list under a complete
+/// substitution. Returns `(pos, neg, alive)`; `alive` is false when the
+/// instance can never fire (a positive atom is underivable) — negative
+/// literals over underivable atoms are trivially true and dropped.
+fn ground_condition(
+    body: &[Literal],
+    theta: &Subst,
+    possible: &PossibleSet,
+    out: &mut GroundProgram,
+) -> Result<(Vec<AtomId>, Vec<AtomId>, bool), AspError> {
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for lit in body {
+        match lit {
+            Literal::Pos(a) => {
+                let g = ground_atom(a, theta)?;
+                if !possible.contains(&g) {
+                    return Ok((pos, neg, false));
+                }
+                pos.push(out.intern(g));
+            }
+            Literal::Neg(a) => {
+                let g = ground_atom(a, theta)?;
+                if possible.contains(&g) {
+                    neg.push(out.intern(g));
+                }
+            }
+            Literal::Cmp(op, l, r) => {
+                let l = apply(l, theta).eval()?;
+                let r = apply(r, theta).eval()?;
+                if !op.eval(&l, &r) {
+                    return Ok((pos, neg, false));
+                }
+            }
+        }
+    }
+    Ok((pos, neg, true))
+}
+
+fn collect_choice_atoms(
+    possible: &PossibleSet,
+    el: &ChoiceElement,
+    theta: &Subst,
+    new_atoms: &mut Vec<Atom>,
+) -> Result<(), AspError> {
+    let plan = plan_body(&el.condition);
+    let mut exts: Vec<Subst> = Vec::new();
+    join(possible, &plan, theta.clone(), &mut |sigma| {
+        exts.push(sigma.clone());
+        Ok(())
+    })?;
+    for sigma in exts {
+        new_atoms.push(ground_atom(&el.atom, &sigma)?);
+    }
+    Ok(())
+}
+
+/// Apply a substitution to a term (no evaluation).
+fn apply(t: &Term, theta: &Subst) -> Term {
+    match t {
+        Term::Var(v) => theta.get(v).cloned().unwrap_or_else(|| t.clone()),
+        Term::Func(f, args) => {
+            Term::Func(f.clone(), args.iter().map(|a| apply(a, theta)).collect())
+        }
+        Term::BinOp(op, a, b) => {
+            Term::BinOp(*op, Box::new(apply(a, theta)), Box::new(apply(b, theta)))
+        }
+        _ => t.clone(),
+    }
+}
+
+/// Fully ground an atom under a substitution, evaluating arithmetic.
+fn ground_atom(a: &Atom, theta: &Subst) -> Result<Atom, AspError> {
+    let args = a
+        .args
+        .iter()
+        .map(|t| apply(t, theta).eval())
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Atom::new(a.pred.clone(), args))
+}
+
+/// Order body literals so that every builtin is evaluable when reached and
+/// `X = expr` assignments bind before use.
+fn plan_body(body: &[Literal]) -> Vec<Literal> {
+    let mut remaining: Vec<Literal> = body.to_vec();
+    let mut bound: HashSet<String> = HashSet::new();
+    let mut out = Vec::with_capacity(body.len());
+    while !remaining.is_empty() {
+        // 1. Any evaluable comparison (all vars bound).
+        if let Some(i) = remaining.iter().position(|l| {
+            matches!(l, Literal::Cmp(..)) && vars_of(l).iter().all(|v| bound.contains(v))
+        }) {
+            out.push(remaining.remove(i));
+            continue;
+        }
+        // 2. An `=` that binds one new variable from bound terms.
+        if let Some(i) = remaining.iter().position(|l| {
+            if let Literal::Cmp(CmpOp::Eq, a, b) = l {
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Term::Var(v) = x {
+                        let mut yv = std::collections::BTreeSet::new();
+                        y.collect_vars(&mut yv);
+                        if !bound.contains(v) && yv.iter().all(|u| bound.contains(u)) {
+                            return true;
+                        }
+                    }
+                }
+            }
+            false
+        }) {
+            let lit = remaining.remove(i);
+            for v in vars_of(&lit) {
+                bound.insert(v);
+            }
+            out.push(lit);
+            continue;
+        }
+        // 3. A grounded negative literal.
+        if let Some(i) = remaining.iter().position(|l| {
+            matches!(l, Literal::Neg(_)) && vars_of(l).iter().all(|v| bound.contains(v))
+        }) {
+            out.push(remaining.remove(i));
+            continue;
+        }
+        // 4. The first positive literal.
+        if let Some(i) = remaining.iter().position(|l| matches!(l, Literal::Pos(_))) {
+            let lit = remaining.remove(i);
+            for v in vars_of(&lit) {
+                bound.insert(v);
+            }
+            out.push(lit);
+            continue;
+        }
+        // 5. Nothing else applies: flush (safety was already checked).
+        out.append(&mut remaining);
+    }
+    out
+}
+
+fn vars_of(l: &Literal) -> Vec<String> {
+    let mut s = std::collections::BTreeSet::new();
+    l.collect_vars(&mut s);
+    s.into_iter().collect()
+}
+
+/// Nested-loop join of the planned literals against the possible set,
+/// invoking `cb` once per complete substitution.
+fn join(
+    possible: &PossibleSet,
+    plan: &[Literal],
+    theta: Subst,
+    cb: &mut dyn FnMut(&Subst) -> Result<(), AspError>,
+) -> Result<(), AspError> {
+    let Some((first, rest)) = plan.split_first() else {
+        return cb(&theta);
+    };
+    match first {
+        Literal::Pos(a) => {
+            // Narrow by the first argument when it is ground under θ.
+            let first_arg = a.args.first().map(|t| apply(t, &theta));
+            let cands = match &first_arg {
+                Some(t) if t.is_ground() && !matches!(t, Term::BinOp(..)) => {
+                    possible.candidates_first(&a.pred, a.args.len(), t)
+                }
+                _ => possible.candidates(&a.pred, a.args.len()),
+            };
+            for cand in cands {
+                if let Some(theta2) = unify_atom(a, cand, &theta)? {
+                    join(possible, rest, theta2, cb)?;
+                }
+            }
+            Ok(())
+        }
+        Literal::Neg(a) => {
+            // During instantiation the negative literal never *fails* an
+            // instance (its truth is decided at solve time), except when the
+            // atom is certainly underivable — handled at emission. It must
+            // however be ground here.
+            let _ = ground_atom(a, &theta)?;
+            join(possible, rest, theta, cb)
+        }
+        Literal::Cmp(op, l, r) => {
+            let la = apply(l, &theta);
+            let ra = apply(r, &theta);
+            if *op == CmpOp::Eq {
+                // Binding equality: X = expr (either side).
+                if let Term::Var(v) = &la {
+                    if !theta.contains_key(v) {
+                        let val = ra.eval()?;
+                        let mut theta2 = theta.clone();
+                        theta2.insert(v.clone(), val);
+                        return join(possible, rest, theta2, cb);
+                    }
+                }
+                if let Term::Var(v) = &ra {
+                    if !theta.contains_key(v) {
+                        let val = la.eval()?;
+                        let mut theta2 = theta.clone();
+                        theta2.insert(v.clone(), val);
+                        return join(possible, rest, theta2, cb);
+                    }
+                }
+            }
+            let lv = la.eval()?;
+            let rv = ra.eval()?;
+            if op.eval(&lv, &rv) {
+                join(possible, rest, theta, cb)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Unify a (possibly non-ground) atom pattern with a ground atom, extending
+/// the substitution. Returns the extended substitution on success.
+fn unify_atom(pattern: &Atom, ground: &Atom, theta: &Subst) -> Result<Option<Subst>, AspError> {
+    if pattern.pred != ground.pred || pattern.args.len() != ground.args.len() {
+        return Ok(None);
+    }
+    let mut theta = theta.clone();
+    for (p, g) in pattern.args.iter().zip(&ground.args) {
+        if !unify_term(p, g, &mut theta)? {
+            return Ok(None);
+        }
+    }
+    Ok(Some(theta))
+}
+
+fn unify_term(p: &Term, g: &Term, theta: &mut Subst) -> Result<bool, AspError> {
+    match p {
+        Term::Var(v) => {
+            if let Some(bound) = theta.get(v) {
+                Ok(bound == g)
+            } else {
+                theta.insert(v.clone(), g.clone());
+                Ok(true)
+            }
+        }
+        Term::Int(_) | Term::Const(_) | Term::Str(_) => Ok(p == g),
+        Term::Func(f, args) => match g {
+            Term::Func(gf, gargs) if gf == f && gargs.len() == args.len() => {
+                for (pa, ga) in args.iter().zip(gargs) {
+                    if !unify_term(pa, ga, theta)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        },
+        Term::BinOp(..) => {
+            // Arithmetic patterns must be ground after substitution.
+            let inst = apply(p, theta);
+            if inst.is_ground() {
+                Ok(inst.eval()? == *g)
+            } else {
+                Err(AspError::BadArithmetic(format!(
+                    "arithmetic pattern `{inst}` with unbound variables"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn ground_src(src: &str) -> GroundProgram {
+        Grounder::new().ground(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn grounds_facts_and_rules() {
+        let g = ground_src("p(a). p(b). q(X) :- p(X).");
+        // Two facts + two rule instances.
+        assert_eq!(g.rules.len(), 4);
+        assert_eq!(g.atom_count(), 4);
+    }
+
+    #[test]
+    fn transitive_closure_fixpoint() {
+        let g = ground_src(
+            "edge(a,b). edge(b,c). edge(c,d). \
+             path(X,Y) :- edge(X,Y). \
+             path(X,Z) :- edge(X,Y), path(Y,Z).",
+        );
+        let path_atoms: Vec<String> = g
+            .atoms()
+            .filter(|(_, a)| a.pred == "path")
+            .map(|(_, a)| a.to_string())
+            .collect();
+        assert!(path_atoms.contains(&"path(a,d)".to_string()));
+        assert_eq!(path_atoms.len(), 6); // ab bc cd ac bd ad
+    }
+
+    #[test]
+    fn negative_literals_over_underivable_atoms_are_dropped() {
+        let g = ground_src("p :- not q.");
+        assert_eq!(g.rules.len(), 1);
+        assert!(g.rules[0].neg.is_empty(), "`not q` with underivable q is dropped");
+    }
+
+    #[test]
+    fn negative_literals_over_derivable_atoms_are_kept() {
+        let g = ground_src("{ q }. p :- not q.");
+        let p_rule = g
+            .rules
+            .iter()
+            .find(|r| matches!(r.head, GroundHead::Atom(h) if g.atom(h).pred == "p"))
+            .unwrap();
+        assert_eq!(p_rule.neg.len(), 1);
+    }
+
+    #[test]
+    fn arithmetic_and_comparisons() {
+        let g = ground_src("n(1..4). big(X) :- n(X), X > 2. double(Y) :- n(X), Y = X * 2.");
+        let bigs: Vec<String> = g
+            .atoms()
+            .filter(|(_, a)| a.pred == "big")
+            .map(|(_, a)| a.to_string())
+            .collect();
+        assert_eq!(bigs, vec!["big(3)", "big(4)"]);
+        let doubles: Vec<String> = g
+            .atoms()
+            .filter(|(_, a)| a.pred == "double")
+            .map(|(_, a)| a.to_string())
+            .collect();
+        assert_eq!(doubles, vec!["double(2)", "double(4)", "double(6)", "double(8)"]);
+    }
+
+    #[test]
+    fn choice_rules_with_conditions_ground_per_instance() {
+        let g = ground_src("item(a). item(b). { pick(X) : item(X) } 1.");
+        let picks = g.atoms().filter(|(_, a)| a.pred == "pick").count();
+        assert_eq!(picks, 2);
+        assert_eq!(g.cards.len(), 1);
+        assert_eq!(g.cards[0].elements.len(), 2);
+        assert_eq!(g.cards[0].upper, 1);
+        assert_eq!(g.cards[0].lower, 0);
+    }
+
+    #[test]
+    fn unbounded_choice_has_no_card_constraint() {
+        let g = ground_src("item(a). { pick(X) : item(X) }.");
+        assert!(g.cards.is_empty());
+    }
+
+    #[test]
+    fn minimize_statements_ground() {
+        let g = ground_src(
+            "item(a). item(b). cost(a, 3). cost(b, 5). \
+             { pick(X) : item(X) }. \
+             #minimize { C,X : pick(X), cost(X, C) }.",
+        );
+        assert_eq!(g.minimize.len(), 1);
+        let (prio, lits) = &g.minimize[0];
+        assert_eq!(*prio, 0);
+        assert_eq!(lits.len(), 2);
+        let weights: Vec<i64> = lits.iter().map(|l| l.weight).collect();
+        assert!(weights.contains(&3) && weights.contains(&5));
+    }
+
+    #[test]
+    fn minimize_priorities_sorted_high_first() {
+        let g = ground_src(
+            "a. b. { x }. #minimize { 1@1 : x }. #minimize { 2@5 : x }.",
+        );
+        let prios: Vec<i64> = g.minimize.iter().map(|(p, _)| *p).collect();
+        assert_eq!(prios, vec![5, 1]);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let g = Grounder::with_budget(10);
+        let p = parse("n(1..100). p(X) :- n(X).").unwrap();
+        assert!(matches!(g.ground(&p), Err(AspError::GroundingBudget { limit: 10 })));
+    }
+
+    #[test]
+    fn duplicate_instances_are_deduped() {
+        let g = ground_src("p(a). q :- p(a). q :- p(a).");
+        let q_rules = g
+            .rules
+            .iter()
+            .filter(|r| matches!(r.head, GroundHead::Atom(h) if g.atom(h).pred == "q"))
+            .count();
+        assert_eq!(q_rules, 1);
+    }
+
+    #[test]
+    fn dead_instances_with_underivable_positive_body_are_dropped() {
+        let g = ground_src("p :- q. r.");
+        // Rule `p :- q` never instantiates because q is underivable.
+        assert_eq!(g.rules.len(), 1);
+    }
+
+    #[test]
+    fn listing_one_grounds() {
+        let g = ground_src(
+            "component(ew). fault(f4). mitigation(f4, m1). mitigation(f4, m2). \
+             { active_mitigation(ew, m1) }. \
+             potential_fault(C, F) :- component(C), fault(F), \
+                 mitigation(F, M), not active_mitigation(C, M).",
+        );
+        // Two instances: via m1 (kept `not` literal) and via m2 (dropped literal).
+        let pf_rules: Vec<&GroundRule> = g
+            .rules
+            .iter()
+            .filter(|r| matches!(r.head, GroundHead::Atom(h) if g.atom(h).pred == "potential_fault"))
+            .collect();
+        assert_eq!(pf_rules.len(), 2);
+        assert!(pf_rules.iter().any(|r| r.neg.len() == 1));
+        assert!(pf_rules.iter().any(|r| r.neg.is_empty()));
+    }
+}

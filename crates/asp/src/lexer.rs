@@ -1,0 +1,357 @@
+//! Tokenizer for the clingo-like surface syntax.
+
+use crate::error::AspError;
+use std::fmt;
+
+/// A lexical token with its source position (byte offset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source where the token starts.
+    pub offset: usize,
+}
+
+/// Token kinds of the surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Lowercase identifier (predicate or constant).
+    Ident(String),
+    /// Uppercase (or `_`-prefixed) identifier: a variable.
+    Variable(String),
+    /// Integer literal.
+    Int(i64),
+    /// Quoted string literal (without quotes).
+    Str(String),
+    /// `:-`
+    If,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `..`
+    DotDot,
+    /// `not` keyword.
+    Not,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `@`
+    At,
+    /// `#minimize`
+    Minimize,
+    /// `#maximize` (translated to minimize with negated weights).
+    Maximize,
+    /// `#show`
+    Show,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Ident(s) => write!(f, "{s}"),
+            Variable(s) => write!(f, "{s}"),
+            Int(i) => write!(f, "{i}"),
+            Str(s) => write!(f, "\"{s}\""),
+            If => write!(f, ":-"),
+            Dot => write!(f, "."),
+            Comma => write!(f, ","),
+            Semi => write!(f, ";"),
+            Colon => write!(f, ":"),
+            LParen => write!(f, "("),
+            RParen => write!(f, ")"),
+            LBrace => write!(f, "{{"),
+            RBrace => write!(f, "}}"),
+            DotDot => write!(f, ".."),
+            Not => write!(f, "not"),
+            Eq => write!(f, "="),
+            Ne => write!(f, "!="),
+            Lt => write!(f, "<"),
+            Le => write!(f, "<="),
+            Gt => write!(f, ">"),
+            Ge => write!(f, ">="),
+            Plus => write!(f, "+"),
+            Minus => write!(f, "-"),
+            Star => write!(f, "*"),
+            Slash => write!(f, "/"),
+            At => write!(f, "@"),
+            Minimize => write!(f, "#minimize"),
+            Maximize => write!(f, "#maximize"),
+            Show => write!(f, "#show"),
+            Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Tokenize a full source string.
+///
+/// Comments run from `%` to end of line. Whitespace is insignificant.
+///
+/// # Errors
+///
+/// [`AspError::Parse`] on unterminated strings, malformed directives, or
+/// unexpected characters.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, AspError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push(&mut out, TokenKind::LParen, &mut i),
+            ')' => push(&mut out, TokenKind::RParen, &mut i),
+            '{' => push(&mut out, TokenKind::LBrace, &mut i),
+            '}' => push(&mut out, TokenKind::RBrace, &mut i),
+            ',' => push(&mut out, TokenKind::Comma, &mut i),
+            ';' => push(&mut out, TokenKind::Semi, &mut i),
+            '+' => push(&mut out, TokenKind::Plus, &mut i),
+            '*' => push(&mut out, TokenKind::Star, &mut i),
+            '/' => push(&mut out, TokenKind::Slash, &mut i),
+            '@' => push(&mut out, TokenKind::At, &mut i),
+            '-' => push(&mut out, TokenKind::Minus, &mut i),
+            '=' => push(&mut out, TokenKind::Eq, &mut i),
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Token { kind: TokenKind::DotDot, offset: i });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Dot, &mut i);
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    out.push(Token { kind: TokenKind::If, offset: i });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Colon, &mut i);
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ne, offset: i });
+                    i += 2;
+                } else {
+                    return Err(err_at(src, i, "expected `!=`"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Le, offset: i });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Lt, &mut i);
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ge, offset: i });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Gt, &mut i);
+                }
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err_at(src, start, "unterminated string")),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                _ => return Err(err_at(src, i, "bad escape in string")),
+                            }
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            '#' => {
+                let start = i;
+                i += 1;
+                let word_start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphabetic() {
+                    i += 1;
+                }
+                let word = &src[word_start..i];
+                let kind = match word {
+                    "minimize" => TokenKind::Minimize,
+                    "maximize" => TokenKind::Maximize,
+                    "show" => TokenKind::Show,
+                    other => {
+                        return Err(err_at(src, start, &format!("unknown directive `#{other}`")))
+                    }
+                };
+                out.push(Token { kind, offset: start });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i]
+                    .parse()
+                    .map_err(|_| err_at(src, start, "integer literal out of range"))?;
+                out.push(Token { kind: TokenKind::Int(n), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = if word == "not" {
+                    TokenKind::Not
+                } else if word.starts_with(|ch: char| ch.is_ascii_uppercase()) || word.starts_with('_')
+                {
+                    TokenKind::Variable(word.to_owned())
+                } else {
+                    TokenKind::Ident(word.to_owned())
+                };
+                out.push(Token { kind, offset: start });
+            }
+            other => return Err(err_at(src, i, &format!("unexpected character `{other}`"))),
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(out)
+}
+
+fn push(out: &mut Vec<Token>, kind: TokenKind, i: &mut usize) {
+    out.push(Token { kind, offset: *i });
+    *i += 1;
+}
+
+/// Format an error with line/column derived from a byte offset.
+pub(crate) fn err_at(src: &str, offset: usize, msg: &str) -> AspError {
+    let upto = &src[..offset.min(src.len())];
+    let line = upto.matches('\n').count() + 1;
+    let col = offset - upto.rfind('\n').map_or(0, |p| p + 1) + 1;
+    AspError::Parse(format!("{msg} at line {line}, column {col}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_rule_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("p(X) :- q(X), not r."),
+            vec![
+                Ident("p".into()),
+                LParen,
+                Variable("X".into()),
+                RParen,
+                If,
+                Ident("q".into()),
+                LParen,
+                Variable("X".into()),
+                RParen,
+                Comma,
+                Not,
+                Ident("r".into()),
+                Dot,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("% hello\np. % world"), kinds("p."));
+    }
+
+    #[test]
+    fn operators_and_intervals() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("1..5 <= >= != = < > + - * / @"),
+            vec![Int(1), DotDot, Int(5), Le, Ge, Ne, Eq, Lt, Gt, Plus, Minus, Star, Slash, At, Eof]
+        );
+    }
+
+    #[test]
+    fn directives() {
+        use TokenKind::*;
+        assert_eq!(kinds("#minimize #show"), vec![Minimize, Show, Eof]);
+        assert!(tokenize("#frobnicate").is_err());
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        use TokenKind::*;
+        assert_eq!(kinds(r#""a\"b""#), vec![Str("a\"b".into()), Eof]);
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn underscore_is_a_variable() {
+        assert!(matches!(&kinds("_X p")[0], TokenKind::Variable(v) if v == "_X"));
+    }
+
+    #[test]
+    fn error_positions_are_line_column() {
+        let err = tokenize("p.\n  !q.").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("column 3"), "{msg}");
+    }
+}

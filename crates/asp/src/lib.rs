@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! A from-scratch Answer Set Programming (ASP) engine.
+//!
+//! ASP is the *hidden formal method* at the core of the paper's risk
+//! assessment framework: the system model, its candidate mutations (faults
+//! and vulnerabilities) and the safety requirements are merged into one
+//! logic program whose **stable models** are exactly the admissible attack /
+//! fault scenarios. This crate implements the full pipeline:
+//!
+//! 1. [`parse`] — a recursive-descent parser for a clingo-like surface
+//!    syntax (normal rules, integrity constraints, choice rules with
+//!    cardinality bounds, comparison builtins, integer arithmetic,
+//!    `#minimize` statements, `#show` directives, intervals `l..u`),
+//! 2. [`ground`](ground::Grounder) — a semi-naive grounder producing a
+//!    propositional program,
+//! 3. [`solve`](solve::Solver) — a smodels-style stable-model solver
+//!    (Fitting + unfounded-set propagation, chronological backtracking,
+//!    model enumeration, branch-and-bound `#minimize` optimization,
+//!    brave/cautious reasoning),
+//! 4. [`check`](check::is_stable_model) — an *independent* stability
+//!    verifier (reduct + least-model test) used to cross-validate every
+//!    answer set in tests and debug builds.
+//!
+//! # Example
+//!
+//! Listing 1 of the paper (fault activation) runs verbatim:
+//!
+//! ```
+//! use cpsrisk_asp::Program;
+//!
+//! let src = r#"
+//!     component(ew). fault(f4). mitigation(f4, m2).
+//!     potential_fault(C, F) :- component(C), fault(F),
+//!                              mitigation(F, M), not active_mitigation(C, M).
+//! "#;
+//! let program: Program = src.parse()?;
+//! let models = program.solve()?;
+//! assert_eq!(models.len(), 1);
+//! assert!(models[0].contains_str("potential_fault(ew,f4)"));
+//! # Ok::<(), cpsrisk_asp::AspError>(())
+//! ```
+
+pub mod ast;
+pub mod builder;
+pub mod check;
+pub mod error;
+pub mod ground;
+pub mod lexer;
+pub mod parser;
+pub mod program;
+pub mod solve;
+
+pub use ast::{Atom, ChoiceElement, Head, Literal, Program, Rule, Statement, Term};
+pub use builder::ProgramBuilder;
+pub use error::AspError;
+pub use ground::Grounder;
+pub use program::{AtomId, GroundProgram};
+pub use solve::{Model, SolveOptions, SolveResult, Solver};
+
+/// Parse a program from its textual representation.
+///
+/// # Errors
+///
+/// Returns [`AspError::Parse`] on syntax errors.
+pub fn parse(src: &str) -> Result<Program, AspError> {
+    parser::parse_program(src)
+}

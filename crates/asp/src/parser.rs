@@ -1,0 +1,611 @@
+//! Recursive-descent parser for the clingo-like surface syntax.
+//!
+//! Supported statement forms:
+//!
+//! * facts and normal rules: `p(a). q(X) :- p(X), not r(X), X != b.`
+//! * integrity constraints: `:- p(X), q(X).`
+//! * choice rules with bounds and conditional elements:
+//!   `1 { active(F) : potential(F) } 2 :- trigger.`
+//! * interval facts: `step(1..5).` (expanded at parse time),
+//! * optimization: `#minimize { 1@2,F : active(F); Cost,M : chosen(M) }.`
+//!   and `#maximize { … }` (negated weights),
+//! * projection: `#show violated/1.`
+//! * comments: `% …` to end of line.
+
+use crate::ast::{
+    ArithOp, Atom, ChoiceElement, CmpOp, Head, Literal, MinimizeElement, Program, Rule, Statement,
+    Term,
+};
+use crate::error::AspError;
+use crate::lexer::{err_at, tokenize, Token, TokenKind};
+
+/// Parse a complete program.
+///
+/// # Errors
+///
+/// [`AspError::Parse`] on any syntax error, with line/column info.
+pub fn parse_program(src: &str) -> Result<Program, AspError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { src, tokens, pos: 0 };
+    let mut program = Program::new();
+    while !p.at(&TokenKind::Eof) {
+        let stmts = p.statement()?;
+        program.statements.extend(stmts);
+    }
+    Ok(program)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), AspError> {
+        if self.at(kind) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{kind}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn error(&self, msg: &str) -> AspError {
+        err_at(self.src, self.tokens[self.pos].offset, msg)
+    }
+
+    /// Parse one statement; interval facts may expand to several.
+    fn statement(&mut self) -> Result<Vec<Statement>, AspError> {
+        match self.peek() {
+            TokenKind::Minimize => self.minimize(false),
+            TokenKind::Maximize => self.minimize(true),
+            TokenKind::Show => self.show(),
+            _ => self.rule(),
+        }
+    }
+
+    fn show(&mut self) -> Result<Vec<Statement>, AspError> {
+        self.expect(&TokenKind::Show)?;
+        let pred = match self.bump() {
+            TokenKind::Ident(s) => s,
+            other => return Err(self.error(&format!("expected predicate name, found `{other}`"))),
+        };
+        self.expect(&TokenKind::Slash)?;
+        let arity = match self.bump() {
+            TokenKind::Int(n) if n >= 0 => n as usize,
+            other => return Err(self.error(&format!("expected arity, found `{other}`"))),
+        };
+        self.expect(&TokenKind::Dot)?;
+        Ok(vec![Statement::Show { pred, arity }])
+    }
+
+    fn minimize(&mut self, maximize: bool) -> Result<Vec<Statement>, AspError> {
+        self.bump(); // #minimize / #maximize
+        self.expect(&TokenKind::LBrace)?;
+        // priority -> elements
+        let mut by_prio: Vec<(i64, Vec<MinimizeElement>)> = Vec::new();
+        loop {
+            let weight = self.term()?;
+            let weight = if maximize {
+                Term::BinOp(ArithOp::Sub, Box::new(Term::Int(0)), Box::new(weight))
+            } else {
+                weight
+            };
+            let mut priority = 0i64;
+            if self.at(&TokenKind::At) {
+                self.bump();
+                match self.bump() {
+                    TokenKind::Int(p) => priority = p,
+                    other => {
+                        return Err(self.error(&format!("expected priority, found `{other}`")))
+                    }
+                }
+            }
+            let mut terms = Vec::new();
+            while self.at(&TokenKind::Comma) {
+                self.bump();
+                terms.push(self.term()?);
+            }
+            let mut condition = Vec::new();
+            if self.at(&TokenKind::Colon) {
+                self.bump();
+                condition = self.literals_until(&[TokenKind::Semi, TokenKind::RBrace])?;
+            }
+            let elem = MinimizeElement { weight, terms, condition };
+            match by_prio.iter_mut().find(|(p, _)| *p == priority) {
+                Some((_, v)) => v.push(elem),
+                None => by_prio.push((priority, vec![elem])),
+            }
+            if self.at(&TokenKind::Semi) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Dot)?;
+        Ok(by_prio
+            .into_iter()
+            .map(|(priority, elements)| Statement::Minimize { priority, elements })
+            .collect())
+    }
+
+    fn rule(&mut self) -> Result<Vec<Statement>, AspError> {
+        let head = if self.at(&TokenKind::If) {
+            Head::None
+        } else {
+            self.head()?
+        };
+        let body = if self.at(&TokenKind::If) {
+            self.bump();
+            self.literals_until(&[TokenKind::Dot])?
+        } else {
+            Vec::new()
+        };
+        self.expect(&TokenKind::Dot)?;
+        let rule = Rule { head, body };
+        // Expand interval facts: p(1..3). -> p(1). p(2). p(3).
+        let expanded = expand_intervals(rule).map_err(|m| self.error(&m))?;
+        for r in &expanded {
+            r.check_safety()?;
+        }
+        Ok(expanded.into_iter().map(Statement::Rule).collect())
+    }
+
+    fn head(&mut self) -> Result<Head, AspError> {
+        // Possible: `atom`, `{...}`, `n {...} m`.
+        let lower = match (self.peek(), self.peek2()) {
+            (TokenKind::Int(n), TokenKind::LBrace) if *n >= 0 => {
+                let n = *n as u32;
+                self.bump();
+                Some(n)
+            }
+            _ => None,
+        };
+        if self.at(&TokenKind::LBrace) {
+            self.bump();
+            let mut elements = Vec::new();
+            if !self.at(&TokenKind::RBrace) {
+                loop {
+                    let atom = self.atom()?;
+                    let mut condition = Vec::new();
+                    if self.at(&TokenKind::Colon) {
+                        self.bump();
+                        condition =
+                            self.literals_until(&[TokenKind::Semi, TokenKind::RBrace])?;
+                    }
+                    elements.push(ChoiceElement { atom, condition });
+                    if self.at(&TokenKind::Semi) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RBrace)?;
+            let upper = match self.peek() {
+                TokenKind::Int(n) if *n >= 0 => {
+                    let n = *n as u32;
+                    self.bump();
+                    Some(n)
+                }
+                _ => None,
+            };
+            Ok(Head::Choice { lower, upper, elements })
+        } else if lower.is_some() {
+            Err(self.error("expected `{` after cardinality bound"))
+        } else {
+            Ok(Head::Atom(self.atom()?))
+        }
+    }
+
+    /// Parse a comma-separated literal list, stopping (without consuming)
+    /// at the first non-comma token — the caller's terminator `expect`
+    /// reports malformed input precisely.
+    fn literals_until(&mut self, _stops: &[TokenKind]) -> Result<Vec<Literal>, AspError> {
+        let mut out = Vec::new();
+        loop {
+            out.push(self.literal()?);
+            if self.at(&TokenKind::Comma) {
+                self.bump();
+            } else {
+                // Stop at any terminator (or on malformed input, which the
+                // caller's `expect` will report precisely).
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn literal(&mut self) -> Result<Literal, AspError> {
+        if self.at(&TokenKind::Not) {
+            self.bump();
+            return Ok(Literal::Neg(self.atom()?));
+        }
+        // Parse a term; if a comparison operator follows it is a builtin.
+        let lhs = self.term()?;
+        let op = match self.peek() {
+            TokenKind::Eq => Some(CmpOp::Eq),
+            TokenKind::Ne => Some(CmpOp::Ne),
+            TokenKind::Lt => Some(CmpOp::Lt),
+            TokenKind::Le => Some(CmpOp::Le),
+            TokenKind::Gt => Some(CmpOp::Gt),
+            TokenKind::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.term()?;
+            return Ok(Literal::Cmp(op, lhs, rhs));
+        }
+        match lhs {
+            Term::Const(name) => Ok(Literal::Pos(Atom::prop(name))),
+            Term::Func(name, args) => Ok(Literal::Pos(Atom::new(name, args))),
+            other => Err(self.error(&format!("`{other}` is not a valid literal"))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, AspError> {
+        match self.bump() {
+            TokenKind::Ident(name) => {
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let mut args = vec![self.term()?];
+                    while self.at(&TokenKind::Comma) {
+                        self.bump();
+                        args.push(self.term()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Atom::new(name, args))
+                } else {
+                    Ok(Atom::prop(name))
+                }
+            }
+            other => Err(self.error(&format!("expected atom, found `{other}`"))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, AspError> {
+        let lhs = self.add_expr()?;
+        // Interval `a..b` — represented as the reserved functor `#range`.
+        if self.at(&TokenKind::DotDot) {
+            self.bump();
+            let rhs = self.add_expr()?;
+            return Ok(Term::Func("#range".into(), vec![lhs, rhs]));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Term, AspError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Term::BinOp(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Term, AspError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => ArithOp::Mul,
+                TokenKind::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Term::BinOp(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Term, AspError> {
+        if self.at(&TokenKind::Minus) {
+            self.bump();
+            let t = self.unary()?;
+            return Ok(match t {
+                Term::Int(i) => Term::Int(-i),
+                other => {
+                    Term::BinOp(ArithOp::Sub, Box::new(Term::Int(0)), Box::new(other))
+                }
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Term, AspError> {
+        match self.bump() {
+            TokenKind::Int(i) => Ok(Term::Int(i)),
+            TokenKind::Str(s) => Ok(Term::Str(s)),
+            TokenKind::Variable(v) => Ok(Term::Var(v)),
+            TokenKind::Ident(name) => {
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let mut args = vec![self.term()?];
+                    while self.at(&TokenKind::Comma) {
+                        self.bump();
+                        args.push(self.term()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Term::Func(name, args))
+                } else {
+                    Ok(Term::Const(name))
+                }
+            }
+            TokenKind::LParen => {
+                let t = self.term()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(t)
+            }
+            other => Err(self.error(&format!("expected term, found `{other}`"))),
+        }
+    }
+}
+
+/// Expand `#range` interval terms in fact heads; reject them elsewhere.
+fn expand_intervals(rule: Rule) -> Result<Vec<Rule>, String> {
+    fn has_range(t: &Term) -> bool {
+        match t {
+            Term::Func(f, args) => f == "#range" || args.iter().any(has_range),
+            Term::BinOp(_, a, b) => has_range(a) || has_range(b),
+            _ => false,
+        }
+    }
+    let head_atom_ranges = match &rule.head {
+        Head::Atom(a) => a.args.iter().any(has_range),
+        Head::Choice { elements, .. } => elements.iter().any(|e| {
+            e.atom.args.iter().any(has_range)
+                || e.condition.iter().any(literal_has_range)
+        }),
+        Head::None => false,
+    };
+    fn literal_has_range(l: &Literal) -> bool {
+        match l {
+            Literal::Pos(a) | Literal::Neg(a) => a.args.iter().any(has_range),
+            Literal::Cmp(_, x, y) => has_range(x) || has_range(y),
+        }
+    }
+    if rule.body.iter().any(literal_has_range) {
+        return Err("intervals `l..u` are only supported in fact heads".into());
+    }
+    if !head_atom_ranges {
+        return Ok(vec![rule]);
+    }
+    let (atom, is_fact) = match (&rule.head, rule.body.is_empty()) {
+        (Head::Atom(a), true) => (a.clone(), true),
+        _ => (Atom::prop("x"), false),
+    };
+    if !is_fact {
+        return Err("intervals `l..u` are only supported in fact heads".into());
+    }
+    // Cartesian expansion of every range argument.
+    let mut results: Vec<Vec<Term>> = vec![Vec::new()];
+    for arg in &atom.args {
+        let choices: Vec<Term> = match arg {
+            Term::Func(f, bounds) if f == "#range" => {
+                let lo = bounds[0].eval().map_err(|e| e.to_string())?;
+                let hi = bounds[1].eval().map_err(|e| e.to_string())?;
+                match (lo, hi) {
+                    (Term::Int(l), Term::Int(h)) if l <= h && (h - l) <= 100_000 => {
+                        (l..=h).map(Term::Int).collect()
+                    }
+                    (l, h) => return Err(format!("invalid interval {l}..{h}")),
+                }
+            }
+            other => vec![other.clone()],
+        };
+        let mut next = Vec::with_capacity(results.len() * choices.len());
+        for prefix in &results {
+            for c in &choices {
+                let mut row = prefix.clone();
+                row.push(c.clone());
+                next.push(row);
+            }
+        }
+        results = next;
+    }
+    Ok(results
+        .into_iter()
+        .map(|args| Rule::fact(Atom::new(atom.pred.clone(), args)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse_program(src).unwrap_or_else(|e| panic!("parse failed for `{src}`: {e}"))
+    }
+
+    #[test]
+    fn parses_facts_and_rules() {
+        let p = parse_ok("p(a). q(X) :- p(X).");
+        assert_eq!(p.statements.len(), 2);
+        assert_eq!(p.statements[0].to_string(), "p(a).");
+        assert_eq!(p.statements[1].to_string(), "q(X) :- p(X).");
+    }
+
+    #[test]
+    fn parses_paper_listing_1() {
+        let p = parse_ok(
+            "potential_fault(C, F) :- component(C), fault(F), \
+             mitigation(F, M), not active_mitigation(C, M).",
+        );
+        assert_eq!(
+            p.statements[0].to_string(),
+            "potential_fault(C,F) :- component(C), fault(F), mitigation(F,M), not active_mitigation(C,M)."
+        );
+    }
+
+    #[test]
+    fn parses_paper_listing_2() {
+        let p = parse_ok(
+            "component_state(C, X) :- prev_component_state(C, X), active_fault(C, stuck_at_x).",
+        );
+        assert_eq!(p.statements.len(), 1);
+    }
+
+    #[test]
+    fn parses_constraints() {
+        let p = parse_ok(":- violated(r1), not acceptable.");
+        assert!(matches!(
+            &p.statements[0],
+            Statement::Rule(Rule { head: Head::None, .. })
+        ));
+    }
+
+    #[test]
+    fn parses_choice_rules_with_bounds_and_conditions() {
+        let p = parse_ok("1 { active(F) : potential(F) } 2 :- trigger.");
+        match &p.statements[0] {
+            Statement::Rule(Rule { head: Head::Choice { lower, upper, elements }, body }) => {
+                assert_eq!(*lower, Some(1));
+                assert_eq!(*upper, Some(2));
+                assert_eq!(elements.len(), 1);
+                assert_eq!(elements[0].condition.len(), 1);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected choice rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_unbounded_choice() {
+        let p = parse_ok("{ a; b; c }.");
+        match &p.statements[0] {
+            Statement::Rule(Rule { head: Head::Choice { lower, upper, elements }, .. }) => {
+                assert_eq!(*lower, None);
+                assert_eq!(*upper, None);
+                assert_eq!(elements.len(), 3);
+            }
+            other => panic!("expected choice rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_comparisons_and_arithmetic() {
+        let p = parse_ok("p(Y) :- q(X), Y = X + 1, Y < 10, X != 3.");
+        assert_eq!(p.statements[0].to_string(), "p(Y) :- q(X), Y = (X+1), Y < 10, X != 3.");
+    }
+
+    #[test]
+    fn expands_interval_facts() {
+        let p = parse_ok("n(1..3).");
+        let texts: Vec<String> = p.statements.iter().map(ToString::to_string).collect();
+        assert_eq!(texts, vec!["n(1).", "n(2).", "n(3)."]);
+        // Multi-dimensional expansion.
+        let p2 = parse_ok("cell(1..2, 1..2).");
+        assert_eq!(p2.statements.len(), 4);
+    }
+
+    #[test]
+    fn rejects_intervals_outside_facts() {
+        assert!(parse_program("p(X) :- q(1..3).").is_err());
+    }
+
+    #[test]
+    fn parses_minimize_with_priorities() {
+        let p = parse_ok("#minimize { 1@2,F : active(F); Cost,M : chosen(M), cost(M, Cost) }.");
+        let prios: Vec<i64> = p
+            .statements
+            .iter()
+            .filter_map(|s| match s {
+                Statement::Minimize { priority, .. } => Some(*priority),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(prios.len(), 2);
+        assert!(prios.contains(&2));
+        assert!(prios.contains(&0));
+    }
+
+    #[test]
+    fn parses_maximize_as_negated_minimize() {
+        let p = parse_ok("#maximize { 3 : good }.");
+        match &p.statements[0] {
+            Statement::Minimize { elements, .. } => {
+                assert_eq!(elements[0].weight.eval().unwrap(), Term::Int(-3));
+            }
+            other => panic!("expected minimize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_show_directive() {
+        let p = parse_ok("#show violated/1.");
+        assert_eq!(p.statements[0], Statement::Show { pred: "violated".into(), arity: 1 });
+    }
+
+    #[test]
+    fn rejects_unsafe_rules_at_parse_time() {
+        assert!(matches!(
+            parse_program("p(X) :- not q(X)."),
+            Err(AspError::UnsafeRule { .. })
+        ));
+        assert!(matches!(
+            parse_program("p(X, Y) :- q(X)."),
+            Err(AspError::UnsafeRule { .. })
+        ));
+    }
+
+    #[test]
+    fn choice_element_condition_makes_vars_safe() {
+        // F is bound by the element condition, not the body — must be safe.
+        assert!(parse_program("{ active(F) : potential(F) }.").is_ok());
+        // G is bound nowhere — unsafe.
+        assert!(parse_program("{ active(G) }.").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_parens() {
+        let p = parse_ok("p(-3). q(X) :- p(X), X < -(1 + 1).");
+        assert!(p.statements[0].to_string().contains("-3"));
+    }
+
+    #[test]
+    fn reports_position_on_error() {
+        let err = parse_program("p(a)\nq(b).").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn strings_as_terms() {
+        let p = parse_ok(r#"name(c1, "Engineering Workstation")."#);
+        assert!(p.statements[0].to_string().contains("\"Engineering Workstation\""));
+    }
+
+    #[test]
+    fn propositional_atoms() {
+        let p = parse_ok("a :- b, not c.");
+        assert_eq!(p.statements[0].to_string(), "a :- b, not c.");
+    }
+}

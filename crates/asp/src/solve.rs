@@ -1,0 +1,901 @@
+//! Stable-model search: propagation, backtracking, enumeration and
+//! branch-and-bound optimization.
+//!
+//! The solver follows the smodels recipe: alternate *Fitting propagation*
+//! (forward/backward inference on rules) with *unfounded-set falsification*
+//! (atoms outside the can-be-true closure are false), branch on an unknown
+//! atom, and backtrack chronologically. Every complete assignment is
+//! verified with the independent [`check`] module before it is
+//! reported, so the engine's soundness rests on the textbook definition
+//! rather than on the propagation code.
+
+use std::collections::HashSet;
+
+use crate::ast::Atom;
+use crate::check;
+use crate::error::AspError;
+use crate::program::{AtomId, GroundHead, GroundProgram, MinimizeLit};
+
+/// Truth value during search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Unknown,
+    True,
+    False,
+}
+
+/// Options controlling enumeration and optimization.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Maximum number of models to enumerate (0 = all).
+    pub max_models: usize,
+    /// Decision budget; exceeded → [`AspError::SolveBudget`].
+    pub max_decisions: u64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { max_models: 0, max_decisions: 50_000_000 }
+    }
+}
+
+/// One answer set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// All true atoms (sorted by display form).
+    pub atoms: Vec<Atom>,
+    /// Atoms under the `#show` projection (sorted by display form).
+    pub shown: Vec<Atom>,
+    /// Objective values per `#minimize` priority, higher priority first.
+    pub cost: Vec<(i64, i64)>,
+    ids: HashSet<AtomId>,
+}
+
+impl Model {
+    /// True if the model contains the given atom.
+    #[must_use]
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.atoms.binary_search_by(|a| a.to_string().cmp(&atom.to_string())).is_ok()
+    }
+
+    /// True if the model contains an atom whose display form equals `s`
+    /// (whitespace-insensitive, e.g. `"p(a, b)"` matches `p(a,b)`).
+    #[must_use]
+    pub fn contains_str(&self, s: &str) -> bool {
+        let needle: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        self.atoms.iter().any(|a| a.to_string() == needle)
+    }
+
+    /// All true atoms of a predicate.
+    #[must_use]
+    pub fn atoms_of(&self, pred: &str) -> Vec<&Atom> {
+        self.atoms.iter().filter(|a| a.pred == pred).collect()
+    }
+
+    /// The interned ids of the true atoms (solver-internal identities).
+    #[must_use]
+    pub fn ids(&self) -> &HashSet<AtomId> {
+        &self.ids
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for a in &self.shown {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Result of an enumeration run.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The models found (all, up to `max_models`).
+    pub models: Vec<Model>,
+    /// True if the search space was exhausted (every model was found).
+    pub exhausted: bool,
+    /// Number of branching decisions made.
+    pub decisions: u64,
+}
+
+/// A stable-model solver over one ground program.
+#[derive(Debug)]
+pub struct Solver<'a> {
+    g: &'a GroundProgram,
+    val: Vec<Val>,
+    trail: Vec<u32>,
+    /// (atom, tried_both) per decision; parallel with `trail_lim`.
+    decisions: Vec<(u32, bool)>,
+    trail_lim: Vec<usize>,
+    decision_count: u64,
+}
+
+impl<'a> Solver<'a> {
+    /// Create a solver for a ground program.
+    #[must_use]
+    pub fn new(program: &'a GroundProgram) -> Self {
+        Solver {
+            g: program,
+            val: vec![Val::Unknown; program.atom_count()],
+            trail: Vec::new(),
+            decisions: Vec::new(),
+            trail_lim: Vec::new(),
+            decision_count: 0,
+        }
+    }
+
+    /// Enumerate answer sets (ignoring `#minimize`).
+    ///
+    /// # Errors
+    ///
+    /// [`AspError::SolveBudget`] if the decision budget is exceeded.
+    pub fn enumerate(&mut self, opts: &SolveOptions) -> Result<SolveResult, AspError> {
+        self.reset();
+        let mut models = Vec::new();
+        let exhausted = self.search(opts, &mut |m| {
+            models.push(m);
+            opts.max_models == 0 || models.len() < opts.max_models
+        }, &mut |_| false)?;
+        Ok(SolveResult { models, exhausted, decisions: self.decision_count })
+    }
+
+    /// Find one optimal model w.r.t. the program's `#minimize` statements
+    /// by branch-and-bound: partial assignments whose highest-priority cost
+    /// lower bound cannot beat the incumbent are pruned. Returns `None`
+    /// for inconsistent programs. With no `#minimize` statements this
+    /// returns the first model found.
+    ///
+    /// # Errors
+    ///
+    /// [`AspError::SolveBudget`] if the decision budget is exceeded.
+    pub fn optimize(&mut self, opts: &SolveOptions) -> Result<Option<Model>, AspError> {
+        self.reset();
+        if self.g.minimize.is_empty() {
+            let mut found = None;
+            self.search(opts, &mut |m| {
+                found = Some(m);
+                false
+            }, &mut |_| false)?;
+            return Ok(found);
+        }
+        // Lower bounds are only sound for pruning at the highest priority;
+        // with several priorities we prune on strict first-component
+        // dominance only.
+        let single_priority = self.g.minimize.len() == 1;
+        let first_lits: Vec<MinimizeLit> = self.g.minimize[0].1.clone();
+        let mut best: Option<Model> = None;
+        // Shared between the model callback (writer) and the prune hook
+        // (reader) without aliasing conflicts.
+        let incumbent = std::cell::Cell::new(None::<i64>);
+        self.search(opts, &mut |m| {
+            let better = match &best {
+                None => true,
+                Some(b) => cost_vec(&m) < cost_vec(b),
+            };
+            if better {
+                incumbent.set(m.cost.first().map(|(_, c)| *c));
+                best = Some(m);
+            }
+            true
+        }, &mut |solver| {
+            let Some(bound) = incumbent.get() else { return false };
+            let lb = solver.first_priority_lower_bound(&first_lits);
+            lb > bound || (single_priority && lb >= bound)
+        })?;
+        Ok(best)
+    }
+
+    /// Lower bound of the highest-priority objective under the current
+    /// partial assignment: definitely-satisfied elements count fully;
+    /// still-open negative-weight elements are assumed to fire.
+    fn first_priority_lower_bound(&self, lits: &[MinimizeLit]) -> i64 {
+        use std::collections::HashMap;
+        // Key -> (definite, open_with_negative_weight, weight)
+        let mut per_key: HashMap<(i64, &[crate::ast::Term]), (bool, bool)> = HashMap::new();
+        for l in lits {
+            let impossible = l.pos.iter().any(|&p| self.value(p) == Val::False)
+                || l.neg.iter().any(|&q| self.value(q) == Val::True);
+            if impossible {
+                continue;
+            }
+            let definite = l.pos.iter().all(|&p| self.value(p) == Val::True)
+                && l.neg.iter().all(|&q| self.value(q) == Val::False);
+            let entry = per_key.entry((l.weight, l.tuple.as_slice())).or_insert((false, false));
+            entry.0 |= definite;
+            entry.1 |= !definite && l.weight < 0;
+        }
+        per_key
+            .into_iter()
+            .map(|((w, _), (definite, open_neg))| if definite || open_neg { w } else { 0 })
+            .sum()
+    }
+
+    /// Brave consequences: atoms true in **some** answer set.
+    ///
+    /// # Errors
+    ///
+    /// [`AspError::SolveBudget`] if the decision budget is exceeded.
+    pub fn brave(&mut self, opts: &SolveOptions) -> Result<Vec<Atom>, AspError> {
+        let result = self.enumerate(opts)?;
+        let mut out: Vec<Atom> = Vec::new();
+        let mut seen = HashSet::new();
+        for m in &result.models {
+            for a in &m.atoms {
+                if seen.insert(a.to_string()) {
+                    out.push(a.clone());
+                }
+            }
+        }
+        out.sort_by_key(ToString::to_string);
+        Ok(out)
+    }
+
+    /// Cautious consequences: atoms true in **every** answer set
+    /// (empty if the program is inconsistent).
+    ///
+    /// # Errors
+    ///
+    /// [`AspError::SolveBudget`] if the decision budget is exceeded.
+    pub fn cautious(&mut self, opts: &SolveOptions) -> Result<Vec<Atom>, AspError> {
+        let result = self.enumerate(opts)?;
+        let Some((first, rest)) = result.models.split_first() else {
+            return Ok(Vec::new());
+        };
+        Ok(first
+            .atoms
+            .iter()
+            .filter(|a| rest.iter().all(|m| m.contains_str(&a.to_string())))
+            .cloned()
+            .collect())
+    }
+
+    fn reset(&mut self) {
+        self.val.fill(Val::Unknown);
+        self.trail.clear();
+        self.decisions.clear();
+        self.trail_lim.clear();
+        self.decision_count = 0;
+    }
+
+    /// Core DFS. `on_model` returns `false` to stop the search early;
+    /// `prune` returning `true` abandons the current branch (used by
+    /// branch-and-bound). Returns whether the search space was exhausted.
+    fn search(
+        &mut self,
+        opts: &SolveOptions,
+        on_model: &mut dyn FnMut(Model) -> bool,
+        prune: &mut dyn FnMut(&Self) -> bool,
+    ) -> Result<bool, AspError> {
+        let mut ok = self.propagate();
+        loop {
+            if ok && prune(self) {
+                ok = false;
+            }
+            if !ok {
+                if !self.backtrack() {
+                    return Ok(true);
+                }
+                ok = self.propagate();
+                continue;
+            }
+            match self.pick_unknown() {
+                Some(a) => {
+                    self.decision_count += 1;
+                    if self.decision_count > opts.max_decisions {
+                        return Err(AspError::SolveBudget { limit: opts.max_decisions });
+                    }
+                    self.decisions.push((a, false));
+                    self.trail_lim.push(self.trail.len());
+                    self.assign(a, Val::True);
+                    ok = self.propagate();
+                }
+                None => {
+                    let candidate: HashSet<AtomId> = self
+                        .val
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| **v == Val::True)
+                        .map(|(i, _)| AtomId(i as u32))
+                        .collect();
+                    if check::is_stable_model(self.g, &candidate) {
+                        let model = self.build_model(candidate);
+                        if !on_model(model) {
+                            return Ok(false);
+                        }
+                    }
+                    ok = false; // keep searching
+                }
+            }
+        }
+    }
+
+    /// Chronological backtracking; returns false when the search is done.
+    fn backtrack(&mut self) -> bool {
+        loop {
+            let Some((atom, tried_both)) = self.decisions.pop() else {
+                return false;
+            };
+            let lim = self.trail_lim.pop().expect("trail_lim parallels decisions");
+            while self.trail.len() > lim {
+                let a = self.trail.pop().expect("trail len checked");
+                self.val[a as usize] = Val::Unknown;
+            }
+            if !tried_both {
+                self.decisions.push((atom, true));
+                self.trail_lim.push(self.trail.len());
+                self.assign(atom, Val::False);
+                return true;
+            }
+        }
+    }
+
+    fn assign(&mut self, atom: u32, v: Val) {
+        debug_assert_eq!(self.val[atom as usize], Val::Unknown);
+        self.val[atom as usize] = v;
+        self.trail.push(atom);
+    }
+
+    /// Set with conflict detection. Returns false on conflict.
+    fn set(&mut self, atom: AtomId, v: Val) -> bool {
+        match self.val[atom.index()] {
+            Val::Unknown => {
+                self.assign(atom.0, v);
+                true
+            }
+            cur => cur == v,
+        }
+    }
+
+    fn value(&self, atom: AtomId) -> Val {
+        self.val[atom.index()]
+    }
+
+    /// Branch preferentially on choice atoms (the decision variables of the
+    /// encodings), then on any unknown atom.
+    fn pick_unknown(&self) -> Option<u32> {
+        for r in &self.g.rules {
+            if let GroundHead::Choice(h) = r.head {
+                if self.value(h) == Val::Unknown {
+                    return Some(h.0);
+                }
+            }
+        }
+        self.val.iter().position(|v| *v == Val::Unknown).map(|i| i as u32)
+    }
+
+    /// Run propagation to fixpoint; false on conflict.
+    fn propagate(&mut self) -> bool {
+        loop {
+            let before = self.trail.len();
+            if !self.fitting_pass() {
+                return false;
+            }
+            if !self.card_pass() {
+                return false;
+            }
+            if self.trail.len() != before {
+                continue; // re-run cheap passes before the closure
+            }
+            if !self.unfounded_pass() {
+                return false;
+            }
+            if self.trail.len() == before {
+                return true;
+            }
+        }
+    }
+
+    /// One pass of Fitting-style forward/backward rule propagation.
+    fn fitting_pass(&mut self) -> bool {
+        for ri in 0..self.g.rules.len() {
+            let (head, pos, neg) = {
+                let r = &self.g.rules[ri];
+                (r.head.clone(), r.pos.clone(), r.neg.clone())
+            };
+            let mut false_lits = 0usize;
+            let mut unknown: Option<(AtomId, bool)> = None; // (atom, is_pos)
+            let mut unknowns = 0usize;
+            for &p in &pos {
+                match self.value(p) {
+                    Val::False => false_lits += 1,
+                    Val::Unknown => {
+                        unknowns += 1;
+                        unknown = Some((p, true));
+                    }
+                    Val::True => {}
+                }
+            }
+            for &n in &neg {
+                match self.value(n) {
+                    Val::True => false_lits += 1,
+                    Val::Unknown => {
+                        unknowns += 1;
+                        unknown = Some((n, false));
+                    }
+                    Val::False => {}
+                }
+            }
+            if false_lits > 0 {
+                continue; // body dead: nothing to infer here
+            }
+            let body_sat = unknowns == 0;
+            match head {
+                GroundHead::Atom(h) => {
+                    if body_sat {
+                        if !self.set(h, Val::True) {
+                            return false;
+                        }
+                    } else if unknowns == 1 && self.value(h) == Val::False {
+                        let (a, is_pos) = unknown.expect("one unknown");
+                        if !self.set(a, if is_pos { Val::False } else { Val::True }) {
+                            return false;
+                        }
+                    }
+                }
+                GroundHead::None => {
+                    if body_sat {
+                        return false; // violated constraint
+                    }
+                    if unknowns == 1 {
+                        let (a, is_pos) = unknown.expect("one unknown");
+                        if !self.set(a, if is_pos { Val::False } else { Val::True }) {
+                            return false;
+                        }
+                    }
+                }
+                GroundHead::Choice(_) => {}
+            }
+        }
+        true
+    }
+
+    /// Propagate cardinality constraints.
+    fn card_pass(&mut self) -> bool {
+        for ci in 0..self.g.cards.len() {
+            let c = self.g.cards[ci].clone();
+            let mut body_false = false;
+            let mut body_unknowns = 0usize;
+            let mut body_unknown: Option<(AtomId, bool)> = None;
+            for &p in &c.pos {
+                match self.value(p) {
+                    Val::False => body_false = true,
+                    Val::Unknown => {
+                        body_unknowns += 1;
+                        body_unknown = Some((p, true));
+                    }
+                    Val::True => {}
+                }
+            }
+            for &n in &c.neg {
+                match self.value(n) {
+                    Val::True => body_false = true,
+                    Val::Unknown => {
+                        body_unknowns += 1;
+                        body_unknown = Some((n, false));
+                    }
+                    Val::False => {}
+                }
+            }
+            if body_false {
+                continue;
+            }
+            let mut held = 0u32;
+            let mut open: Vec<&crate::program::CardElement> = Vec::new();
+            for e in &c.elements {
+                let guard_false = e.guard_pos.iter().any(|&p| self.value(p) == Val::False)
+                    || e.guard_neg.iter().any(|&n| self.value(n) == Val::True);
+                let guard_true = e.guard_pos.iter().all(|&p| self.value(p) == Val::True)
+                    && e.guard_neg.iter().all(|&n| self.value(n) == Val::False);
+                match self.value(e.atom) {
+                    Val::True if guard_true => held += 1,
+                    Val::False => {}
+                    _ if guard_false => {}
+                    _ => open.push(e),
+                }
+            }
+            let max_possible = held + open.len() as u32;
+            let violated_surely = held > c.upper || max_possible < c.lower;
+            if body_unknowns == 0 {
+                if violated_surely {
+                    return false;
+                }
+                if held == c.upper {
+                    // No further element may become held.
+                    let forced: Vec<AtomId> = open
+                        .iter()
+                        .filter(|e| {
+                            e.guard_pos.iter().all(|&p| self.value(p) == Val::True)
+                                && e.guard_neg.iter().all(|&n| self.value(n) == Val::False)
+                        })
+                        .map(|e| e.atom)
+                        .collect();
+                    for a in forced {
+                        if self.value(a) == Val::Unknown && !self.set(a, Val::False) {
+                            return false;
+                        }
+                    }
+                } else if max_possible == c.lower {
+                    // Every open element must be held.
+                    let forced: Vec<AtomId> = open
+                        .iter()
+                        .filter(|e| {
+                            e.guard_pos.iter().all(|&p| self.value(p) == Val::True)
+                                && e.guard_neg.iter().all(|&n| self.value(n) == Val::False)
+                        })
+                        .map(|e| e.atom)
+                        .collect();
+                    for a in forced {
+                        if self.value(a) == Val::Unknown && !self.set(a, Val::True) {
+                            return false;
+                        }
+                    }
+                }
+            } else if body_unknowns == 1 && violated_surely {
+                // Bound already violated: body must be falsified.
+                let (a, is_pos) = body_unknown.expect("one unknown");
+                if !self.set(a, if is_pos { Val::False } else { Val::True }) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Falsify atoms outside the can-be-true closure (unfounded atoms).
+    fn unfounded_pass(&mut self) -> bool {
+        let n = self.g.atom_count();
+        let mut in_closure = vec![false; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for r in &self.g.rules {
+                let h = match r.head {
+                    GroundHead::Atom(h) | GroundHead::Choice(h) => h,
+                    GroundHead::None => continue,
+                };
+                if in_closure[h.index()] || self.value(h) == Val::False {
+                    continue;
+                }
+                let body_possible = r
+                    .pos
+                    .iter()
+                    .all(|&p| self.value(p) != Val::False && in_closure[p.index()])
+                    && r.neg.iter().all(|&q| self.value(q) != Val::True);
+                if body_possible {
+                    in_closure[h.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+        for (i, reachable) in in_closure.iter().enumerate() {
+            if !reachable {
+                match self.val[i] {
+                    Val::True => return false,
+                    Val::Unknown => self.assign(i as u32, Val::False),
+                    Val::False => {}
+                }
+            }
+        }
+        true
+    }
+
+    fn build_model(&self, ids: HashSet<AtomId>) -> Model {
+        let mut atoms: Vec<Atom> = ids.iter().map(|&id| self.g.atom(id).clone()).collect();
+        atoms.sort_by_key(ToString::to_string);
+        let mut shown: Vec<Atom> = ids
+            .iter()
+            .filter(|&&id| self.g.shown(id))
+            .map(|&id| self.g.atom(id).clone())
+            .collect();
+        shown.sort_by_key(ToString::to_string);
+        let cost = self
+            .g
+            .minimize
+            .iter()
+            .map(|(prio, lits)| {
+                let mut counted: HashSet<String> = HashSet::new();
+                let mut total = 0i64;
+                for l in lits {
+                    let holds = l.pos.iter().all(|p| ids.contains(p))
+                        && l.neg.iter().all(|q| !ids.contains(q));
+                    if holds {
+                        let key = format!(
+                            "{}|{}",
+                            l.weight,
+                            l.tuple.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+                        );
+                        if counted.insert(key) {
+                            total += l.weight;
+                        }
+                    }
+                }
+                (*prio, total)
+            })
+            .collect();
+        Model { atoms, shown, cost, ids }
+    }
+}
+
+/// Lexicographic cost vector (higher priorities first) for comparisons.
+fn cost_vec(m: &Model) -> Vec<i64> {
+    m.cost.iter().map(|(_, c)| *c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::Grounder;
+    use crate::parse;
+
+    fn solve_all(src: &str) -> Vec<Model> {
+        let g = Grounder::new().ground(&parse(src).unwrap()).unwrap();
+        let mut s = Solver::new(&g);
+        let r = s.enumerate(&SolveOptions::default()).unwrap();
+        assert!(r.exhausted);
+        r.models
+    }
+
+    fn model_strings(models: &[Model]) -> Vec<String> {
+        let mut out: Vec<String> = models
+            .iter()
+            .map(|m| {
+                m.atoms.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn definite_program_has_unique_model() {
+        let models = solve_all("p. q :- p. r :- q, p.");
+        assert_eq!(models.len(), 1);
+        assert!(models[0].contains_str("r"));
+    }
+
+    #[test]
+    fn inconsistent_program_has_no_models() {
+        let models = solve_all("p. :- p.");
+        assert!(models.is_empty());
+    }
+
+    #[test]
+    fn even_loop_yields_two_models() {
+        // Classic: a :- not b. b :- not a.
+        let models = solve_all("a :- not b. b :- not a.");
+        assert_eq!(model_strings(&models), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn odd_loop_is_inconsistent() {
+        let models = solve_all("a :- not a.");
+        assert!(models.is_empty());
+    }
+
+    #[test]
+    fn positive_loop_is_unfounded() {
+        let models = solve_all("a :- b. b :- a.");
+        assert_eq!(models.len(), 1);
+        assert!(models[0].atoms.is_empty());
+    }
+
+    #[test]
+    fn choice_rule_enumerates_subsets() {
+        let models = solve_all("{ a; b }.");
+        assert_eq!(models.len(), 4);
+    }
+
+    #[test]
+    fn bounded_choice_respects_bounds() {
+        let models = solve_all("item(x). item(y). item(z). 1 { pick(I) : item(I) } 2.");
+        // C(3,1) + C(3,2) = 6 models.
+        assert_eq!(models.len(), 6);
+        for m in &models {
+            let picks = m.atoms_of("pick").len();
+            assert!((1..=2).contains(&picks));
+        }
+    }
+
+    #[test]
+    fn constraints_prune_models() {
+        let models = solve_all("{ a; b }. :- a, b. :- not a, not b.");
+        assert_eq!(models.len(), 2);
+    }
+
+    #[test]
+    fn listing_one_fault_activation_semantics() {
+        // Without the mitigation active the fault is potential; with it, not.
+        let src = "component(ew). fault(f4). mitigation(f4, m2). \
+                   { active_mitigation(ew, m2) }. \
+                   potential_fault(C, F) :- component(C), fault(F), \
+                       mitigation(F, M), not active_mitigation(C, M).";
+        let models = solve_all(src);
+        assert_eq!(models.len(), 2);
+        let with_mitigation = models
+            .iter()
+            .find(|m| m.contains_str("active_mitigation(ew,m2)"))
+            .unwrap();
+        assert!(!with_mitigation.contains_str("potential_fault(ew,f4)"));
+        let without = models
+            .iter()
+            .find(|m| !m.contains_str("active_mitigation(ew,m2)"))
+            .unwrap();
+        assert!(without.contains_str("potential_fault(ew,f4)"));
+    }
+
+    #[test]
+    fn optimization_finds_minimum() {
+        let src = "item(a). item(b). item(c). \
+                   cost(a, 7). cost(b, 3). cost(c, 5). \
+                   1 { pick(I) : item(I) } 1. \
+                   #minimize { C,I : pick(I), cost(I, C) }.";
+        let g = Grounder::new().ground(&parse(src).unwrap()).unwrap();
+        let mut s = Solver::new(&g);
+        let best = s.optimize(&SolveOptions::default()).unwrap().unwrap();
+        assert!(best.contains_str("pick(b)"));
+        assert_eq!(best.cost, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn optimization_with_priorities_is_lexicographic() {
+        // High priority: minimize number of picks; low: total cost.
+        let src = "item(a). item(b). cost(a, 1). cost(b, 1). \
+                   1 { pick(I) : item(I) } 2. \
+                   #minimize { 1@2,I : pick(I) }. \
+                   #minimize { C@1,I : pick(I), cost(I, C) }.";
+        let g = Grounder::new().ground(&parse(src).unwrap()).unwrap();
+        let mut s = Solver::new(&g);
+        let best = s.optimize(&SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(best.atoms_of("pick").len(), 1);
+        assert_eq!(best.cost[0], (2, 1));
+    }
+
+    #[test]
+    fn brave_and_cautious_consequences() {
+        let src = "a :- not b. b :- not a. c.";
+        let g = Grounder::new().ground(&parse(src).unwrap()).unwrap();
+        let brave: Vec<String> = Solver::new(&g)
+            .brave(&SolveOptions::default())
+            .unwrap()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(brave, vec!["a", "b", "c"]);
+        let cautious: Vec<String> = Solver::new(&g)
+            .cautious(&SolveOptions::default())
+            .unwrap()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(cautious, vec!["c"]);
+    }
+
+    #[test]
+    fn max_models_stops_early() {
+        let g = Grounder::new().ground(&parse("{ a; b; c }.").unwrap()).unwrap();
+        let mut s = Solver::new(&g);
+        let r = s
+            .enumerate(&SolveOptions { max_models: 3, ..SolveOptions::default() })
+            .unwrap();
+        assert_eq!(r.models.len(), 3);
+        assert!(!r.exhausted);
+    }
+
+    #[test]
+    fn decision_budget_is_enforced() {
+        let g = Grounder::new()
+            .ground(&parse("{ a; b; c; d; e; f }.").unwrap())
+            .unwrap();
+        let mut s = Solver::new(&g);
+        let err = s
+            .enumerate(&SolveOptions { max_decisions: 2, ..SolveOptions::default() })
+            .unwrap_err();
+        assert!(matches!(err, AspError::SolveBudget { limit: 2 }));
+    }
+
+    #[test]
+    fn model_cost_reported_even_without_optimize() {
+        let src = "{ a }. #minimize { 5 : a }.";
+        let models = solve_all(src);
+        let costs: Vec<i64> = models.iter().map(|m| m.cost[0].1).collect();
+        assert!(costs.contains(&0) && costs.contains(&5));
+    }
+
+    #[test]
+    fn minimize_set_semantics_counts_tuples_once() {
+        // Two conditions with the same (weight, tuple) key count once.
+        let src = "a. b. #minimize { 1,k : a; 1,k : b }.";
+        let models = solve_all(src);
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].cost[0].1, 1);
+    }
+
+    #[test]
+    fn stratified_negation_solves_without_branching() {
+        let src = "p(1..3). q(X) :- p(X), not skip(X). skip(2).";
+        let models = solve_all(src);
+        assert_eq!(models.len(), 1);
+        assert!(models[0].contains_str("q(1)"));
+        assert!(!models[0].contains_str("q(2)"));
+        assert!(models[0].contains_str("q(3)"));
+    }
+
+    #[test]
+    fn display_respects_show_projection() {
+        let src = "p(1). q(2). #show q/1.";
+        let models = solve_all(src);
+        assert_eq!(models[0].to_string(), "q(2)");
+    }
+
+    #[test]
+    fn graph_coloring_sanity() {
+        // 3-coloring of a triangle: 6 models.
+        let src = "node(1..3). color(r). color(g). color(b). \
+                   edge(1,2). edge(2,3). edge(1,3). \
+                   1 { assign(N, C) : color(C) } 1 :- node(N). \
+                   :- edge(X, Y), assign(X, C), assign(Y, C).";
+        let models = solve_all(src);
+        assert_eq!(models.len(), 6);
+    }
+}
+
+#[cfg(test)]
+mod bb_tests {
+    use super::*;
+    use crate::ground::Grounder;
+    use crate::parse;
+
+    #[test]
+    fn branch_and_bound_prunes_the_selection_grid() {
+        // Pick exactly 2 of 16 items minimizing weight: optimum 1+2 = 3.
+        let src = "item(1..16). weight(I, I) :- item(I). \
+                   2 { pick(I) : item(I) } 2. \
+                   #minimize { W,I : pick(I), weight(I, W) }.";
+        let g = Grounder::new().ground(&parse(src).unwrap()).unwrap();
+
+        let mut opt_solver = Solver::new(&g);
+        let best = opt_solver.optimize(&SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(best.cost, vec![(0, 3)]);
+        let optimize_decisions = opt_solver.decision_count;
+
+        let mut enum_solver = Solver::new(&g);
+        let all = enum_solver.enumerate(&SolveOptions::default()).unwrap();
+        assert_eq!(all.models.len(), 120, "C(16,2)");
+        assert!(
+            optimize_decisions < enum_solver.decision_count,
+            "pruning must beat full enumeration: {} vs {}",
+            optimize_decisions,
+            enum_solver.decision_count
+        );
+    }
+
+    #[test]
+    fn pruning_is_sound_with_negative_weights() {
+        let src = "{ a; b; c }. \
+                   #minimize { -5 : a; 3 : b; -1 : c }.";
+        let g = Grounder::new().ground(&parse(src).unwrap()).unwrap();
+        let mut solver = Solver::new(&g);
+        let best = solver.optimize(&SolveOptions::default()).unwrap().unwrap();
+        // Optimal: a and c true, b false => -6.
+        assert_eq!(best.cost, vec![(0, -6)]);
+        assert!(best.contains_str("a") && best.contains_str("c") && !best.contains_str("b"));
+    }
+
+    #[test]
+    fn multi_priority_pruning_is_sound() {
+        let src = "{ a; b }. \
+                   #minimize { 1@2 : a }. \
+                   #minimize { 1@1 : b; 2@1 : a }.";
+        let g = Grounder::new().ground(&parse(src).unwrap()).unwrap();
+        let mut solver = Solver::new(&g);
+        let best = solver.optimize(&SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(best.cost, vec![(2, 0), (1, 0)]);
+        assert!(best.atoms.is_empty());
+    }
+}

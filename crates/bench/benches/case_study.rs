@@ -1,0 +1,55 @@
+//! Experiment: Table II — the case-study analysis, end to end.
+//!
+//! Prints the regenerated table, then benchmarks: one fixed-scenario ASP
+//! analysis, the full 7-row table, the exhaustive 16-scenario enumeration
+//! (ASP and direct), and the complete pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cpsrisk::casestudy;
+use cpsrisk::epa::encode::{analyze_exhaustive, analyze_fixed};
+use cpsrisk::epa::{Scenario, TopologyAnalysis};
+use cpsrisk::pipeline::Assessment;
+
+fn bench_case_study(c: &mut Criterion) {
+    println!(
+        "\n=== Table II (regenerated) ===\n\n{}",
+        casestudy::render_table().expect("analysis runs")
+    );
+
+    let problem = casestudy::water_tank_problem(&[]).expect("problem builds");
+    let mitigated = casestudy::water_tank_problem(&["m1", "m2"]).expect("problem builds");
+
+    let mut group = c.benchmark_group("case_study");
+    group.sample_size(20);
+
+    group.bench_function("asp_fixed_scenario_s2", |b| {
+        b.iter(|| analyze_fixed(black_box(&problem), &Scenario::of(&["f4"])).expect("runs"));
+    });
+
+    group.bench_function("table_ii_all_rows_asp", |b| {
+        b.iter(|| casestudy::table_ii().expect("runs"));
+    });
+
+    group.bench_function("exhaustive_16_scenarios_asp", |b| {
+        b.iter(|| analyze_exhaustive(black_box(&problem), None).expect("runs"));
+    });
+
+    group.bench_function("exhaustive_16_scenarios_direct", |b| {
+        b.iter(|| TopologyAnalysis::new(black_box(&problem)).evaluate_all(usize::MAX));
+    });
+
+    group.bench_function("full_pipeline_unmitigated", |b| {
+        b.iter(|| Assessment::new(black_box(&problem).clone()).run().expect("runs"));
+    });
+
+    group.bench_function("full_pipeline_mitigated", |b| {
+        b.iter(|| Assessment::new(black_box(&mitigated).clone()).run().expect("runs"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_study);
+criterion_main!(benches);

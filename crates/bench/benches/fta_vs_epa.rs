@@ -1,0 +1,56 @@
+//! Experiment Perf-4: FTA baseline vs qualitative EPA (§III-A).
+//!
+//! Same problems both ways: minimal-cut-set extraction from the naive fault
+//! tree vs the EPA topology sweep, plus the coverage comparison itself.
+//! The trees are cheap but blind to propagation; EPA pays the sweep and
+//! finds the interaction hazards — the printed coverage numbers are the
+//! reproduction artifact for the paper's qualitative claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cpsrisk::casestudy;
+use cpsrisk_bench::chain_problem;
+use cpsrisk_epa::TopologyAnalysis;
+use cpsrisk_fta::compare::{compare_methods, tree_from_requirement};
+use cpsrisk_fta::minimal_cut_sets;
+
+fn bench_fta_vs_epa(c: &mut Criterion) {
+    // --- Artifact: the coverage gap on the case study. ---
+    let problem = casestudy::water_tank_problem(&[]).expect("problem builds");
+    let report = compare_methods(&problem, "r1", usize::MAX).expect("r1 exists");
+    println!("\n=== FTA vs EPA on the water tank (R1) ===\n{report}");
+    let report2 = compare_methods(&problem, "r2", usize::MAX).expect("r2 exists");
+    println!("{report2}\n");
+
+    let mut group = c.benchmark_group("fta_vs_epa");
+    group.sample_size(10);
+
+    group.bench_function("fta_cut_sets_case_study", |b| {
+        let tree = tree_from_requirement(&problem, "r1").expect("builds");
+        b.iter(|| minimal_cut_sets(black_box(&tree.root)));
+    });
+
+    group.bench_function("epa_sweep_case_study", |b| {
+        b.iter(|| TopologyAnalysis::new(black_box(&problem)).hazards(usize::MAX));
+    });
+
+    group.bench_function("coverage_comparison_case_study", |b| {
+        b.iter(|| compare_methods(black_box(&problem), "r1", usize::MAX).expect("runs"));
+    });
+
+    for n in [4usize, 6, 8] {
+        let chain = chain_problem(n);
+        group.bench_with_input(BenchmarkId::new("fta_chain", n), &n, |b, _| {
+            let tree = tree_from_requirement(&chain, "r1").expect("builds");
+            b.iter(|| minimal_cut_sets(black_box(&tree.root)));
+        });
+        group.bench_with_input(BenchmarkId::new("epa_chain", n), &n, |b, _| {
+            b.iter(|| TopologyAnalysis::new(black_box(&chain)).hazards(usize::MAX));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fta_vs_epa);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment: Fig. 3 — hierarchical evaluation focuses.
+//!
+//! Measures the three focuses on the case study: the cheap topology sweep,
+//! the detailed focus (CEGAR against the plant-simulation oracle — each
+//! oracle call integrates the continuous plant), and the mitigation-plan
+//! focus. The expected shape: focus 1 ≪ focus 3 < focus 2, which is the
+//! paper's rationale for analysing coarse-first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cpsrisk::casestudy;
+use cpsrisk::hierarchy::{
+    coarse_water_tank_problem, detailed_focus, mitigation_focus, topology_focus, PlantOracle,
+};
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let problem = casestudy::water_tank_problem(&[]).expect("problem builds");
+    let coarse = coarse_water_tank_problem().expect("problem builds");
+    let oracle = PlantOracle::new();
+
+    let mut group = c.benchmark_group("hierarchy");
+    group.sample_size(10);
+
+    group.bench_function("focus1_topology", |b| {
+        b.iter(|| topology_focus(black_box(&problem), usize::MAX));
+    });
+
+    group.bench_function("focus2_detailed_cegar_plant_oracle", |b| {
+        b.iter(|| detailed_focus(black_box(&coarse), usize::MAX, &oracle));
+    });
+
+    group.bench_function("focus3_mitigation_plan", |b| {
+        b.iter(|| mitigation_focus(black_box(&problem), usize::MAX, &[60, 200]).expect("runs"));
+    });
+
+    group.bench_function("fig4_refined_model_topology", |b| {
+        let refined = casestudy::water_tank_problem_refined(&[]).expect("problem builds");
+        b.iter(|| topology_focus(black_box(&refined), 2));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Experiment Perf-2: mitigation-optimization scaling (§IV-D).
+//!
+//! Sweeps the candidate-set size: greedy scales to large catalogs;
+//! branch-and-bound and the ASP `#minimize` back-end are exact but
+//! exponential — the crossover justifies the framework's layered solver
+//! choice (greedy for interactive what-ifs, exact/ASP for the final plan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cpsrisk_bench::synthetic_mitigation_problem;
+use cpsrisk_mitigation::{
+    best_under_budget, branch_and_bound, consolidation_plan, greedy_cover, min_cost_blocking_asp,
+};
+
+fn bench_mitigation_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mitigation_opt");
+    group.sample_size(10);
+
+    for n_mit in [5usize, 10, 15] {
+        let p = synthetic_mitigation_problem(n_mit, 8, 42);
+        if branch_and_bound(&p).is_err() {
+            continue; // seed produced an infeasible instance; skip sweep point
+        }
+        group.bench_with_input(BenchmarkId::new("exact_bb", n_mit), &n_mit, |b, _| {
+            b.iter(|| branch_and_bound(black_box(&p)).expect("feasible"));
+        });
+        group.bench_with_input(BenchmarkId::new("asp_minimize", n_mit), &n_mit, |b, _| {
+            b.iter(|| min_cost_blocking_asp(black_box(&p)).expect("feasible"));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n_mit), &n_mit, |b, _| {
+            b.iter(|| greedy_cover(black_box(&p)).expect("feasible"));
+        });
+    }
+
+    // Greedy-only large sweep.
+    for n_mit in [50usize, 100, 200] {
+        let p = synthetic_mitigation_problem(n_mit, 30, 7);
+        if greedy_cover(&p).is_err() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("greedy_large", n_mit), &n_mit, |b, _| {
+            b.iter(|| greedy_cover(black_box(&p)).expect("feasible"));
+        });
+    }
+
+    // Budget-constrained exact selection and multi-phase planning.
+    let p = synthetic_mitigation_problem(12, 10, 11);
+    group.bench_function("budget_exact_12", |b| {
+        b.iter(|| best_under_budget(black_box(&p), 500));
+    });
+    group.bench_function("consolidation_plan_4_phases", |b| {
+        b.iter(|| consolidation_plan(black_box(&p), &[200, 200, 200, 200]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mitigation_opt);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Experiment: Table I / Fig. 2 — risk-matrix lookups and FAIR derivation.
+//!
+//! Regenerates Table I on stdout before measuring (the reproduction
+//! artifact), then benchmarks the quantization primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cpsrisk_qr::Qual;
+use cpsrisk_risk::{fair::FairInput, iec61508, ora};
+
+fn bench_risk_eval(c: &mut Criterion) {
+    // --- Artifact regeneration (Table I). ---
+    println!("\n=== Table I (regenerated) ===\n{}", ora::render_matrix());
+    println!("=== IEC 61508 matrix (regenerated) ===\n{}", iec61508::render_matrix());
+
+    let mut group = c.benchmark_group("risk_eval");
+    group.bench_function("ora_matrix_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for lm in Qual::ALL {
+                for lef in Qual::ALL {
+                    acc += ora::risk(black_box(lm), black_box(lef)).index();
+                }
+            }
+            acc
+        });
+    });
+
+    group.bench_function("fair_full_derivation", |b| {
+        let input = FairInput {
+            contact_frequency: Qual::VeryHigh,
+            probability_of_action: Qual::High,
+            threat_capability: Qual::High,
+            resistance_strength: Qual::Low,
+            primary_loss: Qual::High,
+            secondary_loss: Qual::Medium,
+        };
+        b.iter(|| black_box(input).derive());
+    });
+
+    group.bench_function("iec61508_matrix_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for l in iec61508::Likelihood::ALL {
+                for con in iec61508::Consequence::ALL {
+                    acc += iec61508::risk_class(black_box(l), black_box(con)) as usize;
+                }
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_risk_eval);
+criterion_main!(benches);

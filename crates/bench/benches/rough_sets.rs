@@ -1,0 +1,37 @@
+//! Experiment Perf-3: rough-set uncertainty handling overhead (§V).
+//!
+//! Approximation cost scales with table size; reduct search with attribute
+//! count (exhaustive over subsets — fine for the ≤ 12-attribute qualitative
+//! models the framework produces).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cpsrisk_bench::random_decision_table;
+
+fn bench_rough_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rough_sets");
+    group.sample_size(20);
+
+    for rows in [100usize, 1000, 5000] {
+        let table = random_decision_table(rows, 6, 42);
+        group.bench_with_input(BenchmarkId::new("approximate_all", rows), &rows, |b, _| {
+            b.iter(|| black_box(&table).approximate_all("hazard"));
+        });
+        group.bench_with_input(BenchmarkId::new("certain_rules", rows), &rows, |b, _| {
+            let attrs: Vec<usize> = (0..6).collect();
+            b.iter(|| black_box(&table).certain_rules(&attrs));
+        });
+    }
+
+    for attrs in [4usize, 8, 10] {
+        let table = random_decision_table(300, attrs, 9);
+        group.bench_with_input(BenchmarkId::new("reducts", attrs), &attrs, |b, _| {
+            b.iter(|| black_box(&table).reducts());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rough_sets);
+criterion_main!(benches);

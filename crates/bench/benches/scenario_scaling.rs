@@ -1,0 +1,48 @@
+//! Experiment Perf-1: scenario-space scaling of the exhaustive analysis.
+//!
+//! Sweeps the control-chain length `n` (scenario space `2^(n+2)`): direct
+//! fixpoint engine vs the ASP back-end, plus grounding alone. The expected
+//! shape: both are exponential in the number of faults (that is what
+//! "exhaustive" costs); the direct engine wins by a constant factor, the
+//! ASP path pays grounding + stable-model checks — the trade for getting
+//! optimization and temporal requirements in the same formalism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cpsrisk_asp::Grounder;
+use cpsrisk_bench::chain_problem;
+use cpsrisk_epa::encode::{analyze_exhaustive, encode, EncodeMode};
+use cpsrisk_epa::TopologyAnalysis;
+
+fn bench_scenario_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_scaling");
+    group.sample_size(10);
+
+    for n in [2usize, 4, 6, 8] {
+        let problem = chain_problem(n);
+        group.bench_with_input(BenchmarkId::new("direct_exhaustive", n), &n, |b, _| {
+            b.iter(|| TopologyAnalysis::new(black_box(&problem)).evaluate_all(usize::MAX));
+        });
+        group.bench_with_input(BenchmarkId::new("asp_exhaustive", n), &n, |b, _| {
+            b.iter(|| analyze_exhaustive(black_box(&problem), None).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("grounding_only", n), &n, |b, _| {
+            let program = encode(&problem, &EncodeMode::Exhaustive { max_faults: None });
+            b.iter(|| Grounder::new().ground(black_box(&program)).expect("grounds"));
+        });
+    }
+
+    // Bounded-cardinality sweep: fixing max 2 simultaneous faults keeps the
+    // space polynomial — the SME-facing default.
+    for n in [4usize, 8, 12, 16] {
+        let problem = chain_problem(n);
+        group.bench_with_input(BenchmarkId::new("direct_pairs_only", n), &n, |b, _| {
+            b.iter(|| TopologyAnalysis::new(black_box(&problem)).evaluate_all(2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_scaling);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! One-shot timing probe for the scenario-scaling experiment: prints the
+//! wall-clock of exhaustive analysis (direct engine vs ASP back-end) per
+//! chain length, without Criterion's statistical machinery. Handy while
+//! developing; the authoritative numbers come from `cargo bench`.
+
+fn main() {
+    use std::time::Instant;
+    for n in [2usize, 4, 6, 8] {
+        let p = cpsrisk_bench::chain_problem(n);
+        let t = Instant::now();
+        let out = cpsrisk_epa::encode::analyze_exhaustive(&p, None).unwrap();
+        println!("asp n={n}: {} outcomes in {:?}", out.len(), t.elapsed());
+        let t = Instant::now();
+        let d = cpsrisk_epa::TopologyAnalysis::new(&p).evaluate_all(usize::MAX);
+        println!("direct n={n}: {} outcomes in {:?}", d.len(), t.elapsed());
+    }
+}

@@ -1,0 +1,155 @@
+#![warn(missing_docs)]
+
+//! Shared workload generators for the benchmark suite.
+//!
+//! Every benchmark's workload lives here so the shapes are reproducible
+//! and unit-testable: parametric control-chain models for the scaling
+//! experiments, synthetic mitigation problems, and decision tables for the
+//! rough-set benches.
+
+use cpsrisk_epa::{CandidateMutation, EpaProblem, MitigationOption, Requirement};
+use cpsrisk_mitigation::{AttackScenario, Coverage, MitigationCandidate, MitigationProblem};
+use cpsrisk_model::{ElementKind, Relation, RelationKind, SystemModel};
+use cpsrisk_risk::DecisionTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A parametric control chain: `ew -> d1 -> … -> dn -> valve`, one
+/// `compromised` mutation per device plus a stuck-valve mutation, and a
+/// requirement on the valve mode. Scenario-space size grows as `2^(n+2)`.
+///
+/// # Panics
+///
+/// Never panics for `n ≥ 1` (identifiers are generated valid).
+#[must_use]
+pub fn chain_problem(n: usize) -> EpaProblem {
+    let mut m = SystemModel::new(format!("chain_{n}"));
+    m.add_element("ew", "Workstation", ElementKind::Node).expect("valid id");
+    let mut prev = "ew".to_owned();
+    for i in 1..=n {
+        let id = format!("d{i}");
+        m.add_element(&id, &format!("Device {i}"), ElementKind::Device).expect("valid id");
+        m.insert_relation(Relation::new(&prev, &id, RelationKind::Flow)).expect("endpoints exist");
+        prev = id;
+    }
+    m.add_element("valve", "Valve", ElementKind::Equipment).expect("valid id");
+    m.insert_relation(Relation::new(&prev, "valve", RelationKind::Flow)).expect("endpoints exist");
+
+    let mut mutations = vec![CandidateMutation::spontaneous(
+        "f_valve",
+        "valve",
+        "stuck_at_closed",
+    )];
+    mutations.push(CandidateMutation::spontaneous("f_ew", "ew", "compromised"));
+    for i in 1..=n {
+        mutations.push(CandidateMutation::spontaneous(
+            &format!("f_d{i}"),
+            &format!("d{i}"),
+            "compromised",
+        ));
+    }
+    let requirements =
+        vec![Requirement::all_of("r1", "valve must not stick", &[("valve", "stuck_at_closed")])];
+    let mitigations = vec![MitigationOption::new("m_ew", "Harden Workstation", &["f_ew"], 100)];
+    EpaProblem::new(m, mutations, requirements, mitigations).expect("chain problem validates")
+}
+
+/// A synthetic mitigation problem with `n_mit` candidates and `n_scen`
+/// scenarios over a small fault vocabulary, deterministic per seed.
+#[must_use]
+pub fn synthetic_mitigation_problem(n_mit: usize, n_scen: usize, seed: u64) -> MitigationProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let faults: Vec<String> = (0..12).map(|i| format!("f{i}")).collect();
+    let candidates = (0..n_mit)
+        .map(|i| {
+            let k = rng.gen_range(1..4);
+            let blocks: Vec<&str> = (0..k)
+                .map(|_| faults[rng.gen_range(0..faults.len())].as_str())
+                .collect();
+            MitigationCandidate::new(
+                &format!("m{i}"),
+                &format!("Mitigation {i}"),
+                10 + rng.gen_range(0..300),
+                &blocks,
+            )
+        })
+        .collect();
+    // Scenarios draw their faults from the blockable set so min-cost
+    // blocking instances are feasible by construction (budget-constrained
+    // runs do not need this, but comparisons across solvers do).
+    let candidates: Vec<MitigationCandidate> = candidates;
+    let blockable: Vec<String> = {
+        let mut v: Vec<String> = candidates
+            .iter()
+            .flat_map(|c| c.blocks.iter().cloned())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let scenarios = (0..n_scen)
+        .map(|i| {
+            let k = rng.gen_range(1..4);
+            let fs: Vec<&str> = (0..k)
+                .map(|_| blockable[rng.gen_range(0..blockable.len())].as_str())
+                .collect();
+            AttackScenario::new(&format!("s{i}"), &fs, 100 + rng.gen_range(0..5000))
+        })
+        .collect();
+    MitigationProblem { candidates, scenarios, coverage: Coverage::Any, periods: 0 }
+}
+
+/// A random decision table with `rows` objects over `attrs` binary
+/// condition attributes; the decision depends on the first two attributes
+/// plus injected noise, producing a non-trivial boundary region.
+#[must_use]
+pub fn random_decision_table(rows: usize, attrs: usize, seed: u64) -> DecisionTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..attrs).map(|i| format!("a{i}")).collect();
+    let mut table = DecisionTable::new(&names);
+    for _ in 0..rows {
+        let values: Vec<String> = (0..attrs)
+            .map(|_| if rng.gen_bool(0.5) { "1".to_owned() } else { "0".to_owned() })
+            .collect();
+        let noisy = rng.gen_bool(0.1);
+        let hazard = (values[0] == "1" && values[1 % attrs] == "1") ^ noisy;
+        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        table.add_row(&refs, if hazard { "hazard" } else { "safe" });
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsrisk_epa::TopologyAnalysis;
+
+    #[test]
+    fn chain_problem_scales_and_propagates() {
+        for n in [1, 3, 6] {
+            let p = chain_problem(n);
+            assert_eq!(p.mutations.len(), n + 2);
+            // Compromising the workstation reaches the valve down the chain.
+            let out = TopologyAnalysis::new(&p)
+                .evaluate(&cpsrisk_epa::Scenario::of(&["f_ew"]));
+            assert!(out.violated.contains("r1"), "chain length {n}");
+        }
+    }
+
+    #[test]
+    fn synthetic_mitigation_problem_is_deterministic() {
+        let a = synthetic_mitigation_problem(10, 5, 7);
+        let b = synthetic_mitigation_problem(10, 5, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.candidates.len(), 10);
+        assert_eq!(a.scenarios.len(), 5);
+    }
+
+    #[test]
+    fn random_decision_table_has_boundary() {
+        let t = random_decision_table(200, 4, 3);
+        assert_eq!(t.len(), 200);
+        let approx = t.approximate_all("hazard");
+        assert!(!approx.boundary().is_empty(), "noise creates roughness");
+    }
+}

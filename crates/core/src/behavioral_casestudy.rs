@@ -1,0 +1,284 @@
+//! Behavioural (Listing-2) model of the water-tank case study.
+//!
+//! The *detailed propagation analysis* focus needs component behaviour:
+//! here each analysed component carries a qualitative state machine, the
+//! machines are wired along the labelled signal/quantity flows, and the
+//! safety requirements become LTLf formulas over component states — all
+//! compiled to ASP and solved by the embedded engine.
+//!
+//! The discrete control design mirrors the continuous plant: the
+//! controller opens the drain proactively at `normal` level, giving the
+//! three-step reaction chain (controller → valve → tank) enough headroom
+//! that the tank never climbs the three bands to `overflow` nominally —
+//! while a stuck-closed drain rises monotonically into `overflow`.
+
+use cpsrisk_model::aspect::MergedModel;
+use cpsrisk_model::{ElementKind, Relation, RelationKind, SystemModel};
+use cpsrisk_qr::statemachine::Guard;
+use cpsrisk_qr::QualMachine;
+use cpsrisk_temporal::parse_ltl;
+use std::collections::BTreeMap;
+
+use cpsrisk_epa::behavioral::{analyze_behavior, BehavioralOutcome};
+
+use crate::error::CoreError;
+
+/// Build the behavioural model: tank, valves, controller and HMI machines
+/// wired along the case-study flows.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none occur for the fixed model).
+pub fn water_tank_behavioral() -> Result<MergedModel, CoreError> {
+    let mut system = SystemModel::new("water_tank_behavioral");
+    for (id, name, kind) in [
+        ("input_valve", "Input Valve", ElementKind::Equipment),
+        ("output_valve", "Output Valve", ElementKind::Equipment),
+        ("tank", "Water Tank", ElementKind::Equipment),
+        ("tank_ctrl", "Tank Controller", ElementKind::Device),
+        ("hmi", "HMI", ElementKind::ApplicationComponent),
+    ] {
+        system.add_element(id, name, kind)?;
+    }
+    system.insert_relation(
+        Relation::new("input_valve", "tank", RelationKind::Flow).with_label("water_in"),
+    )?;
+    system.insert_relation(
+        Relation::new("output_valve", "tank", RelationKind::Flow).with_label("water_out"),
+    )?;
+    system
+        .insert_relation(Relation::new("tank", "tank_ctrl", RelationKind::Flow).with_label("level"))?;
+    system.insert_relation(
+        Relation::new("tank_ctrl", "output_valve", RelationKind::Flow).with_label("cmd_out"),
+    )?;
+    system
+        .insert_relation(Relation::new("tank_ctrl", "hmi", RelationKind::Flow).with_label("alert"))?;
+
+    let mut behaviors = BTreeMap::new();
+
+    // Input valve: the production feed is nominally open; stuck-at-open is
+    // behaviourally identical (that is exactly why F1 alone is harmless).
+    let mut input_valve = QualMachine::new("input_valve", "open").map_err(qr_err)?;
+    input_valve.add_state("open", [("water_in", "on")]).map_err(qr_err)?;
+    input_valve
+        .add_fault_state("stuck_at_open", [("water_in", "on")])
+        .map_err(qr_err)?;
+    behaviors.insert("input_valve".to_owned(), input_valve);
+
+    // Output valve: follows the controller command; stuck-at-closed blocks
+    // the drain.
+    let mut output_valve = QualMachine::new("output_valve", "closed").map_err(qr_err)?;
+    output_valve.add_state("closed", [("water_out", "off")]).map_err(qr_err)?;
+    output_valve.add_state("open", [("water_out", "on")]).map_err(qr_err)?;
+    output_valve
+        .add_fault_state("stuck_at_closed", [("water_out", "off")])
+        .map_err(qr_err)?;
+    output_valve
+        .add_transition("closed", vec![Guard::new("cmd_out", "open")], "open")
+        .map_err(qr_err)?;
+    output_valve
+        .add_transition("open", vec![Guard::new("cmd_out", "close")], "closed")
+        .map_err(qr_err)?;
+    behaviors.insert("output_valve".to_owned(), output_valve);
+
+    // Tank: five qualitative bands; rises while fed and not drained,
+    // falls while drained (outflow rate exceeds inflow, as in the plant).
+    let mut tank = QualMachine::new("tank", "low").map_err(qr_err)?;
+    for band in ["low", "normal", "high", "very_high", "overflow"] {
+        tank.add_state(band, [("level", band)]).map_err(qr_err)?;
+    }
+    for (from, to) in [
+        ("low", "normal"),
+        ("normal", "high"),
+        ("high", "very_high"),
+        ("very_high", "overflow"),
+    ] {
+        tank.add_transition(
+            from,
+            vec![Guard::new("water_in", "on"), Guard::new("water_out", "off")],
+            to,
+        )
+        .map_err(qr_err)?;
+    }
+    for (from, to) in [
+        ("overflow", "very_high"),
+        ("very_high", "high"),
+        ("high", "normal"),
+        ("normal", "low"),
+    ] {
+        tank.add_transition(from, vec![Guard::new("water_out", "on")], to)
+            .map_err(qr_err)?;
+    }
+    behaviors.insert("tank".to_owned(), tank);
+
+    // Controller: proactive drain at `normal`, close at `low`, alarm at
+    // `overflow`.
+    let mut ctrl = QualMachine::new("tank_ctrl", "idle").map_err(qr_err)?;
+    ctrl.add_state("idle", [("cmd_out", "close"), ("alert", "off")]).map_err(qr_err)?;
+    ctrl.add_state("drain", [("cmd_out", "open"), ("alert", "off")]).map_err(qr_err)?;
+    ctrl.add_state("alarm", [("cmd_out", "open"), ("alert", "on")]).map_err(qr_err)?;
+    ctrl.add_transition("idle", vec![Guard::new("level", "overflow")], "alarm")
+        .map_err(qr_err)?;
+    ctrl.add_transition("idle", vec![Guard::new("level", "normal")], "drain").map_err(qr_err)?;
+    ctrl.add_transition("idle", vec![Guard::new("level", "high")], "drain").map_err(qr_err)?;
+    ctrl.add_transition("idle", vec![Guard::new("level", "very_high")], "drain")
+        .map_err(qr_err)?;
+    ctrl.add_transition("drain", vec![Guard::new("level", "overflow")], "alarm")
+        .map_err(qr_err)?;
+    ctrl.add_transition("drain", vec![Guard::new("level", "low")], "idle").map_err(qr_err)?;
+    ctrl.add_transition("alarm", vec![Guard::new("level", "high")], "drain").map_err(qr_err)?;
+    behaviors.insert("tank_ctrl".to_owned(), ctrl);
+
+    // HMI: shows the alert unless silenced.
+    let mut hmi = QualMachine::new("hmi", "quiet").map_err(qr_err)?;
+    hmi.add_state("quiet", [("shown", "off")]).map_err(qr_err)?;
+    hmi.add_state("alerting", [("shown", "on")]).map_err(qr_err)?;
+    hmi.add_fault_state("no_signal", [("shown", "off")]).map_err(qr_err)?;
+    hmi.add_transition("quiet", vec![Guard::new("alert", "on")], "alerting").map_err(qr_err)?;
+    hmi.add_transition("alerting", vec![Guard::new("alert", "off")], "quiet").map_err(qr_err)?;
+    behaviors.insert("hmi".to_owned(), hmi);
+
+    Ok(MergedModel { system, behaviors })
+}
+
+fn qr_err(e: cpsrisk_qr::QrError) -> CoreError {
+    CoreError::Config(format!("behavioural machine construction: {e}"))
+}
+
+/// Evaluate R1/R2 behaviourally for the physical fault subset
+/// (`f1`/`f2`/`f3` ids as in Table II). Returns
+/// `(violated_r1, violated_r2, outcome)`.
+///
+/// # Errors
+///
+/// Propagates behavioural-analysis errors.
+pub fn behavioral_verdicts(
+    faults: &[&str],
+    horizon: usize,
+) -> Result<(bool, bool, BehavioralOutcome), CoreError> {
+    let merged = water_tank_behavioral()?;
+    let mut forced: BTreeMap<String, String> = BTreeMap::new();
+    for f in faults {
+        match *f {
+            "f1" => forced.insert("input_valve".into(), "stuck_at_open".into()),
+            "f2" => forced.insert("output_valve".into(), "stuck_at_closed".into()),
+            "f3" => forced.insert("hmi".into(), "no_signal".into()),
+            other => {
+                return Err(CoreError::Config(format!(
+                    "behavioural model covers f1/f2/f3 only, got `{other}`"
+                )))
+            }
+        };
+    }
+    let r1 = ("r1".to_owned(), parse_ltl("G !state(tank, overflow)").map_err(CoreError::from)?);
+    let r2 = (
+        "r2".to_owned(),
+        parse_ltl("G( state(tank, overflow) -> F state(hmi, alerting) )")
+            .map_err(CoreError::from)?,
+    );
+    let outcome = analyze_behavior(&merged, &forced, &[r1, r2], horizon)?;
+    Ok((
+        outcome.violated.contains("r1"),
+        outcome.violated.contains("r2"),
+        outcome,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HORIZON: usize = 16;
+
+    #[test]
+    fn nominal_control_loop_never_overflows() {
+        let (r1, r2, outcome) = behavioral_verdicts(&[], HORIZON).unwrap();
+        assert!(!r1 && !r2, "violated: {:?}", outcome.violated);
+        // The loop oscillates below overflow.
+        assert!(outcome
+            .trajectory
+            .iter()
+            .all(|s| s.get("tank").map(String::as_str) != Some("overflow")));
+        // The drain actually opens at some point (the loop is live).
+        assert!(outcome
+            .trajectory
+            .iter()
+            .any(|s| s.get("output_valve").map(String::as_str) == Some("open")));
+    }
+
+    #[test]
+    fn behavioral_table_ii_physical_rows() {
+        // S3–S7 of Table II (the F4 row needs the IT layer, covered by the
+        // topology engine; behaviour covers the physical subset).
+        let expected: [(&[&str], bool, bool); 5] = [
+            (&["f1"], false, false),          // S3
+            (&["f2"], true, false),           // S4
+            (&["f2", "f3"], true, true),      // S5
+            (&["f1", "f3"], false, false),    // S6
+            (&["f1", "f2", "f3"], true, true),// S7
+        ];
+        for (faults, r1, r2) in expected {
+            let (got_r1, got_r2, outcome) = behavioral_verdicts(faults, HORIZON).unwrap();
+            assert_eq!(
+                (got_r1, got_r2),
+                (r1, r2),
+                "faults {faults:?}; trajectory: {:?}",
+                outcome.trajectory
+            );
+        }
+    }
+
+    #[test]
+    fn behavioral_agrees_with_the_continuous_plant() {
+        use cpsrisk_plant::{Fault, FaultSet, SimConfig, WaterTank};
+        let tank = WaterTank::new(SimConfig::default());
+        // All 8 combinations of the physical faults.
+        for bits in 0u8..8 {
+            let mut ids: Vec<&str> = Vec::new();
+            let mut set = FaultSet::empty();
+            if bits & 1 != 0 {
+                ids.push("f1");
+                set.insert(Fault::F1);
+            }
+            if bits & 2 != 0 {
+                ids.push("f2");
+                set.insert(Fault::F2);
+            }
+            if bits & 4 != 0 {
+                ids.push("f3");
+                set.insert(Fault::F3);
+            }
+            let (r1, r2, _) = behavioral_verdicts(&ids, HORIZON).unwrap();
+            let (sim_r1, sim_r2) = tank.ground_truth(&set);
+            assert_eq!((r1, r2), (sim_r1, sim_r2), "faults {ids:?}");
+        }
+    }
+
+    #[test]
+    fn stuck_drain_rises_monotonically_to_overflow() {
+        let (_, _, outcome) = behavioral_verdicts(&["f2"], HORIZON).unwrap();
+        let bands: Vec<&str> = outcome
+            .trajectory
+            .iter()
+            .filter_map(|s| s.get("tank").map(String::as_str))
+            .collect();
+        let overflow_at = bands.iter().position(|b| *b == "overflow").expect("overflows");
+        assert_eq!(
+            &bands[..=overflow_at],
+            &["low", "normal", "high", "very_high", "overflow"]
+        );
+        // And the alarm reaches the HMI afterwards.
+        assert!(outcome
+            .trajectory
+            .iter()
+            .any(|s| s.get("hmi").map(String::as_str) == Some("alerting")));
+    }
+
+    #[test]
+    fn unknown_fault_ids_are_rejected() {
+        assert!(matches!(
+            behavioral_verdicts(&["f9"], 8),
+            Err(CoreError::Config(_))
+        ));
+    }
+}

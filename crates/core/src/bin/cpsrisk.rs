@@ -1,0 +1,186 @@
+//! `cpsrisk` — the command-line front-end of the assessment framework.
+//!
+//! ```text
+//! cpsrisk table2                 regenerate Table II of the paper
+//! cpsrisk assess [--mitigated]   run the full 7-step pipeline (JSON with --json)
+//! cpsrisk paths                  shortest attack paths on the case study
+//! cpsrisk matrices               print the O-RA and IEC 61508 matrices
+//! cpsrisk solve <file.lp>        run the embedded ASP solver on a program
+//! cpsrisk simulate f1,f2         simulate the plant under a fault set
+//! ```
+
+use std::process::ExitCode;
+
+use cpsrisk::casestudy;
+use cpsrisk::epa::shortest_attack_paths;
+use cpsrisk::model::Exposure;
+use cpsrisk::pipeline::Assessment;
+use cpsrisk::plant::{Fault, FaultSet, SimConfig, WaterTank};
+
+fn main() -> ExitCode {
+    // Exit quietly when the consumer closes the pipe (`cpsrisk … | head`),
+    // instead of panicking on the failed stdout write.
+    std::panic::set_hook(Box::new(|info| {
+        let text = info.to_string();
+        if text.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        eprintln!("{text}");
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let result = match command {
+        "table2" => table2(),
+        "assess" => assess(&args[1..]),
+        "paths" => paths(),
+        "matrices" => matrices(),
+        "solve" => solve(&args[1..]),
+        "simulate" => simulate(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            print_help();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "cpsrisk — preliminary risk and mitigation assessment in cyber-physical systems\n\n\
+         USAGE: cpsrisk <command> [options]\n\n\
+         COMMANDS:\n\
+         \x20 table2                 regenerate Table II of the paper (ASP back-end)\n\
+         \x20 assess [--mitigated] [--json]\n\
+         \x20                        run the 7-step pipeline on the water-tank case study\n\
+         \x20 paths                  shortest attack paths from exposed assets\n\
+         \x20 matrices               print the O-RA (Table I) and IEC 61508 matrices\n\
+         \x20 solve <file.lp>        solve an ASP program with the embedded engine\n\
+         \x20 simulate <f1,f2,...>   simulate the continuous plant under a fault set\n\
+         \x20 help                   this message"
+    );
+}
+
+fn table2() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", casestudy::render_table()?);
+    Ok(())
+}
+
+fn assess(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mitigated = args.iter().any(|a| a == "--mitigated");
+    let json = args.iter().any(|a| a == "--json");
+    let active: &[&str] = if mitigated { &["m1", "m2"] } else { &[] };
+    let problem = casestudy::water_tank_problem(active)?;
+    let report = Assessment::new(problem)
+        .with_phase_budgets(&[60, 200])
+        .run()?;
+    if json {
+        println!("{}", cpsrisk::report::to_json(&report.hazards)?);
+        return Ok(());
+    }
+    println!(
+        "{} scenarios, {} hazards, {} minimal",
+        report.outcomes.len(),
+        report.hazards.len(),
+        report.minimal_hazards.len()
+    );
+    for h in &report.hazards {
+        println!(
+            "  {} -> {:?}  risk {}",
+            h.outcome.scenario,
+            h.outcome.violated.iter().collect::<Vec<_>>(),
+            h.risk
+        );
+    }
+    if let Some((sel, cost)) = &report.recommendation {
+        println!("recommendation: {sel} (cost {cost}, residual {})", report.residual_loss);
+    }
+    for phase in &report.phases {
+        println!("{phase}");
+    }
+    Ok(())
+}
+
+fn paths() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = casestudy::water_tank_problem(&[])?;
+    for p in shortest_attack_paths(&problem, Exposure::Corporate) {
+        println!("{p}");
+    }
+    for req in ["r1", "r2"] {
+        match cpsrisk::epa::cheapest_attack(&problem, req)? {
+            Some((s, c)) => println!("cheapest attack on {req}: {s} (cost {c})"),
+            None => println!("cheapest attack on {req}: none"),
+        }
+    }
+    Ok(())
+}
+
+fn matrices() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", cpsrisk::risk::ora::render_matrix());
+    println!("{}", cpsrisk::risk::iec61508::render_matrix());
+    Ok(())
+}
+
+fn solve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("usage: cpsrisk solve <file.lp>")?;
+    let src = std::fs::read_to_string(path)?;
+    let program = cpsrisk::asp::parse(&src)?;
+    let ground = cpsrisk::asp::Grounder::new().ground(&program)?;
+    let mut solver = cpsrisk::asp::Solver::new(&ground);
+    if ground.minimize.is_empty() {
+        let result = solver.enumerate(&cpsrisk::asp::SolveOptions::default())?;
+        for (i, m) in result.models.iter().enumerate() {
+            println!("Answer {}: {m}", i + 1);
+        }
+        println!("{} model(s)", result.models.len());
+    } else {
+        match solver.optimize(&cpsrisk::asp::SolveOptions::default())? {
+            Some(m) => println!("Optimum: {m}\ncost: {:?}", m.cost),
+            None => println!("UNSATISFIABLE"),
+        }
+    }
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = args.first().map(String::as_str).unwrap_or("");
+    let mut faults = FaultSet::empty();
+    for part in spec.split(',').filter(|s| !s.is_empty()) {
+        match part.trim() {
+            "f1" => faults.insert(Fault::F1),
+            "f2" => faults.insert(Fault::F2),
+            "f3" => faults.insert(Fault::F3),
+            "f4" => faults.insert(Fault::F4),
+            other => return Err(format!("unknown fault `{other}` (use f1..f4)").into()),
+        }
+    }
+    let tank = WaterTank::new(SimConfig::default());
+    let run = tank.run(&faults);
+    println!("faults: {faults}");
+    println!("R1 (no overflow):        {}", verdict(run.violates_r1()));
+    println!("R2 (alert on overflow):  {}", verdict(run.violates_r2()));
+    if let Some(t) = run.overflow_time() {
+        println!("overflow at t = {t:.1} s");
+    }
+    let q = cpsrisk::plant::qualitative::abstract_levels(&run)?;
+    println!("qualitative level path: {}", q.level_path().join(" -> "));
+    Ok(())
+}
+
+fn verdict(violated: bool) -> &'static str {
+    if violated {
+        "VIOLATED"
+    } else {
+        "satisfied"
+    }
+}

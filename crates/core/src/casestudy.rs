@@ -1,0 +1,406 @@
+//! The paper's case study: the water-tank system (§VII, Fig. 4).
+//!
+//! A main water tank with input/output valve actuators and their
+//! controllers, a water-level sensor, a tank controller, an HMI for the
+//! operator, and an Engineering Workstation from which actuators can be
+//! manually reconfigured. Safety requirements:
+//!
+//! * **R1** — the water tank must not overflow,
+//! * **R2** — an alert must be sent to the operator in case of overflow.
+//!
+//! Fault modes: **F1** input valve stuck-at-open, **F2** output valve
+//! stuck-at-closed, **F3** HMI no-signal, **F4** infected engineering
+//! workstation (can cause F1, F2 and F3 through propagation).
+//! Mitigations: **M1** user training, **M2** endpoint security (both
+//! applied to the workstation-compromise fault, Listing-1 semantics).
+
+use cpsrisk_epa::{CandidateMutation, EpaProblem, MitigationOption, MutationSource, Requirement};
+use cpsrisk_model::refinement::{apply_refinement, engineering_workstation_detail};
+use cpsrisk_model::{
+    ElementKind, Exposure, FlowKind, Refinement, Relation, RelationKind, SecurityAnnotation,
+    SystemModel, TypeLibrary,
+};
+use cpsrisk_qr::Qual;
+
+use crate::error::CoreError;
+use crate::report::{render_table_ii, TableIiRow};
+
+/// Build the ArchiMate-style structural model of the water-tank system.
+///
+/// # Errors
+///
+/// Propagates modeling errors (none occur for the fixed topology; the
+/// signature keeps the construction honest).
+pub fn water_tank_model() -> Result<SystemModel, CoreError> {
+    let lib = TypeLibrary::standard();
+    let mut m = SystemModel::new("water_tank_system");
+
+    // Physical process.
+    m.insert_element(lib.instantiate("storage_tank", "tank", "Water Tank")?)?;
+    m.insert_element(lib.instantiate("valve_actuator", "input_valve", "Input Valve")?)?;
+    m.insert_element(lib.instantiate("valve_actuator", "output_valve", "Output Valve")?)?;
+
+    // Control layer.
+    m.insert_element(lib.instantiate("level_sensor", "level_sensor", "Water Level Sensor")?)?;
+    m.insert_element(lib.instantiate("plc_controller", "tank_ctrl", "Water Tank Controller")?)?;
+    m.insert_element(
+        lib.instantiate("plc_controller", "input_valve_ctrl", "Input Valve Controller")?,
+    )?;
+    m.insert_element(
+        lib.instantiate("plc_controller", "output_valve_ctrl", "Output Valve Controller")?,
+    )?;
+
+    // Supervision and IT.
+    m.insert_element(lib.instantiate("hmi", "hmi", "Human-Machine Interface")?)?;
+    m.add_element("operator", "Operator", ElementKind::BusinessActor)?;
+    m.insert_element(
+        lib.instantiate("engineering_workstation", "ew", "Engineering Workstation")?,
+    )?;
+    m.insert_element(lib.instantiate("office_network", "office_net", "Office Network")?)?;
+    m.insert_element(lib.instantiate("control_network", "control_net", "Control Network")?)?;
+
+    // Physical quantity flows (conservation couplings).
+    m.insert_relation(
+        Relation::new("input_valve", "tank", RelationKind::Flow)
+            .with_flow(FlowKind::Quantity)
+            .with_label("water_in"),
+    )?;
+    m.insert_relation(
+        Relation::new("tank", "output_valve", RelationKind::Flow)
+            .with_flow(FlowKind::Quantity)
+            .with_label("water_out"),
+    )?;
+    m.insert_relation(Relation::new("level_sensor", "tank", RelationKind::Association))?;
+
+    // Signal flows.
+    m.insert_relation(
+        Relation::new("level_sensor", "tank_ctrl", RelationKind::Flow).with_label("level"),
+    )?;
+    m.insert_relation(
+        Relation::new("tank_ctrl", "input_valve_ctrl", RelationKind::Flow).with_label("cmd_in"),
+    )?;
+    m.insert_relation(
+        Relation::new("tank_ctrl", "output_valve_ctrl", RelationKind::Flow).with_label("cmd_out"),
+    )?;
+    m.insert_relation(
+        Relation::new("input_valve_ctrl", "input_valve", RelationKind::Flow).with_label("actuate"),
+    )?;
+    m.insert_relation(
+        Relation::new("output_valve_ctrl", "output_valve", RelationKind::Flow)
+            .with_label("actuate"),
+    )?;
+    m.insert_relation(Relation::new("tank_ctrl", "hmi", RelationKind::Flow).with_label("alert"))?;
+    m.insert_relation(Relation::new("hmi", "operator", RelationKind::Serving))?;
+
+    // IT reachability: office -> workstation -> control network -> OT.
+    m.insert_relation(Relation::new("office_net", "ew", RelationKind::Flow))?;
+    m.insert_relation(Relation::new("ew", "control_net", RelationKind::Flow))?;
+    for target in ["tank_ctrl", "input_valve_ctrl", "output_valve_ctrl", "hmi"] {
+        m.insert_relation(Relation::new("control_net", target, RelationKind::Flow))?;
+    }
+
+    // Security metadata.
+    m.annotate(
+        "ew",
+        SecurityAnnotation::new(Exposure::Corporate, Qual::High)
+            .with_technique("t0865")
+            .with_technique("t0866"),
+    )?;
+    m.annotate("hmi", SecurityAnnotation::new(Exposure::ControlNetwork, Qual::High))?;
+    m.annotate("tank", SecurityAnnotation::new(Exposure::PhysicalOnly, Qual::VeryHigh))?;
+    m.validate()?;
+    Ok(m)
+}
+
+/// The candidate mutations F1–F4, with the paper's ids.
+#[must_use]
+pub fn water_tank_mutations() -> Vec<CandidateMutation> {
+    vec![
+        CandidateMutation {
+            id: "f1".into(),
+            component: "input_valve".into(),
+            mode: "stuck_at_open".into(),
+            source: MutationSource::Spontaneous,
+            severity: Qual::Medium,
+            likelihood: Qual::Low,
+        },
+        CandidateMutation {
+            id: "f2".into(),
+            component: "output_valve".into(),
+            mode: "stuck_at_closed".into(),
+            source: MutationSource::Spontaneous,
+            severity: Qual::High,
+            likelihood: Qual::Low,
+        },
+        CandidateMutation {
+            id: "f3".into(),
+            component: "hmi".into(),
+            mode: "no_signal".into(),
+            source: MutationSource::Spontaneous,
+            severity: Qual::Medium,
+            likelihood: Qual::Low,
+        },
+        CandidateMutation {
+            id: "f4".into(),
+            component: "ew".into(),
+            mode: "compromised".into(),
+            source: MutationSource::Technique("t0865".into()),
+            severity: Qual::VeryHigh,
+            likelihood: Qual::Medium,
+        },
+    ]
+}
+
+/// The safety requirements R1 and R2 at the topology/mode level.
+#[must_use]
+pub fn water_tank_requirements() -> Vec<Requirement> {
+    vec![
+        Requirement::all_of(
+            "r1",
+            "the water tank should not overflow",
+            &[("output_valve", "stuck_at_closed")],
+        ),
+        Requirement::all_of(
+            "r2",
+            "an alert should reach the operator in case of overflow",
+            &[("output_valve", "stuck_at_closed"), ("hmi", "no_signal")],
+        ),
+    ]
+}
+
+/// The mitigations M1 (user training) and M2 (endpoint security).
+#[must_use]
+pub fn water_tank_mitigations() -> Vec<MitigationOption> {
+    vec![
+        MitigationOption {
+            id: "m1".into(),
+            name: "User Training".into(),
+            blocks: vec!["f4".into()],
+            cost: 40,
+            maintenance_cost: 10,
+        },
+        MitigationOption {
+            id: "m2".into(),
+            name: "Endpoint Security".into(),
+            blocks: vec!["f4".into()],
+            cost: 120,
+            maintenance_cost: 30,
+        },
+    ]
+}
+
+/// Assemble the complete EPA problem, with the listed mitigations active.
+///
+/// # Errors
+///
+/// Propagates model/problem construction errors.
+pub fn water_tank_problem(active_mitigations: &[&str]) -> Result<EpaProblem, CoreError> {
+    let mut problem = EpaProblem::new(
+        water_tank_model()?,
+        water_tank_mutations(),
+        water_tank_requirements(),
+        water_tank_mitigations(),
+    )?;
+    for m in active_mitigations {
+        problem.activate_mitigation(m)?;
+    }
+    Ok(problem)
+}
+
+/// The problem over the **refined** model of Fig. 4: the Engineering
+/// Workstation decomposed into e-mail client → browser → computer (the
+/// spam-mail infection chain), with the compromise fault moved onto the
+/// workstation computer.
+///
+/// # Errors
+///
+/// Propagates refinement errors.
+pub fn water_tank_problem_refined(active_mitigations: &[&str]) -> Result<EpaProblem, CoreError> {
+    let base = water_tank_model()?;
+    let refinement = Refinement::new("ew", engineering_workstation_detail())
+        .with_port("office_net", "email_client")
+        .with_default_port("ew_computer");
+    let refined_model = apply_refinement(&base, &refinement)?;
+
+    let mut mutations = water_tank_mutations();
+    for m in &mut mutations {
+        if m.component == "ew" {
+            m.component = "ew_computer".into();
+        }
+    }
+    // The refined chain adds the intermediate infection steps.
+    mutations.push(CandidateMutation {
+        id: "f_email".into(),
+        component: "email_client".into(),
+        mode: "compromised".into(),
+        source: MutationSource::Technique("t0865".into()),
+        severity: Qual::Medium,
+        likelihood: Qual::High,
+    });
+    mutations.push(CandidateMutation {
+        id: "f_browser".into(),
+        component: "browser".into(),
+        mode: "compromised".into(),
+        source: MutationSource::Technique("t0853".into()),
+        severity: Qual::High,
+        likelihood: Qual::Medium,
+    });
+
+    let mut mitigations = water_tank_mitigations();
+    // In the refined model the mitigations attach to the chain steps:
+    // user training blocks the e-mail entry, endpoint security the malware.
+    mitigations[0].blocks = vec!["f_email".into()];
+    mitigations[1].blocks = vec!["f_browser".into(), "f4".into()];
+
+    let mut problem = EpaProblem::new(
+        refined_model,
+        mutations,
+        water_tank_requirements(),
+        mitigations,
+    )?;
+    for m in active_mitigations {
+        problem.activate_mitigation(m)?;
+    }
+    Ok(problem)
+}
+
+/// The seven scenarios of Table II: `(label, active mitigations, faults)`.
+#[must_use]
+pub fn table_ii_scenarios() -> Vec<(&'static str, Vec<&'static str>, Vec<&'static str>)> {
+    vec![
+        ("S1", vec!["m1", "m2"], vec![]),
+        ("S2", vec![], vec!["f4"]),
+        ("S3", vec!["m1", "m2"], vec!["f1"]),
+        ("S4", vec!["m1", "m2"], vec!["f2"]),
+        ("S5", vec!["m1", "m2"], vec!["f2", "f3"]),
+        ("S6", vec!["m1", "m2"], vec!["f1", "f3"]),
+        ("S7", vec!["m1", "m2"], vec!["f1", "f2", "f3"]),
+    ]
+}
+
+/// Reproduce Table II: evaluate every scenario through the ASP back-end.
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn table_ii() -> Result<Vec<TableIiRow>, CoreError> {
+    use cpsrisk_epa::encode::analyze_fixed;
+    use cpsrisk_epa::Scenario;
+    let mut rows = Vec::new();
+    for (label, mits, faults) in table_ii_scenarios() {
+        let problem = water_tank_problem(&mits)?;
+        let outcome = analyze_fixed(&problem, &Scenario::of(&faults))?;
+        rows.push(TableIiRow {
+            label: label.to_owned(),
+            faults: faults.iter().map(|s| (*s).to_owned()).collect(),
+            mitigations: mits.iter().map(|s| (*s).to_owned()).collect(),
+            violated_r1: outcome.violated.contains("r1"),
+            violated_r2: outcome.violated.contains("r2"),
+        });
+    }
+    Ok(rows)
+}
+
+/// Render Table II as the paper prints it.
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn render_table() -> Result<String, CoreError> {
+    Ok(render_table_ii(&table_ii()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsrisk_epa::{Scenario, TopologyAnalysis};
+
+    #[test]
+    fn model_builds_and_validates() {
+        let m = water_tank_model().unwrap();
+        assert_eq!(m.element_count(), 12);
+        assert!(m.relation_count() >= 16);
+        // The manual-reconfiguration path of §VII exists.
+        let reach = m.propagation_reach("ew");
+        for hop in ["control_net", "output_valve_ctrl", "output_valve", "hmi"] {
+            assert!(reach.contains(&hop.to_string()), "missing {hop}");
+        }
+    }
+
+    #[test]
+    fn table_ii_matches_the_paper() {
+        let rows = table_ii().unwrap();
+        let verdicts: Vec<(bool, bool)> =
+            rows.iter().map(|r| (r.violated_r1, r.violated_r2)).collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                (false, false), // S1
+                (true, true),   // S2
+                (false, false), // S3
+                (true, false),  // S4
+                (true, true),   // S5
+                (false, false), // S6
+                (true, true),   // S7
+            ]
+        );
+    }
+
+    #[test]
+    fn table_ii_matches_the_plant_ground_truth() {
+        use cpsrisk_plant::{Fault, FaultSet, SimConfig, WaterTank};
+        let tank = WaterTank::new(SimConfig::default());
+        let map = |ids: &[&str]| -> FaultSet {
+            ids.iter()
+                .map(|id| match *id {
+                    "f1" => Fault::F1,
+                    "f2" => Fault::F2,
+                    "f3" => Fault::F3,
+                    _ => Fault::F4,
+                })
+                .collect()
+        };
+        for row in table_ii().unwrap() {
+            let ids: Vec<&str> = row.faults.iter().map(String::as_str).collect();
+            let (r1, r2) = tank.ground_truth(&map(&ids));
+            assert_eq!((row.violated_r1, row.violated_r2), (r1, r2), "row {}", row.label);
+        }
+    }
+
+    #[test]
+    fn s2_with_mitigations_active_is_blocked() {
+        let problem = water_tank_problem(&["m1", "m2"]).unwrap();
+        let out = TopologyAnalysis::new(&problem).evaluate(&Scenario::of(&["f4"]));
+        assert!(!out.is_hazard(), "activating M1+M2 excludes the S2 scenario");
+    }
+
+    #[test]
+    fn one_mitigation_is_not_enough_for_f4() {
+        let problem = water_tank_problem(&["m1"]).unwrap();
+        let out = TopologyAnalysis::new(&problem).evaluate(&Scenario::of(&["f4"]));
+        assert!(out.is_hazard(), "Listing-1 semantics: all mitigations required");
+    }
+
+    #[test]
+    fn refined_problem_exposes_the_infection_chain() {
+        let problem = water_tank_problem_refined(&[]).unwrap();
+        assert!(problem.model.element("email_client").is_some());
+        assert!(problem.model.element("ew").is_none());
+        // The chain fault still breaks both requirements.
+        let out = TopologyAnalysis::new(&problem).evaluate(&Scenario::of(&["f_email"]));
+        assert!(out.violated.contains("r1"));
+        assert!(out.violated.contains("r2"));
+        // User training alone now blocks the e-mail entry point.
+        let trained = water_tank_problem_refined(&["m1"]).unwrap();
+        let out2 = TopologyAnalysis::new(&trained).evaluate(&Scenario::of(&["f_email"]));
+        assert!(!out2.is_hazard());
+    }
+
+    #[test]
+    fn rendered_table_contains_all_rows() {
+        let text = render_table().unwrap();
+        for s in ["S1", "S2", "S7", "Violated"] {
+            assert!(text.contains(s), "missing {s} in\n{text}");
+        }
+    }
+}

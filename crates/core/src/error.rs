@@ -1,0 +1,65 @@
+//! Unified error type of the facade crate.
+
+use std::fmt;
+
+/// Errors surfaced by the assessment pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Modeling error.
+    Model(cpsrisk_model::ModelError),
+    /// EPA error.
+    Epa(cpsrisk_epa::EpaError),
+    /// Mitigation optimization error.
+    Mitigation(cpsrisk_mitigation::MitigationError),
+    /// ASP engine error.
+    Asp(cpsrisk_asp::AspError),
+    /// Temporal logic error.
+    Temporal(cpsrisk_temporal::TemporalError),
+    /// Invalid pipeline configuration.
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "model: {e}"),
+            CoreError::Epa(e) => write!(f, "epa: {e}"),
+            CoreError::Mitigation(e) => write!(f, "mitigation: {e}"),
+            CoreError::Asp(e) => write!(f, "asp: {e}"),
+            CoreError::Temporal(e) => write!(f, "temporal: {e}"),
+            CoreError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<cpsrisk_model::ModelError> for CoreError {
+    fn from(e: cpsrisk_model::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<cpsrisk_epa::EpaError> for CoreError {
+    fn from(e: cpsrisk_epa::EpaError) -> Self {
+        CoreError::Epa(e)
+    }
+}
+
+impl From<cpsrisk_mitigation::MitigationError> for CoreError {
+    fn from(e: cpsrisk_mitigation::MitigationError) -> Self {
+        CoreError::Mitigation(e)
+    }
+}
+
+impl From<cpsrisk_asp::AspError> for CoreError {
+    fn from(e: cpsrisk_asp::AspError) -> Self {
+        CoreError::Asp(e)
+    }
+}
+
+impl From<cpsrisk_temporal::TemporalError> for CoreError {
+    fn from(e: cpsrisk_temporal::TemporalError) -> Self {
+        CoreError::Temporal(e)
+    }
+}

@@ -1,0 +1,245 @@
+//! Hierarchical evaluation (Fig. 3): the three evaluation focuses.
+//!
+//! 1. **Topology-based propagation** — main assets, high-level aspects; a
+//!    preliminary sweep when detailed component information is unavailable;
+//! 2. **Detailed propagation analysis** — the abstract hazard shortlist is
+//!    refined against a concrete oracle (CEGAR, §II-A): here the plant
+//!    simulator plays the role of ground truth for the case study, and an
+//!    over-abstracted requirement shows spurious findings being eliminated;
+//! 3. **Mitigation plan** — cost-aware planning over the confirmed hazards.
+
+use cpsrisk_epa::cegar::{refine_hazards, CegarResult, ConcreteOracle};
+use cpsrisk_epa::{EpaProblem, Requirement, ScenarioOutcome, TopologyAnalysis};
+use cpsrisk_mitigation::Phase;
+use cpsrisk_plant::{Fault, FaultSet, SimConfig, WaterTank};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::pipeline::Assessment;
+
+/// Which focus of the Fig. 3 matrix is being exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvaluationFocus {
+    /// Focus 1: topology-based propagation.
+    TopologyPropagation,
+    /// Focus 2: detailed propagation analysis (with refinement).
+    DetailedPropagation,
+    /// Focus 3: mitigation planning.
+    MitigationPlan,
+}
+
+impl fmt::Display for EvaluationFocus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EvaluationFocus::TopologyPropagation => "topology-based propagation",
+            EvaluationFocus::DetailedPropagation => "detailed propagation analysis",
+            EvaluationFocus::MitigationPlan => "mitigation plan",
+        })
+    }
+}
+
+/// Output of one focus run.
+#[derive(Debug, Clone)]
+pub struct FocusReport {
+    /// The focus executed.
+    pub focus: EvaluationFocus,
+    /// Hazards surviving this focus.
+    pub hazards: Vec<ScenarioOutcome>,
+    /// CEGAR details (detailed focus only).
+    pub refinement: Option<CegarResult>,
+    /// Consolidation phases (mitigation focus only).
+    pub phases: Vec<Phase>,
+}
+
+/// Focus 1: the preliminary topology sweep.
+#[must_use]
+pub fn topology_focus(problem: &EpaProblem, max_faults: usize) -> FocusReport {
+    FocusReport {
+        focus: EvaluationFocus::TopologyPropagation,
+        hazards: TopologyAnalysis::new(problem).hazards(max_faults),
+        refinement: None,
+        phases: Vec::new(),
+    }
+}
+
+/// Focus 2: refine the abstract shortlist against a concrete oracle.
+#[must_use]
+pub fn detailed_focus(
+    problem: &EpaProblem,
+    max_faults: usize,
+    oracle: &dyn ConcreteOracle,
+) -> FocusReport {
+    let abstract_hazards = TopologyAnalysis::new(problem).hazards(max_faults);
+    let refinement = refine_hazards(&abstract_hazards, oracle);
+    FocusReport {
+        focus: EvaluationFocus::DetailedPropagation,
+        hazards: refinement.confirmed.clone(),
+        refinement: Some(refinement),
+        phases: Vec::new(),
+    }
+}
+
+/// Focus 3: plan mitigations for the (confirmed) hazards.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn mitigation_focus(
+    problem: &EpaProblem,
+    max_faults: usize,
+    phase_budgets: &[u64],
+) -> Result<FocusReport, CoreError> {
+    let report = Assessment::new(problem.clone())
+        .with_max_faults(max_faults)
+        .with_phase_budgets(phase_budgets)
+        .run()?;
+    Ok(FocusReport {
+        focus: EvaluationFocus::MitigationPlan,
+        hazards: report.minimal_hazards,
+        refinement: None,
+        phases: report.phases,
+    })
+}
+
+/// The plant-simulation oracle for the water-tank case study: a violation
+/// is confirmed iff the continuous simulation of the scenario's fault set
+/// actually violates the requirement.
+#[derive(Debug, Clone)]
+pub struct PlantOracle {
+    tank: WaterTank,
+}
+
+impl PlantOracle {
+    /// An oracle over the default plant configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        PlantOracle { tank: WaterTank::new(SimConfig::default()) }
+    }
+}
+
+impl Default for PlantOracle {
+    fn default() -> Self {
+        PlantOracle::new()
+    }
+}
+
+impl ConcreteOracle for PlantOracle {
+    fn confirms(&self, outcome: &ScenarioOutcome, requirement: &str) -> bool {
+        let mut faults = FaultSet::empty();
+        for id in outcome.scenario.iter() {
+            match id {
+                "f1" => faults.insert(Fault::F1),
+                "f2" => faults.insert(Fault::F2),
+                "f3" => faults.insert(Fault::F3),
+                "f4" | "f_email" | "f_browser" => faults.insert(Fault::F4),
+                _ => {}
+            }
+        }
+        let (r1, r2) = self.tank.ground_truth(&faults);
+        match requirement {
+            "r1" => r1,
+            "r2" => r2,
+            _ => true, // unknown requirements are out of the oracle's scope
+        }
+    }
+}
+
+/// An intentionally **over-abstracted** variant of the case-study problem:
+/// R1 is coarsened to "any valve in any stuck mode causes overflow". The
+/// topology sweep then flags `{f1}` (input valve stuck open) as violating
+/// R1 — a spurious hazard the plant oracle refutes, demonstrating the
+/// CEGAR loop of §II-A.
+///
+/// # Errors
+///
+/// Propagates problem-construction errors.
+pub fn coarse_water_tank_problem() -> Result<EpaProblem, CoreError> {
+    let mut problem = crate::casestudy::water_tank_problem(&[])?;
+    problem.requirements = vec![
+        Requirement::all_of(
+            "r1",
+            "coarse: no stuck valve at all",
+            &[("output_valve", "stuck_at_closed")],
+        )
+        .or_all_of(&[("input_valve", "stuck_at_open")]),
+        crate::casestudy::water_tank_requirements()[1].clone(),
+    ];
+    Ok(problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_focus_lists_abstract_hazards() {
+        let problem = crate::casestudy::water_tank_problem(&[]).unwrap();
+        let report = topology_focus(&problem, usize::MAX);
+        assert_eq!(report.focus, EvaluationFocus::TopologyPropagation);
+        assert_eq!(report.hazards.len(), 12);
+    }
+
+    #[test]
+    fn detailed_focus_confirms_the_precise_model() {
+        // On the precise model the topology analysis is exact: the plant
+        // oracle confirms every finding.
+        let problem = crate::casestudy::water_tank_problem(&[]).unwrap();
+        let report = detailed_focus(&problem, usize::MAX, &PlantOracle::new());
+        let refinement = report.refinement.unwrap();
+        assert!(refinement.spurious.is_empty());
+        assert_eq!(refinement.confirmed.len(), 12);
+    }
+
+    #[test]
+    fn cegar_eliminates_spurious_hazards_of_the_coarse_model() {
+        let coarse = coarse_water_tank_problem().unwrap();
+        let abstract_hazards = topology_focus(&coarse, usize::MAX).hazards;
+        // The coarse model flags strictly more scenarios (e.g. {f1}).
+        assert!(abstract_hazards
+            .iter()
+            .any(|h| h.scenario.contains("f1") && h.scenario.len() == 1));
+
+        let report = detailed_focus(&coarse, usize::MAX, &PlantOracle::new());
+        let refinement = report.refinement.unwrap();
+        assert!(!refinement.spurious.is_empty(), "f1-only findings are refuted");
+        // No-hazard-overlooked: every confirmed hazard matches the plant.
+        for h in &report.hazards {
+            for r in &h.violated {
+                assert!(PlantOracle::new().confirms(h, r));
+            }
+        }
+        // And the confirmed set equals the precise model's hazard set.
+        let precise = crate::casestudy::water_tank_problem(&[]).unwrap();
+        let precise_hazards = topology_focus(&precise, usize::MAX).hazards;
+        assert_eq!(report.hazards.len(), precise_hazards.len());
+    }
+
+    #[test]
+    fn refinement_candidates_point_at_the_input_valve() {
+        let coarse = coarse_water_tank_problem().unwrap();
+        let report = detailed_focus(&coarse, usize::MAX, &PlantOracle::new());
+        let candidates = report.refinement.unwrap().refinement_candidates();
+        assert!(
+            candidates.iter().any(|(c, _)| c == "input_valve"),
+            "the over-abstracted component should be a refinement candidate: {candidates:?}"
+        );
+    }
+
+    #[test]
+    fn mitigation_focus_plans_phases() {
+        let problem = crate::casestudy::water_tank_problem(&[]).unwrap();
+        let report = mitigation_focus(&problem, usize::MAX, &[60, 200]).unwrap();
+        assert_eq!(report.focus, EvaluationFocus::MitigationPlan);
+        assert_eq!(report.phases.len(), 2);
+        assert!(!report.hazards.is_empty());
+    }
+
+    #[test]
+    fn focus_display_names() {
+        assert_eq!(
+            EvaluationFocus::TopologyPropagation.to_string(),
+            "topology-based propagation"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Report rendering: the paper's tables as text, plus JSON export.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableIiRow {
+    /// Scenario label (S1…S7).
+    pub label: String,
+    /// Active fault ids.
+    pub faults: Vec<String>,
+    /// Active mitigation ids.
+    pub mitigations: Vec<String>,
+    /// R1 verdict.
+    pub violated_r1: bool,
+    /// R2 verdict.
+    pub violated_r2: bool,
+}
+
+/// Render rows in the layout of Table II (asterisks for active fault
+/// modes, `Active` for mitigations, `Violated`/`-` for requirements).
+#[must_use]
+pub fn render_table_ii(rows: &[TableIiRow]) -> String {
+    let mut out = String::new();
+    out.push_str("     | Fault Modes       | Mitigations     | Requirements\n");
+    out.push_str("     | F1   F2   F3   F4 | M1      M2      | R1        R2\n");
+    out.push_str("-----+-------------------+-----------------+---------------------\n");
+    for row in rows {
+        let fault = |id: &str| if row.faults.iter().any(|f| f == id) { "*" } else { " " };
+        let mit = |id: &str| {
+            if row.mitigations.iter().any(|m| m == id) {
+                "Active"
+            } else {
+                "      "
+            }
+        };
+        let req = |v: bool| if v { "Violated" } else { "-       " };
+        out.push_str(&format!(
+            "{:<4} | {:<4} {:<4} {:<4} {:<2} | {:<7} {:<7} | {:<9} {}\n",
+            row.label,
+            fault("f1"),
+            fault("f2"),
+            fault("f3"),
+            fault("f4"),
+            mit("m1"),
+            mit("m2"),
+            req(row.violated_r1),
+            req(row.violated_r2),
+        ));
+    }
+    out
+}
+
+/// Serialize any report payload as pretty JSON (the notebook-replacement
+/// output channel).
+///
+/// # Errors
+///
+/// Returns the underlying serde error on non-serializable data (does not
+/// occur for the report types in this crate).
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<TableIiRow> {
+        vec![
+            TableIiRow {
+                label: "S1".into(),
+                faults: vec![],
+                mitigations: vec!["m1".into(), "m2".into()],
+                violated_r1: false,
+                violated_r2: false,
+            },
+            TableIiRow {
+                label: "S2".into(),
+                faults: vec!["f4".into()],
+                mitigations: vec![],
+                violated_r1: true,
+                violated_r2: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn table_layout_marks_faults_and_mitigations() {
+        let text = render_table_ii(&rows());
+        let s1 = text.lines().find(|l| l.starts_with("S1")).unwrap();
+        assert!(s1.contains("Active"));
+        assert!(!s1.contains('*'));
+        let s2 = text.lines().find(|l| l.starts_with("S2")).unwrap();
+        assert!(s2.contains('*'));
+        assert!(s2.contains("Violated"));
+    }
+
+    #[test]
+    fn json_export_roundtrips() {
+        let text = to_json(&rows()).unwrap();
+        let back: Vec<TableIiRow> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, rows());
+    }
+}

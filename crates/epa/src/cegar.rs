@@ -1,0 +1,169 @@
+//! CEGAR-style refinement of abstract hazard lists (Fig. 1, step 5).
+//!
+//! The topology-level analysis over-approximates: *"the shortlist of
+//! potentially successful attacks may contain spurious solutions due to
+//! over-abstraction (but the method guarantees that no actual hazardous
+//! attack is overlooked)"*. The refinement loop consults a **concrete
+//! oracle** (behavioural analysis, plant simulation, or an expert review
+//! callback) for every abstract hazard and partitions the shortlist into
+//! confirmed and spurious findings. It only ever *removes* findings, so
+//! the no-overlooked-hazard guarantee is preserved by construction.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::scenario::ScenarioOutcome;
+
+/// A concrete oracle answering whether an abstract finding is real.
+pub trait ConcreteOracle {
+    /// Does `requirement` really get violated in the scenario of `outcome`?
+    fn confirms(&self, outcome: &ScenarioOutcome, requirement: &str) -> bool;
+}
+
+impl<F> ConcreteOracle for F
+where
+    F: Fn(&ScenarioOutcome, &str) -> bool,
+{
+    fn confirms(&self, outcome: &ScenarioOutcome, requirement: &str) -> bool {
+        self(outcome, requirement)
+    }
+}
+
+/// Result of a refinement pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CegarResult {
+    /// Hazards whose every remaining violation was confirmed.
+    pub confirmed: Vec<ScenarioOutcome>,
+    /// `(outcome, spurious requirement ids)` — findings the oracle refuted.
+    pub spurious: Vec<(ScenarioOutcome, BTreeSet<String>)>,
+    /// Oracle consultations performed.
+    pub oracle_calls: usize,
+}
+
+impl CegarResult {
+    /// Components that appear most often in spurious findings — the model
+    /// parts whose refinement would pay off first, ranked descending.
+    #[must_use]
+    pub fn refinement_candidates(&self) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for (outcome, _) in &self.spurious {
+            for (c, _) in &outcome.effective_modes {
+                *counts.entry(c.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Refine an abstract hazard shortlist against a concrete oracle.
+///
+/// Each violated requirement of each hazard is checked; refuted
+/// requirements are moved to the spurious list. A hazard none of whose
+/// violations survive is dropped from `confirmed` entirely (it was fully
+/// spurious).
+pub fn refine_hazards(
+    hazards: &[ScenarioOutcome],
+    oracle: &dyn ConcreteOracle,
+) -> CegarResult {
+    let mut confirmed = Vec::new();
+    let mut spurious = Vec::new();
+    let mut oracle_calls = 0usize;
+    for h in hazards {
+        let mut kept = BTreeSet::new();
+        let mut refuted = BTreeSet::new();
+        for r in &h.violated {
+            oracle_calls += 1;
+            if oracle.confirms(h, r) {
+                kept.insert(r.clone());
+            } else {
+                refuted.insert(r.clone());
+            }
+        }
+        if !refuted.is_empty() {
+            spurious.push((h.clone(), refuted));
+        }
+        if !kept.is_empty() {
+            let mut c = h.clone();
+            c.violated = kept;
+            confirmed.push(c);
+        }
+    }
+    CegarResult { confirmed, spurious, oracle_calls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn outcome(faults: &[&str], violated: &[&str]) -> ScenarioOutcome {
+        ScenarioOutcome {
+            scenario: Scenario::of(faults),
+            effective_modes: faults
+                .iter()
+                .map(|f| ((*f).to_owned(), "broken".to_owned()))
+                .collect(),
+            violated: violated.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    #[test]
+    fn all_confirmed_when_oracle_agrees() {
+        let hazards = vec![outcome(&["a"], &["r1"]), outcome(&["b"], &["r1", "r2"])];
+        let result = refine_hazards(&hazards, &|_: &ScenarioOutcome, _: &str| true);
+        assert_eq!(result.confirmed.len(), 2);
+        assert!(result.spurious.is_empty());
+        assert_eq!(result.oracle_calls, 3);
+    }
+
+    #[test]
+    fn fully_spurious_hazards_are_dropped() {
+        let hazards = vec![outcome(&["a"], &["r1"])];
+        let result = refine_hazards(&hazards, &|_: &ScenarioOutcome, _: &str| false);
+        assert!(result.confirmed.is_empty());
+        assert_eq!(result.spurious.len(), 1);
+    }
+
+    #[test]
+    fn partial_refutation_keeps_the_confirmed_part() {
+        let hazards = vec![outcome(&["a"], &["r1", "r2"])];
+        let oracle = |_: &ScenarioOutcome, r: &str| r == "r1";
+        let result = refine_hazards(&hazards, &oracle);
+        assert_eq!(result.confirmed.len(), 1);
+        assert_eq!(
+            result.confirmed[0].violated.iter().cloned().collect::<Vec<_>>(),
+            vec!["r1"]
+        );
+        assert_eq!(result.spurious.len(), 1);
+        assert!(result.spurious[0].1.contains("r2"));
+    }
+
+    #[test]
+    fn no_hazard_is_ever_added() {
+        // Soundness direction of CEGAR: output ⊆ input.
+        let hazards = vec![outcome(&["a"], &["r1"]), outcome(&["b"], &["r2"])];
+        let result = refine_hazards(&hazards, &|o: &ScenarioOutcome, _: &str| {
+            o.scenario.contains("a")
+        });
+        for c in &result.confirmed {
+            assert!(hazards.iter().any(|h| h.scenario == c.scenario));
+        }
+        assert_eq!(result.confirmed.len(), 1);
+    }
+
+    #[test]
+    fn refinement_candidates_rank_spurious_components() {
+        let hazards = vec![
+            outcome(&["noisy", "x"], &["r1"]),
+            outcome(&["noisy"], &["r2"]),
+            outcome(&["solid"], &["r1"]),
+        ];
+        // Everything involving `noisy` is spurious.
+        let oracle = |o: &ScenarioOutcome, _: &str| !o.scenario.contains("noisy");
+        let result = refine_hazards(&hazards, &oracle);
+        let candidates = result.refinement_candidates();
+        assert_eq!(candidates[0].0, "noisy");
+        assert_eq!(candidates[0].1, 2);
+    }
+}

@@ -1,0 +1,404 @@
+//! ASP encoding of the EPA problem — the hidden formal method.
+//!
+//! The encoding follows the paper's listings verbatim where they are given:
+//! fault activation is Listing 1 (`potential_fault/2` guarded by
+//! `active_mitigation/2` under negation-as-failure), and the propagation
+//! rules implement the same worst-case semantics as the direct
+//! [`TopologyAnalysis`](crate::topology::TopologyAnalysis) engine — the two
+//! are cross-asserted in tests.
+
+use cpsrisk_asp::builder::pos;
+use cpsrisk_asp::{Grounder, Program, ProgramBuilder, SolveOptions, Solver, Term};
+use cpsrisk_model::export::export_facts;
+use std::collections::BTreeSet;
+
+use crate::error::EpaError;
+use crate::problem::EpaProblem;
+use crate::scenario::{Scenario, ScenarioOutcome};
+
+/// How the scenario dimension is encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeMode {
+    /// One fixed scenario: the listed faults are activated (if potential).
+    Fixed(Scenario),
+    /// Exhaustive scenario enumeration via a choice rule, optionally
+    /// bounded in the number of simultaneous faults.
+    Exhaustive {
+        /// Maximum number of simultaneously active faults, if bounded.
+        max_faults: Option<u32>,
+    },
+}
+
+/// Build the full ASP program for a problem under an encoding mode.
+#[must_use]
+pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
+    let mut b = ProgramBuilder::new();
+    export_facts(&problem.model, &mut b);
+
+    // Fault universe.
+    for m in &problem.mutations {
+        b.fact("fault", [Term::sym(&m.id)]);
+        b.fact("fault_component", [Term::sym(&m.id), Term::sym(&m.component)]);
+        b.fact("fault_mode_name", [Term::sym(&m.id), Term::sym(&m.mode)]);
+        b.fact(
+            "fault_severity",
+            [Term::sym(&m.id), Term::Int(m.severity.index() as i64 + 1)],
+        );
+        b.fact(
+            "fault_likelihood",
+            [Term::sym(&m.id), Term::Int(m.likelihood.index() as i64 + 1)],
+        );
+    }
+
+    // Mitigation universe + activation facts (per carrying component, as in
+    // Listing 1's `active_mitigation(C, M)`).
+    for mit in &problem.mitigations {
+        for f in &mit.blocks {
+            b.fact("mitigation", [Term::sym(f), Term::sym(&mit.id)]);
+        }
+        b.fact("mitigation_cost", [Term::sym(&mit.id), Term::Int(mit.cost as i64)]);
+        if problem.active_mitigations.contains(&mit.id) {
+            for f in &mit.blocks {
+                if let Some(m) = problem.mutation(f) {
+                    b.fact(
+                        "active_mitigation",
+                        [Term::sym(&m.component), Term::sym(&mit.id)],
+                    );
+                }
+            }
+        }
+    }
+
+    // Listing 1 (fault activation guard) plus the no-mitigation case.
+    b.append(
+        cpsrisk_asp::parse(
+            "potential_fault(C, F) :- component(C), fault(F), fault_component(F, C), \
+                 mitigation(F, M), not active_mitigation(C, M). \
+             potential_fault(C, F) :- component(C), fault(F), fault_component(F, C), \
+                 not has_mitigation(F). \
+             has_mitigation(F) :- mitigation(F, M). \
+             fault_mode(C, M) :- fault_component(F, C), fault_mode_name(F, M). \
+             physical(C) :- element(C, K, physical).",
+        )
+        .expect("static encoding parses"),
+    );
+
+    // Scenario dimension.
+    match mode {
+        EncodeMode::Fixed(scenario) => {
+            for f in scenario.iter() {
+                b.fact("scenario_fault", [Term::sym(f)]);
+            }
+            b.append(
+                cpsrisk_asp::parse(
+                    "active_fault(C, F) :- scenario_fault(F), potential_fault(C, F).",
+                )
+                .expect("static encoding parses"),
+            );
+        }
+        EncodeMode::Exhaustive { max_faults } => {
+            let mut choice = b.choice(None, *max_faults);
+            choice = choice.element_if(
+                "active_fault",
+                ["C", "F"],
+                vec![pos("potential_fault", ["C", "F"])],
+            );
+            choice.done();
+        }
+    }
+
+    // Worst-case propagation (same semantics as the direct engine).
+    b.append(
+        cpsrisk_asp::parse(
+            "affected(C, M) :- active_fault(C, F), fault_mode_name(F, M). \
+             affected(C2, compromised) :- affected(C1, compromised), propagates(C1, C2), \
+                 component(C2), not physical(C2). \
+             affected(C2, M2) :- affected(C1, compromised), propagates(C1, C2), \
+                 fault_mode(C2, M2).",
+        )
+        .expect("static encoding parses"),
+    );
+
+    // Requirement violation rules (DNF groups).
+    for r in &problem.requirements {
+        for group in &r.violated_when {
+            let mut rule = b.rule("violated", [Term::sym(&r.id)]);
+            for (c, m) in group {
+                rule = rule.pos("affected", [Term::sym(c), Term::sym(m)]);
+            }
+            rule.done();
+        }
+        b.fact("requirement", [Term::sym(&r.id)]);
+    }
+
+    b.show("active_fault", 2)
+        .show("affected", 2)
+        .show("violated", 1);
+    b.finish()
+}
+
+/// Solve a fixed scenario through the ASP back-end.
+///
+/// # Errors
+///
+/// [`EpaError::Asp`] on grounding/solving failure, [`EpaError::NoModel`]
+/// if the (deterministic) program is inconsistent.
+pub fn analyze_fixed(problem: &EpaProblem, scenario: &Scenario) -> Result<ScenarioOutcome, EpaError> {
+    let program = encode(problem, &EncodeMode::Fixed(scenario.clone()));
+    let ground = Grounder::new().ground(&program)?;
+    let mut solver = Solver::new(&ground);
+    let result = solver.enumerate(&SolveOptions { max_models: 1, ..SolveOptions::default() })?;
+    let model = result.models.first().ok_or(EpaError::NoModel)?;
+    Ok(outcome_from_model(scenario.clone(), model))
+}
+
+/// Enumerate all scenarios (up to `max_faults`) through the ASP back-end;
+/// one [`ScenarioOutcome`] per answer set.
+///
+/// # Errors
+///
+/// [`EpaError::Asp`] on grounding/solving failure.
+pub fn analyze_exhaustive(
+    problem: &EpaProblem,
+    max_faults: Option<u32>,
+) -> Result<Vec<ScenarioOutcome>, EpaError> {
+    let program = encode(problem, &EncodeMode::Exhaustive { max_faults });
+    let ground = Grounder::new().ground(&program)?;
+    let mut solver = Solver::new(&ground);
+    let result = solver.enumerate(&SolveOptions::default())?;
+    Ok(result
+        .models
+        .iter()
+        .map(|m| {
+            let scenario: Scenario = m
+                .atoms_of("active_fault")
+                .iter()
+                .filter_map(|a| a.args.get(1).map(ToString::to_string))
+                .collect();
+            outcome_from_model(scenario, m)
+        })
+        .collect())
+}
+
+/// §IV-D "most efficient attack": the cheapest fault combination (by
+/// attacker cost) that violates the given requirement, found with the ASP
+/// `#minimize` machinery. The attack cost of a fault derives from its
+/// likelihood band — easier faults (higher likelihood) are cheaper for the
+/// attacker: `cost = (5 − likelihood_index) × 10`.
+///
+/// Returns `None` if no potential fault combination violates the
+/// requirement at all.
+///
+/// # Errors
+///
+/// [`EpaError::Asp`] on grounding/solving failure.
+pub fn cheapest_attack(
+    problem: &EpaProblem,
+    requirement_id: &str,
+) -> Result<Option<(Scenario, i64)>, EpaError> {
+    use cpsrisk_asp::ast::{Atom, Literal, Rule, Term as AstTerm};
+
+    let mut program = encode(problem, &EncodeMode::Exhaustive { max_faults: None });
+    // Attacker cost facts.
+    {
+        let mut b = ProgramBuilder::new();
+        for m in &problem.mutations {
+            let cost = (5 - m.likelihood.index() as i64) * 10;
+            b.fact("attack_cost", [Term::sym(&m.id), Term::Int(cost)]);
+        }
+        program.extend(b.finish());
+    }
+    // The attack must succeed…
+    program.push_rule(Rule::constraint(vec![Literal::Neg(Atom::new(
+        "violated",
+        vec![AstTerm::sym(requirement_id)],
+    ))]));
+    // …at minimum total attacker cost.
+    program.statements.push(cpsrisk_asp::Statement::Minimize {
+        priority: 0,
+        elements: vec![cpsrisk_asp::ast::MinimizeElement {
+            weight: AstTerm::var("W"),
+            terms: vec![AstTerm::var("F")],
+            condition: vec![
+                pos("active_fault", ["C", "F"]),
+                pos("attack_cost", ["F", "W"]),
+            ],
+        }],
+    });
+
+    let ground = Grounder::new().ground(&program)?;
+    let mut solver = Solver::new(&ground);
+    let best = solver.optimize(&SolveOptions::default())?;
+    Ok(best.map(|model| {
+        let scenario: Scenario = model
+            .atoms_of("active_fault")
+            .iter()
+            .filter_map(|a| a.args.get(1).map(ToString::to_string))
+            .collect();
+        let cost = model.cost.first().map_or(0, |(_, c)| *c);
+        (scenario, cost)
+    }))
+}
+
+fn outcome_from_model(scenario: Scenario, model: &cpsrisk_asp::Model) -> ScenarioOutcome {
+    let effective_modes: BTreeSet<(String, String)> = model
+        .atoms_of("affected")
+        .iter()
+        .filter_map(|a| match (a.args.first(), a.args.get(1)) {
+            (Some(c), Some(m)) => Some((c.to_string(), m.to_string())),
+            _ => None,
+        })
+        .collect();
+    let violated: BTreeSet<String> = model
+        .atoms_of("violated")
+        .iter()
+        .filter_map(|a| a.args.first().map(ToString::to_string))
+        .collect();
+    ScenarioOutcome { scenario, effective_modes, violated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::CandidateMutation;
+    use crate::problem::{MitigationOption, Requirement};
+    use crate::scenario::ScenarioSpace;
+    use crate::topology::TopologyAnalysis;
+    use cpsrisk_model::{ElementKind, SystemModel};
+    use cpsrisk_model::{FlowKind, Relation, RelationKind};
+
+    fn problem() -> EpaProblem {
+        let mut m = SystemModel::new("mini");
+        m.add_element("ew", "Workstation", ElementKind::Node).unwrap();
+        m.add_element("net", "Control Net", ElementKind::CommunicationNetwork).unwrap();
+        m.add_element("ctrl", "Valve Controller", ElementKind::Device).unwrap();
+        m.add_element("hmi", "HMI", ElementKind::ApplicationComponent).unwrap();
+        m.add_element("valve", "Output Valve", ElementKind::Equipment).unwrap();
+        m.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
+        m.add_relation("ew", "net", RelationKind::Flow).unwrap();
+        m.add_relation("net", "ctrl", RelationKind::Flow).unwrap();
+        m.add_relation("net", "hmi", RelationKind::Flow).unwrap();
+        m.add_relation("ctrl", "valve", RelationKind::Flow).unwrap();
+        m.insert_relation(
+            Relation::new("valve", "tank", RelationKind::Flow).with_flow(FlowKind::Quantity),
+        )
+        .unwrap();
+        let mutations = vec![
+            CandidateMutation::spontaneous("f_valve_closed", "valve", "stuck_at_closed"),
+            CandidateMutation::spontaneous("f_hmi_mute", "hmi", "no_signal"),
+            CandidateMutation::spontaneous("f_ew_comp", "ew", "compromised"),
+        ];
+        let requirements = vec![
+            Requirement::all_of("r1", "no overflow", &[("valve", "stuck_at_closed")]),
+            Requirement::all_of(
+                "r2",
+                "alert on overflow",
+                &[("valve", "stuck_at_closed"), ("hmi", "no_signal")],
+            ),
+        ];
+        let mitigations = vec![
+            MitigationOption::new("m1", "User Training", &["f_ew_comp"], 40),
+            MitigationOption::new("m2", "Endpoint Security", &["f_ew_comp"], 120),
+        ];
+        EpaProblem::new(m, mutations, requirements, mitigations).unwrap()
+    }
+
+    #[test]
+    fn fixed_scenario_matches_direct_engine() {
+        let p = problem();
+        let direct = TopologyAnalysis::new(&p);
+        for scenario in ScenarioSpace::new(&p, usize::MAX).iter() {
+            let expected = direct.evaluate(&scenario);
+            let got = analyze_fixed(&p, &scenario).unwrap();
+            assert_eq!(got.violated, expected.violated, "scenario {scenario}");
+            assert_eq!(
+                got.effective_modes, expected.effective_modes,
+                "scenario {scenario}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_scenario_respects_mitigations() {
+        let mut p = problem();
+        p.activate_mitigation("m1").unwrap();
+        p.activate_mitigation("m2").unwrap();
+        let out = analyze_fixed(&p, &Scenario::of(&["f_ew_comp"])).unwrap();
+        assert!(!out.is_hazard());
+        let direct = TopologyAnalysis::new(&p).evaluate(&Scenario::of(&["f_ew_comp"]));
+        assert_eq!(out.violated, direct.violated);
+    }
+
+    #[test]
+    fn exhaustive_enumeration_covers_the_space() {
+        let p = problem();
+        let outcomes = analyze_exhaustive(&p, None).unwrap();
+        assert_eq!(outcomes.len(), 8, "2^3 answer sets");
+        let hazards = outcomes.iter().filter(|o| o.is_hazard()).count();
+        assert_eq!(hazards, 6, "matches the direct engine");
+        // Every ASP outcome agrees with the direct engine.
+        let direct = TopologyAnalysis::new(&p);
+        for o in &outcomes {
+            let expected = direct.evaluate(&o.scenario);
+            assert_eq!(o.violated, expected.violated, "scenario {}", o.scenario);
+        }
+    }
+
+    #[test]
+    fn bounded_exhaustive_limits_cardinality() {
+        let p = problem();
+        let outcomes = analyze_exhaustive(&p, Some(1)).unwrap();
+        assert_eq!(outcomes.len(), 4, "nominal + 3 singletons");
+        assert!(outcomes.iter().all(|o| o.scenario.len() <= 1));
+    }
+
+    #[test]
+    fn cheapest_attack_picks_the_lowest_cost_violation() {
+        let mut p = problem();
+        // Make the workstation compromise cheap (high likelihood) and the
+        // direct valve fault expensive (low likelihood).
+        for m in &mut p.mutations {
+            m.likelihood = match m.id.as_str() {
+                "f_ew_comp" => cpsrisk_qr::Qual::VeryHigh, // cost 10
+                _ => cpsrisk_qr::Qual::VeryLow,            // cost 50
+            };
+        }
+        let (scenario, cost) = cheapest_attack(&p, "r1").unwrap().expect("r1 attackable");
+        assert_eq!(scenario, Scenario::of(&["f_ew_comp"]));
+        assert_eq!(cost, 10);
+        // r2 likewise: the single compromise beats {valve, hmi} = 100.
+        let (s2, c2) = cheapest_attack(&p, "r2").unwrap().expect("r2 attackable");
+        assert_eq!(s2, Scenario::of(&["f_ew_comp"]));
+        assert_eq!(c2, 10);
+    }
+
+    #[test]
+    fn cheapest_attack_none_when_requirement_unreachable() {
+        let mut p = problem();
+        p.requirements.push(crate::problem::Requirement::all_of(
+            "r_unreachable",
+            "impossible",
+            &[("tank", "melted")],
+        ));
+        assert_eq!(cheapest_attack(&p, "r_unreachable").unwrap(), None);
+    }
+
+    #[test]
+    fn cheapest_attack_respects_mitigations() {
+        let mut p = problem();
+        p.activate_mitigation("m1").unwrap();
+        p.activate_mitigation("m2").unwrap();
+        // The workstation route is blocked; the attack must use the direct
+        // valve fault.
+        let (scenario, _) = cheapest_attack(&p, "r1").unwrap().expect("still attackable");
+        assert_eq!(scenario, Scenario::of(&["f_valve_closed"]));
+    }
+
+    #[test]
+    fn unknown_scenario_faults_are_ignored() {
+        let p = problem();
+        let out = analyze_fixed(&p, &Scenario::of(&["no_such_fault"])).unwrap();
+        assert!(!out.is_hazard());
+        assert!(out.effective_modes.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Qualitative error-propagation analysis (EPA) — the core of the paper.
+//!
+//! EPA assesses the **system-level impact of local attacks and faults**: a
+//! fault mode activated on one component propagates along the interaction
+//! structure of the merged model and may end up violating system safety
+//! requirements. This crate implements the full pipeline of Fig. 1,
+//! steps 2–5:
+//!
+//! * [`mutation`] — *candidate system mutations* (step 2): inject fault
+//!   modes from component-type libraries and attack-induced fault modes
+//!   from the threat catalogs into a system model,
+//! * [`problem`] — the merged analysis problem: model + mutations +
+//!   requirements + mitigation options,
+//! * [`topology`] — topology-based propagation: a direct fixpoint engine
+//!   over the propagation edges (the *preliminary* evaluation focus of the
+//!   hierarchical method),
+//! * [`encode`](mod@encode) — the ASP encoding of the same problem (the hidden formal
+//!   method), supporting fixed-scenario evaluation and exhaustive
+//!   choice-based scenario enumeration with `#minimize`/`#maximize`
+//!   objectives,
+//! * [`behavioral`] — detailed propagation analysis: per-component
+//!   qualitative state machines unrolled over time in ASP (Listing 2
+//!   semantics for stuck-at faults),
+//! * [`cegar`] — CEGAR-style refinement: eliminate spurious hazards found
+//!   at the abstract level by consulting a concrete oracle, never dropping
+//!   a real hazard,
+//! * [`sensitivity`] — modeling-decision sensitivity analysis (§II-A).
+//!
+//! The direct engine and the ASP encoding are **cross-checked** in the
+//! integration tests: both must report the same violated requirements for
+//! every scenario of the case study.
+
+pub mod attack_path;
+pub mod behavioral;
+pub mod cegar;
+pub mod encode;
+pub mod error;
+pub mod mutation;
+pub mod problem;
+pub mod scenario;
+pub mod sensitivity;
+pub mod topology;
+
+pub use attack_path::{shortest_attack_paths, AttackPath};
+pub use encode::{cheapest_attack, encode, EncodeMode};
+pub use error::EpaError;
+pub use mutation::{inject_mutations, CandidateMutation, MutationSource};
+pub use problem::{EpaProblem, MitigationOption, Requirement};
+pub use scenario::{Scenario, ScenarioOutcome, ScenarioSpace};
+pub use topology::TopologyAnalysis;

@@ -1,0 +1,302 @@
+//! The merged EPA analysis problem (Fig. 1, step 3: reasoning input).
+
+use cpsrisk_model::SystemModel;
+use cpsrisk_qr::Qual;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::EpaError;
+use crate::mutation::CandidateMutation;
+
+/// A safety requirement expressed at the topology/mode level: the
+/// requirement is **violated** when, for some conjunct group, every listed
+/// `(component, mode)` pair is effective in the scenario (DNF over
+/// worst-case modes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Requirement {
+    /// Requirement id (ASP-safe), e.g. `r1`.
+    pub id: String,
+    /// Human-readable statement.
+    pub text: String,
+    /// Disjunction of conjunctions of `(component, mode)` pairs.
+    pub violated_when: Vec<Vec<(String, String)>>,
+}
+
+impl Requirement {
+    /// A requirement violated when **all** listed pairs are effective.
+    #[must_use]
+    pub fn all_of(id: &str, text: &str, pairs: &[(&str, &str)]) -> Self {
+        Requirement {
+            id: id.into(),
+            text: text.into(),
+            violated_when: vec![pairs
+                .iter()
+                .map(|(c, m)| ((*c).to_owned(), (*m).to_owned()))
+                .collect()],
+        }
+    }
+
+    /// Add another conjunct group (disjunction branch), chaining.
+    #[must_use]
+    pub fn or_all_of(mut self, pairs: &[(&str, &str)]) -> Self {
+        self.violated_when.push(
+            pairs
+                .iter()
+                .map(|(c, m)| ((*c).to_owned(), (*m).to_owned()))
+                .collect(),
+        );
+        self
+    }
+}
+
+impl fmt::Display for Requirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id, self.text)
+    }
+}
+
+/// A mitigation option applicable to specific faults, with costs
+/// (§IV-C/D). Mitigations attach to the component carrying the fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MitigationOption {
+    /// Mitigation id (ASP-safe), e.g. `m1`.
+    pub id: String,
+    /// Human-readable name, e.g. *User Training*.
+    pub name: String,
+    /// Fault ids this mitigation blocks.
+    pub blocks: Vec<String>,
+    /// Implementation cost (budget units).
+    pub cost: u64,
+    /// Recurring maintenance cost per period.
+    pub maintenance_cost: u64,
+}
+
+impl MitigationOption {
+    /// A mitigation blocking the given fault ids.
+    #[must_use]
+    pub fn new(id: &str, name: &str, blocks: &[&str], cost: u64) -> Self {
+        MitigationOption {
+            id: id.into(),
+            name: name.into(),
+            blocks: blocks.iter().map(|s| (*s).to_owned()).collect(),
+            cost,
+            maintenance_cost: 0,
+        }
+    }
+}
+
+/// A complete EPA problem: model, candidate mutations, requirements,
+/// mitigation options, and the set of currently activated mitigations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpaProblem {
+    /// The merged system model.
+    pub model: SystemModel,
+    /// Candidate mutations (the fault universe).
+    pub mutations: Vec<CandidateMutation>,
+    /// Safety requirements.
+    pub requirements: Vec<Requirement>,
+    /// Available mitigation options.
+    pub mitigations: Vec<MitigationOption>,
+    /// Activated mitigations (by id).
+    pub active_mitigations: BTreeSet<String>,
+}
+
+impl EpaProblem {
+    /// Build a problem and validate cross-references.
+    ///
+    /// # Errors
+    ///
+    /// * [`EpaError::DuplicateFault`] on repeated fault ids,
+    /// * [`EpaError::UnknownReference`] when a mutation names a missing
+    ///   component, a requirement names a missing component, or a
+    ///   mitigation blocks a missing fault.
+    pub fn new(
+        model: SystemModel,
+        mutations: Vec<CandidateMutation>,
+        requirements: Vec<Requirement>,
+        mitigations: Vec<MitigationOption>,
+    ) -> Result<Self, EpaError> {
+        let mut ids = BTreeSet::new();
+        for m in &mutations {
+            if !ids.insert(m.id.clone()) {
+                return Err(EpaError::DuplicateFault(m.id.clone()));
+            }
+            if model.element(&m.component).is_none() {
+                return Err(EpaError::UnknownReference(format!(
+                    "mutation {} targets missing component `{}`",
+                    m.id, m.component
+                )));
+            }
+        }
+        for r in &requirements {
+            for group in &r.violated_when {
+                for (c, _) in group {
+                    if model.element(c).is_none() {
+                        return Err(EpaError::UnknownReference(format!(
+                            "requirement {} references missing component `{c}`",
+                            r.id
+                        )));
+                    }
+                }
+            }
+        }
+        for mit in &mitigations {
+            for f in &mit.blocks {
+                if !ids.contains(f) {
+                    return Err(EpaError::UnknownReference(format!(
+                        "mitigation {} blocks unknown fault `{f}`",
+                        mit.id
+                    )));
+                }
+            }
+        }
+        Ok(EpaProblem {
+            model,
+            mutations,
+            requirements,
+            mitigations,
+            active_mitigations: BTreeSet::new(),
+        })
+    }
+
+    /// Activate a mitigation by id.
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::UnknownReference`] for unknown mitigation ids.
+    pub fn activate_mitigation(&mut self, id: &str) -> Result<(), EpaError> {
+        if !self.mitigations.iter().any(|m| m.id == id) {
+            return Err(EpaError::UnknownReference(format!("mitigation `{id}`")));
+        }
+        self.active_mitigations.insert(id.to_owned());
+        Ok(())
+    }
+
+    /// Deactivate a mitigation (no-op if inactive).
+    pub fn deactivate_mitigation(&mut self, id: &str) {
+        self.active_mitigations.remove(id);
+    }
+
+    /// Look up a mutation by id.
+    #[must_use]
+    pub fn mutation(&self, id: &str) -> Option<&CandidateMutation> {
+        self.mutations.iter().find(|m| m.id == id)
+    }
+
+    /// Is the fault blocked by the currently active mitigations?
+    /// Listing-1 semantics: a fault with at least one mitigation option is
+    /// *potential* unless **all** of its mitigations are active; faults
+    /// without mitigation options are always potential.
+    #[must_use]
+    pub fn fault_blocked(&self, fault_id: &str) -> bool {
+        let applicable: Vec<&MitigationOption> = self
+            .mitigations
+            .iter()
+            .filter(|m| m.blocks.iter().any(|f| f == fault_id))
+            .collect();
+        !applicable.is_empty()
+            && applicable
+                .iter()
+                .all(|m| self.active_mitigations.contains(&m.id))
+    }
+
+    /// Severity of a fault (by id); `VeryLow` if unknown.
+    #[must_use]
+    pub fn severity(&self, fault_id: &str) -> Qual {
+        self.mutation(fault_id).map_or(Qual::VeryLow, |m| m.severity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsrisk_model::ElementKind;
+
+    fn tiny_model() -> SystemModel {
+        let mut m = SystemModel::new("m");
+        m.add_element("a", "A", ElementKind::Node).unwrap();
+        m.add_element("b", "B", ElementKind::Equipment).unwrap();
+        m
+    }
+
+    fn mutation(id: &str, comp: &str) -> CandidateMutation {
+        CandidateMutation::spontaneous(id, comp, "broken")
+    }
+
+    #[test]
+    fn validation_catches_bad_references() {
+        let m = tiny_model();
+        assert!(matches!(
+            EpaProblem::new(m.clone(), vec![mutation("f1", "ghost")], vec![], vec![]),
+            Err(EpaError::UnknownReference(_))
+        ));
+        assert!(matches!(
+            EpaProblem::new(
+                m.clone(),
+                vec![mutation("f1", "a"), mutation("f1", "b")],
+                vec![],
+                vec![]
+            ),
+            Err(EpaError::DuplicateFault(_))
+        ));
+        assert!(matches!(
+            EpaProblem::new(
+                m.clone(),
+                vec![mutation("f1", "a")],
+                vec![Requirement::all_of("r1", "x", &[("ghost", "m")])],
+                vec![]
+            ),
+            Err(EpaError::UnknownReference(_))
+        ));
+        assert!(matches!(
+            EpaProblem::new(
+                m,
+                vec![mutation("f1", "a")],
+                vec![],
+                vec![MitigationOption::new("m1", "M", &["f9"], 10)]
+            ),
+            Err(EpaError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn listing_one_blocking_semantics() {
+        let mut p = EpaProblem::new(
+            tiny_model(),
+            vec![mutation("f1", "a"), mutation("f2", "b")],
+            vec![],
+            vec![
+                MitigationOption::new("m1", "Training", &["f1"], 10),
+                MitigationOption::new("m2", "Endpoint", &["f1"], 20),
+            ],
+        )
+        .unwrap();
+        // f2 has no mitigation: never blocked.
+        assert!(!p.fault_blocked("f2"));
+        // f1 needs both m1 and m2 active.
+        assert!(!p.fault_blocked("f1"));
+        p.activate_mitigation("m1").unwrap();
+        assert!(!p.fault_blocked("f1"));
+        p.activate_mitigation("m2").unwrap();
+        assert!(p.fault_blocked("f1"));
+        p.deactivate_mitigation("m1");
+        assert!(!p.fault_blocked("f1"));
+    }
+
+    #[test]
+    fn unknown_mitigation_activation_fails() {
+        let mut p =
+            EpaProblem::new(tiny_model(), vec![mutation("f1", "a")], vec![], vec![]).unwrap();
+        assert!(p.activate_mitigation("ghost").is_err());
+    }
+
+    #[test]
+    fn requirement_dnf_builder() {
+        let r = Requirement::all_of("r2", "alert on overflow", &[("b", "stuck"), ("a", "mute")])
+            .or_all_of(&[("a", "dead")]);
+        assert_eq!(r.violated_when.len(), 2);
+        assert_eq!(r.violated_when[0].len(), 2);
+        assert_eq!(r.to_string(), "r2: alert on overflow");
+    }
+}

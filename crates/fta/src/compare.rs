@@ -1,0 +1,213 @@
+//! FTA vs qualitative EPA on the same problem (§III-A).
+//!
+//! [`tree_from_requirement`] builds the fault tree an analyst would write
+//! *naively* from a requirement's direct fault conditions: OR over the DNF
+//! groups, AND within each group, basic events = the candidate mutations
+//! matching each `(component, mode)` pair. This tree knows nothing about
+//! propagation — so hazardous scenarios that work **through interactions**
+//! (a compromised workstation inducing actuator faults) are invisible to
+//! it. [`ComparisonReport`] quantifies exactly that gap against the EPA
+//! topology engine.
+
+use cpsrisk_epa::{EpaProblem, Scenario, TopologyAnalysis};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::tree::{FaultTree, Gate};
+
+/// Build the naive fault tree of one requirement from the direct fault
+/// conditions (no propagation knowledge).
+#[must_use]
+pub fn tree_from_requirement(problem: &EpaProblem, requirement_id: &str) -> Option<FaultTree> {
+    let req = problem.requirements.iter().find(|r| r.id == requirement_id)?;
+    let mut branches = Vec::new();
+    for group in &req.violated_when {
+        let mut conj = Vec::new();
+        for (component, mode) in group {
+            // All mutations that directly realize this (component, mode).
+            let events: Vec<Gate> = problem
+                .mutations
+                .iter()
+                .filter(|m| &m.component == component && &m.mode == mode)
+                .map(|m| Gate::basic(&m.id))
+                .collect();
+            if events.is_empty() {
+                // No direct fault realizes the condition: this branch can
+                // never fire in the naive tree.
+                conj.push(Gate::Or(vec![]));
+            } else {
+                conj.push(Gate::Or(events));
+            }
+        }
+        branches.push(Gate::And(conj));
+    }
+    Some(FaultTree::new(requirement_id, Gate::Or(branches)))
+}
+
+/// The comparison of the two methods over the full scenario space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    /// Requirement compared.
+    pub requirement: String,
+    /// Scenarios flagged by both methods.
+    pub agreed: usize,
+    /// Hazards found by EPA that the naive fault tree misses
+    /// (interaction/propagation-induced).
+    pub missed_by_fta: Vec<Scenario>,
+    /// Scenarios flagged by FTA but not EPA (should be empty: the naive
+    /// tree uses only direct conditions, which EPA also sees).
+    pub extra_in_fta: Vec<Scenario>,
+    /// Total scenarios examined.
+    pub total: usize,
+}
+
+impl ComparisonReport {
+    /// FTA coverage of the EPA hazard set, in `[0, 1]`.
+    #[must_use]
+    pub fn fta_coverage(&self) -> f64 {
+        let epa_hazards = self.agreed + self.missed_by_fta.len();
+        if epa_hazards == 0 {
+            1.0
+        } else {
+            self.agreed as f64 / epa_hazards as f64
+        }
+    }
+}
+
+impl fmt::Display for ComparisonReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}/{} scenarios agree; FTA misses {}; FTA extra {} (coverage {:.0}%)",
+            self.requirement,
+            self.agreed,
+            self.total,
+            self.missed_by_fta.len(),
+            self.extra_in_fta.len(),
+            self.fta_coverage() * 100.0
+        )
+    }
+}
+
+/// Run both methods over every scenario (≤ `max_faults` simultaneous
+/// faults) and diff the verdicts for one requirement.
+#[must_use]
+pub fn compare_methods(
+    problem: &EpaProblem,
+    requirement_id: &str,
+    max_faults: usize,
+) -> Option<ComparisonReport> {
+    let tree = tree_from_requirement(problem, requirement_id)?;
+    let analysis = TopologyAnalysis::new(problem);
+    let mut agreed = 0usize;
+    let mut missed = Vec::new();
+    let mut extra = Vec::new();
+    let mut total = 0usize;
+    for outcome in analysis.evaluate_all(max_faults) {
+        total += 1;
+        let epa_flags = outcome.violated.contains(requirement_id);
+        let occurred: BTreeSet<String> = outcome.scenario.iter().map(str::to_owned).collect();
+        let fta_flags = tree.triggered_by(&occurred);
+        match (epa_flags, fta_flags) {
+            (true, true) => agreed += 1,
+            (true, false) => missed.push(outcome.scenario.clone()),
+            (false, true) => extra.push(outcome.scenario.clone()),
+            (false, false) => {}
+        }
+    }
+    Some(ComparisonReport {
+        requirement: requirement_id.to_owned(),
+        agreed,
+        missed_by_fta: missed,
+        extra_in_fta: extra,
+        total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsrisk_epa::{CandidateMutation, MitigationOption, Requirement};
+    use cpsrisk_model::{ElementKind, RelationKind, SystemModel};
+
+    /// The mini case study with an attack path ew -> ctrl -> valve.
+    fn problem() -> EpaProblem {
+        let mut m = SystemModel::new("mini");
+        m.add_element("ew", "Workstation", ElementKind::Node).unwrap();
+        m.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
+        m.add_relation("ew", "ctrl", RelationKind::Flow).unwrap();
+        m.add_relation("ctrl", "valve", RelationKind::Flow).unwrap();
+        let mutations = vec![
+            CandidateMutation::spontaneous("f_valve", "valve", "stuck_at_closed"),
+            CandidateMutation::spontaneous("f_ew", "ew", "compromised"),
+        ];
+        let requirements =
+            vec![Requirement::all_of("r1", "no overflow", &[("valve", "stuck_at_closed")])];
+        let mitigations: Vec<MitigationOption> = vec![];
+        EpaProblem::new(m, mutations, requirements, mitigations).unwrap()
+    }
+
+    #[test]
+    fn naive_tree_matches_direct_faults() {
+        let p = problem();
+        let tree = tree_from_requirement(&p, "r1").unwrap();
+        let direct: BTreeSet<String> = ["f_valve".to_owned()].into();
+        assert!(tree.triggered_by(&direct));
+        let unrelated: BTreeSet<String> = ["f_ew".to_owned()].into();
+        assert!(!tree.triggered_by(&unrelated), "FTA has no propagation knowledge");
+    }
+
+    #[test]
+    fn fta_misses_interaction_hazards_epa_catches() {
+        let p = problem();
+        let report = compare_methods(&p, "r1", usize::MAX).unwrap();
+        // EPA flags {f_ew} (compromise induces the valve fault); FTA cannot.
+        assert!(report
+            .missed_by_fta
+            .iter()
+            .any(|s| s.contains("f_ew") && s.len() == 1));
+        // FTA never over-reports relative to EPA.
+        assert!(report.extra_in_fta.is_empty());
+        assert!(report.fta_coverage() < 1.0);
+    }
+
+    #[test]
+    fn agreement_on_direct_fault_scenarios() {
+        let p = problem();
+        let report = compare_methods(&p, "r1", usize::MAX).unwrap();
+        // {f_valve} and {f_valve, f_ew} are flagged by both.
+        assert_eq!(report.agreed, 2);
+        assert_eq!(report.total, 4);
+    }
+
+    #[test]
+    fn unknown_requirement_yields_none() {
+        let p = problem();
+        assert!(tree_from_requirement(&p, "ghost").is_none());
+        assert!(compare_methods(&p, "ghost", 2).is_none());
+    }
+
+    #[test]
+    fn unrealizable_condition_makes_branch_dead() {
+        let mut p = problem();
+        p.requirements.push(Requirement::all_of(
+            "r2",
+            "impossible",
+            &[("ctrl", "meltdown")],
+        ));
+        let tree = tree_from_requirement(&p, "r2").unwrap();
+        let everything: BTreeSet<String> = ["f_valve".to_owned(), "f_ew".to_owned()].into();
+        assert!(!tree.triggered_by(&everything));
+    }
+
+    #[test]
+    fn report_displays_coverage() {
+        let p = problem();
+        let report = compare_methods(&p, "r1", usize::MAX).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("r1"));
+        assert!(text.contains("coverage"));
+    }
+}

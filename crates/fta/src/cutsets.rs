@@ -1,0 +1,212 @@
+//! Minimal cut sets (MOCUS-style expansion) and qualitative importance.
+
+use cpsrisk_qr::Qual;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::tree::Gate;
+
+/// One cut set: a set of basic events whose joint occurrence triggers the
+/// top event.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CutSet {
+    /// The basic events.
+    pub events: BTreeSet<String>,
+}
+
+impl CutSet {
+    /// A cut set over event ids.
+    #[must_use]
+    pub fn of(ids: &[&str]) -> Self {
+        CutSet { events: ids.iter().map(|s| (*s).to_owned()).collect() }
+    }
+
+    /// Order (number of events) of the cut set.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is `self` a subset of `other`?
+    #[must_use]
+    pub fn subsumes(&self, other: &CutSet) -> bool {
+        self.events.is_subset(&other.events)
+    }
+}
+
+impl fmt::Display for CutSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.events.iter().cloned().collect::<Vec<_>>().join(","))
+    }
+}
+
+/// Compute the **minimal** cut sets of a gate by bottom-up product/union
+/// expansion (MOCUS) with subsumption-based minimization. K-of-N gates are
+/// expanded into the OR of all k-subsets.
+#[must_use]
+pub fn minimal_cut_sets(gate: &Gate) -> Vec<CutSet> {
+    minimize(expand(gate))
+}
+
+fn expand(gate: &Gate) -> Vec<BTreeSet<String>> {
+    match gate {
+        Gate::Basic(id) => vec![[id.clone()].into_iter().collect()],
+        Gate::Or(children) => children.iter().flat_map(expand).collect(),
+        Gate::And(children) => {
+            let mut acc: Vec<BTreeSet<String>> = vec![BTreeSet::new()];
+            for c in children {
+                let child_sets = expand(c);
+                let mut next = Vec::with_capacity(acc.len() * child_sets.len());
+                for a in &acc {
+                    for cs in &child_sets {
+                        let mut merged = a.clone();
+                        merged.extend(cs.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        Gate::KOfN(k, children) => {
+            // OR over all k-subsets of AND.
+            let n = children.len();
+            if *k == 0 {
+                return vec![BTreeSet::new()];
+            }
+            if *k > n {
+                return Vec::new();
+            }
+            let mut out = Vec::new();
+            let mut idx: Vec<usize> = (0..*k).collect();
+            loop {
+                let subset = Gate::And(idx.iter().map(|&i| children[i].clone()).collect());
+                out.extend(expand(&subset));
+                // next combination
+                let mut i = *k;
+                loop {
+                    if i == 0 {
+                        return out;
+                    }
+                    i -= 1;
+                    if idx[i] != i + n - *k {
+                        idx[i] += 1;
+                        for j in i + 1..*k {
+                            idx[j] = idx[j - 1] + 1;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn minimize(sets: Vec<BTreeSet<String>>) -> Vec<CutSet> {
+    let mut unique: Vec<BTreeSet<String>> = Vec::new();
+    for s in sets {
+        if !unique.contains(&s) {
+            unique.push(s);
+        }
+    }
+    let minimal: Vec<CutSet> = unique
+        .iter()
+        .filter(|s| !unique.iter().any(|o| *o != **s && o.is_subset(s)))
+        .map(|s| CutSet { events: s.clone() })
+        .collect();
+    let mut out = minimal;
+    out.sort();
+    out
+}
+
+/// Qualitative top-event likelihood: each cut set is as likely as its
+/// **least** likely event (conjunction = meet); the top event is as likely
+/// as its **most** likely cut set (disjunction = join). Events missing
+/// from the likelihood map default to `VeryLow`.
+#[must_use]
+pub fn qualitative_top_likelihood(
+    cut_sets: &[CutSet],
+    likelihood: &BTreeMap<String, Qual>,
+) -> Qual {
+    cut_sets
+        .iter()
+        .map(|cs| {
+            cs.events
+                .iter()
+                .map(|e| likelihood.get(e).copied().unwrap_or(Qual::VeryLow))
+                .fold(Qual::VeryHigh, Qual::meet)
+        })
+        .fold(Qual::VeryLow, Qual::join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn or_of_basics_gives_singletons() {
+        let g = Gate::or_of(&["a", "b"]);
+        assert_eq!(minimal_cut_sets(&g), vec![CutSet::of(&["a"]), CutSet::of(&["b"])]);
+    }
+
+    #[test]
+    fn and_produces_the_product() {
+        let g = Gate::And(vec![Gate::or_of(&["a", "b"]), Gate::basic("c")]);
+        assert_eq!(
+            minimal_cut_sets(&g),
+            vec![CutSet::of(&["a", "c"]), CutSet::of(&["b", "c"])]
+        );
+    }
+
+    #[test]
+    fn subsumed_cut_sets_are_removed() {
+        // a OR (a AND b) — {a,b} is subsumed by {a}.
+        let g = Gate::Or(vec![Gate::basic("a"), Gate::and_of(&["a", "b"])]);
+        assert_eq!(minimal_cut_sets(&g), vec![CutSet::of(&["a"])]);
+    }
+
+    #[test]
+    fn two_of_three_voting_expansion() {
+        let g = Gate::KOfN(2, vec![Gate::basic("a"), Gate::basic("b"), Gate::basic("c")]);
+        let cs = minimal_cut_sets(&g);
+        assert_eq!(
+            cs,
+            vec![
+                CutSet::of(&["a", "b"]),
+                CutSet::of(&["a", "c"]),
+                CutSet::of(&["b", "c"])
+            ]
+        );
+    }
+
+    #[test]
+    fn cut_sets_actually_trigger_the_tree() {
+        let g = Gate::Or(vec![
+            Gate::and_of(&["a", "b"]),
+            Gate::KOfN(2, vec![Gate::basic("c"), Gate::basic("d"), Gate::basic("e")]),
+        ]);
+        for cs in minimal_cut_sets(&g) {
+            assert!(g.evaluate(&cs.events), "cut set {cs} must trigger");
+            // Minimality: removing any single event stops the trigger.
+            for e in &cs.events {
+                let mut reduced = cs.events.clone();
+                reduced.remove(e);
+                assert!(!g.evaluate(&reduced), "cut set {cs} not minimal at {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn qualitative_likelihood_min_max() {
+        let g = Gate::Or(vec![Gate::and_of(&["rare", "common"]), Gate::basic("mid")]);
+        let cs = minimal_cut_sets(&g);
+        let mut like = BTreeMap::new();
+        like.insert("rare".to_owned(), Qual::VeryLow);
+        like.insert("common".to_owned(), Qual::VeryHigh);
+        like.insert("mid".to_owned(), Qual::Medium);
+        // {rare,common} -> VL; {mid} -> M; top = M.
+        assert_eq!(qualitative_top_likelihood(&cs, &like), Qual::Medium);
+        assert_eq!(qualitative_top_likelihood(&[], &like), Qual::VeryLow);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Fault Tree Analysis (FTA) — the classical EPA baseline of §III-A.
+//!
+//! FTA is a top-down method: a *top event* (requirement violation) is
+//! decomposed through AND/OR/K-of-N gates down to *basic events* (component
+//! fault modes). It identifies critical points and minimal cut sets, but —
+//! as the paper argues — *"does not examine components' behaviour and
+//! interactions, and the results may be incomplete"*: a naive fault tree
+//! built from the direct fault modes misses attack-induced interaction
+//! faults that qualitative EPA catches. The [`compare`] module demonstrates
+//! exactly that on shared problems.
+
+pub mod compare;
+pub mod cutsets;
+pub mod tree;
+
+pub use compare::{tree_from_requirement, ComparisonReport};
+pub use cutsets::{minimal_cut_sets, qualitative_top_likelihood, CutSet};
+pub use tree::{FaultTree, Gate};

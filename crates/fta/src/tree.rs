@@ -1,0 +1,192 @@
+//! Fault-tree gate structure and evaluation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A fault-tree node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Gate {
+    /// A basic event (component fault mode), by id.
+    Basic(String),
+    /// Output true iff **all** children are true.
+    And(Vec<Gate>),
+    /// Output true iff **any** child is true.
+    Or(Vec<Gate>),
+    /// Output true iff at least `k` children are true (voting gate).
+    KOfN(usize, Vec<Gate>),
+}
+
+impl Gate {
+    /// Basic-event constructor.
+    #[must_use]
+    pub fn basic(id: &str) -> Gate {
+        Gate::Basic(id.to_owned())
+    }
+
+    /// AND of basic events.
+    #[must_use]
+    pub fn and_of(ids: &[&str]) -> Gate {
+        Gate::And(ids.iter().map(|i| Gate::basic(i)).collect())
+    }
+
+    /// OR of basic events.
+    #[must_use]
+    pub fn or_of(ids: &[&str]) -> Gate {
+        Gate::Or(ids.iter().map(|i| Gate::basic(i)).collect())
+    }
+
+    /// Evaluate against a set of occurred basic events.
+    #[must_use]
+    pub fn evaluate(&self, occurred: &BTreeSet<String>) -> bool {
+        match self {
+            Gate::Basic(id) => occurred.contains(id),
+            Gate::And(children) => children.iter().all(|c| c.evaluate(occurred)),
+            Gate::Or(children) => children.iter().any(|c| c.evaluate(occurred)),
+            Gate::KOfN(k, children) => {
+                children.iter().filter(|c| c.evaluate(occurred)).count() >= *k
+            }
+        }
+    }
+
+    /// All basic-event ids referenced by the gate.
+    #[must_use]
+    pub fn basic_events(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_basics(&mut out);
+        out
+    }
+
+    fn collect_basics(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Gate::Basic(id) => {
+                out.insert(id.clone());
+            }
+            Gate::And(cs) | Gate::Or(cs) | Gate::KOfN(_, cs) => {
+                for c in cs {
+                    c.collect_basics(out);
+                }
+            }
+        }
+    }
+
+    /// Gate count (tree size).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Gate::Basic(_) => 1,
+            Gate::And(cs) | Gate::Or(cs) | Gate::KOfN(_, cs) => {
+                1 + cs.iter().map(Gate::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::Basic(id) => write!(f, "{id}"),
+            Gate::And(cs) => {
+                write!(f, "AND(")?;
+                fmt_children(f, cs)?;
+                write!(f, ")")
+            }
+            Gate::Or(cs) => {
+                write!(f, "OR(")?;
+                fmt_children(f, cs)?;
+                write!(f, ")")
+            }
+            Gate::KOfN(k, cs) => {
+                write!(f, "{k}ofN(")?;
+                fmt_children(f, cs)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn fmt_children(f: &mut fmt::Formatter<'_>, cs: &[Gate]) -> fmt::Result {
+    for (i, c) in cs.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{c}")?;
+    }
+    Ok(())
+}
+
+/// A named fault tree with one top event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTree {
+    /// Top-event name (e.g. the violated requirement).
+    pub top_event: String,
+    /// Root gate.
+    pub root: Gate,
+}
+
+impl FaultTree {
+    /// Create a tree.
+    #[must_use]
+    pub fn new(top_event: &str, root: Gate) -> Self {
+        FaultTree { top_event: top_event.to_owned(), root }
+    }
+
+    /// Does the given basic-event set trigger the top event?
+    #[must_use]
+    pub fn triggered_by(&self, occurred: &BTreeSet<String>) -> bool {
+        self.root.evaluate(occurred)
+    }
+}
+
+impl fmt::Display for FaultTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} := {}", self.top_event, self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(ids: &[&str]) -> BTreeSet<String> {
+        ids.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn gate_evaluation() {
+        let g = Gate::And(vec![Gate::basic("a"), Gate::or_of(&["b", "c"])]);
+        assert!(g.evaluate(&events(&["a", "b"])));
+        assert!(g.evaluate(&events(&["a", "c"])));
+        assert!(!g.evaluate(&events(&["a"])));
+        assert!(!g.evaluate(&events(&["b", "c"])));
+    }
+
+    #[test]
+    fn voting_gate() {
+        let g = Gate::KOfN(2, vec![Gate::basic("a"), Gate::basic("b"), Gate::basic("c")]);
+        assert!(!g.evaluate(&events(&["a"])));
+        assert!(g.evaluate(&events(&["a", "c"])));
+        assert!(g.evaluate(&events(&["a", "b", "c"])));
+    }
+
+    #[test]
+    fn basic_event_collection_and_size() {
+        let g = Gate::Or(vec![Gate::and_of(&["a", "b"]), Gate::basic("a")]);
+        assert_eq!(g.basic_events(), events(&["a", "b"]));
+        assert_eq!(g.size(), 5);
+    }
+
+    #[test]
+    fn tree_triggering() {
+        let t = FaultTree::new("overflow", Gate::or_of(&["valve_stuck", "pump_dead"]));
+        assert!(t.triggered_by(&events(&["pump_dead"])));
+        assert!(!t.triggered_by(&events(&["sensor_noise"])));
+        assert_eq!(t.to_string(), "overflow := OR(valve_stuck, pump_dead)");
+    }
+
+    #[test]
+    fn empty_gates_are_degenerate_but_total() {
+        assert!(Gate::And(vec![]).evaluate(&events(&[])), "empty AND is true");
+        assert!(!Gate::Or(vec![]).evaluate(&events(&[])), "empty OR is false");
+    }
+}

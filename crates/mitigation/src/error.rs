@@ -1,0 +1,35 @@
+//! Error type for the mitigation crate.
+
+use std::fmt;
+
+/// Errors from optimization problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MitigationError {
+    /// No selection can block every scenario (an unmitigable fault exists).
+    Infeasible,
+    /// The ASP back-end failed.
+    Asp(cpsrisk_asp::AspError),
+    /// A scenario references a fault no candidate blocks and the problem
+    /// required full coverage.
+    UncoverableScenario(String),
+}
+
+impl fmt::Display for MitigationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MitigationError::Infeasible => write!(f, "no mitigation selection blocks all scenarios"),
+            MitigationError::Asp(e) => write!(f, "asp error: {e}"),
+            MitigationError::UncoverableScenario(s) => {
+                write!(f, "scenario `{s}` cannot be blocked by any selection")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MitigationError {}
+
+impl From<cpsrisk_asp::AspError> for MitigationError {
+    fn from(e: cpsrisk_asp::AspError) -> Self {
+        MitigationError::Asp(e)
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Mitigation strategy design (Fig. 1, step 7; §IV-C/D).
+//!
+//! The attack scenario space is the input; incorporating the mitigation
+//! catalog yields a *mitigation solution space* — all combinations of
+//! mitigations — which the reasoning framework narrows to the most
+//! cost-effective solutions. This crate provides:
+//!
+//! * [`space`] — the optimization problem: mitigation candidates with
+//!   implementation/maintenance costs, attack scenarios with failure
+//!   impact costs and attack costs, and the coverage semantics,
+//! * [`optimize`] — solvers for the two canonical tasks:
+//!   *minimum-cost blocking* of all (feasible) scenarios, and *best risk
+//!   reduction under a budget constraint* — each with an exact
+//!   branch-and-bound, a greedy approximation, and an ASP `#minimize`
+//!   back-end that is cross-checked against the exact solver,
+//! * [`plan`] — multi-phase security consolidation: ordering mitigation
+//!   investments across budget periods by marginal risk reduction.
+
+pub mod error;
+pub mod optimize;
+pub mod plan;
+pub mod space;
+
+pub use error::MitigationError;
+pub use optimize::{best_under_budget, branch_and_bound, greedy_cover, min_cost_blocking_asp};
+pub use plan::{consolidation_plan, Phase};
+pub use space::{AttackScenario, Coverage, MitigationCandidate, MitigationProblem, Selection};

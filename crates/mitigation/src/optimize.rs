@@ -1,0 +1,310 @@
+//! Optimizers for mitigation selection.
+//!
+//! Two canonical tasks (§IV-D):
+//!
+//! 1. **Minimum-cost blocking** — the cheapest selection blocking every
+//!    scenario (weighted set cover over attack chains): exact
+//!    [`branch_and_bound`], approximate [`greedy_cover`], and the ASP
+//!    `#minimize` back-end [`min_cost_blocking_asp`].
+//! 2. **Budget-constrained risk reduction** — minimize residual loss with
+//!    total mitigation cost ≤ budget ([`best_under_budget`], exact
+//!    branch-and-bound; ties broken toward lower cost).
+
+use cpsrisk_asp::builder::pos;
+use cpsrisk_asp::{Grounder, ProgramBuilder, SolveOptions, Solver, Term};
+
+use crate::error::MitigationError;
+use crate::space::{Coverage, MitigationProblem, Selection};
+
+/// Exact minimum-cost selection blocking all scenarios, by DFS
+/// branch-and-bound over candidates (include/exclude), pruning on cost.
+///
+/// # Errors
+///
+/// [`MitigationError::Infeasible`] if even the full selection fails.
+pub fn branch_and_bound(problem: &MitigationProblem) -> Result<Selection, MitigationError> {
+    let full = Selection {
+        ids: problem.candidates.iter().map(|c| c.id.clone()).collect(),
+    };
+    if !problem.blocks_all(&full) {
+        return Err(MitigationError::Infeasible);
+    }
+    let mut best: Option<(u64, Selection)> = None;
+    let mut current = Selection::empty();
+    bb(problem, 0, 0, &mut current, &mut best);
+    Ok(best.expect("full selection is feasible").1)
+}
+
+fn bb(
+    problem: &MitigationProblem,
+    idx: usize,
+    cost_so_far: u64,
+    current: &mut Selection,
+    best: &mut Option<(u64, Selection)>,
+) {
+    if let Some((bc, _)) = best {
+        if cost_so_far >= *bc {
+            return; // cannot improve
+        }
+    }
+    if problem.blocks_all(current) {
+        *best = Some((cost_so_far, current.clone()));
+        return;
+    }
+    if idx >= problem.candidates.len() {
+        return;
+    }
+    let cand = &problem.candidates[idx];
+    // Include.
+    current.ids.insert(cand.id.clone());
+    bb(problem, idx + 1, cost_so_far + cand.total_cost(problem.periods), current, best);
+    current.ids.remove(&cand.id);
+    // Exclude.
+    bb(problem, idx + 1, cost_so_far, current, best);
+}
+
+/// Greedy weighted set cover: repeatedly pick the candidate with the best
+/// newly-blocked-loss / cost ratio. Fast, within the classic `ln n`
+/// approximation bound; used as the scalable baseline in the benches.
+///
+/// # Errors
+///
+/// [`MitigationError::Infeasible`] if no selection blocks everything.
+pub fn greedy_cover(problem: &MitigationProblem) -> Result<Selection, MitigationError> {
+    let mut selection = Selection::empty();
+    loop {
+        if problem.blocks_all(&selection) {
+            return Ok(selection);
+        }
+        let mut best: Option<(f64, &str)> = None;
+        for c in &problem.candidates {
+            if selection.ids.contains(&c.id) {
+                continue;
+            }
+            let mut trial = selection.clone();
+            trial.ids.insert(c.id.clone());
+            let newly_blocked: u64 = problem
+                .scenarios
+                .iter()
+                .filter(|s| {
+                    !problem.scenario_blocked(&selection, s)
+                        && problem.scenario_blocked(&trial, s)
+                })
+                .map(|s| s.loss.max(1))
+                .sum();
+            if newly_blocked == 0 {
+                continue;
+            }
+            let ratio = newly_blocked as f64 / c.total_cost(problem.periods).max(1) as f64;
+            if best.is_none_or(|(r, _)| ratio > r) {
+                best = Some((ratio, &c.id));
+            }
+        }
+        match best {
+            Some((_, id)) => {
+                selection.ids.insert(id.to_owned());
+            }
+            None => return Err(MitigationError::Infeasible),
+        }
+    }
+}
+
+/// Minimum-cost blocking through the ASP engine (`#minimize` over selected
+/// mitigation costs, integrity constraints forcing every scenario blocked).
+///
+/// # Errors
+///
+/// [`MitigationError::Infeasible`] for unblockable problems,
+/// [`MitigationError::Asp`] on engine failures.
+pub fn min_cost_blocking_asp(problem: &MitigationProblem) -> Result<Selection, MitigationError> {
+    let mut b = ProgramBuilder::new();
+    for c in &problem.candidates {
+        b.fact("mitigation", [Term::sym(&c.id)]);
+        b.fact(
+            "mit_cost",
+            [Term::sym(&c.id), Term::Int(c.total_cost(problem.periods) as i64)],
+        );
+        for f in &c.blocks {
+            b.fact("blocks", [Term::sym(&c.id), Term::sym(f)]);
+        }
+    }
+    for s in &problem.scenarios {
+        b.fact("scenario", [Term::sym(&s.id)]);
+        for f in &s.faults {
+            b.fact("scenario_fault", [Term::sym(&s.id), Term::sym(f)]);
+        }
+    }
+    b.choice(None, None)
+        .element_if("select", ["M"], vec![pos("mitigation", ["M"])])
+        .done();
+    let coverage_rules = match problem.coverage {
+        Coverage::Any => {
+            "fault_blocked(F) :- blocks(M, F), select(M). \
+             scenario_blocked(S) :- scenario_fault(S, F), fault_blocked(F). \
+             :- scenario(S), not scenario_blocked(S)."
+        }
+        Coverage::All => {
+            "applicable(F) :- blocks(M, F). \
+             unblocked(F) :- blocks(M, F), not select(M). \
+             fault_blocked(F) :- applicable(F), not unblocked(F). \
+             scenario_blocked(S) :- scenario_fault(S, F), fault_blocked(F). \
+             :- scenario(S), not scenario_blocked(S)."
+        }
+    };
+    b.append(cpsrisk_asp::parse(coverage_rules).expect("static encoding parses"));
+    b.minimize(
+        0,
+        Term::var("C"),
+        [Term::var("M")],
+        vec![pos("select", ["M"]), pos("mit_cost", ["M", "C"])],
+    );
+
+    let program = b.finish();
+    let ground = Grounder::new().ground(&program).map_err(MitigationError::from)?;
+    let mut solver = Solver::new(&ground);
+    let best = solver
+        .optimize(&SolveOptions::default())
+        .map_err(MitigationError::from)?;
+    match best {
+        Some(model) => Ok(Selection {
+            ids: model
+                .atoms_of("select")
+                .iter()
+                .filter_map(|a| a.args.first().map(ToString::to_string))
+                .collect(),
+        }),
+        None => Err(MitigationError::Infeasible),
+    }
+}
+
+/// Exact best selection under a budget: minimize residual loss, then cost.
+/// Scenarios that cannot be blocked at any price simply stay in the
+/// residual.
+#[must_use]
+pub fn best_under_budget(problem: &MitigationProblem, budget: u64) -> Selection {
+    let mut best: Option<(u64, u64, Selection)> = None; // (residual, cost, sel)
+    let mut current = Selection::empty();
+    bb_budget(problem, 0, 0, budget, &mut current, &mut best);
+    best.map(|(_, _, s)| s).unwrap_or_default()
+}
+
+fn bb_budget(
+    problem: &MitigationProblem,
+    idx: usize,
+    cost_so_far: u64,
+    budget: u64,
+    current: &mut Selection,
+    best: &mut Option<(u64, u64, Selection)>,
+) {
+    if idx >= problem.candidates.len() {
+        let residual = problem.residual_loss(current);
+        let better = match best {
+            None => true,
+            Some((br, bc, _)) => residual < *br || (residual == *br && cost_so_far < *bc),
+        };
+        if better {
+            *best = Some((residual, cost_so_far, current.clone()));
+        }
+        return;
+    }
+    let cand = &problem.candidates[idx];
+    let c = cand.total_cost(problem.periods);
+    if cost_so_far + c <= budget {
+        current.ids.insert(cand.id.clone());
+        bb_budget(problem, idx + 1, cost_so_far + c, budget, current, best);
+        current.ids.remove(&cand.id);
+    }
+    bb_budget(problem, idx + 1, cost_so_far, budget, current, best);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{AttackScenario, MitigationCandidate};
+
+    fn problem() -> MitigationProblem {
+        MitigationProblem {
+            candidates: vec![
+                MitigationCandidate::new("m1", "Training", 40, &["f_phish"]),
+                MitigationCandidate::new("m2", "Endpoint", 120, &["f_phish", "f_malware"]),
+                MitigationCandidate::new("m3", "Segmentation", 200, &["f_lateral"]),
+                MitigationCandidate::new("m4", "AllInOne", 230, &["f_phish", "f_lateral"]),
+            ],
+            scenarios: vec![
+                AttackScenario::new("s_mail", &["f_phish", "f_malware"], 1000),
+                AttackScenario::new("s_worm", &["f_lateral"], 500),
+            ],
+            coverage: Coverage::Any,
+            periods: 0,
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_finds_the_optimum() {
+        let sel = branch_and_bound(&problem()).unwrap();
+        // Cheapest blocking: m4 (230) blocks both chains; m1+m3 = 240.
+        assert_eq!(sel, Selection::of(&["m4"]));
+        assert_eq!(problem().cost(&sel), 230);
+    }
+
+    #[test]
+    fn asp_backend_agrees_with_exact() {
+        let p = problem();
+        let exact = branch_and_bound(&p).unwrap();
+        let asp = min_cost_blocking_asp(&p).unwrap();
+        assert_eq!(p.cost(&asp), p.cost(&exact), "same optimal cost");
+        assert!(p.blocks_all(&asp));
+    }
+
+    #[test]
+    fn asp_backend_handles_all_coverage() {
+        let mut p = problem();
+        p.coverage = Coverage::All;
+        let exact = branch_and_bound(&p).unwrap();
+        let asp = min_cost_blocking_asp(&p).unwrap();
+        assert_eq!(p.cost(&asp), p.cost(&exact));
+        assert!(p.blocks_all(&asp));
+    }
+
+    #[test]
+    fn greedy_is_feasible_but_may_be_suboptimal() {
+        let p = problem();
+        let sel = greedy_cover(&p).unwrap();
+        assert!(p.blocks_all(&sel));
+        assert!(p.cost(&sel) >= 230, "never beats the optimum");
+    }
+
+    #[test]
+    fn infeasible_problems_are_reported() {
+        let mut p = problem();
+        p.scenarios.push(AttackScenario::new("s_unstoppable", &["f_unknown"], 9999));
+        assert!(matches!(branch_and_bound(&p), Err(MitigationError::Infeasible)));
+        assert!(matches!(greedy_cover(&p), Err(MitigationError::Infeasible)));
+        assert!(matches!(min_cost_blocking_asp(&p), Err(MitigationError::Infeasible)));
+    }
+
+    #[test]
+    fn budget_constrained_selection_trades_off() {
+        let p = problem();
+        // Budget too small for everything: block the 1000-loss chain first.
+        let sel = best_under_budget(&p, 100);
+        assert_eq!(sel, Selection::of(&["m1"]));
+        assert_eq!(p.residual_loss(&sel), 500);
+        // Bigger budget: block everything with m4.
+        let sel2 = best_under_budget(&p, 230);
+        assert_eq!(p.residual_loss(&sel2), 0);
+        // Zero budget: nothing selected.
+        let sel3 = best_under_budget(&p, 0);
+        assert!(sel3.ids.is_empty());
+    }
+
+    #[test]
+    fn budget_ties_break_toward_lower_cost() {
+        let p = problem();
+        // Huge budget: residual 0 reachable by m4 (230) or m1+m3 (240) or
+        // supersets; the cheapest must win.
+        let sel = best_under_budget(&p, 10_000);
+        assert_eq!(p.residual_loss(&sel), 0);
+        assert_eq!(p.cost(&sel), 230);
+    }
+}

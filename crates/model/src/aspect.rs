@@ -1,0 +1,192 @@
+//! Aspect models: architecture, dynamics, deployment — merged into one.
+//!
+//! Fig. 1, step 1: *"the system model results from merging the different
+//! aspect models (like architecture, dynamics, and deployment) of the
+//! complete IT/OT system into a single model sharing a uniform mathematical
+//! paradigm."* Each aspect is itself a [`SystemModel`] fragment tagged with
+//! its concern; [`merge_aspects`] produces the single analysis model.
+
+use cpsrisk_qr::QualMachine;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::model::SystemModel;
+
+/// The engineering concern an aspect model covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Concern {
+    /// Static structure: components and their connections.
+    Architecture,
+    /// Behaviour: qualitative dynamics of the components.
+    Dynamics,
+    /// Deployment: allocation of software to infrastructure.
+    Deployment,
+    /// Security metadata overlay.
+    Security,
+}
+
+impl fmt::Display for Concern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Concern::Architecture => "architecture",
+            Concern::Dynamics => "dynamics",
+            Concern::Deployment => "deployment",
+            Concern::Security => "security",
+        })
+    }
+}
+
+/// One aspect model: a model fragment plus (for the dynamics concern)
+/// qualitative behaviour machines keyed by element id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AspectModel {
+    /// The concern this aspect covers.
+    pub concern: Concern,
+    /// The structural fragment.
+    pub fragment: SystemModel,
+    /// Component behaviours (dynamics aspect), keyed by element id.
+    pub behaviors: BTreeMap<String, QualMachine>,
+}
+
+impl AspectModel {
+    /// A new aspect over a fragment.
+    #[must_use]
+    pub fn new(concern: Concern, fragment: SystemModel) -> Self {
+        AspectModel { concern, fragment, behaviors: BTreeMap::new() }
+    }
+
+    /// Attach a behaviour machine to an element of this aspect.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownElement`] if the element is not in the fragment.
+    pub fn add_behavior(&mut self, element: &str, machine: QualMachine) -> Result<(), ModelError> {
+        if self.fragment.element(element).is_none() {
+            return Err(ModelError::UnknownElement(element.to_owned()));
+        }
+        self.behaviors.insert(element.to_owned(), machine);
+        Ok(())
+    }
+}
+
+/// The merged analysis model: one structural graph plus the union of the
+/// behaviour machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergedModel {
+    /// The unified structural model.
+    pub system: SystemModel,
+    /// Behaviours from all dynamics aspects.
+    pub behaviors: BTreeMap<String, QualMachine>,
+}
+
+/// Merge aspect models into a single system model (Fig. 1 step 1).
+///
+/// # Errors
+///
+/// * [`ModelError::Invalid`] on conflicting element kinds across aspects or
+///   conflicting behaviours for the same element,
+/// * validation errors from the merged structure.
+pub fn merge_aspects(
+    name: &str,
+    aspects: &[AspectModel],
+) -> Result<MergedModel, ModelError> {
+    let mut system = SystemModel::new(name);
+    let mut behaviors: BTreeMap<String, QualMachine> = BTreeMap::new();
+    for aspect in aspects {
+        system.merge(&aspect.fragment)?;
+        for (id, machine) in &aspect.behaviors {
+            if let Some(existing) = behaviors.get(id) {
+                if existing != machine {
+                    return Err(ModelError::Invalid(format!(
+                        "element `{id}` has conflicting behaviours in two dynamics aspects"
+                    )));
+                }
+            } else {
+                behaviors.insert(id.clone(), machine.clone());
+            }
+        }
+    }
+    // Behaviours must reference merged elements.
+    for id in behaviors.keys() {
+        if system.element(id).is_none() {
+            return Err(ModelError::UnknownElement(id.clone()));
+        }
+    }
+    system.validate()?;
+    Ok(MergedModel { system, behaviors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementKind;
+    use crate::relation::RelationKind;
+
+    fn arch() -> AspectModel {
+        let mut m = SystemModel::new("arch");
+        m.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
+        m.add_relation("ctrl", "valve", RelationKind::Flow).unwrap();
+        AspectModel::new(Concern::Architecture, m)
+    }
+
+    fn dynamics() -> AspectModel {
+        let mut m = SystemModel::new("dyn");
+        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
+        let mut a = AspectModel::new(Concern::Dynamics, m);
+        let mut machine = QualMachine::new("valve", "closed").unwrap();
+        machine.add_state("open", [("flow", "positive")]).unwrap();
+        a.add_behavior("valve", machine).unwrap();
+        a
+    }
+
+    fn deployment() -> AspectModel {
+        let mut m = SystemModel::new("deploy");
+        m.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
+        m.add_element("fw", "Firmware", ElementKind::SystemSoftware).unwrap();
+        m.add_relation("ctrl", "fw", RelationKind::Composition).unwrap();
+        AspectModel::new(Concern::Deployment, m)
+    }
+
+    #[test]
+    fn merge_produces_single_model() {
+        let merged = merge_aspects("wt", &[arch(), dynamics(), deployment()]).unwrap();
+        assert_eq!(merged.system.element_count(), 3);
+        assert_eq!(merged.system.relation_count(), 2);
+        assert!(merged.behaviors.contains_key("valve"));
+    }
+
+    #[test]
+    fn behavior_on_unknown_element_is_rejected() {
+        let mut a = dynamics();
+        let m = QualMachine::new("ghost", "s").unwrap();
+        assert!(matches!(a.add_behavior("ghost", m), Err(ModelError::UnknownElement(_))));
+    }
+
+    #[test]
+    fn conflicting_behaviors_are_rejected() {
+        let d1 = dynamics();
+        let mut d2 = dynamics();
+        let mut other = QualMachine::new("valve", "stuck").unwrap();
+        other.add_state("x", []).unwrap();
+        d2.behaviors.insert("valve".into(), other);
+        assert!(matches!(
+            merge_aspects("wt", &[d1, d2]),
+            Err(ModelError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn identical_behaviors_merge_fine() {
+        let merged = merge_aspects("wt", &[dynamics(), dynamics()]).unwrap();
+        assert_eq!(merged.behaviors.len(), 1);
+    }
+
+    #[test]
+    fn merge_of_empty_aspect_list_is_empty_model() {
+        let merged = merge_aspects("empty", &[]).unwrap();
+        assert_eq!(merged.system.element_count(), 0);
+    }
+}

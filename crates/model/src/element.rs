@@ -1,0 +1,250 @@
+//! Layered element taxonomy (ArchiMate-style).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Architectural layer of an element.
+///
+/// ArchiMate's business/application/technology layering is extended with an
+/// explicit **physical** layer for the OT side of a CPS (equipment,
+/// material, facilities), following the ArchiMate physical-elements
+/// extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// Organisational processes, actors, services.
+    Business,
+    /// Application components, services, data.
+    Application,
+    /// IT infrastructure: nodes, devices, system software, networks.
+    Technology,
+    /// OT/physical: equipment, facilities, material flows.
+    Physical,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Layer::Business => "business",
+            Layer::Application => "application",
+            Layer::Technology => "technology",
+            Layer::Physical => "physical",
+        })
+    }
+}
+
+/// Element kinds, a practical subset of the ArchiMate vocabulary plus the
+/// physical extension used by IT/OT models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElementKind {
+    // Business layer.
+    /// A human or organisational actor (e.g. *Operator*).
+    BusinessActor,
+    /// A business process.
+    BusinessProcess,
+    /// A business service.
+    BusinessService,
+    // Application layer.
+    /// A deployable software component (e.g. *HMI application*).
+    ApplicationComponent,
+    /// An application-level service.
+    ApplicationService,
+    /// A data object.
+    DataObject,
+    // Technology layer.
+    /// A computation node (server, workstation).
+    Node,
+    /// A physical IT device (PLC, sensor gateway).
+    Device,
+    /// System software (OS, runtime, firmware).
+    SystemSoftware,
+    /// A communication network.
+    CommunicationNetwork,
+    /// A technology-level service.
+    TechnologyService,
+    // Physical layer.
+    /// A piece of machinery or plant equipment (tank, valve).
+    Equipment,
+    /// A physical facility.
+    Facility,
+    /// Physical material or substance processed by equipment.
+    Material,
+}
+
+impl ElementKind {
+    /// The layer this kind belongs to.
+    #[must_use]
+    pub fn layer(self) -> Layer {
+        use ElementKind::*;
+        match self {
+            BusinessActor | BusinessProcess | BusinessService => Layer::Business,
+            ApplicationComponent | ApplicationService | DataObject => Layer::Application,
+            Node | Device | SystemSoftware | CommunicationNetwork | TechnologyService => {
+                Layer::Technology
+            }
+            Equipment | Facility | Material => Layer::Physical,
+        }
+    }
+
+    /// True for *active structure* elements that can exhibit behaviour
+    /// (and therefore carry fault modes).
+    #[must_use]
+    pub fn is_active(self) -> bool {
+        use ElementKind::*;
+        !matches!(self, DataObject | Material | Facility)
+    }
+
+    /// ASP-safe lowercase name of the kind.
+    #[must_use]
+    pub fn asp_name(self) -> &'static str {
+        use ElementKind::*;
+        match self {
+            BusinessActor => "business_actor",
+            BusinessProcess => "business_process",
+            BusinessService => "business_service",
+            ApplicationComponent => "application_component",
+            ApplicationService => "application_service",
+            DataObject => "data_object",
+            Node => "node",
+            Device => "device",
+            SystemSoftware => "system_software",
+            CommunicationNetwork => "communication_network",
+            TechnologyService => "technology_service",
+            Equipment => "equipment",
+            Facility => "facility",
+            Material => "material",
+        }
+    }
+
+    /// All kinds (useful for iteration in libraries and tests).
+    pub const ALL: [ElementKind; 14] = [
+        ElementKind::BusinessActor,
+        ElementKind::BusinessProcess,
+        ElementKind::BusinessService,
+        ElementKind::ApplicationComponent,
+        ElementKind::ApplicationService,
+        ElementKind::DataObject,
+        ElementKind::Node,
+        ElementKind::Device,
+        ElementKind::SystemSoftware,
+        ElementKind::CommunicationNetwork,
+        ElementKind::TechnologyService,
+        ElementKind::Equipment,
+        ElementKind::Facility,
+        ElementKind::Material,
+    ];
+}
+
+impl fmt::Display for ElementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.asp_name())
+    }
+}
+
+/// A model element: id, human name, kind, optional component type, and
+/// free-form properties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Element {
+    /// ASP-safe unique identifier.
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Metamodel kind.
+    pub kind: ElementKind,
+    /// Component type from a [`TypeLibrary`](crate::library::TypeLibrary),
+    /// if instantiated from one.
+    pub type_ref: Option<String>,
+    /// Free-form key/value properties (e.g. `sw_version`, `vendor`).
+    pub properties: BTreeMap<String, String>,
+}
+
+impl Element {
+    /// Create an element.
+    #[must_use]
+    pub fn new(id: impl Into<String>, name: impl Into<String>, kind: ElementKind) -> Self {
+        Element {
+            id: id.into(),
+            name: name.into(),
+            kind,
+            type_ref: None,
+            properties: BTreeMap::new(),
+        }
+    }
+
+    /// Set a property, returning `self` for chaining.
+    #[must_use]
+    pub fn with_property(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.properties.insert(key.into(), value.into());
+        self
+    }
+
+    /// Property lookup.
+    #[must_use]
+    pub fn property(&self, key: &str) -> Option<&str> {
+        self.properties.get(key).map(String::as_str)
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} `{}` ({})", self.id, self.name, self.kind)
+    }
+}
+
+/// Is `id` a valid ASP-safe identifier?
+#[must_use]
+pub fn valid_id(id: &str) -> bool {
+    let mut chars = id.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_lowercase())
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_layers() {
+        assert_eq!(ElementKind::BusinessActor.layer(), Layer::Business);
+        assert_eq!(ElementKind::ApplicationComponent.layer(), Layer::Application);
+        assert_eq!(ElementKind::Device.layer(), Layer::Technology);
+        assert_eq!(ElementKind::Equipment.layer(), Layer::Physical);
+        for k in ElementKind::ALL {
+            let _ = k.layer(); // total
+        }
+    }
+
+    #[test]
+    fn passive_elements_have_no_behaviour() {
+        assert!(!ElementKind::DataObject.is_active());
+        assert!(!ElementKind::Material.is_active());
+        assert!(ElementKind::Equipment.is_active());
+        assert!(ElementKind::Node.is_active());
+    }
+
+    #[test]
+    fn identifier_validation() {
+        assert!(valid_id("tank"));
+        assert!(valid_id("water_tank_2"));
+        assert!(!valid_id("Tank"));
+        assert!(!valid_id("2tank"));
+        assert!(!valid_id(""));
+        assert!(!valid_id("tank-1"));
+    }
+
+    #[test]
+    fn properties_round_trip() {
+        let e = Element::new("ws", "Workstation", ElementKind::Node)
+            .with_property("os", "win10")
+            .with_property("sw_version", "2.3");
+        assert_eq!(e.property("os"), Some("win10"));
+        assert_eq!(e.property("missing"), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Element::new("tank", "Water Tank", ElementKind::Equipment);
+        assert_eq!(e.to_string(), "tank `Water Tank` (equipment)");
+        assert_eq!(Layer::Physical.to_string(), "physical");
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the modeling layer.
+
+use std::fmt;
+
+/// Errors from model construction, merging, refinement and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An element id was declared twice.
+    DuplicateElement(String),
+    /// A relation or annotation references an unknown element.
+    UnknownElement(String),
+    /// Element ids must be ASP-safe: `[a-z][a-z0-9_]*`.
+    BadIdentifier(String),
+    /// A relation between these kinds is not allowed by the metamodel.
+    IllegalRelation {
+        /// Relation kind.
+        kind: String,
+        /// Source element id.
+        source: String,
+        /// Target element id.
+        target: String,
+        /// Why it is rejected.
+        reason: String,
+    },
+    /// Validation found dangling references or cycles where forbidden.
+    Invalid(String),
+    /// A component type was not found in the library.
+    UnknownType(String),
+    /// Refinement boundary mapping is inconsistent.
+    BadRefinement(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateElement(id) => write!(f, "duplicate element id `{id}`"),
+            ModelError::UnknownElement(id) => write!(f, "unknown element `{id}`"),
+            ModelError::BadIdentifier(id) => {
+                write!(f, "element id `{id}` is not a valid identifier ([a-z][a-z0-9_]*)")
+            }
+            ModelError::IllegalRelation { kind, source, target, reason } => {
+                write!(f, "illegal {kind} relation {source} -> {target}: {reason}")
+            }
+            ModelError::Invalid(msg) => write!(f, "invalid model: {msg}"),
+            ModelError::UnknownType(t) => write!(f, "unknown component type `{t}`"),
+            ModelError::BadRefinement(msg) => write!(f, "bad refinement: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

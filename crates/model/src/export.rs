@@ -1,0 +1,134 @@
+//! ASP fact emission: the bridge from the MBSE model to the reasoner.
+//!
+//! The exported vocabulary (consumed by the EPA encodings):
+//!
+//! * `element(Id, Kind, Layer).`
+//! * `component(Id).` — active elements only (fault-mode carriers)
+//! * `relation(Src, Kind, Dst).`
+//! * `propagates(Src, Dst).` — the error-propagation edges implied by the
+//!   relation semantics (directed; quantity flows and associations yield
+//!   both directions)
+//! * `exposure(Id, Level).` / `criticality(Id, Level).`
+//! * `has_vulnerability(Id, VulnId).` / `applicable_technique(Id, TechId).`
+//!   / `deployed_mitigation(Id, MitId).`
+//! * `property(Id, Key, Value).`
+
+use cpsrisk_asp::{ProgramBuilder, Term};
+
+use crate::model::SystemModel;
+
+/// Emit the model as ASP facts into `builder`.
+pub fn export_facts(model: &SystemModel, builder: &mut ProgramBuilder) {
+    for e in model.elements() {
+        builder.fact(
+            "element",
+            [
+                Term::sym(&e.id),
+                Term::sym(e.kind.asp_name()),
+                Term::sym(e.kind.layer().to_string()),
+            ],
+        );
+        if e.kind.is_active() {
+            builder.fact("component", [Term::sym(&e.id)]);
+        }
+        if let Some(t) = &e.type_ref {
+            builder.fact("component_type", [Term::sym(&e.id), Term::sym(t)]);
+        }
+        for (k, v) in &e.properties {
+            builder.fact(
+                "property",
+                [Term::sym(&e.id), Term::sym(k), Term::Str(v.clone())],
+            );
+        }
+    }
+    for r in model.relations() {
+        builder.fact(
+            "relation",
+            [Term::sym(&r.source), Term::sym(r.kind.asp_name()), Term::sym(&r.target)],
+        );
+        if let Some(dst) = r.propagates_from(&r.source) {
+            builder.fact("propagates", [Term::sym(&r.source), Term::sym(dst)]);
+        }
+        if let Some(dst) = r.propagates_from(&r.target) {
+            builder.fact("propagates", [Term::sym(&r.target), Term::sym(dst)]);
+        }
+    }
+    for (id, ann) in model.annotations() {
+        builder.fact("exposure", [Term::sym(id), Term::sym(ann.exposure.asp_name())]);
+        builder.fact(
+            "criticality",
+            [Term::sym(id), Term::sym(ann.criticality.abbrev().to_lowercase())],
+        );
+        for v in &ann.vulnerabilities {
+            builder.fact("has_vulnerability", [Term::sym(id), Term::sym(v)]);
+        }
+        for t in &ann.techniques {
+            builder.fact("applicable_technique", [Term::sym(id), Term::sym(t)]);
+        }
+        for m in &ann.mitigations {
+            builder.fact("deployed_mitigation", [Term::sym(id), Term::sym(m)]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementKind;
+    use crate::relation::{FlowKind, Relation, RelationKind};
+    use crate::security::{Exposure, SecurityAnnotation};
+    use cpsrisk_qr::Qual;
+
+    fn model() -> SystemModel {
+        let mut m = SystemModel::new("wt");
+        m.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
+        m.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
+        m.add_element("spec", "Spec Sheet", ElementKind::DataObject).unwrap();
+        m.insert_relation(
+            Relation::new("ctrl", "tank", RelationKind::Flow).with_flow(FlowKind::Quantity),
+        )
+        .unwrap();
+        m.annotate(
+            "ctrl",
+            SecurityAnnotation::new(Exposure::Corporate, Qual::High)
+                .with_vulnerability("v1")
+                .with_mitigation("m1"),
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn facts_cover_elements_relations_and_annotations() {
+        let mut b = ProgramBuilder::new();
+        export_facts(&model(), &mut b);
+        let models = b.finish().solve().unwrap();
+        let m = &models[0];
+        assert!(m.contains_str("element(ctrl,device,technology)"));
+        assert!(m.contains_str("component(ctrl)"));
+        assert!(!m.contains_str("component(spec)"), "passive elements are not components");
+        assert!(m.contains_str("relation(ctrl,flow,tank)"));
+        assert!(m.contains_str("propagates(ctrl,tank)"));
+        assert!(m.contains_str("propagates(tank,ctrl)"), "quantity flow is bidirectional");
+        assert!(m.contains_str("exposure(ctrl,corporate)"));
+        assert!(m.contains_str("criticality(ctrl,h)"));
+        assert!(m.contains_str("has_vulnerability(ctrl,v1)"));
+        assert!(m.contains_str("deployed_mitigation(ctrl,m1)"));
+    }
+
+    #[test]
+    fn exported_facts_support_reachability_rules() {
+        let mut b = ProgramBuilder::new();
+        export_facts(&model(), &mut b);
+        b.append(
+            cpsrisk_asp::parse(
+                "reach(X, X) :- component(X). \
+                 reach(X, Z) :- reach(X, Y), propagates(Y, Z).",
+            )
+            .unwrap(),
+        );
+        let models = b.finish().solve().unwrap();
+        assert!(models[0].contains_str("reach(ctrl,tank)"));
+        assert!(models[0].contains_str("reach(tank,ctrl)"));
+    }
+}

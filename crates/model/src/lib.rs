@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! ArchiMate-style MBSE modeling of IT/OT cyber-physical systems.
+//!
+//! The paper uses the TOGAF ArchiMate language as the *lightweight modeling*
+//! front-end: engineers describe components, their types, and relations at a
+//! general level, attach security metadata, and the resulting system
+//! validation model feeds the logic reasoner. This crate provides:
+//!
+//! * [`element`] / [`relation`] — the layered metamodel (business,
+//!   application, technology, physical) with the ArchiMate relationship
+//!   taxonomy, distinguishing directed IT **signal flows** from undirected
+//!   OT **quantity couplings** (conservation laws),
+//! * [`SystemModel`] — the merged single-paradigm model with validation and
+//!   graph queries,
+//! * [`aspect`] — separate architecture / dynamics / deployment aspect
+//!   models merged into one system model (Fig. 1, step 1),
+//! * [`library`] — reusable component-type libraries with default fault
+//!   modes and behaviour templates,
+//! * [`refinement`] — hierarchical asset refinement (Fig. 4): replace a
+//!   coarse asset with a detailed sub-model while keeping the boundary,
+//! * [`security`] — security metadata (exposure, criticality, vulnerability
+//!   and mitigation references) attachable to any element,
+//! * [`export`] — ASP fact emission consumed by the reasoner.
+//!
+//! # Example
+//!
+//! ```
+//! use cpsrisk_model::{ElementKind, Layer, RelationKind, SystemModel};
+//!
+//! let mut m = SystemModel::new("water_tank");
+//! m.add_element("tank", "Water Tank", ElementKind::Equipment)?;
+//! m.add_element("sensor", "Level Sensor", ElementKind::Device)?;
+//! m.add_relation("sensor", "tank", RelationKind::Association)?; // physical coupling
+//! m.validate()?;
+//! assert_eq!(m.element("tank").unwrap().kind.layer(), Layer::Physical);
+//! # Ok::<(), cpsrisk_model::ModelError>(())
+//! ```
+
+pub mod aspect;
+pub mod element;
+pub mod error;
+pub mod export;
+pub mod library;
+pub mod model;
+pub mod refinement;
+pub mod relation;
+pub mod security;
+
+pub use element::{Element, ElementKind, Layer};
+pub use error::ModelError;
+pub use library::{ComponentType, TypeLibrary};
+pub use model::SystemModel;
+pub use refinement::Refinement;
+pub use relation::{FlowKind, Relation, RelationKind};
+pub use security::{Exposure, SecurityAnnotation};

@@ -1,0 +1,248 @@
+//! Reusable component-type libraries.
+//!
+//! *"Component-type libraries support reusing already existing sub-models."*
+//! A [`ComponentType`] bundles the metamodel kind, default fault modes, and
+//! an optional behaviour template; [`TypeLibrary::instantiate`] stamps out a
+//! typed element with the defaults applied.
+
+use cpsrisk_qr::QualMachine;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::element::{Element, ElementKind};
+use crate::error::ModelError;
+
+/// A reusable component type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentType {
+    /// Type name (library key).
+    pub name: String,
+    /// Metamodel kind of instances.
+    pub kind: ElementKind,
+    /// Default fault-mode names of instances (e.g. `stuck_at_open`).
+    pub fault_modes: Vec<String>,
+    /// Behaviour template; instance machines are renamed copies.
+    pub behavior: Option<QualMachine>,
+    /// Default properties applied to instances.
+    pub defaults: BTreeMap<String, String>,
+}
+
+impl ComponentType {
+    /// A new type with no fault modes or behaviour.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: ElementKind) -> Self {
+        ComponentType {
+            name: name.into(),
+            kind,
+            fault_modes: Vec::new(),
+            behavior: None,
+            defaults: BTreeMap::new(),
+        }
+    }
+
+    /// Add a fault mode (chaining).
+    #[must_use]
+    pub fn with_fault_mode(mut self, mode: impl Into<String>) -> Self {
+        self.fault_modes.push(mode.into());
+        self
+    }
+
+    /// Set the behaviour template (chaining).
+    #[must_use]
+    pub fn with_behavior(mut self, machine: QualMachine) -> Self {
+        self.behavior = Some(machine);
+        self
+    }
+
+    /// Add a default property (chaining).
+    #[must_use]
+    pub fn with_default(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.defaults.insert(key.into(), value.into());
+        self
+    }
+}
+
+impl fmt::Display for ComponentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "type {} ({}, {} fault modes)",
+            self.name,
+            self.kind,
+            self.fault_modes.len()
+        )
+    }
+}
+
+/// A named collection of component types.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TypeLibrary {
+    types: BTreeMap<String, ComponentType>,
+}
+
+impl TypeLibrary {
+    /// An empty library.
+    #[must_use]
+    pub fn new() -> Self {
+        TypeLibrary::default()
+    }
+
+    /// A library pre-loaded with common IT/OT component types (valves,
+    /// tanks, sensors, controllers, HMIs, workstations, networks).
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut lib = TypeLibrary::new();
+        lib.register(
+            ComponentType::new("valve_actuator", ElementKind::Equipment)
+                .with_fault_mode("stuck_at_open")
+                .with_fault_mode("stuck_at_closed"),
+        );
+        lib.register(
+            ComponentType::new("storage_tank", ElementKind::Equipment)
+                .with_fault_mode("leak")
+                .with_fault_mode("rupture"),
+        );
+        lib.register(
+            ComponentType::new("level_sensor", ElementKind::Device)
+                .with_fault_mode("no_signal")
+                .with_fault_mode("offset_reading"),
+        );
+        lib.register(
+            ComponentType::new("plc_controller", ElementKind::Device)
+                .with_fault_mode("no_signal")
+                .with_fault_mode("wrong_command")
+                .with_fault_mode("compromised"),
+        );
+        lib.register(
+            ComponentType::new("hmi", ElementKind::ApplicationComponent)
+                .with_fault_mode("no_signal")
+                .with_fault_mode("compromised"),
+        );
+        lib.register(
+            ComponentType::new("engineering_workstation", ElementKind::Node)
+                .with_fault_mode("compromised"),
+        );
+        lib.register(
+            ComponentType::new("office_network", ElementKind::CommunicationNetwork)
+                .with_fault_mode("compromised"),
+        );
+        lib.register(
+            ComponentType::new("control_network", ElementKind::CommunicationNetwork)
+                .with_fault_mode("compromised")
+                .with_fault_mode("congested"),
+        );
+        lib
+    }
+
+    /// Register (or replace) a type.
+    pub fn register(&mut self, ty: ComponentType) {
+        self.types.insert(ty.name.clone(), ty);
+    }
+
+    /// Look up a type.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&ComponentType> {
+        self.types.get(name)
+    }
+
+    /// Number of registered types.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// True if no types are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterate types in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ComponentType> {
+        self.types.values()
+    }
+
+    /// Instantiate a type as a fresh element, applying default properties
+    /// and recording the `type_ref`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownType`] if the type is not registered.
+    pub fn instantiate(
+        &self,
+        type_name: &str,
+        id: &str,
+        display_name: &str,
+    ) -> Result<Element, ModelError> {
+        let ty = self
+            .types
+            .get(type_name)
+            .ok_or_else(|| ModelError::UnknownType(type_name.to_owned()))?;
+        let mut e = Element::new(id, display_name, ty.kind);
+        e.type_ref = Some(ty.name.clone());
+        e.properties = ty.defaults.clone();
+        Ok(e)
+    }
+
+    /// Fault modes of a type (empty for unknown types).
+    #[must_use]
+    pub fn fault_modes(&self, type_name: &str) -> &[String] {
+        self.types
+            .get(type_name)
+            .map_or(&[], |t| t.fault_modes.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_covers_the_case_study() {
+        let lib = TypeLibrary::standard();
+        assert!(lib.len() >= 8);
+        assert!(lib.get("valve_actuator").is_some());
+        assert_eq!(
+            lib.fault_modes("valve_actuator"),
+            &["stuck_at_open", "stuck_at_closed"]
+        );
+        assert!(lib
+            .fault_modes("engineering_workstation")
+            .contains(&"compromised".to_owned()));
+    }
+
+    #[test]
+    fn instantiate_applies_type_defaults() {
+        let mut lib = TypeLibrary::new();
+        lib.register(
+            ComponentType::new("plc", ElementKind::Device)
+                .with_default("vendor", "acme")
+                .with_fault_mode("no_signal"),
+        );
+        let e = lib.instantiate("plc", "plc1", "Main PLC").unwrap();
+        assert_eq!(e.kind, ElementKind::Device);
+        assert_eq!(e.type_ref.as_deref(), Some("plc"));
+        assert_eq!(e.property("vendor"), Some("acme"));
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        let lib = TypeLibrary::new();
+        assert!(matches!(
+            lib.instantiate("ghost", "g", "G"),
+            Err(ModelError::UnknownType(_))
+        ));
+        assert!(lib.fault_modes("ghost").is_empty());
+        assert!(lib.is_empty());
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut lib = TypeLibrary::new();
+        lib.register(ComponentType::new("x", ElementKind::Node));
+        lib.register(ComponentType::new("x", ElementKind::Device));
+        assert_eq!(lib.get("x").unwrap().kind, ElementKind::Device);
+        assert_eq!(lib.len(), 1);
+    }
+}

@@ -1,0 +1,445 @@
+//! The merged system model: elements + relations + queries + validation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::element::{valid_id, Element, ElementKind, Layer};
+use crate::error::ModelError;
+use crate::relation::{Relation, RelationKind};
+use crate::security::SecurityAnnotation;
+
+/// A complete IT/OT system model in one mathematical paradigm: a typed,
+/// attributed graph of elements and relations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemModel {
+    /// Model name.
+    pub name: String,
+    elements: BTreeMap<String, Element>,
+    relations: Vec<Relation>,
+    security: BTreeMap<String, SecurityAnnotation>,
+}
+
+impl SystemModel {
+    /// An empty model.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        SystemModel { name: name.into(), ..SystemModel::default() }
+    }
+
+    /// Add an element by id/name/kind.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::BadIdentifier`] for non-ASP-safe ids,
+    /// * [`ModelError::DuplicateElement`] for repeated ids.
+    pub fn add_element(
+        &mut self,
+        id: &str,
+        name: &str,
+        kind: ElementKind,
+    ) -> Result<&mut Element, ModelError> {
+        self.insert_element(Element::new(id, name, kind))
+    }
+
+    /// Insert a prepared element.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SystemModel::add_element`].
+    pub fn insert_element(&mut self, element: Element) -> Result<&mut Element, ModelError> {
+        if !valid_id(&element.id) {
+            return Err(ModelError::BadIdentifier(element.id));
+        }
+        if self.elements.contains_key(&element.id) {
+            return Err(ModelError::DuplicateElement(element.id));
+        }
+        let id = element.id.clone();
+        self.elements.insert(id.clone(), element);
+        Ok(self.elements.get_mut(&id).expect("just inserted"))
+    }
+
+    /// Add a relation between existing elements.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnknownElement`] if an endpoint is missing,
+    /// * [`ModelError::IllegalRelation`] for metamodel violations
+    ///   (e.g. `Access` whose target is an active element).
+    pub fn add_relation(
+        &mut self,
+        source: &str,
+        target: &str,
+        kind: RelationKind,
+    ) -> Result<&mut Relation, ModelError> {
+        self.insert_relation(Relation::new(source, target, kind))
+    }
+
+    /// Insert a prepared relation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SystemModel::add_relation`].
+    pub fn insert_relation(&mut self, relation: Relation) -> Result<&mut Relation, ModelError> {
+        for end in [&relation.source, &relation.target] {
+            if !self.elements.contains_key(end) {
+                return Err(ModelError::UnknownElement(end.clone()));
+            }
+        }
+        let src_kind = self.elements[&relation.source].kind;
+        let dst_kind = self.elements[&relation.target].kind;
+        if relation.kind == RelationKind::Access && dst_kind.is_active() {
+            return Err(ModelError::IllegalRelation {
+                kind: relation.kind.to_string(),
+                source: relation.source,
+                target: relation.target,
+                reason: "access targets must be passive elements".into(),
+            });
+        }
+        if relation.kind == RelationKind::Assignment
+            && src_kind.layer() == Layer::Physical
+            && dst_kind.layer() != Layer::Physical
+        {
+            return Err(ModelError::IllegalRelation {
+                kind: relation.kind.to_string(),
+                source: relation.source,
+                target: relation.target,
+                reason: "physical elements cannot host higher-layer behaviour".into(),
+            });
+        }
+        self.relations.push(relation);
+        Ok(self.relations.last_mut().expect("just pushed"))
+    }
+
+    /// Attach (or replace) a security annotation on an element.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownElement`] if the element is missing.
+    pub fn annotate(
+        &mut self,
+        element: &str,
+        annotation: SecurityAnnotation,
+    ) -> Result<(), ModelError> {
+        if !self.elements.contains_key(element) {
+            return Err(ModelError::UnknownElement(element.to_owned()));
+        }
+        self.security.insert(element.to_owned(), annotation);
+        Ok(())
+    }
+
+    /// The security annotation of an element, if any.
+    #[must_use]
+    pub fn annotation(&self, element: &str) -> Option<&SecurityAnnotation> {
+        self.security.get(element)
+    }
+
+    /// All annotations.
+    #[must_use]
+    pub fn annotations(&self) -> &BTreeMap<String, SecurityAnnotation> {
+        &self.security
+    }
+
+    /// Element lookup.
+    #[must_use]
+    pub fn element(&self, id: &str) -> Option<&Element> {
+        self.elements.get(id)
+    }
+
+    /// Mutable element lookup.
+    #[must_use]
+    pub fn element_mut(&mut self, id: &str) -> Option<&mut Element> {
+        self.elements.get_mut(id)
+    }
+
+    /// Iterate elements in id order.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.elements.values()
+    }
+
+    /// Iterate relations in insertion order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.iter()
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of relations.
+    #[must_use]
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Elements of a given layer, in id order.
+    #[must_use]
+    pub fn layer_elements(&self, layer: Layer) -> Vec<&Element> {
+        self.elements.values().filter(|e| e.kind.layer() == layer).collect()
+    }
+
+    /// Ids reachable from `from` over error-propagating relations
+    /// (breadth-first; includes `from`).
+    #[must_use]
+    pub fn propagation_reach(&self, from: &str) -> Vec<String> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        if self.elements.contains_key(from) {
+            seen.insert(from.to_owned());
+            queue.push_back(from.to_owned());
+        }
+        while let Some(cur) = queue.pop_front() {
+            for r in &self.relations {
+                if let Some(next) = r.propagates_from(&cur) {
+                    if seen.insert(next.to_owned()) {
+                        queue.push_back(next.to_owned());
+                    }
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Direct propagation successors of an element.
+    #[must_use]
+    pub fn propagation_neighbors(&self, from: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .relations
+            .iter()
+            .filter_map(|r| r.propagates_from(from))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Children of an element under Composition/Aggregation.
+    #[must_use]
+    pub fn parts_of(&self, parent: &str) -> Vec<&str> {
+        self.relations
+            .iter()
+            .filter(|r| {
+                r.source == parent
+                    && matches!(r.kind, RelationKind::Composition | RelationKind::Aggregation)
+            })
+            .map(|r| r.target.as_str())
+            .collect()
+    }
+
+    /// Merge another model into this one (Fig. 1 step 1: aspect-model
+    /// merge). Shared element ids must agree on kind; relations and
+    /// properties are unioned.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Invalid`] if a shared id has conflicting kinds.
+    pub fn merge(&mut self, other: &SystemModel) -> Result<(), ModelError> {
+        for e in other.elements.values() {
+            match self.elements.get_mut(&e.id) {
+                Some(existing) => {
+                    if existing.kind != e.kind {
+                        return Err(ModelError::Invalid(format!(
+                            "element `{}` has kind {} in one aspect and {} in another",
+                            e.id, existing.kind, e.kind
+                        )));
+                    }
+                    for (k, v) in &e.properties {
+                        existing.properties.entry(k.clone()).or_insert_with(|| v.clone());
+                    }
+                }
+                None => {
+                    self.elements.insert(e.id.clone(), e.clone());
+                }
+            }
+        }
+        for r in &other.relations {
+            if !self.relations.contains(r) {
+                self.relations.push(r.clone());
+            }
+        }
+        for (id, ann) in &other.security {
+            self.security.entry(id.clone()).or_insert_with(|| ann.clone());
+        }
+        Ok(())
+    }
+
+    /// Validate structural consistency: endpoints exist, annotations point
+    /// at elements, and no self-loops on directed propagating relations.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for r in &self.relations {
+            for end in [&r.source, &r.target] {
+                if !self.elements.contains_key(end) {
+                    return Err(ModelError::UnknownElement(end.clone()));
+                }
+            }
+            if r.source == r.target && r.kind.is_directed() && r.kind.propagates() {
+                return Err(ModelError::Invalid(format!(
+                    "self-loop `{}` on a directed propagating relation",
+                    r.source
+                )));
+            }
+        }
+        for id in self.security.keys() {
+            if !self.elements.contains_key(id) {
+                return Err(ModelError::UnknownElement(id.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SystemModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model {} ({} elements, {} relations)",
+            self.name,
+            self.elements.len(),
+            self.relations.len()
+        )?;
+        for e in self.elements.values() {
+            writeln!(f, "  {e}")?;
+        }
+        for r in &self.relations {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::FlowKind;
+
+    fn tank_model() -> SystemModel {
+        let mut m = SystemModel::new("wt");
+        m.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
+        m.add_element("valve", "Input Valve", ElementKind::Equipment).unwrap();
+        m.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
+        m.add_element("sensor", "Level Sensor", ElementKind::Device).unwrap();
+        m.add_relation("ctrl", "valve", RelationKind::Flow).unwrap();
+        m.insert_relation(
+            Relation::new("valve", "tank", RelationKind::Flow).with_flow(FlowKind::Quantity),
+        )
+        .unwrap();
+        m.add_relation("sensor", "tank", RelationKind::Association).unwrap();
+        m.add_relation("sensor", "ctrl", RelationKind::Flow).unwrap();
+        m
+    }
+
+    #[test]
+    fn duplicate_and_bad_ids_rejected() {
+        let mut m = SystemModel::new("m");
+        m.add_element("a", "A", ElementKind::Node).unwrap();
+        assert!(matches!(
+            m.add_element("a", "A2", ElementKind::Node),
+            Err(ModelError::DuplicateElement(_))
+        ));
+        assert!(matches!(
+            m.add_element("BadId", "X", ElementKind::Node),
+            Err(ModelError::BadIdentifier(_))
+        ));
+    }
+
+    #[test]
+    fn relations_require_existing_endpoints() {
+        let mut m = SystemModel::new("m");
+        m.add_element("a", "A", ElementKind::Node).unwrap();
+        assert!(matches!(
+            m.add_relation("a", "ghost", RelationKind::Flow),
+            Err(ModelError::UnknownElement(_))
+        ));
+    }
+
+    #[test]
+    fn metamodel_constraints_enforced() {
+        let mut m = SystemModel::new("m");
+        m.add_element("app", "App", ElementKind::ApplicationComponent).unwrap();
+        m.add_element("node", "Node", ElementKind::Node).unwrap();
+        m.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
+        // Access must target a passive element.
+        assert!(matches!(
+            m.add_relation("app", "node", RelationKind::Access),
+            Err(ModelError::IllegalRelation { .. })
+        ));
+        // Physical element cannot host an app.
+        assert!(matches!(
+            m.add_relation("tank", "app", RelationKind::Assignment),
+            Err(ModelError::IllegalRelation { .. })
+        ));
+        // Node hosting an app is fine (assignment node -> app).
+        assert!(m.add_relation("node", "app", RelationKind::Assignment).is_ok());
+    }
+
+    #[test]
+    fn propagation_reach_follows_flow_semantics() {
+        let m = tank_model();
+        // From controller: ctrl -> valve -> tank (quantity, bidir) -> sensor -> ctrl.
+        let reach = m.propagation_reach("ctrl");
+        assert_eq!(reach, vec!["ctrl", "sensor", "tank", "valve"]);
+        // From tank: reaches valve (quantity backwards) and sensor + ctrl.
+        let from_tank = m.propagation_reach("tank");
+        assert!(from_tank.contains(&"valve".to_string()));
+        assert!(from_tank.contains(&"sensor".to_string()));
+    }
+
+    #[test]
+    fn propagation_neighbors_dedup() {
+        let m = tank_model();
+        assert_eq!(m.propagation_neighbors("sensor"), vec!["ctrl", "tank"]);
+    }
+
+    #[test]
+    fn merge_unions_aspects() {
+        let mut arch = tank_model();
+        let mut deploy = SystemModel::new("deploy");
+        deploy.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
+        deploy.add_element("fw", "Firmware", ElementKind::SystemSoftware).unwrap();
+        deploy.add_relation("ctrl", "fw", RelationKind::Composition).unwrap();
+        arch.merge(&deploy).unwrap();
+        assert!(arch.element("fw").is_some());
+        assert_eq!(arch.element_count(), 5);
+        assert_eq!(arch.parts_of("ctrl"), vec!["fw"]);
+    }
+
+    #[test]
+    fn merge_rejects_conflicting_kinds() {
+        let mut a = SystemModel::new("a");
+        a.add_element("x", "X", ElementKind::Node).unwrap();
+        let mut b = SystemModel::new("b");
+        b.add_element("x", "X", ElementKind::Equipment).unwrap();
+        assert!(matches!(a.merge(&b), Err(ModelError::Invalid(_))));
+    }
+
+    #[test]
+    fn merge_is_idempotent_on_relations() {
+        let mut a = tank_model();
+        let n = a.relation_count();
+        let b = tank_model();
+        a.merge(&b).unwrap();
+        assert_eq!(a.relation_count(), n, "duplicate relations not re-added");
+    }
+
+    #[test]
+    fn validation_catches_self_loops() {
+        let mut m = SystemModel::new("m");
+        m.add_element("a", "A", ElementKind::Node).unwrap();
+        m.relations.push(Relation::new("a", "a", RelationKind::Flow));
+        assert!(matches!(m.validate(), Err(ModelError::Invalid(_))));
+    }
+
+    #[test]
+    fn layer_query() {
+        let m = tank_model();
+        let phys = m.layer_elements(Layer::Physical);
+        assert_eq!(phys.len(), 2);
+        assert!(m.layer_elements(Layer::Business).is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! Hierarchical asset refinement (Fig. 4).
+//!
+//! The analyst first models an asset coarsely (e.g. *Engineering
+//! Workstation*) and later replaces it with a detailed sub-model (e-mail
+//! client → browser → infected computer) while preserving the asset's
+//! connections to the rest of the system. A [`Refinement`] records the
+//! sub-model and a *boundary mapping* deciding which internal element takes
+//! over each external relation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::model::SystemModel;
+use crate::relation::{Relation, RelationKind};
+
+/// A refinement of one asset into a detailed sub-model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Refinement {
+    /// Id of the asset being refined.
+    pub target: String,
+    /// The detailed internal model.
+    pub detail: SystemModel,
+    /// For each *external* neighbour id, the internal element that takes
+    /// over relations to/from it. A `None` default entry (`*`) may be set
+    /// with [`Refinement::with_default_port`].
+    pub boundary: BTreeMap<String, String>,
+    /// Fallback internal element for unmapped external relations.
+    pub default_port: Option<String>,
+}
+
+impl Refinement {
+    /// A refinement of `target` by `detail`.
+    #[must_use]
+    pub fn new(target: impl Into<String>, detail: SystemModel) -> Self {
+        Refinement {
+            target: target.into(),
+            detail,
+            boundary: BTreeMap::new(),
+            default_port: None,
+        }
+    }
+
+    /// Route relations with external neighbour `external` to the internal
+    /// element `internal` (chaining).
+    #[must_use]
+    pub fn with_port(mut self, external: impl Into<String>, internal: impl Into<String>) -> Self {
+        self.boundary.insert(external.into(), internal.into());
+        self
+    }
+
+    /// Route all unmapped external relations to `internal` (chaining).
+    #[must_use]
+    pub fn with_default_port(mut self, internal: impl Into<String>) -> Self {
+        self.default_port = Some(internal.into());
+        self
+    }
+
+    /// The internal endpoint for an external neighbour.
+    fn port_for(&self, external: &str) -> Option<&str> {
+        self.boundary
+            .get(external)
+            .map(String::as_str)
+            .or(self.default_port.as_deref())
+    }
+}
+
+impl fmt::Display for Refinement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "refine {} into {} elements",
+            self.target,
+            self.detail.element_count()
+        )
+    }
+}
+
+/// Apply a refinement to a model, producing the refined model.
+///
+/// The coarse element is removed; the detail fragment is inserted; every
+/// relation that referenced the coarse element is re-routed to the mapped
+/// internal element; a `Composition` relation from each internal element to
+/// a fresh group is **not** added (flat semantics) — instead the detail
+/// elements keep a `refines` property recording provenance.
+///
+/// # Errors
+///
+/// * [`ModelError::UnknownElement`] if the target is missing,
+/// * [`ModelError::BadRefinement`] if a boundary mapping references an
+///   element outside the detail fragment or an external relation has no
+///   port,
+/// * [`ModelError::DuplicateElement`] if detail ids clash with the rest of
+///   the model.
+pub fn apply_refinement(
+    model: &SystemModel,
+    refinement: &Refinement,
+) -> Result<SystemModel, ModelError> {
+    if model.element(&refinement.target).is_none() {
+        return Err(ModelError::UnknownElement(refinement.target.clone()));
+    }
+    for internal in refinement
+        .boundary
+        .values()
+        .chain(refinement.default_port.iter())
+    {
+        if refinement.detail.element(internal).is_none() {
+            return Err(ModelError::BadRefinement(format!(
+                "boundary element `{internal}` is not in the detail model"
+            )));
+        }
+    }
+
+    let mut out = SystemModel::new(model.name.clone());
+    // Copy elements except the refined one.
+    for e in model.elements() {
+        if e.id != refinement.target {
+            out.insert_element(e.clone())?;
+        }
+    }
+    // Insert detail elements with provenance.
+    for e in refinement.detail.elements() {
+        let mut e = e.clone();
+        e.properties
+            .insert("refines".into(), refinement.target.clone());
+        out.insert_element(e)?;
+    }
+    // Copy internal relations of the detail model.
+    for r in refinement.detail.relations() {
+        out.insert_relation(r.clone())?;
+    }
+    // Re-route external relations.
+    for r in model.relations() {
+        if r.source != refinement.target && r.target != refinement.target {
+            out.insert_relation(r.clone())?;
+            continue;
+        }
+        if r.source == refinement.target && r.target == refinement.target {
+            continue; // undirected self-association disappears
+        }
+        let (external, to_internal) = if r.source == refinement.target {
+            (r.target.clone(), false)
+        } else {
+            (r.source.clone(), true)
+        };
+        let port = refinement.port_for(&external).ok_or_else(|| {
+            ModelError::BadRefinement(format!(
+                "no boundary port for external neighbour `{external}`"
+            ))
+        })?;
+        let mut nr = r.clone();
+        if to_internal {
+            nr.target = port.to_owned();
+        } else {
+            nr.source = port.to_owned();
+        }
+        out.insert_relation(nr)?;
+    }
+    // Preserve security annotations (the refined asset's annotation moves
+    // to the default port, if any).
+    for (id, ann) in model.annotations() {
+        if id == &refinement.target {
+            if let Some(port) = refinement.default_port.as_deref() {
+                out.annotate(port, ann.clone())?;
+            }
+        } else {
+            out.annotate(id, ann.clone())?;
+        }
+    }
+    for (id, ann) in refinement.detail.annotations() {
+        out.annotate(id, ann.clone())?;
+    }
+    out.validate()?;
+    Ok(out)
+}
+
+/// Convenience: the Fig. 4 Engineering-Workstation refinement — e-mail
+/// client → browser → infected computer, ports defaulting to the computer.
+#[must_use]
+pub fn engineering_workstation_detail() -> SystemModel {
+    use crate::element::ElementKind;
+    let mut d = SystemModel::new("ew_detail");
+    d.add_element("email_client", "E-mail Client", ElementKind::ApplicationComponent)
+        .expect("static model");
+    d.add_element("browser", "Browser", ElementKind::ApplicationComponent)
+        .expect("static model");
+    d.add_element("ew_computer", "Workstation Computer", ElementKind::Node)
+        .expect("static model");
+    d.insert_relation(Relation::new("email_client", "browser", RelationKind::Flow))
+        .expect("static model");
+    d.insert_relation(Relation::new("browser", "ew_computer", RelationKind::Flow))
+        .expect("static model");
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementKind;
+
+    fn base() -> SystemModel {
+        let mut m = SystemModel::new("sys");
+        m.add_element("ew", "Engineering Workstation", ElementKind::Node).unwrap();
+        m.add_element("plc", "PLC", ElementKind::Device).unwrap();
+        m.add_element("net", "Office Net", ElementKind::CommunicationNetwork).unwrap();
+        m.add_relation("net", "ew", RelationKind::Flow).unwrap();
+        m.add_relation("ew", "plc", RelationKind::Flow).unwrap();
+        m
+    }
+
+    #[test]
+    fn refinement_replaces_asset_and_reroutes() {
+        let r = Refinement::new("ew", engineering_workstation_detail())
+            .with_port("net", "email_client")
+            .with_default_port("ew_computer");
+        let refined = apply_refinement(&base(), &r).unwrap();
+        assert!(refined.element("ew").is_none());
+        assert!(refined.element("browser").is_some());
+        // net -> email_client and ew_computer -> plc.
+        assert!(refined
+            .relations()
+            .any(|x| x.source == "net" && x.target == "email_client"));
+        assert!(refined
+            .relations()
+            .any(|x| x.source == "ew_computer" && x.target == "plc"));
+        // Provenance recorded.
+        assert_eq!(refined.element("browser").unwrap().property("refines"), Some("ew"));
+    }
+
+    #[test]
+    fn missing_port_is_an_error() {
+        let r = Refinement::new("ew", engineering_workstation_detail());
+        assert!(matches!(
+            apply_refinement(&base(), &r),
+            Err(ModelError::BadRefinement(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_target_is_an_error() {
+        let r = Refinement::new("ghost", engineering_workstation_detail());
+        assert!(matches!(
+            apply_refinement(&base(), &r),
+            Err(ModelError::UnknownElement(_))
+        ));
+    }
+
+    #[test]
+    fn boundary_must_reference_detail_elements() {
+        let r = Refinement::new("ew", engineering_workstation_detail())
+            .with_default_port("nonexistent");
+        assert!(matches!(
+            apply_refinement(&base(), &r),
+            Err(ModelError::BadRefinement(_))
+        ));
+    }
+
+    #[test]
+    fn propagation_path_through_refined_asset() {
+        let r = Refinement::new("ew", engineering_workstation_detail())
+            .with_port("net", "email_client")
+            .with_default_port("ew_computer");
+        let refined = apply_refinement(&base(), &r).unwrap();
+        // The Fig. 4 attack chain exists: net -> email -> browser -> computer -> plc.
+        let reach = refined.propagation_reach("net");
+        for hop in ["email_client", "browser", "ew_computer", "plc"] {
+            assert!(reach.contains(&hop.to_string()), "missing hop {hop}");
+        }
+    }
+
+    #[test]
+    fn annotations_move_to_default_port() {
+        use crate::security::{Exposure, SecurityAnnotation};
+        use cpsrisk_qr::Qual;
+        let mut m = base();
+        m.annotate("ew", SecurityAnnotation::new(Exposure::Corporate, Qual::High)).unwrap();
+        let r = Refinement::new("ew", engineering_workstation_detail())
+            .with_port("net", "email_client")
+            .with_default_port("ew_computer");
+        let refined = apply_refinement(&m, &r).unwrap();
+        assert_eq!(
+            refined.annotation("ew_computer").unwrap().criticality,
+            Qual::High
+        );
+    }
+}
+
+#[cfg(test)]
+mod nested_tests {
+    use super::*;
+    use crate::element::ElementKind;
+    use crate::relation::RelationKind;
+
+    /// Two-level refinement: refine the workstation, then refine the
+    /// resulting computer into OS + application — the iterative drill-down
+    /// of §VI.
+    #[test]
+    fn refinements_nest() {
+        let mut base = SystemModel::new("sys");
+        base.add_element("ew", "Workstation", ElementKind::Node).unwrap();
+        base.add_element("plc", "PLC", ElementKind::Device).unwrap();
+        base.add_relation("ew", "plc", RelationKind::Flow).unwrap();
+
+        let level1 = Refinement::new("ew", engineering_workstation_detail())
+            .with_default_port("ew_computer");
+        let refined1 = apply_refinement(&base, &level1).unwrap();
+
+        let mut detail2 = SystemModel::new("computer_detail");
+        detail2.add_element("os", "Operating System", ElementKind::SystemSoftware).unwrap();
+        detail2
+            .add_element("eng_app", "Engineering App", ElementKind::ApplicationComponent)
+            .unwrap();
+        detail2.add_relation("os", "eng_app", RelationKind::Serving).unwrap();
+        let level2 = Refinement::new("ew_computer", detail2).with_default_port("os");
+        let refined2 = apply_refinement(&refined1, &level2).unwrap();
+
+        assert!(refined2.element("ew").is_none());
+        assert!(refined2.element("ew_computer").is_none());
+        assert!(refined2.element("os").is_some());
+        // The propagation chain survives both levels:
+        // browser -> (was ew_computer, now os) -> plc.
+        let reach = refined2.propagation_reach("browser");
+        assert!(reach.contains(&"os".to_string()));
+        assert!(reach.contains(&"plc".to_string()));
+        // Provenance points at the immediately refined parent.
+        assert_eq!(refined2.element("os").unwrap().property("refines"), Some("ew_computer"));
+        refined2.validate().unwrap();
+    }
+}

@@ -1,0 +1,230 @@
+//! Relationship taxonomy and flow semantics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// ArchiMate-style relationship kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelationKind {
+    /// Whole–part with existence dependency (`source` composes `target`).
+    Composition,
+    /// Whole–part without existence dependency.
+    Aggregation,
+    /// Allocation of behaviour/application to an active element
+    /// (e.g. application component → node it runs on).
+    Assignment,
+    /// A more concrete element realizes a more abstract one.
+    Realization,
+    /// `source` provides services to `target`.
+    Serving,
+    /// Behaviour accesses a passive element (data object, material).
+    Access,
+    /// `source` influences `target` (used for mitigation attachment).
+    Influence,
+    /// Directed transfer: data, information, or physical quantity.
+    Flow,
+    /// Unspecified/undirected association — used for physical couplings
+    /// sharing a conservation law (in/out variables).
+    Association,
+    /// `source` is a specialization of `target`.
+    Specialization,
+}
+
+impl RelationKind {
+    /// Is the relation directed (meaningful source → target order)?
+    #[must_use]
+    pub fn is_directed(self) -> bool {
+        !matches!(self, RelationKind::Association)
+    }
+
+    /// Does the relation carry runtime interaction (and thus error
+    /// propagation), as opposed to purely structural meaning?
+    #[must_use]
+    pub fn propagates(self) -> bool {
+        matches!(
+            self,
+            RelationKind::Flow
+                | RelationKind::Serving
+                | RelationKind::Access
+                | RelationKind::Assignment
+                | RelationKind::Association
+        )
+    }
+
+    /// ASP-safe name.
+    #[must_use]
+    pub fn asp_name(self) -> &'static str {
+        use RelationKind::*;
+        match self {
+            Composition => "composition",
+            Aggregation => "aggregation",
+            Assignment => "assignment",
+            Realization => "realization",
+            Serving => "serving",
+            Access => "access",
+            Influence => "influence",
+            Flow => "flow",
+            Association => "association",
+            Specialization => "specialization",
+        }
+    }
+}
+
+impl fmt::Display for RelationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.asp_name())
+    }
+}
+
+/// The kind of content a [`RelationKind::Flow`] carries.
+///
+/// This is the paper's key modeling distinction: IT components exchange
+/// directional **signals** (data); physical components share **quantities**
+/// under conservation laws (modeled as in/out variables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum FlowKind {
+    /// Directed data/signal flow between predefined outputs and inputs.
+    #[default]
+    Signal,
+    /// Physical quantity flow underlying a conservation law
+    /// (water, energy, pressure); errors can propagate against the
+    /// nominal direction.
+    Quantity,
+}
+
+impl fmt::Display for FlowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlowKind::Signal => "signal",
+            FlowKind::Quantity => "quantity",
+        })
+    }
+}
+
+/// A relation instance between two elements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Source element id.
+    pub source: String,
+    /// Target element id.
+    pub target: String,
+    /// Relationship kind.
+    pub kind: RelationKind,
+    /// Flow content for [`RelationKind::Flow`] (ignored otherwise).
+    pub flow: FlowKind,
+    /// Optional label (e.g. the signal name).
+    pub label: Option<String>,
+}
+
+impl Relation {
+    /// Create a relation with default (signal) flow kind.
+    #[must_use]
+    pub fn new(source: impl Into<String>, target: impl Into<String>, kind: RelationKind) -> Self {
+        Relation {
+            source: source.into(),
+            target: target.into(),
+            kind,
+            flow: FlowKind::default(),
+            label: None,
+        }
+    }
+
+    /// Set the flow kind (chaining).
+    #[must_use]
+    pub fn with_flow(mut self, flow: FlowKind) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Set the label (chaining).
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Can an error propagate from `from` towards the other endpoint over
+    /// this relation? Directed propagating relations carry errors
+    /// source→target; quantity flows and associations also carry them
+    /// backwards (shared conservation variable).
+    #[must_use]
+    pub fn propagates_from(&self, from: &str) -> Option<&str> {
+        if !self.kind.propagates() {
+            return None;
+        }
+        let backwards_ok = !self.kind.is_directed()
+            || (self.kind == RelationKind::Flow && self.flow == FlowKind::Quantity);
+        if self.source == from {
+            Some(&self.target)
+        } else if self.target == from && backwards_ok {
+            Some(&self.source)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = if self.kind.is_directed() { "->" } else { "--" };
+        write!(f, "{} {arrow} {} [{}]", self.source, self.target, self.kind)?;
+        if self.kind == RelationKind::Flow {
+            write!(f, "({})", self.flow)?;
+        }
+        if let Some(l) = &self.label {
+            write!(f, " \"{l}\"")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directedness() {
+        assert!(RelationKind::Flow.is_directed());
+        assert!(!RelationKind::Association.is_directed());
+    }
+
+    #[test]
+    fn propagation_over_signal_flow_is_one_way() {
+        let r = Relation::new("ctrl", "valve", RelationKind::Flow);
+        assert_eq!(r.propagates_from("ctrl"), Some("valve"));
+        assert_eq!(r.propagates_from("valve"), None);
+        assert_eq!(r.propagates_from("other"), None);
+    }
+
+    #[test]
+    fn propagation_over_quantity_flow_is_bidirectional() {
+        let r = Relation::new("pipe", "tank", RelationKind::Flow).with_flow(FlowKind::Quantity);
+        assert_eq!(r.propagates_from("pipe"), Some("tank"));
+        assert_eq!(r.propagates_from("tank"), Some("pipe"));
+    }
+
+    #[test]
+    fn association_propagates_both_ways() {
+        let r = Relation::new("sensor", "tank", RelationKind::Association);
+        assert_eq!(r.propagates_from("tank"), Some("sensor"));
+        assert_eq!(r.propagates_from("sensor"), Some("tank"));
+    }
+
+    #[test]
+    fn structural_relations_do_not_propagate() {
+        let r = Relation::new("a", "b", RelationKind::Specialization);
+        assert_eq!(r.propagates_from("a"), None);
+        let c = Relation::new("a", "b", RelationKind::Composition);
+        assert_eq!(c.propagates_from("a"), None);
+    }
+
+    #[test]
+    fn display_shows_direction_and_flow() {
+        let r = Relation::new("a", "b", RelationKind::Flow)
+            .with_flow(FlowKind::Quantity)
+            .with_label("water");
+        assert_eq!(r.to_string(), "a -> b [flow](quantity) \"water\"");
+        let a = Relation::new("a", "b", RelationKind::Association);
+        assert!(a.to_string().contains("--"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Security metadata attachable to model elements.
+//!
+//! Following the Open Group's "modeling enterprise risk management and
+//! security with ArchiMate" guidance, security aspects are *annotations* on
+//! the architecture model: network exposure, criticality, and references to
+//! vulnerabilities, attack techniques and deployed mitigations (ids into the
+//! threat catalogs).
+
+use cpsrisk_qr::Qual;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How reachable an element is for an attacker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub enum Exposure {
+    /// Reachable from the public internet.
+    Public,
+    /// Reachable from the corporate/office network.
+    Corporate,
+    /// Reachable only from the control/OT network.
+    #[default]
+    ControlNetwork,
+    /// Requires physical access.
+    PhysicalOnly,
+}
+
+impl Exposure {
+    /// Qualitative attack-surface contribution: public exposure means a
+    /// very high contact frequency for threat actors.
+    #[must_use]
+    pub fn contact_frequency(self) -> Qual {
+        match self {
+            Exposure::Public => Qual::VeryHigh,
+            Exposure::Corporate => Qual::High,
+            Exposure::ControlNetwork => Qual::Medium,
+            Exposure::PhysicalOnly => Qual::VeryLow,
+        }
+    }
+
+    /// ASP-safe name.
+    #[must_use]
+    pub fn asp_name(self) -> &'static str {
+        match self {
+            Exposure::Public => "public",
+            Exposure::Corporate => "corporate",
+            Exposure::ControlNetwork => "control_network",
+            Exposure::PhysicalOnly => "physical_only",
+        }
+    }
+}
+
+impl fmt::Display for Exposure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.asp_name())
+    }
+}
+
+/// Security annotation of one element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SecurityAnnotation {
+    /// Network exposure of the element.
+    pub exposure: Exposure,
+    /// Business criticality (drives loss magnitude).
+    pub criticality: Qual,
+    /// Vulnerability ids (into the threat catalog) present on the element.
+    pub vulnerabilities: Vec<String>,
+    /// Attack-technique ids applicable to the element.
+    pub techniques: Vec<String>,
+    /// Mitigation ids deployed on the element.
+    pub mitigations: Vec<String>,
+}
+
+impl SecurityAnnotation {
+    /// An annotation with the given exposure and criticality.
+    #[must_use]
+    pub fn new(exposure: Exposure, criticality: Qual) -> Self {
+        SecurityAnnotation { exposure, criticality, ..SecurityAnnotation::default() }
+    }
+
+    /// Add a vulnerability reference (chaining).
+    #[must_use]
+    pub fn with_vulnerability(mut self, id: impl Into<String>) -> Self {
+        self.vulnerabilities.push(id.into());
+        self
+    }
+
+    /// Add an applicable technique reference (chaining).
+    #[must_use]
+    pub fn with_technique(mut self, id: impl Into<String>) -> Self {
+        self.techniques.push(id.into());
+        self
+    }
+
+    /// Add a deployed mitigation reference (chaining).
+    #[must_use]
+    pub fn with_mitigation(mut self, id: impl Into<String>) -> Self {
+        self.mitigations.push(id.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposure_orders_by_reachability() {
+        assert!(Exposure::Public < Exposure::PhysicalOnly);
+        assert_eq!(Exposure::Public.contact_frequency(), Qual::VeryHigh);
+        assert_eq!(Exposure::PhysicalOnly.contact_frequency(), Qual::VeryLow);
+    }
+
+    #[test]
+    fn annotation_builder_chains() {
+        let ann = SecurityAnnotation::new(Exposure::Corporate, Qual::High)
+            .with_vulnerability("cve_2023_0001")
+            .with_technique("t0866")
+            .with_mitigation("m0917");
+        assert_eq!(ann.vulnerabilities, vec!["cve_2023_0001"]);
+        assert_eq!(ann.techniques, vec!["t0866"]);
+        assert_eq!(ann.mitigations, vec!["m0917"]);
+        assert_eq!(ann.criticality, Qual::High);
+    }
+
+    #[test]
+    fn default_is_control_network_medium() {
+        let d = SecurityAnnotation::default();
+        assert_eq!(d.exposure, Exposure::ControlNetwork);
+        assert_eq!(d.criticality, Qual::Medium);
+        assert!(d.vulnerabilities.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Fault modes of the case-study components.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's fault modes (§VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Fault {
+    /// F1: input valve stuck-at-open.
+    F1,
+    /// F2: output valve stuck-at-closed.
+    F2,
+    /// F3: HMI produces no signal.
+    F3,
+    /// F4: engineering workstation compromised (causes F1, F2 and F3).
+    F4,
+}
+
+impl Fault {
+    /// All fault modes.
+    pub const ALL: [Fault; 4] = [Fault::F1, Fault::F2, Fault::F3, Fault::F4];
+
+    /// The component carrying this fault mode.
+    #[must_use]
+    pub fn component(self) -> &'static str {
+        match self {
+            Fault::F1 => "input_valve",
+            Fault::F2 => "output_valve",
+            Fault::F3 => "hmi",
+            Fault::F4 => "engineering_workstation",
+        }
+    }
+
+    /// The fault-mode name on that component.
+    #[must_use]
+    pub fn mode(self) -> &'static str {
+        match self {
+            Fault::F1 => "stuck_at_open",
+            Fault::F2 => "stuck_at_closed",
+            Fault::F3 => "no_signal",
+            Fault::F4 => "compromised",
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+/// A set of simultaneously active fault modes (an attack/fault scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FaultSet {
+    bits: u8,
+}
+
+impl FaultSet {
+    /// The empty (nominal) scenario.
+    #[must_use]
+    pub fn empty() -> Self {
+        FaultSet::default()
+    }
+
+    /// A scenario from an explicit list.
+    #[must_use]
+    pub fn of(faults: &[Fault]) -> Self {
+        let mut s = FaultSet::empty();
+        for &f in faults {
+            s.insert(f);
+        }
+        s
+    }
+
+    /// Activate a fault.
+    pub fn insert(&mut self, f: Fault) {
+        self.bits |= 1 << (f as u8);
+    }
+
+    /// Is the fault directly active (not counting F4's induced faults)?
+    #[must_use]
+    pub fn contains(&self, f: Fault) -> bool {
+        self.bits & (1 << (f as u8)) != 0
+    }
+
+    /// Is the fault *effectively* active? F4 induces F1, F2 and F3.
+    #[must_use]
+    pub fn effective(&self, f: Fault) -> bool {
+        self.contains(f) || (f != Fault::F4 && self.contains(Fault::F4))
+    }
+
+    /// Number of directly active faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// True for the nominal scenario.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Iterate directly active faults.
+    pub fn iter(&self) -> impl Iterator<Item = Fault> + '_ {
+        Fault::ALL.into_iter().filter(|f| self.contains(*f))
+    }
+
+    /// All 16 scenarios over the four fault modes, in binary order
+    /// (the exhaustive scenario space of the case study).
+    #[must_use]
+    pub fn all_scenarios() -> Vec<FaultSet> {
+        (0u8..16).map(|bits| FaultSet { bits }).collect()
+    }
+}
+
+impl From<Fault> for FaultSet {
+    fn from(f: Fault) -> Self {
+        FaultSet::of(&[f])
+    }
+}
+
+impl FromIterator<Fault> for FaultSet {
+    fn from_iter<T: IntoIterator<Item = Fault>>(iter: T) -> Self {
+        let mut s = FaultSet::empty();
+        for f in iter {
+            s.insert(f);
+        }
+        s
+    }
+}
+
+impl fmt::Display for FaultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "{{}}");
+        }
+        write!(f, "{{")?;
+        for (i, fault) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_iterate() {
+        let s = FaultSet::of(&[Fault::F1, Fault::F3]);
+        assert!(s.contains(Fault::F1));
+        assert!(!s.contains(Fault::F2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Fault::F1, Fault::F3]);
+    }
+
+    #[test]
+    fn f4_induces_physical_faults() {
+        let s = FaultSet::from(Fault::F4);
+        assert!(s.effective(Fault::F1));
+        assert!(s.effective(Fault::F2));
+        assert!(s.effective(Fault::F3));
+        assert!(s.effective(Fault::F4));
+        assert!(!s.contains(Fault::F1), "directly active is only F4");
+        let nominal = FaultSet::empty();
+        assert!(!nominal.effective(Fault::F1));
+    }
+
+    #[test]
+    fn scenario_space_is_exhaustive_and_distinct() {
+        let all = FaultSet::all_scenarios();
+        assert_eq!(all.len(), 16);
+        let mut unique = all.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 16);
+        assert!(all[0].is_empty());
+    }
+
+    #[test]
+    fn display_names_faults() {
+        assert_eq!(FaultSet::empty().to_string(), "{}");
+        assert_eq!(FaultSet::of(&[Fault::F2, Fault::F3]).to_string(), "{F2,F3}");
+    }
+
+    #[test]
+    fn fault_metadata() {
+        assert_eq!(Fault::F1.component(), "input_valve");
+        assert_eq!(Fault::F2.mode(), "stuck_at_closed");
+        assert_eq!(Fault::F4.component(), "engineering_workstation");
+    }
+}

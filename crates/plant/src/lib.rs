@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Continuous-time water-tank plant simulator — the paper's case study.
+//!
+//! The case study system (Fig. 4, inspired by the Tennessee Eastman
+//! Process) is a water tank with input/output valve actuators, a level
+//! sensor, a tank controller, an HMI, and an engineering workstation. This
+//! crate implements the **physical substrate**: an Euler-integrated tank
+//! model with a production-feed control scheme, fault injection for the
+//! paper's fault modes F1–F4, and adapters producing qualitative traces for
+//! the reasoning layers.
+//!
+//! The control scheme (chosen to match the paper's Table II ground truth):
+//! the input valve is the production feed and is nominally **open**; level
+//! is regulated by the **output valve** (open when the level is high, closed
+//! when low). Overflow protection therefore depends on the output valve;
+//! the alert path depends on sensor → controller → HMI.
+//!
+//! * **F1** input valve stuck-at-open — harmless alone (the feed is open
+//!   anyway and the drain compensates),
+//! * **F2** output valve stuck-at-closed — the tank overflows (violates R1),
+//! * **F3** HMI no-signal — alerts are lost (violates R2 *if* an overflow
+//!   happens),
+//! * **F4** compromised engineering workstation — the attacker reconfigures
+//!   both actuators and suppresses the HMI, i.e. F1 ∧ F2 ∧ F3.
+//!
+//! # Example
+//!
+//! ```
+//! use cpsrisk_plant::{Fault, FaultSet, SimConfig, WaterTank};
+//!
+//! let nominal = WaterTank::new(SimConfig::default()).run(&FaultSet::empty());
+//! assert!(!nominal.overflowed());
+//!
+//! let attacked = WaterTank::new(SimConfig::default()).run(&FaultSet::from(Fault::F4));
+//! assert!(attacked.overflowed());
+//! assert!(!attacked.alert_delivered());
+//! ```
+
+pub mod fault;
+pub mod qualitative;
+pub mod sim;
+
+pub use fault::{Fault, FaultSet};
+pub use sim::{SimConfig, SimResult, WaterTank};

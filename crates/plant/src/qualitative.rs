@@ -1,0 +1,166 @@
+//! Qualitative abstraction of simulation runs.
+//!
+//! Bridges the continuous plant to the discrete reasoning layers: the level
+//! signal becomes a [`QualTrace`] over the standard level domain, and a full
+//! run becomes a [`Trace`] of time-stamped atoms suitable for LTLf
+//! requirement checking (`level(tank, <lvl>)`, `alert(hmi)`, …).
+
+use cpsrisk_asp::{Atom, Term};
+use cpsrisk_qr::{QualDomain, QualTrace};
+use cpsrisk_temporal::Trace;
+
+use crate::sim::{SimResult, Valve};
+
+/// The standard qualitative level domain of the case study:
+/// `empty | low | normal | high | overflow`, landmarked at the controller
+/// setpoints and the alert level.
+///
+/// # Panics
+///
+/// Never panics for a configuration accepted by
+/// [`WaterTank::new`](crate::WaterTank::new) (setpoints are ordered).
+#[must_use]
+pub fn level_domain(result: &SimResult) -> QualDomain {
+    let c = &result.config;
+    QualDomain::from_landmarks(
+        "level",
+        &["empty", "low", "normal", "high", "overflow"],
+        &[
+            c.low_setpoint / 2.0,
+            c.low_setpoint,
+            c.high_setpoint,
+            c.alert_level,
+        ],
+    )
+    .expect("setpoints are strictly ordered")
+}
+
+/// Abstract the level signal of a run into a qualitative trace.
+///
+/// # Errors
+///
+/// Propagates abstraction errors (non-finite samples cannot occur in
+/// simulator output, but the signature is honest).
+pub fn abstract_levels(result: &SimResult) -> Result<QualTrace, cpsrisk_qr::QrError> {
+    QualTrace::abstract_signal(&level_domain(result), &result.levels())
+}
+
+/// How many raw simulation steps to fold into one qualitative time step.
+/// Keeps unrolled horizons small while preserving ordering of events.
+#[must_use]
+pub fn default_stride(result: &SimResult) -> usize {
+    (result.steps.len() / 16).max(1)
+}
+
+/// Convert a run into a finite trace of ground atoms (down-sampled by
+/// `stride`): per step `level(tank, <level>)`, `alert_sent`,
+/// `alert(hmi)` when delivered, and valve state atoms.
+#[must_use]
+pub fn to_temporal_trace(result: &SimResult, stride: usize) -> Trace {
+    let stride = stride.max(1);
+    let dom = level_domain(result);
+    let mut trace = Trace::new();
+    for chunk in result.steps.chunks(stride) {
+        let mut atoms: Vec<Atom> = Vec::new();
+        // Use the worst (highest) level in the chunk so overflow episodes
+        // shorter than the stride are never lost (over-approximation).
+        let level = chunk
+            .iter()
+            .map(|s| s.level)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let q = dom.abstract_value(level).expect("sim levels are finite");
+        atoms.push(Atom::new(
+            "level",
+            vec![Term::sym("tank"), Term::sym(q.level_name())],
+        ));
+        if chunk.iter().any(|s| s.alert_sent) {
+            atoms.push(Atom::prop("alert_sent"));
+        }
+        if chunk.iter().any(|s| s.alert_delivered) {
+            atoms.push(Atom::new("alert", vec![Term::sym("hmi")]));
+        }
+        if chunk.iter().any(|s| s.output_valve == Valve::Open) {
+            atoms.push(Atom::new("valve_open", vec![Term::sym("output_valve")]));
+        }
+        if chunk.iter().any(|s| s.input_valve == Valve::Open) {
+            atoms.push(Atom::new("valve_open", vec![Term::sym("input_valve")]));
+        }
+        trace.push_step(atoms);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Fault, FaultSet};
+    use crate::sim::{SimConfig, WaterTank};
+    use cpsrisk_temporal::parse_ltl;
+
+    fn run(faults: &FaultSet) -> SimResult {
+        WaterTank::new(SimConfig::default()).run(faults)
+    }
+
+    #[test]
+    fn nominal_trace_never_reaches_overflow() {
+        let r = run(&FaultSet::empty());
+        let q = abstract_levels(&r).unwrap();
+        assert!(!q.ever_reaches("overflow"));
+        assert!(q.ever_reaches("normal"));
+    }
+
+    #[test]
+    fn f2_trace_reaches_overflow_in_order() {
+        let r = run(&FaultSet::from(Fault::F2));
+        let q = abstract_levels(&r).unwrap();
+        let path = q.level_path();
+        assert_eq!(path.last(), Some(&"overflow"));
+        // Monotone rise: no level repeats after leaving it.
+        let mut seen = std::collections::HashSet::new();
+        for l in &path {
+            assert!(seen.insert(*l), "level {l} revisited in a monotone scenario");
+        }
+    }
+
+    #[test]
+    fn temporal_trace_supports_requirement_checking() {
+        // R1 as LTLf over the abstracted trace.
+        let r1 = parse_ltl("G !level(tank, overflow)").unwrap();
+        let r2 = parse_ltl("G( level(tank, overflow) -> F alert(hmi) )").unwrap();
+
+        let nominal = to_temporal_trace(&run(&FaultSet::empty()), 8);
+        assert!(r1.eval(&nominal, 0));
+        assert!(r2.eval(&nominal, 0));
+
+        let f2 = to_temporal_trace(&run(&FaultSet::from(Fault::F2)), 8);
+        assert!(!r1.eval(&f2, 0));
+        assert!(r2.eval(&f2, 0), "alert delivered before/at overflow");
+
+        let f2f3 = to_temporal_trace(&run(&FaultSet::of(&[Fault::F2, Fault::F3])), 8);
+        assert!(!r1.eval(&f2f3, 0));
+        assert!(!r2.eval(&f2f3, 0), "HMI silenced: alert never delivered");
+    }
+
+    #[test]
+    fn stride_downsamples_without_losing_overflow() {
+        let r = run(&FaultSet::from(Fault::F4));
+        let fine = to_temporal_trace(&r, 1);
+        let coarse = to_temporal_trace(&r, default_stride(&r));
+        assert!(coarse.len() < fine.len());
+        let has_overflow = |t: &Trace| {
+            (0..t.len()).any(|i| t.holds_str(i, "level(tank, overflow)"))
+        };
+        assert!(has_overflow(&fine));
+        assert!(has_overflow(&coarse), "worst-level folding preserves overflow");
+    }
+
+    #[test]
+    fn domain_landmarks_track_config() {
+        let r = run(&FaultSet::empty());
+        let d = level_domain(&r);
+        assert_eq!(d.levels().len(), 5);
+        assert_eq!(d.landmarks().len(), 4);
+        assert_eq!(d.abstract_value(9.6).unwrap().level_name(), "overflow");
+        assert_eq!(d.abstract_value(5.0).unwrap().level_name(), "normal");
+    }
+}

@@ -1,0 +1,316 @@
+//! The Euler-integrated tank simulation with fault injection.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fault::{Fault, FaultSet};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Integration step (seconds).
+    pub dt: f64,
+    /// Simulated duration (seconds).
+    pub duration: f64,
+    /// Tank capacity; level ≥ capacity is an overflow.
+    pub capacity: f64,
+    /// Initial level.
+    pub initial_level: f64,
+    /// Inflow rate with the input valve open (volume/second).
+    pub inflow_rate: f64,
+    /// Outflow rate with the output valve open (must exceed `inflow_rate`
+    /// for the drain to compensate the feed).
+    pub outflow_rate: f64,
+    /// Controller opens the output valve above this level.
+    pub high_setpoint: f64,
+    /// Controller closes the output valve below this level.
+    pub low_setpoint: f64,
+    /// Controller raises the overflow alert at/above this level.
+    pub alert_level: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            dt: 0.5,
+            duration: 600.0,
+            capacity: 10.0,
+            initial_level: 5.0,
+            inflow_rate: 0.05,
+            outflow_rate: 0.08,
+            high_setpoint: 6.0,
+            low_setpoint: 4.0,
+            alert_level: 9.5,
+        }
+    }
+}
+
+/// Valve position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Valve {
+    /// Passing flow.
+    Open,
+    /// Blocking flow.
+    Closed,
+}
+
+/// One recorded simulation step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    /// Simulation time.
+    pub time: f64,
+    /// Water level.
+    pub level: f64,
+    /// Input valve position.
+    pub input_valve: Valve,
+    /// Output valve position.
+    pub output_valve: Valve,
+    /// Did the controller emit an alert this step?
+    pub alert_sent: bool,
+    /// Did the HMI deliver the alert to the operator this step?
+    pub alert_delivered: bool,
+}
+
+/// A completed simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Configuration used.
+    pub config: SimConfig,
+    /// The injected fault scenario.
+    pub faults: FaultSet,
+    /// Recorded steps (one per `dt`).
+    pub steps: Vec<Step>,
+}
+
+impl SimResult {
+    /// Did the tank ever overflow (level ≥ capacity)?
+    #[must_use]
+    pub fn overflowed(&self) -> bool {
+        self.steps.iter().any(|s| s.level >= self.config.capacity)
+    }
+
+    /// First overflow time, if any.
+    #[must_use]
+    pub fn overflow_time(&self) -> Option<f64> {
+        self.steps
+            .iter()
+            .find(|s| s.level >= self.config.capacity)
+            .map(|s| s.time)
+    }
+
+    /// Was an alert delivered to the operator at any point?
+    #[must_use]
+    pub fn alert_delivered(&self) -> bool {
+        self.steps.iter().any(|s| s.alert_delivered)
+    }
+
+    /// R1: the water tank must not overflow.
+    #[must_use]
+    pub fn violates_r1(&self) -> bool {
+        self.overflowed()
+    }
+
+    /// R2: an alert must reach the operator in case of overflow.
+    /// Vacuously satisfied if no overflow occurs.
+    #[must_use]
+    pub fn violates_r2(&self) -> bool {
+        self.overflowed() && !self.alert_delivered()
+    }
+
+    /// The level signal as a sample vector.
+    #[must_use]
+    pub fn levels(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.level).collect()
+    }
+}
+
+/// The water-tank system simulator.
+#[derive(Debug, Clone)]
+pub struct WaterTank {
+    config: SimConfig,
+}
+
+impl WaterTank {
+    /// Create a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is non-physical (non-positive `dt`,
+    /// rates, or capacity, or setpoints outside the tank).
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        assert!(config.dt > 0.0, "dt must be positive");
+        assert!(config.duration > 0.0, "duration must be positive");
+        assert!(config.capacity > 0.0, "capacity must be positive");
+        assert!(config.inflow_rate > 0.0 && config.outflow_rate > 0.0, "rates must be positive");
+        assert!(
+            config.low_setpoint < config.high_setpoint
+                && config.high_setpoint < config.alert_level
+                && config.alert_level <= config.capacity,
+            "setpoints must satisfy low < high < alert <= capacity"
+        );
+        WaterTank { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Run the simulation under a fault scenario.
+    #[must_use]
+    pub fn run(&self, faults: &FaultSet) -> SimResult {
+        let c = &self.config;
+        let n = (c.duration / c.dt).ceil() as usize;
+        let mut steps = Vec::with_capacity(n + 1);
+        let mut level = c.initial_level;
+        let mut output_cmd = Valve::Closed;
+
+        for k in 0..=n {
+            let time = k as f64 * c.dt;
+
+            // Sensor: the paper's F1–F4 set keeps the sensor healthy.
+            let measured = level;
+
+            // Controller: regulate via the output valve (hysteresis band).
+            if measured >= c.high_setpoint {
+                output_cmd = Valve::Open;
+            } else if measured <= c.low_setpoint {
+                output_cmd = Valve::Closed;
+            }
+            let alert_sent = measured >= c.alert_level;
+
+            // Actuators, with stuck-at faults overriding commands.
+            // The production feed is nominally open; F1 (stuck-at-open)
+            // pins it to the same position — which is exactly why F1 alone
+            // is harmless. The binding keeps the fault's effect explicit.
+            let _ = faults.effective(Fault::F1);
+            let input_valve = Valve::Open;
+            let output_valve = if faults.effective(Fault::F2) {
+                Valve::Closed // stuck closed
+            } else {
+                output_cmd
+            };
+
+            // HMI: delivers the alert unless silenced.
+            let alert_delivered = alert_sent && !faults.effective(Fault::F3);
+
+            steps.push(Step { time, level, input_valve, output_valve, alert_sent, alert_delivered });
+
+            // Euler step; the level saturates at the physical bounds
+            // ([0, capacity] — overflow spills over the rim).
+            let inflow = match input_valve {
+                Valve::Open => c.inflow_rate,
+                Valve::Closed => 0.0,
+            };
+            let outflow = match output_valve {
+                Valve::Open => c.outflow_rate,
+                Valve::Closed => 0.0,
+            };
+            level = (level + (inflow - outflow) * c.dt).clamp(0.0, c.capacity);
+        }
+        SimResult { config: c.clone(), faults: *faults, steps }
+    }
+
+    /// Table-II ground truth for a scenario: `(violates_r1, violates_r2)`.
+    #[must_use]
+    pub fn ground_truth(&self, faults: &FaultSet) -> (bool, bool) {
+        let r = self.run(faults);
+        (r.violates_r1(), r.violates_r2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tank() -> WaterTank {
+        WaterTank::new(SimConfig::default())
+    }
+
+    #[test]
+    fn nominal_run_stays_in_band() {
+        let r = tank().run(&FaultSet::empty());
+        assert!(!r.violates_r1());
+        assert!(!r.violates_r2());
+        // The controller keeps the level inside [low - slack, high + slack].
+        let c = r.config.clone();
+        for s in &r.steps[10..] {
+            assert!(
+                s.level < c.alert_level,
+                "level {} escaped the control band at t={}",
+                s.level,
+                s.time
+            );
+        }
+    }
+
+    #[test]
+    fn table_ii_ground_truth() {
+        let t = tank();
+        // S1: nominal.
+        assert_eq!(t.ground_truth(&FaultSet::empty()), (false, false));
+        // S2: compromised workstation — both requirements violated.
+        assert_eq!(t.ground_truth(&FaultSet::from(Fault::F4)), (true, true));
+        // S3: F1 alone is harmless.
+        assert_eq!(t.ground_truth(&FaultSet::from(Fault::F1)), (false, false));
+        // S4: F2 alone overflows but the alert gets through.
+        assert_eq!(t.ground_truth(&FaultSet::from(Fault::F2)), (true, false));
+        // S5: F2+F3 — overflow and lost alert.
+        assert_eq!(t.ground_truth(&FaultSet::of(&[Fault::F2, Fault::F3])), (true, true));
+        // S6: F1+F3 — no overflow, R2 vacuous.
+        assert_eq!(t.ground_truth(&FaultSet::of(&[Fault::F1, Fault::F3])), (false, false));
+        // S7: F1+F2+F3 — both violated.
+        assert_eq!(
+            t.ground_truth(&FaultSet::of(&[Fault::F1, Fault::F2, Fault::F3])),
+            (true, true)
+        );
+    }
+
+    #[test]
+    fn overflow_time_is_reported() {
+        let r = tank().run(&FaultSet::from(Fault::F2));
+        let t = r.overflow_time().expect("F2 overflows");
+        assert!(t > 0.0 && t < r.config.duration);
+    }
+
+    #[test]
+    fn alert_precedes_overflow_when_hmi_works() {
+        let r = tank().run(&FaultSet::from(Fault::F2));
+        let first_alert = r.steps.iter().find(|s| s.alert_delivered).map(|s| s.time);
+        let overflow = r.overflow_time();
+        assert!(first_alert.is_some());
+        assert!(first_alert.unwrap() <= overflow.unwrap());
+    }
+
+    #[test]
+    fn f3_alone_is_silent_but_safe() {
+        let r = tank().run(&FaultSet::from(Fault::F3));
+        assert!(!r.violates_r1());
+        assert!(!r.violates_r2(), "no overflow, nothing to alert");
+        assert!(!r.alert_delivered());
+    }
+
+    #[test]
+    fn level_is_clamped_to_physical_bounds() {
+        let r = tank().run(&FaultSet::from(Fault::F4));
+        for s in &r.steps {
+            assert!((0.0..=r.config.capacity).contains(&s.level));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "setpoints")]
+    fn bad_setpoints_panic() {
+        let cfg = SimConfig { low_setpoint: 8.0, high_setpoint: 6.0, ..SimConfig::default() };
+        let _ = WaterTank::new(cfg);
+    }
+
+    #[test]
+    fn step_count_matches_duration() {
+        let cfg = SimConfig { dt: 1.0, duration: 10.0, ..SimConfig::default() };
+        let r = WaterTank::new(cfg).run(&FaultSet::empty());
+        assert_eq!(r.steps.len(), 11);
+        assert!((r.steps.last().unwrap().time - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the plant simulator's physical invariants.
+
+use proptest::prelude::*;
+
+use cpsrisk_plant::{Fault, FaultSet, SimConfig, WaterTank};
+
+/// Physically admissible random configurations (drain beats feed, ordered
+/// setpoints inside the tank).
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        0.1f64..1.0,    // dt
+        100.0f64..400.0, // duration
+        0.02f64..0.08,  // inflow
+        1.2f64..3.0,    // outflow/inflow ratio
+        5.0f64..20.0,   // capacity
+    )
+        .prop_map(|(dt, duration, inflow, ratio, capacity)| SimConfig {
+            dt,
+            duration,
+            capacity,
+            initial_level: capacity * 0.5,
+            inflow_rate: inflow,
+            outflow_rate: inflow * ratio,
+            low_setpoint: capacity * 0.4,
+            high_setpoint: capacity * 0.6,
+            alert_level: capacity * 0.95,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn level_stays_within_physical_bounds(cfg in arb_config(), bits in 0u8..16) {
+        let faults: FaultSet = Fault::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, f)| *f)
+            .collect();
+        let run = WaterTank::new(cfg).run(&faults);
+        for s in &run.steps {
+            prop_assert!(s.level >= 0.0 && s.level <= run.config.capacity);
+            prop_assert!(s.level.is_finite());
+        }
+    }
+
+    #[test]
+    fn nominal_runs_never_violate_requirements(cfg in arb_config()) {
+        let run = WaterTank::new(cfg).run(&FaultSet::empty());
+        prop_assert!(!run.violates_r1(), "nominal control must hold R1");
+        prop_assert!(!run.violates_r2());
+    }
+
+    #[test]
+    fn stuck_drain_eventually_overflows_if_run_long_enough(cfg in arb_config()) {
+        // Time to fill from mid-level at the inflow rate, plus slack.
+        let fill_time = cfg.capacity / cfg.inflow_rate;
+        let cfg = SimConfig { duration: fill_time * 1.5, ..cfg };
+        let run = WaterTank::new(cfg).run(&FaultSet::from(Fault::F2));
+        prop_assert!(run.violates_r1(), "a blocked drain with constant feed must overflow");
+        // The alert is raised (HMI healthy) strictly before/at overflow.
+        prop_assert!(!run.violates_r2());
+    }
+
+    #[test]
+    fn r2_violation_requires_overflow(cfg in arb_config(), bits in 0u8..16) {
+        let faults: FaultSet = Fault::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, f)| *f)
+            .collect();
+        let run = WaterTank::new(cfg).run(&faults);
+        if run.violates_r2() {
+            prop_assert!(run.violates_r1(), "R2 is conditional on overflow");
+        }
+    }
+
+    #[test]
+    fn f4_equals_the_physical_triple(cfg in arb_config()) {
+        let tank = WaterTank::new(cfg);
+        let f4 = tank.ground_truth(&FaultSet::from(Fault::F4));
+        let triple = tank.ground_truth(&FaultSet::of(&[Fault::F1, Fault::F2, Fault::F3]));
+        prop_assert_eq!(f4, triple, "compromise subsumes exactly F1∧F2∧F3");
+    }
+
+    #[test]
+    fn qualitative_abstraction_never_loses_the_overflow(cfg in arb_config(), bits in 0u8..16) {
+        // Soundness direction of the abstraction: the qualitative
+        // `overflow` band starts at the alert level (over-approximation),
+        // so it may fire without a physical overflow — but a physical
+        // overflow must always be visible qualitatively, including after
+        // down-sampling (worst-level folding).
+        use cpsrisk_plant::qualitative::{abstract_levels, default_stride, to_temporal_trace};
+        let faults: FaultSet = Fault::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, f)| *f)
+            .collect();
+        let run = WaterTank::new(cfg).run(&faults);
+        if run.overflowed() {
+            let q = abstract_levels(&run).unwrap();
+            prop_assert!(q.ever_reaches("overflow"));
+            let t = to_temporal_trace(&run, default_stride(&run));
+            prop_assert!((0..t.len()).any(|i| t.holds_str(i, "level(tank, overflow)")));
+        }
+    }
+}

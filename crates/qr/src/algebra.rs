@@ -1,0 +1,261 @@
+//! The qualitative sign algebra `{−, 0, +, ?}` and monotonic influences.
+//!
+//! Sign algebra is the coarsest useful qualitative abstraction: only the
+//! direction of a quantity (or of its change) is kept. Qualitative addition
+//! and multiplication follow the classic QR tables; `?` (ambiguous) encodes
+//! that the result cannot be determined at this abstraction level — this is
+//! exactly the over-approximation that guarantees no hazardous behaviour is
+//! overlooked (spurious solutions are filtered later by refinement).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Neg};
+use std::str::FromStr;
+
+use crate::error::QrError;
+
+/// A qualitative sign: negative, zero, positive, or ambiguous.
+///
+/// # Example
+///
+/// ```
+/// use cpsrisk_qr::QSign;
+/// assert_eq!(QSign::Pos + QSign::Pos, QSign::Pos);
+/// assert_eq!(QSign::Pos + QSign::Neg, QSign::Ambiguous); // sum direction unknown
+/// assert_eq!(QSign::Pos * QSign::Neg, QSign::Neg);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QSign {
+    /// Strictly negative.
+    Neg,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Pos,
+    /// Unknown direction (result of information loss under abstraction).
+    Ambiguous,
+}
+
+impl QSign {
+    /// Abstract a real number to its sign.
+    ///
+    /// Non-finite inputs abstract to [`QSign::Ambiguous`].
+    #[must_use]
+    pub fn of(x: f64) -> QSign {
+        if !x.is_finite() {
+            QSign::Ambiguous
+        } else if x > 0.0 {
+            QSign::Pos
+        } else if x < 0.0 {
+            QSign::Neg
+        } else {
+            QSign::Zero
+        }
+    }
+
+    /// True if this sign is a refinement-compatible instance of `other`
+    /// (everything is consistent with `Ambiguous`).
+    #[must_use]
+    pub fn consistent_with(self, other: QSign) -> bool {
+        self == other || other == QSign::Ambiguous || self == QSign::Ambiguous
+    }
+
+    /// Least upper bound in the flat information order: equal signs stay,
+    /// different definite signs become ambiguous.
+    #[must_use]
+    pub fn merge(self, other: QSign) -> QSign {
+        if self == other {
+            self
+        } else {
+            QSign::Ambiguous
+        }
+    }
+
+    /// All definite (non-ambiguous) signs.
+    pub const DEFINITE: [QSign; 3] = [QSign::Neg, QSign::Zero, QSign::Pos];
+}
+
+impl Neg for QSign {
+    type Output = QSign;
+
+    fn neg(self) -> QSign {
+        match self {
+            QSign::Neg => QSign::Pos,
+            QSign::Zero => QSign::Zero,
+            QSign::Pos => QSign::Neg,
+            QSign::Ambiguous => QSign::Ambiguous,
+        }
+    }
+}
+
+impl Add for QSign {
+    type Output = QSign;
+
+    /// Qualitative addition: `+ ⊕ − = ?` because the magnitudes are unknown.
+    fn add(self, rhs: QSign) -> QSign {
+        use QSign::*;
+        match (self, rhs) {
+            (Zero, x) | (x, Zero) => x,
+            (Pos, Pos) => Pos,
+            (Neg, Neg) => Neg,
+            _ => Ambiguous,
+        }
+    }
+}
+
+impl Mul for QSign {
+    type Output = QSign;
+
+    /// Qualitative multiplication: sign product; zero annihilates even `?`.
+    fn mul(self, rhs: QSign) -> QSign {
+        use QSign::*;
+        match (self, rhs) {
+            (Zero, _) | (_, Zero) => Zero,
+            (Ambiguous, _) | (_, Ambiguous) => Ambiguous,
+            (Pos, Pos) | (Neg, Neg) => Pos,
+            (Pos, Neg) | (Neg, Pos) => Neg,
+        }
+    }
+}
+
+impl fmt::Display for QSign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QSign::Neg => "-",
+            QSign::Zero => "0",
+            QSign::Pos => "+",
+            QSign::Ambiguous => "?",
+        })
+    }
+}
+
+impl FromStr for QSign {
+    type Err = QrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "-" | "neg" => Ok(QSign::Neg),
+            "0" | "zero" => Ok(QSign::Zero),
+            "+" | "pos" => Ok(QSign::Pos),
+            "?" | "amb" => Ok(QSign::Ambiguous),
+            other => Err(QrError::Parse(other.to_owned())),
+        }
+    }
+}
+
+/// Direction of a monotonic influence between two quantities.
+///
+/// `M+` (increasing) propagates the sign unchanged; `M−` (decreasing)
+/// inverts it. These are the edge labels of qualitative influence graphs
+/// used in topology-based error propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Monotonic {
+    /// `M+`: the target moves in the same direction as the source.
+    Increasing,
+    /// `M−`: the target moves in the opposite direction.
+    Decreasing,
+}
+
+impl Monotonic {
+    /// Propagate a source sign through this influence.
+    #[must_use]
+    pub fn apply(self, s: QSign) -> QSign {
+        match self {
+            Monotonic::Increasing => s,
+            Monotonic::Decreasing => -s,
+        }
+    }
+}
+
+impl fmt::Display for Monotonic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Monotonic::Increasing => "M+",
+            Monotonic::Decreasing => "M-",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_of_reals() {
+        assert_eq!(QSign::of(3.2), QSign::Pos);
+        assert_eq!(QSign::of(-0.1), QSign::Neg);
+        assert_eq!(QSign::of(0.0), QSign::Zero);
+        assert_eq!(QSign::of(f64::NAN), QSign::Ambiguous);
+        assert_eq!(QSign::of(f64::INFINITY), QSign::Ambiguous);
+    }
+
+    #[test]
+    fn addition_table() {
+        use QSign::*;
+        assert_eq!(Pos + Pos, Pos);
+        assert_eq!(Neg + Neg, Neg);
+        assert_eq!(Pos + Neg, Ambiguous);
+        assert_eq!(Zero + Pos, Pos);
+        assert_eq!(Zero + Zero, Zero);
+        assert_eq!(Ambiguous + Zero, Ambiguous);
+        assert_eq!(Ambiguous + Pos, Ambiguous);
+    }
+
+    #[test]
+    fn multiplication_table() {
+        use QSign::*;
+        assert_eq!(Pos * Pos, Pos);
+        assert_eq!(Pos * Neg, Neg);
+        assert_eq!(Neg * Neg, Pos);
+        assert_eq!(Zero * Ambiguous, Zero);
+        assert_eq!(Ambiguous * Pos, Ambiguous);
+    }
+
+    #[test]
+    fn addition_is_commutative_and_sound() {
+        // Soundness: for all reals a, b: sign(a+b) is consistent with sign(a) ⊕ sign(b).
+        let samples = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        for &a in &samples {
+            for &b in &samples {
+                let qa = QSign::of(a);
+                let qb = QSign::of(b);
+                assert_eq!(qa + qb, qb + qa);
+                assert!(
+                    QSign::of(a + b).consistent_with(qa + qb),
+                    "abstraction unsound for {a}+{b}"
+                );
+                assert!(QSign::of(a * b).consistent_with(qa * qb));
+            }
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for s in [QSign::Neg, QSign::Zero, QSign::Pos, QSign::Ambiguous] {
+            assert_eq!(-(-s), s);
+        }
+    }
+
+    #[test]
+    fn monotonic_influences() {
+        assert_eq!(Monotonic::Increasing.apply(QSign::Pos), QSign::Pos);
+        assert_eq!(Monotonic::Decreasing.apply(QSign::Pos), QSign::Neg);
+        assert_eq!(Monotonic::Decreasing.apply(QSign::Zero), QSign::Zero);
+        assert_eq!(Monotonic::Decreasing.to_string(), "M-");
+    }
+
+    #[test]
+    fn merge_is_information_join() {
+        assert_eq!(QSign::Pos.merge(QSign::Pos), QSign::Pos);
+        assert_eq!(QSign::Pos.merge(QSign::Neg), QSign::Ambiguous);
+        assert_eq!(QSign::Zero.merge(QSign::Ambiguous), QSign::Ambiguous);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["-", "0", "+", "?"] {
+            let q: QSign = s.parse().unwrap();
+            assert_eq!(q.to_string(), s);
+        }
+    }
+}

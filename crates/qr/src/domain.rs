@@ -1,0 +1,267 @@
+//! Landmark-partitioned qualitative domains.
+//!
+//! A [`QualDomain`] partitions a continuous quantity (water level, CPU load,
+//! message latency, …) into named, ordered intervals separated by
+//! *landmarks*. Abstraction maps any finite sample to the level whose
+//! interval contains it; landmark values themselves belong to the interval
+//! above them (closed-below convention), so abstraction is total and
+//! deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::QrError;
+use crate::value::QualValue;
+
+/// An ordered categorical domain over a continuous quantity.
+///
+/// # Example
+///
+/// ```
+/// use cpsrisk_qr::domain::QualDomain;
+///
+/// let load = QualDomain::from_landmarks(
+///     "cpu_load",
+///     &["low", "medium", "high", "overloaded"],
+///     &[0.3, 0.7, 0.95],
+/// )?;
+/// assert_eq!(load.abstract_value(0.1)?.level_name(), "low");
+/// assert_eq!(load.abstract_value(0.95)?.level_name(), "overloaded");
+/// # Ok::<(), cpsrisk_qr::QrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualDomain {
+    name: String,
+    levels: Arc<[String]>,
+    landmarks: Arc<[f64]>,
+}
+
+impl QualDomain {
+    /// Build a domain from `n+1` level names and `n` strictly increasing
+    /// landmarks.
+    ///
+    /// # Errors
+    ///
+    /// * [`QrError::LevelCountMismatch`] if `levels.len() != landmarks.len() + 1`.
+    /// * [`QrError::UnorderedLandmarks`] if the landmarks are not strictly increasing.
+    /// * [`QrError::NonFiniteSample`] if a landmark is not finite.
+    /// * [`QrError::Empty`] if no level name is given.
+    pub fn from_landmarks(
+        name: impl Into<String>,
+        levels: &[&str],
+        landmarks: &[f64],
+    ) -> Result<Self, QrError> {
+        if levels.is_empty() {
+            return Err(QrError::Empty("level list"));
+        }
+        if levels.len() != landmarks.len() + 1 {
+            return Err(QrError::LevelCountMismatch {
+                levels: levels.len(),
+                landmarks: landmarks.len(),
+            });
+        }
+        for (i, w) in landmarks.windows(2).enumerate() {
+            if w[0] >= w[1] || w[0].is_nan() || w[1].is_nan() {
+                return Err(QrError::UnorderedLandmarks { index: i + 1 });
+            }
+        }
+        if let Some(&bad) = landmarks.iter().find(|l| !l.is_finite()) {
+            return Err(QrError::NonFiniteSample(bad));
+        }
+        Ok(QualDomain {
+            name: name.into(),
+            levels: levels.iter().map(|s| (*s).to_owned()).collect(),
+            landmarks: landmarks.to_vec().into(),
+        })
+    }
+
+    /// A purely symbolic domain with no numeric landmarks (e.g. an
+    /// enumerated failure-mode domain). Abstraction from numbers is not
+    /// available; levels are addressed by name or index.
+    ///
+    /// # Errors
+    ///
+    /// [`QrError::Empty`] if `levels` is empty.
+    pub fn symbolic(name: impl Into<String>, levels: &[&str]) -> Result<Self, QrError> {
+        if levels.is_empty() {
+            return Err(QrError::Empty("level list"));
+        }
+        Ok(QualDomain {
+            name: name.into(),
+            levels: levels.iter().map(|s| (*s).to_owned()).collect(),
+            landmarks: Vec::new().into(),
+        })
+    }
+
+    /// Domain name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered level names.
+    #[must_use]
+    pub fn levels(&self) -> &[String] {
+        &self.levels
+    }
+
+    /// Landmark values separating the levels (empty for symbolic domains).
+    #[must_use]
+    pub fn landmarks(&self) -> &[f64] {
+        &self.landmarks
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True if the domain has no levels (never true for constructed domains).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Abstract a numeric sample into its qualitative level.
+    ///
+    /// Landmark values map to the level *above* them: with landmarks
+    /// `[0.2, 0.8]`, the sample `0.8` abstracts to the top level.
+    ///
+    /// # Errors
+    ///
+    /// [`QrError::NonFiniteSample`] if `x` is NaN or infinite.
+    pub fn abstract_value(&self, x: f64) -> Result<QualValue, QrError> {
+        if !x.is_finite() {
+            return Err(QrError::NonFiniteSample(x));
+        }
+        let idx = self.landmarks.iter().take_while(|&&l| x >= l).count();
+        Ok(QualValue::new(self.clone(), idx))
+    }
+
+    /// Look up a level index by name.
+    ///
+    /// # Errors
+    ///
+    /// [`QrError::UnknownLevel`] if no level has that name.
+    pub fn level_index(&self, name: &str) -> Result<usize, QrError> {
+        self.levels
+            .iter()
+            .position(|l| l == name)
+            .ok_or_else(|| QrError::UnknownLevel(name.to_owned()))
+    }
+
+    /// Construct a value of this domain by level name.
+    ///
+    /// # Errors
+    ///
+    /// [`QrError::UnknownLevel`] if no level has that name.
+    pub fn value(&self, level: &str) -> Result<QualValue, QrError> {
+        Ok(QualValue::new(self.clone(), self.level_index(level)?))
+    }
+
+    /// The numeric interval `[lo, hi)` covered by a level index
+    /// (unbounded ends are `-inf`/`+inf`). Returns `None` for out-of-range
+    /// indices or symbolic domains.
+    #[must_use]
+    pub fn interval(&self, level: usize) -> Option<(f64, f64)> {
+        if level >= self.levels.len() {
+            return None;
+        }
+        let lo = if level == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.landmarks[level - 1]
+        };
+        let hi = if level == self.landmarks.len() {
+            f64::INFINITY
+        } else {
+            self.landmarks[level]
+        };
+        Some((lo, hi))
+    }
+}
+
+impl fmt::Display for QualDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<{}>", self.name, self.levels.join("|"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level_domain() -> QualDomain {
+        QualDomain::from_landmarks("level", &["low", "normal", "high"], &[0.2, 0.8]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(matches!(
+            QualDomain::from_landmarks("d", &["a", "b"], &[1.0, 2.0]),
+            Err(QrError::LevelCountMismatch { .. })
+        ));
+        assert!(matches!(
+            QualDomain::from_landmarks("d", &["a", "b", "c"], &[2.0, 1.0]),
+            Err(QrError::UnorderedLandmarks { index: 1 })
+        ));
+        assert!(matches!(
+            QualDomain::from_landmarks("d", &[], &[]),
+            Err(QrError::Empty(_))
+        ));
+        assert!(matches!(
+            QualDomain::from_landmarks("d", &["a", "b"], &[f64::NAN]),
+            Err(QrError::UnorderedLandmarks { .. }) | Err(QrError::NonFiniteSample(_))
+        ));
+    }
+
+    #[test]
+    fn abstraction_maps_to_correct_cluster() {
+        let d = level_domain();
+        assert_eq!(d.abstract_value(-5.0).unwrap().level(), 0);
+        assert_eq!(d.abstract_value(0.19).unwrap().level(), 0);
+        assert_eq!(d.abstract_value(0.2).unwrap().level(), 1);
+        assert_eq!(d.abstract_value(0.5).unwrap().level(), 1);
+        assert_eq!(d.abstract_value(0.8).unwrap().level(), 2);
+        assert_eq!(d.abstract_value(100.0).unwrap().level(), 2);
+    }
+
+    #[test]
+    fn abstraction_rejects_non_finite() {
+        let d = level_domain();
+        assert!(d.abstract_value(f64::NAN).is_err());
+        assert!(d.abstract_value(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn intervals_cover_the_real_line() {
+        let d = level_domain();
+        assert_eq!(d.interval(0), Some((f64::NEG_INFINITY, 0.2)));
+        assert_eq!(d.interval(1), Some((0.2, 0.8)));
+        assert_eq!(d.interval(2), Some((0.8, f64::INFINITY)));
+        assert_eq!(d.interval(3), None);
+    }
+
+    #[test]
+    fn value_by_name() {
+        let d = level_domain();
+        assert_eq!(d.value("normal").unwrap().level(), 1);
+        assert!(d.value("flooded").is_err());
+    }
+
+    #[test]
+    fn symbolic_domain_has_no_landmarks() {
+        let d = QualDomain::symbolic("failure_mode", &["ok", "stuck_open", "stuck_closed"]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert!(d.landmarks().is_empty());
+        assert_eq!(d.value("stuck_open").unwrap().level(), 1);
+        assert!(QualDomain::symbolic("x", &[]).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(level_domain().to_string(), "level<low|normal|high>");
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the qualitative-reasoning kernel.
+
+use std::fmt;
+
+/// Errors produced by qualitative-domain construction and abstraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QrError {
+    /// The landmark sequence is not strictly increasing.
+    UnorderedLandmarks {
+        /// Index of the offending landmark.
+        index: usize,
+    },
+    /// The number of level names does not match the landmark count + 1.
+    LevelCountMismatch {
+        /// Number of level names supplied.
+        levels: usize,
+        /// Number of landmarks supplied.
+        landmarks: usize,
+    },
+    /// A numeric sample was not a finite number.
+    NonFiniteSample(f64),
+    /// A level name or index was not found in the domain.
+    UnknownLevel(String),
+    /// Parsing a qualitative value from text failed.
+    Parse(String),
+    /// A qualitative state machine referenced an undeclared state.
+    UnknownState(String),
+    /// A machine or domain was constructed empty where at least one entry is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for QrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QrError::UnorderedLandmarks { index } => {
+                write!(f, "landmarks must be strictly increasing (violated at index {index})")
+            }
+            QrError::LevelCountMismatch { levels, landmarks } => write!(
+                f,
+                "expected {} level names for {} landmarks, got {}",
+                landmarks + 1,
+                landmarks,
+                levels
+            ),
+            QrError::NonFiniteSample(v) => write!(f, "sample {v} is not a finite number"),
+            QrError::UnknownLevel(name) => write!(f, "unknown qualitative level `{name}`"),
+            QrError::Parse(s) => write!(f, "cannot parse qualitative value from `{s}`"),
+            QrError::UnknownState(s) => write!(f, "unknown machine state `{s}`"),
+            QrError::Empty(what) => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for QrError {}

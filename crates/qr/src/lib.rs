@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Qualitative reasoning (QR) kernel for the `cpsrisk` framework.
+//!
+//! Qualitative modeling *partitions continuous domains into clusters of
+//! identical or similar behaviour along landmarks* and represents them by a
+//! discrete model at the granularity of those clusters (Forbus, *Qualitative
+//! Process Theory*). This crate provides the discrete building blocks the
+//! rest of the framework reasons over:
+//!
+//! * [`Qual`] — the uniform five-level ordered scale (`VL`..`VH`) used by the
+//!   O-RA risk standard and throughout the paper,
+//! * [`QSign`] — the classic sign algebra `{−, 0, +, ?}` with qualitative
+//!   arithmetic,
+//! * [`domain::QualDomain`] — landmark-partitioned continuous domains with
+//!   abstraction from `f64` samples,
+//! * [`value::QState`] — qualitative magnitude + trend pairs,
+//! * [`trace::QualTrace`] — qualitative abstractions of numeric time series,
+//! * [`statemachine::QualMachine`] — qualitative finite state machines used
+//!   for component behaviour models in error-propagation analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use cpsrisk_qr::{Qual, domain::QualDomain};
+//!
+//! // A water level domain partitioned at the landmarks 0.2 and 0.8.
+//! let dom = QualDomain::from_landmarks("level", &["low", "normal", "high"], &[0.2, 0.8])?;
+//! assert_eq!(dom.abstract_value(0.5)?.level_name(), "normal");
+//! assert!(Qual::High > Qual::Low);
+//! # Ok::<(), cpsrisk_qr::QrError>(())
+//! ```
+
+pub mod algebra;
+pub mod domain;
+pub mod error;
+pub mod scale;
+pub mod statemachine;
+pub mod trace;
+pub mod value;
+
+pub use algebra::QSign;
+pub use domain::QualDomain;
+pub use error::QrError;
+pub use scale::Qual;
+pub use statemachine::QualMachine;
+pub use trace::QualTrace;
+pub use value::{QState, QTrend, QualValue};

@@ -1,0 +1,196 @@
+//! The uniform five-level qualitative scale used across the framework.
+//!
+//! The O-RA risk standard and the paper use the same ordered categories for
+//! every risk attribute: *very low, low, medium, high, very high*. The scale
+//! is a bounded total order, so it supports `min`/`max` (qualitative
+//! conjunction/disjunction), saturating shifts (used by sensitivity analysis)
+//! and conversion to/from indices (used by the risk matrices).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::QrError;
+
+/// A five-level ordered qualitative category: `VL < L < M < H < VH`.
+///
+/// # Example
+///
+/// ```
+/// use cpsrisk_qr::Qual;
+/// assert!(Qual::VeryHigh > Qual::Medium);
+/// assert_eq!(Qual::Low.bump(2), Qual::High);
+/// assert_eq!("VH".parse::<Qual>()?, Qual::VeryHigh);
+/// # Ok::<(), cpsrisk_qr::QrError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Qual {
+    /// Very low.
+    VeryLow,
+    /// Low.
+    Low,
+    /// Medium.
+    Medium,
+    /// High.
+    High,
+    /// Very high.
+    VeryHigh,
+}
+
+/// Convenience aliases matching the paper's table notation.
+impl Qual {
+    /// All levels in ascending order.
+    pub const ALL: [Qual; 5] = [
+        Qual::VeryLow,
+        Qual::Low,
+        Qual::Medium,
+        Qual::High,
+        Qual::VeryHigh,
+    ];
+
+    /// Zero-based index of the level on the scale (`VL` is 0, `VH` is 4).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Qual::VeryLow => 0,
+            Qual::Low => 1,
+            Qual::Medium => 2,
+            Qual::High => 3,
+            Qual::VeryHigh => 4,
+        }
+    }
+
+    /// Level for a zero-based index, if within the scale.
+    #[must_use]
+    pub fn from_index(i: usize) -> Option<Qual> {
+        Qual::ALL.get(i).copied()
+    }
+
+    /// Saturating shift up (`steps > 0`) or down (`steps < 0`) the scale.
+    ///
+    /// Used by qualitative sensitivity analysis to perturb a factor by one
+    /// or more categories without leaving the scale.
+    #[must_use]
+    pub fn bump(self, steps: i32) -> Qual {
+        let idx = (self.index() as i32 + steps).clamp(0, 4) as usize;
+        Qual::from_index(idx).expect("clamped index is in range")
+    }
+
+    /// Short notation used in the paper's tables (`VL`, `L`, `M`, `H`, `VH`).
+    #[must_use]
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Qual::VeryLow => "VL",
+            Qual::Low => "L",
+            Qual::Medium => "M",
+            Qual::High => "H",
+            Qual::VeryHigh => "VH",
+        }
+    }
+
+    /// Qualitative disjunction: the worse (larger) of the two levels.
+    #[must_use]
+    pub fn join(self, other: Qual) -> Qual {
+        self.max(other)
+    }
+
+    /// Qualitative conjunction: the better (smaller) of the two levels.
+    #[must_use]
+    pub fn meet(self, other: Qual) -> Qual {
+        self.min(other)
+    }
+
+    /// Distance between two levels in category steps.
+    #[must_use]
+    pub fn distance(self, other: Qual) -> usize {
+        self.index().abs_diff(other.index())
+    }
+}
+
+impl Default for Qual {
+    /// The scale midpoint — the neutral prior for an unassessed factor.
+    fn default() -> Self {
+        Qual::Medium
+    }
+}
+
+impl fmt::Display for Qual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+impl FromStr for Qual {
+    type Err = QrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "VL" | "VERY LOW" | "VERY_LOW" | "VERYLOW" => Ok(Qual::VeryLow),
+            "L" | "LOW" => Ok(Qual::Low),
+            "M" | "MEDIUM" | "MED" => Ok(Qual::Medium),
+            "H" | "HIGH" => Ok(Qual::High),
+            "VH" | "VERY HIGH" | "VERY_HIGH" | "VERYHIGH" => Ok(Qual::VeryHigh),
+            other => Err(QrError::Parse(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_is_totally_ordered() {
+        for w in Qual::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for q in Qual::ALL {
+            assert_eq!(Qual::from_index(q.index()), Some(q));
+        }
+        assert_eq!(Qual::from_index(5), None);
+    }
+
+    #[test]
+    fn bump_saturates_at_both_ends() {
+        assert_eq!(Qual::VeryLow.bump(-1), Qual::VeryLow);
+        assert_eq!(Qual::VeryHigh.bump(3), Qual::VeryHigh);
+        assert_eq!(Qual::Medium.bump(-2), Qual::VeryLow);
+        assert_eq!(Qual::Medium.bump(0), Qual::Medium);
+    }
+
+    #[test]
+    fn parse_accepts_paper_notation() {
+        for q in Qual::ALL {
+            assert_eq!(q.abbrev().parse::<Qual>().unwrap(), q);
+        }
+        assert_eq!("very high".parse::<Qual>().unwrap(), Qual::VeryHigh);
+        assert!("gigantic".parse::<Qual>().is_err());
+    }
+
+    #[test]
+    fn join_and_meet_are_lattice_ops() {
+        assert_eq!(Qual::Low.join(Qual::High), Qual::High);
+        assert_eq!(Qual::Low.meet(Qual::High), Qual::Low);
+        for a in Qual::ALL {
+            assert_eq!(a.join(a), a);
+            assert_eq!(a.meet(a), a);
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert_eq!(Qual::VeryLow.distance(Qual::VeryHigh), 4);
+        assert_eq!(Qual::VeryHigh.distance(Qual::VeryLow), 4);
+        assert_eq!(Qual::Medium.distance(Qual::Medium), 0);
+    }
+
+    #[test]
+    fn display_matches_abbrev() {
+        assert_eq!(Qual::VeryLow.to_string(), "VL");
+        assert_eq!(format!("{}", Qual::High), "H");
+    }
+}

@@ -1,0 +1,383 @@
+//! Qualitative finite state machines for component behaviour models.
+//!
+//! Detailed (behavioural) error-propagation analysis needs per-component
+//! transfer behaviour: *given qualitative inputs and an internal mode, what
+//! qualitative output and next mode result?* A [`QualMachine`] is a Moore-ish
+//! machine over named symbolic states with guarded transitions; guards test
+//! named input variables against level names. Fault modes are modeled as
+//! states the machine can be forced into (e.g. `stuck_at_open` — the
+//! machine's state then no longer follows its transition relation, exactly
+//! like Listing 2 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::QrError;
+
+/// A guard condition on one named input: `input == level`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Guard {
+    /// Input variable name.
+    pub input: String,
+    /// Required level name of that input.
+    pub level: String,
+}
+
+impl Guard {
+    /// Build a guard `input == level`.
+    #[must_use]
+    pub fn new(input: impl Into<String>, level: impl Into<String>) -> Self {
+        Guard { input: input.into(), level: level.into() }
+    }
+
+    /// Evaluate the guard against an input assignment. A missing input
+    /// fails the guard.
+    #[must_use]
+    pub fn holds(&self, inputs: &BTreeMap<String, String>) -> bool {
+        inputs.get(&self.input).is_some_and(|l| *l == self.level)
+    }
+}
+
+/// A guarded transition between machine states.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source state.
+    pub from: String,
+    /// All guards must hold (conjunction). Empty = unconditional.
+    pub guards: Vec<Guard>,
+    /// Target state.
+    pub to: String,
+}
+
+/// A qualitative state machine with named states, guarded transitions and
+/// per-state outputs.
+///
+/// # Example
+///
+/// ```
+/// use cpsrisk_qr::statemachine::{QualMachine, Guard};
+/// use std::collections::BTreeMap;
+///
+/// let mut valve = QualMachine::new("valve", "closed")?;
+/// valve.add_state("open", [("flow", "positive")])?;
+/// valve.set_output("closed", "flow", "zero");
+/// valve.add_transition("closed", vec![Guard::new("cmd", "open")], "open")?;
+/// valve.add_transition("open", vec![Guard::new("cmd", "close")], "closed")?;
+///
+/// let mut inputs = BTreeMap::new();
+/// inputs.insert("cmd".to_string(), "open".to_string());
+/// let next = valve.step("closed", &inputs)?;
+/// assert_eq!(next, "open");
+/// assert_eq!(valve.output("open", "flow"), Some("positive"));
+/// # Ok::<(), cpsrisk_qr::QrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualMachine {
+    name: String,
+    initial: String,
+    /// state -> (output variable -> level)
+    states: BTreeMap<String, BTreeMap<String, String>>,
+    transitions: Vec<Transition>,
+    /// States representing fault modes; entered only by injection and, once
+    /// entered, the machine ignores its transition relation (stuck).
+    fault_states: Vec<String>,
+}
+
+impl QualMachine {
+    /// Create a machine with its initial state (and no outputs yet).
+    ///
+    /// # Errors
+    ///
+    /// [`QrError::Empty`] if the name or initial state name is empty.
+    pub fn new(name: impl Into<String>, initial: impl Into<String>) -> Result<Self, QrError> {
+        let name = name.into();
+        let initial = initial.into();
+        if name.is_empty() {
+            return Err(QrError::Empty("machine name"));
+        }
+        if initial.is_empty() {
+            return Err(QrError::Empty("initial state name"));
+        }
+        let mut states = BTreeMap::new();
+        states.insert(initial.clone(), BTreeMap::new());
+        Ok(QualMachine { name, initial, states, transitions: Vec::new(), fault_states: Vec::new() })
+    }
+
+    /// Machine name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Initial state name.
+    #[must_use]
+    pub fn initial(&self) -> &str {
+        &self.initial
+    }
+
+    /// Declare a state with its outputs.
+    ///
+    /// # Errors
+    ///
+    /// [`QrError::Empty`] if the state name is empty.
+    pub fn add_state<'a>(
+        &mut self,
+        state: impl Into<String>,
+        outputs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Result<(), QrError> {
+        let state = state.into();
+        if state.is_empty() {
+            return Err(QrError::Empty("state name"));
+        }
+        let entry = self.states.entry(state).or_default();
+        for (var, lvl) in outputs {
+            entry.insert(var.to_owned(), lvl.to_owned());
+        }
+        Ok(())
+    }
+
+    /// Declare a *fault-mode* state (e.g. `stuck_at_open`). Once injected,
+    /// [`QualMachine::step`] keeps the machine in this state regardless of
+    /// inputs — the qualitative semantics of a stuck-at fault.
+    ///
+    /// # Errors
+    ///
+    /// [`QrError::Empty`] if the state name is empty.
+    pub fn add_fault_state<'a>(
+        &mut self,
+        state: impl Into<String>,
+        outputs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Result<(), QrError> {
+        let state = state.into();
+        self.add_state(state.clone(), outputs)?;
+        if !self.fault_states.contains(&state) {
+            self.fault_states.push(state);
+        }
+        Ok(())
+    }
+
+    /// Set (or override) one output of a state, creating the state if new.
+    pub fn set_output(
+        &mut self,
+        state: impl Into<String>,
+        var: impl Into<String>,
+        level: impl Into<String>,
+    ) {
+        self.states
+            .entry(state.into())
+            .or_default()
+            .insert(var.into(), level.into());
+    }
+
+    /// Add a guarded transition.
+    ///
+    /// # Errors
+    ///
+    /// [`QrError::UnknownState`] if either endpoint is undeclared.
+    pub fn add_transition(
+        &mut self,
+        from: impl Into<String>,
+        guards: Vec<Guard>,
+        to: impl Into<String>,
+    ) -> Result<(), QrError> {
+        let from = from.into();
+        let to = to.into();
+        for s in [&from, &to] {
+            if !self.states.contains_key(s) {
+                return Err(QrError::UnknownState(s.clone()));
+            }
+        }
+        self.transitions.push(Transition { from, guards, to });
+        Ok(())
+    }
+
+    /// All declared state names.
+    #[must_use]
+    pub fn state_names(&self) -> Vec<&str> {
+        self.states.keys().map(String::as_str).collect()
+    }
+
+    /// The transition relation, in declaration order.
+    #[must_use]
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The `(variable, level)` outputs of a state (empty for unknown states).
+    #[must_use]
+    pub fn state_outputs(&self, state: &str) -> Vec<(&str, &str)> {
+        self.states
+            .get(state)
+            .map(|outs| {
+                outs.iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Declared fault-mode states.
+    #[must_use]
+    pub fn fault_states(&self) -> &[String] {
+        &self.fault_states
+    }
+
+    /// Is `state` a declared fault mode?
+    #[must_use]
+    pub fn is_fault_state(&self, state: &str) -> bool {
+        self.fault_states.iter().any(|s| s == state)
+    }
+
+    /// The output level of `var` in `state`, if defined.
+    #[must_use]
+    pub fn output(&self, state: &str, var: &str) -> Option<&str> {
+        self.states.get(state)?.get(var).map(String::as_str)
+    }
+
+    /// One synchronous step: the first transition (declaration order) from
+    /// `state` whose guards all hold fires; otherwise the machine stays.
+    /// Fault-mode states never leave themselves (stuck semantics, Listing 2).
+    ///
+    /// # Errors
+    ///
+    /// [`QrError::UnknownState`] if `state` is undeclared.
+    pub fn step(
+        &self,
+        state: &str,
+        inputs: &BTreeMap<String, String>,
+    ) -> Result<String, QrError> {
+        if !self.states.contains_key(state) {
+            return Err(QrError::UnknownState(state.to_owned()));
+        }
+        if self.is_fault_state(state) {
+            return Ok(state.to_owned());
+        }
+        for t in &self.transitions {
+            if t.from == state && t.guards.iter().all(|g| g.holds(inputs)) {
+                return Ok(t.to.clone());
+            }
+        }
+        Ok(state.to_owned())
+    }
+
+    /// Run the machine for `steps` synchronous steps from its initial state
+    /// under a constant input assignment, returning the visited state path
+    /// (length `steps + 1`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QrError::UnknownState`] from stepping.
+    pub fn run(
+        &self,
+        inputs: &BTreeMap<String, String>,
+        steps: usize,
+    ) -> Result<Vec<String>, QrError> {
+        let mut path = vec![self.initial.clone()];
+        for _ in 0..steps {
+            let next = self.step(path.last().expect("path is non-empty"), inputs)?;
+            path.push(next);
+        }
+        Ok(path)
+    }
+}
+
+impl fmt::Display for QualMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "machine {} ({} states, {} transitions)",
+            self.name,
+            self.states.len(),
+            self.transitions.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect()
+    }
+
+    fn valve() -> QualMachine {
+        let mut m = QualMachine::new("valve", "closed").unwrap();
+        m.set_output("closed", "flow", "zero");
+        m.add_state("open", [("flow", "positive")]).unwrap();
+        m.add_fault_state("stuck_open", [("flow", "positive")]).unwrap();
+        m.add_transition("closed", vec![Guard::new("cmd", "open")], "open").unwrap();
+        m.add_transition("open", vec![Guard::new("cmd", "close")], "closed").unwrap();
+        m
+    }
+
+    #[test]
+    fn construction_validates_names() {
+        assert!(QualMachine::new("", "s").is_err());
+        assert!(QualMachine::new("m", "").is_err());
+    }
+
+    #[test]
+    fn transitions_fire_on_guards() {
+        let m = valve();
+        assert_eq!(m.step("closed", &inputs(&[("cmd", "open")])).unwrap(), "open");
+        assert_eq!(m.step("closed", &inputs(&[("cmd", "close")])).unwrap(), "closed");
+        assert_eq!(m.step("closed", &inputs(&[])).unwrap(), "closed");
+    }
+
+    #[test]
+    fn unknown_states_are_errors() {
+        let m = valve();
+        assert!(m.step("melted", &inputs(&[])).is_err());
+        let mut m2 = valve();
+        assert!(m2
+            .add_transition("closed", vec![], "melted")
+            .is_err());
+    }
+
+    #[test]
+    fn fault_states_are_absorbing() {
+        let m = valve();
+        // Even with a `close` command, a stuck-open valve stays stuck.
+        assert_eq!(
+            m.step("stuck_open", &inputs(&[("cmd", "close")])).unwrap(),
+            "stuck_open"
+        );
+        assert_eq!(m.output("stuck_open", "flow"), Some("positive"));
+        assert!(m.is_fault_state("stuck_open"));
+        assert!(!m.is_fault_state("open"));
+    }
+
+    #[test]
+    fn run_produces_full_path() {
+        let m = valve();
+        let path = m.run(&inputs(&[("cmd", "open")]), 3).unwrap();
+        assert_eq!(path, vec!["closed", "open", "open", "open"]);
+    }
+
+    #[test]
+    fn outputs_are_per_state() {
+        let m = valve();
+        assert_eq!(m.output("closed", "flow"), Some("zero"));
+        assert_eq!(m.output("open", "flow"), Some("positive"));
+        assert_eq!(m.output("open", "pressure"), None);
+    }
+
+    #[test]
+    fn multi_guard_transitions_are_conjunctive() {
+        let mut m = QualMachine::new("ctrl", "idle").unwrap();
+        m.add_state("alarm", []).unwrap();
+        m.add_transition(
+            "idle",
+            vec![Guard::new("level", "high"), Guard::new("trend", "inc")],
+            "alarm",
+        )
+        .unwrap();
+        assert_eq!(m.step("idle", &inputs(&[("level", "high")])).unwrap(), "idle");
+        assert_eq!(
+            m.step("idle", &inputs(&[("level", "high"), ("trend", "inc")])).unwrap(),
+            "alarm"
+        );
+    }
+}

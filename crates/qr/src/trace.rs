@@ -1,0 +1,212 @@
+//! Qualitative traces: abstractions of numeric time series.
+//!
+//! The plant simulator produces numeric trajectories; requirement checking
+//! and behavioural EPA work on their qualitative abstraction. A
+//! [`QualTrace`] is the run-length-compressed sequence of qualitative states
+//! a signal passes through, together with the sample indices at which each
+//! episode starts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::algebra::QSign;
+use crate::domain::QualDomain;
+use crate::error::QrError;
+use crate::value::{QState, QTrend, QualValue};
+
+/// One maximal episode of constant qualitative state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Episode {
+    /// Qualitative state held during the episode.
+    pub state: QState,
+    /// Index of the first sample of the episode.
+    pub start: usize,
+    /// Number of consecutive samples in the episode.
+    pub len: usize,
+}
+
+/// A qualitative abstraction of a sampled signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualTrace {
+    domain: QualDomain,
+    episodes: Vec<Episode>,
+    samples: usize,
+}
+
+impl QualTrace {
+    /// Abstract a sampled numeric signal over `domain`.
+    ///
+    /// Trends are computed from first differences; a difference of exactly
+    /// zero is a steady trend. The first sample's trend is steady.
+    ///
+    /// # Errors
+    ///
+    /// * [`QrError::Empty`] if `samples` is empty.
+    /// * [`QrError::NonFiniteSample`] if any sample is not finite.
+    pub fn abstract_signal(domain: &QualDomain, samples: &[f64]) -> Result<Self, QrError> {
+        if samples.is_empty() {
+            return Err(QrError::Empty("sample list"));
+        }
+        let mut episodes: Vec<Episode> = Vec::new();
+        let mut prev = None;
+        for (i, &x) in samples.iter().enumerate() {
+            let value = domain.abstract_value(x)?;
+            let trend = match prev {
+                None => QTrend::Std,
+                Some(p) => QTrend::from_sign(QSign::of(x - p)),
+            };
+            prev = Some(x);
+            let state = QState::new(value, trend);
+            match episodes.last_mut() {
+                Some(ep) if ep.state == state => ep.len += 1,
+                _ => episodes.push(Episode { state, start: i, len: 1 }),
+            }
+        }
+        Ok(QualTrace { domain: domain.clone(), episodes, samples: samples.len() })
+    }
+
+    /// The abstraction domain.
+    #[must_use]
+    pub fn domain(&self) -> &QualDomain {
+        &self.domain
+    }
+
+    /// Run-length-compressed episodes, in time order.
+    #[must_use]
+    pub fn episodes(&self) -> &[Episode] {
+        &self.episodes
+    }
+
+    /// Number of raw samples abstracted.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.samples
+    }
+
+    /// The qualitative state at a raw sample index, if within range.
+    #[must_use]
+    pub fn state_at(&self, sample: usize) -> Option<&QState> {
+        self.episodes
+            .iter()
+            .find(|ep| sample >= ep.start && sample < ep.start + ep.len)
+            .map(|ep| &ep.state)
+    }
+
+    /// True if the trace ever reaches the given level.
+    #[must_use]
+    pub fn ever_reaches(&self, level_name: &str) -> bool {
+        self.episodes.iter().any(|ep| ep.state.value.level_name() == level_name)
+    }
+
+    /// The sequence of distinct magnitude levels visited (trend changes
+    /// within a level are merged). This is the landmark-crossing history.
+    #[must_use]
+    pub fn level_path(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for ep in &self.episodes {
+            let name = ep.state.value.level_name();
+            if out.last() != Some(&name) {
+                out.push(name);
+            }
+        }
+        out
+    }
+
+    /// First sample index at which the signal enters the given level, if ever.
+    #[must_use]
+    pub fn first_entry(&self, level_name: &str) -> Option<usize> {
+        self.episodes
+            .iter()
+            .find(|ep| ep.state.value.level_name() == level_name)
+            .map(|ep| ep.start)
+    }
+
+    /// The qualitative value sequence expanded back to one entry per sample
+    /// (useful for aligning multiple traces in requirement monitors).
+    #[must_use]
+    pub fn per_sample_values(&self) -> Vec<QualValue> {
+        let mut out = Vec::with_capacity(self.samples);
+        for ep in &self.episodes {
+            for _ in 0..ep.len {
+                out.push(ep.state.value.clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for QualTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .episodes
+            .iter()
+            .map(|ep| format!("{}×{}", ep.state, ep.len))
+            .collect();
+        write!(f, "[{}]", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom() -> QualDomain {
+        QualDomain::from_landmarks("level", &["low", "normal", "high"], &[0.2, 0.8]).unwrap()
+    }
+
+    #[test]
+    fn empty_signal_is_rejected() {
+        assert!(matches!(
+            QualTrace::abstract_signal(&dom(), &[]),
+            Err(QrError::Empty(_))
+        ));
+    }
+
+    #[test]
+    fn rising_signal_crosses_landmarks_in_order() {
+        let xs: Vec<f64> = (0..11).map(|i| i as f64 / 10.0).collect();
+        let t = QualTrace::abstract_signal(&dom(), &xs).unwrap();
+        assert_eq!(t.level_path(), vec!["low", "normal", "high"]);
+        assert!(t.ever_reaches("high"));
+        assert_eq!(t.first_entry("high"), Some(8)); // x = 0.8 is the 9th sample
+        assert_eq!(t.sample_count(), 11);
+    }
+
+    #[test]
+    fn constant_signal_is_one_episode() {
+        let t = QualTrace::abstract_signal(&dom(), &[0.5; 20]).unwrap();
+        assert_eq!(t.episodes().len(), 1);
+        assert_eq!(t.episodes()[0].len, 20);
+        assert_eq!(t.episodes()[0].state.trend, QTrend::Std);
+    }
+
+    #[test]
+    fn trend_changes_split_episodes_within_a_level() {
+        // Up then down, staying inside `normal`.
+        let t = QualTrace::abstract_signal(&dom(), &[0.4, 0.5, 0.6, 0.5, 0.4]).unwrap();
+        assert_eq!(t.level_path(), vec!["normal"]);
+        assert!(t.episodes().len() >= 2, "trend flip splits the episode");
+    }
+
+    #[test]
+    fn state_at_addresses_raw_samples() {
+        let t = QualTrace::abstract_signal(&dom(), &[0.1, 0.1, 0.5, 0.9]).unwrap();
+        assert_eq!(t.state_at(0).unwrap().value.level_name(), "low");
+        assert_eq!(t.state_at(3).unwrap().value.level_name(), "high");
+        assert!(t.state_at(4).is_none());
+    }
+
+    #[test]
+    fn per_sample_expansion_matches_length() {
+        let xs = [0.1, 0.3, 0.9, 0.9, 0.1];
+        let t = QualTrace::abstract_signal(&dom(), &xs).unwrap();
+        let vals = t.per_sample_values();
+        assert_eq!(vals.len(), xs.len());
+        assert_eq!(vals[2].level_name(), "high");
+    }
+
+    #[test]
+    fn non_finite_sample_is_an_error() {
+        assert!(QualTrace::abstract_signal(&dom(), &[0.1, f64::NAN]).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Qualitative values, trends, and states.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::algebra::QSign;
+use crate::domain::QualDomain;
+
+/// A value of a [`QualDomain`]: a level index bound to its domain.
+///
+/// Two values compare only within the same domain; ordering follows the
+/// level order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualValue {
+    domain: QualDomain,
+    level: usize,
+}
+
+impl QualValue {
+    /// Bind a level index to a domain. Indices are clamped to the domain.
+    #[must_use]
+    pub fn new(domain: QualDomain, level: usize) -> Self {
+        let level = level.min(domain.len().saturating_sub(1));
+        QualValue { domain, level }
+    }
+
+    /// The owning domain.
+    #[must_use]
+    pub fn domain(&self) -> &QualDomain {
+        &self.domain
+    }
+
+    /// Zero-based level index.
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Name of the level.
+    #[must_use]
+    pub fn level_name(&self) -> &str {
+        &self.domain.levels()[self.level]
+    }
+
+    /// True if this is the lowest level of its domain.
+    #[must_use]
+    pub fn is_min(&self) -> bool {
+        self.level == 0
+    }
+
+    /// True if this is the highest level of its domain.
+    #[must_use]
+    pub fn is_max(&self) -> bool {
+        self.level + 1 == self.domain.len()
+    }
+
+    /// The next level up, saturating at the top.
+    #[must_use]
+    pub fn up(&self) -> QualValue {
+        QualValue::new(self.domain.clone(), (self.level + 1).min(self.domain.len() - 1))
+    }
+
+    /// The next level down, saturating at the bottom.
+    #[must_use]
+    pub fn down(&self) -> QualValue {
+        QualValue::new(self.domain.clone(), self.level.saturating_sub(1))
+    }
+
+    /// Qualitative deviation from a reference value of the same domain:
+    /// the sign of `self − reference` in level steps.
+    #[must_use]
+    pub fn deviation_from(&self, reference: &QualValue) -> QSign {
+        match self.level.cmp(&reference.level) {
+            Ordering::Less => QSign::Neg,
+            Ordering::Equal => QSign::Zero,
+            Ordering::Greater => QSign::Pos,
+        }
+    }
+}
+
+impl PartialEq for QualValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.domain.name() == other.domain.name() && self.level == other.level
+    }
+}
+
+impl Eq for QualValue {}
+
+impl PartialOrd for QualValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.domain.name() == other.domain.name() {
+            Some(self.level.cmp(&other.level))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for QualValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.domain.name(), self.level_name())
+    }
+}
+
+/// Qualitative trend (direction of change) of a quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum QTrend {
+    /// Decreasing.
+    Dec,
+    /// Steady.
+    #[default]
+    Std,
+    /// Increasing.
+    Inc,
+}
+
+impl QTrend {
+    /// Trend corresponding to the sign of a derivative sample.
+    /// Ambiguous derivatives conservatively map to [`QTrend::Std`].
+    #[must_use]
+    pub fn from_sign(s: QSign) -> QTrend {
+        match s {
+            QSign::Neg => QTrend::Dec,
+            QSign::Pos => QTrend::Inc,
+            QSign::Zero | QSign::Ambiguous => QTrend::Std,
+        }
+    }
+
+    /// The sign this trend abstracts.
+    #[must_use]
+    pub fn sign(self) -> QSign {
+        match self {
+            QTrend::Dec => QSign::Neg,
+            QTrend::Std => QSign::Zero,
+            QTrend::Inc => QSign::Pos,
+        }
+    }
+}
+
+impl fmt::Display for QTrend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QTrend::Dec => "↓",
+            QTrend::Std => "→",
+            QTrend::Inc => "↑",
+        })
+    }
+}
+
+/// A qualitative state: magnitude level plus trend, the basic unit of
+/// qualitative simulation (QSIM-style `⟨qval, qdir⟩` pairs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QState {
+    /// Magnitude of the quantity.
+    pub value: QualValue,
+    /// Direction of change.
+    pub trend: QTrend,
+}
+
+impl QState {
+    /// Pair a magnitude with a trend.
+    #[must_use]
+    pub fn new(value: QualValue, trend: QTrend) -> Self {
+        QState { value, trend }
+    }
+
+    /// The qualitative successor states under continuity: a quantity can
+    /// only move to an adjacent level, and only in the direction of its
+    /// trend (QSIM transition rules for the closed-below interval
+    /// convention).
+    #[must_use]
+    pub fn successors(&self) -> Vec<QState> {
+        let mut out = vec![self.clone()];
+        match self.trend {
+            QTrend::Inc if !self.value.is_max() => {
+                out.push(QState::new(self.value.up(), QTrend::Inc));
+                out.push(QState::new(self.value.up(), QTrend::Std));
+            }
+            QTrend::Dec if !self.value.is_min() => {
+                out.push(QState::new(self.value.down(), QTrend::Dec));
+                out.push(QState::new(self.value.down(), QTrend::Std));
+            }
+            QTrend::Std => {
+                out.push(QState::new(self.value.clone(), QTrend::Inc));
+                out.push(QState::new(self.value.clone(), QTrend::Dec));
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+impl fmt::Display for QState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{} {}⟩", self.value, self.trend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::QualDomain;
+
+    fn dom() -> QualDomain {
+        QualDomain::from_landmarks("level", &["low", "normal", "high"], &[0.2, 0.8]).unwrap()
+    }
+
+    #[test]
+    fn value_ordering_within_domain() {
+        let d = dom();
+        let low = d.value("low").unwrap();
+        let high = d.value("high").unwrap();
+        assert!(low < high);
+        assert_eq!(low.deviation_from(&high), QSign::Neg);
+        assert_eq!(high.deviation_from(&low), QSign::Pos);
+        assert_eq!(low.deviation_from(&low), QSign::Zero);
+    }
+
+    #[test]
+    fn values_of_different_domains_are_incomparable() {
+        let a = dom().value("low").unwrap();
+        let other = QualDomain::symbolic("mode", &["x", "y"]).unwrap();
+        let b = QualValue::new(other, 0);
+        assert_eq!(a.partial_cmp(&b), None);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn up_down_saturate() {
+        let d = dom();
+        let top = d.value("high").unwrap();
+        assert_eq!(top.up(), top);
+        let bot = d.value("low").unwrap();
+        assert_eq!(bot.down(), bot);
+        assert_eq!(bot.up().level_name(), "normal");
+    }
+
+    #[test]
+    fn constructor_clamps_out_of_range_levels() {
+        let v = QualValue::new(dom(), 99);
+        assert_eq!(v.level_name(), "high");
+    }
+
+    #[test]
+    fn trend_sign_roundtrip() {
+        for t in [QTrend::Dec, QTrend::Std, QTrend::Inc] {
+            assert_eq!(QTrend::from_sign(t.sign()), t);
+        }
+        assert_eq!(QTrend::from_sign(QSign::Ambiguous), QTrend::Std);
+    }
+
+    #[test]
+    fn successors_respect_continuity() {
+        let d = dom();
+        let s = QState::new(d.value("normal").unwrap(), QTrend::Inc);
+        let succ = s.successors();
+        // Can stay, or move up one level; never jump to `low`.
+        assert!(succ.iter().all(|q| q.value.level_name() != "low"));
+        assert!(succ.iter().any(|q| q.value.level_name() == "high"));
+
+        let top = QState::new(d.value("high").unwrap(), QTrend::Inc);
+        assert_eq!(top.successors().len(), 1, "saturated at the top landmark");
+    }
+
+    #[test]
+    fn state_display() {
+        let d = dom();
+        let s = QState::new(d.value("high").unwrap(), QTrend::Inc);
+        assert_eq!(s.to_string(), "⟨level=high ↑⟩");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the QR kernel's abstraction invariants.
+
+use proptest::prelude::*;
+
+use cpsrisk_qr::{QSign, QualDomain, QualTrace};
+
+fn domain() -> QualDomain {
+    QualDomain::from_landmarks("x", &["a", "b", "c", "d"], &[-1.0, 0.0, 1.0]).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn abstraction_is_monotone(x in -10.0f64..10.0, y in -10.0f64..10.0) {
+        let d = domain();
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let vl = d.abstract_value(lo).unwrap();
+        let vh = d.abstract_value(hi).unwrap();
+        prop_assert!(vl.level() <= vh.level());
+    }
+
+    #[test]
+    fn abstraction_is_idempotent_within_an_interval(x in -10.0f64..10.0) {
+        // Any point of the interval of x's level abstracts to the same level.
+        let d = domain();
+        let v = d.abstract_value(x).unwrap();
+        let (lo, hi) = d.interval(v.level()).unwrap();
+        let mid = if lo.is_infinite() { hi - 1.0 } else if hi.is_infinite() { lo + 1.0 } else { (lo + hi) / 2.0 };
+        prop_assert_eq!(d.abstract_value(mid).unwrap().level(), v.level());
+    }
+
+    #[test]
+    fn trace_episodes_partition_the_samples(samples in prop::collection::vec(-5.0f64..5.0, 1..60)) {
+        let d = domain();
+        let t = QualTrace::abstract_signal(&d, &samples).unwrap();
+        // Episode lengths sum to the sample count, start offsets chain.
+        let total: usize = t.episodes().iter().map(|e| e.len).sum();
+        prop_assert_eq!(total, samples.len());
+        let mut expected_start = 0;
+        for ep in t.episodes() {
+            prop_assert_eq!(ep.start, expected_start);
+            prop_assert!(ep.len > 0);
+            expected_start += ep.len;
+        }
+        // Adjacent episodes hold different states (maximality of RLE).
+        for w in t.episodes().windows(2) {
+            prop_assert_ne!(&w[0].state, &w[1].state);
+        }
+        // Per-sample expansion matches lengths and the state_at lookup.
+        let per = t.per_sample_values();
+        prop_assert_eq!(per.len(), samples.len());
+        for (i, v) in per.iter().enumerate() {
+            prop_assert_eq!(&t.state_at(i).unwrap().value, v);
+        }
+    }
+
+    #[test]
+    fn trace_levels_are_sound_abstractions(samples in prop::collection::vec(-5.0f64..5.0, 1..40)) {
+        let d = domain();
+        let t = QualTrace::abstract_signal(&d, &samples).unwrap();
+        for (i, &x) in samples.iter().enumerate() {
+            let direct = d.abstract_value(x).unwrap();
+            prop_assert_eq!(t.state_at(i).unwrap().value.level(), direct.level());
+        }
+    }
+
+    #[test]
+    fn sign_algebra_abstraction_soundness(a in -100i64..100, b in -100i64..100) {
+        let (fa, fb) = (a as f64, b as f64);
+        let qa = QSign::of(fa);
+        let qb = QSign::of(fb);
+        prop_assert!(QSign::of(fa + fb).consistent_with(qa + qb));
+        prop_assert!(QSign::of(fa * fb).consistent_with(qa * qb));
+        prop_assert!(QSign::of(-fa).consistent_with(-qa));
+    }
+
+    #[test]
+    fn sign_multiplication_is_associative_and_commutative(
+        xs in prop::collection::vec(0usize..4, 3..4)
+    ) {
+        let all = [QSign::Neg, QSign::Zero, QSign::Pos, QSign::Ambiguous];
+        let (a, b, c) = (all[xs[0]], all[xs[1]], all[xs[2]]);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+}

@@ -1,0 +1,208 @@
+//! The O-RA/FAIR risk-attribute tree (Fig. 2) with explainable derivation.
+//!
+//! ```text
+//!                     Risk
+//!              ┌────────┴─────────┐
+//!        Loss Event Freq     Loss Magnitude
+//!        ┌─────┴─────┐        ┌─────┴─────┐
+//!   Threat Event   Vulner-  Primary    Secondary
+//!   Frequency      ability  Loss       Loss
+//!   ┌────┴────┐   ┌───┴───┐
+//!  Contact  Prob. Threat  Resistance
+//!  Freq.    of    Capab.  Strength
+//!           Action
+//! ```
+//!
+//! Derivation rules (documented qualitative operators):
+//! * `TEF = ⌊(CF + PoA) / 2⌋` — frequency of attempts needs both contact
+//!   and intent,
+//! * `Vuln = band(TCap − RS)` — how far the attacker's capability exceeds
+//!   the control strength,
+//! * `LEF = Table-I-matrix(TEF as LM-axis, Vuln as LEF-axis)` — the O-RA
+//!   derivation matrices share the Table I shape,
+//! * `LM = max(primary, secondary)` — the worse loss dominates,
+//! * `Risk = Table I(LM, LEF)`.
+
+use cpsrisk_qr::Qual;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::ora;
+
+/// Leaf factors of the Fig. 2 tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FairInput {
+    /// Contact Frequency: how often threat agents touch the asset.
+    pub contact_frequency: Qual,
+    /// Probability of Action: how likely a contact turns into an attempt.
+    pub probability_of_action: Qual,
+    /// Threat Capability of the relevant actor population.
+    pub threat_capability: Qual,
+    /// Resistance Strength of the deployed controls.
+    pub resistance_strength: Qual,
+    /// Primary Loss magnitude.
+    pub primary_loss: Qual,
+    /// Secondary Loss magnitude.
+    pub secondary_loss: Qual,
+}
+
+/// The derived attributes, kept for explanation (§II-A interpretability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RiskDerivation {
+    /// The inputs.
+    pub input: FairInput,
+    /// Threat Event Frequency.
+    pub tef: Qual,
+    /// Vulnerability.
+    pub vulnerability: Qual,
+    /// Loss Event Frequency.
+    pub lef: Qual,
+    /// Loss Magnitude.
+    pub lm: Qual,
+    /// The resulting risk category.
+    pub risk: Qual,
+}
+
+impl FairInput {
+    /// Derive the full attribute tree.
+    #[must_use]
+    pub fn derive(&self) -> RiskDerivation {
+        let tef = floor_avg(self.contact_frequency, self.probability_of_action);
+        let vulnerability = capability_band(self.threat_capability, self.resistance_strength);
+        let lef = ora::risk(tef, vulnerability);
+        let lm = self.primary_loss.join(self.secondary_loss);
+        let risk = ora::risk(lm, lef);
+        RiskDerivation { input: *self, tef, vulnerability, lef, lm, risk }
+    }
+}
+
+/// `⌊(a + b) / 2⌋` on the scale indices.
+fn floor_avg(a: Qual, b: Qual) -> Qual {
+    Qual::from_index((a.index() + b.index()) / 2).expect("average stays in range")
+}
+
+/// Vulnerability from the capability/resistance gap.
+fn capability_band(tcap: Qual, rs: Qual) -> Qual {
+    let d = tcap.index() as i32 - rs.index() as i32;
+    match d {
+        i32::MIN..=-2 => Qual::VeryLow,
+        -1 => Qual::Low,
+        0 => Qual::Medium,
+        1 => Qual::High,
+        _ => Qual::VeryHigh,
+    }
+}
+
+impl fmt::Display for RiskDerivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TEF(CF={}, PoA={}) = {}",
+            self.input.contact_frequency, self.input.probability_of_action, self.tef
+        )?;
+        writeln!(
+            f,
+            "Vuln(TCap={}, RS={}) = {}",
+            self.input.threat_capability, self.input.resistance_strength, self.vulnerability
+        )?;
+        writeln!(f, "LEF(TEF={}, Vuln={}) = {}", self.tef, self.vulnerability, self.lef)?;
+        writeln!(
+            f,
+            "LM(primary={}, secondary={}) = {}",
+            self.input.primary_loss, self.input.secondary_loss, self.lm
+        )?;
+        write!(f, "Risk(LM={}, LEF={}) = {}", self.lm, self.lef, self.risk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn input_all(q: Qual) -> FairInput {
+        FairInput {
+            contact_frequency: q,
+            probability_of_action: q,
+            threat_capability: q,
+            resistance_strength: q,
+            primary_loss: q,
+            secondary_loss: q,
+        }
+    }
+
+    #[test]
+    fn balanced_factors_give_middling_risk() {
+        let d = input_all(Qual::Medium).derive();
+        assert_eq!(d.tef, Qual::Medium);
+        assert_eq!(d.vulnerability, Qual::Medium, "TCap == RS");
+        assert_eq!(d.lm, Qual::Medium);
+        assert_eq!(d.risk, ora::risk(d.lm, d.lef));
+    }
+
+    #[test]
+    fn hardened_target_suppresses_risk() {
+        let mut i = input_all(Qual::High);
+        i.resistance_strength = Qual::VeryHigh;
+        i.threat_capability = Qual::Low;
+        let d = i.derive();
+        assert_eq!(d.vulnerability, Qual::VeryLow);
+        assert!(d.risk <= Qual::Medium);
+    }
+
+    #[test]
+    fn exposed_weak_target_is_critical() {
+        let d = FairInput {
+            contact_frequency: Qual::VeryHigh,
+            probability_of_action: Qual::VeryHigh,
+            threat_capability: Qual::VeryHigh,
+            resistance_strength: Qual::VeryLow,
+            primary_loss: Qual::VeryHigh,
+            secondary_loss: Qual::Medium,
+        }
+        .derive();
+        assert_eq!(d.tef, Qual::VeryHigh);
+        assert_eq!(d.vulnerability, Qual::VeryHigh);
+        assert_eq!(d.lef, Qual::VeryHigh);
+        assert_eq!(d.risk, Qual::VeryHigh);
+    }
+
+    #[test]
+    fn secondary_loss_can_dominate() {
+        let mut i = input_all(Qual::Medium);
+        i.primary_loss = Qual::Low;
+        i.secondary_loss = Qual::VeryHigh; // e.g. reputational damage
+        assert_eq!(i.derive().lm, Qual::VeryHigh);
+    }
+
+    #[test]
+    fn derivation_trace_is_explainable() {
+        let text = input_all(Qual::Medium).derive().to_string();
+        assert!(text.contains("TEF(CF=M, PoA=M) = M"));
+        assert!(text.contains("Risk(LM="));
+    }
+
+    proptest! {
+        #[test]
+        fn risk_is_monotone_in_threat_capability(
+            base in 0usize..5, tcap in 0usize..4,
+        ) {
+            let q = Qual::from_index(base).unwrap();
+            let mut lo = input_all(q);
+            lo.threat_capability = Qual::from_index(tcap).unwrap();
+            let mut hi = lo;
+            hi.threat_capability = Qual::from_index(tcap + 1).unwrap();
+            prop_assert!(hi.derive().risk >= lo.derive().risk);
+        }
+
+        #[test]
+        fn risk_is_antitone_in_resistance(base in 0usize..5, rs in 0usize..4) {
+            let q = Qual::from_index(base).unwrap();
+            let mut weak = input_all(q);
+            weak.resistance_strength = Qual::from_index(rs).unwrap();
+            let mut strong = weak;
+            strong.resistance_strength = Qual::from_index(rs + 1).unwrap();
+            prop_assert!(strong.derive().risk <= weak.derive().risk);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The IEC 61508 qualitative hazard framework (§IV-B): six likelihood
+//! categories and four consequence categories combined into risk classes
+//! I–IV.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Likelihood of the hazardous event (IEC 61508-5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Likelihood {
+    /// Many times in the system lifetime.
+    Frequent,
+    /// Several times in the system lifetime.
+    Probable,
+    /// Once in the system lifetime.
+    Occasional,
+    /// Unlikely but possible.
+    Remote,
+    /// Very unlikely.
+    Improbable,
+    /// Extremely unlikely.
+    Incredible,
+}
+
+impl Likelihood {
+    /// All six categories, most likely first.
+    pub const ALL: [Likelihood; 6] = [
+        Likelihood::Frequent,
+        Likelihood::Probable,
+        Likelihood::Occasional,
+        Likelihood::Remote,
+        Likelihood::Improbable,
+        Likelihood::Incredible,
+    ];
+}
+
+/// Consequence severity of the hazardous event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Consequence {
+    /// Multiple deaths.
+    Catastrophic,
+    /// A single death or multiple severe injuries.
+    Critical,
+    /// A single severe injury.
+    Marginal,
+    /// At most a single minor injury.
+    Negligible,
+}
+
+impl Consequence {
+    /// All four categories, worst first.
+    pub const ALL: [Consequence; 4] = [
+        Consequence::Catastrophic,
+        Consequence::Critical,
+        Consequence::Marginal,
+        Consequence::Negligible,
+    ];
+}
+
+/// Risk classes of IEC 61508-5 Annex A: I (intolerable) … IV (negligible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RiskClass {
+    /// Intolerable risk.
+    I,
+    /// Undesirable; tolerable only if reduction impracticable.
+    II,
+    /// Tolerable if the cost of reduction exceeds the improvement.
+    III,
+    /// Negligible risk.
+    IV,
+}
+
+impl fmt::Display for RiskClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The risk-class matrix (IEC 61508-5, Table A.1 layout).
+#[must_use]
+pub fn risk_class(likelihood: Likelihood, consequence: Consequence) -> RiskClass {
+    use RiskClass::{I, II, III, IV};
+    const TABLE: [[RiskClass; 4]; 6] = [
+        // Catastrophic, Critical, Marginal, Negligible
+        [I, I, I, II],      // Frequent
+        [I, I, II, III],    // Probable
+        [I, II, III, III],  // Occasional
+        [II, III, III, IV], // Remote
+        [III, III, IV, IV], // Improbable
+        [IV, IV, IV, IV],   // Incredible
+    ];
+    TABLE[likelihood as usize][consequence as usize]
+}
+
+/// Render the matrix as text.
+#[must_use]
+pub fn render_matrix() -> String {
+    let mut out =
+        String::from("likelihood \\ consequence | Catastrophic Critical Marginal Negligible\n");
+    out.push_str("------------------------+---------------------------------------------\n");
+    for l in Likelihood::ALL {
+        out.push_str(&format!("{:<24}|", format!("{l:?}")));
+        for c in Consequence::ALL {
+            out.push_str(&format!("      {:<6}", risk_class(l, c).to_string()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_cells() {
+        assert_eq!(risk_class(Likelihood::Frequent, Consequence::Catastrophic), RiskClass::I);
+        assert_eq!(risk_class(Likelihood::Incredible, Consequence::Catastrophic), RiskClass::IV);
+        assert_eq!(risk_class(Likelihood::Frequent, Consequence::Negligible), RiskClass::II);
+        assert_eq!(risk_class(Likelihood::Remote, Consequence::Critical), RiskClass::III);
+    }
+
+    #[test]
+    fn monotone_in_likelihood_and_consequence() {
+        for li in 0..Likelihood::ALL.len() - 1 {
+            for c in Consequence::ALL {
+                assert!(
+                    risk_class(Likelihood::ALL[li], c) <= risk_class(Likelihood::ALL[li + 1], c),
+                    "risk class must not improve as likelihood grows"
+                );
+            }
+        }
+        for l in Likelihood::ALL {
+            for ci in 0..Consequence::ALL.len() - 1 {
+                assert!(
+                    risk_class(l, Consequence::ALL[ci]) <= risk_class(l, Consequence::ALL[ci + 1])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_order_reflects_severity() {
+        assert!(RiskClass::I < RiskClass::IV);
+    }
+
+    #[test]
+    fn render_contains_all_classes() {
+        let text = render_matrix();
+        for c in ["I", "II", "III", "IV", "Frequent", "Incredible"] {
+            assert!(text.contains(c), "missing {c}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Qualitative risk quantization (Fig. 1, step 6 and §IV-B / §V).
+//!
+//! Qualitative risk assessment classifies risk attributes into discrete
+//! categories instead of computing precise numbers. This crate implements
+//! the standards the paper builds on:
+//!
+//! * [`ora`] — the Open FAIR Risk Analysis (O-RA) 5×5 risk matrix, exactly
+//!   Table I of the paper,
+//! * [`fair`] — the O-RA/FAIR risk-attribute tree of Fig. 2 (Risk ← Loss
+//!   Event Frequency × Loss Magnitude, LEF ← TEF × Vulnerability, …) with a
+//!   full derivation trace for explainability,
+//! * [`iec61508`] — the IEC 61508 qualitative hazard framework: six
+//!   likelihood categories × four consequence categories → risk classes
+//!   I–IV,
+//! * [`sensitivity`] — §V-A qualitative sensitivity analysis over uncertain
+//!   factors (is the output stable under the factor's possible values?),
+//! * [`rough`] — §V-B Rough Set Theory: indiscernibility, lower/upper
+//!   approximations, positive/negative/boundary regions, attribute
+//!   reducts, and certain/possible decision rules — used to handle
+//!   uncertain EPA verdicts.
+
+pub mod fair;
+pub mod iec61508;
+pub mod ora;
+pub mod rough;
+pub mod sensitivity;
+
+pub use fair::{FairInput, RiskDerivation};
+pub use iec61508::{Consequence, Likelihood, RiskClass};
+pub use ora::risk as ora_risk;
+pub use rough::{DecisionTable, RoughApproximation};
+pub use sensitivity::{factor_sensitivity, SensitivityReport};

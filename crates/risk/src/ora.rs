@@ -1,0 +1,115 @@
+//! The O-RA 5×5 risk matrix — Table I of the paper, verbatim.
+
+use cpsrisk_qr::Qual;
+
+/// Table I, row-indexed by Loss Magnitude (VH at the top), columns by Loss
+/// Event Frequency (VL..VH left to right).
+const MATRIX: [[Qual; 5]; 5] = {
+    use Qual::{High as H, Low as L, Medium as M, VeryHigh as VH, VeryLow as VL};
+    [
+        // LEF:  VL  L   M   H   VH        LM:
+        [M, H, VH, VH, VH],  // VH
+        [L, M, H, VH, VH],   // H
+        [VL, L, M, H, VH],   // M
+        [VL, VL, L, M, H],   // L
+        [VL, VL, VL, L, M],  // VL
+    ]
+};
+
+/// Look up the qualitative risk for a Loss Magnitude / Loss Event
+/// Frequency pair (Table I).
+///
+/// # Example
+///
+/// ```
+/// use cpsrisk_qr::Qual;
+/// use cpsrisk_risk::ora::risk;
+///
+/// // The paper's worked example: LM = M, LEF = L  =>  Risk = L.
+/// assert_eq!(risk(Qual::Medium, Qual::Low), Qual::Low);
+/// ```
+#[must_use]
+pub fn risk(loss_magnitude: Qual, loss_event_frequency: Qual) -> Qual {
+    MATRIX[4 - loss_magnitude.index()][loss_event_frequency.index()]
+}
+
+/// Render the matrix as the paper prints it (rows VH→VL, columns VL→VH).
+#[must_use]
+pub fn render_matrix() -> String {
+    let mut out = String::from("            |  Risk\nLM \\ LEF    |  VL   L    M    H    VH\n");
+    out.push_str("------------+------------------------\n");
+    for lm in Qual::ALL.iter().rev() {
+        out.push_str(&format!("{:<12}|", lm.abbrev()));
+        for lef in Qual::ALL {
+            out.push_str(&format!("  {:<3}", risk(*lm, lef).abbrev()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_i_exact_entries() {
+        use Qual::*;
+        // Spot-check every distinctive cell of Table I.
+        assert_eq!(risk(VeryHigh, VeryLow), Medium);
+        assert_eq!(risk(VeryHigh, Low), High);
+        assert_eq!(risk(VeryHigh, Medium), VeryHigh);
+        assert_eq!(risk(High, VeryLow), Low);
+        assert_eq!(risk(High, Medium), High);
+        assert_eq!(risk(Medium, VeryLow), VeryLow);
+        assert_eq!(risk(Medium, Low), Low);
+        assert_eq!(risk(Medium, Medium), Medium);
+        assert_eq!(risk(Medium, VeryHigh), VeryHigh);
+        assert_eq!(risk(Low, Medium), Low);
+        assert_eq!(risk(Low, VeryHigh), High);
+        assert_eq!(risk(VeryLow, High), Low);
+        assert_eq!(risk(VeryLow, VeryHigh), Medium);
+        assert_eq!(risk(VeryLow, VeryLow), VeryLow);
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        assert_eq!(risk(Qual::Medium, Qual::Low), Qual::Low);
+    }
+
+    proptest! {
+        #[test]
+        fn monotone_in_both_arguments(lm in 0usize..5, lef in 0usize..5) {
+            let lm_q = Qual::from_index(lm).unwrap();
+            let lef_q = Qual::from_index(lef).unwrap();
+            let base = risk(lm_q, lef_q);
+            if lm + 1 < 5 {
+                prop_assert!(risk(Qual::from_index(lm + 1).unwrap(), lef_q) >= base);
+            }
+            if lef + 1 < 5 {
+                prop_assert!(risk(lm_q, Qual::from_index(lef + 1).unwrap()) >= base);
+            }
+        }
+
+        #[test]
+        fn risk_stays_within_one_band_of_the_factor_average(lm in 0usize..5, lef in 0usize..5) {
+            // Structural property of Table I: the risk never strays more
+            // than one category from the floor-average of the two factors.
+            let lm_q = Qual::from_index(lm).unwrap();
+            let lef_q = Qual::from_index(lef).unwrap();
+            let r = risk(lm_q, lef_q).index() as i64;
+            let avg = ((lm + lef) / 2) as i64;
+            prop_assert!((r - avg).abs() <= 1, "risk {r} vs avg {avg}");
+        }
+    }
+
+    #[test]
+    fn rendered_matrix_contains_all_rows() {
+        let text = render_matrix();
+        for q in ["VL", "L", "M", "H", "VH"] {
+            assert!(text.contains(q));
+        }
+        assert!(text.lines().count() >= 8);
+    }
+}

@@ -1,0 +1,348 @@
+//! Rough Set Theory (§V): approximation of concepts under indiscernibility.
+//!
+//! A [`DecisionTable`] holds objects described by categorical condition
+//! attributes plus one decision attribute. Objects with identical condition
+//! vectors are *indiscernible*; a concept (a decision value) is then
+//! approximated by:
+//!
+//! * the **lower approximation / positive region** — classes wholly inside
+//!   the concept (certainly hazardous scenarios, in the EPA application),
+//! * the **negative region** — classes wholly outside it (certainly safe),
+//! * the **boundary region** — classes mixing both (verdict uncertain at
+//!   this abstraction; candidates for refinement or expert review).
+//!
+//! Attribute **reducts** identify minimal attribute subsets preserving the
+//! positive region — in EPA terms, the fault indicators that actually
+//! matter for the verdict.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A decision table over string-valued categorical attributes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTable {
+    attributes: Vec<String>,
+    rows: Vec<(Vec<String>, String)>,
+}
+
+impl DecisionTable {
+    /// A table with the given condition-attribute names.
+    #[must_use]
+    pub fn new<S: AsRef<str>>(attributes: &[S]) -> Self {
+        DecisionTable {
+            attributes: attributes.iter().map(|s| s.as_ref().to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add an object with its condition values and decision value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conditions.len()` differs from the attribute count.
+    pub fn add_row<S: AsRef<str>>(&mut self, conditions: &[S], decision: &str) {
+        assert_eq!(
+            conditions.len(),
+            self.attributes.len(),
+            "row arity must match attribute count"
+        );
+        self.rows.push((
+            conditions.iter().map(|s| s.as_ref().to_owned()).collect(),
+            decision.to_owned(),
+        ));
+    }
+
+    /// Number of objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no objects.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Attribute names.
+    #[must_use]
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Indiscernibility classes w.r.t. an attribute subset (indices into
+    /// the attribute list): object-index groups with equal projections.
+    #[must_use]
+    pub fn indiscernibility(&self, attrs: &[usize]) -> Vec<Vec<usize>> {
+        let mut classes: BTreeMap<Vec<&str>, Vec<usize>> = BTreeMap::new();
+        for (i, (cond, _)) in self.rows.iter().enumerate() {
+            let key: Vec<&str> = attrs.iter().map(|&a| cond[a].as_str()).collect();
+            classes.entry(key).or_default().push(i);
+        }
+        classes.into_values().collect()
+    }
+
+    /// Approximate the concept `decision == value` using the attribute
+    /// subset `attrs` (all attributes if empty slice is passed via
+    /// [`DecisionTable::approximate_all`]).
+    #[must_use]
+    pub fn approximate(&self, attrs: &[usize], value: &str) -> RoughApproximation {
+        let mut lower = BTreeSet::new();
+        let mut upper = BTreeSet::new();
+        for class in self.indiscernibility(attrs) {
+            let inside = class.iter().filter(|&&i| self.rows[i].1 == value).count();
+            if inside > 0 {
+                upper.extend(class.iter().copied());
+                if inside == class.len() {
+                    lower.extend(class.iter().copied());
+                }
+            }
+        }
+        RoughApproximation { universe: self.len(), lower, upper }
+    }
+
+    /// Approximate with **all** condition attributes.
+    #[must_use]
+    pub fn approximate_all(&self, value: &str) -> RoughApproximation {
+        let attrs: Vec<usize> = (0..self.attributes.len()).collect();
+        self.approximate(&attrs, value)
+    }
+
+    /// Quality of approximation γ for a decision value: |positive| / |U|.
+    #[must_use]
+    pub fn quality(&self, value: &str) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        self.approximate_all(value).lower.len() as f64 / self.len() as f64
+    }
+
+    /// The **positive region across all decision values** for an attribute
+    /// subset: objects whose class is decision-pure.
+    #[must_use]
+    pub fn positive_region(&self, attrs: &[usize]) -> BTreeSet<usize> {
+        let mut pos = BTreeSet::new();
+        for class in self.indiscernibility(attrs) {
+            let first = &self.rows[class[0]].1;
+            if class.iter().all(|&i| self.rows[i].1 == *first) {
+                pos.extend(class);
+            }
+        }
+        pos
+    }
+
+    /// All minimal attribute subsets preserving the full-attribute positive
+    /// region (**reducts**). Exhaustive; intended for the ≤ ~15 attributes
+    /// of qualitative models.
+    #[must_use]
+    pub fn reducts(&self) -> Vec<Vec<usize>> {
+        let n = self.attributes.len();
+        let full: Vec<usize> = (0..n).collect();
+        let target = self.positive_region(&full);
+        let mut preserving: Vec<Vec<usize>> = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+            if self.positive_region(&subset) == target {
+                preserving.push(subset);
+            }
+        }
+        // Keep minimal ones.
+        preserving
+            .iter()
+            .filter(|s| {
+                !preserving
+                    .iter()
+                    .any(|o| o.len() < s.len() && o.iter().all(|a| s.contains(a)))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Certain decision rules from the lower approximation of each decision
+    /// value: `(conditions, decision)` with conditions projected onto
+    /// `attrs`.
+    #[must_use]
+    pub fn certain_rules(&self, attrs: &[usize]) -> Vec<(Vec<(String, String)>, String)> {
+        let mut rules = Vec::new();
+        let decisions: BTreeSet<&String> = self.rows.iter().map(|(_, d)| d).collect();
+        for d in decisions {
+            let approx = self.approximate(attrs, d);
+            let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+            for &i in &approx.lower {
+                let key: Vec<String> =
+                    attrs.iter().map(|&a| self.rows[i].0[a].clone()).collect();
+                if seen.insert(key.clone()) {
+                    let conds = attrs
+                        .iter()
+                        .zip(&key)
+                        .map(|(&a, v)| (self.attributes[a].clone(), v.clone()))
+                        .collect();
+                    rules.push((conds, d.clone()));
+                }
+            }
+        }
+        rules
+    }
+}
+
+/// A rough approximation of a concept.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoughApproximation {
+    /// Size of the universe.
+    pub universe: usize,
+    /// Lower approximation (certainly in the concept).
+    pub lower: BTreeSet<usize>,
+    /// Upper approximation (possibly in the concept).
+    pub upper: BTreeSet<usize>,
+}
+
+impl RoughApproximation {
+    /// Boundary region: possibly-but-not-certainly in the concept.
+    #[must_use]
+    pub fn boundary(&self) -> BTreeSet<usize> {
+        self.upper.difference(&self.lower).copied().collect()
+    }
+
+    /// Negative region: certainly outside the concept.
+    #[must_use]
+    pub fn negative(&self) -> BTreeSet<usize> {
+        (0..self.universe).filter(|i| !self.upper.contains(i)).collect()
+    }
+
+    /// The concept is *crisp* (exactly definable) iff the boundary is empty.
+    #[must_use]
+    pub fn is_crisp(&self) -> bool {
+        self.lower == self.upper
+    }
+
+    /// Accuracy of approximation α = |lower| / |upper| (1.0 when crisp or
+    /// empty).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.upper.is_empty() {
+            1.0
+        } else {
+            self.lower.len() as f64 / self.upper.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for RoughApproximation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lower {} / upper {} / boundary {} of {} (α={:.2})",
+            self.lower.len(),
+            self.upper.len(),
+            self.boundary().len(),
+            self.universe,
+            self.accuracy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// EPA-flavoured table: scenarios over fault indicators, decision =
+    /// hazardous?  The `noise` attribute is irrelevant by construction.
+    fn epa_table() -> DecisionTable {
+        let mut t = DecisionTable::new(&["valve_stuck", "hmi_mute", "noise"]);
+        t.add_row(&["no", "no", "a"], "safe");
+        t.add_row(&["no", "no", "b"], "safe");
+        t.add_row(&["no", "yes", "a"], "safe");
+        t.add_row(&["yes", "no", "a"], "hazard");
+        t.add_row(&["yes", "yes", "b"], "hazard");
+        t
+    }
+
+    #[test]
+    fn crisp_concept_has_empty_boundary() {
+        let t = epa_table();
+        let a = t.approximate_all("hazard");
+        assert!(a.is_crisp());
+        assert_eq!(a.lower.len(), 2);
+        assert_eq!(a.negative().len(), 3);
+        assert!((a.accuracy() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn uncertainty_creates_a_boundary() {
+        let mut t = epa_table();
+        // An object indiscernible from a safe one but hazardous — e.g. a
+        // nondeterministic propagation outcome.
+        t.add_row(&["no", "yes", "a"], "hazard");
+        let a = t.approximate_all("hazard");
+        assert!(!a.is_crisp());
+        assert_eq!(a.boundary().len(), 2, "the clashing pair is boundary");
+        assert!(a.accuracy() < 1.0);
+        // The positive region still certainly contains the stuck-valve rows.
+        assert!(a.lower.contains(&3) && a.lower.contains(&4));
+    }
+
+    #[test]
+    fn coarser_attributes_coarsen_the_approximation() {
+        let t = epa_table();
+        // Using only `hmi_mute` the hazard concept is completely lost.
+        let a = t.approximate(&[1], "hazard");
+        assert!(a.lower.is_empty());
+        assert_eq!(a.upper.len(), t.len(), "every class mixes");
+    }
+
+    #[test]
+    fn reducts_drop_irrelevant_attributes() {
+        let t = epa_table();
+        let reducts = t.reducts();
+        // valve_stuck alone determines the decision.
+        assert!(reducts.contains(&vec![0]));
+        // No reduct includes the noise attribute unnecessarily.
+        assert!(reducts.iter().all(|r| r == &vec![0]));
+    }
+
+    #[test]
+    fn quality_of_approximation() {
+        let t = epa_table();
+        assert!((t.quality("hazard") - 2.0 / 5.0).abs() < f64::EPSILON);
+        let mut noisy = t.clone();
+        noisy.add_row(&["no", "no", "a"], "hazard");
+        assert!(noisy.quality("hazard") < 2.0 / 5.0 + 0.01);
+    }
+
+    #[test]
+    fn certain_rules_come_from_the_lower_approximation() {
+        let t = epa_table();
+        let rules = t.certain_rules(&[0]);
+        // valve_stuck=yes => hazard ; valve_stuck=no => safe.
+        assert!(rules.iter().any(|(c, d)| d == "hazard"
+            && c == &vec![("valve_stuck".to_owned(), "yes".to_owned())]));
+        assert!(rules.iter().any(|(c, d)| d == "safe"
+            && c == &vec![("valve_stuck".to_owned(), "no".to_owned())]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = DecisionTable::new(&["a"]);
+        t.add_row(&["x", "y"], "d");
+    }
+
+    #[test]
+    fn empty_table_edge_cases() {
+        let t = DecisionTable::new(&["a"]);
+        assert!(t.is_empty());
+        assert!((t.quality("x") - 1.0).abs() < f64::EPSILON);
+        let a = t.approximate_all("x");
+        assert!(a.is_crisp());
+        assert!(a.negative().is_empty());
+    }
+
+    #[test]
+    fn display_summarizes_regions() {
+        let t = epa_table();
+        let s = t.approximate_all("hazard").to_string();
+        assert!(s.contains("lower 2"));
+        assert!(s.contains("α=1.00"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Qualitative sensitivity analysis of risk factors (§V-A).
+//!
+//! When a factor is uncertain, the analyst supplies the set of its possible
+//! categories; the output is sensitive to the factor iff the derived risk
+//! varies across them. The paper's example: with `LEF = L` fixed and `LM ∈
+//! {VL, L}` the risk stays `VL` (insensitive); with `LM ∈ {L..VH}` it
+//! varies (sensitive — further evaluation is required).
+
+use cpsrisk_qr::Qual;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Result of probing one uncertain factor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    /// Name of the probed factor.
+    pub factor: String,
+    /// The possible values tried.
+    pub tried: Vec<Qual>,
+    /// The distinct outputs observed.
+    pub outputs: BTreeSet<Qual>,
+}
+
+impl SensitivityReport {
+    /// Sensitive iff more than one output is reachable.
+    #[must_use]
+    pub fn is_sensitive(&self) -> bool {
+        self.outputs.len() > 1
+    }
+
+    /// The spread (band distance between extreme outputs).
+    #[must_use]
+    pub fn spread(&self) -> usize {
+        match (self.outputs.iter().next(), self.outputs.iter().last()) {
+            (Some(lo), Some(hi)) => hi.index() - lo.index(),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for SensitivityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} (outputs: {})",
+            self.factor,
+            if self.is_sensitive() { "SENSITIVE" } else { "stable" },
+            self.outputs
+                .iter()
+                .map(|q| q.abbrev())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+/// Probe a single uncertain factor: evaluate `f` at every possible value
+/// and report the distinct outputs.
+pub fn factor_sensitivity(
+    factor: &str,
+    possible: &[Qual],
+    mut f: impl FnMut(Qual) -> Qual,
+) -> SensitivityReport {
+    let outputs: BTreeSet<Qual> = possible.iter().map(|&q| f(q)).collect();
+    SensitivityReport { factor: factor.to_owned(), tried: possible.to_vec(), outputs }
+}
+
+/// Probe every uncertain factor of a multi-factor evaluation one at a time
+/// (one-at-a-time sensitivity, holding the others at their nominal value).
+pub fn sweep<'a>(
+    factors: impl IntoIterator<Item = (&'a str, &'a [Qual])>,
+    mut eval: impl FnMut(&str, Qual) -> Qual,
+) -> Vec<SensitivityReport> {
+    factors
+        .into_iter()
+        .map(|(name, possible)| factor_sensitivity(name, possible, |q| eval(name, q)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ora;
+
+    #[test]
+    fn paper_example_insensitive_case() {
+        // LEF = L fixed; LM ∈ {VL, L} → risk stays VL.
+        let report = factor_sensitivity("LM", &[Qual::VeryLow, Qual::Low], |lm| {
+            ora::risk(lm, Qual::Low)
+        });
+        assert!(!report.is_sensitive());
+        assert_eq!(report.outputs.iter().next(), Some(&Qual::VeryLow));
+    }
+
+    #[test]
+    fn paper_example_sensitive_case() {
+        // LEF = L fixed; LM ∈ {L..VH} → risk varies with each change.
+        let report = factor_sensitivity(
+            "LM",
+            &[Qual::Low, Qual::Medium, Qual::High, Qual::VeryHigh],
+            |lm| ora::risk(lm, Qual::Low),
+        );
+        assert!(report.is_sensitive());
+        // Outputs: VL, L, M, H — four distinct categories.
+        assert_eq!(report.outputs.len(), 4);
+        assert_eq!(report.spread(), 3);
+    }
+
+    #[test]
+    fn sweep_probes_each_factor_independently() {
+        let lm_range = [Qual::Low, Qual::High];
+        let lef_range = [Qual::VeryLow, Qual::VeryHigh];
+        let reports = sweep(
+            [("LM", lm_range.as_slice()), ("LEF", lef_range.as_slice())],
+            |name, q| match name {
+                "LM" => ora::risk(q, Qual::Medium),
+                _ => ora::risk(Qual::Medium, q),
+            },
+        );
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(SensitivityReport::is_sensitive));
+    }
+
+    #[test]
+    fn display_flags_sensitivity() {
+        let r = factor_sensitivity("X", &[Qual::Low, Qual::VeryHigh], |q| q);
+        assert!(r.to_string().contains("SENSITIVE"));
+        let s = factor_sensitivity("Y", &[Qual::Low], |_| Qual::Medium);
+        assert!(s.to_string().contains("stable"));
+    }
+}

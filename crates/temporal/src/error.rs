@@ -1,0 +1,28 @@
+//! Error type for the temporal-logic crate.
+
+use std::fmt;
+
+/// Errors from formula parsing and unrolling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// Syntax error in a formula string.
+    Parse(String),
+    /// Horizon must be at least 1 time step.
+    EmptyHorizon,
+    /// A proposition atom was not ground.
+    NonGroundProp(String),
+}
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalError::Parse(m) => write!(f, "formula parse error: {m}"),
+            TemporalError::EmptyHorizon => write!(f, "unroll horizon must be at least 1"),
+            TemporalError::NonGroundProp(a) => {
+                write!(f, "proposition `{a}` must be a ground atom")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}

@@ -1,0 +1,302 @@
+//! The LTLf formula language and its finite-trace semantics.
+
+use cpsrisk_asp::Atom;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::trace::Trace;
+
+/// A linear-temporal-logic formula interpreted over **finite** traces.
+///
+/// Finite-trace semantics follow the LTLf convention: `X φ` (strong next)
+/// is false at the last position, `wX φ` (weak next) is true there;
+/// `G φ = φ wU false`-style duality holds throughout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ltl {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Atomic proposition (a ground atom; the time index is implicit).
+    Prop(Atom),
+    /// Negation.
+    Not(Box<Ltl>),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// Implication.
+    Implies(Box<Ltl>, Box<Ltl>),
+    /// Strong next: there is a next step and φ holds there.
+    Next(Box<Ltl>),
+    /// Weak next: if there is a next step, φ holds there.
+    WeakNext(Box<Ltl>),
+    /// Eventually.
+    Finally(Box<Ltl>),
+    /// Always.
+    Globally(Box<Ltl>),
+    /// Strong until: ψ occurs, and φ holds until then.
+    Until(Box<Ltl>, Box<Ltl>),
+    /// Release: dual of until.
+    Release(Box<Ltl>, Box<Ltl>),
+}
+
+impl Ltl {
+    /// Atomic proposition from a propositional name.
+    #[must_use]
+    pub fn prop(name: &str) -> Ltl {
+        Ltl::Prop(Atom::prop(name))
+    }
+
+    /// Atomic proposition from a ground atom.
+    #[must_use]
+    pub fn atom(atom: Atom) -> Ltl {
+        Ltl::Prop(atom)
+    }
+
+    /// `¬self`
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // builder-style, mirrors and()/or()
+    pub fn not(self) -> Ltl {
+        Ltl::Not(Box::new(self))
+    }
+
+    /// `self ∧ rhs`
+    #[must_use]
+    pub fn and(self, rhs: Ltl) -> Ltl {
+        Ltl::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ∨ rhs`
+    #[must_use]
+    pub fn or(self, rhs: Ltl) -> Ltl {
+        Ltl::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self → rhs`
+    #[must_use]
+    pub fn implies(self, rhs: Ltl) -> Ltl {
+        Ltl::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// `X self`
+    #[must_use]
+    pub fn next(self) -> Ltl {
+        Ltl::Next(Box::new(self))
+    }
+
+    /// `F self`
+    #[must_use]
+    pub fn finally(self) -> Ltl {
+        Ltl::Finally(Box::new(self))
+    }
+
+    /// `G self`
+    #[must_use]
+    pub fn globally(self) -> Ltl {
+        Ltl::Globally(Box::new(self))
+    }
+
+    /// `self U rhs`
+    #[must_use]
+    pub fn until(self, rhs: Ltl) -> Ltl {
+        Ltl::Until(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluate at position `pos` of a finite trace.
+    ///
+    /// Positions at or beyond the trace end follow the empty-suffix
+    /// convention: `G` is true, `F` and props are false.
+    #[must_use]
+    pub fn eval(&self, trace: &Trace, pos: usize) -> bool {
+        let n = trace.len();
+        match self {
+            Ltl::True => true,
+            Ltl::False => false,
+            Ltl::Prop(p) => pos < n && trace.holds(pos, p),
+            Ltl::Not(f) => !f.eval(trace, pos),
+            Ltl::And(a, b) => a.eval(trace, pos) && b.eval(trace, pos),
+            Ltl::Or(a, b) => a.eval(trace, pos) || b.eval(trace, pos),
+            Ltl::Implies(a, b) => !a.eval(trace, pos) || b.eval(trace, pos),
+            Ltl::Next(f) => pos + 1 < n && f.eval(trace, pos + 1),
+            Ltl::WeakNext(f) => pos + 1 >= n || f.eval(trace, pos + 1),
+            Ltl::Finally(f) => (pos..n).any(|k| f.eval(trace, k)),
+            Ltl::Globally(f) => (pos..n).all(|k| f.eval(trace, k)),
+            Ltl::Until(a, b) => (pos..n)
+                .any(|k| b.eval(trace, k) && (pos..k).all(|j| a.eval(trace, j))),
+            Ltl::Release(a, b) => (pos..n)
+                .all(|k| b.eval(trace, k) || (pos..k).any(|j| a.eval(trace, j))),
+        }
+    }
+
+    /// Rewrite into the core fragment `{True, False, Prop, Not, And, Or,
+    /// Next, WeakNext, Until}` used by the ASP unrolling.
+    #[must_use]
+    pub fn desugar(&self) -> Ltl {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Prop(_) => self.clone(),
+            Ltl::Not(f) => Ltl::Not(Box::new(f.desugar())),
+            Ltl::And(a, b) => Ltl::And(Box::new(a.desugar()), Box::new(b.desugar())),
+            Ltl::Or(a, b) => Ltl::Or(Box::new(a.desugar()), Box::new(b.desugar())),
+            Ltl::Implies(a, b) => {
+                Ltl::Or(Box::new(Ltl::Not(Box::new(a.desugar()))), Box::new(b.desugar()))
+            }
+            Ltl::Next(f) => Ltl::Next(Box::new(f.desugar())),
+            Ltl::WeakNext(f) => Ltl::WeakNext(Box::new(f.desugar())),
+            Ltl::Finally(f) => Ltl::Until(Box::new(Ltl::True), Box::new(f.desugar())),
+            Ltl::Globally(f) => Ltl::Not(Box::new(Ltl::Until(
+                Box::new(Ltl::True),
+                Box::new(Ltl::Not(Box::new(f.desugar()))),
+            ))),
+            Ltl::Until(a, b) => Ltl::Until(Box::new(a.desugar()), Box::new(b.desugar())),
+            Ltl::Release(a, b) => Ltl::Not(Box::new(Ltl::Until(
+                Box::new(Ltl::Not(Box::new(a.desugar()))),
+                Box::new(Ltl::Not(Box::new(b.desugar()))),
+            ))),
+        }
+    }
+
+    /// Number of operator/prop nodes (formula size).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Prop(_) => 1,
+            Ltl::Not(f)
+            | Ltl::Next(f)
+            | Ltl::WeakNext(f)
+            | Ltl::Finally(f)
+            | Ltl::Globally(f) => 1 + f.size(),
+            Ltl::And(a, b)
+            | Ltl::Or(a, b)
+            | Ltl::Implies(a, b)
+            | Ltl::Until(a, b)
+            | Ltl::Release(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ltl::True => write!(f, "true"),
+            Ltl::False => write!(f, "false"),
+            Ltl::Prop(a) => write!(f, "{a}"),
+            Ltl::Not(x) => write!(f, "!({x})"),
+            Ltl::And(a, b) => write!(f, "({a} & {b})"),
+            Ltl::Or(a, b) => write!(f, "({a} | {b})"),
+            Ltl::Implies(a, b) => write!(f, "({a} -> {b})"),
+            Ltl::Next(x) => write!(f, "X({x})"),
+            Ltl::WeakNext(x) => write!(f, "wX({x})"),
+            Ltl::Finally(x) => write!(f, "F({x})"),
+            Ltl::Globally(x) => write!(f, "G({x})"),
+            Ltl::Until(a, b) => write!(f, "({a} U {b})"),
+            Ltl::Release(a, b) => write!(f, "({a} R {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn t(steps: Vec<Vec<&str>>) -> Trace {
+        Trace::from_steps(steps)
+    }
+
+    #[test]
+    fn prop_and_boolean_connectives() {
+        let tr = t(vec![vec!["a"], vec!["b"]]);
+        assert!(Ltl::prop("a").eval(&tr, 0));
+        assert!(!Ltl::prop("a").eval(&tr, 1));
+        assert!(Ltl::prop("a").or(Ltl::prop("b")).eval(&tr, 0));
+        assert!(!Ltl::prop("a").and(Ltl::prop("b")).eval(&tr, 0));
+        assert!(Ltl::prop("a").implies(Ltl::prop("b")).eval(&tr, 1), "vacuous");
+    }
+
+    #[test]
+    fn strong_vs_weak_next_at_trace_end() {
+        let tr = t(vec![vec!["a"]]);
+        assert!(!Ltl::prop("a").next().eval(&tr, 0), "X false at last step");
+        assert!(Ltl::WeakNext(Box::new(Ltl::prop("a"))).eval(&tr, 0), "wX true at last step");
+    }
+
+    #[test]
+    fn finally_and_globally() {
+        let tr = t(vec![vec![], vec![], vec!["goal"]]);
+        assert!(Ltl::prop("goal").finally().eval(&tr, 0));
+        assert!(!Ltl::prop("goal").globally().eval(&tr, 0));
+        let all = t(vec![vec!["inv"], vec!["inv"]]);
+        assert!(Ltl::prop("inv").globally().eval(&all, 0));
+    }
+
+    #[test]
+    fn until_requires_the_goal_to_occur() {
+        let good = t(vec![vec!["a"], vec!["a"], vec!["b"]]);
+        let never = t(vec![vec!["a"], vec!["a"], vec!["a"]]);
+        let u = Ltl::prop("a").until(Ltl::prop("b"));
+        assert!(u.eval(&good, 0));
+        assert!(!u.eval(&never, 0), "strong until: b must occur");
+    }
+
+    #[test]
+    fn release_holds_when_b_never_released() {
+        let tr = t(vec![vec!["b"], vec!["b"]]);
+        let r = Ltl::Release(Box::new(Ltl::prop("a")), Box::new(Ltl::prop("b")));
+        assert!(r.eval(&tr, 0));
+        let tr2 = t(vec![vec!["b"], vec![]]);
+        assert!(!r.eval(&tr2, 0));
+        let tr3 = t(vec![vec!["a", "b"], vec![]]);
+        assert!(r.eval(&tr3, 0), "a releases b");
+    }
+
+    #[test]
+    fn desugar_preserves_semantics() {
+        let formulas = vec![
+            Ltl::prop("p").finally(),
+            Ltl::prop("p").globally(),
+            Ltl::prop("p").implies(Ltl::prop("q").finally()),
+            Ltl::Release(Box::new(Ltl::prop("p")), Box::new(Ltl::prop("q"))),
+            Ltl::prop("p").globally().not(),
+        ];
+        let traces = vec![
+            t(vec![vec!["p"], vec!["q"]]),
+            t(vec![vec![], vec!["p"], vec!["p", "q"]]),
+            t(vec![vec!["q"]]),
+            t(vec![vec![]]),
+        ];
+        for f in &formulas {
+            let d = f.desugar();
+            for tr in &traces {
+                for pos in 0..tr.len() {
+                    assert_eq!(
+                        f.eval(tr, pos),
+                        d.eval(tr, pos),
+                        "desugar changed semantics of {f} at {pos}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_beyond_the_end_follows_empty_suffix_convention() {
+        let tr = t(vec![vec!["p"]]);
+        assert!(Ltl::prop("p").globally().eval(&tr, 5), "G true on empty suffix");
+        assert!(!Ltl::prop("p").finally().eval(&tr, 5), "F false on empty suffix");
+        assert!(!Ltl::prop("p").eval(&tr, 5));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Ltl::prop("a").size(), 1);
+        assert_eq!(Ltl::prop("a").until(Ltl::prop("b")).size(), 3);
+        assert_eq!(Ltl::prop("a").globally().not().size(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Ltl::prop("overflow").implies(Ltl::prop("alert").finally()).globally();
+        assert_eq!(f.to_string(), "G((overflow -> F(alert)))");
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Linear temporal logic over finite traces (LTLf) for requirement modeling.
+//!
+//! The paper builds on *Telingo = ASP + time*: safety requirements are
+//! expressed as temporal formulas over the qualitative behaviour of the
+//! system and checked by the ASP reasoner. This crate provides:
+//!
+//! * [`Ltl`] — the formula language (`X`, `wX`, `F`, `G`, `U`, `R` plus the
+//!   boolean connectives) with **finite-trace** semantics ([`Ltl::eval`]),
+//! * [`unroll`](fn@unroll) — the Telingo-style reduction of a formula to ASP rules
+//!   over an explicit bounded time line, so requirements become ordinary
+//!   atoms (`ltl_sat(name)`) in the combined model,
+//! * [`parse_ltl`] — a small surface syntax for writing requirements as
+//!   text (`G( level(tank, overflow) -> F alert(hmi) )`).
+//!
+//! # Example
+//!
+//! ```
+//! use cpsrisk_temporal::{parse_ltl, Trace};
+//!
+//! // R2 of the case study: an overflow must eventually raise an alert.
+//! let req = parse_ltl("G( overflow -> F alert )")?;
+//! let ok = Trace::from_steps(vec![vec![], vec!["overflow"], vec!["alert"]]);
+//! let bad = Trace::from_steps(vec![vec![], vec!["overflow"], vec![]]);
+//! assert!(req.eval(&ok, 0));
+//! assert!(!req.eval(&bad, 0));
+//! # Ok::<(), cpsrisk_temporal::TemporalError>(())
+//! ```
+
+pub mod error;
+pub mod formula;
+pub mod parser;
+pub mod trace;
+pub mod unroll;
+
+pub use error::TemporalError;
+pub use formula::Ltl;
+pub use parser::parse_ltl;
+pub use trace::Trace;
+pub use unroll::{unroll, UnrolledRequirement};

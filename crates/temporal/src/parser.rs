@@ -1,0 +1,360 @@
+//! Textual surface syntax for LTLf requirements.
+//!
+//! Grammar (standard precedence `! X wX F G` > `U R` > `&` > `|` > `->`):
+//!
+//! ```text
+//! G( level(tank, overflow) -> F alert(hmi) )
+//! ! (fault U mitigated) | G safe
+//! ```
+//!
+//! Propositions are ground atoms in ASP syntax (lowercase predicate,
+//! optional arguments of constants/integers).
+
+use cpsrisk_asp::{Atom, Term};
+
+use crate::error::TemporalError;
+use crate::formula::Ltl;
+
+/// Parse an LTLf formula from text.
+///
+/// # Errors
+///
+/// [`TemporalError::Parse`] on malformed input.
+pub fn parse_ltl(src: &str) -> Result<Ltl, TemporalError> {
+    let tokens = lex(src)?;
+    let mut p = P { toks: tokens, pos: 0 };
+    let f = p.implies()?;
+    if p.pos != p.toks.len() {
+        return Err(TemporalError::Parse(format!(
+            "trailing input at token `{}`",
+            p.toks[p.pos]
+        )));
+    }
+    Ok(f)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Upper(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Not,
+    And,
+    Or,
+    Arrow,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) | Tok::Upper(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Not => write!(f, "!"),
+            Tok::And => write!(f, "&"),
+            Tok::Or => write!(f, "|"),
+            Tok::Arrow => write!(f, "->"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, TemporalError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '!' => {
+                out.push(Tok::Not);
+                i += 1;
+            }
+            '&' => {
+                out.push(Tok::And);
+                i += 1;
+            }
+            '|' => {
+                out.push(Tok::Or);
+                i += 1;
+            }
+            '-' => {
+                if b.get(i + 1) == Some(&b'>') {
+                    out.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    return Err(TemporalError::Parse("expected `->`".into()));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n = src[start..i]
+                    .parse()
+                    .map_err(|_| TemporalError::Parse("integer out of range".into()))?;
+                out.push(Tok::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let w = &src[start..i];
+                if w.starts_with(|ch: char| ch.is_ascii_uppercase()) || w == "wX" {
+                    out.push(Tok::Upper(w.to_owned()));
+                } else {
+                    out.push(Tok::Ident(w.to_owned()));
+                }
+            }
+            other => {
+                return Err(TemporalError::Parse(format!("unexpected character `{other}`")))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), TemporalError> {
+        match self.bump() {
+            Some(ref got) if got == t => Ok(()),
+            got => Err(TemporalError::Parse(format!(
+                "expected `{t}`, found `{}`",
+                got.map_or("<eof>".into(), |g| g.to_string())
+            ))),
+        }
+    }
+
+    fn implies(&mut self) -> Result<Ltl, TemporalError> {
+        let lhs = self.or_expr()?;
+        if self.peek() == Some(&Tok::Arrow) {
+            self.bump();
+            let rhs = self.implies()?; // right-associative
+            return Ok(lhs.implies(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn or_expr(&mut self) -> Result<Ltl, TemporalError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.bump();
+            lhs = lhs.or(self.and_expr()?);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Ltl, TemporalError> {
+        let mut lhs = self.until_expr()?;
+        while self.peek() == Some(&Tok::And) {
+            self.bump();
+            lhs = lhs.and(self.until_expr()?);
+        }
+        Ok(lhs)
+    }
+
+    fn until_expr(&mut self) -> Result<Ltl, TemporalError> {
+        let lhs = self.unary()?;
+        match self.peek() {
+            Some(Tok::Upper(u)) if u == "U" => {
+                self.bump();
+                let rhs = self.until_expr()?; // right-associative
+                Ok(lhs.until(rhs))
+            }
+            Some(Tok::Upper(u)) if u == "R" => {
+                self.bump();
+                let rhs = self.until_expr()?;
+                Ok(Ltl::Release(Box::new(lhs), Box::new(rhs)))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn unary(&mut self) -> Result<Ltl, TemporalError> {
+        match self.peek().cloned() {
+            Some(Tok::Not) => {
+                self.bump();
+                Ok(self.unary()?.not())
+            }
+            Some(Tok::Upper(u)) => match u.as_str() {
+                "X" => {
+                    self.bump();
+                    Ok(self.unary()?.next())
+                }
+                "wX" => {
+                    self.bump();
+                    Ok(Ltl::WeakNext(Box::new(self.unary()?)))
+                }
+                "F" => {
+                    self.bump();
+                    Ok(self.unary()?.finally())
+                }
+                "G" => {
+                    self.bump();
+                    Ok(self.unary()?.globally())
+                }
+                other => Err(TemporalError::Parse(format!(
+                    "unknown temporal operator `{other}`"
+                ))),
+            },
+            Some(Tok::LParen) => {
+                self.bump();
+                let f = self.implies()?;
+                self.expect(&Tok::RParen)?;
+                Ok(f)
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                match name.as_str() {
+                    "true" => Ok(Ltl::True),
+                    "false" => Ok(Ltl::False),
+                    _ => {
+                        let atom = self.atom_args(name)?;
+                        Ok(Ltl::Prop(atom))
+                    }
+                }
+            }
+            other => Err(TemporalError::Parse(format!(
+                "expected formula, found `{}`",
+                other.map_or("<eof>".into(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn atom_args(&mut self, pred: String) -> Result<Atom, TemporalError> {
+        if self.peek() != Some(&Tok::LParen) {
+            return Ok(Atom::prop(pred));
+        }
+        self.bump();
+        let mut args = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Tok::Ident(s)) => {
+                    // Possibly a nested compound term.
+                    if self.peek() == Some(&Tok::LParen) {
+                        let inner = self.atom_args(s)?;
+                        args.push(Term::Func(inner.pred, inner.args));
+                    } else {
+                        args.push(Term::sym(s));
+                    }
+                }
+                Some(Tok::Int(i)) => args.push(Term::Int(i)),
+                got => {
+                    return Err(TemporalError::Parse(format!(
+                        "expected ground term, found `{}`",
+                        got.map_or("<eof>".into(), |g| g.to_string())
+                    )))
+                }
+            }
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                got => {
+                    return Err(TemporalError::Parse(format!(
+                        "expected `,` or `)`, found `{}`",
+                        got.map_or("<eof>".into(), |g| g.to_string())
+                    )))
+                }
+            }
+        }
+        Ok(Atom::new(pred, args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn parses_case_study_requirements() {
+        // R1: the tank never overflows.
+        let r1 = parse_ltl("G !level(tank, overflow)").unwrap();
+        assert_eq!(r1.to_string(), "G(!(level(tank,overflow)))");
+        // R2: overflow implies a later alert.
+        let r2 = parse_ltl("G( level(tank, overflow) -> F alert(hmi) )").unwrap();
+        assert_eq!(r2.to_string(), "G((level(tank,overflow) -> F(alert(hmi))))");
+    }
+
+    #[test]
+    fn precedence_is_standard() {
+        let f = parse_ltl("a & b | c -> d").unwrap();
+        // ((a&b)|c) -> d
+        assert_eq!(f.to_string(), "(((a & b) | c) -> d)");
+        let g = parse_ltl("! a U b").unwrap();
+        assert_eq!(g.to_string(), "(!(a) U b)");
+    }
+
+    #[test]
+    fn arrow_and_until_are_right_associative() {
+        assert_eq!(parse_ltl("a -> b -> c").unwrap().to_string(), "(a -> (b -> c))");
+        assert_eq!(parse_ltl("a U b U c").unwrap().to_string(), "(a U (b U c))");
+    }
+
+    #[test]
+    fn parses_constants_and_weak_next() {
+        assert_eq!(parse_ltl("true").unwrap(), Ltl::True);
+        assert_eq!(parse_ltl("false").unwrap(), Ltl::False);
+        assert_eq!(parse_ltl("wX a").unwrap().to_string(), "wX(a)");
+    }
+
+    #[test]
+    fn parsed_formula_evaluates() {
+        let f = parse_ltl("G(p -> F q)").unwrap();
+        let ok = Trace::from_steps(vec![vec!["p"], vec!["q"]]);
+        let bad = Trace::from_steps(vec![vec!["p"], vec![]]);
+        assert!(f.eval(&ok, 0));
+        assert!(!f.eval(&bad, 0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_ltl("").is_err());
+        assert!(parse_ltl("G(").is_err());
+        assert!(parse_ltl("a b").is_err());
+        assert!(parse_ltl("Z a").is_err());
+        assert!(parse_ltl("a -").is_err());
+    }
+
+    #[test]
+    fn nested_compound_args() {
+        let f = parse_ltl("state(valve(input), stuck)").unwrap();
+        assert_eq!(f.to_string(), "state(valve(input),stuck)");
+    }
+}

@@ -1,0 +1,130 @@
+//! Finite traces: sequences of sets of true ground atoms.
+
+use cpsrisk_asp::Atom;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A finite trace; step `i` holds the set of atoms true at time `i`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    steps: Vec<BTreeSet<String>>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Build from propositional step descriptions.
+    #[must_use]
+    pub fn from_steps<S: AsRef<str>>(steps: Vec<Vec<S>>) -> Self {
+        Trace {
+            steps: steps
+                .into_iter()
+                .map(|s| s.iter().map(|p| normalize(p.as_ref())).collect())
+                .collect(),
+        }
+    }
+
+    /// Append a step holding the given atoms.
+    pub fn push_step(&mut self, atoms: impl IntoIterator<Item = Atom>) {
+        self.steps
+            .push(atoms.into_iter().map(|a| a.to_string()).collect());
+    }
+
+    /// Append a step from pre-rendered atom strings.
+    pub fn push_step_strs<S: AsRef<str>>(&mut self, atoms: impl IntoIterator<Item = S>) {
+        self.steps
+            .push(atoms.into_iter().map(|s| normalize(s.as_ref())).collect());
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the trace has no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Is `atom` true at step `pos`? Out-of-range positions hold nothing.
+    #[must_use]
+    pub fn holds(&self, pos: usize, atom: &Atom) -> bool {
+        self.steps
+            .get(pos)
+            .is_some_and(|s| s.contains(&atom.to_string()))
+    }
+
+    /// Is the rendered atom string true at step `pos`?
+    #[must_use]
+    pub fn holds_str(&self, pos: usize, atom: &str) -> bool {
+        self.steps
+            .get(pos)
+            .is_some_and(|s| s.contains(&normalize(atom)))
+    }
+
+    /// The atoms true at a step, rendered.
+    #[must_use]
+    pub fn step(&self, pos: usize) -> Option<&BTreeSet<String>> {
+        self.steps.get(pos)
+    }
+}
+
+fn normalize(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            write!(f, "[{i}] {{")?;
+            for (j, a) in s.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpsrisk_asp::Term;
+
+    #[test]
+    fn holds_matches_atoms_and_strings() {
+        let mut tr = Trace::new();
+        tr.push_step([Atom::new("level", vec![Term::sym("tank"), Term::sym("high")])]);
+        assert!(tr.holds(0, &Atom::new("level", vec![Term::sym("tank"), Term::sym("high")])));
+        assert!(tr.holds_str(0, "level(tank, high)"), "whitespace-insensitive");
+        assert!(!tr.holds_str(0, "level(tank, low)"));
+        assert!(!tr.holds_str(1, "level(tank, high)"), "out of range");
+    }
+
+    #[test]
+    fn from_steps_builds_in_order() {
+        let tr = Trace::from_steps(vec![vec!["a"], vec!["b", "c"]]);
+        assert_eq!(tr.len(), 2);
+        assert!(tr.holds_str(1, "c"));
+        assert!(!tr.is_empty());
+        assert!(Trace::new().is_empty());
+    }
+
+    #[test]
+    fn display_lists_steps() {
+        let tr = Trace::from_steps(vec![vec!["a"], vec![]]);
+        let text = tr.to_string();
+        assert!(text.contains("[0] {a}"));
+        assert!(text.contains("[1] {}"));
+    }
+}

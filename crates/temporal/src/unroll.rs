@@ -1,0 +1,349 @@
+//! Telingo-style bounded unrolling of LTLf formulas into ASP rules.
+//!
+//! A formula over horizon `H` becomes, for every subformula `f` and time
+//! step `t ∈ [0, H)`, ground rules deriving `ltl(<name>_<i>, t)`. Atomic
+//! propositions are time-stamped by **appending** the step as a final
+//! integer argument: the proposition `level(tank, high)` reads the model
+//! atom `level(tank, high, t)`. The root formula's satisfaction at time 0
+//! is exposed as `ltl_sat(<name>)`, and its violation as
+//! `ltl_violated(<name>)` — exactly the shape the hazard-identification
+//! step consumes (`violated` atoms per requirement).
+
+use cpsrisk_asp::ast::{Head, Literal, Rule};
+use cpsrisk_asp::{Atom, ProgramBuilder, Term};
+
+use crate::error::TemporalError;
+use crate::formula::Ltl;
+
+/// Handle to an unrolled requirement inside a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnrolledRequirement {
+    /// Requirement name (also used to prefix the generated atoms).
+    pub name: String,
+    /// `ltl_sat(name)` — true iff the formula holds at time 0.
+    pub sat_atom: Atom,
+    /// `ltl_violated(name)` — true iff the formula fails at time 0.
+    pub violated_atom: Atom,
+    /// The unrolling horizon (number of time steps).
+    pub horizon: usize,
+}
+
+/// Unroll `formula` over `horizon` time steps into `builder`.
+///
+/// # Errors
+///
+/// * [`TemporalError::EmptyHorizon`] if `horizon == 0`.
+/// * [`TemporalError::NonGroundProp`] if a proposition contains variables.
+pub fn unroll(
+    builder: &mut ProgramBuilder,
+    name: &str,
+    formula: &Ltl,
+    horizon: usize,
+) -> Result<UnrolledRequirement, TemporalError> {
+    if horizon == 0 {
+        return Err(TemporalError::EmptyHorizon);
+    }
+    let core = formula.desugar();
+    check_props_ground(&core)?;
+    let mut ctx = Ctx { name: name.to_owned(), counter: 0, horizon, builder };
+    let root = ctx.encode(&core);
+
+    // ltl_sat(name) :- ltl(root, 0).   ltl_violated(name) :- not ltl(root, 0).
+    let sat_atom = Atom::new("ltl_sat", vec![Term::sym(name)]);
+    let violated_atom = Atom::new("ltl_violated", vec![Term::sym(name)]);
+    let root0 = holds(&root, 0);
+    ctx.builder.append_rule(Rule::normal(sat_atom.clone(), vec![Literal::Pos(root0.clone())]));
+    ctx.builder
+        .append_rule(Rule::normal(violated_atom.clone(), vec![Literal::Neg(root0)]));
+    Ok(UnrolledRequirement { name: name.to_owned(), sat_atom, violated_atom, horizon })
+}
+
+fn check_props_ground(f: &Ltl) -> Result<(), TemporalError> {
+    match f {
+        Ltl::Prop(a) => {
+            if a.is_ground() {
+                Ok(())
+            } else {
+                Err(TemporalError::NonGroundProp(a.to_string()))
+            }
+        }
+        Ltl::True | Ltl::False => Ok(()),
+        Ltl::Not(x)
+        | Ltl::Next(x)
+        | Ltl::WeakNext(x)
+        | Ltl::Finally(x)
+        | Ltl::Globally(x) => check_props_ground(x),
+        Ltl::And(a, b)
+        | Ltl::Or(a, b)
+        | Ltl::Implies(a, b)
+        | Ltl::Until(a, b)
+        | Ltl::Release(a, b) => {
+            check_props_ground(a)?;
+            check_props_ground(b)
+        }
+    }
+}
+
+fn holds(id: &str, t: usize) -> Atom {
+    Atom::new("ltl", vec![Term::sym(id), Term::Int(t as i64)])
+}
+
+struct Ctx<'a> {
+    name: String,
+    counter: usize,
+    horizon: usize,
+    builder: &'a mut ProgramBuilder,
+}
+
+impl Ctx<'_> {
+    fn fresh(&mut self) -> String {
+        let id = format!("{}_{}", self.name, self.counter);
+        self.counter += 1;
+        id
+    }
+
+    /// Encode a core-fragment formula; returns its subformula id.
+    fn encode(&mut self, f: &Ltl) -> String {
+        let id = self.fresh();
+        let h = self.horizon;
+        match f {
+            Ltl::True => {
+                for t in 0..h {
+                    self.builder.append_rule(Rule::fact(holds(&id, t)));
+                }
+            }
+            Ltl::False => {} // no rules: never derivable
+            Ltl::Prop(a) => {
+                for t in 0..h {
+                    let mut stamped = a.clone();
+                    stamped.args.push(Term::Int(t as i64));
+                    self.builder
+                        .append_rule(Rule::normal(holds(&id, t), vec![Literal::Pos(stamped)]));
+                }
+            }
+            Ltl::Not(g) => {
+                let gid = self.encode(g);
+                for t in 0..h {
+                    self.builder.append_rule(Rule::normal(
+                        holds(&id, t),
+                        vec![Literal::Neg(holds(&gid, t))],
+                    ));
+                }
+            }
+            Ltl::And(a, b) => {
+                let aid = self.encode(a);
+                let bid = self.encode(b);
+                for t in 0..h {
+                    self.builder.append_rule(Rule::normal(
+                        holds(&id, t),
+                        vec![Literal::Pos(holds(&aid, t)), Literal::Pos(holds(&bid, t))],
+                    ));
+                }
+            }
+            Ltl::Or(a, b) => {
+                let aid = self.encode(a);
+                let bid = self.encode(b);
+                for t in 0..h {
+                    self.builder.append_rule(Rule::normal(
+                        holds(&id, t),
+                        vec![Literal::Pos(holds(&aid, t))],
+                    ));
+                    self.builder.append_rule(Rule::normal(
+                        holds(&id, t),
+                        vec![Literal::Pos(holds(&bid, t))],
+                    ));
+                }
+            }
+            Ltl::Next(g) => {
+                let gid = self.encode(g);
+                for t in 0..h.saturating_sub(1) {
+                    self.builder.append_rule(Rule::normal(
+                        holds(&id, t),
+                        vec![Literal::Pos(holds(&gid, t + 1))],
+                    ));
+                }
+            }
+            Ltl::WeakNext(g) => {
+                let gid = self.encode(g);
+                for t in 0..h.saturating_sub(1) {
+                    self.builder.append_rule(Rule::normal(
+                        holds(&id, t),
+                        vec![Literal::Pos(holds(&gid, t + 1))],
+                    ));
+                }
+                self.builder.append_rule(Rule::fact(holds(&id, h - 1)));
+            }
+            Ltl::Until(a, b) => {
+                let aid = self.encode(a);
+                let bid = self.encode(b);
+                for t in 0..h {
+                    self.builder.append_rule(Rule::normal(
+                        holds(&id, t),
+                        vec![Literal::Pos(holds(&bid, t))],
+                    ));
+                    if t + 1 < h {
+                        self.builder.append_rule(Rule::normal(
+                            holds(&id, t),
+                            vec![Literal::Pos(holds(&aid, t)), Literal::Pos(holds(&id, t + 1))],
+                        ));
+                    }
+                }
+            }
+            // Desugared away before encoding.
+            Ltl::Implies(..) | Ltl::Finally(_) | Ltl::Globally(_) | Ltl::Release(..) => {
+                unreachable!("desugar() removes this operator")
+            }
+        }
+        id
+    }
+}
+
+/// Extension trait: push a prepared [`Rule`] into a [`ProgramBuilder`].
+trait AppendRule {
+    fn append_rule(&mut self, rule: Rule);
+}
+
+impl AppendRule for ProgramBuilder {
+    fn append_rule(&mut self, rule: Rule) {
+        let mut p = cpsrisk_asp::Program::new();
+        p.push_rule(rule);
+        self.append(p);
+    }
+}
+
+/// Does a rule-free formula hold on the trace encoded by `facts`? Helper
+/// for tests and cross-checking (re-exported for integration tests).
+#[doc(hidden)]
+#[must_use]
+pub fn head_is_ltl(rule: &Rule) -> bool {
+    matches!(&rule.head, Head::Atom(a) if a.pred == "ltl")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ltl;
+    use crate::trace::Trace;
+    use cpsrisk_asp::{ProgramBuilder, Term};
+
+    /// Encode a trace as time-stamped facts and check satisfaction of the
+    /// formula via ASP; compare with direct evaluation.
+    fn cross_check(formula_src: &str, steps: Vec<Vec<&str>>) {
+        let formula = parse_ltl(formula_src).unwrap();
+        let trace = Trace::from_steps(steps.clone());
+        let expected = formula.eval(&trace, 0);
+
+        let mut b = ProgramBuilder::new();
+        for (t, props) in steps.iter().enumerate() {
+            for p in props {
+                b.fact(p, [Term::Int(t as i64)]);
+            }
+        }
+        let req = unroll(&mut b, "r", &formula, steps.len()).unwrap();
+        let models = b.finish().solve().unwrap();
+        assert_eq!(models.len(), 1, "deterministic program");
+        let got = models[0].contains_str(&req.sat_atom.to_string());
+        assert_eq!(
+            got, expected,
+            "ASP unrolling disagrees with trace semantics for `{formula_src}` on {steps:?}"
+        );
+        assert_eq!(
+            models[0].contains_str(&req.violated_atom.to_string()),
+            !expected,
+            "violated atom must be the complement"
+        );
+    }
+
+    #[test]
+    fn unroll_matches_eval_on_basic_operators() {
+        cross_check("p", vec![vec!["p"], vec![]]);
+        cross_check("p", vec![vec![], vec!["p"]]);
+        cross_check("X p", vec![vec![], vec!["p"]]);
+        cross_check("X p", vec![vec!["p"]]);
+        cross_check("wX p", vec![vec!["p"]]);
+        cross_check("F p", vec![vec![], vec![], vec!["p"]]);
+        cross_check("F p", vec![vec![], vec![], vec![]]);
+        cross_check("G p", vec![vec!["p"], vec!["p"]]);
+        cross_check("G p", vec![vec!["p"], vec![]]);
+    }
+
+    #[test]
+    fn unroll_matches_eval_on_nested_formulas() {
+        cross_check("G(p -> F q)", vec![vec!["p"], vec![], vec!["q"]]);
+        cross_check("G(p -> F q)", vec![vec!["p"], vec![], vec![]]);
+        cross_check("p U q", vec![vec!["p"], vec!["p"], vec!["q"]]);
+        cross_check("p U q", vec![vec!["p"], vec![], vec!["q"]]);
+        cross_check("!(p U q) | G p", vec![vec!["p"], vec!["p"]]);
+        cross_check("p R q", vec![vec!["q"], vec!["q", "p"], vec![]]);
+        cross_check("p R q", vec![vec!["q"], vec![], vec![]]);
+    }
+
+    #[test]
+    fn unroll_with_compound_propositions() {
+        let formula = parse_ltl("G !level(tank, overflow)").unwrap();
+        let mut b = ProgramBuilder::new();
+        // overflow at t=2
+        b.fact("level", [Term::sym("tank"), Term::sym("overflow"), Term::Int(2)]);
+        let req = unroll(&mut b, "r1", &formula, 3).unwrap();
+        let models = b.finish().solve().unwrap();
+        assert!(models[0].contains_str("ltl_violated(r1)"));
+        assert!(!models[0].contains_str(&req.sat_atom.to_string()));
+    }
+
+    #[test]
+    fn horizon_zero_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        assert_eq!(
+            unroll(&mut b, "r", &Ltl::prop("p"), 0),
+            Err(TemporalError::EmptyHorizon)
+        );
+    }
+
+    #[test]
+    fn non_ground_props_are_rejected() {
+        let mut b = ProgramBuilder::new();
+        let bad = Ltl::Prop(Atom::new("p", vec![Term::var("X")]));
+        assert!(matches!(
+            unroll(&mut b, "r", &bad, 2),
+            Err(TemporalError::NonGroundProp(_))
+        ));
+    }
+
+    #[test]
+    fn two_requirements_coexist() {
+        let mut b = ProgramBuilder::new();
+        b.fact("p", [Term::Int(0)]);
+        let r1 = unroll(&mut b, "req1", &parse_ltl("p").unwrap(), 2).unwrap();
+        let r2 = unroll(&mut b, "req2", &parse_ltl("F q").unwrap(), 2).unwrap();
+        let models = b.finish().solve().unwrap();
+        assert!(models[0].contains_str(&r1.sat_atom.to_string()));
+        assert!(models[0].contains_str(&r2.violated_atom.to_string()));
+    }
+
+    #[test]
+    fn unrolling_inside_nondeterministic_program() {
+        // The requirement interacts with a choice: only models where the
+        // alert is raised satisfy it.
+        let mut b = ProgramBuilder::new();
+        b.fact("overflow", [Term::Int(1)]);
+        let mut choice = cpsrisk_asp::Program::new();
+        choice.push_rule(
+            cpsrisk_asp::parse("{ alert(2) }.").unwrap().rules().next().unwrap().clone(),
+        );
+        b.append(choice);
+        let req = unroll(
+            &mut b,
+            "r2",
+            &parse_ltl("G(overflow -> F alert)").unwrap(),
+            3,
+        )
+        .unwrap();
+        let models = b.finish().solve().unwrap();
+        assert_eq!(models.len(), 2);
+        let sat_count = models
+            .iter()
+            .filter(|m| m.contains_str(&req.sat_atom.to_string()))
+            .count();
+        assert_eq!(sat_count, 1, "exactly the alerting model satisfies R2");
+    }
+}

@@ -1,0 +1,118 @@
+//! Threat-actor profiles.
+//!
+//! "An attacker's ability to exploit a vulnerability depends on factors such
+//! as their attack profile, skill, and motivation" (§IV). The profile feeds
+//! the FAIR *Threat Capability* (TCap) and *Threat Event Frequency* factors.
+
+use cpsrisk_qr::Qual;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A qualitative threat-actor profile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreatActor {
+    /// Profile name (e.g. `script_kiddie`, `insider`, `apt`).
+    pub name: String,
+    /// Technical skill.
+    pub skill: Qual,
+    /// Available resources (tooling, time, money).
+    pub resources: Qual,
+    /// Motivation to attack this target.
+    pub motivation: Qual,
+}
+
+impl ThreatActor {
+    /// Create a profile.
+    #[must_use]
+    pub fn new(name: impl Into<String>, skill: Qual, resources: Qual, motivation: Qual) -> Self {
+        ThreatActor { name: name.into(), skill, resources, motivation }
+    }
+
+    /// FAIR *Threat Capability*: dominated by skill, boosted by resources —
+    /// the qualitative join of skill with resources shifted one band down.
+    #[must_use]
+    pub fn capability(&self) -> Qual {
+        self.skill.join(self.resources.bump(-1))
+    }
+
+    /// Qualitative *Threat Event Frequency* contribution: how often this
+    /// actor attempts attacks, driven by motivation and capped by resources.
+    #[must_use]
+    pub fn event_frequency(&self) -> Qual {
+        self.motivation.meet(self.resources.bump(1))
+    }
+
+    /// Can the actor plausibly execute a technique of the given difficulty?
+    /// (capability must reach the difficulty band).
+    #[must_use]
+    pub fn can_execute(&self, difficulty: Qual) -> bool {
+        self.capability() >= difficulty
+    }
+
+    /// Standard profile: opportunistic low-skill attacker.
+    #[must_use]
+    pub fn script_kiddie() -> Self {
+        ThreatActor::new("script_kiddie", Qual::Low, Qual::VeryLow, Qual::Medium)
+    }
+
+    /// Standard profile: disgruntled insider with access but modest skill.
+    #[must_use]
+    pub fn insider() -> Self {
+        ThreatActor::new("insider", Qual::Medium, Qual::Low, Qual::High)
+    }
+
+    /// Standard profile: organized cyber-crime group.
+    #[must_use]
+    pub fn cybercrime() -> Self {
+        ThreatActor::new("cybercrime", Qual::High, Qual::Medium, Qual::High)
+    }
+
+    /// Standard profile: state-sponsored APT.
+    #[must_use]
+    pub fn apt() -> Self {
+        ThreatActor::new("apt", Qual::VeryHigh, Qual::VeryHigh, Qual::Medium)
+    }
+}
+
+impl fmt::Display for ThreatActor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (skill {}, resources {}, motivation {})",
+            self.name, self.skill, self.resources, self.motivation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_ordering_across_profiles() {
+        assert!(ThreatActor::apt().capability() > ThreatActor::script_kiddie().capability());
+        assert!(ThreatActor::cybercrime().capability() >= ThreatActor::insider().capability());
+    }
+
+    #[test]
+    fn apt_executes_hard_techniques_script_kiddie_does_not() {
+        assert!(ThreatActor::apt().can_execute(Qual::VeryHigh));
+        assert!(!ThreatActor::script_kiddie().can_execute(Qual::High));
+        assert!(ThreatActor::script_kiddie().can_execute(Qual::Low));
+    }
+
+    #[test]
+    fn event_frequency_is_motivation_capped_by_resources() {
+        let broke_but_angry = ThreatActor::new("x", Qual::Low, Qual::VeryLow, Qual::VeryHigh);
+        assert_eq!(broke_but_angry.event_frequency(), Qual::Low);
+        let funded = ThreatActor::new("y", Qual::Low, Qual::VeryHigh, Qual::Medium);
+        assert_eq!(funded.event_frequency(), Qual::Medium);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = ThreatActor::insider().to_string();
+        assert!(s.contains("insider"));
+        assert!(s.contains("skill M"));
+    }
+}

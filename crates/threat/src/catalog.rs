@@ -1,0 +1,564 @@
+//! CWE/CAPEC/CVE-shaped records and ATT&CK(ICS)-style catalogs.
+
+use cpsrisk_qr::Qual;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cvss::CvssVector;
+use crate::error::ThreatError;
+
+/// ATT&CK for ICS tactic categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Tactic {
+    /// Get into the ICS environment.
+    InitialAccess,
+    /// Run adversary code.
+    Execution,
+    /// Maintain foothold.
+    Persistence,
+    /// Avoid defenses.
+    Evasion,
+    /// Learn the environment.
+    Discovery,
+    /// Move through the environment.
+    LateralMovement,
+    /// Gather data of interest.
+    Collection,
+    /// Communicate with compromised systems.
+    CommandAndControl,
+    /// Prevent safety/protection functions from responding.
+    InhibitResponseFunction,
+    /// Manipulate or disable physical control processes.
+    ImpairProcessControl,
+    /// Cause the final process/business impact.
+    ImpactTactic,
+}
+
+impl Tactic {
+    /// ASP-safe name.
+    #[must_use]
+    pub fn asp_name(self) -> &'static str {
+        use Tactic::*;
+        match self {
+            InitialAccess => "initial_access",
+            Execution => "execution",
+            Persistence => "persistence",
+            Evasion => "evasion",
+            Discovery => "discovery",
+            LateralMovement => "lateral_movement",
+            Collection => "collection",
+            CommandAndControl => "command_and_control",
+            InhibitResponseFunction => "inhibit_response_function",
+            ImpairProcessControl => "impair_process_control",
+            ImpactTactic => "impact",
+        }
+    }
+}
+
+impl fmt::Display for Tactic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.asp_name())
+    }
+}
+
+/// A CWE-shaped weakness record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weakness {
+    /// Id, e.g. `cwe_787`.
+    pub id: String,
+    /// Name.
+    pub name: String,
+    /// Software versions/platforms affected (free-form; the paper notes
+    /// CWE entries are often version-specific).
+    pub affected_versions: Vec<String>,
+}
+
+/// A CAPEC-shaped attack-pattern record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackPattern {
+    /// Id, e.g. `capec_98`.
+    pub id: String,
+    /// Name.
+    pub name: String,
+    /// Weaknesses this pattern exploits.
+    pub exploits: Vec<String>,
+    /// Typical severity of successful exploitation.
+    pub severity: Qual,
+}
+
+/// A CVE-shaped vulnerability record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vulnerability {
+    /// Id, e.g. `cve_2023_0001`.
+    pub id: String,
+    /// Short description.
+    pub description: String,
+    /// CVSS v3.1 base vector.
+    pub cvss: CvssVector,
+    /// Component-type names (library keys) the vulnerability applies to.
+    pub affected_types: Vec<String>,
+    /// Underlying weakness id, if classified.
+    pub weakness: Option<String>,
+    /// Local fault mode the exploitation induces on the component.
+    pub induced_fault: String,
+}
+
+/// An ATT&CK(ICS)-shaped technique.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technique {
+    /// Id, e.g. `t0866`.
+    pub id: String,
+    /// Name, e.g. *Exploitation of Remote Services*.
+    pub name: String,
+    /// Tactic the technique serves.
+    pub tactic: Tactic,
+    /// Component-type names the technique applies to (empty = any).
+    pub applicable_types: Vec<String>,
+    /// Local fault mode a successful technique induces.
+    pub induced_fault: String,
+    /// Mitigation ids that block or reduce this technique.
+    pub mitigations: Vec<String>,
+    /// Qualitative difficulty for the attacker (inverse of exploitability).
+    pub difficulty: Qual,
+}
+
+/// An ATT&CK-shaped mitigation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mitigation {
+    /// Id, e.g. `m0917`.
+    pub id: String,
+    /// Name, e.g. *User Training*.
+    pub name: String,
+    /// Implementation cost in abstract budget units.
+    pub cost: u64,
+    /// Recurring (maintenance) cost per period, in the same units.
+    pub maintenance_cost: u64,
+    /// Qualitative effectiveness when deployed.
+    pub effectiveness: Qual,
+}
+
+/// The combined threat catalog.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreatCatalog {
+    weaknesses: BTreeMap<String, Weakness>,
+    patterns: BTreeMap<String, AttackPattern>,
+    vulnerabilities: BTreeMap<String, Vulnerability>,
+    techniques: BTreeMap<String, Technique>,
+    mitigations: BTreeMap<String, Mitigation>,
+}
+
+macro_rules! catalog_accessors {
+    ($add:ident, $get:ident, $iter:ident, $field:ident, $ty:ty) => {
+        /// Register an entry; duplicate ids are rejected.
+        ///
+        /// # Errors
+        ///
+        /// [`ThreatError::DuplicateEntry`] on id collision.
+        pub fn $add(&mut self, entry: $ty) -> Result<(), ThreatError> {
+            if self.$field.contains_key(&entry.id) {
+                return Err(ThreatError::DuplicateEntry(entry.id.clone()));
+            }
+            self.$field.insert(entry.id.clone(), entry);
+            Ok(())
+        }
+
+        /// Look up an entry by id.
+        #[must_use]
+        pub fn $get(&self, id: &str) -> Option<&$ty> {
+            self.$field.get(id)
+        }
+
+        /// Iterate entries in id order.
+        pub fn $iter(&self) -> impl Iterator<Item = &$ty> {
+            self.$field.values()
+        }
+    };
+}
+
+impl ThreatCatalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        ThreatCatalog::default()
+    }
+
+    catalog_accessors!(add_weakness, weakness, weaknesses, weaknesses, Weakness);
+    catalog_accessors!(add_pattern, pattern, patterns, patterns, AttackPattern);
+    catalog_accessors!(
+        add_vulnerability,
+        vulnerability,
+        vulnerabilities,
+        vulnerabilities,
+        Vulnerability
+    );
+    catalog_accessors!(add_technique, technique, techniques, techniques, Technique);
+    catalog_accessors!(add_mitigation, mitigation, mitigations, mitigations, Mitigation);
+
+    /// Techniques applicable to a component type.
+    #[must_use]
+    pub fn techniques_for_type(&self, type_name: &str) -> Vec<&Technique> {
+        self.techniques
+            .values()
+            .filter(|t| {
+                t.applicable_types.is_empty()
+                    || t.applicable_types.iter().any(|a| a == type_name)
+            })
+            .collect()
+    }
+
+    /// Vulnerabilities applicable to a component type.
+    #[must_use]
+    pub fn vulnerabilities_for_type(&self, type_name: &str) -> Vec<&Vulnerability> {
+        self.vulnerabilities
+            .values()
+            .filter(|v| v.affected_types.iter().any(|a| a == type_name))
+            .collect()
+    }
+
+    /// Mitigations covering a technique.
+    #[must_use]
+    pub fn mitigations_for_technique(&self, technique_id: &str) -> Vec<&Mitigation> {
+        let Some(t) = self.techniques.get(technique_id) else {
+            return Vec::new();
+        };
+        t.mitigations
+            .iter()
+            .filter_map(|m| self.mitigations.get(m))
+            .collect()
+    }
+
+    /// Totals: (weaknesses, patterns, vulnerabilities, techniques, mitigations).
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.weaknesses.len(),
+            self.patterns.len(),
+            self.vulnerabilities.len(),
+            self.techniques.len(),
+            self.mitigations.len(),
+        )
+    }
+
+    /// Referential integrity: every cross-reference resolves.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreatError::UnknownEntry`] naming the first dangling reference.
+    pub fn validate(&self) -> Result<(), ThreatError> {
+        for t in self.techniques.values() {
+            for m in &t.mitigations {
+                if !self.mitigations.contains_key(m) {
+                    return Err(ThreatError::UnknownEntry(m.clone()));
+                }
+            }
+        }
+        for v in self.vulnerabilities.values() {
+            if let Some(w) = &v.weakness {
+                if !self.weaknesses.contains_key(w) {
+                    return Err(ThreatError::UnknownEntry(w.clone()));
+                }
+            }
+        }
+        for p in self.patterns.values() {
+            for w in &p.exploits {
+                if !self.weaknesses.contains_key(w) {
+                    return Err(ThreatError::UnknownEntry(w.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The curated ICS dataset: a representative slice of the real
+    /// ATT&CK(ICS)/CWE/CAPEC taxonomies, sufficient for the case study and
+    /// the hierarchical-evaluation examples.
+    #[must_use]
+    pub fn curated() -> Self {
+        let mut c = ThreatCatalog::new();
+        let add = |c: &mut ThreatCatalog| -> Result<(), ThreatError> {
+            // Mitigations (ATT&CK ICS mitigation ids).
+            for (id, name, cost, maint, eff) in [
+                ("m0917", "User Training", 40, 10, Qual::Medium),
+                ("m0948", "Application Isolation and Sandboxing", 80, 20, Qual::High),
+                ("m0938", "Execution Prevention (Endpoint Security)", 120, 30, Qual::High),
+                ("m0930", "Network Segmentation", 200, 25, Qual::VeryHigh),
+                ("m0932", "Multi-factor Authentication", 60, 15, Qual::High),
+                ("m0942", "Disable or Remove Feature or Program", 20, 5, Qual::Medium),
+                ("m0926", "Privileged Account Management", 90, 20, Qual::High),
+                ("m0807", "Network Allowlists", 70, 15, Qual::High),
+                ("m0810", "Out-of-Band Communications Channel", 150, 35, Qual::Medium),
+                ("m0815", "Watchdog Timers", 50, 10, Qual::Medium),
+            ] {
+                c.add_mitigation(Mitigation {
+                    id: id.into(),
+                    name: name.into(),
+                    cost,
+                    maintenance_cost: maint,
+                    effectiveness: eff,
+                })?;
+            }
+            // Techniques (ATT&CK ICS-style).
+            for (id, name, tactic, types, fault, mits, diff) in [
+                (
+                    "t0865",
+                    "Spearphishing Attachment",
+                    Tactic::InitialAccess,
+                    vec!["engineering_workstation"],
+                    "compromised",
+                    vec!["m0917", "m0948"],
+                    Qual::Low,
+                ),
+                (
+                    "t0862",
+                    "Supply Chain Compromise",
+                    Tactic::InitialAccess,
+                    vec!["plc_controller", "engineering_workstation"],
+                    "compromised",
+                    vec!["m0926"],
+                    Qual::High,
+                ),
+                (
+                    "t0866",
+                    "Exploitation of Remote Services",
+                    Tactic::InitialAccess,
+                    vec!["engineering_workstation", "hmi"],
+                    "compromised",
+                    vec!["m0930", "m0807"],
+                    Qual::Medium,
+                ),
+                (
+                    "t0853",
+                    "Scripting",
+                    Tactic::Execution,
+                    vec!["engineering_workstation"],
+                    "compromised",
+                    vec!["m0938", "m0942"],
+                    Qual::Low,
+                ),
+                (
+                    "t0859",
+                    "Valid Accounts",
+                    Tactic::LateralMovement,
+                    vec!["engineering_workstation", "hmi", "plc_controller"],
+                    "compromised",
+                    vec!["m0932", "m0926"],
+                    Qual::Medium,
+                ),
+                (
+                    "t0855",
+                    "Unauthorized Command Message",
+                    Tactic::ImpairProcessControl,
+                    vec!["plc_controller", "valve_actuator"],
+                    "wrong_command",
+                    vec!["m0807", "m0930"],
+                    Qual::Medium,
+                ),
+                (
+                    "t0816",
+                    "Device Restart/Shutdown",
+                    Tactic::InhibitResponseFunction,
+                    vec!["plc_controller", "hmi"],
+                    "no_signal",
+                    vec!["m0815"],
+                    Qual::Low,
+                ),
+                (
+                    "t0815",
+                    "Denial of View",
+                    Tactic::InhibitResponseFunction,
+                    vec!["hmi"],
+                    "no_signal",
+                    vec!["m0810"],
+                    Qual::Medium,
+                ),
+                (
+                    "t0831",
+                    "Manipulation of Control",
+                    Tactic::ImpactTactic,
+                    vec!["plc_controller", "valve_actuator"],
+                    "wrong_command",
+                    vec!["m0930"],
+                    Qual::High,
+                ),
+                (
+                    "t0828",
+                    "Loss of Productivity and Revenue",
+                    Tactic::ImpactTactic,
+                    vec![],
+                    "no_signal",
+                    vec![],
+                    Qual::Medium,
+                ),
+            ] {
+                c.add_technique(Technique {
+                    id: id.into(),
+                    name: name.into(),
+                    tactic,
+                    applicable_types: types.into_iter().map(Into::into).collect(),
+                    induced_fault: fault.into(),
+                    mitigations: mits.into_iter().map(Into::into).collect(),
+                    difficulty: diff,
+                })?;
+            }
+            // Weaknesses.
+            for (id, name, versions) in [
+                ("cwe_787", "Out-of-bounds Write", vec!["fw<2.1"]),
+                ("cwe_306", "Missing Authentication for Critical Function", vec!["any"]),
+                ("cwe_79", "Cross-site Scripting", vec!["hmi_web<=3.2"]),
+                ("cwe_494", "Download of Code Without Integrity Check", vec!["any"]),
+                ("cwe_798", "Hard-coded Credentials", vec!["fw<1.9"]),
+            ] {
+                c.add_weakness(Weakness {
+                    id: id.into(),
+                    name: name.into(),
+                    affected_versions: versions.into_iter().map(Into::into).collect(),
+                })?;
+            }
+            // Attack patterns.
+            for (id, name, exploits, sev) in [
+                ("capec_98", "Phishing", vec![], Qual::High),
+                ("capec_248", "Command Injection", vec!["cwe_306"], Qual::VeryHigh),
+                ("capec_63", "Cross-Site Scripting", vec!["cwe_79"], Qual::Medium),
+                ("capec_184", "Software Integrity Attack", vec!["cwe_494"], Qual::High),
+            ] {
+                c.add_pattern(AttackPattern {
+                    id: id.into(),
+                    name: name.into(),
+                    exploits: exploits.into_iter().map(Into::into).collect(),
+                    severity: sev,
+                })?;
+            }
+            // Vulnerabilities.
+            for (id, desc, vector, types, weakness, fault) in [
+                (
+                    "cve_plc_auth",
+                    "PLC accepts unauthenticated write commands",
+                    "CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:N/I:H/A:H",
+                    vec!["plc_controller"],
+                    Some("cwe_306"),
+                    "wrong_command",
+                ),
+                (
+                    "cve_hmi_xss",
+                    "HMI web panel stored XSS",
+                    "CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N",
+                    vec!["hmi"],
+                    Some("cwe_79"),
+                    "compromised",
+                ),
+                (
+                    "cve_ws_rce",
+                    "Workstation remote code execution via malicious document",
+                    "CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H",
+                    vec!["engineering_workstation"],
+                    Some("cwe_787"),
+                    "compromised",
+                ),
+                (
+                    "cve_fw_creds",
+                    "Controller firmware hard-coded credentials",
+                    "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+                    vec!["plc_controller"],
+                    Some("cwe_798"),
+                    "compromised",
+                ),
+                (
+                    "cve_update_mitm",
+                    "Unsigned update channel allows implant",
+                    "CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+                    vec!["engineering_workstation", "hmi"],
+                    Some("cwe_494"),
+                    "compromised",
+                ),
+            ] {
+                c.add_vulnerability(Vulnerability {
+                    id: id.into(),
+                    description: desc.into(),
+                    cvss: vector.parse().expect("curated vector is valid"),
+                    affected_types: types.into_iter().map(Into::into).collect(),
+                    weakness: weakness.map(Into::into),
+                    induced_fault: fault.into(),
+                })?;
+            }
+            Ok(())
+        };
+        add(&mut c).expect("curated catalog is internally consistent");
+        c.validate().expect("curated catalog validates");
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curated_catalog_is_consistent() {
+        let c = ThreatCatalog::curated();
+        let (w, p, v, t, m) = c.counts();
+        assert!(w >= 5 && p >= 4 && v >= 5 && t >= 10 && m >= 10);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn type_queries_filter() {
+        let c = ThreatCatalog::curated();
+        let ws = c.techniques_for_type("engineering_workstation");
+        assert!(ws.iter().any(|t| t.id == "t0865"));
+        assert!(ws.iter().any(|t| t.id == "t0828"), "untyped techniques apply to all");
+        let valve = c.techniques_for_type("valve_actuator");
+        assert!(valve.iter().any(|t| t.id == "t0855"));
+        assert!(!valve.iter().any(|t| t.id == "t0865"));
+        let vulns = c.vulnerabilities_for_type("plc_controller");
+        assert!(vulns.iter().any(|v| v.id == "cve_plc_auth"));
+    }
+
+    #[test]
+    fn mitigation_coverage_resolves() {
+        let c = ThreatCatalog::curated();
+        let mits = c.mitigations_for_technique("t0865");
+        let names: Vec<&str> = mits.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"User Training"));
+        assert!(c.mitigations_for_technique("ghost").is_empty());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut c = ThreatCatalog::new();
+        let m = Mitigation {
+            id: "m1".into(),
+            name: "X".into(),
+            cost: 1,
+            maintenance_cost: 0,
+            effectiveness: Qual::Low,
+        };
+        c.add_mitigation(m.clone()).unwrap();
+        assert!(matches!(c.add_mitigation(m), Err(ThreatError::DuplicateEntry(_))));
+    }
+
+    #[test]
+    fn validate_catches_dangling_refs() {
+        let mut c = ThreatCatalog::new();
+        c.add_technique(Technique {
+            id: "t1".into(),
+            name: "T".into(),
+            tactic: Tactic::Execution,
+            applicable_types: vec![],
+            induced_fault: "x".into(),
+            mitigations: vec!["missing".into()],
+            difficulty: Qual::Low,
+        })
+        .unwrap();
+        assert!(matches!(c.validate(), Err(ThreatError::UnknownEntry(_))));
+    }
+
+    #[test]
+    fn curated_cvss_scores_are_plausible() {
+        let c = ThreatCatalog::curated();
+        let rce = c.vulnerability("cve_ws_rce").unwrap();
+        assert_eq!(rce.cvss.base_score(), 8.8);
+        let xss = c.vulnerability("cve_hmi_xss").unwrap();
+        assert_eq!(xss.cvss.base_score(), 6.1);
+    }
+}

@@ -1,0 +1,431 @@
+//! CVSS v3.1 base-score computation, exactly per the FIRST specification.
+
+use cpsrisk_qr::Qual;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ThreatError;
+
+/// Attack Vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Av {
+    /// Network.
+    N,
+    /// Adjacent.
+    A,
+    /// Local.
+    L,
+    /// Physical.
+    P,
+}
+
+/// Attack Complexity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ac {
+    /// Low.
+    L,
+    /// High.
+    H,
+}
+
+/// Privileges Required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pr {
+    /// None.
+    N,
+    /// Low.
+    L,
+    /// High.
+    H,
+}
+
+/// User Interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ui {
+    /// None.
+    N,
+    /// Required.
+    R,
+}
+
+/// Scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// Unchanged.
+    U,
+    /// Changed.
+    C,
+}
+
+/// Impact level for Confidentiality / Integrity / Availability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Impact {
+    /// None.
+    N,
+    /// Low.
+    L,
+    /// High.
+    H,
+}
+
+impl Impact {
+    fn weight(self) -> f64 {
+        match self {
+            Impact::N => 0.0,
+            Impact::L => 0.22,
+            Impact::H => 0.56,
+        }
+    }
+}
+
+/// A CVSS v3.1 base vector.
+///
+/// # Example
+///
+/// ```
+/// use cpsrisk_threat::CvssVector;
+/// let v: CvssVector = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse()?;
+/// assert_eq!(v.base_score(), 9.8);
+/// # Ok::<(), cpsrisk_threat::ThreatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CvssVector {
+    /// Attack Vector.
+    pub av: Av,
+    /// Attack Complexity.
+    pub ac: Ac,
+    /// Privileges Required.
+    pub pr: Pr,
+    /// User Interaction.
+    pub ui: Ui,
+    /// Scope.
+    pub scope: Scope,
+    /// Confidentiality impact.
+    pub c: Impact,
+    /// Integrity impact.
+    pub i: Impact,
+    /// Availability impact.
+    pub a: Impact,
+}
+
+impl CvssVector {
+    /// The CVSS v3.1 base score in `[0.0, 10.0]`, one decimal.
+    #[must_use]
+    pub fn base_score(&self) -> f64 {
+        let iss = 1.0
+            - (1.0 - self.c.weight()) * (1.0 - self.i.weight()) * (1.0 - self.a.weight());
+        let impact = match self.scope {
+            Scope::U => 6.42 * iss,
+            Scope::C => 7.52 * (iss - 0.029) - 3.25 * (iss - 0.02).powi(15),
+        };
+        if impact <= 0.0 {
+            return 0.0;
+        }
+        let av = match self.av {
+            Av::N => 0.85,
+            Av::A => 0.62,
+            Av::L => 0.55,
+            Av::P => 0.2,
+        };
+        let ac = match self.ac {
+            Ac::L => 0.77,
+            Ac::H => 0.44,
+        };
+        let pr = match (self.pr, self.scope) {
+            (Pr::N, _) => 0.85,
+            (Pr::L, Scope::U) => 0.62,
+            (Pr::L, Scope::C) => 0.68,
+            (Pr::H, Scope::U) => 0.27,
+            (Pr::H, Scope::C) => 0.5,
+        };
+        let ui = match self.ui {
+            Ui::N => 0.85,
+            Ui::R => 0.62,
+        };
+        let exploitability = 8.22 * av * ac * pr * ui;
+        let raw = match self.scope {
+            Scope::U => (impact + exploitability).min(10.0),
+            Scope::C => (1.08 * (impact + exploitability)).min(10.0),
+        };
+        roundup(raw)
+    }
+
+    /// The exploitability sub-score (`8.22 × AV × AC × PR × UI`).
+    #[must_use]
+    pub fn exploitability(&self) -> f64 {
+        let av = match self.av {
+            Av::N => 0.85,
+            Av::A => 0.62,
+            Av::L => 0.55,
+            Av::P => 0.2,
+        };
+        let ac = match self.ac {
+            Ac::L => 0.77,
+            Ac::H => 0.44,
+        };
+        let pr = match (self.pr, self.scope) {
+            (Pr::N, _) => 0.85,
+            (Pr::L, Scope::U) => 0.62,
+            (Pr::L, Scope::C) => 0.68,
+            (Pr::H, Scope::U) => 0.27,
+            (Pr::H, Scope::C) => 0.5,
+        };
+        let ui = match self.ui {
+            Ui::N => 0.85,
+            Ui::R => 0.62,
+        };
+        8.22 * av * ac * pr * ui
+    }
+
+    /// Qualitative severity rating per the CVSS v3.1 rating scale.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        Severity::from_score(self.base_score())
+    }
+}
+
+/// The CVSS v3.1 `Roundup` function: smallest number with one decimal place
+/// that is ≥ the input, with the specification's floating-point guard.
+fn roundup(x: f64) -> f64 {
+    let int_input = (x * 100_000.0).round() as i64;
+    if int_input % 10_000 == 0 {
+        int_input as f64 / 100_000.0
+    } else {
+        ((int_input / 10_000) + 1) as f64 / 10.0
+    }
+}
+
+impl fmt::Display for CvssVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CVSS:3.1/AV:{:?}/AC:{:?}/PR:{:?}/UI:{:?}/S:{:?}/C:{:?}/I:{:?}/A:{:?}",
+            self.av, self.ac, self.pr, self.ui, self.scope, self.c, self.i, self.a
+        )
+    }
+}
+
+impl FromStr for CvssVector {
+    type Err = ThreatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ThreatError::BadVector(s.to_owned());
+        let mut av = None;
+        let mut ac = None;
+        let mut pr = None;
+        let mut ui = None;
+        let mut scope = None;
+        let mut c = None;
+        let mut i = None;
+        let mut a = None;
+        for part in s.trim().split('/') {
+            let (key, val) = part.split_once(':').ok_or_else(bad)?;
+            match (key, val) {
+                ("CVSS", "3.1" | "3.0") => {}
+                ("AV", v) => {
+                    av = Some(match v {
+                        "N" => Av::N,
+                        "A" => Av::A,
+                        "L" => Av::L,
+                        "P" => Av::P,
+                        _ => return Err(bad()),
+                    });
+                }
+                ("AC", v) => {
+                    ac = Some(match v {
+                        "L" => Ac::L,
+                        "H" => Ac::H,
+                        _ => return Err(bad()),
+                    });
+                }
+                ("PR", v) => {
+                    pr = Some(match v {
+                        "N" => Pr::N,
+                        "L" => Pr::L,
+                        "H" => Pr::H,
+                        _ => return Err(bad()),
+                    });
+                }
+                ("UI", v) => {
+                    ui = Some(match v {
+                        "N" => Ui::N,
+                        "R" => Ui::R,
+                        _ => return Err(bad()),
+                    });
+                }
+                ("S", v) => {
+                    scope = Some(match v {
+                        "U" => Scope::U,
+                        "C" => Scope::C,
+                        _ => return Err(bad()),
+                    });
+                }
+                ("C", v) | ("I", v) | ("A", v) => {
+                    let imp = match v {
+                        "N" => Impact::N,
+                        "L" => Impact::L,
+                        "H" => Impact::H,
+                        _ => return Err(bad()),
+                    };
+                    match key {
+                        "C" => c = Some(imp),
+                        "I" => i = Some(imp),
+                        _ => a = Some(imp),
+                    }
+                }
+                _ => return Err(bad()),
+            }
+        }
+        Ok(CvssVector {
+            av: av.ok_or_else(bad)?,
+            ac: ac.ok_or_else(bad)?,
+            pr: pr.ok_or_else(bad)?,
+            ui: ui.ok_or_else(bad)?,
+            scope: scope.ok_or_else(bad)?,
+            c: c.ok_or_else(bad)?,
+            i: i.ok_or_else(bad)?,
+            a: a.ok_or_else(bad)?,
+        })
+    }
+}
+
+/// Qualitative CVSS severity rating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Score 0.0.
+    None,
+    /// 0.1 – 3.9.
+    Low,
+    /// 4.0 – 6.9.
+    Medium,
+    /// 7.0 – 8.9.
+    High,
+    /// 9.0 – 10.0.
+    Critical,
+}
+
+impl Severity {
+    /// Rating for a base score.
+    #[must_use]
+    pub fn from_score(score: f64) -> Severity {
+        if score <= 0.0 {
+            Severity::None
+        } else if score < 4.0 {
+            Severity::Low
+        } else if score < 7.0 {
+            Severity::Medium
+        } else if score < 9.0 {
+            Severity::High
+        } else {
+            Severity::Critical
+        }
+    }
+
+    /// Map onto the uniform five-level qualitative scale.
+    #[must_use]
+    pub fn to_qual(self) -> Qual {
+        match self {
+            Severity::None => Qual::VeryLow,
+            Severity::Low => Qual::Low,
+            Severity::Medium => Qual::Medium,
+            Severity::High => Qual::High,
+            Severity::Critical => Qual::VeryHigh,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::None => "None",
+            Severity::Low => "Low",
+            Severity::Medium => "Medium",
+            Severity::High => "High",
+            Severity::Critical => "Critical",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(v: &str) -> f64 {
+        v.parse::<CvssVector>().unwrap().base_score()
+    }
+
+    #[test]
+    fn published_vector_scores_match() {
+        // Canonical pairs from the CVSS v3.1 specification / NVD.
+        assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"), 9.8);
+        assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H"), 10.0);
+        assert_eq!(score("CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"), 7.8);
+        assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N"), 6.1);
+        assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N"), 5.3);
+        assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H"), 7.5);
+        assert_eq!(score("CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N"), 1.6);
+    }
+
+    #[test]
+    fn zero_impact_means_zero_score() {
+        assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N"), 0.0);
+        assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:N/I:N/A:N"), 0.0);
+    }
+
+    #[test]
+    fn scope_changed_privileges_weigh_differently() {
+        let u = score("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H");
+        let c = score("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:C/C:H/I:H/A:H");
+        assert_eq!(u, 8.8);
+        assert_eq!(c, 9.9);
+    }
+
+    #[test]
+    fn roundup_matches_spec_examples() {
+        assert_eq!(roundup(4.02), 4.1);
+        assert_eq!(roundup(4.0), 4.0);
+        assert_eq!(roundup(4.0000004), 4.0); // FP-noise guard: treated as exactly 4.0
+        assert_eq!(roundup(4.0001), 4.1); // a real excess rounds up
+    }
+
+    #[test]
+    fn parse_rejects_malformed_vectors() {
+        assert!("CVSS:3.1/AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse::<CvssVector>().is_err());
+        assert!("AV:N/AC:L".parse::<CvssVector>().is_err());
+        assert!("gibberish".parse::<CvssVector>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let s = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H";
+        let v: CvssVector = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+        let again: CvssVector = v.to_string().parse().unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn severity_bands() {
+        assert_eq!(Severity::from_score(0.0), Severity::None);
+        assert_eq!(Severity::from_score(3.9), Severity::Low);
+        assert_eq!(Severity::from_score(4.0), Severity::Medium);
+        assert_eq!(Severity::from_score(8.9), Severity::High);
+        assert_eq!(Severity::from_score(9.0), Severity::Critical);
+        assert_eq!(Severity::Critical.to_qual(), Qual::VeryHigh);
+        assert_eq!(Severity::None.to_qual(), Qual::VeryLow);
+    }
+
+    #[test]
+    fn scores_are_monotone_in_impact() {
+        let low = score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N");
+        let high = score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N");
+        assert!(low < high);
+    }
+
+    #[test]
+    fn exploitability_subscore() {
+        let v: CvssVector = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        assert!((v.exploitability() - 3.887_042_775).abs() < 1e-9);
+    }
+}

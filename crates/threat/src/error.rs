@@ -1,0 +1,26 @@
+//! Error type for the threat-knowledge crate.
+
+use std::fmt;
+
+/// Errors from CVSS parsing and catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreatError {
+    /// Malformed CVSS vector string.
+    BadVector(String),
+    /// A referenced catalog entry does not exist.
+    UnknownEntry(String),
+    /// A catalog entry id was registered twice.
+    DuplicateEntry(String),
+}
+
+impl fmt::Display for ThreatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreatError::BadVector(v) => write!(f, "malformed CVSS v3.1 vector `{v}`"),
+            ThreatError::UnknownEntry(id) => write!(f, "unknown catalog entry `{id}`"),
+            ThreatError::DuplicateEntry(id) => write!(f, "duplicate catalog entry `{id}`"),
+        }
+    }
+}
+
+impl std::error::Error for ThreatError {}

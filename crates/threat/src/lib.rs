@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Security knowledge base for the risk-assessment framework.
+//!
+//! The paper injects *validated information on component security faults
+//! and local attack impacts from validated public collections* (CVE, CWE,
+//! CAPEC, MITRE ATT&CK for ICS) into the system model. Those databases are
+//! live services; this crate substitutes them with **schema-faithful,
+//! in-memory catalogs**:
+//!
+//! * [`cvss`] — the full CVSS v3.1 base-score arithmetic, implemented
+//!   exactly per the FIRST specification and validated against published
+//!   vector/score pairs,
+//! * [`catalog`] — CWE/CAPEC/CVE-shaped records and ATT&CK(ICS)-style
+//!   tactics, techniques and mitigations, with a curated ICS dataset
+//!   ([`catalog::ThreatCatalog::curated`]),
+//! * [`actor`] — threat-actor profiles (skill / resources / motivation →
+//!   qualitative capability, the FAIR *TCap* factor),
+//! * [`generator`] — a seeded synthetic catalog generator preserving the
+//!   fan-out and severity shape of the real taxonomies, used by the scale
+//!   benchmarks.
+
+pub mod actor;
+pub mod catalog;
+pub mod cvss;
+pub mod error;
+pub mod generator;
+
+pub use actor::ThreatActor;
+pub use catalog::{
+    AttackPattern, Mitigation, Tactic, Technique, ThreatCatalog, Vulnerability, Weakness,
+};
+pub use cvss::{CvssVector, Severity};
+pub use error::ThreatError;

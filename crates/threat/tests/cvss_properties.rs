@@ -1,0 +1,90 @@
+//! Property-based validation of the CVSS v3.1 implementation.
+
+use proptest::prelude::*;
+
+use cpsrisk_threat::cvss::{Ac, Av, Impact, Pr, Scope, Ui};
+use cpsrisk_threat::{CvssVector, Severity};
+
+fn arb_vector() -> impl Strategy<Value = CvssVector> {
+    (
+        prop_oneof![Just(Av::N), Just(Av::A), Just(Av::L), Just(Av::P)],
+        prop_oneof![Just(Ac::L), Just(Ac::H)],
+        prop_oneof![Just(Pr::N), Just(Pr::L), Just(Pr::H)],
+        prop_oneof![Just(Ui::N), Just(Ui::R)],
+        prop_oneof![Just(Scope::U), Just(Scope::C)],
+        prop_oneof![Just(Impact::N), Just(Impact::L), Just(Impact::H)],
+        prop_oneof![Just(Impact::N), Just(Impact::L), Just(Impact::H)],
+        prop_oneof![Just(Impact::N), Just(Impact::L), Just(Impact::H)],
+    )
+        .prop_map(|(av, ac, pr, ui, scope, c, i, a)| CvssVector {
+            av,
+            ac,
+            pr,
+            ui,
+            scope,
+            c,
+            i,
+            a,
+        })
+}
+
+fn bump_impact(x: Impact) -> Impact {
+    match x {
+        Impact::N => Impact::L,
+        Impact::L | Impact::H => Impact::H,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn scores_are_in_range_with_one_decimal(v in arb_vector()) {
+        let s = v.base_score();
+        prop_assert!((0.0..=10.0).contains(&s));
+        let tenths = (s * 10.0).round();
+        prop_assert!((s * 10.0 - tenths).abs() < 1e-9, "one decimal place: {s}");
+    }
+
+    #[test]
+    fn zero_iff_no_impact(v in arb_vector()) {
+        let no_impact = matches!((v.c, v.i, v.a), (Impact::N, Impact::N, Impact::N));
+        prop_assert_eq!(v.base_score() == 0.0, no_impact);
+    }
+
+    #[test]
+    fn monotone_in_each_impact_dimension(v in arb_vector()) {
+        let base = v.base_score();
+        for f in [
+            |mut x: CvssVector| { x.c = bump_impact(x.c); x },
+            |mut x: CvssVector| { x.i = bump_impact(x.i); x },
+            |mut x: CvssVector| { x.a = bump_impact(x.a); x },
+        ] {
+            prop_assert!(f(v).base_score() >= base);
+        }
+    }
+
+    #[test]
+    fn network_vector_dominates_physical(v in arb_vector()) {
+        let mut net = v;
+        net.av = Av::N;
+        let mut phys = v;
+        phys.av = Av::P;
+        prop_assert!(net.base_score() >= phys.base_score());
+    }
+
+    #[test]
+    fn display_parse_roundtrip(v in arb_vector()) {
+        let text = v.to_string();
+        let back: CvssVector = text.parse().expect("roundtrip parses");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn severity_bands_match_score(v in arb_vector()) {
+        let s = v.base_score();
+        let sev = v.severity();
+        let expected = Severity::from_score(s);
+        prop_assert_eq!(sev, expected);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the full seven-step assessment pipeline (Fig. 1) on the
+//! paper's water-tank case study.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cpsrisk::casestudy;
+use cpsrisk::pipeline::Assessment;
+
+fn main() -> Result<(), cpsrisk::CoreError> {
+    // Steps 1–2: system model + candidate mutations (F1–F4) + requirements.
+    let problem = casestudy::water_tank_problem(&[])?;
+    println!("system model: {}", problem.model.name);
+    println!(
+        "  {} elements, {} relations, {} candidate mutations, {} requirements\n",
+        problem.model.element_count(),
+        problem.model.relation_count(),
+        problem.mutations.len(),
+        problem.requirements.len()
+    );
+
+    // Steps 3–7: reasoning, hazard identification, risk rating, mitigation.
+    let report = Assessment::new(problem)
+        .with_phase_budgets(&[60, 200])
+        .with_sensitivity()
+        .run()?;
+
+    println!("scenario space: {} scenarios evaluated", report.outcomes.len());
+    println!("hazards found:  {}\n", report.hazards.len());
+
+    println!("top hazards (O-RA rated):");
+    for h in report.hazards.iter().take(5) {
+        println!(
+            "  {} -> violates {:?}  [LM={} LEF={} risk={}]",
+            h.outcome.scenario,
+            h.outcome.violated.iter().collect::<Vec<_>>(),
+            h.loss_magnitude,
+            h.loss_event_frequency,
+            h.risk
+        );
+    }
+
+    println!("\nminimal hazardous scenarios (cut-set analogue):");
+    for h in &report.minimal_hazards {
+        println!("  {h}");
+    }
+
+    if let Some((selection, cost)) = &report.recommendation {
+        println!("\nrecommended mitigations: {selection} (cost {cost})");
+        println!("residual loss after deployment: {}", report.residual_loss);
+    }
+
+    println!("\nmulti-phase consolidation plan:");
+    for phase in &report.phases {
+        println!("  {phase}");
+    }
+
+    println!("\nmost critical modeling decisions (sensitivity):");
+    for finding in report.sensitivity.iter().take(3) {
+        println!("  {finding}");
+    }
+    Ok(())
+}

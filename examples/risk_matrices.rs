@@ -1,0 +1,55 @@
+//! Risk quantization: Table I (O-RA risk matrix), the Fig. 2 FAIR factor
+//! tree, the IEC 61508 risk-class matrix, and the §V-A sensitivity example.
+//!
+//! Run with: `cargo run --example risk_matrices`
+
+use cpsrisk::qr::Qual;
+use cpsrisk::risk::sensitivity::factor_sensitivity;
+use cpsrisk::risk::{fair::FairInput, iec61508, ora};
+
+fn main() {
+    println!("=== Table I: O-RA 5x5 risk matrix ===\n");
+    print!("{}", ora::render_matrix());
+
+    println!("\n=== IEC 61508 risk-class matrix ===\n");
+    print!("{}", iec61508::render_matrix());
+
+    println!("\n=== Fig. 2: FAIR risk-attribute derivation ===\n");
+    println!("scenario: internet-exposed workstation, capable attacker, weak controls\n");
+    let derivation = FairInput {
+        contact_frequency: Qual::VeryHigh,
+        probability_of_action: Qual::High,
+        threat_capability: Qual::High,
+        resistance_strength: Qual::Low,
+        primary_loss: Qual::High,
+        secondary_loss: Qual::Medium,
+    }
+    .derive();
+    println!("{derivation}\n");
+
+    println!("scenario: the same asset after network segmentation + MFA\n");
+    let hardened = FairInput {
+        contact_frequency: Qual::Low,
+        probability_of_action: Qual::High,
+        threat_capability: Qual::High,
+        resistance_strength: Qual::VeryHigh,
+        primary_loss: Qual::High,
+        secondary_loss: Qual::Medium,
+    }
+    .derive();
+    println!("{hardened}\n");
+
+    println!("=== §V-A: qualitative sensitivity of the risk output ===\n");
+    // The paper's worked example: LEF fixed at L.
+    let stable = factor_sensitivity("LM in {VL, L} (LEF=L)", &[Qual::VeryLow, Qual::Low], |lm| {
+        ora::risk(lm, Qual::Low)
+    });
+    println!("{stable}");
+    let sensitive = factor_sensitivity(
+        "LM in {L..VH} (LEF=L)",
+        &[Qual::Low, Qual::Medium, Qual::High, Qual::VeryHigh],
+        |lm| ora::risk(lm, Qual::Low),
+    );
+    println!("{sensitive}");
+    println!("\na sensitive factor requires further evaluation or expert consultation.");
+}

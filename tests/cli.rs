@@ -1,0 +1,87 @@
+//! End-to-end tests of the `cpsrisk` command-line front-end.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cpsrisk"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn table2_prints_the_paper_rows() {
+    let (stdout, _, ok) = run(&["table2"]);
+    assert!(ok);
+    for label in ["S1", "S2", "S3", "S4", "S5", "S6", "S7"] {
+        assert!(stdout.contains(label), "missing {label}");
+    }
+    assert_eq!(stdout.matches("Violated").count(), 7, "4 R1 + 3 R2 verdicts");
+}
+
+#[test]
+fn assess_reports_hazards_and_a_recommendation() {
+    let (stdout, _, ok) = run(&["assess"]);
+    assert!(ok);
+    assert!(stdout.contains("16 scenarios, 12 hazards"));
+    assert!(stdout.contains("recommendation:"));
+    assert!(stdout.contains("phase 1"));
+}
+
+#[test]
+fn assess_json_is_parseable() {
+    let (stdout, _, ok) = run(&["assess", "--json"]);
+    assert!(ok);
+    let parsed: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert!(parsed.as_array().is_some_and(|a| a.len() == 12));
+}
+
+#[test]
+fn mitigated_assessment_blocks_the_workstation() {
+    let (stdout, _, ok) = run(&["assess", "--mitigated"]);
+    assert!(ok);
+    assert!(stdout.contains("8 scenarios, 4 hazards"));
+    assert!(!stdout.contains("f4"));
+}
+
+#[test]
+fn simulate_reports_verdicts() {
+    let (stdout, _, ok) = run(&["simulate", "f2,f3"]);
+    assert!(ok);
+    assert!(stdout.contains("R1 (no overflow):        VIOLATED"));
+    assert!(stdout.contains("R2 (alert on overflow):  VIOLATED"));
+    assert!(stdout.contains("overflow at t ="));
+    let (nominal, _, ok2) = run(&["simulate", ""]);
+    assert!(ok2);
+    assert!(nominal.contains("satisfied"));
+}
+
+#[test]
+fn solve_runs_a_program_file() {
+    let dir = std::env::temp_dir().join("cpsrisk_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("p.lp");
+    std::fs::write(&file, "{ a; b }. :- a, b.").unwrap();
+    let (stdout, _, ok) = run(&["solve", file.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("3 model(s)"));
+}
+
+#[test]
+fn unknown_commands_fail_with_help() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn bad_fault_ids_are_rejected() {
+    let (_, stderr, ok) = run(&["simulate", "f9"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown fault"));
+}

@@ -1,0 +1,116 @@
+//! The headline reproduction: Table II of the paper, regenerated three
+//! independent ways — the ASP back-end, the direct topology engine, and
+//! the continuous plant simulation — all of which must agree.
+
+use cpsrisk::casestudy;
+use cpsrisk::epa::encode::analyze_fixed;
+use cpsrisk::epa::{Scenario, TopologyAnalysis};
+use cpsrisk::plant::{Fault, FaultSet, SimConfig, WaterTank};
+
+/// The paper's Table II verdicts: (label, violated R1, violated R2).
+const EXPECTED: [(&str, bool, bool); 7] = [
+    ("S1", false, false),
+    ("S2", true, true),
+    ("S3", false, false),
+    ("S4", true, false),
+    ("S5", true, true),
+    ("S6", false, false),
+    ("S7", true, true),
+];
+
+fn plant_faults(ids: &[String]) -> FaultSet {
+    ids.iter()
+        .map(|id| match id.as_str() {
+            "f1" => Fault::F1,
+            "f2" => Fault::F2,
+            "f3" => Fault::F3,
+            _ => Fault::F4,
+        })
+        .collect()
+}
+
+#[test]
+fn table_ii_via_asp_matches_the_paper() {
+    let rows = casestudy::table_ii().expect("analysis runs");
+    assert_eq!(rows.len(), EXPECTED.len());
+    for (row, (label, r1, r2)) in rows.iter().zip(EXPECTED) {
+        assert_eq!(row.label, label);
+        assert_eq!(
+            (row.violated_r1, row.violated_r2),
+            (r1, r2),
+            "row {label} diverges from the paper"
+        );
+    }
+}
+
+#[test]
+fn table_ii_via_direct_engine_matches_the_paper() {
+    for (i, (label, mits, faults)) in casestudy::table_ii_scenarios().into_iter().enumerate() {
+        let problem = casestudy::water_tank_problem(&mits).expect("problem builds");
+        let outcome = TopologyAnalysis::new(&problem).evaluate(&Scenario::of(&faults));
+        let (_, r1, r2) = EXPECTED[i];
+        assert_eq!(
+            (outcome.violated.contains("r1"), outcome.violated.contains("r2")),
+            (r1, r2),
+            "direct engine diverges on {label}"
+        );
+    }
+}
+
+#[test]
+fn table_ii_matches_the_physics() {
+    // The qualitative analysis and the continuous simulation agree on every
+    // row — the abstraction is exact for this plant.
+    let tank = WaterTank::new(SimConfig::default());
+    for row in casestudy::table_ii().expect("analysis runs") {
+        let (r1, r2) = tank.ground_truth(&plant_faults(&row.faults));
+        assert_eq!(
+            (row.violated_r1, row.violated_r2),
+            (r1, r2),
+            "physics diverges on {}",
+            row.label
+        );
+    }
+}
+
+#[test]
+fn asp_and_direct_agree_on_every_fault_combination() {
+    // Beyond the 7 published rows: all 16 scenarios, with and without
+    // mitigations, through both engines.
+    for mits in [vec![], vec!["m1"], vec!["m2"], vec!["m1", "m2"]] {
+        let problem = casestudy::water_tank_problem(&mits).expect("problem builds");
+        let direct = TopologyAnalysis::new(&problem);
+        for scenario in cpsrisk::epa::ScenarioSpace::new(&problem, usize::MAX).iter() {
+            let d = direct.evaluate(&scenario);
+            let a = analyze_fixed(&problem, &scenario).expect("asp analysis runs");
+            assert_eq!(d.violated, a.violated, "mits {mits:?} scenario {scenario}");
+            assert_eq!(d.effective_modes, a.effective_modes);
+        }
+    }
+}
+
+#[test]
+fn most_severe_combination_is_s5_per_the_paper() {
+    // §VII: S5 (F2+F3) is the most critical consequence; S7 adds F1 with
+    // the same violations but lower joint probability.
+    let problem = casestudy::water_tank_problem(&["m1", "m2"]).expect("problem builds");
+    let analysis = TopologyAnalysis::new(&problem);
+    let s5 = analysis.evaluate(&Scenario::of(&["f2", "f3"]));
+    let s7 = analysis.evaluate(&Scenario::of(&["f1", "f2", "f3"]));
+    assert_eq!(s5.violated, s7.violated, "same violation footprint");
+    assert_eq!(s5.violated.len(), 2, "both requirements violated");
+}
+
+#[test]
+fn rendered_table_has_the_paper_layout() {
+    let text = casestudy::render_table().expect("analysis runs");
+    let lines: Vec<&str> = text.lines().collect();
+    // Header + separator + 7 scenario rows.
+    assert!(lines.len() >= 10);
+    let s2 = lines.iter().find(|l| l.starts_with("S2")).unwrap();
+    assert_eq!(s2.matches('*').count(), 1, "S2 activates only F4");
+    assert_eq!(s2.matches("Violated").count(), 2);
+    let s4 = lines.iter().find(|l| l.starts_with("S4")).unwrap();
+    assert_eq!(s4.matches("Violated").count(), 1);
+    assert_eq!(s4.matches("Active").count(), 2);
+}
