@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full CI gate: build, test, lint, format. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check

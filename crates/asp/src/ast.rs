@@ -210,16 +210,13 @@ impl Term {
         match (self, other) {
             (Int(a), Int(b)) => a.cmp(b),
             (Const(a), Const(b)) | (Str(a), Str(b)) | (Var(a), Var(b)) => a.cmp(b),
-            (Func(f, fa), Func(g, ga)) => f
-                .cmp(g)
-                .then(fa.len().cmp(&ga.len()))
-                .then_with(|| {
-                    fa.iter()
-                        .zip(ga)
-                        .map(|(x, y)| x.ground_cmp(y))
-                        .find(|o| *o != Ordering::Equal)
-                        .unwrap_or(Ordering::Equal)
-                }),
+            (Func(f, fa), Func(g, ga)) => f.cmp(g).then(fa.len().cmp(&ga.len())).then_with(|| {
+                fa.iter()
+                    .zip(ga)
+                    .map(|(x, y)| x.ground_cmp(y))
+                    .find(|o| *o != Ordering::Equal)
+                    .unwrap_or(Ordering::Equal)
+            }),
             _ => rank(self).cmp(&rank(other)),
         }
     }
@@ -257,7 +254,10 @@ impl From<&str> for Term {
     /// Interprets leading-uppercase identifiers as variables, everything
     /// else as a symbolic constant — mirroring the surface syntax.
     fn from(s: &str) -> Self {
-        if s.chars().next().is_some_and(|c| c.is_ascii_uppercase() || c == '_') {
+        if s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase() || c == '_')
+        {
             Term::Var(s.to_owned())
         } else {
             Term::Const(s.to_owned())
@@ -278,7 +278,10 @@ impl Atom {
     /// Build an atom from a predicate name and arguments.
     #[must_use]
     pub fn new(pred: impl Into<String>, args: Vec<Term>) -> Self {
-        Atom { pred: pred.into(), args }
+        Atom {
+            pred: pred.into(),
+            args,
+        }
     }
 
     /// A propositional (zero-arity) atom.
@@ -381,7 +384,10 @@ impl ChoiceElement {
     /// An unconditional element.
     #[must_use]
     pub fn plain(atom: Atom) -> Self {
-        ChoiceElement { atom, condition: Vec::new() }
+        ChoiceElement {
+            atom,
+            condition: Vec::new(),
+        }
     }
 }
 
@@ -450,7 +456,11 @@ impl fmt::Display for Head {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Head::Atom(a) => write!(f, "{a}"),
-            Head::Choice { lower, upper, elements } => {
+            Head::Choice {
+                lower,
+                upper,
+                elements,
+            } => {
                 if let Some(l) = lower {
                     write!(f, "{l} ")?;
                 }
@@ -485,19 +495,28 @@ impl Rule {
     /// A fact `a.`
     #[must_use]
     pub fn fact(atom: Atom) -> Rule {
-        Rule { head: Head::Atom(atom), body: Vec::new() }
+        Rule {
+            head: Head::Atom(atom),
+            body: Vec::new(),
+        }
     }
 
     /// A normal rule `head :- body.`
     #[must_use]
     pub fn normal(head: Atom, body: Vec<Literal>) -> Rule {
-        Rule { head: Head::Atom(head), body }
+        Rule {
+            head: Head::Atom(head),
+            body,
+        }
     }
 
     /// An integrity constraint `:- body.`
     #[must_use]
     pub fn constraint(body: Vec<Literal>) -> Rule {
-        Rule { head: Head::None, body }
+        Rule {
+            head: Head::None,
+            body,
+        }
     }
 
     /// Verify rule safety: every variable in the rule occurs in a positive,
@@ -539,7 +558,10 @@ impl Rule {
         }
         for v in &all {
             if !safe.contains(v) {
-                return Err(AspError::UnsafeRule { var: v.clone(), rule: self.to_string() });
+                return Err(AspError::UnsafeRule {
+                    var: v.clone(),
+                    rule: self.to_string(),
+                });
             }
         }
         Ok(())
@@ -673,7 +695,9 @@ impl Program {
     pub fn solve(&self) -> Result<Vec<crate::solve::Model>, AspError> {
         let ground = crate::ground::Grounder::new().ground(self)?;
         let mut solver = crate::solve::Solver::new(&ground);
-        Ok(solver.enumerate(&crate::solve::SolveOptions::default())?.models)
+        Ok(solver
+            .enumerate(&crate::solve::SolveOptions::default())?
+            .models)
     }
 }
 
@@ -711,12 +735,20 @@ mod tests {
         let t = Term::BinOp(
             ArithOp::Add,
             Box::new(Term::Int(2)),
-            Box::new(Term::BinOp(ArithOp::Mul, Box::new(Term::Int(3)), Box::new(Term::Int(4)))),
+            Box::new(Term::BinOp(
+                ArithOp::Mul,
+                Box::new(Term::Int(3)),
+                Box::new(Term::Int(4)),
+            )),
         );
         assert_eq!(t.eval().unwrap(), Term::Int(14));
         let div0 = Term::BinOp(ArithOp::Div, Box::new(Term::Int(1)), Box::new(Term::Int(0)));
         assert!(div0.eval().is_err());
-        let sym = Term::BinOp(ArithOp::Add, Box::new(Term::sym("a")), Box::new(Term::Int(1)));
+        let sym = Term::BinOp(
+            ArithOp::Add,
+            Box::new(Term::sym("a")),
+            Box::new(Term::Int(1)),
+        );
         assert!(sym.eval().is_err());
     }
 
@@ -755,7 +787,10 @@ mod tests {
             Atom::new("p", vec![Term::var("X")]),
             vec![Literal::Neg(Atom::new("q", vec![Term::var("X")]))],
         );
-        assert!(matches!(unsafe_rule.check_safety(), Err(AspError::UnsafeRule { .. })));
+        assert!(matches!(
+            unsafe_rule.check_safety(),
+            Err(AspError::UnsafeRule { .. })
+        ));
 
         // p(Y) :- q(X), Y = X + 1.  — safe via equality binding
         let eq_bound = Rule::normal(
@@ -765,7 +800,11 @@ mod tests {
                 Literal::Cmp(
                     CmpOp::Eq,
                     Term::var("Y"),
-                    Term::BinOp(ArithOp::Add, Box::new(Term::var("X")), Box::new(Term::Int(1))),
+                    Term::BinOp(
+                        ArithOp::Add,
+                        Box::new(Term::var("X")),
+                        Box::new(Term::Int(1)),
+                    ),
                 ),
             ],
         );

@@ -81,7 +81,11 @@ impl ProgramBuilder {
 
     /// Start an integrity constraint `:- body.`
     pub fn constraint(&mut self) -> RuleBuilder<'_> {
-        RuleBuilder { builder: self, head: Head::None, body: Vec::new() }
+        RuleBuilder {
+            builder: self,
+            head: Head::None,
+            body: Vec::new(),
+        }
     }
 
     /// Start a choice rule `lower { elements } upper :- body.`
@@ -103,25 +107,37 @@ impl ProgramBuilder {
         tuple: impl IntoTerms,
         condition: Vec<Literal>,
     ) -> &mut Self {
-        let element = MinimizeElement { weight, terms: tuple.into_terms(), condition };
+        let element = MinimizeElement {
+            weight,
+            terms: tuple.into_terms(),
+            condition,
+        };
         // Merge into an existing statement at the same priority if present.
         for s in &mut self.program.statements {
-            if let Statement::Minimize { priority: p, elements } = s {
+            if let Statement::Minimize {
+                priority: p,
+                elements,
+            } = s
+            {
                 if *p == priority {
                     elements.push(element);
                     return self;
                 }
             }
         }
-        self.program
-            .statements
-            .push(Statement::Minimize { priority, elements: vec![element] });
+        self.program.statements.push(Statement::Minimize {
+            priority,
+            elements: vec![element],
+        });
         self
     }
 
     /// Add a `#show pred/arity.` projection.
     pub fn show(&mut self, pred: &str, arity: usize) -> &mut Self {
-        self.program.statements.push(Statement::Show { pred: pred.into(), arity });
+        self.program.statements.push(Statement::Show {
+            pred: pred.into(),
+            arity,
+        });
         self
     }
 
@@ -156,14 +172,16 @@ impl RuleBuilder<'_> {
     /// Add a positive body literal.
     #[must_use]
     pub fn pos(mut self, pred: &str, args: impl IntoTerms) -> Self {
-        self.body.push(Literal::Pos(Atom::new(pred, args.into_terms())));
+        self.body
+            .push(Literal::Pos(Atom::new(pred, args.into_terms())));
         self
     }
 
     /// Add a negative body literal (`not pred(args)`).
     #[must_use]
     pub fn neg(mut self, pred: &str, args: impl IntoTerms) -> Self {
-        self.body.push(Literal::Neg(Atom::new(pred, args.into_terms())));
+        self.body
+            .push(Literal::Neg(Atom::new(pred, args.into_terms())));
         self
     }
 
@@ -176,9 +194,10 @@ impl RuleBuilder<'_> {
 
     /// Finalize the rule into the program.
     pub fn done(self) {
-        self.builder
-            .program
-            .push_rule(Rule { head: self.head, body: self.body });
+        self.builder.program.push_rule(Rule {
+            head: self.head,
+            body: self.body,
+        });
     }
 }
 
@@ -203,35 +222,38 @@ impl ChoiceBuilder<'_> {
 
     /// Add a conditional element `pred(args) : condition`.
     #[must_use]
-    pub fn element_if(
-        mut self,
-        pred: &str,
-        args: impl IntoTerms,
-        condition: Vec<Literal>,
-    ) -> Self {
-        self.elements
-            .push(ChoiceElement { atom: Atom::new(pred, args.into_terms()), condition });
+    pub fn element_if(mut self, pred: &str, args: impl IntoTerms, condition: Vec<Literal>) -> Self {
+        self.elements.push(ChoiceElement {
+            atom: Atom::new(pred, args.into_terms()),
+            condition,
+        });
         self
     }
 
     /// Add a positive body literal.
     #[must_use]
     pub fn pos(mut self, pred: &str, args: impl IntoTerms) -> Self {
-        self.body.push(Literal::Pos(Atom::new(pred, args.into_terms())));
+        self.body
+            .push(Literal::Pos(Atom::new(pred, args.into_terms())));
         self
     }
 
     /// Add a negative body literal.
     #[must_use]
     pub fn neg(mut self, pred: &str, args: impl IntoTerms) -> Self {
-        self.body.push(Literal::Neg(Atom::new(pred, args.into_terms())));
+        self.body
+            .push(Literal::Neg(Atom::new(pred, args.into_terms())));
         self
     }
 
     /// Finalize the choice rule into the program.
     pub fn done(self) {
         self.builder.program.push_rule(Rule {
-            head: Head::Choice { lower: self.lower, upper: self.upper, elements: self.elements },
+            head: Head::Choice {
+                lower: self.lower,
+                upper: self.upper,
+                elements: self.elements,
+            },
             body: self.body,
         });
     }

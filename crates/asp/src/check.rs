@@ -96,9 +96,7 @@ pub fn card_satisfied(c: &CardConstraint, m: &HashSet<AtomId>) -> bool {
     let held = c
         .elements
         .iter()
-        .filter(|e| {
-            m.contains(&e.atom) && body_satisfied(&e.guard_pos, &e.guard_neg, m)
-        })
+        .filter(|e| m.contains(&e.atom) && body_satisfied(&e.guard_pos, &e.guard_neg, m))
         .count() as u32;
     c.lower <= held && held <= c.upper
 }
@@ -137,7 +135,10 @@ mod tests {
     #[test]
     fn negation_as_failure() {
         let g = ground("{ q }. p :- not q.");
-        assert!(is_stable_model(&g, &set(&g, &["p"])), "q unchosen, p derived");
+        assert!(
+            is_stable_model(&g, &set(&g, &["p"])),
+            "q unchosen, p derived"
+        );
         assert!(is_stable_model(&g, &set(&g, &["q"])), "q chosen blocks p");
         assert!(!is_stable_model(&g, &set(&g, &["p", "q"])));
         assert!(!is_stable_model(&g, &set(&g, &[])), "p must be derived");
@@ -148,7 +149,10 @@ mod tests {
         let g = ground("{ a }. b :- a.");
         assert!(is_stable_model(&g, &set(&g, &[])));
         assert!(is_stable_model(&g, &set(&g, &["a", "b"])));
-        assert!(!is_stable_model(&g, &set(&g, &["b"])), "b unsupported without a");
+        assert!(
+            !is_stable_model(&g, &set(&g, &["b"])),
+            "b unsupported without a"
+        );
     }
 
     #[test]
@@ -160,8 +164,16 @@ mod tests {
         let mut g = GroundProgram::new();
         let a = g.intern(Atom::prop("a"));
         let b = g.intern(Atom::prop("b"));
-        g.rules.push(GroundRule { head: GroundHead::Atom(a), pos: vec![b], neg: vec![] });
-        g.rules.push(GroundRule { head: GroundHead::Atom(b), pos: vec![a], neg: vec![] });
+        g.rules.push(GroundRule {
+            head: GroundHead::Atom(a),
+            pos: vec![b],
+            neg: vec![],
+        });
+        g.rules.push(GroundRule {
+            head: GroundHead::Atom(b),
+            pos: vec![a],
+            neg: vec![],
+        });
         assert!(is_stable_model(&g, &HashSet::new()));
         assert!(
             !is_stable_model(&g, &[a, b].into_iter().collect()),
@@ -179,8 +191,14 @@ mod tests {
     #[test]
     fn cardinality_bounds_checked() {
         let g = ground("item(x). item(y). 1 { pick(I) : item(I) } 1.");
-        assert!(is_stable_model(&g, &set(&g, &["item(x)", "item(y)", "pick(x)"])));
-        assert!(!is_stable_model(&g, &set(&g, &["item(x)", "item(y)"])), "lower bound");
+        assert!(is_stable_model(
+            &g,
+            &set(&g, &["item(x)", "item(y)", "pick(x)"])
+        ));
+        assert!(
+            !is_stable_model(&g, &set(&g, &["item(x)", "item(y)"])),
+            "lower bound"
+        );
         assert!(
             !is_stable_model(&g, &set(&g, &["item(x)", "item(y)", "pick(x)", "pick(y)"])),
             "upper bound"

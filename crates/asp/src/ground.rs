@@ -26,7 +26,9 @@ pub struct Grounder {
 
 impl Default for Grounder {
     fn default() -> Self {
-        Grounder { max_instances: 2_000_000 }
+        Grounder {
+            max_instances: 2_000_000,
+        }
     }
 }
 
@@ -144,7 +146,9 @@ impl Grounder {
             for (theta,) in instances {
                 self.emit_rule(rule, &theta, &possible, &mut out, &mut seen_rules)?;
                 if out.rules.len() > self.max_instances {
-                    return Err(AspError::GroundingBudget { limit: self.max_instances });
+                    return Err(AspError::GroundingBudget {
+                        limit: self.max_instances,
+                    });
                 }
             }
         }
@@ -176,10 +180,12 @@ impl Grounder {
                             let (pos, neg, alive) =
                                 ground_condition(&el.condition, &theta, &possible, &mut out)?;
                             if alive {
-                                minimize
-                                    .entry(*priority)
-                                    .or_default()
-                                    .push(MinimizeLit { weight, tuple, pos, neg });
+                                minimize.entry(*priority).or_default().push(MinimizeLit {
+                                    weight,
+                                    tuple,
+                                    pos,
+                                    neg,
+                                });
                             }
                         }
                     }
@@ -211,17 +217,29 @@ impl Grounder {
                 push_rule(
                     out,
                     seen,
-                    GroundRule { head: GroundHead::Atom(head), pos: body_pos, neg: body_neg },
+                    GroundRule {
+                        head: GroundHead::Atom(head),
+                        pos: body_pos,
+                        neg: body_neg,
+                    },
                 );
             }
             Head::None => {
                 push_rule(
                     out,
                     seen,
-                    GroundRule { head: GroundHead::None, pos: body_pos, neg: body_neg },
+                    GroundRule {
+                        head: GroundHead::None,
+                        pos: body_pos,
+                        neg: body_neg,
+                    },
                 );
             }
-            Head::Choice { lower, upper, elements } => {
+            Head::Choice {
+                lower,
+                upper,
+                elements,
+            } => {
                 let mut card_elems: Vec<CardElement> = Vec::new();
                 for el in elements {
                     let plan = plan_body(&el.condition);
@@ -244,10 +262,18 @@ impl Grounder {
                         push_rule(
                             out,
                             seen,
-                            GroundRule { head: GroundHead::Choice(atom), pos, neg },
+                            GroundRule {
+                                head: GroundHead::Choice(atom),
+                                pos,
+                                neg,
+                            },
                         );
                         if lower.is_some() || upper.is_some() {
-                            card_elems.push(CardElement { atom, guard_pos: gpos, guard_neg: gneg });
+                            card_elems.push(CardElement {
+                                atom,
+                                guard_pos: gpos,
+                                guard_neg: gneg,
+                            });
                         }
                     }
                 }
@@ -574,7 +600,10 @@ mod tests {
     fn negative_literals_over_underivable_atoms_are_dropped() {
         let g = ground_src("p :- not q.");
         assert_eq!(g.rules.len(), 1);
-        assert!(g.rules[0].neg.is_empty(), "`not q` with underivable q is dropped");
+        assert!(
+            g.rules[0].neg.is_empty(),
+            "`not q` with underivable q is dropped"
+        );
     }
 
     #[test]
@@ -602,7 +631,10 @@ mod tests {
             .filter(|(_, a)| a.pred == "double")
             .map(|(_, a)| a.to_string())
             .collect();
-        assert_eq!(doubles, vec!["double(2)", "double(4)", "double(6)", "double(8)"]);
+        assert_eq!(
+            doubles,
+            vec!["double(2)", "double(4)", "double(6)", "double(8)"]
+        );
     }
 
     #[test]
@@ -639,9 +671,7 @@ mod tests {
 
     #[test]
     fn minimize_priorities_sorted_high_first() {
-        let g = ground_src(
-            "a. b. { x }. #minimize { 1@1 : x }. #minimize { 2@5 : x }.",
-        );
+        let g = ground_src("a. b. { x }. #minimize { 1@1 : x }. #minimize { 2@5 : x }.");
         let prios: Vec<i64> = g.minimize.iter().map(|(p, _)| *p).collect();
         assert_eq!(prios, vec![5, 1]);
     }
@@ -650,7 +680,10 @@ mod tests {
     fn budget_is_enforced() {
         let g = Grounder::with_budget(10);
         let p = parse("n(1..100). p(X) :- n(X).").unwrap();
-        assert!(matches!(g.ground(&p), Err(AspError::GroundingBudget { limit: 10 })));
+        assert!(matches!(
+            g.ground(&p),
+            Err(AspError::GroundingBudget { limit: 10 })
+        ));
     }
 
     #[test]
@@ -683,7 +716,9 @@ mod tests {
         let pf_rules: Vec<&GroundRule> = g
             .rules
             .iter()
-            .filter(|r| matches!(r.head, GroundHead::Atom(h) if g.atom(h).pred == "potential_fault"))
+            .filter(
+                |r| matches!(r.head, GroundHead::Atom(h) if g.atom(h).pred == "potential_fault"),
+            )
             .collect();
         assert_eq!(pf_rules.len(), 2);
         assert!(pf_rules.iter().any(|r| r.neg.len() == 1));

@@ -10,6 +10,8 @@ pub struct Token {
     pub kind: TokenKind,
     /// Byte offset in the source where the token starts.
     pub offset: usize,
+    /// Length of the token in bytes (0 for [`TokenKind::Eof`]).
+    pub len: usize,
 }
 
 /// Token kinds of the surface syntax.
@@ -150,7 +152,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, AspError> {
             '=' => push(&mut out, TokenKind::Eq, &mut i),
             '.' => {
                 if bytes.get(i + 1) == Some(&b'.') {
-                    out.push(Token { kind: TokenKind::DotDot, offset: i });
+                    out.push(Token {
+                        kind: TokenKind::DotDot,
+                        offset: i,
+                        len: 2,
+                    });
                     i += 2;
                 } else {
                     push(&mut out, TokenKind::Dot, &mut i);
@@ -158,7 +164,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, AspError> {
             }
             ':' => {
                 if bytes.get(i + 1) == Some(&b'-') {
-                    out.push(Token { kind: TokenKind::If, offset: i });
+                    out.push(Token {
+                        kind: TokenKind::If,
+                        offset: i,
+                        len: 2,
+                    });
                     i += 2;
                 } else {
                     push(&mut out, TokenKind::Colon, &mut i);
@@ -166,7 +176,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, AspError> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ne, offset: i });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: i,
+                        len: 2,
+                    });
                     i += 2;
                 } else {
                     return Err(err_at(src, i, "expected `!=`"));
@@ -174,7 +188,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, AspError> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Le, offset: i });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        offset: i,
+                        len: 2,
+                    });
                     i += 2;
                 } else {
                     push(&mut out, TokenKind::Lt, &mut i);
@@ -182,7 +200,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, AspError> {
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ge, offset: i });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: i,
+                        len: 2,
+                    });
                     i += 2;
                 } else {
                     push(&mut out, TokenKind::Gt, &mut i);
@@ -214,7 +236,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, AspError> {
                         }
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), offset: start });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                    len: i - start,
+                });
             }
             '#' => {
                 let start = i;
@@ -232,7 +258,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, AspError> {
                         return Err(err_at(src, start, &format!("unknown directive `#{other}`")))
                     }
                 };
-                out.push(Token { kind, offset: start });
+                out.push(Token {
+                    kind,
+                    offset: start,
+                    len: i - start,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -242,7 +272,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, AspError> {
                 let n: i64 = src[start..i]
                     .parse()
                     .map_err(|_| err_at(src, start, "integer literal out of range"))?;
-                out.push(Token { kind: TokenKind::Int(n), offset: start });
+                out.push(Token {
+                    kind: TokenKind::Int(n),
+                    offset: start,
+                    len: i - start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -254,23 +288,36 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, AspError> {
                 let word = &src[start..i];
                 let kind = if word == "not" {
                     TokenKind::Not
-                } else if word.starts_with(|ch: char| ch.is_ascii_uppercase()) || word.starts_with('_')
+                } else if word.starts_with(|ch: char| ch.is_ascii_uppercase())
+                    || word.starts_with('_')
                 {
                     TokenKind::Variable(word.to_owned())
                 } else {
                     TokenKind::Ident(word.to_owned())
                 };
-                out.push(Token { kind, offset: start });
+                out.push(Token {
+                    kind,
+                    offset: start,
+                    len: i - start,
+                });
             }
             other => return Err(err_at(src, i, &format!("unexpected character `{other}`"))),
         }
     }
-    out.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+        len: 0,
+    });
     Ok(out)
 }
 
 fn push(out: &mut Vec<Token>, kind: TokenKind, i: &mut usize) {
-    out.push(Token { kind, offset: *i });
+    out.push(Token {
+        kind,
+        offset: *i,
+        len: 1,
+    });
     *i += 1;
 }
 
@@ -324,7 +371,23 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("1..5 <= >= != = < > + - * / @"),
-            vec![Int(1), DotDot, Int(5), Le, Ge, Ne, Eq, Lt, Gt, Plus, Minus, Star, Slash, At, Eof]
+            vec![
+                Int(1),
+                DotDot,
+                Int(5),
+                Le,
+                Ge,
+                Ne,
+                Eq,
+                Lt,
+                Gt,
+                Plus,
+                Minus,
+                Star,
+                Slash,
+                At,
+                Eof
+            ]
         );
     }
 

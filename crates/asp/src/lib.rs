@@ -20,7 +20,11 @@
 //!    brave/cautious reasoning),
 //! 4. [`check`](check::is_stable_model) — an *independent* stability
 //!    verifier (reduct + least-model test) used to cross-validate every
-//!    answer set in tests and debug builds.
+//!    answer set in tests and debug builds,
+//! 5. [`lint`](lint::lint_source) — a static-analysis pass producing
+//!    span-carrying [`Diagnostic`]s (undefined predicates with
+//!    did-you-mean hints, arity mismatches, unsafe variables, unreachable
+//!    or duplicate rules, negation cycles — codes `A001`…`A008`).
 //!
 //! # Example
 //!
@@ -44,17 +48,21 @@
 pub mod ast;
 pub mod builder;
 pub mod check;
+pub mod diag;
 pub mod error;
 pub mod ground;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
 pub mod program;
 pub mod solve;
 
 pub use ast::{Atom, ChoiceElement, Head, Literal, Program, Rule, Statement, Term};
 pub use builder::ProgramBuilder;
+pub use diag::{Diagnostic, Severity, Span};
 pub use error::AspError;
 pub use ground::Grounder;
+pub use parser::{parse_program_spanned, SpannedProgram};
 pub use program::{AtomId, GroundProgram};
 pub use solve::{Model, SolveOptions, SolveResult, Solver};
 

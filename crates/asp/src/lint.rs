@@ -1,0 +1,732 @@
+//! Static analysis of ASP programs: span-carrying lints `A000`–`A008`.
+//!
+//! The pass runs over a [`SpannedProgram`] (parsed leniently, so unsafe
+//! rules survive into the AST) plus the predicate dependency graph, and
+//! reports [`Diagnostic`]s instead of aborting at the first problem:
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | A000 | error    | syntax error (the program does not parse) |
+//! | A001 | warning  | predicate used positively (or `#show`n) but never defined — with a did-you-mean hint |
+//! | A002 | warning  | predicate used with inconsistent arities |
+//! | A003 | error    | unsafe variable (not bound by any positive body literal) |
+//! | A004 | warning  | constraint body references an undefined predicate: it can never fire |
+//! | A005 | warning  | derived predicate unreachable from every `#show` projection and constraint |
+//! | A006 | warning  | cyclic negation (non-stratified loop through `not`) |
+//! | A007 | info     | duplicate rule |
+//! | A008 | info     | `not p` over a never-defined `p` is always true |
+//!
+//! A program is *lint-clean* when it produces no errors and no warnings;
+//! info-level findings are advisory.
+
+use crate::ast::{Head, Literal, Program, Rule, Statement};
+use crate::diag::Diagnostic;
+use crate::error::AspError;
+use crate::parser::{parse_program_spanned, OccRole, SpannedProgram};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Lint a program from source text.
+///
+/// Syntax errors become a single `A000` diagnostic; otherwise the full
+/// pass of [`lint_program`] runs.
+#[must_use]
+pub fn lint_source(src: &str) -> Vec<Diagnostic> {
+    match parse_program_spanned(src) {
+        Ok(sp) => lint_program(&sp),
+        Err(AspError::Parse(msg)) => vec![Diagnostic::error("A000", msg)],
+        Err(other) => vec![Diagnostic::error("A000", other.to_string())],
+    }
+}
+
+/// Run every lint over a parsed, span-annotated program.
+#[must_use]
+pub fn lint_program(sp: &SpannedProgram) -> Vec<Diagnostic> {
+    let facts = PredFacts::collect(sp);
+    let mut diags = Vec::new();
+    undefined_predicates(sp, &facts, &mut diags); // A001, A004, A008
+    arity_mismatches(sp, &facts, &mut diags); // A002
+    unsafe_rules(sp, &mut diags); // A003
+    unreachable_predicates(sp, &facts, &mut diags); // A005
+    negation_cycles(sp, &mut diags); // A006
+    duplicate_rules(sp, &mut diags); // A007
+    diags.sort_by_key(|d| (d.span.map_or(usize::MAX, |s| s.offset), d.code.clone()));
+    diags
+}
+
+/// Aggregated per-predicate information derived from the occurrence table.
+struct PredFacts {
+    /// Names with at least one defining (head / choice-element) occurrence.
+    defined: BTreeSet<String>,
+    /// Names defined *only* by facts (ground rules with empty bodies) —
+    /// treated as model inputs and exempt from reachability lints.
+    fact_only: BTreeSet<String>,
+}
+
+impl PredFacts {
+    fn collect(sp: &SpannedProgram) -> Self {
+        let mut defined = BTreeSet::new();
+        let mut has_rule_def = BTreeSet::new();
+        for (idx, stmt) in sp.program.statements.iter().enumerate() {
+            let Statement::Rule(rule) = stmt else {
+                continue;
+            };
+            match &rule.head {
+                Head::Atom(a) => {
+                    defined.insert(a.pred.clone());
+                    if !rule.body.is_empty() {
+                        has_rule_def.insert(a.pred.clone());
+                    }
+                }
+                Head::Choice { elements, .. } => {
+                    for e in elements {
+                        defined.insert(e.atom.pred.clone());
+                        // A choice head derives its atoms even from an
+                        // empty body: never fact-only.
+                        has_rule_def.insert(e.atom.pred.clone());
+                    }
+                }
+                Head::None => {}
+            }
+            let _ = idx;
+        }
+        let fact_only = defined.difference(&has_rule_def).cloned().collect();
+        PredFacts { defined, fact_only }
+    }
+}
+
+/// A001 (positive use / `#show` of an undefined predicate), A004 (the same
+/// inside a constraint body: the constraint can never fire), A008
+/// (negation-only use of an undefined predicate is vacuously true).
+fn undefined_predicates(sp: &SpannedProgram, facts: &PredFacts, diags: &mut Vec<Diagnostic>) {
+    let mut neg_only_reported: BTreeSet<&str> = BTreeSet::new();
+    for occ in &sp.occurrences {
+        if occ.role == OccRole::Def || facts.defined.contains(&occ.pred) {
+            continue;
+        }
+        let suggestion = did_you_mean(&occ.pred, &facts.defined);
+        match occ.role {
+            OccRole::Pos if in_constraint(&sp.program, occ.stmt) => {
+                let mut d = Diagnostic::warning(
+                    "A004",
+                    format!(
+                        "constraint can never fire: predicate `{}/{}` is never defined",
+                        occ.pred, occ.arity
+                    ),
+                )
+                .with_span(occ.span);
+                if let Some(s) = suggestion {
+                    d = d.with_suggestion(s);
+                }
+                diags.push(d);
+            }
+            OccRole::Pos | OccRole::Show => {
+                let mut d = Diagnostic::warning(
+                    "A001",
+                    format!(
+                        "predicate `{}/{}` is used but never defined",
+                        occ.pred, occ.arity
+                    ),
+                )
+                .with_span(occ.span);
+                if let Some(s) = suggestion {
+                    d = d.with_suggestion(s);
+                }
+                diags.push(d);
+            }
+            OccRole::Neg => {
+                // Only when the predicate is used *exclusively* under
+                // negation (otherwise the positive-use warning covers it),
+                // and once per predicate.
+                let positively_used = sp
+                    .occurrences
+                    .iter()
+                    .any(|o| o.pred == occ.pred && matches!(o.role, OccRole::Pos | OccRole::Show));
+                if positively_used || !neg_only_reported.insert(&occ.pred) {
+                    continue;
+                }
+                let mut d = Diagnostic::info(
+                    "A008",
+                    format!(
+                        "`not {}` is always true: predicate `{}/{}` is never defined",
+                        occ.pred, occ.pred, occ.arity
+                    ),
+                )
+                .with_span(occ.span);
+                if let Some(s) = suggestion {
+                    d = d.with_suggestion(s);
+                }
+                diags.push(d);
+            }
+            OccRole::Def => unreachable!("filtered above"),
+        }
+    }
+}
+
+/// A002: the same predicate name used with different arities.
+fn arity_mismatches(sp: &SpannedProgram, _facts: &PredFacts, diags: &mut Vec<Diagnostic>) {
+    let mut arities: BTreeMap<&str, BTreeMap<usize, usize>> = BTreeMap::new();
+    for occ in &sp.occurrences {
+        *arities
+            .entry(&occ.pred)
+            .or_default()
+            .entry(occ.arity)
+            .or_insert(0) += 1;
+    }
+    for (pred, counts) in arities {
+        if counts.len() < 2 {
+            continue;
+        }
+        // Majority arity; ties go to whichever arity appears first in the
+        // source (typically the definition).
+        let first_use = |arity: usize| {
+            sp.occurrences
+                .iter()
+                .position(|o| o.pred == pred && o.arity == arity)
+                .unwrap_or(usize::MAX)
+        };
+        let majority = counts
+            .iter()
+            .max_by_key(|(arity, n)| (**n, usize::MAX - first_use(**arity)))
+            .map(|(a, _)| *a)
+            .unwrap_or(0);
+        let listed: Vec<String> = counts.keys().map(ToString::to_string).collect();
+        if let Some(occ) = sp
+            .occurrences
+            .iter()
+            .find(|o| o.pred == pred && o.arity != majority)
+        {
+            diags.push(
+                Diagnostic::warning(
+                    "A002",
+                    format!(
+                        "predicate `{pred}` is used with inconsistent arities ({})",
+                        listed.join(", ")
+                    ),
+                )
+                .with_span(occ.span)
+                .with_suggestion(format!("other occurrences use `{pred}/{majority}`")),
+            );
+        }
+    }
+}
+
+/// A003: unsafe variables, reported per rule with the rule's span.
+fn unsafe_rules(sp: &SpannedProgram, diags: &mut Vec<Diagnostic>) {
+    for (idx, stmt) in sp.program.statements.iter().enumerate() {
+        let Statement::Rule(rule) = stmt else {
+            continue;
+        };
+        if let Err(AspError::UnsafeRule { var, .. }) = rule.check_safety() {
+            let mut d = Diagnostic::error(
+                "A003",
+                format!("unsafe variable `{var}`: not bound by any positive body literal"),
+            );
+            if let Some(span) = sp.statement_spans.get(idx) {
+                d = d.with_span(*span);
+            }
+            diags.push(d);
+        }
+    }
+}
+
+/// A005: derived predicates unreachable from every `#show` projection,
+/// constraint, and `#minimize` objective. Skipped entirely for programs
+/// without `#show` (nothing declares an output vocabulary to be reachable
+/// from); fact-only predicates are model inputs and exempt.
+fn unreachable_predicates(sp: &SpannedProgram, facts: &PredFacts, diags: &mut Vec<Diagnostic>) {
+    let has_show = sp
+        .program
+        .statements
+        .iter()
+        .any(|s| matches!(s, Statement::Show { .. }));
+    if !has_show {
+        return;
+    }
+    // Roots: shown predicates, constraint bodies, minimize conditions.
+    let mut relevant: BTreeSet<&str> = BTreeSet::new();
+    for stmt in &sp.program.statements {
+        match stmt {
+            Statement::Show { pred, .. } => {
+                relevant.insert(pred);
+            }
+            Statement::Rule(Rule {
+                head: Head::None,
+                body,
+            }) => {
+                for lit in body {
+                    if let Some(a) = lit.as_pos() {
+                        relevant.insert(&a.pred);
+                    } else if let Literal::Neg(a) = lit {
+                        relevant.insert(&a.pred);
+                    }
+                }
+            }
+            Statement::Minimize { elements, .. } => {
+                for e in elements {
+                    for lit in &e.condition {
+                        match lit {
+                            Literal::Pos(a) | Literal::Neg(a) => {
+                                relevant.insert(&a.pred);
+                            }
+                            Literal::Cmp(..) => {}
+                        }
+                    }
+                }
+            }
+            Statement::Rule(_) => {}
+        }
+    }
+    // Closure: whatever feeds a relevant head is relevant too.
+    let deps = dependency_edges(&sp.program);
+    loop {
+        let mut grew = false;
+        for (head, body_pred, _) in &deps {
+            if relevant.contains(head.as_str()) && relevant.insert(body_pred) {
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Report each derived-but-irrelevant predicate at its first definition.
+    let mut reported: BTreeSet<&str> = BTreeSet::new();
+    for (idx, stmt) in sp.program.statements.iter().enumerate() {
+        let Statement::Rule(rule) = stmt else {
+            continue;
+        };
+        let heads: Vec<&str> = match &rule.head {
+            Head::Atom(a) => vec![&a.pred],
+            Head::Choice { elements, .. } => {
+                elements.iter().map(|e| e.atom.pred.as_str()).collect()
+            }
+            Head::None => Vec::new(),
+        };
+        for pred in heads {
+            if relevant.contains(pred) || facts.fact_only.contains(pred) || !reported.insert(pred) {
+                continue;
+            }
+            let mut d = Diagnostic::warning(
+                "A005",
+                format!(
+                    "predicate `{pred}` is derived but unreachable from every #show projection and constraint"
+                ),
+            );
+            if let Some(span) = sp.statement_spans.get(idx) {
+                d = d.with_span(*span);
+            }
+            diags.push(d);
+        }
+    }
+}
+
+/// A006: strongly connected components of the predicate dependency graph
+/// that contain an internal negative edge — i.e. recursion through `not`,
+/// which makes stable-model existence fragile (even loops) or impossible
+/// (odd loops).
+fn negation_cycles(sp: &SpannedProgram, diags: &mut Vec<Diagnostic>) {
+    let deps = dependency_edges(&sp.program);
+    // Index the predicate universe.
+    let mut preds: BTreeSet<&str> = BTreeSet::new();
+    for (h, b, _) in &deps {
+        preds.insert(h);
+        preds.insert(b);
+    }
+    let index: HashMap<&str, usize> = preds.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let names: Vec<&str> = preds.into_iter().collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (h, b, _) in &deps {
+        adj[index[h.as_str()]].push(index[b.as_str()]);
+    }
+    let comp = tarjan_scc(&adj);
+    // A component is a cycle when it has >1 node, or one node with a
+    // self-edge.
+    let mut reported: BTreeSet<usize> = BTreeSet::new();
+    for (h, b, negated) in &deps {
+        if !negated {
+            continue;
+        }
+        let (hi, bi) = (index[h.as_str()], index[b.as_str()]);
+        if comp[hi] != comp[bi] || !reported.insert(comp[hi]) {
+            continue;
+        }
+        let cycle: Vec<&str> = (0..names.len())
+            .filter(|i| comp[*i] == comp[hi])
+            .map(|i| names[i])
+            .collect();
+        let mut d = Diagnostic::warning(
+            "A006",
+            format!(
+                "cyclic negation through predicate(s) {}",
+                quote_list(&cycle)
+            ),
+        );
+        // Anchor at the rule introducing the negative edge.
+        if let Some(span) = rule_span_with_neg_edge(sp, h, b) {
+            d = d.with_span(span);
+        }
+        diags.push(d);
+    }
+}
+
+/// A007: textually identical rules.
+fn duplicate_rules(sp: &SpannedProgram, diags: &mut Vec<Diagnostic>) {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for (idx, stmt) in sp.program.statements.iter().enumerate() {
+        if !matches!(stmt, Statement::Rule(_)) {
+            continue;
+        }
+        let text = stmt.to_string();
+        match seen.get(&text) {
+            Some(first) => {
+                let mut d = Diagnostic::info("A007", format!("duplicate rule `{text}`"));
+                if let Some(span) = sp.statement_spans.get(idx) {
+                    d = d.with_span(*span);
+                }
+                if let Some(first_span) = sp.statement_spans.get(*first) {
+                    d = d.with_suggestion(format!("first defined at {first_span}"));
+                }
+                // Interval expansions of a single source statement share
+                // one span; only distinct source statements are duplicates.
+                if sp.statement_spans.get(idx) != sp.statement_spans.get(*first) {
+                    diags.push(d);
+                }
+            }
+            None => {
+                seen.insert(text, idx);
+            }
+        }
+    }
+}
+
+/// Every `head -> body` predicate dependency, with negation marking.
+/// Choice-element conditions count as body dependencies of the element.
+fn dependency_edges(program: &Program) -> Vec<(String, String, bool)> {
+    let mut edges = Vec::new();
+    for stmt in &program.statements {
+        let Statement::Rule(rule) = stmt else {
+            continue;
+        };
+        let mut heads: Vec<String> = Vec::new();
+        match &rule.head {
+            Head::Atom(a) => heads.push(a.pred.clone()),
+            Head::Choice { elements, .. } => {
+                for e in elements {
+                    heads.push(e.atom.pred.clone());
+                    for lit in &e.condition {
+                        push_edges(&mut edges, &e.atom.pred, lit);
+                    }
+                }
+            }
+            Head::None => {}
+        }
+        for h in &heads {
+            for lit in &rule.body {
+                push_edges(&mut edges, h, lit);
+            }
+        }
+    }
+    edges
+}
+
+fn push_edges(edges: &mut Vec<(String, String, bool)>, head: &str, lit: &Literal) {
+    match lit {
+        Literal::Pos(a) => edges.push((head.to_owned(), a.pred.clone(), false)),
+        Literal::Neg(a) => edges.push((head.to_owned(), a.pred.clone(), true)),
+        Literal::Cmp(..) => {}
+    }
+}
+
+/// Find the span of a rule whose head derives `head` and whose body
+/// contains `not body_pred(...)`.
+fn rule_span_with_neg_edge(
+    sp: &SpannedProgram,
+    head: &str,
+    body_pred: &str,
+) -> Option<crate::diag::Span> {
+    for (idx, stmt) in sp.program.statements.iter().enumerate() {
+        let Statement::Rule(rule) = stmt else {
+            continue;
+        };
+        let derives = match &rule.head {
+            Head::Atom(a) => a.pred == head,
+            Head::Choice { elements, .. } => elements.iter().any(|e| e.atom.pred == head),
+            Head::None => false,
+        };
+        let negates = rule
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Neg(a) if a.pred == body_pred));
+        if derives && negates {
+            return sp.statement_spans.get(idx).copied();
+        }
+    }
+    None
+}
+
+fn in_constraint(program: &Program, stmt: usize) -> bool {
+    matches!(
+        program.statements.get(stmt),
+        Some(Statement::Rule(Rule {
+            head: Head::None,
+            ..
+        }))
+    )
+}
+
+/// Iterative Tarjan SCC; returns the component id of every node.
+fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let (mut index, mut comp_count) = (0usize, 0usize);
+    let mut idx = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    // Explicit call stack: (node, next child position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if idx[root] != usize::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&mut (v, ref mut child)) = call.last_mut() {
+            if *child == 0 {
+                idx[v] = index;
+                low[v] = index;
+                index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*child) {
+                *child += 1;
+                if idx[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(idx[w]);
+                }
+            } else {
+                if low[v] == idx[v] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp[w] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Levenshtein edit distance with a cutoff of `max + 1`.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest defined predicate within edit distance 2, as a
+/// "did you mean" suggestion.
+fn did_you_mean(pred: &str, defined: &BTreeSet<String>) -> Option<String> {
+    defined
+        .iter()
+        .filter(|cand| cand.as_str() != pred)
+        .map(|cand| (edit_distance(pred, cand), cand))
+        .filter(|(d, _)| *d <= 2)
+        .min()
+        .map(|(_, cand)| format!("did you mean `{cand}`?"))
+}
+
+fn quote_list(items: &[&str]) -> String {
+    items
+        .iter()
+        .map(|i| format!("`{i}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn codes(src: &str) -> Vec<String> {
+        lint_source(src).into_iter().map(|d| d.code).collect()
+    }
+
+    fn only(src: &str, code: &str) -> Diagnostic {
+        let diags: Vec<Diagnostic> = lint_source(src)
+            .into_iter()
+            .filter(|d| d.code == code)
+            .collect();
+        assert_eq!(diags.len(), 1, "expected exactly one {code}, got {diags:?}");
+        diags.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn a000_reports_syntax_errors() {
+        let d = only("p(a", "A000");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("expected"), "{}", d.message);
+    }
+
+    #[test]
+    fn a001_undefined_predicate_with_did_you_mean() {
+        let src = "mitigation(f4, m2).\nuses(M) :- mitigaton(F, M).";
+        let d = only(src, "A001");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("`mitigaton/2`"), "{}", d.message);
+        assert_eq!(d.suggestion.as_deref(), Some("did you mean `mitigation`?"));
+        let span = d.span.expect("span");
+        assert_eq!((span.line, span.column), (2, 12));
+        assert_eq!(span.len, "mitigaton".len());
+    }
+
+    #[test]
+    fn a002_arity_mismatch() {
+        let src = "p(a, b).\nq :- p(a).";
+        let d = only(src, "A002");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("inconsistent arities"), "{}", d.message);
+        let span = d.span.expect("span");
+        assert_eq!(
+            (span.line, span.column),
+            (2, 6),
+            "points at the minority use"
+        );
+    }
+
+    #[test]
+    fn a003_unsafe_variable_is_an_error() {
+        let src = "p(a).\nq(X, Y) :- p(X).";
+        let d = only(src, "A003");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("`Y`"), "{}", d.message);
+        let span = d.span.expect("span");
+        assert_eq!(
+            (span.line, span.column),
+            (2, 1),
+            "rule span starts the statement"
+        );
+    }
+
+    #[test]
+    fn a004_constraint_that_can_never_fire() {
+        let src = "p(a).\n:- qq(X), p(X).";
+        let d = only(src, "A004");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("never fire"), "{}", d.message);
+        let span = d.span.expect("span");
+        assert_eq!((span.line, span.column), (2, 4));
+        // Constraint uses are not double-reported as A001.
+        assert!(!codes(src).contains(&"A001".to_owned()));
+    }
+
+    #[test]
+    fn a005_unreachable_derived_predicate() {
+        let src = "p(a).\nq(X) :- p(X).\nr(X) :- p(X).\n#show q/1.";
+        let d = only(src, "A005");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("`r`"), "{}", d.message);
+        assert_eq!(d.span.expect("span").line, 3);
+        // Without #show there is no output vocabulary: lint stays quiet.
+        assert!(codes("p(a).\nq(X) :- p(X).").is_empty());
+        // Fact-only predicates are inputs, never flagged.
+        assert!(!codes("p(a).\n#show p/1.").contains(&"A005".to_owned()));
+    }
+
+    #[test]
+    fn a006_negation_cycle() {
+        let src = "a :- not b.\nb :- not a.";
+        let d = only(src, "A006");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(
+            d.message.contains("`a`") && d.message.contains("`b`"),
+            "{}",
+            d.message
+        );
+        assert_eq!(d.span.expect("span").line, 1);
+        // Positive recursion is fine.
+        assert!(codes("p(a). r(X, b) :- p(X). r(X, Y) :- r(X, Z), r(Z, Y).").is_empty());
+    }
+
+    #[test]
+    fn a007_duplicate_rule() {
+        let src = "p(a).\nq(X) :- p(X).\nq(X) :- p(X).";
+        let d = only(src, "A007");
+        assert_eq!(d.severity, Severity::Info);
+        assert_eq!(d.span.expect("span").line, 3);
+        assert!(d.suggestion.expect("suggestion").contains("line 2"));
+        // Interval expansion does not self-report.
+        assert!(codes("n(1..3).").is_empty());
+    }
+
+    #[test]
+    fn a008_negation_of_undefined_predicate() {
+        let src = "p(a).\nq(X) :- p(X), not blocked(X).";
+        let d = only(src, "A008");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("always true"), "{}", d.message);
+        assert_eq!(
+            (d.span.expect("span").line, d.span.expect("span").column),
+            (2, 19)
+        );
+    }
+
+    #[test]
+    fn paper_listing_1_is_lint_clean() {
+        // The verbatim Listing 1 of the paper: `active_mitigation` is used
+        // only under negation (A008 info), everything else is defined.
+        let src = "component(ew). fault(f4). mitigation(f4, m2). \
+                   potential_fault(C, F) :- component(C), fault(F), \
+                   mitigation(F, M), not active_mitigation(C, M).";
+        let diags = lint_source(src);
+        assert!(
+            !diags.iter().any(|d| d.is_error() || d.is_warning()),
+            "not lint-clean: {diags:?}"
+        );
+        assert_eq!(diags.len(), 1, "exactly the A008 info: {diags:?}");
+        assert_eq!(diags[0].code, "A008");
+    }
+
+    #[test]
+    fn misspelled_listing_1_points_at_the_typo() {
+        let src = "component(ew). fault(f4). mitigation(f4, m2).\n\
+                   potential_fault(C, F) :- component(C), fault(F),\n\
+                   \x20   mitigaton(F, M), not active_mitigation(C, M).";
+        let d = only(src, "A001");
+        assert_eq!(d.suggestion.as_deref(), Some("did you mean `mitigation`?"));
+        let span = d.span.expect("span");
+        assert_eq!((span.line, span.column), (3, 5));
+    }
+
+    #[test]
+    fn diagnostics_come_back_in_source_order() {
+        let src = "q(X) :- p(X).\nr(Y, Z) :- q(Y).";
+        let diags = lint_source(src);
+        let offsets: Vec<usize> = diags
+            .iter()
+            .filter_map(|d| d.span.map(|s| s.offset))
+            .collect();
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        assert_eq!(offsets, sorted);
+    }
+}

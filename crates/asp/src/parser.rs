@@ -16,6 +16,7 @@ use crate::ast::{
     ArithOp, Atom, ChoiceElement, CmpOp, Head, Literal, MinimizeElement, Program, Rule, Statement,
     Term,
 };
+use crate::diag::Span;
 use crate::error::AspError;
 use crate::lexer::{err_at, tokenize, Token, TokenKind};
 
@@ -23,22 +24,107 @@ use crate::lexer::{err_at, tokenize, Token, TokenKind};
 ///
 /// # Errors
 ///
-/// [`AspError::Parse`] on any syntax error, with line/column info.
+/// [`AspError::Parse`] on any syntax error (with line/column info) and
+/// [`AspError::UnsafeRule`] for rules with unbound variables.
 pub fn parse_program(src: &str) -> Result<Program, AspError> {
+    Ok(parse_spanned_inner(src, true)?.program)
+}
+
+/// Parse a complete program, keeping the span side table consumed by the
+/// lint pass ([`crate::lint`]).
+///
+/// Unlike [`parse_program`], rule safety is *not* enforced here — unsafe
+/// rules come back in the AST so the linter can report them as
+/// span-carrying diagnostics (code `A003`) instead of aborting at the
+/// first one.
+///
+/// # Errors
+///
+/// [`AspError::Parse`] on syntax errors only.
+pub fn parse_program_spanned(src: &str) -> Result<SpannedProgram, AspError> {
+    parse_spanned_inner(src, false)
+}
+
+fn parse_spanned_inner(src: &str, check_safety: bool) -> Result<SpannedProgram, AspError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { src, tokens, pos: 0 };
+    let mut p = Parser {
+        src,
+        tokens,
+        pos: 0,
+        check_safety,
+        stmt_count: 0,
+        statement_spans: Vec::new(),
+        occurrences: Vec::new(),
+        pending: Vec::new(),
+    };
     let mut program = Program::new();
     while !p.at(&TokenKind::Eof) {
         let stmts = p.statement()?;
         program.statements.extend(stmts);
     }
-    Ok(program)
+    Ok(SpannedProgram {
+        program,
+        statement_spans: p.statement_spans,
+        occurrences: p.occurrences,
+    })
+}
+
+/// A parsed program plus the source-span side table.
+///
+/// Spans cannot live on the AST itself ([`Atom`] is interned by identity in
+/// the grounder), so the parser records them alongside: one span per
+/// emitted statement, and one [`PredOcc`] per syntactic predicate
+/// occurrence.
+#[derive(Debug, Clone)]
+pub struct SpannedProgram {
+    /// The parsed program (safety not yet checked — see
+    /// [`parse_program_spanned`]).
+    pub program: Program,
+    /// Span of each statement, aligned with `program.statements`. Interval
+    /// facts expanded from one source statement share its span.
+    pub statement_spans: Vec<Span>,
+    /// Every predicate occurrence, in source order.
+    pub occurrences: Vec<PredOcc>,
+}
+
+/// One syntactic occurrence of a predicate in the source.
+#[derive(Debug, Clone)]
+pub struct PredOcc {
+    /// Predicate name.
+    pub pred: String,
+    /// Number of arguments at this occurrence.
+    pub arity: usize,
+    /// How the predicate is used here.
+    pub role: OccRole,
+    /// Index (into `program.statements`) of the first statement emitted
+    /// from the source statement containing this occurrence.
+    pub stmt: usize,
+    /// Span of the predicate name token.
+    pub span: Span,
+}
+
+/// The syntactic role of a predicate occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccRole {
+    /// Head atom or choice-element atom: a defining occurrence.
+    Def,
+    /// Positive body/condition literal.
+    Pos,
+    /// Negated (`not …`) body/condition literal.
+    Neg,
+    /// `#show pred/arity` projection.
+    Show,
 }
 
 struct Parser<'a> {
     src: &'a str,
     tokens: Vec<Token>,
     pos: usize,
+    check_safety: bool,
+    stmt_count: usize,
+    statement_spans: Vec<Span>,
+    occurrences: Vec<PredOcc>,
+    pending: Vec<(String, usize, OccRole, Span)>,
 }
 
 impl<'a> Parser<'a> {
@@ -72,31 +158,99 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, msg: &str) -> AspError {
-        err_at(self.src, self.tokens[self.pos].offset, msg)
+        self.error_at(self.pos, msg)
+    }
+
+    /// An error pointing at the token with index `idx` — used after a
+    /// `bump()` so the message cites the offending token, not its
+    /// successor.
+    fn error_at(&self, idx: usize, msg: &str) -> AspError {
+        err_at(
+            self.src,
+            self.tokens[idx.min(self.tokens.len() - 1)].offset,
+            msg,
+        )
+    }
+
+    /// Span of one token.
+    fn tok_span(&self, idx: usize) -> Span {
+        let t = &self.tokens[idx.min(self.tokens.len() - 1)];
+        Span::new(self.src, t.offset, t.len)
+    }
+
+    /// Span from the start of token `start_idx` to the end of the last
+    /// consumed token.
+    fn span_from(&self, start_idx: usize) -> Span {
+        let start = self.tokens[start_idx.min(self.tokens.len() - 1)].offset;
+        let last_idx = self
+            .pos
+            .saturating_sub(1)
+            .max(start_idx)
+            .min(self.tokens.len() - 1);
+        let last = &self.tokens[last_idx];
+        Span::new(
+            self.src,
+            start,
+            (last.offset + last.len).saturating_sub(start),
+        )
+    }
+
+    /// Queue a predicate occurrence of the statement being parsed.
+    fn record(&mut self, pred: &str, arity: usize, role: OccRole, span: Span) {
+        if !pred.starts_with('#') {
+            self.pending.push((pred.to_owned(), arity, role, span));
+        }
     }
 
     /// Parse one statement; interval facts may expand to several.
     fn statement(&mut self) -> Result<Vec<Statement>, AspError> {
-        match self.peek() {
+        let start = self.pos;
+        let stmts = match self.peek() {
             TokenKind::Minimize => self.minimize(false),
             TokenKind::Maximize => self.minimize(true),
             TokenKind::Show => self.show(),
-            _ => self.rule(),
+            _ => self.rule(start),
+        }?;
+        let span = self.span_from(start);
+        let first = self.stmt_count;
+        self.statement_spans
+            .extend(std::iter::repeat_n(span, stmts.len()));
+        self.stmt_count += stmts.len();
+        for (pred, arity, role, occ_span) in self.pending.drain(..) {
+            self.occurrences.push(PredOcc {
+                pred,
+                arity,
+                role,
+                stmt: first,
+                span: occ_span,
+            });
         }
+        Ok(stmts)
     }
 
     fn show(&mut self) -> Result<Vec<Statement>, AspError> {
         self.expect(&TokenKind::Show)?;
+        let name_idx = self.pos;
         let pred = match self.bump() {
             TokenKind::Ident(s) => s,
-            other => return Err(self.error(&format!("expected predicate name, found `{other}`"))),
+            other => {
+                return Err(self.error_at(
+                    name_idx,
+                    &format!("expected predicate name, found `{other}`"),
+                ))
+            }
         };
         self.expect(&TokenKind::Slash)?;
+        let arity_idx = self.pos;
         let arity = match self.bump() {
             TokenKind::Int(n) if n >= 0 => n as usize,
-            other => return Err(self.error(&format!("expected arity, found `{other}`"))),
+            other => {
+                return Err(self.error_at(arity_idx, &format!("expected arity, found `{other}`")))
+            }
         };
         self.expect(&TokenKind::Dot)?;
+        let span = self.tok_span(name_idx);
+        self.record(&pred, arity, OccRole::Show, span);
         Ok(vec![Statement::Show { pred, arity }])
     }
 
@@ -115,10 +269,13 @@ impl<'a> Parser<'a> {
             let mut priority = 0i64;
             if self.at(&TokenKind::At) {
                 self.bump();
+                let prio_idx = self.pos;
                 match self.bump() {
                     TokenKind::Int(p) => priority = p,
                     other => {
-                        return Err(self.error(&format!("expected priority, found `{other}`")))
+                        return Err(
+                            self.error_at(prio_idx, &format!("expected priority, found `{other}`"))
+                        )
                     }
                 }
             }
@@ -132,7 +289,11 @@ impl<'a> Parser<'a> {
                 self.bump();
                 condition = self.literals_until(&[TokenKind::Semi, TokenKind::RBrace])?;
             }
-            let elem = MinimizeElement { weight, terms, condition };
+            let elem = MinimizeElement {
+                weight,
+                terms,
+                condition,
+            };
             match by_prio.iter_mut().find(|(p, _)| *p == priority) {
                 Some((_, v)) => v.push(elem),
                 None => by_prio.push((priority, vec![elem])),
@@ -151,7 +312,7 @@ impl<'a> Parser<'a> {
             .collect())
     }
 
-    fn rule(&mut self) -> Result<Vec<Statement>, AspError> {
+    fn rule(&mut self, start: usize) -> Result<Vec<Statement>, AspError> {
         let head = if self.at(&TokenKind::If) {
             Head::None
         } else {
@@ -165,10 +326,13 @@ impl<'a> Parser<'a> {
         };
         self.expect(&TokenKind::Dot)?;
         let rule = Rule { head, body };
-        // Expand interval facts: p(1..3). -> p(1). p(2). p(3).
-        let expanded = expand_intervals(rule).map_err(|m| self.error(&m))?;
-        for r in &expanded {
-            r.check_safety()?;
+        // Expand interval facts: p(1..3). -> p(1). p(2). p(3). Errors point
+        // at the start of the offending statement, not past its dot.
+        let expanded = expand_intervals(rule).map_err(|m| self.error_at(start, &m))?;
+        if self.check_safety {
+            for r in &expanded {
+                r.check_safety()?;
+            }
         }
         Ok(expanded.into_iter().map(Statement::Rule).collect())
     }
@@ -188,12 +352,11 @@ impl<'a> Parser<'a> {
             let mut elements = Vec::new();
             if !self.at(&TokenKind::RBrace) {
                 loop {
-                    let atom = self.atom()?;
+                    let atom = self.atom(OccRole::Def)?;
                     let mut condition = Vec::new();
                     if self.at(&TokenKind::Colon) {
                         self.bump();
-                        condition =
-                            self.literals_until(&[TokenKind::Semi, TokenKind::RBrace])?;
+                        condition = self.literals_until(&[TokenKind::Semi, TokenKind::RBrace])?;
                     }
                     elements.push(ChoiceElement { atom, condition });
                     if self.at(&TokenKind::Semi) {
@@ -212,11 +375,15 @@ impl<'a> Parser<'a> {
                 }
                 _ => None,
             };
-            Ok(Head::Choice { lower, upper, elements })
+            Ok(Head::Choice {
+                lower,
+                upper,
+                elements,
+            })
         } else if lower.is_some() {
             Err(self.error("expected `{` after cardinality bound"))
         } else {
-            Ok(Head::Atom(self.atom()?))
+            Ok(Head::Atom(self.atom(OccRole::Def)?))
         }
     }
 
@@ -241,9 +408,10 @@ impl<'a> Parser<'a> {
     fn literal(&mut self) -> Result<Literal, AspError> {
         if self.at(&TokenKind::Not) {
             self.bump();
-            return Ok(Literal::Neg(self.atom()?));
+            return Ok(Literal::Neg(self.atom(OccRole::Neg)?));
         }
         // Parse a term; if a comparison operator follows it is a builtin.
+        let start = self.pos;
         let lhs = self.term()?;
         let op = match self.peek() {
             TokenKind::Eq => Some(CmpOp::Eq),
@@ -260,15 +428,25 @@ impl<'a> Parser<'a> {
             return Ok(Literal::Cmp(op, lhs, rhs));
         }
         match lhs {
-            Term::Const(name) => Ok(Literal::Pos(Atom::prop(name))),
-            Term::Func(name, args) => Ok(Literal::Pos(Atom::new(name, args))),
-            other => Err(self.error(&format!("`{other}` is not a valid literal"))),
+            Term::Const(name) => {
+                let span = self.tok_span(start);
+                self.record(&name, 0, OccRole::Pos, span);
+                Ok(Literal::Pos(Atom::prop(name)))
+            }
+            Term::Func(name, args) => {
+                let span = self.tok_span(start);
+                self.record(&name, args.len(), OccRole::Pos, span);
+                Ok(Literal::Pos(Atom::new(name, args)))
+            }
+            other => Err(self.error_at(start, &format!("`{other}` is not a valid literal"))),
         }
     }
 
-    fn atom(&mut self) -> Result<Atom, AspError> {
+    fn atom(&mut self, role: OccRole) -> Result<Atom, AspError> {
+        let name_idx = self.pos;
         match self.bump() {
             TokenKind::Ident(name) => {
+                let span = self.tok_span(name_idx);
                 if self.at(&TokenKind::LParen) {
                     self.bump();
                     let mut args = vec![self.term()?];
@@ -277,12 +455,14 @@ impl<'a> Parser<'a> {
                         args.push(self.term()?);
                     }
                     self.expect(&TokenKind::RParen)?;
+                    self.record(&name, args.len(), role, span);
                     Ok(Atom::new(name, args))
                 } else {
+                    self.record(&name, 0, role, span);
                     Ok(Atom::prop(name))
                 }
             }
-            other => Err(self.error(&format!("expected atom, found `{other}`"))),
+            other => Err(self.error_at(name_idx, &format!("expected atom, found `{other}`"))),
         }
     }
 
@@ -333,15 +513,14 @@ impl<'a> Parser<'a> {
             let t = self.unary()?;
             return Ok(match t {
                 Term::Int(i) => Term::Int(-i),
-                other => {
-                    Term::BinOp(ArithOp::Sub, Box::new(Term::Int(0)), Box::new(other))
-                }
+                other => Term::BinOp(ArithOp::Sub, Box::new(Term::Int(0)), Box::new(other)),
             });
         }
         self.primary()
     }
 
     fn primary(&mut self) -> Result<Term, AspError> {
+        let start = self.pos;
         match self.bump() {
             TokenKind::Int(i) => Ok(Term::Int(i)),
             TokenKind::Str(s) => Ok(Term::Str(s)),
@@ -365,7 +544,7 @@ impl<'a> Parser<'a> {
                 self.expect(&TokenKind::RParen)?;
                 Ok(t)
             }
-            other => Err(self.error(&format!("expected term, found `{other}`"))),
+            other => Err(self.error_at(start, &format!("expected term, found `{other}`"))),
         }
     }
 }
@@ -382,8 +561,7 @@ fn expand_intervals(rule: Rule) -> Result<Vec<Rule>, String> {
     let head_atom_ranges = match &rule.head {
         Head::Atom(a) => a.args.iter().any(has_range),
         Head::Choice { elements, .. } => elements.iter().any(|e| {
-            e.atom.args.iter().any(has_range)
-                || e.condition.iter().any(literal_has_range)
+            e.atom.args.iter().any(has_range) || e.condition.iter().any(literal_has_range)
         }),
         Head::None => false,
     };
@@ -479,7 +657,10 @@ mod tests {
         let p = parse_ok(":- violated(r1), not acceptable.");
         assert!(matches!(
             &p.statements[0],
-            Statement::Rule(Rule { head: Head::None, .. })
+            Statement::Rule(Rule {
+                head: Head::None,
+                ..
+            })
         ));
     }
 
@@ -487,7 +668,15 @@ mod tests {
     fn parses_choice_rules_with_bounds_and_conditions() {
         let p = parse_ok("1 { active(F) : potential(F) } 2 :- trigger.");
         match &p.statements[0] {
-            Statement::Rule(Rule { head: Head::Choice { lower, upper, elements }, body }) => {
+            Statement::Rule(Rule {
+                head:
+                    Head::Choice {
+                        lower,
+                        upper,
+                        elements,
+                    },
+                body,
+            }) => {
                 assert_eq!(*lower, Some(1));
                 assert_eq!(*upper, Some(2));
                 assert_eq!(elements.len(), 1);
@@ -502,7 +691,15 @@ mod tests {
     fn parses_unbounded_choice() {
         let p = parse_ok("{ a; b; c }.");
         match &p.statements[0] {
-            Statement::Rule(Rule { head: Head::Choice { lower, upper, elements }, .. }) => {
+            Statement::Rule(Rule {
+                head:
+                    Head::Choice {
+                        lower,
+                        upper,
+                        elements,
+                    },
+                ..
+            }) => {
                 assert_eq!(*lower, None);
                 assert_eq!(*upper, None);
                 assert_eq!(elements.len(), 3);
@@ -514,7 +711,10 @@ mod tests {
     #[test]
     fn parses_comparisons_and_arithmetic() {
         let p = parse_ok("p(Y) :- q(X), Y = X + 1, Y < 10, X != 3.");
-        assert_eq!(p.statements[0].to_string(), "p(Y) :- q(X), Y = (X+1), Y < 10, X != 3.");
+        assert_eq!(
+            p.statements[0].to_string(),
+            "p(Y) :- q(X), Y = (X+1), Y < 10, X != 3."
+        );
     }
 
     #[test]
@@ -562,7 +762,13 @@ mod tests {
     #[test]
     fn parses_show_directive() {
         let p = parse_ok("#show violated/1.");
-        assert_eq!(p.statements[0], Statement::Show { pred: "violated".into(), arity: 1 });
+        assert_eq!(
+            p.statements[0],
+            Statement::Show {
+                pred: "violated".into(),
+                arity: 1
+            }
+        );
     }
 
     #[test]
@@ -600,12 +806,114 @@ mod tests {
     #[test]
     fn strings_as_terms() {
         let p = parse_ok(r#"name(c1, "Engineering Workstation")."#);
-        assert!(p.statements[0].to_string().contains("\"Engineering Workstation\""));
+        assert!(p.statements[0]
+            .to_string()
+            .contains("\"Engineering Workstation\""));
     }
 
     #[test]
     fn propositional_atoms() {
         let p = parse_ok("a :- b, not c.");
         assert_eq!(p.statements[0].to_string(), "a :- b, not c.");
+    }
+
+    /// Assert that parsing `src` fails with a message containing `needle`
+    /// anchored at exactly `line`/`column` of the *offending* token.
+    fn assert_error_at(src: &str, needle: &str, line: usize, column: usize) {
+        let err = parse_program(src).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(needle),
+            "`{src}`: expected `{needle}` in `{msg}`"
+        );
+        assert!(
+            msg.contains(&format!("line {line}, column {column}")),
+            "`{src}`: expected line {line}, column {column} in `{msg}`"
+        );
+    }
+
+    #[test]
+    fn show_error_points_at_bad_predicate_name() {
+        assert_error_at("#show 1/2.", "expected predicate name", 1, 7);
+    }
+
+    #[test]
+    fn show_error_points_at_bad_arity() {
+        assert_error_at("#show p/x.", "expected arity", 1, 9);
+    }
+
+    #[test]
+    fn minimize_error_points_at_bad_priority() {
+        assert_error_at("#minimize { 1@p : q }.", "expected priority", 1, 15);
+    }
+
+    #[test]
+    fn atom_error_points_at_offending_token() {
+        assert_error_at(":- not 1.", "expected atom", 1, 8);
+    }
+
+    #[test]
+    fn literal_error_points_at_offending_token() {
+        assert_error_at(":- X.", "is not a valid literal", 1, 4);
+    }
+
+    #[test]
+    fn term_error_points_at_offending_token() {
+        assert_error_at("p(+).", "expected term", 1, 3);
+    }
+
+    #[test]
+    fn interval_error_points_at_statement_start() {
+        assert_error_at(
+            "q(a).\np(X) :- q(1..3).",
+            "only supported in fact heads",
+            2,
+            1,
+        );
+    }
+
+    #[test]
+    fn spanned_parse_keeps_statement_spans_aligned() {
+        let sp = parse_program_spanned("p(a).\nn(1..3).\nq(X) :- p(X).").unwrap();
+        // 1 fact + 3 expanded interval facts + 1 rule.
+        assert_eq!(sp.program.statements.len(), 5);
+        assert_eq!(sp.statement_spans.len(), 5);
+        // Expanded facts share the span of their source statement.
+        assert_eq!(sp.statement_spans[1], sp.statement_spans[2]);
+        assert_eq!(sp.statement_spans[1].line, 2);
+        assert_eq!(sp.statement_spans[4].line, 3);
+        assert_eq!(sp.statement_spans[4].column, 1);
+    }
+
+    #[test]
+    fn spanned_parse_records_occurrence_roles() {
+        let sp = parse_program_spanned("q(X) :- p(X), not r(X).\n#show q/1.").unwrap();
+        let roles: Vec<(&str, OccRole)> = sp
+            .occurrences
+            .iter()
+            .map(|o| (o.pred.as_str(), o.role))
+            .collect();
+        assert_eq!(
+            roles,
+            vec![
+                ("q", OccRole::Def),
+                ("p", OccRole::Pos),
+                ("r", OccRole::Neg),
+                ("q", OccRole::Show)
+            ]
+        );
+        let r = &sp.occurrences[2];
+        assert_eq!((r.span.line, r.span.column, r.span.len), (1, 19, 1));
+        assert_eq!(r.stmt, 0);
+        assert_eq!(sp.occurrences[3].stmt, 1);
+    }
+
+    #[test]
+    fn spanned_parse_tolerates_unsafe_rules() {
+        // `parse_program` rejects this; the lenient entry point keeps it so
+        // the lint pass can report it with a span.
+        let sp = parse_program_spanned("p(X) :- not q(X).").unwrap();
+        assert_eq!(sp.program.statements.len(), 1);
+        assert!(parse_program("p(X) :- not q(X).").is_err());
     }
 }

@@ -148,7 +148,10 @@ impl GroundProgram {
 
     /// Iterate `(id, atom)` pairs.
     pub fn atoms(&self) -> impl Iterator<Item = (AtomId, &Atom)> {
-        self.atoms.iter().enumerate().map(|(i, a)| (AtomId(i as u32), a))
+        self.atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AtomId(i as u32), a))
     }
 
     /// True if an atom should be displayed under the `#show` projection.
@@ -158,7 +161,9 @@ impl GroundProgram {
             return true;
         }
         let a = self.atom(id);
-        self.shows.iter().any(|(p, n)| *p == a.pred && *n == a.args.len())
+        self.shows
+            .iter()
+            .any(|(p, n)| *p == a.pred && *n == a.args.len())
     }
 
     /// Rebuild the internal index (needed after deserialization).
@@ -257,8 +262,16 @@ mod tests {
         let mut g = GroundProgram::new();
         let p = g.intern(Atom::prop("p"));
         let q = g.intern(Atom::prop("q"));
-        g.rules.push(GroundRule { head: GroundHead::Atom(p), pos: vec![q], neg: vec![] });
-        g.rules.push(GroundRule { head: GroundHead::None, pos: vec![], neg: vec![p] });
+        g.rules.push(GroundRule {
+            head: GroundHead::Atom(p),
+            pos: vec![q],
+            neg: vec![],
+        });
+        g.rules.push(GroundRule {
+            head: GroundHead::None,
+            pos: vec![],
+            neg: vec![p],
+        });
         let text = g.to_string();
         assert!(text.contains("p :- q."));
         assert!(text.contains(" :- not p."));

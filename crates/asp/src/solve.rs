@@ -35,7 +35,10 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { max_models: 0, max_decisions: 50_000_000 }
+        SolveOptions {
+            max_models: 0,
+            max_decisions: 50_000_000,
+        }
     }
 }
 
@@ -55,7 +58,9 @@ impl Model {
     /// True if the model contains the given atom.
     #[must_use]
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.atoms.binary_search_by(|a| a.to_string().cmp(&atom.to_string())).is_ok()
+        self.atoms
+            .binary_search_by(|a| a.to_string().cmp(&atom.to_string()))
+            .is_ok()
     }
 
     /// True if the model contains an atom whose display form equals `s`
@@ -138,11 +143,19 @@ impl<'a> Solver<'a> {
     pub fn enumerate(&mut self, opts: &SolveOptions) -> Result<SolveResult, AspError> {
         self.reset();
         let mut models = Vec::new();
-        let exhausted = self.search(opts, &mut |m| {
-            models.push(m);
-            opts.max_models == 0 || models.len() < opts.max_models
-        }, &mut |_| false)?;
-        Ok(SolveResult { models, exhausted, decisions: self.decision_count })
+        let exhausted = self.search(
+            opts,
+            &mut |m| {
+                models.push(m);
+                opts.max_models == 0 || models.len() < opts.max_models
+            },
+            &mut |_| false,
+        )?;
+        Ok(SolveResult {
+            models,
+            exhausted,
+            decisions: self.decision_count,
+        })
     }
 
     /// Find one optimal model w.r.t. the program's `#minimize` statements
@@ -158,10 +171,14 @@ impl<'a> Solver<'a> {
         self.reset();
         if self.g.minimize.is_empty() {
             let mut found = None;
-            self.search(opts, &mut |m| {
-                found = Some(m);
-                false
-            }, &mut |_| false)?;
+            self.search(
+                opts,
+                &mut |m| {
+                    found = Some(m);
+                    false
+                },
+                &mut |_| false,
+            )?;
             return Ok(found);
         }
         // Lower bounds are only sound for pruning at the highest priority;
@@ -173,21 +190,27 @@ impl<'a> Solver<'a> {
         // Shared between the model callback (writer) and the prune hook
         // (reader) without aliasing conflicts.
         let incumbent = std::cell::Cell::new(None::<i64>);
-        self.search(opts, &mut |m| {
-            let better = match &best {
-                None => true,
-                Some(b) => cost_vec(&m) < cost_vec(b),
-            };
-            if better {
-                incumbent.set(m.cost.first().map(|(_, c)| *c));
-                best = Some(m);
-            }
-            true
-        }, &mut |solver| {
-            let Some(bound) = incumbent.get() else { return false };
-            let lb = solver.first_priority_lower_bound(&first_lits);
-            lb > bound || (single_priority && lb >= bound)
-        })?;
+        self.search(
+            opts,
+            &mut |m| {
+                let better = match &best {
+                    None => true,
+                    Some(b) => cost_vec(&m) < cost_vec(b),
+                };
+                if better {
+                    incumbent.set(m.cost.first().map(|(_, c)| *c));
+                    best = Some(m);
+                }
+                true
+            },
+            &mut |solver| {
+                let Some(bound) = incumbent.get() else {
+                    return false;
+                };
+                let lb = solver.first_priority_lower_bound(&first_lits);
+                lb > bound || (single_priority && lb >= bound)
+            },
+        )?;
         Ok(best)
     }
 
@@ -206,7 +229,9 @@ impl<'a> Solver<'a> {
             }
             let definite = l.pos.iter().all(|&p| self.value(p) == Val::True)
                 && l.neg.iter().all(|&q| self.value(q) == Val::False);
-            let entry = per_key.entry((l.weight, l.tuple.as_slice())).or_insert((false, false));
+            let entry = per_key
+                .entry((l.weight, l.tuple.as_slice()))
+                .or_insert((false, false));
             entry.0 |= definite;
             entry.1 |= !definite && l.weight < 0;
         }
@@ -288,7 +313,9 @@ impl<'a> Solver<'a> {
                 Some(a) => {
                     self.decision_count += 1;
                     if self.decision_count > opts.max_decisions {
-                        return Err(AspError::SolveBudget { limit: opts.max_decisions });
+                        return Err(AspError::SolveBudget {
+                            limit: opts.max_decisions,
+                        });
                     }
                     self.decisions.push((a, false));
                     self.trail_lim.push(self.trail.len());
@@ -366,7 +393,10 @@ impl<'a> Solver<'a> {
                 }
             }
         }
-        self.val.iter().position(|v| *v == Val::Unknown).map(|i| i as u32)
+        self.val
+            .iter()
+            .position(|v| *v == Val::Unknown)
+            .map(|i| i as u32)
     }
 
     /// Run propagation to fixpoint; false on conflict.
@@ -608,7 +638,11 @@ impl<'a> Solver<'a> {
                         let key = format!(
                             "{}|{}",
                             l.weight,
-                            l.tuple.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+                            l.tuple
+                                .iter()
+                                .map(ToString::to_string)
+                                .collect::<Vec<_>>()
+                                .join(",")
                         );
                         if counted.insert(key) {
                             total += l.weight;
@@ -618,7 +652,12 @@ impl<'a> Solver<'a> {
                 (*prio, total)
             })
             .collect();
-        Model { atoms, shown, cost, ids }
+        Model {
+            atoms,
+            shown,
+            cost,
+            ids,
+        }
     }
 }
 
@@ -645,7 +684,11 @@ mod tests {
         let mut out: Vec<String> = models
             .iter()
             .map(|m| {
-                m.atoms.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+                m.atoms
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ")
             })
             .collect();
         out.sort();
@@ -778,10 +821,15 @@ mod tests {
 
     #[test]
     fn max_models_stops_early() {
-        let g = Grounder::new().ground(&parse("{ a; b; c }.").unwrap()).unwrap();
+        let g = Grounder::new()
+            .ground(&parse("{ a; b; c }.").unwrap())
+            .unwrap();
         let mut s = Solver::new(&g);
         let r = s
-            .enumerate(&SolveOptions { max_models: 3, ..SolveOptions::default() })
+            .enumerate(&SolveOptions {
+                max_models: 3,
+                ..SolveOptions::default()
+            })
             .unwrap();
         assert_eq!(r.models.len(), 3);
         assert!(!r.exhausted);
@@ -794,7 +842,10 @@ mod tests {
             .unwrap();
         let mut s = Solver::new(&g);
         let err = s
-            .enumerate(&SolveOptions { max_decisions: 2, ..SolveOptions::default() })
+            .enumerate(&SolveOptions {
+                max_decisions: 2,
+                ..SolveOptions::default()
+            })
             .unwrap_err();
         assert!(matches!(err, AspError::SolveBudget { limit: 2 }));
     }
@@ -860,7 +911,10 @@ mod bb_tests {
         let g = Grounder::new().ground(&parse(src).unwrap()).unwrap();
 
         let mut opt_solver = Solver::new(&g);
-        let best = opt_solver.optimize(&SolveOptions::default()).unwrap().unwrap();
+        let best = opt_solver
+            .optimize(&SolveOptions::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(best.cost, vec![(0, 3)]);
         let optimize_decisions = opt_solver.decision_count;
 

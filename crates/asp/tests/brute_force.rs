@@ -47,15 +47,21 @@ fn arb_program(n_atoms: usize) -> impl Strategy<Value = String> {
 
 fn reference_models(src: &str) -> HashSet<Vec<String>> {
     let program: Program = src.parse().expect("generated programs parse");
-    let ground = Grounder::new().ground(&program).expect("generated programs ground");
+    let ground = Grounder::new()
+        .ground(&program)
+        .expect("generated programs ground");
     let n = ground.atom_count();
     let mut out = HashSet::new();
     for mask in 0u32..(1 << n) {
-        let candidate: HashSet<AtomId> =
-            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| AtomId(i as u32)).collect();
+        let candidate: HashSet<AtomId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| AtomId(i as u32))
+            .collect();
         if is_stable_model(&ground, &candidate) {
-            let mut atoms: Vec<String> =
-                candidate.iter().map(|&id| ground.atom(id).to_string()).collect();
+            let mut atoms: Vec<String> = candidate
+                .iter()
+                .map(|&id| ground.atom(id).to_string())
+                .collect();
             atoms.sort();
             out.insert(atoms);
         }
@@ -65,7 +71,9 @@ fn reference_models(src: &str) -> HashSet<Vec<String>> {
 
 fn solver_models(src: &str) -> HashSet<Vec<String>> {
     let program: Program = src.parse().expect("generated programs parse");
-    let ground = Grounder::new().ground(&program).expect("generated programs ground");
+    let ground = Grounder::new()
+        .ground(&program)
+        .expect("generated programs ground");
     let mut solver = Solver::new(&ground);
     let result = solver.enumerate(&SolveOptions::default()).expect("solves");
     assert!(result.exhausted);

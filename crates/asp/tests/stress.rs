@@ -111,7 +111,10 @@ fn wide_choice_with_budgeted_enumeration_cap() {
     let ground = Grounder::new().ground(&program).unwrap();
     let mut solver = Solver::new(&ground);
     let result = solver
-        .enumerate(&SolveOptions { max_models: 100, ..SolveOptions::default() })
+        .enumerate(&SolveOptions {
+            max_models: 100,
+            ..SolveOptions::default()
+        })
         .unwrap();
     assert_eq!(result.models.len(), 100);
     assert!(!result.exhausted);

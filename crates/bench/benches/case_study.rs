@@ -41,11 +41,19 @@ fn bench_case_study(c: &mut Criterion) {
     });
 
     group.bench_function("full_pipeline_unmitigated", |b| {
-        b.iter(|| Assessment::new(black_box(&problem).clone()).run().expect("runs"));
+        b.iter(|| {
+            Assessment::new(black_box(&problem).clone())
+                .run()
+                .expect("runs")
+        });
     });
 
     group.bench_function("full_pipeline_mitigated", |b| {
-        b.iter(|| Assessment::new(black_box(&mitigated).clone()).run().expect("runs"));
+        b.iter(|| {
+            Assessment::new(black_box(&mitigated).clone())
+                .run()
+                .expect("runs")
+        });
     });
 
     group.finish();

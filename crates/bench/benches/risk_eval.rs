@@ -12,7 +12,10 @@ use cpsrisk_risk::{fair::FairInput, iec61508, ora};
 fn bench_risk_eval(c: &mut Criterion) {
     // --- Artifact regeneration (Table I). ---
     println!("\n=== Table I (regenerated) ===\n{}", ora::render_matrix());
-    println!("=== IEC 61508 matrix (regenerated) ===\n{}", iec61508::render_matrix());
+    println!(
+        "=== IEC 61508 matrix (regenerated) ===\n{}",
+        iec61508::render_matrix()
+    );
 
     let mut group = c.benchmark_group("risk_eval");
     group.bench_function("ora_matrix_lookup", |b| {

@@ -29,7 +29,11 @@ fn bench_scenario_scaling(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("grounding_only", n), &n, |b, _| {
             let program = encode(&problem, &EncodeMode::Exhaustive { max_faults: None });
-            b.iter(|| Grounder::new().ground(black_box(&program)).expect("grounds"));
+            b.iter(|| {
+                Grounder::new()
+                    .ground(black_box(&program))
+                    .expect("grounds")
+            });
         });
     }
 

@@ -24,16 +24,21 @@ use rand::{Rng, SeedableRng};
 #[must_use]
 pub fn chain_problem(n: usize) -> EpaProblem {
     let mut m = SystemModel::new(format!("chain_{n}"));
-    m.add_element("ew", "Workstation", ElementKind::Node).expect("valid id");
+    m.add_element("ew", "Workstation", ElementKind::Node)
+        .expect("valid id");
     let mut prev = "ew".to_owned();
     for i in 1..=n {
         let id = format!("d{i}");
-        m.add_element(&id, &format!("Device {i}"), ElementKind::Device).expect("valid id");
-        m.insert_relation(Relation::new(&prev, &id, RelationKind::Flow)).expect("endpoints exist");
+        m.add_element(&id, &format!("Device {i}"), ElementKind::Device)
+            .expect("valid id");
+        m.insert_relation(Relation::new(&prev, &id, RelationKind::Flow))
+            .expect("endpoints exist");
         prev = id;
     }
-    m.add_element("valve", "Valve", ElementKind::Equipment).expect("valid id");
-    m.insert_relation(Relation::new(&prev, "valve", RelationKind::Flow)).expect("endpoints exist");
+    m.add_element("valve", "Valve", ElementKind::Equipment)
+        .expect("valid id");
+    m.insert_relation(Relation::new(&prev, "valve", RelationKind::Flow))
+        .expect("endpoints exist");
 
     let mut mutations = vec![CandidateMutation::spontaneous(
         "f_valve",
@@ -48,9 +53,17 @@ pub fn chain_problem(n: usize) -> EpaProblem {
             "compromised",
         ));
     }
-    let requirements =
-        vec![Requirement::all_of("r1", "valve must not stick", &[("valve", "stuck_at_closed")])];
-    let mitigations = vec![MitigationOption::new("m_ew", "Harden Workstation", &["f_ew"], 100)];
+    let requirements = vec![Requirement::all_of(
+        "r1",
+        "valve must not stick",
+        &[("valve", "stuck_at_closed")],
+    )];
+    let mitigations = vec![MitigationOption::new(
+        "m_ew",
+        "Harden Workstation",
+        &["f_ew"],
+        100,
+    )];
     EpaProblem::new(m, mutations, requirements, mitigations).expect("chain problem validates")
 }
 
@@ -96,7 +109,12 @@ pub fn synthetic_mitigation_problem(n_mit: usize, n_scen: usize, seed: u64) -> M
             AttackScenario::new(&format!("s{i}"), &fs, 100 + rng.gen_range(0..5000))
         })
         .collect();
-    MitigationProblem { candidates, scenarios, coverage: Coverage::Any, periods: 0 }
+    MitigationProblem {
+        candidates,
+        scenarios,
+        coverage: Coverage::Any,
+        periods: 0,
+    }
 }
 
 /// A random decision table with `rows` objects over `attrs` binary
@@ -109,7 +127,13 @@ pub fn random_decision_table(rows: usize, attrs: usize, seed: u64) -> DecisionTa
     let mut table = DecisionTable::new(&names);
     for _ in 0..rows {
         let values: Vec<String> = (0..attrs)
-            .map(|_| if rng.gen_bool(0.5) { "1".to_owned() } else { "0".to_owned() })
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    "1".to_owned()
+                } else {
+                    "0".to_owned()
+                }
+            })
             .collect();
         let noisy = rng.gen_bool(0.1);
         let hazard = (values[0] == "1" && values[1 % attrs] == "1") ^ noisy;
@@ -130,8 +154,7 @@ mod tests {
             let p = chain_problem(n);
             assert_eq!(p.mutations.len(), n + 2);
             // Compromising the workstation reaches the valve down the chain.
-            let out = TopologyAnalysis::new(&p)
-                .evaluate(&cpsrisk_epa::Scenario::of(&["f_ew"]));
+            let out = TopologyAnalysis::new(&p).evaluate(&cpsrisk_epa::Scenario::of(&["f_ew"]));
             assert!(out.violated.contains("r1"), "chain length {n}");
         }
     }

@@ -46,20 +46,24 @@ pub fn water_tank_behavioral() -> Result<MergedModel, CoreError> {
     system.insert_relation(
         Relation::new("output_valve", "tank", RelationKind::Flow).with_label("water_out"),
     )?;
-    system
-        .insert_relation(Relation::new("tank", "tank_ctrl", RelationKind::Flow).with_label("level"))?;
+    system.insert_relation(
+        Relation::new("tank", "tank_ctrl", RelationKind::Flow).with_label("level"),
+    )?;
     system.insert_relation(
         Relation::new("tank_ctrl", "output_valve", RelationKind::Flow).with_label("cmd_out"),
     )?;
-    system
-        .insert_relation(Relation::new("tank_ctrl", "hmi", RelationKind::Flow).with_label("alert"))?;
+    system.insert_relation(
+        Relation::new("tank_ctrl", "hmi", RelationKind::Flow).with_label("alert"),
+    )?;
 
     let mut behaviors = BTreeMap::new();
 
     // Input valve: the production feed is nominally open; stuck-at-open is
     // behaviourally identical (that is exactly why F1 alone is harmless).
     let mut input_valve = QualMachine::new("input_valve", "open").map_err(qr_err)?;
-    input_valve.add_state("open", [("water_in", "on")]).map_err(qr_err)?;
+    input_valve
+        .add_state("open", [("water_in", "on")])
+        .map_err(qr_err)?;
     input_valve
         .add_fault_state("stuck_at_open", [("water_in", "on")])
         .map_err(qr_err)?;
@@ -68,8 +72,12 @@ pub fn water_tank_behavioral() -> Result<MergedModel, CoreError> {
     // Output valve: follows the controller command; stuck-at-closed blocks
     // the drain.
     let mut output_valve = QualMachine::new("output_valve", "closed").map_err(qr_err)?;
-    output_valve.add_state("closed", [("water_out", "off")]).map_err(qr_err)?;
-    output_valve.add_state("open", [("water_out", "on")]).map_err(qr_err)?;
+    output_valve
+        .add_state("closed", [("water_out", "off")])
+        .map_err(qr_err)?;
+    output_valve
+        .add_state("open", [("water_out", "on")])
+        .map_err(qr_err)?;
     output_valve
         .add_fault_state("stuck_at_closed", [("water_out", "off")])
         .map_err(qr_err)?;
@@ -114,28 +122,39 @@ pub fn water_tank_behavioral() -> Result<MergedModel, CoreError> {
     // Controller: proactive drain at `normal`, close at `low`, alarm at
     // `overflow`.
     let mut ctrl = QualMachine::new("tank_ctrl", "idle").map_err(qr_err)?;
-    ctrl.add_state("idle", [("cmd_out", "close"), ("alert", "off")]).map_err(qr_err)?;
-    ctrl.add_state("drain", [("cmd_out", "open"), ("alert", "off")]).map_err(qr_err)?;
-    ctrl.add_state("alarm", [("cmd_out", "open"), ("alert", "on")]).map_err(qr_err)?;
+    ctrl.add_state("idle", [("cmd_out", "close"), ("alert", "off")])
+        .map_err(qr_err)?;
+    ctrl.add_state("drain", [("cmd_out", "open"), ("alert", "off")])
+        .map_err(qr_err)?;
+    ctrl.add_state("alarm", [("cmd_out", "open"), ("alert", "on")])
+        .map_err(qr_err)?;
     ctrl.add_transition("idle", vec![Guard::new("level", "overflow")], "alarm")
         .map_err(qr_err)?;
-    ctrl.add_transition("idle", vec![Guard::new("level", "normal")], "drain").map_err(qr_err)?;
-    ctrl.add_transition("idle", vec![Guard::new("level", "high")], "drain").map_err(qr_err)?;
+    ctrl.add_transition("idle", vec![Guard::new("level", "normal")], "drain")
+        .map_err(qr_err)?;
+    ctrl.add_transition("idle", vec![Guard::new("level", "high")], "drain")
+        .map_err(qr_err)?;
     ctrl.add_transition("idle", vec![Guard::new("level", "very_high")], "drain")
         .map_err(qr_err)?;
     ctrl.add_transition("drain", vec![Guard::new("level", "overflow")], "alarm")
         .map_err(qr_err)?;
-    ctrl.add_transition("drain", vec![Guard::new("level", "low")], "idle").map_err(qr_err)?;
-    ctrl.add_transition("alarm", vec![Guard::new("level", "high")], "drain").map_err(qr_err)?;
+    ctrl.add_transition("drain", vec![Guard::new("level", "low")], "idle")
+        .map_err(qr_err)?;
+    ctrl.add_transition("alarm", vec![Guard::new("level", "high")], "drain")
+        .map_err(qr_err)?;
     behaviors.insert("tank_ctrl".to_owned(), ctrl);
 
     // HMI: shows the alert unless silenced.
     let mut hmi = QualMachine::new("hmi", "quiet").map_err(qr_err)?;
     hmi.add_state("quiet", [("shown", "off")]).map_err(qr_err)?;
-    hmi.add_state("alerting", [("shown", "on")]).map_err(qr_err)?;
-    hmi.add_fault_state("no_signal", [("shown", "off")]).map_err(qr_err)?;
-    hmi.add_transition("quiet", vec![Guard::new("alert", "on")], "alerting").map_err(qr_err)?;
-    hmi.add_transition("alerting", vec![Guard::new("alert", "off")], "quiet").map_err(qr_err)?;
+    hmi.add_state("alerting", [("shown", "on")])
+        .map_err(qr_err)?;
+    hmi.add_fault_state("no_signal", [("shown", "off")])
+        .map_err(qr_err)?;
+    hmi.add_transition("quiet", vec![Guard::new("alert", "on")], "alerting")
+        .map_err(qr_err)?;
+    hmi.add_transition("alerting", vec![Guard::new("alert", "off")], "quiet")
+        .map_err(qr_err)?;
     behaviors.insert("hmi".to_owned(), hmi);
 
     Ok(MergedModel { system, behaviors })
@@ -170,7 +189,10 @@ pub fn behavioral_verdicts(
             }
         };
     }
-    let r1 = ("r1".to_owned(), parse_ltl("G !state(tank, overflow)").map_err(CoreError::from)?);
+    let r1 = (
+        "r1".to_owned(),
+        parse_ltl("G !state(tank, overflow)").map_err(CoreError::from)?,
+    );
     let r2 = (
         "r2".to_owned(),
         parse_ltl("G( state(tank, overflow) -> F state(hmi, alerting) )")
@@ -211,11 +233,11 @@ mod tests {
         // S3–S7 of Table II (the F4 row needs the IT layer, covered by the
         // topology engine; behaviour covers the physical subset).
         let expected: [(&[&str], bool, bool); 5] = [
-            (&["f1"], false, false),          // S3
-            (&["f2"], true, false),           // S4
-            (&["f2", "f3"], true, true),      // S5
-            (&["f1", "f3"], false, false),    // S6
-            (&["f1", "f2", "f3"], true, true),// S7
+            (&["f1"], false, false),           // S3
+            (&["f2"], true, false),            // S4
+            (&["f2", "f3"], true, true),       // S5
+            (&["f1", "f3"], false, false),     // S6
+            (&["f1", "f2", "f3"], true, true), // S7
         ];
         for (faults, r1, r2) in expected {
             let (got_r1, got_r2, outcome) = behavioral_verdicts(faults, HORIZON).unwrap();
@@ -262,7 +284,10 @@ mod tests {
             .iter()
             .filter_map(|s| s.get("tank").map(String::as_str))
             .collect();
-        let overflow_at = bands.iter().position(|b| *b == "overflow").expect("overflows");
+        let overflow_at = bands
+            .iter()
+            .position(|b| *b == "overflow")
+            .expect("overflows");
         assert_eq!(
             &bands[..=overflow_at],
             &["low", "normal", "high", "very_high", "overflow"]

@@ -6,6 +6,7 @@
 //! cpsrisk paths                  shortest attack paths on the case study
 //! cpsrisk matrices               print the O-RA and IEC 61508 matrices
 //! cpsrisk solve <file.lp>        run the embedded ASP solver on a program
+//! cpsrisk lint [file.lp ...]     static-analyze ASP programs / the case study
 //! cpsrisk simulate f1,f2         simulate the plant under a fault set
 //! ```
 
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
         "paths" => paths(),
         "matrices" => matrices(),
         "solve" => solve(&args[1..]),
+        "lint" => lint(&args[1..]),
         "simulate" => simulate(&args[1..]),
         "help" | "--help" | "-h" => {
             print_help();
@@ -66,6 +68,11 @@ fn print_help() {
          \x20 paths                  shortest attack paths from exposed assets\n\
          \x20 matrices               print the O-RA (Table I) and IEC 61508 matrices\n\
          \x20 solve <file.lp>        solve an ASP program with the embedded engine\n\
+         \x20                        (lint gate: errors abort, warnings go to stderr)\n\
+         \x20 lint [--deny-warnings] [file.lp ...]\n\
+         \x20                        static-analyze ASP programs (codes A000-A008);\n\
+         \x20                        without files, lint the water-tank case study\n\
+         \x20                        model (M001-M007) and its ASP encoding\n\
          \x20 simulate <f1,f2,...>   simulate the continuous plant under a fault set\n\
          \x20 help                   this message"
     );
@@ -103,7 +110,10 @@ fn assess(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if let Some((sel, cost)) = &report.recommendation {
-        println!("recommendation: {sel} (cost {cost}, residual {})", report.residual_loss);
+        println!(
+            "recommendation: {sel} (cost {cost}, residual {})",
+            report.residual_loss
+        );
     }
     for phase in &report.phases {
         println!("{phase}");
@@ -134,6 +144,15 @@ fn matrices() -> Result<(), Box<dyn std::error::Error>> {
 fn solve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("usage: cpsrisk solve <file.lp>")?;
     let src = std::fs::read_to_string(path)?;
+    // Lint gate: error diagnostics abort the solve; warnings and infos go
+    // to stderr but do not block.
+    let diags = cpsrisk::asp::lint::lint_source(&src);
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    if cpsrisk::asp::diag::has_errors(&diags) {
+        return Err(format!("`{path}` has lint errors; aborting solve").into());
+    }
     let program = cpsrisk::asp::parse(&src)?;
     let ground = cpsrisk::asp::Grounder::new().ground(&program)?;
     let mut solver = cpsrisk::asp::Solver::new(&ground);
@@ -148,6 +167,56 @@ fn solve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             Some(m) => println!("Optimum: {m}\ncost: {:?}", m.cost),
             None => println!("UNSATISFIABLE"),
         }
+    }
+    Ok(())
+}
+
+fn lint(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.starts_with("--") && *a != "--deny-warnings")
+    {
+        return Err(format!("unknown lint flag `{bad}` (try --deny-warnings)").into());
+    }
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut all: Vec<cpsrisk::asp::Diagnostic> = Vec::new();
+    if files.is_empty() {
+        // Lint the shipped case study: the system model, then its
+        // exhaustive ASP encoding.
+        let problem = casestudy::water_tank_problem(&[])?;
+        let model_diags = cpsrisk::model::lint_model(&problem.model);
+        for d in &model_diags {
+            println!("model: {d}");
+        }
+        let program = cpsrisk::epa::encode::encode(
+            &problem,
+            &cpsrisk::epa::encode::EncodeMode::Exhaustive { max_faults: None },
+        );
+        let asp_diags = cpsrisk::asp::lint::lint_source(&program.to_string());
+        for d in &asp_diags {
+            println!("encoding: {d}");
+        }
+        all.extend(model_diags);
+        all.extend(asp_diags);
+    } else {
+        for path in files {
+            let src = std::fs::read_to_string(path)?;
+            let diags = cpsrisk::asp::lint::lint_source(&src);
+            for d in &diags {
+                println!("{path}: {d}");
+            }
+            all.extend(diags);
+        }
+    }
+    let errors = all.iter().filter(|d| d.is_error()).count();
+    let warnings = all.iter().filter(|d| d.is_warning()).count();
+    println!(
+        "{errors} error(s), {warnings} warning(s), {} finding(s)",
+        all.len()
+    );
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        return Err("lint failed".into());
     }
     Ok(())
 }

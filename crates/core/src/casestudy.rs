@@ -43,19 +43,25 @@ pub fn water_tank_model() -> Result<SystemModel, CoreError> {
     // Control layer.
     m.insert_element(lib.instantiate("level_sensor", "level_sensor", "Water Level Sensor")?)?;
     m.insert_element(lib.instantiate("plc_controller", "tank_ctrl", "Water Tank Controller")?)?;
-    m.insert_element(
-        lib.instantiate("plc_controller", "input_valve_ctrl", "Input Valve Controller")?,
-    )?;
-    m.insert_element(
-        lib.instantiate("plc_controller", "output_valve_ctrl", "Output Valve Controller")?,
-    )?;
+    m.insert_element(lib.instantiate(
+        "plc_controller",
+        "input_valve_ctrl",
+        "Input Valve Controller",
+    )?)?;
+    m.insert_element(lib.instantiate(
+        "plc_controller",
+        "output_valve_ctrl",
+        "Output Valve Controller",
+    )?)?;
 
     // Supervision and IT.
     m.insert_element(lib.instantiate("hmi", "hmi", "Human-Machine Interface")?)?;
     m.add_element("operator", "Operator", ElementKind::BusinessActor)?;
-    m.insert_element(
-        lib.instantiate("engineering_workstation", "ew", "Engineering Workstation")?,
-    )?;
+    m.insert_element(lib.instantiate(
+        "engineering_workstation",
+        "ew",
+        "Engineering Workstation",
+    )?)?;
     m.insert_element(lib.instantiate("office_network", "office_net", "Office Network")?)?;
     m.insert_element(lib.instantiate("control_network", "control_net", "Control Network")?)?;
 
@@ -70,7 +76,11 @@ pub fn water_tank_model() -> Result<SystemModel, CoreError> {
             .with_flow(FlowKind::Quantity)
             .with_label("water_out"),
     )?;
-    m.insert_relation(Relation::new("level_sensor", "tank", RelationKind::Association))?;
+    m.insert_relation(Relation::new(
+        "level_sensor",
+        "tank",
+        RelationKind::Association,
+    ))?;
 
     // Signal flows.
     m.insert_relation(
@@ -106,8 +116,14 @@ pub fn water_tank_model() -> Result<SystemModel, CoreError> {
             .with_technique("t0865")
             .with_technique("t0866"),
     )?;
-    m.annotate("hmi", SecurityAnnotation::new(Exposure::ControlNetwork, Qual::High))?;
-    m.annotate("tank", SecurityAnnotation::new(Exposure::PhysicalOnly, Qual::VeryHigh))?;
+    m.annotate(
+        "hmi",
+        SecurityAnnotation::new(Exposure::ControlNetwork, Qual::High),
+    )?;
+    m.annotate(
+        "tank",
+        SecurityAnnotation::new(Exposure::PhysicalOnly, Qual::VeryHigh),
+    )?;
     m.validate()?;
     Ok(m)
 }
@@ -330,8 +346,10 @@ mod tests {
     #[test]
     fn table_ii_matches_the_paper() {
         let rows = table_ii().unwrap();
-        let verdicts: Vec<(bool, bool)> =
-            rows.iter().map(|r| (r.violated_r1, r.violated_r2)).collect();
+        let verdicts: Vec<(bool, bool)> = rows
+            .iter()
+            .map(|r| (r.violated_r1, r.violated_r2))
+            .collect();
         assert_eq!(
             verdicts,
             vec![
@@ -363,7 +381,12 @@ mod tests {
         for row in table_ii().unwrap() {
             let ids: Vec<&str> = row.faults.iter().map(String::as_str).collect();
             let (r1, r2) = tank.ground_truth(&map(&ids));
-            assert_eq!((row.violated_r1, row.violated_r2), (r1, r2), "row {}", row.label);
+            assert_eq!(
+                (row.violated_r1, row.violated_r2),
+                (r1, r2),
+                "row {}",
+                row.label
+            );
         }
     }
 
@@ -371,14 +394,20 @@ mod tests {
     fn s2_with_mitigations_active_is_blocked() {
         let problem = water_tank_problem(&["m1", "m2"]).unwrap();
         let out = TopologyAnalysis::new(&problem).evaluate(&Scenario::of(&["f4"]));
-        assert!(!out.is_hazard(), "activating M1+M2 excludes the S2 scenario");
+        assert!(
+            !out.is_hazard(),
+            "activating M1+M2 excludes the S2 scenario"
+        );
     }
 
     #[test]
     fn one_mitigation_is_not_enough_for_f4() {
         let problem = water_tank_problem(&["m1"]).unwrap();
         let out = TopologyAnalysis::new(&problem).evaluate(&Scenario::of(&["f4"]));
-        assert!(out.is_hazard(), "Listing-1 semantics: all mitigations required");
+        assert!(
+            out.is_hazard(),
+            "Listing-1 semantics: all mitigations required"
+        );
     }
 
     #[test]

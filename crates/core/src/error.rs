@@ -17,6 +17,8 @@ pub enum CoreError {
     Temporal(cpsrisk_temporal::TemporalError),
     /// Invalid pipeline configuration.
     Config(String),
+    /// Static analysis found error-severity diagnostics (the lint gate).
+    Lint(Vec<cpsrisk_asp::Diagnostic>),
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +30,14 @@ impl fmt::Display for CoreError {
             CoreError::Asp(e) => write!(f, "asp: {e}"),
             CoreError::Temporal(e) => write!(f, "temporal: {e}"),
             CoreError::Config(m) => write!(f, "config: {m}"),
+            CoreError::Lint(diags) => {
+                let errors = diags.iter().filter(|d| d.is_error()).count();
+                write!(f, "lint: {errors} error(s)")?;
+                for d in diags {
+                    write!(f, "\n{d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -114,7 +114,9 @@ impl PlantOracle {
     /// An oracle over the default plant configuration.
     #[must_use]
     pub fn new() -> Self {
-        PlantOracle { tank: WaterTank::new(SimConfig::default()) }
+        PlantOracle {
+            tank: WaterTank::new(SimConfig::default()),
+        }
     }
 }
 
@@ -202,7 +204,10 @@ mod tests {
 
         let report = detailed_focus(&coarse, usize::MAX, &PlantOracle::new());
         let refinement = report.refinement.unwrap();
-        assert!(!refinement.spurious.is_empty(), "f1-only findings are refuted");
+        assert!(
+            !refinement.spurious.is_empty(),
+            "f1-only findings are refuted"
+        );
         // No-hazard-overlooked: every confirmed hazard matches the plant.
         for h in &report.hazards {
             for r in &h.violated {

@@ -42,10 +42,10 @@
 pub mod behavioral_casestudy;
 pub mod casestudy;
 pub mod error;
-pub mod uncertain;
 pub mod hierarchy;
 pub mod pipeline;
 pub mod report;
+pub mod uncertain;
 
 pub use error::CoreError;
 pub use pipeline::{Assessment, AssessmentReport, RatedHazard};

@@ -4,7 +4,6 @@ use cpsrisk_epa::cegar::{refine_hazards, ConcreteOracle};
 use cpsrisk_epa::encode::analyze_exhaustive;
 use cpsrisk_epa::sensitivity::{sensitivity_sweep, SensitivityFinding};
 use cpsrisk_epa::{EpaProblem, ScenarioOutcome, TopologyAnalysis};
-use std::rc::Rc;
 use cpsrisk_mitigation::{
     best_under_budget, consolidation_plan, AttackScenario, Coverage, MitigationCandidate,
     MitigationProblem, Phase, Selection,
@@ -12,6 +11,7 @@ use cpsrisk_mitigation::{
 use cpsrisk_qr::Qual;
 use cpsrisk_risk::ora;
 use serde::{Deserialize, Serialize};
+use std::rc::Rc;
 
 use crate::error::CoreError;
 
@@ -52,6 +52,11 @@ pub struct AssessmentReport {
     /// oracle): `(outcome, refuted requirement ids)`.
     #[serde(skip)]
     pub spurious: Vec<(ScenarioOutcome, std::collections::BTreeSet<String>)>,
+    /// Advisory static-analysis findings on the system model (codes
+    /// `M004`…`M007`; error-severity findings abort [`Assessment::run`]
+    /// instead of landing here).
+    #[serde(default)]
+    pub lint: Vec<cpsrisk_asp::Diagnostic>,
 }
 
 /// Pipeline driver.
@@ -153,6 +158,12 @@ impl Assessment {
     pub fn run(&self) -> Result<AssessmentReport, CoreError> {
         // Steps 1–2 happened at problem construction; re-validate defensively.
         self.problem.model.validate()?;
+        // Static-analysis gate: structural errors already aborted above;
+        // advisory findings ride along in the report.
+        let lint = cpsrisk_model::lint_model(&self.problem.model);
+        if cpsrisk_asp::diag::has_errors(&lint) {
+            return Err(CoreError::Lint(lint));
+        }
 
         // Steps 3–4: exhaustive hazard identification.
         let outcomes = if self.use_asp {
@@ -177,8 +188,7 @@ impl Assessment {
         }
 
         // Step 6: qualitative risk rating per hazard.
-        let mut hazards: Vec<RatedHazard> =
-            hazard_outcomes.iter().map(|o| self.rate(o)).collect();
+        let mut hazards: Vec<RatedHazard> = hazard_outcomes.iter().map(|o| self.rate(o)).collect();
         hazards.sort_by(|a, b| {
             b.risk
                 .cmp(&a.risk)
@@ -189,7 +199,11 @@ impl Assessment {
         // Step 7: mitigation strategy over the minimal hazards.
         let mitigation_problem = self.mitigation_problem(&minimal_hazards);
         let budget = self.budget.unwrap_or_else(|| {
-            mitigation_problem.candidates.iter().map(|c| c.total_cost(1)).sum()
+            mitigation_problem
+                .candidates
+                .iter()
+                .map(|c| c.total_cost(1))
+                .sum()
         });
         let selection = best_under_budget(&mitigation_problem, budget);
         let residual_loss = mitigation_problem.residual_loss(&selection);
@@ -220,6 +234,7 @@ impl Assessment {
             phases,
             sensitivity,
             spurious,
+            lint,
         })
     }
 
@@ -279,7 +294,12 @@ impl Assessment {
                 }
             })
             .collect();
-        MitigationProblem { candidates, scenarios, coverage: Coverage::Any, periods: 1 }
+        MitigationProblem {
+            candidates,
+            scenarios,
+            coverage: Coverage::Any,
+            periods: 1,
+        }
     }
 }
 
@@ -330,7 +350,10 @@ mod tests {
         let problem = casestudy::water_tank_problem(&["m1", "m2"]).unwrap();
         let report = Assessment::new(problem).run().unwrap();
         // f4 is blocked: only the f2-chains remain hazardous.
-        assert!(report.hazards.iter().all(|h| !h.outcome.scenario.contains("f4")));
+        assert!(report
+            .hazards
+            .iter()
+            .all(|h| !h.outcome.scenario.contains("f4")));
         assert_eq!(report.outcomes.len(), 8, "2^3 — f4 is no longer potential");
     }
 
@@ -373,8 +396,12 @@ mod tests {
         let report = Assessment::new(problem).with_sensitivity().run().unwrap();
         assert!(!report.sensitivity.is_empty());
         // Dropping f2 or f4 must be among the most impactful decisions.
-        let top_two: Vec<String> =
-            report.sensitivity.iter().take(2).map(|f| f.decision.to_string()).collect();
+        let top_two: Vec<String> = report
+            .sensitivity
+            .iter()
+            .take(2)
+            .map(|f| f.decision.to_string())
+            .collect();
         assert!(
             top_two.iter().any(|d| d.contains("f2") || d.contains("f4")),
             "top decisions: {top_two:?}"

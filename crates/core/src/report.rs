@@ -26,7 +26,13 @@ pub fn render_table_ii(rows: &[TableIiRow]) -> String {
     out.push_str("     | F1   F2   F3   F4 | M1      M2      | R1        R2\n");
     out.push_str("-----+-------------------+-----------------+---------------------\n");
     for row in rows {
-        let fault = |id: &str| if row.faults.iter().any(|f| f == id) { "*" } else { " " };
+        let fault = |id: &str| {
+            if row.faults.iter().any(|f| f == id) {
+                "*"
+            } else {
+                " "
+            }
+        };
         let mit = |id: &str| {
             if row.mitigations.iter().any(|m| m == id) {
                 "Active"

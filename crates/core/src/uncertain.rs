@@ -154,7 +154,11 @@ pub fn evaluate_uncertain(
             } else {
                 BTreeSet::new()
             };
-            UncertainVerdict { requirement: r.id.clone(), region, decisive_unknowns }
+            UncertainVerdict {
+                requirement: r.id.clone(),
+                region,
+                decisive_unknowns,
+            }
         })
         .collect()
 }
@@ -179,7 +183,10 @@ pub fn to_decision_table(
             .iter()
             .map(|u| if completion.contains(u) { "1" } else { "0" })
             .collect();
-        let violated = analysis.evaluate(&completion).violated.contains(requirement);
+        let violated = analysis
+            .evaluate(&completion)
+            .violated
+            .contains(requirement);
         table.add_row(&values, if violated { "violated" } else { "safe" });
     }
     table

@@ -70,10 +70,7 @@ fn traversable(model: &SystemModel, component: &str) -> bool {
 /// (compromisable) components; the final edge may reach a physical target
 /// (fault induction).
 #[must_use]
-pub fn shortest_attack_paths(
-    problem: &EpaProblem,
-    min_exposure: Exposure,
-) -> Vec<AttackPath> {
+pub fn shortest_attack_paths(problem: &EpaProblem, min_exposure: Exposure) -> Vec<AttackPath> {
     let model = &problem.model;
     let entries: Vec<String> = model
         .annotations()
@@ -121,14 +118,17 @@ pub fn shortest_attack_paths(
                 .relations()
                 .filter_map(|r| r.propagates_from(&r.source).and(Some(r)))
                 .filter_map(|r| {
-                    [(r.source.as_str(), r.target.as_str()), (r.target.as_str(), r.source.as_str())]
-                        .into_iter()
-                        .find(|(from, to)| {
-                            *to == m.component
-                                && parent.contains_key(*from)
-                                && r.propagates_from(from) == Some(*to)
-                        })
-                        .map(|(from, _)| reconstruct(from))
+                    [
+                        (r.source.as_str(), r.target.as_str()),
+                        (r.target.as_str(), r.source.as_str()),
+                    ]
+                    .into_iter()
+                    .find(|(from, to)| {
+                        *to == m.component
+                            && parent.contains_key(*from)
+                            && r.propagates_from(from) == Some(*to)
+                    })
+                    .map(|(from, _)| reconstruct(from))
                 })
                 .min_by_key(Vec::len)
         } {
@@ -153,12 +153,17 @@ mod tests {
 
     fn problem() -> EpaProblem {
         let mut m = SystemModel::new("paths");
-        m.add_element("internet_gw", "Gateway", ElementKind::Node).unwrap();
-        m.add_element("ws", "Workstation", ElementKind::Node).unwrap();
+        m.add_element("internet_gw", "Gateway", ElementKind::Node)
+            .unwrap();
+        m.add_element("ws", "Workstation", ElementKind::Node)
+            .unwrap();
         m.add_element("plc", "PLC", ElementKind::Device).unwrap();
-        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
-        m.add_element("island", "Isolated Box", ElementKind::Node).unwrap();
-        m.add_relation("internet_gw", "ws", RelationKind::Flow).unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment)
+            .unwrap();
+        m.add_element("island", "Isolated Box", ElementKind::Node)
+            .unwrap();
+        m.add_relation("internet_gw", "ws", RelationKind::Flow)
+            .unwrap();
         m.add_relation("ws", "plc", RelationKind::Flow).unwrap();
         m.add_relation("plc", "valve", RelationKind::Flow).unwrap();
         m.annotate(
@@ -166,8 +171,11 @@ mod tests {
             SecurityAnnotation::new(Exposure::Public, Qual::Medium),
         )
         .unwrap();
-        m.annotate("island", SecurityAnnotation::new(Exposure::PhysicalOnly, Qual::Low))
-            .unwrap();
+        m.annotate(
+            "island",
+            SecurityAnnotation::new(Exposure::PhysicalOnly, Qual::Low),
+        )
+        .unwrap();
         let mutations = vec![
             CandidateMutation::spontaneous("f_valve", "valve", "stuck_at_closed"),
             CandidateMutation::spontaneous("f_plc", "plc", "compromised"),
@@ -179,7 +187,10 @@ mod tests {
     #[test]
     fn reaches_the_physical_target_through_the_chain() {
         let paths = shortest_attack_paths(&problem(), Exposure::Public);
-        let valve = paths.iter().find(|p| p.target == "valve").expect("valve reachable");
+        let valve = paths
+            .iter()
+            .find(|p| p.target == "valve")
+            .expect("valve reachable");
         assert_eq!(valve.hops, vec!["internet_gw", "ws", "plc"]);
         assert_eq!(valve.induced_mode, "stuck_at_closed");
         assert_eq!(valve.entry, "internet_gw");
@@ -188,7 +199,10 @@ mod tests {
     #[test]
     fn compromisable_intermediates_are_targets_too() {
         let paths = shortest_attack_paths(&problem(), Exposure::Public);
-        let plc = paths.iter().find(|p| p.target == "plc").expect("plc reachable");
+        let plc = paths
+            .iter()
+            .find(|p| p.target == "plc")
+            .expect("plc reachable");
         assert_eq!(plc.hops.last().map(String::as_str), Some("plc"));
     }
 
@@ -237,15 +251,24 @@ mod tests {
         // Reuse the real case study via the core crate is a cycle; rebuild
         // the essential subgraph here.
         m.add_element("ew", "EW", ElementKind::Node).unwrap();
-        m.add_element("net", "Net", ElementKind::CommunicationNetwork).unwrap();
-        m.add_element("hmi", "HMI", ElementKind::ApplicationComponent).unwrap();
-        m.add_element("vctrl", "Valve Ctl", ElementKind::Device).unwrap();
-        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
+        m.add_element("net", "Net", ElementKind::CommunicationNetwork)
+            .unwrap();
+        m.add_element("hmi", "HMI", ElementKind::ApplicationComponent)
+            .unwrap();
+        m.add_element("vctrl", "Valve Ctl", ElementKind::Device)
+            .unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment)
+            .unwrap();
         m.add_relation("ew", "net", RelationKind::Flow).unwrap();
         m.add_relation("net", "hmi", RelationKind::Flow).unwrap();
         m.add_relation("net", "vctrl", RelationKind::Flow).unwrap();
-        m.add_relation("vctrl", "valve", RelationKind::Flow).unwrap();
-        m.annotate("ew", SecurityAnnotation::new(Exposure::Corporate, Qual::High)).unwrap();
+        m.add_relation("vctrl", "valve", RelationKind::Flow)
+            .unwrap();
+        m.annotate(
+            "ew",
+            SecurityAnnotation::new(Exposure::Corporate, Qual::High),
+        )
+        .unwrap();
         let p = EpaProblem::new(
             m,
             vec![

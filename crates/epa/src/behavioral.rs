@@ -71,8 +71,10 @@ pub fn analyze_behavior(
     let program = b.finish();
     let ground = Grounder::new().ground(&program)?;
     let mut solver = Solver::new(&ground);
-    let result =
-        solver.enumerate(&SolveOptions { max_models: 1, ..SolveOptions::default() })?;
+    let result = solver.enumerate(&SolveOptions {
+        max_models: 1,
+        ..SolveOptions::default()
+    })?;
     let model = result.models.first().ok_or(EpaError::NoModel)?;
 
     let violated = req_atoms
@@ -92,7 +94,10 @@ pub fn analyze_behavior(
             }
         }
     }
-    Ok(BehavioralOutcome { violated, trajectory })
+    Ok(BehavioralOutcome {
+        violated,
+        trajectory,
+    })
 }
 
 /// Emit the synchronous-product encoding of all machines.
@@ -114,15 +119,16 @@ fn encode_machines(
         }
         let Some(var) = &r.label else { continue };
         if merged.behaviors.contains_key(&r.source) && merged.behaviors.contains_key(&r.target) {
-            b.fact("wire", [Term::sym(&r.source), Term::sym(var), Term::sym(&r.target)]);
+            b.fact(
+                "wire",
+                [Term::sym(&r.source), Term::sym(var), Term::sym(&r.target)],
+            );
         }
     }
     // in(Dst, Var, Level, T) :- wire(Src, Var, Dst), out(Src, Var, Level, T).
     b.append(
-        cpsrisk_asp::parse(
-            "in(Dst, Var, L, T) :- wire(Src, Var, Dst), out(Src, Var, L, T).",
-        )
-        .expect("static encoding parses"),
+        cpsrisk_asp::parse("in(Dst, Var, L, T) :- wire(Src, Var, Dst), out(Src, Var, L, T).")
+            .expect("static encoding parses"),
     );
 
     for (cid, machine) in &merged.behaviors {
@@ -139,7 +145,10 @@ fn encode_machines(
             ));
             b.append(p);
         } else {
-            b.fact("state", [Term::sym(cid), Term::sym(machine.initial()), Term::Int(0)]);
+            b.fact(
+                "state",
+                [Term::sym(cid), Term::sym(machine.initial()), Term::Int(0)],
+            );
             // Transitions (guards over in/4) + frame rule.
             let mut p = cpsrisk_asp::Program::new();
             for (ti, tr) in machine_transitions(machine).iter().enumerate() {
@@ -172,7 +181,10 @@ fn encode_machines(
                     )));
                 }
                 p.push_rule(Rule::normal(
-                    Atom::new("state", vec![Term::sym(cid), Term::sym(&tr.2), Term::var("T2")]),
+                    Atom::new(
+                        "state",
+                        vec![Term::sym(cid), Term::sym(&tr.2), Term::var("T2")],
+                    ),
                     body.clone(),
                 ));
                 // moved marker for the frame rule.
@@ -191,7 +203,10 @@ fn encode_machines(
                 ))],
             ));
             p.push_rule(Rule::normal(
-                Atom::new("state", vec![Term::sym(cid), Term::var("S"), Term::var("T2")]),
+                Atom::new(
+                    "state",
+                    vec![Term::sym(cid), Term::var("S"), Term::var("T2")],
+                ),
                 vec![
                     Literal::Pos(Atom::new(
                         "state",
@@ -208,10 +223,7 @@ fn encode_machines(
                         ),
                     ),
                     Literal::Pos(Atom::new("time", vec![Term::var("T2")])),
-                    Literal::Neg(Atom::new(
-                        "any_moved",
-                        vec![Term::sym(cid), Term::var("T")],
-                    )),
+                    Literal::Neg(Atom::new("any_moved", vec![Term::sym(cid), Term::var("T")])),
                 ],
             ));
             b.append(p);
@@ -224,7 +236,12 @@ fn encode_machines(
                 p.push_rule(Rule::normal(
                     Atom::new(
                         "out",
-                        vec![Term::sym(cid), Term::sym(&var), Term::sym(&level), Term::var("T")],
+                        vec![
+                            Term::sym(cid),
+                            Term::sym(&var),
+                            Term::sym(&level),
+                            Term::var("T"),
+                        ],
                     ),
                     vec![Literal::Pos(Atom::new(
                         "state",
@@ -269,17 +286,19 @@ mod tests {
     /// valve --water--> tank; tank climbs while water=on, sinks while off.
     fn merged(valve_initial: &str) -> MergedModel {
         let mut m = SystemModel::new("beh");
-        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
-        m.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
-        m.insert_relation(
-            Relation::new("valve", "tank", RelationKind::Flow).with_label("water"),
-        )
-        .unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment)
+            .unwrap();
+        m.add_element("tank", "Tank", ElementKind::Equipment)
+            .unwrap();
+        m.insert_relation(Relation::new("valve", "tank", RelationKind::Flow).with_label("water"))
+            .unwrap();
 
         let mut valve = QualMachine::new("valve", valve_initial).unwrap();
         valve.add_state("closed", [("water", "off")]).unwrap();
         valve.add_state("open", [("water", "on")]).unwrap();
-        valve.add_fault_state("stuck_open", [("water", "on")]).unwrap();
+        valve
+            .add_fault_state("stuck_open", [("water", "on")])
+            .unwrap();
 
         let mut tank = QualMachine::new("tank", "low").unwrap();
         tank.add_state("low", [("level", "low")]).unwrap();
@@ -287,26 +306,33 @@ mod tests {
         tank.add_state("high", [("level", "high")]).unwrap();
         tank.add_state("overflow", [("level", "overflow")]).unwrap();
         for (a, b) in [("low", "normal"), ("normal", "high"), ("high", "overflow")] {
-            tank.add_transition(a, vec![Guard::new("water", "on")], b).unwrap();
+            tank.add_transition(a, vec![Guard::new("water", "on")], b)
+                .unwrap();
         }
         for (a, b) in [("overflow", "high"), ("high", "normal"), ("normal", "low")] {
-            tank.add_transition(a, vec![Guard::new("water", "off")], b).unwrap();
+            tank.add_transition(a, vec![Guard::new("water", "off")], b)
+                .unwrap();
         }
 
         let mut behaviors = BTreeMap::new();
         behaviors.insert("valve".to_owned(), valve);
         behaviors.insert("tank".to_owned(), tank);
-        MergedModel { system: m, behaviors }
+        MergedModel {
+            system: m,
+            behaviors,
+        }
     }
 
     fn r1() -> (String, Ltl) {
-        ("r1".to_owned(), parse_ltl("G !state(tank, overflow)").unwrap())
+        (
+            "r1".to_owned(),
+            parse_ltl("G !state(tank, overflow)").unwrap(),
+        )
     }
 
     #[test]
     fn nominal_closed_valve_is_safe() {
-        let out =
-            analyze_behavior(&merged("closed"), &BTreeMap::new(), &[r1()], 6).unwrap();
+        let out = analyze_behavior(&merged("closed"), &BTreeMap::new(), &[r1()], 6).unwrap();
         assert!(out.violated.is_empty());
         // Tank stays low the whole time.
         for step in &out.trajectory {
@@ -346,8 +372,7 @@ mod tests {
 
     #[test]
     fn missing_behavior_is_reported() {
-        let faulted: BTreeMap<String, String> =
-            [("ghost".to_owned(), "stuck".to_owned())].into();
+        let faulted: BTreeMap<String, String> = [("ghost".to_owned(), "stuck".to_owned())].into();
         assert!(matches!(
             analyze_behavior(&merged("closed"), &faulted, &[r1()], 4),
             Err(EpaError::MissingBehavior(_))
@@ -364,6 +389,9 @@ mod tests {
             [("valve".to_owned(), "stuck_open".to_owned())].into();
         let out = analyze_behavior(&merged("closed"), &faulted, &[r1(), r2], 6).unwrap();
         assert!(out.violated.contains("r1"));
-        assert!(!out.violated.contains("r_reach_high"), "F high is satisfied");
+        assert!(
+            !out.violated.contains("r_reach_high"),
+            "F high is satisfied"
+        );
     }
 }

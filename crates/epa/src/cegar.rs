@@ -62,10 +62,7 @@ impl CegarResult {
 /// requirements are moved to the spurious list. A hazard none of whose
 /// violations survive is dropped from `confirmed` entirely (it was fully
 /// spurious).
-pub fn refine_hazards(
-    hazards: &[ScenarioOutcome],
-    oracle: &dyn ConcreteOracle,
-) -> CegarResult {
+pub fn refine_hazards(hazards: &[ScenarioOutcome], oracle: &dyn ConcreteOracle) -> CegarResult {
     let mut confirmed = Vec::new();
     let mut spurious = Vec::new();
     let mut oracle_calls = 0usize;
@@ -89,7 +86,11 @@ pub fn refine_hazards(
             confirmed.push(c);
         }
     }
-    CegarResult { confirmed, spurious, oracle_calls }
+    CegarResult {
+        confirmed,
+        spurious,
+        oracle_calls,
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +133,11 @@ mod tests {
         let result = refine_hazards(&hazards, &oracle);
         assert_eq!(result.confirmed.len(), 1);
         assert_eq!(
-            result.confirmed[0].violated.iter().cloned().collect::<Vec<_>>(),
+            result.confirmed[0]
+                .violated
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>(),
             vec!["r1"]
         );
         assert_eq!(result.spurious.len(), 1);

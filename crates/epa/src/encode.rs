@@ -38,7 +38,10 @@ pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
     // Fault universe.
     for m in &problem.mutations {
         b.fact("fault", [Term::sym(&m.id)]);
-        b.fact("fault_component", [Term::sym(&m.id), Term::sym(&m.component)]);
+        b.fact(
+            "fault_component",
+            [Term::sym(&m.id), Term::sym(&m.component)],
+        );
         b.fact("fault_mode_name", [Term::sym(&m.id), Term::sym(&m.mode)]);
         b.fact(
             "fault_severity",
@@ -56,7 +59,10 @@ pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
         for f in &mit.blocks {
             b.fact("mitigation", [Term::sym(f), Term::sym(&mit.id)]);
         }
-        b.fact("mitigation_cost", [Term::sym(&mit.id), Term::Int(mit.cost as i64)]);
+        b.fact(
+            "mitigation_cost",
+            [Term::sym(&mit.id), Term::Int(mit.cost as i64)],
+        );
         if problem.active_mitigations.contains(&mit.id) {
             for f in &mit.blocks {
                 if let Some(m) = problem.mutation(f) {
@@ -143,11 +149,17 @@ pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
 ///
 /// [`EpaError::Asp`] on grounding/solving failure, [`EpaError::NoModel`]
 /// if the (deterministic) program is inconsistent.
-pub fn analyze_fixed(problem: &EpaProblem, scenario: &Scenario) -> Result<ScenarioOutcome, EpaError> {
+pub fn analyze_fixed(
+    problem: &EpaProblem,
+    scenario: &Scenario,
+) -> Result<ScenarioOutcome, EpaError> {
     let program = encode(problem, &EncodeMode::Fixed(scenario.clone()));
     let ground = Grounder::new().ground(&program)?;
     let mut solver = Solver::new(&ground);
-    let result = solver.enumerate(&SolveOptions { max_models: 1, ..SolveOptions::default() })?;
+    let result = solver.enumerate(&SolveOptions {
+        max_models: 1,
+        ..SolveOptions::default()
+    })?;
     let model = result.models.first().ok_or(EpaError::NoModel)?;
     Ok(outcome_from_model(scenario.clone(), model))
 }
@@ -254,7 +266,11 @@ fn outcome_from_model(scenario: Scenario, model: &cpsrisk_asp::Model) -> Scenari
         .iter()
         .filter_map(|a| a.args.first().map(ToString::to_string))
         .collect();
-    ScenarioOutcome { scenario, effective_modes, violated }
+    ScenarioOutcome {
+        scenario,
+        effective_modes,
+        violated,
+    }
 }
 
 #[cfg(test)]
@@ -269,12 +285,18 @@ mod tests {
 
     fn problem() -> EpaProblem {
         let mut m = SystemModel::new("mini");
-        m.add_element("ew", "Workstation", ElementKind::Node).unwrap();
-        m.add_element("net", "Control Net", ElementKind::CommunicationNetwork).unwrap();
-        m.add_element("ctrl", "Valve Controller", ElementKind::Device).unwrap();
-        m.add_element("hmi", "HMI", ElementKind::ApplicationComponent).unwrap();
-        m.add_element("valve", "Output Valve", ElementKind::Equipment).unwrap();
-        m.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
+        m.add_element("ew", "Workstation", ElementKind::Node)
+            .unwrap();
+        m.add_element("net", "Control Net", ElementKind::CommunicationNetwork)
+            .unwrap();
+        m.add_element("ctrl", "Valve Controller", ElementKind::Device)
+            .unwrap();
+        m.add_element("hmi", "HMI", ElementKind::ApplicationComponent)
+            .unwrap();
+        m.add_element("valve", "Output Valve", ElementKind::Equipment)
+            .unwrap();
+        m.add_element("tank", "Tank", ElementKind::Equipment)
+            .unwrap();
         m.add_relation("ew", "net", RelationKind::Flow).unwrap();
         m.add_relation("net", "ctrl", RelationKind::Flow).unwrap();
         m.add_relation("net", "hmi", RelationKind::Flow).unwrap();
@@ -390,7 +412,9 @@ mod tests {
         p.activate_mitigation("m2").unwrap();
         // The workstation route is blocked; the attack must use the direct
         // valve fault.
-        let (scenario, _) = cheapest_attack(&p, "r1").unwrap().expect("still attackable");
+        let (scenario, _) = cheapest_attack(&p, "r1")
+            .unwrap()
+            .expect("still attackable");
         assert_eq!(scenario, Scenario::of(&["f_valve_closed"]));
     }
 

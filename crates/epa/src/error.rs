@@ -31,7 +31,10 @@ impl fmt::Display for EpaError {
             EpaError::Temporal(e) => write!(f, "temporal error: {e}"),
             EpaError::NoModel => write!(f, "analysis produced no model"),
             EpaError::MissingBehavior(c) => {
-                write!(f, "component `{c}` has no behaviour machine for detailed analysis")
+                write!(
+                    f,
+                    "component `{c}` has no behaviour machine for detailed analysis"
+                )
             }
         }
     }

@@ -103,7 +103,13 @@ pub fn inject_mutations(
         };
         // Spontaneous faults from the library.
         for mode in library.fault_modes(type_name) {
-            push(&e.id, mode, MutationSource::Spontaneous, Qual::Medium, Qual::Low);
+            push(
+                &e.id,
+                mode,
+                MutationSource::Spontaneous,
+                Qual::Medium,
+                Qual::Low,
+            );
         }
         // Vulnerability-induced faults.
         for v in catalog.vulnerabilities_for_type(type_name) {
@@ -187,9 +193,13 @@ mod tests {
             .unwrap();
         ws.properties.clear();
         m.insert_element(ws).unwrap();
-        m.insert_element(lib.instantiate("valve_actuator", "out_valve", "Output Valve").unwrap())
+        m.insert_element(
+            lib.instantiate("valve_actuator", "out_valve", "Output Valve")
+                .unwrap(),
+        )
+        .unwrap();
+        m.add_element("untyped", "No Type", ElementKind::Node)
             .unwrap();
-        m.add_element("untyped", "No Type", ElementKind::Node).unwrap();
         (m, lib)
     }
 

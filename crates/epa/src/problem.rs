@@ -204,7 +204,8 @@ impl EpaProblem {
     /// Severity of a fault (by id); `VeryLow` if unknown.
     #[must_use]
     pub fn severity(&self, fault_id: &str) -> Qual {
-        self.mutation(fault_id).map_or(Qual::VeryLow, |m| m.severity)
+        self.mutation(fault_id)
+            .map_or(Qual::VeryLow, |m| m.severity)
     }
 }
 

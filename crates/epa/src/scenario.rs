@@ -22,7 +22,9 @@ impl Scenario {
     /// A scenario from fault ids.
     #[must_use]
     pub fn of(faults: &[&str]) -> Self {
-        Scenario { faults: faults.iter().map(|s| (*s).to_owned()).collect() }
+        Scenario {
+            faults: faults.iter().map(|s| (*s).to_owned()).collect(),
+        }
     }
 
     /// Activate a fault.
@@ -56,7 +58,9 @@ impl Scenario {
 
 impl FromIterator<String> for Scenario {
     fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
-        Scenario { faults: iter.into_iter().collect() }
+        Scenario {
+            faults: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -128,7 +132,10 @@ impl ScenarioSpace {
             .filter(|m| !problem.fault_blocked(&m.id))
             .map(|m| m.id.clone())
             .collect();
-        ScenarioSpace { potential, max_faults }
+        ScenarioSpace {
+            potential,
+            max_faults,
+        }
     }
 
     /// Number of potential faults.
@@ -156,9 +163,13 @@ impl ScenarioSpace {
     pub fn iter(&self) -> impl Iterator<Item = Scenario> + '_ {
         let n = self.potential.len();
         let bound = self.max_faults.min(n);
-        (0..=bound).flat_map(move |k| Combinations::new(n, k).map(move |idxs| {
-            idxs.into_iter().map(|i| self.potential[i].clone()).collect()
-        }))
+        (0..=bound).flat_map(move |k| {
+            Combinations::new(n, k).map(move |idxs| {
+                idxs.into_iter()
+                    .map(|i| self.potential[i].clone())
+                    .collect()
+            })
+        })
     }
 }
 

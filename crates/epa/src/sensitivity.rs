@@ -73,8 +73,9 @@ impl fmt::Display for SensitivityFinding {
 /// diff counts exactly the hazards that would be missed or invented.
 #[must_use]
 pub fn sensitivity_sweep(problem: &EpaProblem, max_faults: usize) -> Vec<SensitivityFinding> {
-    let scenarios: Vec<Scenario> =
-        crate::scenario::ScenarioSpace::new(problem, max_faults).iter().collect();
+    let scenarios: Vec<Scenario> = crate::scenario::ScenarioSpace::new(problem, max_faults)
+        .iter()
+        .collect();
     let baseline = verdicts(problem, &scenarios);
     let mut findings = Vec::new();
 
@@ -94,7 +95,11 @@ pub fn sensitivity_sweep(problem: &EpaProblem, max_faults: usize) -> Vec<Sensiti
                 .expect("mitigation exists in the clone");
         }
         let v = verdicts(&variant, &scenarios);
-        findings.push(diff(Decision::ToggleMitigation(mit.id.clone()), &baseline, &v));
+        findings.push(diff(
+            Decision::ToggleMitigation(mit.id.clone()),
+            &baseline,
+            &v,
+        ));
     }
     findings.sort_by(|a, b| {
         b.flipped_verdicts
@@ -106,10 +111,7 @@ pub fn sensitivity_sweep(problem: &EpaProblem, max_faults: usize) -> Vec<Sensiti
 
 /// Verdicts of a problem over a fixed scenario list:
 /// `(scenario, requirement) → violated`.
-fn verdicts(
-    problem: &EpaProblem,
-    scenarios: &[Scenario],
-) -> BTreeMap<(Scenario, String), bool> {
+fn verdicts(problem: &EpaProblem, scenarios: &[Scenario]) -> BTreeMap<(Scenario, String), bool> {
     let analysis = TopologyAnalysis::new(problem);
     let mut out = BTreeMap::new();
     for s in scenarios {
@@ -132,7 +134,11 @@ fn diff(
             flipped += 1;
         }
     }
-    SensitivityFinding { decision, flipped_verdicts: flipped, total_verdicts: baseline.len() }
+    SensitivityFinding {
+        decision,
+        flipped_verdicts: flipped,
+        total_verdicts: baseline.len(),
+    }
 }
 
 #[cfg(test)]
@@ -144,14 +150,18 @@ mod tests {
 
     fn problem() -> EpaProblem {
         let mut m = SystemModel::new("s");
-        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment)
+            .unwrap();
         m.add_element("aux", "Aux", ElementKind::Device).unwrap();
         let mutations = vec![
             CandidateMutation::spontaneous("f_v", "valve", "stuck_at_closed"),
             CandidateMutation::spontaneous("f_aux", "aux", "no_signal"),
         ];
-        let requirements =
-            vec![Requirement::all_of("r1", "no overflow", &[("valve", "stuck_at_closed")])];
+        let requirements = vec![Requirement::all_of(
+            "r1",
+            "no overflow",
+            &[("valve", "stuck_at_closed")],
+        )];
         let mitigations = vec![MitigationOption::new("m_v", "Valve Guard", &["f_v"], 10)];
         EpaProblem::new(m, mutations, requirements, mitigations).unwrap()
     }

@@ -103,7 +103,11 @@ impl<'a> TopologyAnalysis<'a> {
             .map(|r| r.id.clone())
             .collect();
 
-        ScenarioOutcome { scenario: scenario.clone(), effective_modes: effective, violated }
+        ScenarioOutcome {
+            scenario: scenario.clone(),
+            effective_modes: effective,
+            violated,
+        }
     }
 
     /// Evaluate every scenario up to `max_faults` simultaneous faults.
@@ -155,12 +159,18 @@ mod tests {
     /// A miniature of the case study: ew -> net -> {ctrl, hmi}, ctrl -> valve.
     fn problem() -> EpaProblem {
         let mut m = SystemModel::new("mini");
-        m.add_element("ew", "Workstation", ElementKind::Node).unwrap();
-        m.add_element("net", "Control Net", ElementKind::CommunicationNetwork).unwrap();
-        m.add_element("ctrl", "Valve Controller", ElementKind::Device).unwrap();
-        m.add_element("hmi", "HMI", ElementKind::ApplicationComponent).unwrap();
-        m.add_element("valve", "Output Valve", ElementKind::Equipment).unwrap();
-        m.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
+        m.add_element("ew", "Workstation", ElementKind::Node)
+            .unwrap();
+        m.add_element("net", "Control Net", ElementKind::CommunicationNetwork)
+            .unwrap();
+        m.add_element("ctrl", "Valve Controller", ElementKind::Device)
+            .unwrap();
+        m.add_element("hmi", "HMI", ElementKind::ApplicationComponent)
+            .unwrap();
+        m.add_element("valve", "Output Valve", ElementKind::Equipment)
+            .unwrap();
+        m.add_element("tank", "Tank", ElementKind::Equipment)
+            .unwrap();
         m.add_relation("ew", "net", RelationKind::Flow).unwrap();
         m.add_relation("net", "ctrl", RelationKind::Flow).unwrap();
         m.add_relation("net", "hmi", RelationKind::Flow).unwrap();
@@ -222,12 +232,22 @@ mod tests {
         let p = problem();
         let out = TopologyAnalysis::new(&p).evaluate(&Scenario::of(&["f_ew_comp"]));
         // Lateral movement: net, ctrl, hmi compromised; valve (physical) not.
-        assert!(out.effective_modes.contains(&("net".into(), "compromised".into())));
-        assert!(out.effective_modes.contains(&("hmi".into(), "compromised".into())));
-        assert!(!out.effective_modes.contains(&("valve".into(), "compromised".into())));
+        assert!(out
+            .effective_modes
+            .contains(&("net".into(), "compromised".into())));
+        assert!(out
+            .effective_modes
+            .contains(&("hmi".into(), "compromised".into())));
+        assert!(!out
+            .effective_modes
+            .contains(&("valve".into(), "compromised".into())));
         // Induction: valve stuck and HMI silenced.
-        assert!(out.effective_modes.contains(&("valve".into(), "stuck_at_closed".into())));
-        assert!(out.effective_modes.contains(&("hmi".into(), "no_signal".into())));
+        assert!(out
+            .effective_modes
+            .contains(&("valve".into(), "stuck_at_closed".into())));
+        assert!(out
+            .effective_modes
+            .contains(&("hmi".into(), "no_signal".into())));
         // Both requirements violated — the paper's S2 row.
         assert!(out.violated.contains("r1") && out.violated.contains("r2"));
     }
@@ -263,7 +283,9 @@ mod tests {
         assert!(minimal
             .iter()
             .any(|h| h.scenario == Scenario::of(&["f_valve_closed"])));
-        assert!(minimal.iter().any(|h| h.scenario == Scenario::of(&["f_ew_comp"])));
+        assert!(minimal
+            .iter()
+            .any(|h| h.scenario == Scenario::of(&["f_ew_comp"])));
         assert!(minimal
             .iter()
             .any(|h| h.scenario == Scenario::of(&["f_valve_closed", "f_hmi_mute"])));

@@ -20,7 +20,10 @@ use crate::tree::{FaultTree, Gate};
 /// conditions (no propagation knowledge).
 #[must_use]
 pub fn tree_from_requirement(problem: &EpaProblem, requirement_id: &str) -> Option<FaultTree> {
-    let req = problem.requirements.iter().find(|r| r.id == requirement_id)?;
+    let req = problem
+        .requirements
+        .iter()
+        .find(|r| r.id == requirement_id)?;
     let mut branches = Vec::new();
     for group in &req.violated_when {
         let mut conj = Vec::new();
@@ -134,17 +137,23 @@ mod tests {
     /// The mini case study with an attack path ew -> ctrl -> valve.
     fn problem() -> EpaProblem {
         let mut m = SystemModel::new("mini");
-        m.add_element("ew", "Workstation", ElementKind::Node).unwrap();
-        m.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
-        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
+        m.add_element("ew", "Workstation", ElementKind::Node)
+            .unwrap();
+        m.add_element("ctrl", "Controller", ElementKind::Device)
+            .unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment)
+            .unwrap();
         m.add_relation("ew", "ctrl", RelationKind::Flow).unwrap();
         m.add_relation("ctrl", "valve", RelationKind::Flow).unwrap();
         let mutations = vec![
             CandidateMutation::spontaneous("f_valve", "valve", "stuck_at_closed"),
             CandidateMutation::spontaneous("f_ew", "ew", "compromised"),
         ];
-        let requirements =
-            vec![Requirement::all_of("r1", "no overflow", &[("valve", "stuck_at_closed")])];
+        let requirements = vec![Requirement::all_of(
+            "r1",
+            "no overflow",
+            &[("valve", "stuck_at_closed")],
+        )];
         let mitigations: Vec<MitigationOption> = vec![];
         EpaProblem::new(m, mutations, requirements, mitigations).unwrap()
     }
@@ -156,7 +165,10 @@ mod tests {
         let direct: BTreeSet<String> = ["f_valve".to_owned()].into();
         assert!(tree.triggered_by(&direct));
         let unrelated: BTreeSet<String> = ["f_ew".to_owned()].into();
-        assert!(!tree.triggered_by(&unrelated), "FTA has no propagation knowledge");
+        assert!(
+            !tree.triggered_by(&unrelated),
+            "FTA has no propagation knowledge"
+        );
     }
 
     #[test]

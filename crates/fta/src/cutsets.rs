@@ -19,7 +19,9 @@ impl CutSet {
     /// A cut set over event ids.
     #[must_use]
     pub fn of(ids: &[&str]) -> Self {
-        CutSet { events: ids.iter().map(|s| (*s).to_owned()).collect() }
+        CutSet {
+            events: ids.iter().map(|s| (*s).to_owned()).collect(),
+        }
     }
 
     /// Order (number of events) of the cut set.
@@ -37,7 +39,11 @@ impl CutSet {
 
 impl fmt::Display for CutSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{{{}}}", self.events.iter().cloned().collect::<Vec<_>>().join(","))
+        write!(
+            f,
+            "{{{}}}",
+            self.events.iter().cloned().collect::<Vec<_>>().join(",")
+        )
     }
 }
 
@@ -147,7 +153,10 @@ mod tests {
     #[test]
     fn or_of_basics_gives_singletons() {
         let g = Gate::or_of(&["a", "b"]);
-        assert_eq!(minimal_cut_sets(&g), vec![CutSet::of(&["a"]), CutSet::of(&["b"])]);
+        assert_eq!(
+            minimal_cut_sets(&g),
+            vec![CutSet::of(&["a"]), CutSet::of(&["b"])]
+        );
     }
 
     #[test]
@@ -168,7 +177,10 @@ mod tests {
 
     #[test]
     fn two_of_three_voting_expansion() {
-        let g = Gate::KOfN(2, vec![Gate::basic("a"), Gate::basic("b"), Gate::basic("c")]);
+        let g = Gate::KOfN(
+            2,
+            vec![Gate::basic("a"), Gate::basic("b"), Gate::basic("c")],
+        );
         let cs = minimal_cut_sets(&g);
         assert_eq!(
             cs,
@@ -184,7 +196,10 @@ mod tests {
     fn cut_sets_actually_trigger_the_tree() {
         let g = Gate::Or(vec![
             Gate::and_of(&["a", "b"]),
-            Gate::KOfN(2, vec![Gate::basic("c"), Gate::basic("d"), Gate::basic("e")]),
+            Gate::KOfN(
+                2,
+                vec![Gate::basic("c"), Gate::basic("d"), Gate::basic("e")],
+            ),
         ]);
         for cs in minimal_cut_sets(&g) {
             assert!(g.evaluate(&cs.events), "cut set {cs} must trigger");

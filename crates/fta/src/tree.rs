@@ -128,7 +128,10 @@ impl FaultTree {
     /// Create a tree.
     #[must_use]
     pub fn new(top_event: &str, root: Gate) -> Self {
-        FaultTree { top_event: top_event.to_owned(), root }
+        FaultTree {
+            top_event: top_event.to_owned(),
+            root,
+        }
     }
 
     /// Does the given basic-event set trigger the top event?
@@ -163,7 +166,10 @@ mod tests {
 
     #[test]
     fn voting_gate() {
-        let g = Gate::KOfN(2, vec![Gate::basic("a"), Gate::basic("b"), Gate::basic("c")]);
+        let g = Gate::KOfN(
+            2,
+            vec![Gate::basic("a"), Gate::basic("b"), Gate::basic("c")],
+        );
         assert!(!g.evaluate(&events(&["a"])));
         assert!(g.evaluate(&events(&["a", "c"])));
         assert!(g.evaluate(&events(&["a", "b", "c"])));
@@ -186,7 +192,13 @@ mod tests {
 
     #[test]
     fn empty_gates_are_degenerate_but_total() {
-        assert!(Gate::And(vec![]).evaluate(&events(&[])), "empty AND is true");
-        assert!(!Gate::Or(vec![]).evaluate(&events(&[])), "empty OR is false");
+        assert!(
+            Gate::And(vec![]).evaluate(&events(&[])),
+            "empty AND is true"
+        );
+        assert!(
+            !Gate::Or(vec![]).evaluate(&events(&[])),
+            "empty OR is false"
+        );
     }
 }

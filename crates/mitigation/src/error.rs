@@ -17,7 +17,9 @@ pub enum MitigationError {
 impl fmt::Display for MitigationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MitigationError::Infeasible => write!(f, "no mitigation selection blocks all scenarios"),
+            MitigationError::Infeasible => {
+                write!(f, "no mitigation selection blocks all scenarios")
+            }
             MitigationError::Asp(e) => write!(f, "asp error: {e}"),
             MitigationError::UncoverableScenario(s) => {
                 write!(f, "scenario `{s}` cannot be blocked by any selection")

@@ -57,7 +57,13 @@ fn bb(
     let cand = &problem.candidates[idx];
     // Include.
     current.ids.insert(cand.id.clone());
-    bb(problem, idx + 1, cost_so_far + cand.total_cost(problem.periods), current, best);
+    bb(
+        problem,
+        idx + 1,
+        cost_so_far + cand.total_cost(problem.periods),
+        current,
+        best,
+    );
     current.ids.remove(&cand.id);
     // Exclude.
     bb(problem, idx + 1, cost_so_far, current, best);
@@ -87,8 +93,7 @@ pub fn greedy_cover(problem: &MitigationProblem) -> Result<Selection, Mitigation
                 .scenarios
                 .iter()
                 .filter(|s| {
-                    !problem.scenario_blocked(&selection, s)
-                        && problem.scenario_blocked(&trial, s)
+                    !problem.scenario_blocked(&selection, s) && problem.scenario_blocked(&trial, s)
                 })
                 .map(|s| s.loss.max(1))
                 .sum();
@@ -122,7 +127,10 @@ pub fn min_cost_blocking_asp(problem: &MitigationProblem) -> Result<Selection, M
         b.fact("mitigation", [Term::sym(&c.id)]);
         b.fact(
             "mit_cost",
-            [Term::sym(&c.id), Term::Int(c.total_cost(problem.periods) as i64)],
+            [
+                Term::sym(&c.id),
+                Term::Int(c.total_cost(problem.periods) as i64),
+            ],
         );
         for f in &c.blocks {
             b.fact("blocks", [Term::sym(&c.id), Term::sym(f)]);
@@ -160,7 +168,9 @@ pub fn min_cost_blocking_asp(problem: &MitigationProblem) -> Result<Selection, M
     );
 
     let program = b.finish();
-    let ground = Grounder::new().ground(&program).map_err(MitigationError::from)?;
+    let ground = Grounder::new()
+        .ground(&program)
+        .map_err(MitigationError::from)?;
     let mut solver = Solver::new(&ground);
     let best = solver
         .optimize(&SolveOptions::default())
@@ -277,10 +287,17 @@ mod tests {
     #[test]
     fn infeasible_problems_are_reported() {
         let mut p = problem();
-        p.scenarios.push(AttackScenario::new("s_unstoppable", &["f_unknown"], 9999));
-        assert!(matches!(branch_and_bound(&p), Err(MitigationError::Infeasible)));
+        p.scenarios
+            .push(AttackScenario::new("s_unstoppable", &["f_unknown"], 9999));
+        assert!(matches!(
+            branch_and_bound(&p),
+            Err(MitigationError::Infeasible)
+        ));
         assert!(matches!(greedy_cover(&p), Err(MitigationError::Infeasible)));
-        assert!(matches!(min_cost_blocking_asp(&p), Err(MitigationError::Infeasible)));
+        assert!(matches!(
+            min_cost_blocking_asp(&p),
+            Err(MitigationError::Infeasible)
+        ));
     }
 
     #[test]

@@ -60,8 +60,9 @@ pub fn consolidation_plan(problem: &MitigationProblem, budgets: &[u64]) -> Vec<P
                 }
                 let mut trial = owned.clone();
                 trial.ids.insert(c.id.clone());
-                let gain =
-                    problem.residual_loss(&owned).saturating_sub(problem.residual_loss(&trial));
+                let gain = problem
+                    .residual_loss(&owned)
+                    .saturating_sub(problem.residual_loss(&trial));
                 if gain == 0 {
                     continue;
                 }
@@ -153,7 +154,8 @@ mod tests {
     #[test]
     fn useless_mitigations_are_never_bought() {
         let mut p = problem();
-        p.candidates.push(MitigationCandidate::new("noop", "Noop", 1, &["f_nothing"]));
+        p.candidates
+            .push(MitigationCandidate::new("noop", "Noop", 1, &["f_nothing"]));
         let phases = consolidation_plan(&p, &[1000]);
         assert!(!phases[0].acquired.contains(&"noop".to_owned()));
     }

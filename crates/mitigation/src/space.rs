@@ -111,13 +111,19 @@ impl Selection {
     /// A selection of ids.
     #[must_use]
     pub fn of(ids: &[&str]) -> Self {
-        Selection { ids: ids.iter().map(|s| (*s).to_owned()).collect() }
+        Selection {
+            ids: ids.iter().map(|s| (*s).to_owned()).collect(),
+        }
     }
 }
 
 impl fmt::Display for Selection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{{{}}}", self.ids.iter().cloned().collect::<Vec<_>>().join(","))
+        write!(
+            f,
+            "{{{}}}",
+            self.ids.iter().cloned().collect::<Vec<_>>().join(",")
+        )
     }
 }
 
@@ -152,7 +158,10 @@ impl MitigationProblem {
     /// Is the scenario blocked (some fault of its chain blocked)?
     #[must_use]
     pub fn scenario_blocked(&self, selection: &Selection, scenario: &AttackScenario) -> bool {
-        scenario.faults.iter().any(|f| self.fault_blocked(selection, f))
+        scenario
+            .faults
+            .iter()
+            .any(|f| self.fault_blocked(selection, f))
     }
 
     /// Residual loss: the summed losses of scenarios the selection fails to
@@ -169,7 +178,9 @@ impl MitigationProblem {
     /// Does the selection block every scenario?
     #[must_use]
     pub fn blocks_all(&self, selection: &Selection) -> bool {
-        self.scenarios.iter().all(|s| self.scenario_blocked(selection, s))
+        self.scenarios
+            .iter()
+            .all(|s| self.scenario_blocked(selection, s))
     }
 
     /// Scenarios feasible for an attacker with the given resources
@@ -209,7 +220,10 @@ mod tests {
         let sel = Selection::of(&["m1"]);
         assert!(p.fault_blocked(&sel, "f_phish"));
         assert!(!p.fault_blocked(&sel, "f_malware"));
-        assert!(p.scenario_blocked(&sel, &p.scenarios[0]), "chain broken at phishing");
+        assert!(
+            p.scenario_blocked(&sel, &p.scenarios[0]),
+            "chain broken at phishing"
+        );
         assert!(!p.scenario_blocked(&sel, &p.scenarios[1]));
     }
 

@@ -54,7 +54,11 @@ impl AspectModel {
     /// A new aspect over a fragment.
     #[must_use]
     pub fn new(concern: Concern, fragment: SystemModel) -> Self {
-        AspectModel { concern, fragment, behaviors: BTreeMap::new() }
+        AspectModel {
+            concern,
+            fragment,
+            behaviors: BTreeMap::new(),
+        }
     }
 
     /// Attach a behaviour machine to an element of this aspect.
@@ -88,10 +92,7 @@ pub struct MergedModel {
 /// * [`ModelError::Invalid`] on conflicting element kinds across aspects or
 ///   conflicting behaviours for the same element,
 /// * validation errors from the merged structure.
-pub fn merge_aspects(
-    name: &str,
-    aspects: &[AspectModel],
-) -> Result<MergedModel, ModelError> {
+pub fn merge_aspects(name: &str, aspects: &[AspectModel]) -> Result<MergedModel, ModelError> {
     let mut system = SystemModel::new(name);
     let mut behaviors: BTreeMap<String, QualMachine> = BTreeMap::new();
     for aspect in aspects {
@@ -126,15 +127,18 @@ mod tests {
 
     fn arch() -> AspectModel {
         let mut m = SystemModel::new("arch");
-        m.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
-        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
+        m.add_element("ctrl", "Controller", ElementKind::Device)
+            .unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment)
+            .unwrap();
         m.add_relation("ctrl", "valve", RelationKind::Flow).unwrap();
         AspectModel::new(Concern::Architecture, m)
     }
 
     fn dynamics() -> AspectModel {
         let mut m = SystemModel::new("dyn");
-        m.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment)
+            .unwrap();
         let mut a = AspectModel::new(Concern::Dynamics, m);
         let mut machine = QualMachine::new("valve", "closed").unwrap();
         machine.add_state("open", [("flow", "positive")]).unwrap();
@@ -144,9 +148,12 @@ mod tests {
 
     fn deployment() -> AspectModel {
         let mut m = SystemModel::new("deploy");
-        m.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
-        m.add_element("fw", "Firmware", ElementKind::SystemSoftware).unwrap();
-        m.add_relation("ctrl", "fw", RelationKind::Composition).unwrap();
+        m.add_element("ctrl", "Controller", ElementKind::Device)
+            .unwrap();
+        m.add_element("fw", "Firmware", ElementKind::SystemSoftware)
+            .unwrap();
+        m.add_relation("ctrl", "fw", RelationKind::Composition)
+            .unwrap();
         AspectModel::new(Concern::Deployment, m)
     }
 
@@ -162,7 +169,10 @@ mod tests {
     fn behavior_on_unknown_element_is_rejected() {
         let mut a = dynamics();
         let m = QualMachine::new("ghost", "s").unwrap();
-        assert!(matches!(a.add_behavior("ghost", m), Err(ModelError::UnknownElement(_))));
+        assert!(matches!(
+            a.add_behavior("ghost", m),
+            Err(ModelError::UnknownElement(_))
+        ));
     }
 
     #[test]

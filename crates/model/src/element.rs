@@ -206,7 +206,10 @@ mod tests {
     #[test]
     fn kinds_map_to_layers() {
         assert_eq!(ElementKind::BusinessActor.layer(), Layer::Business);
-        assert_eq!(ElementKind::ApplicationComponent.layer(), Layer::Application);
+        assert_eq!(
+            ElementKind::ApplicationComponent.layer(),
+            Layer::Application
+        );
         assert_eq!(ElementKind::Device.layer(), Layer::Technology);
         assert_eq!(ElementKind::Equipment.layer(), Layer::Physical);
         for k in ElementKind::ALL {

@@ -36,9 +36,17 @@ impl fmt::Display for ModelError {
             ModelError::DuplicateElement(id) => write!(f, "duplicate element id `{id}`"),
             ModelError::UnknownElement(id) => write!(f, "unknown element `{id}`"),
             ModelError::BadIdentifier(id) => {
-                write!(f, "element id `{id}` is not a valid identifier ([a-z][a-z0-9_]*)")
+                write!(
+                    f,
+                    "element id `{id}` is not a valid identifier ([a-z][a-z0-9_]*)"
+                )
             }
-            ModelError::IllegalRelation { kind, source, target, reason } => {
+            ModelError::IllegalRelation {
+                kind,
+                source,
+                target,
+                reason,
+            } => {
                 write!(f, "illegal {kind} relation {source} -> {target}: {reason}")
             }
             ModelError::Invalid(msg) => write!(f, "invalid model: {msg}"),

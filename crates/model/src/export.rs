@@ -44,7 +44,11 @@ pub fn export_facts(model: &SystemModel, builder: &mut ProgramBuilder) {
     for r in model.relations() {
         builder.fact(
             "relation",
-            [Term::sym(&r.source), Term::sym(r.kind.asp_name()), Term::sym(&r.target)],
+            [
+                Term::sym(&r.source),
+                Term::sym(r.kind.asp_name()),
+                Term::sym(&r.target),
+            ],
         );
         if let Some(dst) = r.propagates_from(&r.source) {
             builder.fact("propagates", [Term::sym(&r.source), Term::sym(dst)]);
@@ -54,10 +58,16 @@ pub fn export_facts(model: &SystemModel, builder: &mut ProgramBuilder) {
         }
     }
     for (id, ann) in model.annotations() {
-        builder.fact("exposure", [Term::sym(id), Term::sym(ann.exposure.asp_name())]);
+        builder.fact(
+            "exposure",
+            [Term::sym(id), Term::sym(ann.exposure.asp_name())],
+        );
         builder.fact(
             "criticality",
-            [Term::sym(id), Term::sym(ann.criticality.abbrev().to_lowercase())],
+            [
+                Term::sym(id),
+                Term::sym(ann.criticality.abbrev().to_lowercase()),
+            ],
         );
         for v in &ann.vulnerabilities {
             builder.fact("has_vulnerability", [Term::sym(id), Term::sym(v)]);
@@ -81,9 +91,12 @@ mod tests {
 
     fn model() -> SystemModel {
         let mut m = SystemModel::new("wt");
-        m.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
-        m.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
-        m.add_element("spec", "Spec Sheet", ElementKind::DataObject).unwrap();
+        m.add_element("ctrl", "Controller", ElementKind::Device)
+            .unwrap();
+        m.add_element("tank", "Tank", ElementKind::Equipment)
+            .unwrap();
+        m.add_element("spec", "Spec Sheet", ElementKind::DataObject)
+            .unwrap();
         m.insert_relation(
             Relation::new("ctrl", "tank", RelationKind::Flow).with_flow(FlowKind::Quantity),
         )
@@ -106,10 +119,16 @@ mod tests {
         let m = &models[0];
         assert!(m.contains_str("element(ctrl,device,technology)"));
         assert!(m.contains_str("component(ctrl)"));
-        assert!(!m.contains_str("component(spec)"), "passive elements are not components");
+        assert!(
+            !m.contains_str("component(spec)"),
+            "passive elements are not components"
+        );
         assert!(m.contains_str("relation(ctrl,flow,tank)"));
         assert!(m.contains_str("propagates(ctrl,tank)"));
-        assert!(m.contains_str("propagates(tank,ctrl)"), "quantity flow is bidirectional");
+        assert!(
+            m.contains_str("propagates(tank,ctrl)"),
+            "quantity flow is bidirectional"
+        );
         assert!(m.contains_str("exposure(ctrl,corporate)"));
         assert!(m.contains_str("criticality(ctrl,h)"));
         assert!(m.contains_str("has_vulnerability(ctrl,v1)"));

@@ -21,7 +21,9 @@
 //!   coarse asset with a detailed sub-model while keeping the boundary,
 //! * [`security`] — security metadata (exposure, criticality, vulnerability
 //!   and mitigation references) attachable to any element,
-//! * [`export`] — ASP fact emission consumed by the reasoner.
+//! * [`export`] — ASP fact emission consumed by the reasoner,
+//! * [`lint`] — a collecting static-analysis pass (codes `M001`…`M007`)
+//!   complementing the fail-fast [`SystemModel::validate`].
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@ pub mod element;
 pub mod error;
 pub mod export;
 pub mod library;
+pub mod lint;
 pub mod model;
 pub mod refinement;
 pub mod relation;
@@ -50,6 +53,7 @@ pub mod security;
 pub use element::{Element, ElementKind, Layer};
 pub use error::ModelError;
 pub use library::{ComponentType, TypeLibrary};
+pub use lint::lint_model;
 pub use model::SystemModel;
 pub use refinement::Refinement;
 pub use relation::{FlowKind, Relation, RelationKind};

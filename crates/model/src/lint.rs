@@ -1,0 +1,261 @@
+//! Static analysis of system models: lints `M001`–`M007`.
+//!
+//! Complements the fail-fast [`SystemModel::validate`] with a collecting
+//! pass: structural errors come back *all at once* (via
+//! [`SystemModel::validate_all`]) and advisory checks run on top. Models
+//! are built programmatically, so model diagnostics carry no source span.
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | M001 | error    | relation endpoint names an unknown element |
+//! | M002 | error    | self-loop on a directed propagating relation |
+//! | M003 | error    | security annotation references an unknown element |
+//! | M004 | warning  | active element is isolated in the propagation graph |
+//! | M005 | info     | active non-business element has no security annotation |
+//! | M006 | warning  | annotation deploys mitigations but lists no vulnerabilities or techniques to guard against |
+//! | M007 | info     | signal flow between two physical-layer elements (expected a quantity flow) |
+//!
+//! A model is *lint-clean* when it produces no errors and no warnings;
+//! info-level findings are advisory.
+
+use crate::element::Layer;
+use crate::model::SystemModel;
+use crate::relation::{FlowKind, RelationKind};
+use cpsrisk_asp::Diagnostic;
+
+/// Run every model lint: the structural errors of
+/// [`SystemModel::validate_all`] plus the advisory checks `M004`–`M007`.
+#[must_use]
+pub fn lint_model(model: &SystemModel) -> Vec<Diagnostic> {
+    let mut diags = model.validate_all();
+    isolated_elements(model, &mut diags); // M004
+    unannotated_elements(model, &mut diags); // M005
+    mitigations_guarding_nothing(model, &mut diags); // M006
+    physical_signal_flows(model, &mut diags); // M007
+    diags
+}
+
+/// M004: an active element no error-propagating relation touches. Faults
+/// injected there can never spread, and nothing can reach it — usually a
+/// forgotten relation.
+fn isolated_elements(model: &SystemModel, diags: &mut Vec<Diagnostic>) {
+    for e in model.elements() {
+        if !e.kind.is_active() {
+            continue;
+        }
+        let touched = model
+            .relations()
+            .any(|r| r.kind.propagates() && (r.source == e.id || r.target == e.id));
+        if !touched {
+            diags.push(Diagnostic::warning(
+                "M004",
+                format!(
+                    "element `{}` is isolated in the propagation graph: no propagating relation touches it",
+                    e.id
+                ),
+            ));
+        }
+    }
+}
+
+/// M005: an active element outside the business layer with no security
+/// annotation — the threat analysis will assume defaults for it.
+fn unannotated_elements(model: &SystemModel, diags: &mut Vec<Diagnostic>) {
+    for e in model.elements() {
+        if !e.kind.is_active()
+            || e.kind.layer() == Layer::Business
+            || model.annotation(&e.id).is_some()
+        {
+            continue;
+        }
+        diags.push(
+            Diagnostic::info(
+                "M005",
+                format!(
+                    "element `{}` has no security annotation: default exposure and criticality will be assumed",
+                    e.id
+                ),
+            )
+            .with_suggestion(format!("annotate `{}` with `SystemModel::annotate`", e.id)),
+        );
+    }
+}
+
+/// M006: an annotation that deploys mitigations but names no
+/// vulnerabilities or applicable attack techniques — the mitigations guard
+/// nothing the analysis knows about.
+fn mitigations_guarding_nothing(model: &SystemModel, diags: &mut Vec<Diagnostic>) {
+    for (id, ann) in model.annotations() {
+        if !ann.mitigations.is_empty()
+            && ann.vulnerabilities.is_empty()
+            && ann.techniques.is_empty()
+        {
+            diags.push(Diagnostic::warning(
+                "M006",
+                format!(
+                    "annotation on `{id}` deploys mitigation(s) {} but lists no vulnerabilities or techniques they guard against",
+                    quote_list(&ann.mitigations)
+                ),
+            ));
+        }
+    }
+}
+
+/// M007: a signal-carrying flow between two physical-layer elements.
+/// Physical couplings normally move *quantities* (water, power); a signal
+/// here usually means a mistyped [`FlowKind`].
+fn physical_signal_flows(model: &SystemModel, diags: &mut Vec<Diagnostic>) {
+    for r in model.relations() {
+        if r.kind != RelationKind::Flow || r.flow != FlowKind::Signal {
+            continue;
+        }
+        let phys = |id: &str| {
+            model
+                .element(id)
+                .is_some_and(|e| e.kind.layer() == Layer::Physical)
+        };
+        if phys(&r.source) && phys(&r.target) {
+            diags.push(
+                Diagnostic::info(
+                    "M007",
+                    format!(
+                        "signal flow `{}` -> `{}` connects two physical elements",
+                        r.source, r.target
+                    ),
+                )
+                .with_suggestion("physical couplings usually carry a quantity flow".to_owned()),
+            );
+        }
+    }
+}
+
+fn quote_list(items: &[String]) -> String {
+    items
+        .iter()
+        .map(|i| format!("`{i}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementKind;
+    use crate::relation::Relation;
+    use crate::security::{Exposure, SecurityAnnotation};
+    use cpsrisk_asp::Severity;
+    use cpsrisk_qr::Qual;
+
+    fn two_node_model() -> SystemModel {
+        let mut m = SystemModel::new("m");
+        m.add_element("a", "A", ElementKind::Node).unwrap();
+        m.add_element("b", "B", ElementKind::Node).unwrap();
+        m.add_relation("a", "b", RelationKind::Flow).unwrap();
+        m
+    }
+
+    fn only(model: &SystemModel, code: &str) -> Diagnostic {
+        let diags: Vec<Diagnostic> = lint_model(model)
+            .into_iter()
+            .filter(|d| d.code == code)
+            .collect();
+        assert_eq!(diags.len(), 1, "expected exactly one {code}, got {diags:?}");
+        diags.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn structurally_sound_models_lint_without_errors() {
+        // M001–M003 (covered in `model::tests::validate_all_collects_every_
+        // violation`, where the private fields are reachable) never fire on
+        // a model the constructors accepted.
+        let m = two_node_model();
+        assert!(!cpsrisk_asp::diag::has_errors(&lint_model(&m)));
+    }
+
+    #[test]
+    fn m004_isolated_active_element() {
+        let mut m = two_node_model();
+        m.add_element("island", "Island", ElementKind::Device)
+            .unwrap();
+        let d = only(&m, "M004");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("`island`"), "{}", d.message);
+        assert!(d.span.is_none(), "model lints carry no source span");
+        // Passive elements are exempt.
+        let mut p = two_node_model();
+        p.add_element("doc", "Doc", ElementKind::DataObject)
+            .unwrap();
+        assert!(lint_model(&p).iter().all(|d| d.code != "M004"));
+    }
+
+    #[test]
+    fn m005_unannotated_active_element() {
+        let mut m = two_node_model();
+        m.annotate(
+            "a",
+            SecurityAnnotation::new(Exposure::Corporate, Qual::Medium),
+        )
+        .unwrap();
+        let d = only(&m, "M005");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("`b`"), "{}", d.message);
+        assert!(d.span.is_none());
+        // Business actors are exempt.
+        let mut biz = two_node_model();
+        biz.annotate("a", SecurityAnnotation::default()).unwrap();
+        biz.annotate("b", SecurityAnnotation::default()).unwrap();
+        biz.add_element("op", "Operator", ElementKind::BusinessActor)
+            .unwrap();
+        biz.add_relation("a", "op", RelationKind::Serving).unwrap();
+        assert!(lint_model(&biz).iter().all(|d| d.code != "M005"));
+    }
+
+    #[test]
+    fn m006_mitigation_guarding_nothing() {
+        let mut m = two_node_model();
+        m.annotate(
+            "a",
+            SecurityAnnotation::new(Exposure::Corporate, Qual::Medium).with_mitigation("m1"),
+        )
+        .unwrap();
+        let d = only(&m, "M006");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("`m1`"), "{}", d.message);
+        assert!(d.span.is_none());
+        // Mitigation with a matching vulnerability is fine.
+        let mut ok = two_node_model();
+        ok.annotate(
+            "a",
+            SecurityAnnotation::new(Exposure::Corporate, Qual::Medium)
+                .with_vulnerability("cve_1")
+                .with_mitigation("m1"),
+        )
+        .unwrap();
+        assert!(lint_model(&ok).iter().all(|d| d.code != "M006"));
+    }
+
+    #[test]
+    fn m007_signal_flow_between_physical_elements() {
+        let mut m = SystemModel::new("m");
+        m.add_element("tank", "Tank", ElementKind::Equipment)
+            .unwrap();
+        m.add_element("valve", "Valve", ElementKind::Equipment)
+            .unwrap();
+        m.add_relation("valve", "tank", RelationKind::Flow).unwrap();
+        let d = only(&m, "M007");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.span.is_none());
+        assert!(d.suggestion.expect("suggestion").contains("quantity"));
+        // A quantity flow between the same pair is the expected modeling.
+        let mut ok = SystemModel::new("ok");
+        ok.add_element("tank", "Tank", ElementKind::Equipment)
+            .unwrap();
+        ok.add_element("valve", "Valve", ElementKind::Equipment)
+            .unwrap();
+        ok.insert_relation(
+            Relation::new("valve", "tank", RelationKind::Flow).with_flow(FlowKind::Quantity),
+        )
+        .unwrap();
+        assert!(lint_model(&ok).iter().all(|d| d.code != "M007"));
+    }
+}

@@ -1,5 +1,6 @@
 //! The merged system model: elements + relations + queries + validation.
 
+use cpsrisk_asp::Diagnostic;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -24,7 +25,10 @@ impl SystemModel {
     /// An empty model.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        SystemModel { name: name.into(), ..SystemModel::default() }
+        SystemModel {
+            name: name.into(),
+            ..SystemModel::default()
+        }
     }
 
     /// Add an element by id/name/kind.
@@ -177,7 +181,10 @@ impl SystemModel {
     /// Elements of a given layer, in id order.
     #[must_use]
     pub fn layer_elements(&self, layer: Layer) -> Vec<&Element> {
-        self.elements.values().filter(|e| e.kind.layer() == layer).collect()
+        self.elements
+            .values()
+            .filter(|e| e.kind.layer() == layer)
+            .collect()
     }
 
     /// Ids reachable from `from` over error-propagating relations
@@ -222,7 +229,10 @@ impl SystemModel {
             .iter()
             .filter(|r| {
                 r.source == parent
-                    && matches!(r.kind, RelationKind::Composition | RelationKind::Aggregation)
+                    && matches!(
+                        r.kind,
+                        RelationKind::Composition | RelationKind::Aggregation
+                    )
             })
             .map(|r| r.target.as_str())
             .collect()
@@ -246,7 +256,10 @@ impl SystemModel {
                         )));
                     }
                     for (k, v) in &e.properties {
-                        existing.properties.entry(k.clone()).or_insert_with(|| v.clone());
+                        existing
+                            .properties
+                            .entry(k.clone())
+                            .or_insert_with(|| v.clone());
                     }
                 }
                 None => {
@@ -260,7 +273,9 @@ impl SystemModel {
             }
         }
         for (id, ann) in &other.security {
-            self.security.entry(id.clone()).or_insert_with(|| ann.clone());
+            self.security
+                .entry(id.clone())
+                .or_insert_with(|| ann.clone());
         }
         Ok(())
     }
@@ -268,29 +283,63 @@ impl SystemModel {
     /// Validate structural consistency: endpoints exist, annotations point
     /// at elements, and no self-loops on directed propagating relations.
     ///
+    /// This is the fail-fast form of [`SystemModel::validate_all`]: it
+    /// stops at the first violation and keeps the typed [`ModelError`].
+    ///
     /// # Errors
     ///
     /// [`ModelError`] describing the first violation found.
     pub fn validate(&self) -> Result<(), ModelError> {
+        match self.violations().into_iter().next() {
+            Some((_, err)) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// Collect **every** structural violation as a span-less error
+    /// [`Diagnostic`], instead of stopping at the first one like
+    /// [`SystemModel::validate`]:
+    ///
+    /// * `M001` — a relation endpoint names an unknown element,
+    /// * `M002` — a self-loop on a directed propagating relation,
+    /// * `M003` — a security annotation references an unknown element.
+    ///
+    /// The model lint pass ([`crate::lint`]) includes these and adds
+    /// advisory checks `M004`–`M007` on top.
+    #[must_use]
+    pub fn validate_all(&self) -> Vec<Diagnostic> {
+        self.violations()
+            .into_iter()
+            .map(|(code, err)| Diagnostic::error(code, err.to_string()))
+            .collect()
+    }
+
+    /// Every structural violation with its diagnostic code, in a stable
+    /// order (relations first, then annotations).
+    fn violations(&self) -> Vec<(&'static str, ModelError)> {
+        let mut out = Vec::new();
         for r in &self.relations {
             for end in [&r.source, &r.target] {
                 if !self.elements.contains_key(end) {
-                    return Err(ModelError::UnknownElement(end.clone()));
+                    out.push(("M001", ModelError::UnknownElement(end.clone())));
                 }
             }
             if r.source == r.target && r.kind.is_directed() && r.kind.propagates() {
-                return Err(ModelError::Invalid(format!(
-                    "self-loop `{}` on a directed propagating relation",
-                    r.source
-                )));
+                out.push((
+                    "M002",
+                    ModelError::Invalid(format!(
+                        "self-loop `{}` on a directed propagating relation",
+                        r.source
+                    )),
+                ));
             }
         }
         for id in self.security.keys() {
             if !self.elements.contains_key(id) {
-                return Err(ModelError::UnknownElement(id.clone()));
+                out.push(("M003", ModelError::UnknownElement(id.clone())));
             }
         }
-        Ok(())
+        out
     }
 }
 
@@ -320,17 +369,23 @@ mod tests {
 
     fn tank_model() -> SystemModel {
         let mut m = SystemModel::new("wt");
-        m.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
-        m.add_element("valve", "Input Valve", ElementKind::Equipment).unwrap();
-        m.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
-        m.add_element("sensor", "Level Sensor", ElementKind::Device).unwrap();
+        m.add_element("ctrl", "Controller", ElementKind::Device)
+            .unwrap();
+        m.add_element("valve", "Input Valve", ElementKind::Equipment)
+            .unwrap();
+        m.add_element("tank", "Tank", ElementKind::Equipment)
+            .unwrap();
+        m.add_element("sensor", "Level Sensor", ElementKind::Device)
+            .unwrap();
         m.add_relation("ctrl", "valve", RelationKind::Flow).unwrap();
         m.insert_relation(
             Relation::new("valve", "tank", RelationKind::Flow).with_flow(FlowKind::Quantity),
         )
         .unwrap();
-        m.add_relation("sensor", "tank", RelationKind::Association).unwrap();
-        m.add_relation("sensor", "ctrl", RelationKind::Flow).unwrap();
+        m.add_relation("sensor", "tank", RelationKind::Association)
+            .unwrap();
+        m.add_relation("sensor", "ctrl", RelationKind::Flow)
+            .unwrap();
         m
     }
 
@@ -361,9 +416,11 @@ mod tests {
     #[test]
     fn metamodel_constraints_enforced() {
         let mut m = SystemModel::new("m");
-        m.add_element("app", "App", ElementKind::ApplicationComponent).unwrap();
+        m.add_element("app", "App", ElementKind::ApplicationComponent)
+            .unwrap();
         m.add_element("node", "Node", ElementKind::Node).unwrap();
-        m.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
+        m.add_element("tank", "Tank", ElementKind::Equipment)
+            .unwrap();
         // Access must target a passive element.
         assert!(matches!(
             m.add_relation("app", "node", RelationKind::Access),
@@ -375,7 +432,9 @@ mod tests {
             Err(ModelError::IllegalRelation { .. })
         ));
         // Node hosting an app is fine (assignment node -> app).
-        assert!(m.add_relation("node", "app", RelationKind::Assignment).is_ok());
+        assert!(m
+            .add_relation("node", "app", RelationKind::Assignment)
+            .is_ok());
     }
 
     #[test]
@@ -400,9 +459,15 @@ mod tests {
     fn merge_unions_aspects() {
         let mut arch = tank_model();
         let mut deploy = SystemModel::new("deploy");
-        deploy.add_element("ctrl", "Controller", ElementKind::Device).unwrap();
-        deploy.add_element("fw", "Firmware", ElementKind::SystemSoftware).unwrap();
-        deploy.add_relation("ctrl", "fw", RelationKind::Composition).unwrap();
+        deploy
+            .add_element("ctrl", "Controller", ElementKind::Device)
+            .unwrap();
+        deploy
+            .add_element("fw", "Firmware", ElementKind::SystemSoftware)
+            .unwrap();
+        deploy
+            .add_relation("ctrl", "fw", RelationKind::Composition)
+            .unwrap();
         arch.merge(&deploy).unwrap();
         assert!(arch.element("fw").is_some());
         assert_eq!(arch.element_count(), 5);
@@ -431,7 +496,31 @@ mod tests {
     fn validation_catches_self_loops() {
         let mut m = SystemModel::new("m");
         m.add_element("a", "A", ElementKind::Node).unwrap();
-        m.relations.push(Relation::new("a", "a", RelationKind::Flow));
+        m.relations
+            .push(Relation::new("a", "a", RelationKind::Flow));
+        assert!(matches!(m.validate(), Err(ModelError::Invalid(_))));
+    }
+
+    #[test]
+    fn validate_all_collects_every_violation() {
+        let mut m = SystemModel::new("m");
+        m.add_element("a", "A", ElementKind::Node).unwrap();
+        // Bypass the constructors to build a doubly-broken model.
+        m.relations
+            .push(Relation::new("a", "a", RelationKind::Flow));
+        m.relations
+            .push(Relation::new("a", "ghost", RelationKind::Flow));
+        m.security
+            .insert("phantom".into(), SecurityAnnotation::default());
+        let diags = m.validate_all();
+        let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, vec!["M002", "M001", "M003"]);
+        assert!(diags.iter().all(Diagnostic::is_error));
+        assert!(
+            diags.iter().all(|d| d.span.is_none()),
+            "model lints have no source"
+        );
+        // The fail-fast form reports the first of these, typed.
         assert!(matches!(m.validate(), Err(ModelError::Invalid(_))));
     }
 

@@ -181,8 +181,12 @@ pub fn apply_refinement(
 pub fn engineering_workstation_detail() -> SystemModel {
     use crate::element::ElementKind;
     let mut d = SystemModel::new("ew_detail");
-    d.add_element("email_client", "E-mail Client", ElementKind::ApplicationComponent)
-        .expect("static model");
+    d.add_element(
+        "email_client",
+        "E-mail Client",
+        ElementKind::ApplicationComponent,
+    )
+    .expect("static model");
     d.add_element("browser", "Browser", ElementKind::ApplicationComponent)
         .expect("static model");
     d.add_element("ew_computer", "Workstation Computer", ElementKind::Node)
@@ -201,9 +205,11 @@ mod tests {
 
     fn base() -> SystemModel {
         let mut m = SystemModel::new("sys");
-        m.add_element("ew", "Engineering Workstation", ElementKind::Node).unwrap();
+        m.add_element("ew", "Engineering Workstation", ElementKind::Node)
+            .unwrap();
         m.add_element("plc", "PLC", ElementKind::Device).unwrap();
-        m.add_element("net", "Office Net", ElementKind::CommunicationNetwork).unwrap();
+        m.add_element("net", "Office Net", ElementKind::CommunicationNetwork)
+            .unwrap();
         m.add_relation("net", "ew", RelationKind::Flow).unwrap();
         m.add_relation("ew", "plc", RelationKind::Flow).unwrap();
         m
@@ -225,7 +231,10 @@ mod tests {
             .relations()
             .any(|x| x.source == "ew_computer" && x.target == "plc"));
         // Provenance recorded.
-        assert_eq!(refined.element("browser").unwrap().property("refines"), Some("ew"));
+        assert_eq!(
+            refined.element("browser").unwrap().property("refines"),
+            Some("ew")
+        );
     }
 
     #[test]
@@ -274,7 +283,11 @@ mod tests {
         use crate::security::{Exposure, SecurityAnnotation};
         use cpsrisk_qr::Qual;
         let mut m = base();
-        m.annotate("ew", SecurityAnnotation::new(Exposure::Corporate, Qual::High)).unwrap();
+        m.annotate(
+            "ew",
+            SecurityAnnotation::new(Exposure::Corporate, Qual::High),
+        )
+        .unwrap();
         let r = Refinement::new("ew", engineering_workstation_detail())
             .with_port("net", "email_client")
             .with_default_port("ew_computer");
@@ -298,7 +311,8 @@ mod nested_tests {
     #[test]
     fn refinements_nest() {
         let mut base = SystemModel::new("sys");
-        base.add_element("ew", "Workstation", ElementKind::Node).unwrap();
+        base.add_element("ew", "Workstation", ElementKind::Node)
+            .unwrap();
         base.add_element("plc", "PLC", ElementKind::Device).unwrap();
         base.add_relation("ew", "plc", RelationKind::Flow).unwrap();
 
@@ -307,11 +321,19 @@ mod nested_tests {
         let refined1 = apply_refinement(&base, &level1).unwrap();
 
         let mut detail2 = SystemModel::new("computer_detail");
-        detail2.add_element("os", "Operating System", ElementKind::SystemSoftware).unwrap();
         detail2
-            .add_element("eng_app", "Engineering App", ElementKind::ApplicationComponent)
+            .add_element("os", "Operating System", ElementKind::SystemSoftware)
             .unwrap();
-        detail2.add_relation("os", "eng_app", RelationKind::Serving).unwrap();
+        detail2
+            .add_element(
+                "eng_app",
+                "Engineering App",
+                ElementKind::ApplicationComponent,
+            )
+            .unwrap();
+        detail2
+            .add_relation("os", "eng_app", RelationKind::Serving)
+            .unwrap();
         let level2 = Refinement::new("ew_computer", detail2).with_default_port("os");
         let refined2 = apply_refinement(&refined1, &level2).unwrap();
 
@@ -324,7 +346,10 @@ mod nested_tests {
         assert!(reach.contains(&"os".to_string()));
         assert!(reach.contains(&"plc".to_string()));
         // Provenance points at the immediately refined parent.
-        assert_eq!(refined2.element("os").unwrap().property("refines"), Some("ew_computer"));
+        assert_eq!(
+            refined2.element("os").unwrap().property("refines"),
+            Some("ew_computer")
+        );
         refined2.validate().unwrap();
     }
 }

@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How reachable an element is for an attacker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum Exposure {
     /// Reachable from the public internet.
     Public,
@@ -74,7 +76,11 @@ impl SecurityAnnotation {
     /// An annotation with the given exposure and criticality.
     #[must_use]
     pub fn new(exposure: Exposure, criticality: Qual) -> Self {
-        SecurityAnnotation { exposure, criticality, ..SecurityAnnotation::default() }
+        SecurityAnnotation {
+            exposure,
+            criticality,
+            ..SecurityAnnotation::default()
+        }
     }
 
     /// Add a vulnerability reference (chaining).

@@ -118,7 +118,10 @@ mod tests {
         // Monotone rise: no level repeats after leaving it.
         let mut seen = std::collections::HashSet::new();
         for l in &path {
-            assert!(seen.insert(*l), "level {l} revisited in a monotone scenario");
+            assert!(
+                seen.insert(*l),
+                "level {l} revisited in a monotone scenario"
+            );
         }
     }
 
@@ -147,11 +150,13 @@ mod tests {
         let fine = to_temporal_trace(&r, 1);
         let coarse = to_temporal_trace(&r, default_stride(&r));
         assert!(coarse.len() < fine.len());
-        let has_overflow = |t: &Trace| {
-            (0..t.len()).any(|i| t.holds_str(i, "level(tank, overflow)"))
-        };
+        let has_overflow =
+            |t: &Trace| (0..t.len()).any(|i| t.holds_str(i, "level(tank, overflow)"));
         assert!(has_overflow(&fine));
-        assert!(has_overflow(&coarse), "worst-level folding preserves overflow");
+        assert!(
+            has_overflow(&coarse),
+            "worst-level folding preserves overflow"
+        );
     }
 
     #[test]

@@ -141,7 +141,10 @@ impl WaterTank {
         assert!(config.dt > 0.0, "dt must be positive");
         assert!(config.duration > 0.0, "duration must be positive");
         assert!(config.capacity > 0.0, "capacity must be positive");
-        assert!(config.inflow_rate > 0.0 && config.outflow_rate > 0.0, "rates must be positive");
+        assert!(
+            config.inflow_rate > 0.0 && config.outflow_rate > 0.0,
+            "rates must be positive"
+        );
         assert!(
             config.low_setpoint < config.high_setpoint
                 && config.high_setpoint < config.alert_level
@@ -195,7 +198,14 @@ impl WaterTank {
             // HMI: delivers the alert unless silenced.
             let alert_delivered = alert_sent && !faults.effective(Fault::F3);
 
-            steps.push(Step { time, level, input_valve, output_valve, alert_sent, alert_delivered });
+            steps.push(Step {
+                time,
+                level,
+                input_valve,
+                output_valve,
+                alert_sent,
+                alert_delivered,
+            });
 
             // Euler step; the level saturates at the physical bounds
             // ([0, capacity] — overflow spills over the rim).
@@ -209,7 +219,11 @@ impl WaterTank {
             };
             level = (level + (inflow - outflow) * c.dt).clamp(0.0, c.capacity);
         }
-        SimResult { config: c.clone(), faults: *faults, steps }
+        SimResult {
+            config: c.clone(),
+            faults: *faults,
+            steps,
+        }
     }
 
     /// Table-II ground truth for a scenario: `(violates_r1, violates_r2)`.
@@ -257,9 +271,15 @@ mod tests {
         // S4: F2 alone overflows but the alert gets through.
         assert_eq!(t.ground_truth(&FaultSet::from(Fault::F2)), (true, false));
         // S5: F2+F3 — overflow and lost alert.
-        assert_eq!(t.ground_truth(&FaultSet::of(&[Fault::F2, Fault::F3])), (true, true));
+        assert_eq!(
+            t.ground_truth(&FaultSet::of(&[Fault::F2, Fault::F3])),
+            (true, true)
+        );
         // S6: F1+F3 — no overflow, R2 vacuous.
-        assert_eq!(t.ground_truth(&FaultSet::of(&[Fault::F1, Fault::F3])), (false, false));
+        assert_eq!(
+            t.ground_truth(&FaultSet::of(&[Fault::F1, Fault::F3])),
+            (false, false)
+        );
         // S7: F1+F2+F3 — both violated.
         assert_eq!(
             t.ground_truth(&FaultSet::of(&[Fault::F1, Fault::F2, Fault::F3])),
@@ -302,13 +322,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "setpoints")]
     fn bad_setpoints_panic() {
-        let cfg = SimConfig { low_setpoint: 8.0, high_setpoint: 6.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            low_setpoint: 8.0,
+            high_setpoint: 6.0,
+            ..SimConfig::default()
+        };
         let _ = WaterTank::new(cfg);
     }
 
     #[test]
     fn step_count_matches_duration() {
-        let cfg = SimConfig { dt: 1.0, duration: 10.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            dt: 1.0,
+            duration: 10.0,
+            ..SimConfig::default()
+        };
         let r = WaterTank::new(cfg).run(&FaultSet::empty());
         assert_eq!(r.steps.len(), 11);
         assert!((r.steps.last().unwrap().time - 10.0).abs() < 1e-9);

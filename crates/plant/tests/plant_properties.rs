@@ -8,11 +8,11 @@ use cpsrisk_plant::{Fault, FaultSet, SimConfig, WaterTank};
 /// setpoints inside the tank).
 fn arb_config() -> impl Strategy<Value = SimConfig> {
     (
-        0.1f64..1.0,    // dt
+        0.1f64..1.0,     // dt
         100.0f64..400.0, // duration
-        0.02f64..0.08,  // inflow
-        1.2f64..3.0,    // outflow/inflow ratio
-        5.0f64..20.0,   // capacity
+        0.02f64..0.08,   // inflow
+        1.2f64..3.0,     // outflow/inflow ratio
+        5.0f64..20.0,    // capacity
     )
         .prop_map(|(dt, duration, inflow, ratio, capacity)| SimConfig {
             dt,

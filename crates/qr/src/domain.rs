@@ -253,7 +253,8 @@ mod tests {
 
     #[test]
     fn symbolic_domain_has_no_landmarks() {
-        let d = QualDomain::symbolic("failure_mode", &["ok", "stuck_open", "stuck_closed"]).unwrap();
+        let d =
+            QualDomain::symbolic("failure_mode", &["ok", "stuck_open", "stuck_closed"]).unwrap();
         assert_eq!(d.len(), 3);
         assert!(d.landmarks().is_empty());
         assert_eq!(d.value("stuck_open").unwrap().level(), 1);

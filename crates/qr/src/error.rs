@@ -33,7 +33,10 @@ impl fmt::Display for QrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QrError::UnorderedLandmarks { index } => {
-                write!(f, "landmarks must be strictly increasing (violated at index {index})")
+                write!(
+                    f,
+                    "landmarks must be strictly increasing (violated at index {index})"
+                )
             }
             QrError::LevelCountMismatch { levels, landmarks } => write!(
                 f,

@@ -28,7 +28,10 @@ impl Guard {
     /// Build a guard `input == level`.
     #[must_use]
     pub fn new(input: impl Into<String>, level: impl Into<String>) -> Self {
-        Guard { input: input.into(), level: level.into() }
+        Guard {
+            input: input.into(),
+            level: level.into(),
+        }
     }
 
     /// Evaluate the guard against an input assignment. A missing input
@@ -101,7 +104,13 @@ impl QualMachine {
         }
         let mut states = BTreeMap::new();
         states.insert(initial.clone(), BTreeMap::new());
-        Ok(QualMachine { name, initial, states, transitions: Vec::new(), fault_states: Vec::new() })
+        Ok(QualMachine {
+            name,
+            initial,
+            states,
+            transitions: Vec::new(),
+            fault_states: Vec::new(),
+        })
     }
 
     /// Machine name.
@@ -209,11 +218,7 @@ impl QualMachine {
     pub fn state_outputs(&self, state: &str) -> Vec<(&str, &str)> {
         self.states
             .get(state)
-            .map(|outs| {
-                outs.iter()
-                    .map(|(k, v)| (k.as_str(), v.as_str()))
-                    .collect()
-            })
+            .map(|outs| outs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect())
             .unwrap_or_default()
     }
 
@@ -242,11 +247,7 @@ impl QualMachine {
     /// # Errors
     ///
     /// [`QrError::UnknownState`] if `state` is undeclared.
-    pub fn step(
-        &self,
-        state: &str,
-        inputs: &BTreeMap<String, String>,
-    ) -> Result<String, QrError> {
+    pub fn step(&self, state: &str, inputs: &BTreeMap<String, String>) -> Result<String, QrError> {
         if !self.states.contains_key(state) {
             return Err(QrError::UnknownState(state.to_owned()));
         }
@@ -299,16 +300,22 @@ mod tests {
     use super::*;
 
     fn inputs(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
-        pairs.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect()
     }
 
     fn valve() -> QualMachine {
         let mut m = QualMachine::new("valve", "closed").unwrap();
         m.set_output("closed", "flow", "zero");
         m.add_state("open", [("flow", "positive")]).unwrap();
-        m.add_fault_state("stuck_open", [("flow", "positive")]).unwrap();
-        m.add_transition("closed", vec![Guard::new("cmd", "open")], "open").unwrap();
-        m.add_transition("open", vec![Guard::new("cmd", "close")], "closed").unwrap();
+        m.add_fault_state("stuck_open", [("flow", "positive")])
+            .unwrap();
+        m.add_transition("closed", vec![Guard::new("cmd", "open")], "open")
+            .unwrap();
+        m.add_transition("open", vec![Guard::new("cmd", "close")], "closed")
+            .unwrap();
         m
     }
 
@@ -321,8 +328,14 @@ mod tests {
     #[test]
     fn transitions_fire_on_guards() {
         let m = valve();
-        assert_eq!(m.step("closed", &inputs(&[("cmd", "open")])).unwrap(), "open");
-        assert_eq!(m.step("closed", &inputs(&[("cmd", "close")])).unwrap(), "closed");
+        assert_eq!(
+            m.step("closed", &inputs(&[("cmd", "open")])).unwrap(),
+            "open"
+        );
+        assert_eq!(
+            m.step("closed", &inputs(&[("cmd", "close")])).unwrap(),
+            "closed"
+        );
         assert_eq!(m.step("closed", &inputs(&[])).unwrap(), "closed");
     }
 
@@ -331,9 +344,7 @@ mod tests {
         let m = valve();
         assert!(m.step("melted", &inputs(&[])).is_err());
         let mut m2 = valve();
-        assert!(m2
-            .add_transition("closed", vec![], "melted")
-            .is_err());
+        assert!(m2.add_transition("closed", vec![], "melted").is_err());
     }
 
     #[test]
@@ -374,9 +385,13 @@ mod tests {
             "alarm",
         )
         .unwrap();
-        assert_eq!(m.step("idle", &inputs(&[("level", "high")])).unwrap(), "idle");
         assert_eq!(
-            m.step("idle", &inputs(&[("level", "high"), ("trend", "inc")])).unwrap(),
+            m.step("idle", &inputs(&[("level", "high")])).unwrap(),
+            "idle"
+        );
+        assert_eq!(
+            m.step("idle", &inputs(&[("level", "high"), ("trend", "inc")]))
+                .unwrap(),
             "alarm"
         );
     }

@@ -59,10 +59,18 @@ impl QualTrace {
             let state = QState::new(value, trend);
             match episodes.last_mut() {
                 Some(ep) if ep.state == state => ep.len += 1,
-                _ => episodes.push(Episode { state, start: i, len: 1 }),
+                _ => episodes.push(Episode {
+                    state,
+                    start: i,
+                    len: 1,
+                }),
             }
         }
-        Ok(QualTrace { domain: domain.clone(), episodes, samples: samples.len() })
+        Ok(QualTrace {
+            domain: domain.clone(),
+            episodes,
+            samples: samples.len(),
+        })
     }
 
     /// The abstraction domain.
@@ -95,7 +103,9 @@ impl QualTrace {
     /// True if the trace ever reaches the given level.
     #[must_use]
     pub fn ever_reaches(&self, level_name: &str) -> bool {
-        self.episodes.iter().any(|ep| ep.state.value.level_name() == level_name)
+        self.episodes
+            .iter()
+            .any(|ep| ep.state.value.level_name() == level_name)
     }
 
     /// The sequence of distinct magnitude levels visited (trend changes

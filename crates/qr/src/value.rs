@@ -58,7 +58,10 @@ impl QualValue {
     /// The next level up, saturating at the top.
     #[must_use]
     pub fn up(&self) -> QualValue {
-        QualValue::new(self.domain.clone(), (self.level + 1).min(self.domain.len() - 1))
+        QualValue::new(
+            self.domain.clone(),
+            (self.level + 1).min(self.domain.len() - 1),
+        )
     }
 
     /// The next level down, saturating at the bottom.

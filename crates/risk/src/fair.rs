@@ -72,7 +72,14 @@ impl FairInput {
         let lef = ora::risk(tef, vulnerability);
         let lm = self.primary_loss.join(self.secondary_loss);
         let risk = ora::risk(lm, lef);
-        RiskDerivation { input: *self, tef, vulnerability, lef, lm, risk }
+        RiskDerivation {
+            input: *self,
+            tef,
+            vulnerability,
+            lef,
+            lm,
+            risk,
+        }
     }
 }
 
@@ -105,7 +112,11 @@ impl fmt::Display for RiskDerivation {
             "Vuln(TCap={}, RS={}) = {}",
             self.input.threat_capability, self.input.resistance_strength, self.vulnerability
         )?;
-        writeln!(f, "LEF(TEF={}, Vuln={}) = {}", self.tef, self.vulnerability, self.lef)?;
+        writeln!(
+            f,
+            "LEF(TEF={}, Vuln={}) = {}",
+            self.tef, self.vulnerability, self.lef
+        )?;
         writeln!(
             f,
             "LM(primary={}, secondary={}) = {}",

@@ -114,10 +114,22 @@ mod tests {
 
     #[test]
     fn corner_cells() {
-        assert_eq!(risk_class(Likelihood::Frequent, Consequence::Catastrophic), RiskClass::I);
-        assert_eq!(risk_class(Likelihood::Incredible, Consequence::Catastrophic), RiskClass::IV);
-        assert_eq!(risk_class(Likelihood::Frequent, Consequence::Negligible), RiskClass::II);
-        assert_eq!(risk_class(Likelihood::Remote, Consequence::Critical), RiskClass::III);
+        assert_eq!(
+            risk_class(Likelihood::Frequent, Consequence::Catastrophic),
+            RiskClass::I
+        );
+        assert_eq!(
+            risk_class(Likelihood::Incredible, Consequence::Catastrophic),
+            RiskClass::IV
+        );
+        assert_eq!(
+            risk_class(Likelihood::Frequent, Consequence::Negligible),
+            RiskClass::II
+        );
+        assert_eq!(
+            risk_class(Likelihood::Remote, Consequence::Critical),
+            RiskClass::III
+        );
     }
 
     #[test]

@@ -8,11 +8,11 @@ const MATRIX: [[Qual; 5]; 5] = {
     use Qual::{High as H, Low as L, Medium as M, VeryHigh as VH, VeryLow as VL};
     [
         // LEF:  VL  L   M   H   VH        LM:
-        [M, H, VH, VH, VH],  // VH
-        [L, M, H, VH, VH],   // H
-        [VL, L, M, H, VH],   // M
-        [VL, VL, L, M, H],   // L
-        [VL, VL, VL, L, M],  // VL
+        [M, H, VH, VH, VH], // VH
+        [L, M, H, VH, VH],  // H
+        [VL, L, M, H, VH],  // M
+        [VL, VL, L, M, H],  // L
+        [VL, VL, VL, L, M], // VL
     ]
 };
 

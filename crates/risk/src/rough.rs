@@ -99,7 +99,11 @@ impl DecisionTable {
                 }
             }
         }
-        RoughApproximation { universe: self.len(), lower, upper }
+        RoughApproximation {
+            universe: self.len(),
+            lower,
+            upper,
+        }
     }
 
     /// Approximate with **all** condition attributes.
@@ -170,8 +174,7 @@ impl DecisionTable {
             let approx = self.approximate(attrs, d);
             let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
             for &i in &approx.lower {
-                let key: Vec<String> =
-                    attrs.iter().map(|&a| self.rows[i].0[a].clone()).collect();
+                let key: Vec<String> = attrs.iter().map(|&a| self.rows[i].0[a].clone()).collect();
                 if seen.insert(key.clone()) {
                     let conds = attrs
                         .iter()
@@ -207,7 +210,9 @@ impl RoughApproximation {
     /// Negative region: certainly outside the concept.
     #[must_use]
     pub fn negative(&self) -> BTreeSet<usize> {
-        (0..self.universe).filter(|i| !self.upper.contains(i)).collect()
+        (0..self.universe)
+            .filter(|i| !self.upper.contains(i))
+            .collect()
     }
 
     /// The concept is *crisp* (exactly definable) iff the boundary is empty.
@@ -315,10 +320,12 @@ mod tests {
         let t = epa_table();
         let rules = t.certain_rules(&[0]);
         // valve_stuck=yes => hazard ; valve_stuck=no => safe.
-        assert!(rules.iter().any(|(c, d)| d == "hazard"
-            && c == &vec![("valve_stuck".to_owned(), "yes".to_owned())]));
-        assert!(rules.iter().any(|(c, d)| d == "safe"
-            && c == &vec![("valve_stuck".to_owned(), "no".to_owned())]));
+        assert!(rules.iter().any(
+            |(c, d)| d == "hazard" && c == &vec![("valve_stuck".to_owned(), "yes".to_owned())]
+        ));
+        assert!(rules
+            .iter()
+            .any(|(c, d)| d == "safe" && c == &vec![("valve_stuck".to_owned(), "no".to_owned())]));
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl fmt::Display for SensitivityReport {
             f,
             "{}: {} (outputs: {})",
             self.factor,
-            if self.is_sensitive() { "SENSITIVE" } else { "stable" },
+            if self.is_sensitive() {
+                "SENSITIVE"
+            } else {
+                "stable"
+            },
             self.outputs
                 .iter()
                 .map(|q| q.abbrev())
@@ -63,7 +67,11 @@ pub fn factor_sensitivity(
     mut f: impl FnMut(Qual) -> Qual,
 ) -> SensitivityReport {
     let outputs: BTreeSet<Qual> = possible.iter().map(|&q| f(q)).collect();
-    SensitivityReport { factor: factor.to_owned(), tried: possible.to_vec(), outputs }
+    SensitivityReport {
+        factor: factor.to_owned(),
+        tried: possible.to_vec(),
+        outputs,
+    }
 }
 
 /// Probe every uncertain factor of a multi-factor evaluation one at a time

@@ -122,10 +122,12 @@ impl Ltl {
             Ltl::WeakNext(f) => pos + 1 >= n || f.eval(trace, pos + 1),
             Ltl::Finally(f) => (pos..n).any(|k| f.eval(trace, k)),
             Ltl::Globally(f) => (pos..n).all(|k| f.eval(trace, k)),
-            Ltl::Until(a, b) => (pos..n)
-                .any(|k| b.eval(trace, k) && (pos..k).all(|j| a.eval(trace, j))),
-            Ltl::Release(a, b) => (pos..n)
-                .all(|k| b.eval(trace, k) || (pos..k).any(|j| a.eval(trace, j))),
+            Ltl::Until(a, b) => {
+                (pos..n).any(|k| b.eval(trace, k) && (pos..k).all(|j| a.eval(trace, j)))
+            }
+            Ltl::Release(a, b) => {
+                (pos..n).all(|k| b.eval(trace, k) || (pos..k).any(|j| a.eval(trace, j)))
+            }
         }
     }
 
@@ -138,9 +140,10 @@ impl Ltl {
             Ltl::Not(f) => Ltl::Not(Box::new(f.desugar())),
             Ltl::And(a, b) => Ltl::And(Box::new(a.desugar()), Box::new(b.desugar())),
             Ltl::Or(a, b) => Ltl::Or(Box::new(a.desugar()), Box::new(b.desugar())),
-            Ltl::Implies(a, b) => {
-                Ltl::Or(Box::new(Ltl::Not(Box::new(a.desugar()))), Box::new(b.desugar()))
-            }
+            Ltl::Implies(a, b) => Ltl::Or(
+                Box::new(Ltl::Not(Box::new(a.desugar()))),
+                Box::new(b.desugar()),
+            ),
             Ltl::Next(f) => Ltl::Next(Box::new(f.desugar())),
             Ltl::WeakNext(f) => Ltl::WeakNext(Box::new(f.desugar())),
             Ltl::Finally(f) => Ltl::Until(Box::new(Ltl::True), Box::new(f.desugar())),
@@ -161,11 +164,9 @@ impl Ltl {
     pub fn size(&self) -> usize {
         match self {
             Ltl::True | Ltl::False | Ltl::Prop(_) => 1,
-            Ltl::Not(f)
-            | Ltl::Next(f)
-            | Ltl::WeakNext(f)
-            | Ltl::Finally(f)
-            | Ltl::Globally(f) => 1 + f.size(),
+            Ltl::Not(f) | Ltl::Next(f) | Ltl::WeakNext(f) | Ltl::Finally(f) | Ltl::Globally(f) => {
+                1 + f.size()
+            }
             Ltl::And(a, b)
             | Ltl::Or(a, b)
             | Ltl::Implies(a, b)
@@ -211,14 +212,20 @@ mod tests {
         assert!(!Ltl::prop("a").eval(&tr, 1));
         assert!(Ltl::prop("a").or(Ltl::prop("b")).eval(&tr, 0));
         assert!(!Ltl::prop("a").and(Ltl::prop("b")).eval(&tr, 0));
-        assert!(Ltl::prop("a").implies(Ltl::prop("b")).eval(&tr, 1), "vacuous");
+        assert!(
+            Ltl::prop("a").implies(Ltl::prop("b")).eval(&tr, 1),
+            "vacuous"
+        );
     }
 
     #[test]
     fn strong_vs_weak_next_at_trace_end() {
         let tr = t(vec![vec!["a"]]);
         assert!(!Ltl::prop("a").next().eval(&tr, 0), "X false at last step");
-        assert!(Ltl::WeakNext(Box::new(Ltl::prop("a"))).eval(&tr, 0), "wX true at last step");
+        assert!(
+            Ltl::WeakNext(Box::new(Ltl::prop("a"))).eval(&tr, 0),
+            "wX true at last step"
+        );
     }
 
     #[test]
@@ -282,8 +289,14 @@ mod tests {
     #[test]
     fn eval_beyond_the_end_follows_empty_suffix_convention() {
         let tr = t(vec![vec!["p"]]);
-        assert!(Ltl::prop("p").globally().eval(&tr, 5), "G true on empty suffix");
-        assert!(!Ltl::prop("p").finally().eval(&tr, 5), "F false on empty suffix");
+        assert!(
+            Ltl::prop("p").globally().eval(&tr, 5),
+            "G true on empty suffix"
+        );
+        assert!(
+            !Ltl::prop("p").finally().eval(&tr, 5),
+            "F false on empty suffix"
+        );
         assert!(!Ltl::prop("p").eval(&tr, 5));
     }
 
@@ -296,7 +309,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let f = Ltl::prop("overflow").implies(Ltl::prop("alert").finally()).globally();
+        let f = Ltl::prop("overflow")
+            .implies(Ltl::prop("alert").finally())
+            .globally();
         assert_eq!(f.to_string(), "G((overflow -> F(alert)))");
     }
 }

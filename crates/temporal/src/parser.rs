@@ -22,7 +22,10 @@ use crate::formula::Ltl;
 /// [`TemporalError::Parse`] on malformed input.
 pub fn parse_ltl(src: &str) -> Result<Ltl, TemporalError> {
     let tokens = lex(src)?;
-    let mut p = P { toks: tokens, pos: 0 };
+    let mut p = P {
+        toks: tokens,
+        pos: 0,
+    };
     let f = p.implies()?;
     if p.pos != p.toks.len() {
         return Err(TemporalError::Parse(format!(
@@ -126,7 +129,9 @@ fn lex(src: &str) -> Result<Vec<Tok>, TemporalError> {
                 }
             }
             other => {
-                return Err(TemporalError::Parse(format!("unexpected character `{other}`")))
+                return Err(TemporalError::Parse(format!(
+                    "unexpected character `{other}`"
+                )))
             }
         }
     }
@@ -323,7 +328,10 @@ mod tests {
 
     #[test]
     fn arrow_and_until_are_right_associative() {
-        assert_eq!(parse_ltl("a -> b -> c").unwrap().to_string(), "(a -> (b -> c))");
+        assert_eq!(
+            parse_ltl("a -> b -> c").unwrap().to_string(),
+            "(a -> (b -> c))"
+        );
         assert_eq!(parse_ltl("a U b U c").unwrap().to_string(), "(a U (b U c))");
     }
 

@@ -104,9 +104,18 @@ mod tests {
     #[test]
     fn holds_matches_atoms_and_strings() {
         let mut tr = Trace::new();
-        tr.push_step([Atom::new("level", vec![Term::sym("tank"), Term::sym("high")])]);
-        assert!(tr.holds(0, &Atom::new("level", vec![Term::sym("tank"), Term::sym("high")])));
-        assert!(tr.holds_str(0, "level(tank, high)"), "whitespace-insensitive");
+        tr.push_step([Atom::new(
+            "level",
+            vec![Term::sym("tank"), Term::sym("high")],
+        )]);
+        assert!(tr.holds(
+            0,
+            &Atom::new("level", vec![Term::sym("tank"), Term::sym("high")])
+        ));
+        assert!(
+            tr.holds_str(0, "level(tank, high)"),
+            "whitespace-insensitive"
+        );
         assert!(!tr.holds_str(0, "level(tank, low)"));
         assert!(!tr.holds_str(1, "level(tank, high)"), "out of range");
     }

@@ -45,17 +45,32 @@ pub fn unroll(
     }
     let core = formula.desugar();
     check_props_ground(&core)?;
-    let mut ctx = Ctx { name: name.to_owned(), counter: 0, horizon, builder };
+    let mut ctx = Ctx {
+        name: name.to_owned(),
+        counter: 0,
+        horizon,
+        builder,
+    };
     let root = ctx.encode(&core);
 
     // ltl_sat(name) :- ltl(root, 0).   ltl_violated(name) :- not ltl(root, 0).
     let sat_atom = Atom::new("ltl_sat", vec![Term::sym(name)]);
     let violated_atom = Atom::new("ltl_violated", vec![Term::sym(name)]);
     let root0 = holds(&root, 0);
-    ctx.builder.append_rule(Rule::normal(sat_atom.clone(), vec![Literal::Pos(root0.clone())]));
-    ctx.builder
-        .append_rule(Rule::normal(violated_atom.clone(), vec![Literal::Neg(root0)]));
-    Ok(UnrolledRequirement { name: name.to_owned(), sat_atom, violated_atom, horizon })
+    ctx.builder.append_rule(Rule::normal(
+        sat_atom.clone(),
+        vec![Literal::Pos(root0.clone())],
+    ));
+    ctx.builder.append_rule(Rule::normal(
+        violated_atom.clone(),
+        vec![Literal::Neg(root0)],
+    ));
+    Ok(UnrolledRequirement {
+        name: name.to_owned(),
+        sat_atom,
+        violated_atom,
+        horizon,
+    })
 }
 
 fn check_props_ground(f: &Ltl) -> Result<(), TemporalError> {
@@ -68,11 +83,9 @@ fn check_props_ground(f: &Ltl) -> Result<(), TemporalError> {
             }
         }
         Ltl::True | Ltl::False => Ok(()),
-        Ltl::Not(x)
-        | Ltl::Next(x)
-        | Ltl::WeakNext(x)
-        | Ltl::Finally(x)
-        | Ltl::Globally(x) => check_props_ground(x),
+        Ltl::Not(x) | Ltl::Next(x) | Ltl::WeakNext(x) | Ltl::Finally(x) | Ltl::Globally(x) => {
+            check_props_ground(x)
+        }
         Ltl::And(a, b)
         | Ltl::Or(a, b)
         | Ltl::Implies(a, b)
@@ -184,7 +197,10 @@ impl Ctx<'_> {
                     if t + 1 < h {
                         self.builder.append_rule(Rule::normal(
                             holds(&id, t),
-                            vec![Literal::Pos(holds(&aid, t)), Literal::Pos(holds(&id, t + 1))],
+                            vec![
+                                Literal::Pos(holds(&aid, t)),
+                                Literal::Pos(holds(&id, t + 1)),
+                            ],
                         ));
                     }
                 }
@@ -283,7 +299,10 @@ mod tests {
         let formula = parse_ltl("G !level(tank, overflow)").unwrap();
         let mut b = ProgramBuilder::new();
         // overflow at t=2
-        b.fact("level", [Term::sym("tank"), Term::sym("overflow"), Term::Int(2)]);
+        b.fact(
+            "level",
+            [Term::sym("tank"), Term::sym("overflow"), Term::Int(2)],
+        );
         let req = unroll(&mut b, "r1", &formula, 3).unwrap();
         let models = b.finish().solve().unwrap();
         assert!(models[0].contains_str("ltl_violated(r1)"));
@@ -328,7 +347,12 @@ mod tests {
         b.fact("overflow", [Term::Int(1)]);
         let mut choice = cpsrisk_asp::Program::new();
         choice.push_rule(
-            cpsrisk_asp::parse("{ alert(2) }.").unwrap().rules().next().unwrap().clone(),
+            cpsrisk_asp::parse("{ alert(2) }.")
+                .unwrap()
+                .rules()
+                .next()
+                .unwrap()
+                .clone(),
         );
         b.append(choice);
         let req = unroll(

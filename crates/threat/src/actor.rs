@@ -25,7 +25,12 @@ impl ThreatActor {
     /// Create a profile.
     #[must_use]
     pub fn new(name: impl Into<String>, skill: Qual, resources: Qual, motivation: Qual) -> Self {
-        ThreatActor { name: name.into(), skill, resources, motivation }
+        ThreatActor {
+            name: name.into(),
+            skill,
+            resources,
+            motivation,
+        }
     }
 
     /// FAIR *Threat Capability*: dominated by skill, boosted by resources —

@@ -193,7 +193,13 @@ impl ThreatCatalog {
         Vulnerability
     );
     catalog_accessors!(add_technique, technique, techniques, techniques, Technique);
-    catalog_accessors!(add_mitigation, mitigation, mitigations, mitigations, Mitigation);
+    catalog_accessors!(
+        add_mitigation,
+        mitigation,
+        mitigations,
+        mitigations,
+        Mitigation
+    );
 
     /// Techniques applicable to a component type.
     #[must_use]
@@ -201,8 +207,7 @@ impl ThreatCatalog {
         self.techniques
             .values()
             .filter(|t| {
-                t.applicable_types.is_empty()
-                    || t.applicable_types.iter().any(|a| a == type_name)
+                t.applicable_types.is_empty() || t.applicable_types.iter().any(|a| a == type_name)
             })
             .collect()
     }
@@ -280,14 +285,38 @@ impl ThreatCatalog {
             // Mitigations (ATT&CK ICS mitigation ids).
             for (id, name, cost, maint, eff) in [
                 ("m0917", "User Training", 40, 10, Qual::Medium),
-                ("m0948", "Application Isolation and Sandboxing", 80, 20, Qual::High),
-                ("m0938", "Execution Prevention (Endpoint Security)", 120, 30, Qual::High),
+                (
+                    "m0948",
+                    "Application Isolation and Sandboxing",
+                    80,
+                    20,
+                    Qual::High,
+                ),
+                (
+                    "m0938",
+                    "Execution Prevention (Endpoint Security)",
+                    120,
+                    30,
+                    Qual::High,
+                ),
                 ("m0930", "Network Segmentation", 200, 25, Qual::VeryHigh),
                 ("m0932", "Multi-factor Authentication", 60, 15, Qual::High),
-                ("m0942", "Disable or Remove Feature or Program", 20, 5, Qual::Medium),
+                (
+                    "m0942",
+                    "Disable or Remove Feature or Program",
+                    20,
+                    5,
+                    Qual::Medium,
+                ),
                 ("m0926", "Privileged Account Management", 90, 20, Qual::High),
                 ("m0807", "Network Allowlists", 70, 15, Qual::High),
-                ("m0810", "Out-of-Band Communications Channel", 150, 35, Qual::Medium),
+                (
+                    "m0810",
+                    "Out-of-Band Communications Channel",
+                    150,
+                    35,
+                    Qual::Medium,
+                ),
                 ("m0815", "Watchdog Timers", 50, 10, Qual::Medium),
             ] {
                 c.add_mitigation(Mitigation {
@@ -404,9 +433,17 @@ impl ThreatCatalog {
             // Weaknesses.
             for (id, name, versions) in [
                 ("cwe_787", "Out-of-bounds Write", vec!["fw<2.1"]),
-                ("cwe_306", "Missing Authentication for Critical Function", vec!["any"]),
+                (
+                    "cwe_306",
+                    "Missing Authentication for Critical Function",
+                    vec!["any"],
+                ),
                 ("cwe_79", "Cross-site Scripting", vec!["hmi_web<=3.2"]),
-                ("cwe_494", "Download of Code Without Integrity Check", vec!["any"]),
+                (
+                    "cwe_494",
+                    "Download of Code Without Integrity Check",
+                    vec!["any"],
+                ),
                 ("cwe_798", "Hard-coded Credentials", vec!["fw<1.9"]),
             ] {
                 c.add_weakness(Weakness {
@@ -418,9 +455,24 @@ impl ThreatCatalog {
             // Attack patterns.
             for (id, name, exploits, sev) in [
                 ("capec_98", "Phishing", vec![], Qual::High),
-                ("capec_248", "Command Injection", vec!["cwe_306"], Qual::VeryHigh),
-                ("capec_63", "Cross-Site Scripting", vec!["cwe_79"], Qual::Medium),
-                ("capec_184", "Software Integrity Attack", vec!["cwe_494"], Qual::High),
+                (
+                    "capec_248",
+                    "Command Injection",
+                    vec!["cwe_306"],
+                    Qual::VeryHigh,
+                ),
+                (
+                    "capec_63",
+                    "Cross-Site Scripting",
+                    vec!["cwe_79"],
+                    Qual::Medium,
+                ),
+                (
+                    "capec_184",
+                    "Software Integrity Attack",
+                    vec!["cwe_494"],
+                    Qual::High,
+                ),
             ] {
                 c.add_pattern(AttackPattern {
                     id: id.into(),
@@ -506,7 +558,10 @@ mod tests {
         let c = ThreatCatalog::curated();
         let ws = c.techniques_for_type("engineering_workstation");
         assert!(ws.iter().any(|t| t.id == "t0865"));
-        assert!(ws.iter().any(|t| t.id == "t0828"), "untyped techniques apply to all");
+        assert!(
+            ws.iter().any(|t| t.id == "t0828"),
+            "untyped techniques apply to all"
+        );
         let valve = c.techniques_for_type("valve_actuator");
         assert!(valve.iter().any(|t| t.id == "t0855"));
         assert!(!valve.iter().any(|t| t.id == "t0865"));
@@ -534,7 +589,10 @@ mod tests {
             effectiveness: Qual::Low,
         };
         c.add_mitigation(m.clone()).unwrap();
-        assert!(matches!(c.add_mitigation(m), Err(ThreatError::DuplicateEntry(_))));
+        assert!(matches!(
+            c.add_mitigation(m),
+            Err(ThreatError::DuplicateEntry(_))
+        ));
     }
 
     #[test]

@@ -113,8 +113,7 @@ impl CvssVector {
     /// The CVSS v3.1 base score in `[0.0, 10.0]`, one decimal.
     #[must_use]
     pub fn base_score(&self) -> f64 {
-        let iss = 1.0
-            - (1.0 - self.c.weight()) * (1.0 - self.i.weight()) * (1.0 - self.a.weight());
+        let iss = 1.0 - (1.0 - self.c.weight()) * (1.0 - self.i.weight()) * (1.0 - self.a.weight());
         let impact = match self.scope {
             Scope::U => 6.42 * iss,
             Scope::C => 7.52 * (iss - 0.029) - 3.25 * (iss - 0.02).powi(15),
@@ -391,7 +390,9 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_vectors() {
-        assert!("CVSS:3.1/AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse::<CvssVector>().is_err());
+        assert!("CVSS:3.1/AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse::<CvssVector>()
+            .is_err());
         assert!("AV:N/AC:L".parse::<CvssVector>().is_err());
         assert!("gibberish".parse::<CvssVector>().is_err());
     }
@@ -425,7 +426,9 @@ mod tests {
 
     #[test]
     fn exploitability_subscore() {
-        let v: CvssVector = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        let v: CvssVector = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+            .parse()
+            .unwrap();
         assert!((v.exploitability() - 3.887_042_775).abs() < 1e-9);
     }
 }

@@ -35,10 +35,15 @@ impl Default for GeneratorConfig {
             techniques: 50,
             mitigations: 20,
             vulnerabilities: 30,
-            component_types: ["plc_controller", "hmi", "engineering_workstation", "valve_actuator"]
-                .iter()
-                .map(|s| (*s).to_owned())
-                .collect(),
+            component_types: [
+                "plc_controller",
+                "hmi",
+                "engineering_workstation",
+                "valve_actuator",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
             fault_modes: ["compromised", "no_signal", "wrong_command"]
                 .iter()
                 .map(|s| (*s).to_owned())
@@ -68,8 +73,14 @@ const TACTICS: [Tactic; 11] = [
 /// Panics if `config.component_types` or `config.fault_modes` is empty.
 #[must_use]
 pub fn generate(config: &GeneratorConfig, seed: u64) -> ThreatCatalog {
-    assert!(!config.component_types.is_empty(), "need at least one component type");
-    assert!(!config.fault_modes.is_empty(), "need at least one fault mode");
+    assert!(
+        !config.component_types.is_empty(),
+        "need at least one component type"
+    );
+    assert!(
+        !config.fault_modes.is_empty(),
+        "need at least one fault mode"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut catalog = ThreatCatalog::new();
 
@@ -126,9 +137,9 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> ThreatCatalog {
                 id: format!("gv{i:04}"),
                 description: format!("Synthetic vulnerability {i}"),
                 cvss: vector,
-                affected_types: vec![
-                    config.component_types[rng.gen_range(0..config.component_types.len())].clone(),
-                ],
+                affected_types: vec![config.component_types
+                    [rng.gen_range(0..config.component_types.len())]
+                .clone()],
                 weakness: None,
                 induced_fault: config.fault_modes[rng.gen_range(0..config.fault_modes.len())]
                     .clone(),
@@ -173,7 +184,12 @@ mod tests {
 
     #[test]
     fn generated_catalog_validates_and_has_requested_sizes() {
-        let cfg = GeneratorConfig { techniques: 120, mitigations: 40, vulnerabilities: 60, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            techniques: 120,
+            mitigations: 40,
+            vulnerabilities: 60,
+            ..GeneratorConfig::default()
+        };
         let cat = generate(&cfg, 7);
         cat.validate().unwrap();
         let (_, _, v, t, m) = cat.counts();
@@ -192,7 +208,10 @@ mod tests {
 
     #[test]
     fn severity_distribution_is_nondegenerate() {
-        let cfg = GeneratorConfig { vulnerabilities: 200, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            vulnerabilities: 200,
+            ..GeneratorConfig::default()
+        };
         let cat = generate(&cfg, 9);
         let scores: Vec<f64> = cat.vulnerabilities().map(|v| v.cvss.base_score()).collect();
         let zeros = scores.iter().filter(|s| **s == 0.0).count();
@@ -204,7 +223,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "component type")]
     fn empty_type_vocabulary_panics() {
-        let cfg = GeneratorConfig { component_types: vec![], ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            component_types: vec![],
+            ..GeneratorConfig::default()
+        };
         let _ = generate(&cfg, 0);
     }
 }

@@ -43,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let program = cpsrisk::asp::parse(&source)?;
-    println!(
-        "parsed {} statements; grounding…",
-        program.statements.len()
-    );
+    println!("parsed {} statements; grounding…", program.statements.len());
     let ground = Grounder::new().ground(&program)?;
     println!(
         "ground program: {} atoms, {} rules, {} cardinality constraints\n",
@@ -61,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{} answer set(s) ({} decisions, search {}):\n",
         result.models.len(),
         result.decisions,
-        if result.exhausted { "exhausted" } else { "stopped early" }
+        if result.exhausted {
+            "exhausted"
+        } else {
+            "stopped early"
+        }
     );
     for (i, model) in result.models.iter().enumerate() {
         println!("Answer {}: {}", i + 1, model);

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for t in catalog.techniques_for_type("engineering_workstation") {
         println!(
             "  {} {:<38} tactic={:<22} difficulty={}",
-            t.id, t.name, t.tactic.asp_name(), t.difficulty
+            t.id,
+            t.name,
+            t.tactic.asp_name(),
+            t.difficulty
         );
     }
     for v in catalog.vulnerabilities_for_type("engineering_workstation") {
@@ -53,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for req in ["r1", "r2"] {
         match cpsrisk::epa::cheapest_attack(&problem, req)? {
             Some((scenario, cost)) => {
-                println!("  {req}: cheapest violating fault set {scenario} at attacker cost {cost}");
+                println!(
+                    "  {req}: cheapest violating fault set {scenario} at attacker cost {cost}"
+                );
             }
             None => println!("  {req}: not attackable"),
         }

@@ -1,0 +1,14 @@
+//! Dump the exhaustive ASP encoding of the water-tank case study.
+//!
+//! `examples/water_tank.lp` is this output plus a header comment;
+//! regenerate it after model changes with
+//! `cargo run --example dump_encoding`.
+
+fn main() {
+    let problem = cpsrisk::casestudy::water_tank_problem(&[]).unwrap();
+    let program = cpsrisk::epa::encode::encode(
+        &problem,
+        &cpsrisk::epa::encode::EncodeMode::Exhaustive { max_faults: None },
+    );
+    print!("{program}");
+}

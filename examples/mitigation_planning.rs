@@ -5,8 +5,8 @@
 //! Run with: `cargo run --example mitigation_planning`
 
 use cpsrisk::mitigation::{
-    best_under_budget, branch_and_bound, consolidation_plan, greedy_cover,
-    min_cost_blocking_asp, AttackScenario, Coverage, MitigationCandidate, MitigationProblem,
+    best_under_budget, branch_and_bound, consolidation_plan, greedy_cover, min_cost_blocking_asp,
+    AttackScenario, Coverage, MitigationCandidate, MitigationProblem,
 };
 
 fn problem() -> MitigationProblem {
@@ -14,9 +14,19 @@ fn problem() -> MitigationProblem {
         candidates: vec![
             MitigationCandidate::new("training", "User Training", 40, &["phish"]),
             MitigationCandidate::new("endpoint", "Endpoint Security", 120, &["phish", "malware"]),
-            MitigationCandidate::new("segment", "Network Segmentation", 200, &["lateral", "remote_svc"]),
+            MitigationCandidate::new(
+                "segment",
+                "Network Segmentation",
+                200,
+                &["lateral", "remote_svc"],
+            ),
             MitigationCandidate::new("mfa", "Multi-factor Auth", 60, &["valid_accounts"]),
-            MitigationCandidate::new("allowlist", "Network Allowlists", 70, &["remote_svc", "cmd_msg"]),
+            MitigationCandidate::new(
+                "allowlist",
+                "Network Allowlists",
+                70,
+                &["remote_svc", "cmd_msg"],
+            ),
             MitigationCandidate::new("watchdog", "Watchdog Timers", 50, &["device_restart"]),
         ],
         scenarios: vec![
@@ -37,10 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exact = branch_and_bound(&p)?;
     println!("exact (branch & bound): {}  cost {}", exact, p.cost(&exact));
     let greedy = greedy_cover(&p)?;
-    println!("greedy set cover:       {}  cost {}", greedy, p.cost(&greedy));
+    println!(
+        "greedy set cover:       {}  cost {}",
+        greedy,
+        p.cost(&greedy)
+    );
     let asp = min_cost_blocking_asp(&p)?;
     println!("ASP #minimize:          {}  cost {}", asp, p.cost(&asp));
-    assert_eq!(p.cost(&asp), p.cost(&exact), "ASP matches the exact optimum");
+    assert_eq!(
+        p.cost(&asp),
+        p.cost(&exact),
+        "ASP matches the exact optimum"
+    );
 
     println!("\n=== budget-constrained risk reduction ===\n");
     for budget in [0, 100, 200, 400] {

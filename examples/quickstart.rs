@@ -24,7 +24,10 @@ fn main() -> Result<(), cpsrisk::CoreError> {
         .with_sensitivity()
         .run()?;
 
-    println!("scenario space: {} scenarios evaluated", report.outcomes.len());
+    println!(
+        "scenario space: {} scenarios evaluated",
+        report.outcomes.len()
+    );
     println!("hazards found:  {}\n", report.hazards.len());
 
     println!("top hazards (O-RA rated):");

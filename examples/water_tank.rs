@@ -53,7 +53,10 @@ fn main() -> Result<(), cpsrisk::CoreError> {
         println!("\nwith user training (M1) active, the e-mail entry point closes:");
         let trained = casestudy::water_tank_problem_refined(&["m1"])?;
         let out = TopologyAnalysis::new(&trained).evaluate(&Scenario::of(&["f_email"]));
-        println!("  attack step f_email: violates {:?}", out.violated.iter().collect::<Vec<_>>());
+        println!(
+            "  attack step f_email: violates {:?}",
+            out.violated.iter().collect::<Vec<_>>()
+        );
     } else {
         println!("\n(run with --refined for the Fig. 4 hierarchical refinement demo)");
     }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/brute_force-edfafd6218d27114.d: crates/asp/tests/brute_force.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbrute_force-edfafd6218d27114.rmeta: crates/asp/tests/brute_force.rs Cargo.toml
+
+crates/asp/tests/brute_force.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/brute_force-fc5f9f99b3647f30.d: crates/asp/tests/brute_force.rs
+
+/root/repo/target/debug/deps/brute_force-fc5f9f99b3647f30: crates/asp/tests/brute_force.rs
+
+crates/asp/tests/brute_force.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/case_study-ac7be42049abf43b.d: crates/bench/benches/case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcase_study-ac7be42049abf43b.rmeta: crates/bench/benches/case_study.rs Cargo.toml
+
+crates/bench/benches/case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

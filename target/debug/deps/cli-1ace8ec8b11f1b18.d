@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cli-1ace8ec8b11f1b18.d: crates/core/../../tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-1ace8ec8b11f1b18.rmeta: crates/core/../../tests/cli.rs Cargo.toml
+
+crates/core/../../tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_cpsrisk=placeholder:cpsrisk
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

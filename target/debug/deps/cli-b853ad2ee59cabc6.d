@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-b853ad2ee59cabc6.d: crates/core/../../tests/cli.rs
+
+/root/repo/target/debug/deps/cli-b853ad2ee59cabc6: crates/core/../../tests/cli.rs
+
+crates/core/../../tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_cpsrisk=/root/repo/target/debug/cpsrisk
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpsrisk-cb5179dd00c2320f.d: crates/core/src/bin/cpsrisk.rs
+
+/root/repo/target/debug/deps/cpsrisk-cb5179dd00c2320f: crates/core/src/bin/cpsrisk.rs
+
+crates/core/src/bin/cpsrisk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpsrisk-ce8c9f50571aba68.d: crates/core/src/bin/cpsrisk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk-ce8c9f50571aba68.rmeta: crates/core/src/bin/cpsrisk.rs Cargo.toml
+
+crates/core/src/bin/cpsrisk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpsrisk-d082abb908c35889.d: crates/core/src/bin/cpsrisk.rs
+
+/root/repo/target/debug/deps/cpsrisk-d082abb908c35889: crates/core/src/bin/cpsrisk.rs
+
+crates/core/src/bin/cpsrisk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpsrisk-ff48224e27a94dd2.d: crates/core/src/bin/cpsrisk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk-ff48224e27a94dd2.rmeta: crates/core/src/bin/cpsrisk.rs Cargo.toml
+
+crates/core/src/bin/cpsrisk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpsrisk_bench-001c6aa9c40172c2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk_bench-001c6aa9c40172c2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

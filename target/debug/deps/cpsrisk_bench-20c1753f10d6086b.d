@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpsrisk_bench-20c1753f10d6086b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk_bench-20c1753f10d6086b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

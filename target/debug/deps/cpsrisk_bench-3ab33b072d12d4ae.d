@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpsrisk_bench-3ab33b072d12d4ae.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cpsrisk_bench-3ab33b072d12d4ae: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cpsrisk_bench-f5e8c358304ba84d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcpsrisk_bench-f5e8c358304ba84d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcpsrisk_bench-f5e8c358304ba84d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

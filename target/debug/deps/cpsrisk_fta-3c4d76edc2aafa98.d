@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cpsrisk_fta-3c4d76edc2aafa98.d: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk_fta-3c4d76edc2aafa98.rmeta: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs Cargo.toml
+
+crates/fta/src/lib.rs:
+crates/fta/src/compare.rs:
+crates/fta/src/cutsets.rs:
+crates/fta/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

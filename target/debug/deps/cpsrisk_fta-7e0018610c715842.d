@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpsrisk_fta-7e0018610c715842.d: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs
+
+/root/repo/target/debug/deps/libcpsrisk_fta-7e0018610c715842.rlib: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs
+
+/root/repo/target/debug/deps/libcpsrisk_fta-7e0018610c715842.rmeta: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs
+
+crates/fta/src/lib.rs:
+crates/fta/src/compare.rs:
+crates/fta/src/cutsets.rs:
+crates/fta/src/tree.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cpsrisk_fta-a9a13180dfec6f35.d: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs
+
+/root/repo/target/debug/deps/cpsrisk_fta-a9a13180dfec6f35: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs
+
+crates/fta/src/lib.rs:
+crates/fta/src/compare.rs:
+crates/fta/src/cutsets.rs:
+crates/fta/src/tree.rs:

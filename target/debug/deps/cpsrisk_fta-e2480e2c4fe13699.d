@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cpsrisk_fta-e2480e2c4fe13699.d: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk_fta-e2480e2c4fe13699.rmeta: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs Cargo.toml
+
+crates/fta/src/lib.rs:
+crates/fta/src/compare.rs:
+crates/fta/src/cutsets.rs:
+crates/fta/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

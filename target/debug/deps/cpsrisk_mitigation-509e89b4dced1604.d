@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpsrisk_mitigation-509e89b4dced1604.d: crates/mitigation/src/lib.rs crates/mitigation/src/error.rs crates/mitigation/src/optimize.rs crates/mitigation/src/plan.rs crates/mitigation/src/space.rs
+
+/root/repo/target/debug/deps/cpsrisk_mitigation-509e89b4dced1604: crates/mitigation/src/lib.rs crates/mitigation/src/error.rs crates/mitigation/src/optimize.rs crates/mitigation/src/plan.rs crates/mitigation/src/space.rs
+
+crates/mitigation/src/lib.rs:
+crates/mitigation/src/error.rs:
+crates/mitigation/src/optimize.rs:
+crates/mitigation/src/plan.rs:
+crates/mitigation/src/space.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpsrisk_mitigation-97c830d85a9d8a49.d: crates/mitigation/src/lib.rs crates/mitigation/src/error.rs crates/mitigation/src/optimize.rs crates/mitigation/src/plan.rs crates/mitigation/src/space.rs
+
+/root/repo/target/debug/deps/libcpsrisk_mitigation-97c830d85a9d8a49.rlib: crates/mitigation/src/lib.rs crates/mitigation/src/error.rs crates/mitigation/src/optimize.rs crates/mitigation/src/plan.rs crates/mitigation/src/space.rs
+
+/root/repo/target/debug/deps/libcpsrisk_mitigation-97c830d85a9d8a49.rmeta: crates/mitigation/src/lib.rs crates/mitigation/src/error.rs crates/mitigation/src/optimize.rs crates/mitigation/src/plan.rs crates/mitigation/src/space.rs
+
+crates/mitigation/src/lib.rs:
+crates/mitigation/src/error.rs:
+crates/mitigation/src/optimize.rs:
+crates/mitigation/src/plan.rs:
+crates/mitigation/src/space.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cpsrisk_mitigation-a38f198282c3dcba.d: crates/mitigation/src/lib.rs crates/mitigation/src/error.rs crates/mitigation/src/optimize.rs crates/mitigation/src/plan.rs crates/mitigation/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk_mitigation-a38f198282c3dcba.rmeta: crates/mitigation/src/lib.rs crates/mitigation/src/error.rs crates/mitigation/src/optimize.rs crates/mitigation/src/plan.rs crates/mitigation/src/space.rs Cargo.toml
+
+crates/mitigation/src/lib.rs:
+crates/mitigation/src/error.rs:
+crates/mitigation/src/optimize.rs:
+crates/mitigation/src/plan.rs:
+crates/mitigation/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cpsrisk_model-5a36880ee1e733d7.d: crates/model/src/lib.rs crates/model/src/aspect.rs crates/model/src/element.rs crates/model/src/error.rs crates/model/src/export.rs crates/model/src/library.rs crates/model/src/lint.rs crates/model/src/model.rs crates/model/src/refinement.rs crates/model/src/relation.rs crates/model/src/security.rs
+
+/root/repo/target/debug/deps/cpsrisk_model-5a36880ee1e733d7: crates/model/src/lib.rs crates/model/src/aspect.rs crates/model/src/element.rs crates/model/src/error.rs crates/model/src/export.rs crates/model/src/library.rs crates/model/src/lint.rs crates/model/src/model.rs crates/model/src/refinement.rs crates/model/src/relation.rs crates/model/src/security.rs
+
+crates/model/src/lib.rs:
+crates/model/src/aspect.rs:
+crates/model/src/element.rs:
+crates/model/src/error.rs:
+crates/model/src/export.rs:
+crates/model/src/library.rs:
+crates/model/src/lint.rs:
+crates/model/src/model.rs:
+crates/model/src/refinement.rs:
+crates/model/src/relation.rs:
+crates/model/src/security.rs:

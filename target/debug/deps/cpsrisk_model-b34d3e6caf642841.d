@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cpsrisk_model-b34d3e6caf642841.d: crates/model/src/lib.rs crates/model/src/aspect.rs crates/model/src/element.rs crates/model/src/error.rs crates/model/src/export.rs crates/model/src/library.rs crates/model/src/lint.rs crates/model/src/model.rs crates/model/src/refinement.rs crates/model/src/relation.rs crates/model/src/security.rs
+
+/root/repo/target/debug/deps/libcpsrisk_model-b34d3e6caf642841.rlib: crates/model/src/lib.rs crates/model/src/aspect.rs crates/model/src/element.rs crates/model/src/error.rs crates/model/src/export.rs crates/model/src/library.rs crates/model/src/lint.rs crates/model/src/model.rs crates/model/src/refinement.rs crates/model/src/relation.rs crates/model/src/security.rs
+
+/root/repo/target/debug/deps/libcpsrisk_model-b34d3e6caf642841.rmeta: crates/model/src/lib.rs crates/model/src/aspect.rs crates/model/src/element.rs crates/model/src/error.rs crates/model/src/export.rs crates/model/src/library.rs crates/model/src/lint.rs crates/model/src/model.rs crates/model/src/refinement.rs crates/model/src/relation.rs crates/model/src/security.rs
+
+crates/model/src/lib.rs:
+crates/model/src/aspect.rs:
+crates/model/src/element.rs:
+crates/model/src/error.rs:
+crates/model/src/export.rs:
+crates/model/src/library.rs:
+crates/model/src/lint.rs:
+crates/model/src/model.rs:
+crates/model/src/refinement.rs:
+crates/model/src/relation.rs:
+crates/model/src/security.rs:

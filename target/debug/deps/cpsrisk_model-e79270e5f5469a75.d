@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/cpsrisk_model-e79270e5f5469a75.d: crates/model/src/lib.rs crates/model/src/aspect.rs crates/model/src/element.rs crates/model/src/error.rs crates/model/src/export.rs crates/model/src/library.rs crates/model/src/lint.rs crates/model/src/model.rs crates/model/src/refinement.rs crates/model/src/relation.rs crates/model/src/security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk_model-e79270e5f5469a75.rmeta: crates/model/src/lib.rs crates/model/src/aspect.rs crates/model/src/element.rs crates/model/src/error.rs crates/model/src/export.rs crates/model/src/library.rs crates/model/src/lint.rs crates/model/src/model.rs crates/model/src/refinement.rs crates/model/src/relation.rs crates/model/src/security.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/aspect.rs:
+crates/model/src/element.rs:
+crates/model/src/error.rs:
+crates/model/src/export.rs:
+crates/model/src/library.rs:
+crates/model/src/lint.rs:
+crates/model/src/model.rs:
+crates/model/src/refinement.rs:
+crates/model/src/relation.rs:
+crates/model/src/security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

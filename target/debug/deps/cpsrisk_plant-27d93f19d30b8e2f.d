@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpsrisk_plant-27d93f19d30b8e2f.d: crates/plant/src/lib.rs crates/plant/src/fault.rs crates/plant/src/qualitative.rs crates/plant/src/sim.rs
+
+/root/repo/target/debug/deps/libcpsrisk_plant-27d93f19d30b8e2f.rlib: crates/plant/src/lib.rs crates/plant/src/fault.rs crates/plant/src/qualitative.rs crates/plant/src/sim.rs
+
+/root/repo/target/debug/deps/libcpsrisk_plant-27d93f19d30b8e2f.rmeta: crates/plant/src/lib.rs crates/plant/src/fault.rs crates/plant/src/qualitative.rs crates/plant/src/sim.rs
+
+crates/plant/src/lib.rs:
+crates/plant/src/fault.rs:
+crates/plant/src/qualitative.rs:
+crates/plant/src/sim.rs:

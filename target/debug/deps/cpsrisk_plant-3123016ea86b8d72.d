@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cpsrisk_plant-3123016ea86b8d72.d: crates/plant/src/lib.rs crates/plant/src/fault.rs crates/plant/src/qualitative.rs crates/plant/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk_plant-3123016ea86b8d72.rmeta: crates/plant/src/lib.rs crates/plant/src/fault.rs crates/plant/src/qualitative.rs crates/plant/src/sim.rs Cargo.toml
+
+crates/plant/src/lib.rs:
+crates/plant/src/fault.rs:
+crates/plant/src/qualitative.rs:
+crates/plant/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cpsrisk_plant-ce70c0dd9dac0bf6.d: crates/plant/src/lib.rs crates/plant/src/fault.rs crates/plant/src/qualitative.rs crates/plant/src/sim.rs
+
+/root/repo/target/debug/deps/cpsrisk_plant-ce70c0dd9dac0bf6: crates/plant/src/lib.rs crates/plant/src/fault.rs crates/plant/src/qualitative.rs crates/plant/src/sim.rs
+
+crates/plant/src/lib.rs:
+crates/plant/src/fault.rs:
+crates/plant/src/qualitative.rs:
+crates/plant/src/sim.rs:

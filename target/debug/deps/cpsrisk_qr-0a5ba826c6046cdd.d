@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cpsrisk_qr-0a5ba826c6046cdd.d: crates/qr/src/lib.rs crates/qr/src/algebra.rs crates/qr/src/domain.rs crates/qr/src/error.rs crates/qr/src/scale.rs crates/qr/src/statemachine.rs crates/qr/src/trace.rs crates/qr/src/value.rs
+
+/root/repo/target/debug/deps/libcpsrisk_qr-0a5ba826c6046cdd.rlib: crates/qr/src/lib.rs crates/qr/src/algebra.rs crates/qr/src/domain.rs crates/qr/src/error.rs crates/qr/src/scale.rs crates/qr/src/statemachine.rs crates/qr/src/trace.rs crates/qr/src/value.rs
+
+/root/repo/target/debug/deps/libcpsrisk_qr-0a5ba826c6046cdd.rmeta: crates/qr/src/lib.rs crates/qr/src/algebra.rs crates/qr/src/domain.rs crates/qr/src/error.rs crates/qr/src/scale.rs crates/qr/src/statemachine.rs crates/qr/src/trace.rs crates/qr/src/value.rs
+
+crates/qr/src/lib.rs:
+crates/qr/src/algebra.rs:
+crates/qr/src/domain.rs:
+crates/qr/src/error.rs:
+crates/qr/src/scale.rs:
+crates/qr/src/statemachine.rs:
+crates/qr/src/trace.rs:
+crates/qr/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cpsrisk_qr-5c3c3aed705d6d34.d: crates/qr/src/lib.rs crates/qr/src/algebra.rs crates/qr/src/domain.rs crates/qr/src/error.rs crates/qr/src/scale.rs crates/qr/src/statemachine.rs crates/qr/src/trace.rs crates/qr/src/value.rs
+
+/root/repo/target/debug/deps/cpsrisk_qr-5c3c3aed705d6d34: crates/qr/src/lib.rs crates/qr/src/algebra.rs crates/qr/src/domain.rs crates/qr/src/error.rs crates/qr/src/scale.rs crates/qr/src/statemachine.rs crates/qr/src/trace.rs crates/qr/src/value.rs
+
+crates/qr/src/lib.rs:
+crates/qr/src/algebra.rs:
+crates/qr/src/domain.rs:
+crates/qr/src/error.rs:
+crates/qr/src/scale.rs:
+crates/qr/src/statemachine.rs:
+crates/qr/src/trace.rs:
+crates/qr/src/value.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cpsrisk_qr-9081998b65695386.d: crates/qr/src/lib.rs crates/qr/src/algebra.rs crates/qr/src/domain.rs crates/qr/src/error.rs crates/qr/src/scale.rs crates/qr/src/statemachine.rs crates/qr/src/trace.rs crates/qr/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk_qr-9081998b65695386.rmeta: crates/qr/src/lib.rs crates/qr/src/algebra.rs crates/qr/src/domain.rs crates/qr/src/error.rs crates/qr/src/scale.rs crates/qr/src/statemachine.rs crates/qr/src/trace.rs crates/qr/src/value.rs Cargo.toml
+
+crates/qr/src/lib.rs:
+crates/qr/src/algebra.rs:
+crates/qr/src/domain.rs:
+crates/qr/src/error.rs:
+crates/qr/src/scale.rs:
+crates/qr/src/statemachine.rs:
+crates/qr/src/trace.rs:
+crates/qr/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cpsrisk_risk-1d416b23fbac4fe3.d: crates/risk/src/lib.rs crates/risk/src/fair.rs crates/risk/src/iec61508.rs crates/risk/src/ora.rs crates/risk/src/rough.rs crates/risk/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libcpsrisk_risk-1d416b23fbac4fe3.rlib: crates/risk/src/lib.rs crates/risk/src/fair.rs crates/risk/src/iec61508.rs crates/risk/src/ora.rs crates/risk/src/rough.rs crates/risk/src/sensitivity.rs
+
+/root/repo/target/debug/deps/libcpsrisk_risk-1d416b23fbac4fe3.rmeta: crates/risk/src/lib.rs crates/risk/src/fair.rs crates/risk/src/iec61508.rs crates/risk/src/ora.rs crates/risk/src/rough.rs crates/risk/src/sensitivity.rs
+
+crates/risk/src/lib.rs:
+crates/risk/src/fair.rs:
+crates/risk/src/iec61508.rs:
+crates/risk/src/ora.rs:
+crates/risk/src/rough.rs:
+crates/risk/src/sensitivity.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cpsrisk_risk-3579042ac5409b5a.d: crates/risk/src/lib.rs crates/risk/src/fair.rs crates/risk/src/iec61508.rs crates/risk/src/ora.rs crates/risk/src/rough.rs crates/risk/src/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk_risk-3579042ac5409b5a.rmeta: crates/risk/src/lib.rs crates/risk/src/fair.rs crates/risk/src/iec61508.rs crates/risk/src/ora.rs crates/risk/src/rough.rs crates/risk/src/sensitivity.rs Cargo.toml
+
+crates/risk/src/lib.rs:
+crates/risk/src/fair.rs:
+crates/risk/src/iec61508.rs:
+crates/risk/src/ora.rs:
+crates/risk/src/rough.rs:
+crates/risk/src/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpsrisk_risk-dcea4108aee25f18.d: crates/risk/src/lib.rs crates/risk/src/fair.rs crates/risk/src/iec61508.rs crates/risk/src/ora.rs crates/risk/src/rough.rs crates/risk/src/sensitivity.rs
+
+/root/repo/target/debug/deps/cpsrisk_risk-dcea4108aee25f18: crates/risk/src/lib.rs crates/risk/src/fair.rs crates/risk/src/iec61508.rs crates/risk/src/ora.rs crates/risk/src/rough.rs crates/risk/src/sensitivity.rs
+
+crates/risk/src/lib.rs:
+crates/risk/src/fair.rs:
+crates/risk/src/iec61508.rs:
+crates/risk/src/ora.rs:
+crates/risk/src/rough.rs:
+crates/risk/src/sensitivity.rs:

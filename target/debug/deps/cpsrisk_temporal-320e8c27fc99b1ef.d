@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpsrisk_temporal-320e8c27fc99b1ef.d: crates/temporal/src/lib.rs crates/temporal/src/error.rs crates/temporal/src/formula.rs crates/temporal/src/parser.rs crates/temporal/src/trace.rs crates/temporal/src/unroll.rs
+
+/root/repo/target/debug/deps/cpsrisk_temporal-320e8c27fc99b1ef: crates/temporal/src/lib.rs crates/temporal/src/error.rs crates/temporal/src/formula.rs crates/temporal/src/parser.rs crates/temporal/src/trace.rs crates/temporal/src/unroll.rs
+
+crates/temporal/src/lib.rs:
+crates/temporal/src/error.rs:
+crates/temporal/src/formula.rs:
+crates/temporal/src/parser.rs:
+crates/temporal/src/trace.rs:
+crates/temporal/src/unroll.rs:

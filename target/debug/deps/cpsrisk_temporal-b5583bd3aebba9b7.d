@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cpsrisk_temporal-b5583bd3aebba9b7.d: crates/temporal/src/lib.rs crates/temporal/src/error.rs crates/temporal/src/formula.rs crates/temporal/src/parser.rs crates/temporal/src/trace.rs crates/temporal/src/unroll.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk_temporal-b5583bd3aebba9b7.rmeta: crates/temporal/src/lib.rs crates/temporal/src/error.rs crates/temporal/src/formula.rs crates/temporal/src/parser.rs crates/temporal/src/trace.rs crates/temporal/src/unroll.rs Cargo.toml
+
+crates/temporal/src/lib.rs:
+crates/temporal/src/error.rs:
+crates/temporal/src/formula.rs:
+crates/temporal/src/parser.rs:
+crates/temporal/src/trace.rs:
+crates/temporal/src/unroll.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

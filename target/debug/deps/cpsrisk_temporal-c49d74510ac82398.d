@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cpsrisk_temporal-c49d74510ac82398.d: crates/temporal/src/lib.rs crates/temporal/src/error.rs crates/temporal/src/formula.rs crates/temporal/src/parser.rs crates/temporal/src/trace.rs crates/temporal/src/unroll.rs
+
+/root/repo/target/debug/deps/libcpsrisk_temporal-c49d74510ac82398.rlib: crates/temporal/src/lib.rs crates/temporal/src/error.rs crates/temporal/src/formula.rs crates/temporal/src/parser.rs crates/temporal/src/trace.rs crates/temporal/src/unroll.rs
+
+/root/repo/target/debug/deps/libcpsrisk_temporal-c49d74510ac82398.rmeta: crates/temporal/src/lib.rs crates/temporal/src/error.rs crates/temporal/src/formula.rs crates/temporal/src/parser.rs crates/temporal/src/trace.rs crates/temporal/src/unroll.rs
+
+crates/temporal/src/lib.rs:
+crates/temporal/src/error.rs:
+crates/temporal/src/formula.rs:
+crates/temporal/src/parser.rs:
+crates/temporal/src/trace.rs:
+crates/temporal/src/unroll.rs:

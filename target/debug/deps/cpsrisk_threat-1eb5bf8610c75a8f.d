@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpsrisk_threat-1eb5bf8610c75a8f.d: crates/threat/src/lib.rs crates/threat/src/actor.rs crates/threat/src/catalog.rs crates/threat/src/cvss.rs crates/threat/src/error.rs crates/threat/src/generator.rs
+
+/root/repo/target/debug/deps/cpsrisk_threat-1eb5bf8610c75a8f: crates/threat/src/lib.rs crates/threat/src/actor.rs crates/threat/src/catalog.rs crates/threat/src/cvss.rs crates/threat/src/error.rs crates/threat/src/generator.rs
+
+crates/threat/src/lib.rs:
+crates/threat/src/actor.rs:
+crates/threat/src/catalog.rs:
+crates/threat/src/cvss.rs:
+crates/threat/src/error.rs:
+crates/threat/src/generator.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cpsrisk_threat-cafe2a1c74a4c259.d: crates/threat/src/lib.rs crates/threat/src/actor.rs crates/threat/src/catalog.rs crates/threat/src/cvss.rs crates/threat/src/error.rs crates/threat/src/generator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpsrisk_threat-cafe2a1c74a4c259.rmeta: crates/threat/src/lib.rs crates/threat/src/actor.rs crates/threat/src/catalog.rs crates/threat/src/cvss.rs crates/threat/src/error.rs crates/threat/src/generator.rs Cargo.toml
+
+crates/threat/src/lib.rs:
+crates/threat/src/actor.rs:
+crates/threat/src/catalog.rs:
+crates/threat/src/cvss.rs:
+crates/threat/src/error.rs:
+crates/threat/src/generator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cpsrisk_threat-ce121383c632fe55.d: crates/threat/src/lib.rs crates/threat/src/actor.rs crates/threat/src/catalog.rs crates/threat/src/cvss.rs crates/threat/src/error.rs crates/threat/src/generator.rs
+
+/root/repo/target/debug/deps/libcpsrisk_threat-ce121383c632fe55.rlib: crates/threat/src/lib.rs crates/threat/src/actor.rs crates/threat/src/catalog.rs crates/threat/src/cvss.rs crates/threat/src/error.rs crates/threat/src/generator.rs
+
+/root/repo/target/debug/deps/libcpsrisk_threat-ce121383c632fe55.rmeta: crates/threat/src/lib.rs crates/threat/src/actor.rs crates/threat/src/catalog.rs crates/threat/src/cvss.rs crates/threat/src/error.rs crates/threat/src/generator.rs
+
+crates/threat/src/lib.rs:
+crates/threat/src/actor.rs:
+crates/threat/src/catalog.rs:
+crates/threat/src/cvss.rs:
+crates/threat/src/error.rs:
+crates/threat/src/generator.rs:

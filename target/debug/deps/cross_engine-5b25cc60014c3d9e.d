@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-5b25cc60014c3d9e.d: crates/core/../../tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-5b25cc60014c3d9e: crates/core/../../tests/cross_engine.rs
+
+crates/core/../../tests/cross_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cvss_properties-8f33c9cf3b3d3e97.d: crates/threat/tests/cvss_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcvss_properties-8f33c9cf3b3d3e97.rmeta: crates/threat/tests/cvss_properties.rs Cargo.toml
+
+crates/threat/tests/cvss_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cvss_properties-cf883adfe935e459.d: crates/threat/tests/cvss_properties.rs
+
+/root/repo/target/debug/deps/cvss_properties-cf883adfe935e459: crates/threat/tests/cvss_properties.rs
+
+crates/threat/tests/cvss_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fta_vs_epa-a627d486b5dd7d92.d: crates/bench/benches/fta_vs_epa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfta_vs_epa-a627d486b5dd7d92.rmeta: crates/bench/benches/fta_vs_epa.rs Cargo.toml
+
+crates/bench/benches/fta_vs_epa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hierarchy-a8b0e4c9f2c6b1e7.d: crates/bench/benches/hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhierarchy-a8b0e4c9f2c6b1e7.rmeta: crates/bench/benches/hierarchy.rs Cargo.toml
+
+crates/bench/benches/hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-3280d18a34148372.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-3280d18a34148372: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

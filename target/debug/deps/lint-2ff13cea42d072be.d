@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint-2ff13cea42d072be.d: crates/core/../../tests/lint.rs
+
+/root/repo/target/debug/deps/lint-2ff13cea42d072be: crates/core/../../tests/lint.rs
+
+crates/core/../../tests/lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

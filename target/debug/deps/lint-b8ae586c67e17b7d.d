@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lint-b8ae586c67e17b7d.d: crates/core/../../tests/lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint-b8ae586c67e17b7d.rmeta: crates/core/../../tests/lint.rs Cargo.toml
+
+crates/core/../../tests/lint.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

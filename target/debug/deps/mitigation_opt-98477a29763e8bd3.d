@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mitigation_opt-98477a29763e8bd3.d: crates/bench/benches/mitigation_opt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmitigation_opt-98477a29763e8bd3.rmeta: crates/bench/benches/mitigation_opt.rs Cargo.toml
+
+crates/bench/benches/mitigation_opt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plant_properties-1624539dbce9c8bc.d: crates/plant/tests/plant_properties.rs
+
+/root/repo/target/debug/deps/plant_properties-1624539dbce9c8bc: crates/plant/tests/plant_properties.rs
+
+crates/plant/tests/plant_properties.rs:

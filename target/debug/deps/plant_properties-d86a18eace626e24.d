@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plant_properties-d86a18eace626e24.d: crates/plant/tests/plant_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplant_properties-d86a18eace626e24.rmeta: crates/plant/tests/plant_properties.rs Cargo.toml
+
+crates/plant/tests/plant_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1b0437c43843fbba.d: crates/qr/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1b0437c43843fbba: crates/qr/tests/properties.rs
+
+crates/qr/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-62050faecc622778.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-62050faecc622778: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bc99a8f6a25e760f.d: crates/qr/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bc99a8f6a25e760f.rmeta: crates/qr/tests/properties.rs Cargo.toml
+
+crates/qr/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-6bb24fec08eef152.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6bb24fec08eef152.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6bb24fec08eef152.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-aef5a024eae95fcd.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-aef5a024eae95fcd.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

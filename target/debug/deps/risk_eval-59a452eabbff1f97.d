@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/risk_eval-59a452eabbff1f97.d: crates/bench/benches/risk_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/librisk_eval-59a452eabbff1f97.rmeta: crates/bench/benches/risk_eval.rs Cargo.toml
+
+crates/bench/benches/risk_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rough_sets-2129888955c00c57.d: crates/bench/benches/rough_sets.rs Cargo.toml
+
+/root/repo/target/debug/deps/librough_sets-2129888955c00c57.rmeta: crates/bench/benches/rough_sets.rs Cargo.toml
+
+crates/bench/benches/rough_sets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

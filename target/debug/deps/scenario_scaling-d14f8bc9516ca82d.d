@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenario_scaling-d14f8bc9516ca82d.d: crates/bench/benches/scenario_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenario_scaling-d14f8bc9516ca82d.rmeta: crates/bench/benches/scenario_scaling.rs Cargo.toml
+
+crates/bench/benches/scenario_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-38f1d478b1f9bdb9.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-38f1d478b1f9bdb9.rlib: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-38f1d478b1f9bdb9.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-ec534911ab1067ae.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-ec534911ab1067ae.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-bff2a3b64980fd1b.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-bff2a3b64980fd1b.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-bff2a3b64980fd1b.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

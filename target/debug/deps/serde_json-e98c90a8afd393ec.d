@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-e98c90a8afd393ec.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-e98c90a8afd393ec.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-8fb358790c6a8066.d: crates/asp/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-8fb358790c6a8066.rmeta: crates/asp/tests/stress.rs Cargo.toml
+
+crates/asp/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

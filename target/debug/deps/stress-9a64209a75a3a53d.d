@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-9a64209a75a3a53d.d: crates/asp/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-9a64209a75a3a53d: crates/asp/tests/stress.rs
+
+crates/asp/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_ii-183224d71b37d31a.d: crates/core/../../tests/table_ii.rs
+
+/root/repo/target/debug/deps/table_ii-183224d71b37d31a: crates/core/../../tests/table_ii.rs
+
+crates/core/../../tests/table_ii.rs:

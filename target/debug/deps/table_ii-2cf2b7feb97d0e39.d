@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_ii-2cf2b7feb97d0e39.d: crates/core/../../tests/table_ii.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_ii-2cf2b7feb97d0e39.rmeta: crates/core/../../tests/table_ii.rs Cargo.toml
+
+crates/core/../../tests/table_ii.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

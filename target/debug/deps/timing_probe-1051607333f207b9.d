@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing_probe-1051607333f207b9.d: crates/bench/src/bin/timing_probe.rs
+
+/root/repo/target/debug/deps/timing_probe-1051607333f207b9: crates/bench/src/bin/timing_probe.rs
+
+crates/bench/src/bin/timing_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing_probe-862b5e2d38230326.d: crates/bench/src/bin/timing_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming_probe-862b5e2d38230326.rmeta: crates/bench/src/bin/timing_probe.rs Cargo.toml
+
+crates/bench/src/bin/timing_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing_probe-a9b3feb61298516c.d: crates/bench/src/bin/timing_probe.rs
+
+/root/repo/target/debug/deps/timing_probe-a9b3feb61298516c: crates/bench/src/bin/timing_probe.rs
+
+crates/bench/src/bin/timing_probe.rs:

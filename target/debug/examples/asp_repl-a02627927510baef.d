@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/asp_repl-a02627927510baef.d: crates/core/../../examples/asp_repl.rs
+
+/root/repo/target/debug/examples/asp_repl-a02627927510baef: crates/core/../../examples/asp_repl.rs
+
+crates/core/../../examples/asp_repl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/asp_repl-a8acc757597fe98d.d: crates/core/../../examples/asp_repl.rs Cargo.toml
+
+/root/repo/target/debug/examples/libasp_repl-a8acc757597fe98d.rmeta: crates/core/../../examples/asp_repl.rs Cargo.toml
+
+crates/core/../../examples/asp_repl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

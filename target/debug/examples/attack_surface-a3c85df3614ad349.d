@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_surface-a3c85df3614ad349.d: crates/core/../../examples/attack_surface.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_surface-a3c85df3614ad349.rmeta: crates/core/../../examples/attack_surface.rs Cargo.toml
+
+crates/core/../../examples/attack_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

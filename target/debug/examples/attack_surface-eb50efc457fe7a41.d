@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_surface-eb50efc457fe7a41.d: crates/core/../../examples/attack_surface.rs
+
+/root/repo/target/debug/examples/attack_surface-eb50efc457fe7a41: crates/core/../../examples/attack_surface.rs
+
+crates/core/../../examples/attack_surface.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dump_encoding-e06b8a40b8c170f0.d: crates/core/../../examples/dump_encoding.rs
+
+/root/repo/target/debug/examples/dump_encoding-e06b8a40b8c170f0: crates/core/../../examples/dump_encoding.rs
+
+crates/core/../../examples/dump_encoding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dump_encoding-e5329700e6c6e19e.d: crates/core/../../examples/dump_encoding.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdump_encoding-e5329700e6c6e19e.rmeta: crates/core/../../examples/dump_encoding.rs Cargo.toml
+
+crates/core/../../examples/dump_encoding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hierarchical-19ccdb01e1588fd9.d: crates/core/../../examples/hierarchical.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhierarchical-19ccdb01e1588fd9.rmeta: crates/core/../../examples/hierarchical.rs Cargo.toml
+
+crates/core/../../examples/hierarchical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

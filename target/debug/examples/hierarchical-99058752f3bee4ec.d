@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hierarchical-99058752f3bee4ec.d: crates/core/../../examples/hierarchical.rs
+
+/root/repo/target/debug/examples/hierarchical-99058752f3bee4ec: crates/core/../../examples/hierarchical.rs
+
+crates/core/../../examples/hierarchical.rs:

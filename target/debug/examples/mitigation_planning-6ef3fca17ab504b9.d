@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mitigation_planning-6ef3fca17ab504b9.d: crates/core/../../examples/mitigation_planning.rs
+
+/root/repo/target/debug/examples/mitigation_planning-6ef3fca17ab504b9: crates/core/../../examples/mitigation_planning.rs
+
+crates/core/../../examples/mitigation_planning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mitigation_planning-a77cf809934bb64b.d: crates/core/../../examples/mitigation_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmitigation_planning-a77cf809934bb64b.rmeta: crates/core/../../examples/mitigation_planning.rs Cargo.toml
+
+crates/core/../../examples/mitigation_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

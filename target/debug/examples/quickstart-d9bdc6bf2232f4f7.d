@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d9bdc6bf2232f4f7.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d9bdc6bf2232f4f7: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

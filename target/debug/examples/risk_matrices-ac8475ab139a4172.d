@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/risk_matrices-ac8475ab139a4172.d: crates/core/../../examples/risk_matrices.rs Cargo.toml
+
+/root/repo/target/debug/examples/librisk_matrices-ac8475ab139a4172.rmeta: crates/core/../../examples/risk_matrices.rs Cargo.toml
+
+crates/core/../../examples/risk_matrices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/risk_matrices-b267c3f253157e2c.d: crates/core/../../examples/risk_matrices.rs
+
+/root/repo/target/debug/examples/risk_matrices-b267c3f253157e2c: crates/core/../../examples/risk_matrices.rs
+
+crates/core/../../examples/risk_matrices.rs:

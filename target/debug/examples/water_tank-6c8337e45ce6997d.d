@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/water_tank-6c8337e45ce6997d.d: crates/core/../../examples/water_tank.rs
+
+/root/repo/target/debug/examples/water_tank-6c8337e45ce6997d: crates/core/../../examples/water_tank.rs
+
+crates/core/../../examples/water_tank.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/water_tank-e7bc31f4fec5da04.d: crates/core/../../examples/water_tank.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwater_tank-e7bc31f4fec5da04.rmeta: crates/core/../../examples/water_tank.rs Cargo.toml
+
+crates/core/../../examples/water_tank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

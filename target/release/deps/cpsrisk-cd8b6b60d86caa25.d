@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cpsrisk-cd8b6b60d86caa25.d: crates/core/src/bin/cpsrisk.rs
+
+/root/repo/target/release/deps/cpsrisk-cd8b6b60d86caa25: crates/core/src/bin/cpsrisk.rs
+
+crates/core/src/bin/cpsrisk.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cpsrisk_bench-c5d25f063372e1a2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcpsrisk_bench-c5d25f063372e1a2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcpsrisk_bench-c5d25f063372e1a2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cpsrisk_fta-5f3a0ffe1416f470.d: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs
+
+/root/repo/target/release/deps/libcpsrisk_fta-5f3a0ffe1416f470.rlib: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs
+
+/root/repo/target/release/deps/libcpsrisk_fta-5f3a0ffe1416f470.rmeta: crates/fta/src/lib.rs crates/fta/src/compare.rs crates/fta/src/cutsets.rs crates/fta/src/tree.rs
+
+crates/fta/src/lib.rs:
+crates/fta/src/compare.rs:
+crates/fta/src/cutsets.rs:
+crates/fta/src/tree.rs:

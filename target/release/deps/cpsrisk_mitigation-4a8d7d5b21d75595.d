@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cpsrisk_mitigation-4a8d7d5b21d75595.d: crates/mitigation/src/lib.rs crates/mitigation/src/error.rs crates/mitigation/src/optimize.rs crates/mitigation/src/plan.rs crates/mitigation/src/space.rs
+
+/root/repo/target/release/deps/libcpsrisk_mitigation-4a8d7d5b21d75595.rlib: crates/mitigation/src/lib.rs crates/mitigation/src/error.rs crates/mitigation/src/optimize.rs crates/mitigation/src/plan.rs crates/mitigation/src/space.rs
+
+/root/repo/target/release/deps/libcpsrisk_mitigation-4a8d7d5b21d75595.rmeta: crates/mitigation/src/lib.rs crates/mitigation/src/error.rs crates/mitigation/src/optimize.rs crates/mitigation/src/plan.rs crates/mitigation/src/space.rs
+
+crates/mitigation/src/lib.rs:
+crates/mitigation/src/error.rs:
+crates/mitigation/src/optimize.rs:
+crates/mitigation/src/plan.rs:
+crates/mitigation/src/space.rs:

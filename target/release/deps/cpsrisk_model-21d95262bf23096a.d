@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/cpsrisk_model-21d95262bf23096a.d: crates/model/src/lib.rs crates/model/src/aspect.rs crates/model/src/element.rs crates/model/src/error.rs crates/model/src/export.rs crates/model/src/library.rs crates/model/src/lint.rs crates/model/src/model.rs crates/model/src/refinement.rs crates/model/src/relation.rs crates/model/src/security.rs
+
+/root/repo/target/release/deps/libcpsrisk_model-21d95262bf23096a.rlib: crates/model/src/lib.rs crates/model/src/aspect.rs crates/model/src/element.rs crates/model/src/error.rs crates/model/src/export.rs crates/model/src/library.rs crates/model/src/lint.rs crates/model/src/model.rs crates/model/src/refinement.rs crates/model/src/relation.rs crates/model/src/security.rs
+
+/root/repo/target/release/deps/libcpsrisk_model-21d95262bf23096a.rmeta: crates/model/src/lib.rs crates/model/src/aspect.rs crates/model/src/element.rs crates/model/src/error.rs crates/model/src/export.rs crates/model/src/library.rs crates/model/src/lint.rs crates/model/src/model.rs crates/model/src/refinement.rs crates/model/src/relation.rs crates/model/src/security.rs
+
+crates/model/src/lib.rs:
+crates/model/src/aspect.rs:
+crates/model/src/element.rs:
+crates/model/src/error.rs:
+crates/model/src/export.rs:
+crates/model/src/library.rs:
+crates/model/src/lint.rs:
+crates/model/src/model.rs:
+crates/model/src/refinement.rs:
+crates/model/src/relation.rs:
+crates/model/src/security.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cpsrisk_plant-517f9f322eeeb072.d: crates/plant/src/lib.rs crates/plant/src/fault.rs crates/plant/src/qualitative.rs crates/plant/src/sim.rs
+
+/root/repo/target/release/deps/libcpsrisk_plant-517f9f322eeeb072.rlib: crates/plant/src/lib.rs crates/plant/src/fault.rs crates/plant/src/qualitative.rs crates/plant/src/sim.rs
+
+/root/repo/target/release/deps/libcpsrisk_plant-517f9f322eeeb072.rmeta: crates/plant/src/lib.rs crates/plant/src/fault.rs crates/plant/src/qualitative.rs crates/plant/src/sim.rs
+
+crates/plant/src/lib.rs:
+crates/plant/src/fault.rs:
+crates/plant/src/qualitative.rs:
+crates/plant/src/sim.rs:

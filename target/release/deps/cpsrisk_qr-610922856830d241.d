@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cpsrisk_qr-610922856830d241.d: crates/qr/src/lib.rs crates/qr/src/algebra.rs crates/qr/src/domain.rs crates/qr/src/error.rs crates/qr/src/scale.rs crates/qr/src/statemachine.rs crates/qr/src/trace.rs crates/qr/src/value.rs
+
+/root/repo/target/release/deps/libcpsrisk_qr-610922856830d241.rlib: crates/qr/src/lib.rs crates/qr/src/algebra.rs crates/qr/src/domain.rs crates/qr/src/error.rs crates/qr/src/scale.rs crates/qr/src/statemachine.rs crates/qr/src/trace.rs crates/qr/src/value.rs
+
+/root/repo/target/release/deps/libcpsrisk_qr-610922856830d241.rmeta: crates/qr/src/lib.rs crates/qr/src/algebra.rs crates/qr/src/domain.rs crates/qr/src/error.rs crates/qr/src/scale.rs crates/qr/src/statemachine.rs crates/qr/src/trace.rs crates/qr/src/value.rs
+
+crates/qr/src/lib.rs:
+crates/qr/src/algebra.rs:
+crates/qr/src/domain.rs:
+crates/qr/src/error.rs:
+crates/qr/src/scale.rs:
+crates/qr/src/statemachine.rs:
+crates/qr/src/trace.rs:
+crates/qr/src/value.rs:

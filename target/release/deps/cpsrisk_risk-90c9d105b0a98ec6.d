@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cpsrisk_risk-90c9d105b0a98ec6.d: crates/risk/src/lib.rs crates/risk/src/fair.rs crates/risk/src/iec61508.rs crates/risk/src/ora.rs crates/risk/src/rough.rs crates/risk/src/sensitivity.rs
+
+/root/repo/target/release/deps/libcpsrisk_risk-90c9d105b0a98ec6.rlib: crates/risk/src/lib.rs crates/risk/src/fair.rs crates/risk/src/iec61508.rs crates/risk/src/ora.rs crates/risk/src/rough.rs crates/risk/src/sensitivity.rs
+
+/root/repo/target/release/deps/libcpsrisk_risk-90c9d105b0a98ec6.rmeta: crates/risk/src/lib.rs crates/risk/src/fair.rs crates/risk/src/iec61508.rs crates/risk/src/ora.rs crates/risk/src/rough.rs crates/risk/src/sensitivity.rs
+
+crates/risk/src/lib.rs:
+crates/risk/src/fair.rs:
+crates/risk/src/iec61508.rs:
+crates/risk/src/ora.rs:
+crates/risk/src/rough.rs:
+crates/risk/src/sensitivity.rs:

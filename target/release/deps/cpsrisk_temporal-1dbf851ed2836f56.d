@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cpsrisk_temporal-1dbf851ed2836f56.d: crates/temporal/src/lib.rs crates/temporal/src/error.rs crates/temporal/src/formula.rs crates/temporal/src/parser.rs crates/temporal/src/trace.rs crates/temporal/src/unroll.rs
+
+/root/repo/target/release/deps/libcpsrisk_temporal-1dbf851ed2836f56.rlib: crates/temporal/src/lib.rs crates/temporal/src/error.rs crates/temporal/src/formula.rs crates/temporal/src/parser.rs crates/temporal/src/trace.rs crates/temporal/src/unroll.rs
+
+/root/repo/target/release/deps/libcpsrisk_temporal-1dbf851ed2836f56.rmeta: crates/temporal/src/lib.rs crates/temporal/src/error.rs crates/temporal/src/formula.rs crates/temporal/src/parser.rs crates/temporal/src/trace.rs crates/temporal/src/unroll.rs
+
+crates/temporal/src/lib.rs:
+crates/temporal/src/error.rs:
+crates/temporal/src/formula.rs:
+crates/temporal/src/parser.rs:
+crates/temporal/src/trace.rs:
+crates/temporal/src/unroll.rs:

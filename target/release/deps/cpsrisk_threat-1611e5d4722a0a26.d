@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cpsrisk_threat-1611e5d4722a0a26.d: crates/threat/src/lib.rs crates/threat/src/actor.rs crates/threat/src/catalog.rs crates/threat/src/cvss.rs crates/threat/src/error.rs crates/threat/src/generator.rs
+
+/root/repo/target/release/deps/libcpsrisk_threat-1611e5d4722a0a26.rlib: crates/threat/src/lib.rs crates/threat/src/actor.rs crates/threat/src/catalog.rs crates/threat/src/cvss.rs crates/threat/src/error.rs crates/threat/src/generator.rs
+
+/root/repo/target/release/deps/libcpsrisk_threat-1611e5d4722a0a26.rmeta: crates/threat/src/lib.rs crates/threat/src/actor.rs crates/threat/src/catalog.rs crates/threat/src/cvss.rs crates/threat/src/error.rs crates/threat/src/generator.rs
+
+crates/threat/src/lib.rs:
+crates/threat/src/actor.rs:
+crates/threat/src/catalog.rs:
+crates/threat/src/cvss.rs:
+crates/threat/src/error.rs:
+crates/threat/src/generator.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a1e63da3570cb13e.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a1e63da3570cb13e.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a1e63da3570cb13e.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

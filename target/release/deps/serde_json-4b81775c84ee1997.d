@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-4b81775c84ee1997.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-4b81775c84ee1997.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-4b81775c84ee1997.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timing_probe-bf88874059845528.d: crates/bench/src/bin/timing_probe.rs
+
+/root/repo/target/release/deps/timing_probe-bf88874059845528: crates/bench/src/bin/timing_probe.rs
+
+crates/bench/src/bin/timing_probe.rs:

@@ -21,7 +21,11 @@ fn table2_prints_the_paper_rows() {
     for label in ["S1", "S2", "S3", "S4", "S5", "S6", "S7"] {
         assert!(stdout.contains(label), "missing {label}");
     }
-    assert_eq!(stdout.matches("Violated").count(), 7, "4 R1 + 3 R2 verdicts");
+    assert_eq!(
+        stdout.matches("Violated").count(),
+        7,
+        "4 R1 + 3 R2 verdicts"
+    );
 }
 
 #[test]
@@ -70,6 +74,81 @@ fn solve_runs_a_program_file() {
     let (stdout, _, ok) = run(&["solve", file.to_str().unwrap()]);
     assert!(ok);
     assert!(stdout.contains("3 model(s)"));
+}
+
+#[test]
+fn solve_gate_rejects_programs_with_lint_errors() {
+    let dir = std::env::temp_dir().join("cpsrisk_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("unsafe.lp");
+    // Unsafe variable: lint error A003 must abort the solve.
+    std::fs::write(&file, "q(a).\np(X, Y) :- q(X).").unwrap();
+    let (_, stderr, ok) = run(&["solve", file.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("error[A003]"), "{stderr}");
+    assert!(stderr.contains("lint errors"), "{stderr}");
+}
+
+#[test]
+fn solve_gate_passes_warnings_to_stderr() {
+    let dir = std::env::temp_dir().join("cpsrisk_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("warny.lp");
+    // `ghost` is never defined: warning A001, but the program still solves.
+    std::fs::write(&file, "a :- ghost.\n{ b }.").unwrap();
+    let (stdout, stderr, ok) = run(&["solve", file.to_str().unwrap()]);
+    assert!(ok, "warnings do not block: {stderr}");
+    assert!(stderr.contains("warning[A001]"), "{stderr}");
+    assert!(stdout.contains("2 model(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_command_checks_the_case_study() {
+    let (stdout, _, ok) = run(&["lint"]);
+    assert!(ok, "shipped case study must be lint-clean");
+    assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
+    assert!(stdout.contains("[M005]"), "advisory model findings shown");
+    assert!(
+        stdout.contains("[A008]"),
+        "advisory encoding findings shown"
+    );
+}
+
+#[test]
+fn lint_command_checks_program_files() {
+    let examples = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples");
+    let (stdout, _, ok) = run(&[
+        "lint",
+        &format!("{examples}/listing1.lp"),
+        &format!("{examples}/water_tank.lp"),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
+
+    let dir = std::env::temp_dir().join("cpsrisk_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("broken.lp");
+    std::fs::write(&file, "p(a\n").unwrap();
+    let (stdout, stderr, ok) = run(&["lint", file.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stdout.contains("error[A000]"), "{stdout}");
+    assert!(stderr.contains("lint failed"), "{stderr}");
+}
+
+#[test]
+fn lint_deny_warnings_promotes_warnings_to_failures() {
+    let dir = std::env::temp_dir().join("cpsrisk_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("warn_only.lp");
+    std::fs::write(&file, "a :- ghost.\n{ b }.").unwrap();
+    let (stdout, _, ok) = run(&["lint", file.to_str().unwrap()]);
+    assert!(ok, "a warning alone passes: {stdout}");
+    let (stdout, _, ok) = run(&["lint", "--deny-warnings", file.to_str().unwrap()]);
+    assert!(!ok, "--deny-warnings rejects it: {stdout}");
+    // A misspelled flag must not silently disable the denial.
+    let (_, stderr, ok) = run(&["lint", "--deny-warning", file.to_str().unwrap()]);
+    assert!(!ok, "unknown flags are rejected");
+    assert!(stderr.contains("unknown lint flag"), "{stderr}");
 }
 
 #[test]

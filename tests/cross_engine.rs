@@ -55,10 +55,16 @@ fn fta_baseline_underreports_exactly_the_propagated_hazards() {
     // direct valve fault.
     assert!(!report.missed_by_fta.is_empty());
     for missed in &report.missed_by_fta {
-        assert!(missed.contains("f4"), "FTA only misses workstation-induced hazards");
+        assert!(
+            missed.contains("f4"),
+            "FTA only misses workstation-induced hazards"
+        );
         assert!(!missed.contains("f2"));
     }
-    assert!(report.extra_in_fta.is_empty(), "FTA never over-reports vs EPA");
+    assert!(
+        report.extra_in_fta.is_empty(),
+        "FTA never over-reports vs EPA"
+    );
     assert!(report.fta_coverage() < 1.0);
 }
 
@@ -67,29 +73,40 @@ fn fta_baseline_underreports_exactly_the_propagated_hazards() {
 #[test]
 fn behavioral_analysis_matches_plant_style_dynamics() {
     let mut system = SystemModel::new("chain");
-    system.add_element("valve", "Valve", ElementKind::Equipment).unwrap();
-    system.add_element("tank", "Tank", ElementKind::Equipment).unwrap();
+    system
+        .add_element("valve", "Valve", ElementKind::Equipment)
+        .unwrap();
+    system
+        .add_element("tank", "Tank", ElementKind::Equipment)
+        .unwrap();
     system
         .insert_relation(Relation::new("valve", "tank", RelationKind::Flow).with_label("water"))
         .unwrap();
 
     let mut valve = QualMachine::new("valve", "closed").unwrap();
     valve.add_state("closed", [("water", "off")]).unwrap();
-    valve.add_fault_state("stuck_open", [("water", "on")]).unwrap();
+    valve
+        .add_fault_state("stuck_open", [("water", "on")])
+        .unwrap();
 
     let mut tank = QualMachine::new("tank", "normal").unwrap();
     for s in ["normal", "high", "overflow"] {
         tank.add_state(s, [("level", s)]).unwrap();
     }
-    tank.add_transition("normal", vec![Guard::new("water", "on")], "high").unwrap();
-    tank.add_transition("high", vec![Guard::new("water", "on")], "overflow").unwrap();
+    tank.add_transition("normal", vec![Guard::new("water", "on")], "high")
+        .unwrap();
+    tank.add_transition("high", vec![Guard::new("water", "on")], "overflow")
+        .unwrap();
 
     let mut behaviors = BTreeMap::new();
     behaviors.insert("valve".to_owned(), valve);
     behaviors.insert("tank".to_owned(), tank);
     let merged = MergedModel { system, behaviors };
 
-    let r1 = ("r1".to_owned(), parse_ltl("G !state(tank, overflow)").unwrap());
+    let r1 = (
+        "r1".to_owned(),
+        parse_ltl("G !state(tank, overflow)").unwrap(),
+    );
 
     // Nominal: no fault, valve closed, tank stays normal.
     let ok = analyze_behavior(&merged, &BTreeMap::new(), std::slice::from_ref(&r1), 5).unwrap();
@@ -97,8 +114,7 @@ fn behavioral_analysis_matches_plant_style_dynamics() {
 
     // Stuck-open valve: the tank overflows within the horizon, exactly as
     // the continuous plant does under F1+F2-style misactuation.
-    let faulted: BTreeMap<String, String> =
-        [("valve".to_owned(), "stuck_open".to_owned())].into();
+    let faulted: BTreeMap<String, String> = [("valve".to_owned(), "stuck_open".to_owned())].into();
     let bad = analyze_behavior(&merged, &faulted, &[r1], 5).unwrap();
     assert!(bad.violated.contains("r1"));
 }
@@ -134,13 +150,21 @@ fn mutation_injection_from_catalog_builds_a_solvable_problem() {
     let library = TypeLibrary::standard();
     let catalog = ThreatCatalog::curated();
     let mutations = inject_mutations(&model, &library, &catalog);
-    assert!(mutations.len() >= 10, "library + catalog populate the fault universe");
+    assert!(
+        mutations.len() >= 10,
+        "library + catalog populate the fault universe"
+    );
 
-    let problem = EpaProblem::new(model, mutations, casestudy::water_tank_requirements(), vec![])
-        .expect("validates");
+    let problem = EpaProblem::new(
+        model,
+        mutations,
+        casestudy::water_tank_requirements(),
+        vec![],
+    )
+    .expect("validates");
     // Bounded sweep stays tractable and finds the known hazards.
     let hazards = TopologyAnalysis::new(&problem).hazards(1);
-    assert!(hazards
-        .iter()
-        .any(|h| h.effective_modes.contains(&("output_valve".into(), "stuck_at_closed".into()))));
+    assert!(hazards.iter().any(|h| h
+        .effective_modes
+        .contains(&("output_valve".into(), "stuck_at_closed".into()))));
 }

@@ -42,7 +42,10 @@ fn recommendation_actually_blocks_what_it_claims() {
     hardened.activate_mitigation("m1").unwrap();
     hardened.activate_mitigation("m2").unwrap();
     let after = Assessment::new(hardened).run().unwrap();
-    assert!(after.hazards.iter().all(|h| !h.outcome.scenario.contains("f4")));
+    assert!(after
+        .hazards
+        .iter()
+        .all(|h| !h.outcome.scenario.contains("f4")));
 }
 
 #[test]
@@ -51,7 +54,10 @@ fn hierarchy_focuses_compose() {
     let f1 = topology_focus(&problem, usize::MAX);
     let f2 = detailed_focus(&problem, usize::MAX, &PlantOracle::new());
     let f3 = mitigation_focus(&problem, usize::MAX, &[100, 100]).unwrap();
-    assert!(f2.hazards.len() <= f1.hazards.len(), "refinement only removes");
+    assert!(
+        f2.hazards.len() <= f1.hazards.len(),
+        "refinement only removes"
+    );
     assert!(!f3.phases.is_empty());
 }
 
@@ -114,7 +120,11 @@ fn threat_actor_gates_technique_feasibility() {
             .count()
     };
     assert!(feasible(&apt) > feasible(&kiddie));
-    assert_eq!(feasible(&apt), catalog.techniques().count(), "APT executes everything");
+    assert_eq!(
+        feasible(&apt),
+        catalog.techniques().count(),
+        "APT executes everything"
+    );
 }
 
 #[test]
@@ -132,7 +142,11 @@ fn rough_sets_classify_epa_verdicts_under_hidden_attributes() {
         let b = |f: &str| if s.contains(f) { "1" } else { "0" };
         table.add_row(
             &[b("f1"), b("f3"), b("f4")],
-            if out.violated.contains("r1") { "hazard" } else { "safe" },
+            if out.violated.contains("r1") {
+                "hazard"
+            } else {
+                "safe"
+            },
         );
     }
     let approx = table.approximate_all("hazard");

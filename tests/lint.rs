@@ -1,0 +1,88 @@
+//! Cross-layer lint assertions: the paper's shipped artifacts must stay
+//! lint-clean (no errors, no warnings — advisory infos are allowed), and
+//! the pipeline must carry advisory findings through to its report.
+
+use cpsrisk::asp::diag::{has_errors, has_warnings};
+use cpsrisk::asp::lint::lint_source;
+use cpsrisk::casestudy;
+use cpsrisk::epa::encode::{encode, EncodeMode};
+use cpsrisk::model::lint_model;
+use cpsrisk::pipeline::Assessment;
+
+/// Listing 1 of the paper, verbatim (also the `cpsrisk_asp` crate docs).
+const LISTING_1: &str = "component(ew). fault(f4). mitigation(f4, m2). \
+    potential_fault(C, F) :- component(C), fault(F), \
+    mitigation(F, M), not active_mitigation(C, M).";
+
+#[test]
+fn paper_listing_1_is_lint_clean() {
+    let diags = lint_source(LISTING_1);
+    assert!(!has_errors(&diags) && !has_warnings(&diags), "{diags:?}");
+}
+
+#[test]
+fn water_tank_model_is_lint_clean() {
+    let model = casestudy::water_tank_model().unwrap();
+    let diags = lint_model(&model);
+    assert!(!has_errors(&diags) && !has_warnings(&diags), "{diags:?}");
+    // The advisory findings are exactly the unannotated active elements.
+    assert!(diags.iter().all(|d| d.code == "M005"), "{diags:?}");
+}
+
+#[test]
+fn water_tank_encoding_is_lint_clean() {
+    let problem = casestudy::water_tank_problem(&[]).unwrap();
+    let program = encode(&problem, &EncodeMode::Exhaustive { max_faults: None });
+    let diags = lint_source(&program.to_string());
+    assert!(!has_errors(&diags) && !has_warnings(&diags), "{diags:?}");
+}
+
+#[test]
+fn mitigated_encoding_is_lint_clean_without_findings() {
+    // With active mitigations the encoding defines `active_mitigation`,
+    // so even the advisory A008 disappears.
+    let problem = casestudy::water_tank_problem(&["m1", "m2"]).unwrap();
+    let program = encode(&problem, &EncodeMode::Exhaustive { max_faults: None });
+    let diags = lint_source(&program.to_string());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn shipped_example_programs_are_lint_clean() {
+    for name in ["listing1.lp", "water_tank.lp"] {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/");
+        let src = std::fs::read_to_string(format!("{path}{name}")).unwrap();
+        let diags = lint_source(&src);
+        assert!(
+            !has_errors(&diags) && !has_warnings(&diags),
+            "{name}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn misspelled_listing_1_gets_a_did_you_mean_with_position() {
+    let src = "component(ew). fault(f4). mitigation(f4, m2).\n\
+               potential_fault(C, F) :- component(C), fault(F),\n\
+               \x20   mitigaton(F, M), not active_mitigation(C, M).";
+    let diags = lint_source(src);
+    let d = diags.iter().find(|d| d.code == "A001").expect("A001 fires");
+    assert_eq!(d.suggestion.as_deref(), Some("did you mean `mitigation`?"));
+    let span = d.span.expect("span");
+    assert_eq!((span.line, span.column), (3, 5));
+}
+
+#[test]
+fn pipeline_report_carries_advisory_lint_findings() {
+    let problem = casestudy::water_tank_problem(&[]).unwrap();
+    let report = Assessment::new(problem).run().unwrap();
+    assert!(
+        !report.lint.is_empty(),
+        "advisory model findings ride along"
+    );
+    assert!(report.lint.iter().all(|d| !d.is_error() && !d.is_warning()));
+    // The report (with its lint findings) round-trips through serde.
+    let json = serde_json::to_string(&report).unwrap();
+    let back: cpsrisk::pipeline::AssessmentReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.lint, report.lint);
+}

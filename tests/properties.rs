@@ -152,11 +152,17 @@ fn binom(n: u64, k: u64) -> u64 {
 fn arb_mitigation_problem() -> impl Strategy<Value = MitigationProblem> {
     let faults = ["fa", "fb", "fc", "fd"];
     let candidates = prop::collection::vec(
-        (1u64..300, prop::collection::btree_set(0usize..faults.len(), 1..3)),
+        (
+            1u64..300,
+            prop::collection::btree_set(0usize..faults.len(), 1..3),
+        ),
         1..5,
     );
     let scenarios = prop::collection::vec(
-        (prop::collection::btree_set(0usize..faults.len(), 1..3), 1u64..5000),
+        (
+            prop::collection::btree_set(0usize..faults.len(), 1..3),
+            1u64..5000,
+        ),
         1..4,
     );
     (candidates, scenarios).prop_map(move |(cands, scens)| MitigationProblem {

@@ -50,7 +50,10 @@ fn table_ii_via_direct_engine_matches_the_paper() {
         let outcome = TopologyAnalysis::new(&problem).evaluate(&Scenario::of(&faults));
         let (_, r1, r2) = EXPECTED[i];
         assert_eq!(
-            (outcome.violated.contains("r1"), outcome.violated.contains("r2")),
+            (
+                outcome.violated.contains("r1"),
+                outcome.violated.contains("r2")
+            ),
             (r1, r2),
             "direct engine diverges on {label}"
         );

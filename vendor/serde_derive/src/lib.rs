@@ -1,0 +1,460 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the simplified `serde::Serialize` / `serde::Deserialize` traits of
+//! the vendored `serde` facade without depending on `syn`/`quote`: the item is
+//! parsed directly from the raw token stream and the impl is generated as a
+//! string. Supports plain (non-generic) structs and enums with unit, tuple,
+//! and struct variants, plus the `#[serde(skip)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&name, &shape),
+                Mode::Deserialize => gen_deserialize(&name, &shape),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consume a leading run of `#[...]` attributes; true if any of them is
+    /// `#[serde(skip)]` (possibly alongside other serde options).
+    fn eat_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                if attr_is_serde_skip(&g.stream()) {
+                    skip = true;
+                }
+            }
+        }
+        skip
+    }
+
+    /// Consume `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn eat_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("serde stub derive: expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Skip tokens until a top-level comma (angle-bracket depth aware) or the
+    /// end of the stream. Consumes the comma.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut cur = Cursor::new(input);
+    cur.eat_attrs();
+    cur.eat_visibility();
+    let kind = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde stub derive: generic type `{name}` is not supported"));
+    }
+    match kind.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(parse_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("serde stub derive: unexpected struct body {other:?}")),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("serde stub derive: unexpected enum body {other:?}")),
+        },
+        other => Err(format!("serde stub derive: unsupported item kind `{other}`")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let skip = cur.eat_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.eat_visibility();
+        let name = cur.expect_ident()?;
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde stub derive: expected `:`, got {other:?}")),
+        }
+        cur.skip_until_comma();
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    let mut idx = 0usize;
+    while !cur.at_end() {
+        let skip = cur.eat_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.eat_visibility();
+        cur.skip_until_comma();
+        fields.push(Field { name: idx.to_string(), skip });
+        idx += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.eat_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident()?;
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_tuple_fields(g.stream()).len();
+                cur.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cur.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Explicit discriminant (`= expr`) and/or trailing comma.
+        cur.skip_until_comma();
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-based)
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+const ERROR: &str = "::serde::value::Error";
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("{VALUE}::Null"),
+        Shape::TupleStruct(fields) => ser_tuple_body(fields, |i| format!("&self.{i}")),
+        Shape::NamedStruct(fields) => ser_object_body(fields, |f| format!("&self.{f}")),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => {VALUE}::Str(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pattern = binders.join(", ");
+                        let fields: Vec<Field> = (0..*n)
+                            .map(|i| Field { name: i.to_string(), skip: false })
+                            .collect();
+                        let payload = ser_tuple_body(&fields, |i| format!("__f{i}"));
+                        arms.push_str(&format!(
+                            "{name}::{vn}({pattern}) => {VALUE}::Object(vec![(\"{vn}\".to_string(), {payload})]),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pattern: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let payload = ser_object_body(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {VALUE}::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                            pattern.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> {VALUE} {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Serialize tuple-ish fields: a single non-skipped field serializes
+/// transparently (newtype convention); otherwise an array.
+fn ser_tuple_body(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    if live.len() == 1 {
+        format!("::serde::Serialize::to_value({})", access(&live[0].name))
+    } else {
+        let items: Vec<String> = live
+            .iter()
+            .map(|f| format!("::serde::Serialize::to_value({})", access(&f.name)))
+            .collect();
+        format!("{VALUE}::Array(vec![{}])", items.join(", "))
+    }
+}
+
+fn ser_object_body(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!(
+                "(\"{0}\".to_string(), ::serde::Serialize::to_value({1}))",
+                f.name,
+                access(&f.name)
+            )
+        })
+        .collect();
+    format!("{VALUE}::Object(vec![{}])", items.join(", "))
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
+        Shape::TupleStruct(fields) => de_tuple_body(&format!("{name}"), fields, name),
+        Shape::NamedStruct(fields) => {
+            let fields_expr = de_named_fields(fields, name);
+            format!(
+                "{{ let __obj = v.as_object().ok_or_else(|| {ERROR}::new(\
+                 \"expected object for `{name}`\"))?;\n\
+                 Ok({name} {{ {fields_expr} }}) }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let fields: Vec<Field> = (0..*n)
+                            .map(|i| Field { name: i.to_string(), skip: false })
+                            .collect();
+                        let build = de_tuple_payload(&format!("{name}::{vn}"), &fields);
+                        obj_arms.push_str(&format!("\"{vn}\" => {build},\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let fields_expr = de_named_fields(fields, name);
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __obj = __payload.as_object()\
+                             .ok_or_else(|| {ERROR}::new(\"expected object payload for `{name}::{vn}`\"))?;\n\
+                             Ok({name}::{vn} {{ {fields_expr} }}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 {VALUE}::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                 __other => Err({ERROR}::new(format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}},\n\
+                 {VALUE}::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n{obj_arms}\
+                 __other => Err({ERROR}::new(format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}}\n}},\n\
+                 __other => Err({ERROR}::new(format!(\"expected `{name}` variant, got {{__other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &{VALUE}) -> ::std::result::Result<Self, {ERROR}> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Field initializers for a named struct / struct variant, reading from a
+/// `__obj: &[(String, Value)]` binding in scope.
+fn de_named_fields(fields: &[Field], owner: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            if f.skip {
+                format!("{fname}: ::std::default::Default::default()")
+            } else {
+                format!(
+                    "{fname}: match __obj.iter().find(|(__k, _)| __k == \"{fname}\") {{\n\
+                     Some((_, __v)) => ::serde::Deserialize::from_value(__v)?,\n\
+                     None => return Err({ERROR}::new(\"missing field `{fname}` in `{owner}`\")),\n}}"
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// Deserialize a tuple struct from `v` directly.
+fn de_tuple_body(constructor: &str, fields: &[Field], owner: &str) -> String {
+    let live = fields.iter().filter(|f| !f.skip).count();
+    if live == 1 && fields.len() == 1 {
+        format!("Ok({constructor}(::serde::Deserialize::from_value(v)?))")
+    } else {
+        let items: Vec<String> = (0..live)
+            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+            .collect();
+        format!(
+            "{{ let __items = v.as_array().ok_or_else(|| {ERROR}::new(\
+             \"expected array for `{owner}`\"))?;\n\
+             if __items.len() != {live} {{\n\
+             return Err({ERROR}::new(format!(\"expected {live} fields for `{owner}`, got {{}}\", __items.len())));\n}}\n\
+             Ok({constructor}({})) }}",
+            items.join(", ")
+        )
+    }
+}
+
+/// Deserialize a tuple enum variant from a `__payload: &Value` binding.
+fn de_tuple_payload(constructor: &str, fields: &[Field]) -> String {
+    if fields.len() == 1 {
+        format!("Ok({constructor}(::serde::Deserialize::from_value(__payload)?))")
+    } else {
+        let n = fields.len();
+        let items: Vec<String> = (0..n)
+            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+            .collect();
+        format!(
+            "{{ let __items = __payload.as_array().ok_or_else(|| {ERROR}::new(\
+             \"expected array payload for `{constructor}`\"))?;\n\
+             if __items.len() != {n} {{\n\
+             return Err({ERROR}::new(format!(\"expected {n} fields for `{constructor}`, got {{}}\", __items.len())));\n}}\n\
+             Ok({constructor}({})) }}",
+            items.join(", ")
+        )
+    }
+}
