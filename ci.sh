@@ -7,3 +7,9 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
+
+# Smoke-bench: a tiny workload must produce a report the validator accepts.
+smoke_bench=target/ci_smoke_bench.json
+./target/release/cpsrisk bench --n 2 --threads 2 --out "$smoke_bench"
+./target/release/cpsrisk bench --validate "$smoke_bench"
+rm -f "$smoke_bench"

@@ -40,41 +40,88 @@ pub fn is_stable_model(program: &GroundProgram, candidate: &HashSet<AtomId>) -> 
 ///
 /// Returns `None` if a choice atom in the candidate has no satisfied
 /// support (it could never be derived).
+///
+/// The least model is the TP fixpoint of the reduct; it is computed here
+/// by standard worklist chaining (per rule, count the positive body atoms
+/// not yet derived; a rule fires when the count reaches zero), which
+/// visits every rule-body literal O(1) times instead of once per naive
+/// iteration round.
 #[must_use]
 pub fn least_model_of_reduct(
     program: &GroundProgram,
     candidate: &HashSet<AtomId>,
 ) -> Option<HashSet<AtomId>> {
+    let n_atoms = program.atom_count();
+    let rules = &program.rules;
+
+    // Positive-occurrence lists in compressed (CSR) form: two flat arrays
+    // instead of one Vec per atom, cheap to rebuild per call.
+    let mut off = vec![0u32; n_atoms + 1];
+    for r in rules {
+        for &p in &r.pos {
+            off[p.index() + 1] += 1;
+        }
+    }
+    for i in 0..n_atoms {
+        off[i + 1] += off[i];
+    }
+    let mut occ = vec![0u32; off[n_atoms] as usize];
+    let mut cursor = off.clone();
+    for (ri, r) in rules.iter().enumerate() {
+        for &p in &r.pos {
+            occ[cursor[p.index()] as usize] = ri as u32;
+            cursor[p.index()] += 1;
+        }
+    }
+
+    // Reduct: rules with a negative literal contradicted by the candidate
+    // are dropped; remaining negative literals are deleted.
+    let dropped: Vec<bool> = rules
+        .iter()
+        .map(|r| r.neg.iter().any(|n| candidate.contains(n)))
+        .collect();
+
+    let mut missing: Vec<u32> = rules.iter().map(|r| r.pos.len() as u32).collect();
+    let mut in_model = vec![false; n_atoms];
     let mut derived: HashSet<AtomId> = HashSet::new();
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for r in &program.rules {
-            // Reduct: drop rules with a negative literal contradicted by the
-            // candidate; remaining negative literals are deleted.
-            if r.neg.iter().any(|n| candidate.contains(n)) {
-                continue;
-            }
-            if !r.pos.iter().all(|p| derived.contains(p)) {
-                continue;
-            }
-            match r.head {
-                GroundHead::Atom(h) => {
-                    if derived.insert(h) {
-                        changed = true;
-                    }
-                }
-                GroundHead::Choice(h) => {
-                    // A chosen atom is self-justified iff it is in the
-                    // candidate and its support body holds in the reduct.
-                    if candidate.contains(&h) && derived.insert(h) {
-                        changed = true;
-                    }
-                }
-                GroundHead::None => {}
+    let mut stack: Vec<u32> = Vec::new();
+
+    let fire = |ri: usize,
+                in_model: &mut Vec<bool>,
+                derived: &mut HashSet<AtomId>,
+                stack: &mut Vec<u32>| {
+        if dropped[ri] {
+            return;
+        }
+        let h = match rules[ri].head {
+            GroundHead::Atom(h) => h,
+            // A chosen atom is self-justified iff it is in the candidate
+            // and its support body holds in the reduct.
+            GroundHead::Choice(h) if candidate.contains(&h) => h,
+            _ => return,
+        };
+        if !in_model[h.index()] {
+            in_model[h.index()] = true;
+            derived.insert(h);
+            stack.push(h.0);
+        }
+    };
+
+    for (ri, &need) in missing.iter().enumerate() {
+        if need == 0 {
+            fire(ri, &mut in_model, &mut derived, &mut stack);
+        }
+    }
+    while let Some(a) = stack.pop() {
+        for i in off[a as usize]..off[a as usize + 1] {
+            let ri = occ[i as usize] as usize;
+            missing[ri] -= 1;
+            if missing[ri] == 0 {
+                fire(ri, &mut in_model, &mut derived, &mut stack);
             }
         }
     }
+
     // Every candidate atom must be derivable.
     if candidate.iter().all(|a| derived.contains(a)) {
         Some(derived)

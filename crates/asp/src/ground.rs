@@ -11,6 +11,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::ast::{Atom, ChoiceElement, CmpOp, Head, Literal, Program, Rule, Statement, Term};
 use crate::error::AspError;
+use crate::intern::{SymId, SymbolTable};
 use crate::program::{
     AtomId, CardConstraint, CardElement, GroundHead, GroundProgram, GroundRule, MinimizeLit,
 };
@@ -35,46 +36,64 @@ impl Default for Grounder {
 /// Index of possible ground atoms by predicate signature, with a secondary
 /// index on the first argument (a big win for the `state(c, S, T)`-style
 /// patterns the behavioural encodings produce).
+///
+/// Atoms are stored once in an arena and referenced by dense index;
+/// signatures are keyed by interned `(SymId, arity)` pairs so lookups on
+/// the join hot path hash two machine words instead of allocating a
+/// `String` (and a cloned `Term`) per probe.
 #[derive(Default)]
 struct PossibleSet {
-    by_sig: HashMap<(String, usize), Vec<Atom>>,
-    by_first: HashMap<(String, usize, Term), Vec<Atom>>,
-    all: HashSet<Atom>,
+    syms: SymbolTable,
+    /// Arena of all possible atoms, in insertion order.
+    atoms: Vec<Atom>,
+    /// Membership / dedup index over the arena.
+    index: HashMap<Atom, u32>,
+    by_sig: HashMap<(SymId, u32), Vec<u32>>,
+    by_first: HashMap<(SymId, u32), HashMap<Term, Vec<u32>>>,
 }
 
 impl PossibleSet {
     fn insert(&mut self, atom: Atom) -> bool {
-        if self.all.insert(atom.clone()) {
-            if let Some(first) = atom.args.first() {
-                self.by_first
-                    .entry((atom.pred.clone(), atom.args.len(), first.clone()))
-                    .or_default()
-                    .push(atom.clone());
-            }
-            self.by_sig
-                .entry((atom.pred.clone(), atom.args.len()))
-                .or_default()
-                .push(atom);
-            true
-        } else {
-            false
+        if self.index.contains_key(&atom) {
+            return false;
         }
+        let id = self.atoms.len() as u32;
+        let sig = (self.syms.intern(&atom.pred), atom.args.len() as u32);
+        if let Some(first) = atom.args.first() {
+            self.by_first
+                .entry(sig)
+                .or_default()
+                .entry(first.clone())
+                .or_default()
+                .push(id);
+        }
+        self.by_sig.entry(sig).or_default().push(id);
+        self.index.insert(atom.clone(), id);
+        self.atoms.push(atom);
+        true
     }
 
     fn contains(&self, atom: &Atom) -> bool {
-        self.all.contains(atom)
+        self.index.contains_key(atom)
     }
 
-    fn candidates(&self, pred: &str, arity: usize) -> &[Atom] {
-        self.by_sig
-            .get(&(pred.to_owned(), arity))
+    fn atom(&self, id: u32) -> &Atom {
+        &self.atoms[id as usize]
+    }
+
+    fn candidates(&self, pred: &str, arity: usize) -> &[u32] {
+        self.syms
+            .get(pred)
+            .and_then(|s| self.by_sig.get(&(s, arity as u32)))
             .map_or(&[], Vec::as_slice)
     }
 
     /// Candidates narrowed by a ground first argument.
-    fn candidates_first(&self, pred: &str, arity: usize, first: &Term) -> &[Atom] {
-        self.by_first
-            .get(&(pred.to_owned(), arity, first.clone()))
+    fn candidates_first(&self, pred: &str, arity: usize, first: &Term) -> &[u32] {
+        self.syms
+            .get(pred)
+            .and_then(|s| self.by_first.get(&(s, arity as u32)))
+            .and_then(|m| m.get(first))
             .map_or(&[], Vec::as_slice)
     }
 }
@@ -105,15 +124,18 @@ impl Grounder {
             r.check_safety()?;
         }
 
+        // Body plans are instantiation-order invariant: compute once per
+        // rule, not once per fixpoint iteration.
+        let plans: Vec<Vec<Literal>> = rules.iter().map(|r| plan_body(&r.body)).collect();
+
         // Phase 1: possible-atom fixpoint (negation ignored).
         let mut possible = PossibleSet::default();
         let mut changed = true;
         while changed {
             changed = false;
-            for rule in &rules {
-                let plan = plan_body(&rule.body);
+            for (rule, plan) in rules.iter().zip(&plans) {
                 let mut new_atoms: Vec<Atom> = Vec::new();
-                join(&possible, &plan, Subst::new(), &mut |theta| {
+                join(&possible, plan, Subst::new(), &mut |theta| {
                     match &rule.head {
                         Head::Atom(a) => {
                             new_atoms.push(ground_atom(a, theta)?);
@@ -136,14 +158,13 @@ impl Grounder {
         // Phase 2: emit ground instances.
         let mut out = GroundProgram::new();
         let mut seen_rules: HashSet<GroundRule> = HashSet::new();
-        for rule in &rules {
-            let plan = plan_body(&rule.body);
-            let mut instances: Vec<(Subst,)> = Vec::new();
-            join(&possible, &plan, Subst::new(), &mut |theta| {
-                instances.push((theta.clone(),));
+        for (rule, plan) in rules.iter().zip(&plans) {
+            let mut instances: Vec<Subst> = Vec::new();
+            join(&possible, plan, Subst::new(), &mut |theta| {
+                instances.push(theta.clone());
                 Ok(())
             })?;
-            for (theta,) in instances {
+            for theta in instances {
                 self.emit_rule(rule, &theta, &possible, &mut out, &mut seen_rules)?;
                 if out.rules.len() > self.max_instances {
                     return Err(AspError::GroundingBudget {
@@ -465,8 +486,8 @@ fn join(
                 }
                 _ => possible.candidates(&a.pred, a.args.len()),
             };
-            for cand in cands {
-                if let Some(theta2) = unify_atom(a, cand, &theta)? {
+            for &cand in cands {
+                if let Some(theta2) = unify_atom(a, possible.atom(cand), &theta)? {
                     join(possible, rest, theta2, cb)?;
                 }
             }

@@ -1,0 +1,98 @@
+//! Symbol interning: dense integer ids for predicate names.
+//!
+//! The grounder resolves every body literal against the possible-atom index
+//! once per join step; keying that index by `(String, usize)` forces a
+//! fresh `String` allocation per lookup. A [`SymbolTable`] maps each
+//! predicate name to a dense [`SymId`] exactly once, so hot-path lookups
+//! hash two machine words instead of cloning strings.
+
+use std::collections::HashMap;
+
+/// Dense identifier of an interned predicate symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(pub u32);
+
+impl SymId {
+    /// The id as an index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only map from symbol names to dense [`SymId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, SymId>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Intern a name, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> SymId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = SymId(self.names.len() as u32);
+        self.index.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Look up an already-interned name without allocating.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<SymId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name behind an id.
+    #[must_use]
+    pub fn name(&self, id: SymId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no symbol has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let p = t.intern("p");
+        let q = t.intern("q");
+        assert_ne!(p, q);
+        assert_eq!(t.intern("p"), p);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(p), "p");
+        assert_eq!(t.name(q), "q");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get("p"), None);
+        let p = t.intern("p");
+        assert_eq!(t.get("p"), Some(p));
+        assert_eq!(t.len(), 1);
+    }
+}

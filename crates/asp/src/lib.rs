@@ -51,6 +51,7 @@ pub mod check;
 pub mod diag;
 pub mod error;
 pub mod ground;
+pub mod intern;
 pub mod lexer;
 pub mod lint;
 pub mod parser;

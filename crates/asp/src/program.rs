@@ -23,7 +23,7 @@ impl AtomId {
 }
 
 /// The head of a ground rule.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum GroundHead {
     /// Normal atom head.
     Atom(AtomId),

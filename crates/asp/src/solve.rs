@@ -52,14 +52,18 @@ pub struct Model {
     /// Objective values per `#minimize` priority, higher priority first.
     pub cost: Vec<(i64, i64)>,
     ids: HashSet<AtomId>,
+    /// Display forms of `atoms`, same (sorted) order — precomputed once so
+    /// membership probes don't re-render every atom per comparison.
+    keys: Vec<String>,
 }
 
 impl Model {
     /// True if the model contains the given atom.
     #[must_use]
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.atoms
-            .binary_search_by(|a| a.to_string().cmp(&atom.to_string()))
+        let needle = atom.to_string();
+        self.keys
+            .binary_search_by(|k| k.as_str().cmp(&needle))
             .is_ok()
     }
 
@@ -68,7 +72,9 @@ impl Model {
     #[must_use]
     pub fn contains_str(&self, s: &str) -> bool {
         let needle: String = s.chars().filter(|c| !c.is_whitespace()).collect();
-        self.atoms.iter().any(|a| a.to_string() == needle)
+        self.keys
+            .binary_search_by(|k| k.as_str().cmp(&needle))
+            .is_ok()
     }
 
     /// All true atoms of a predicate.
@@ -107,9 +113,18 @@ pub struct SolveResult {
     pub exhausted: bool,
     /// Number of branching decisions made.
     pub decisions: u64,
+    /// Number of propagated (non-decision and decision) assignments.
+    pub propagations: u64,
 }
 
 /// A stable-model solver over one ground program.
+///
+/// Propagation is occurrence-indexed: each atom knows the rules it occurs
+/// in, each rule keeps incremental counts of its false and unknown body
+/// literals, and a worklist of touched rules drives Fitting inference —
+/// assignments cost O(occurrences) instead of a full program scan per
+/// pass. [`Solver::new_reference`] retains the original full-scan pass for
+/// differential testing and as the benchmark baseline.
 #[derive(Debug)]
 pub struct Solver<'a> {
     g: &'a GroundProgram,
@@ -119,20 +134,127 @@ pub struct Solver<'a> {
     decisions: Vec<(u32, bool)>,
     trail_lim: Vec<usize>,
     decision_count: u64,
+    propagation_count: u64,
+    /// Use the naive full-scan Fitting pass (pre-index reference engine).
+    reference: bool,
+    /// Rules where the atom occurs in the positive body (one entry per
+    /// occurrence, so duplicate literals keep the counters consistent).
+    occ_pos: Vec<Vec<u32>>,
+    /// Rules where the atom occurs under `not`.
+    occ_neg: Vec<Vec<u32>>,
+    /// Rules whose (normal) head is the atom — re-examined when the head
+    /// becomes false to enable backward inference.
+    occ_head: Vec<Vec<u32>>,
+    /// Unique choice atoms in first-occurrence rule order: the branching
+    /// candidates, precomputed so decisions don't rescan `g.rules`.
+    choice_atoms: Vec<u32>,
+    /// Per rule: number of certainly-false body literals.
+    n_false: Vec<u32>,
+    /// Per rule: number of unknown body literals.
+    n_unknown: Vec<u32>,
+    /// Worklist of rules touched since last examined.
+    queue: std::collections::VecDeque<u32>,
+    in_queue: Vec<bool>,
+    /// Scratch buffers for the unfounded-set closure (reused per call to
+    /// avoid re-allocating per propagation fixpoint).
+    uf_missing: Vec<u32>,
+    uf_in_closure: Vec<bool>,
+    uf_stack: Vec<u32>,
+    /// Display form of every atom, rendered once at construction; model
+    /// building clones these instead of re-rendering per model.
+    display: Vec<String>,
+    /// All atom ids ordered by display form, so each model's sorted atom
+    /// list is a filtered scan instead of a per-model sort.
+    sorted_ids: Vec<u32>,
+    /// Per atom: passes the `#show` projection.
+    shown_flags: Vec<bool>,
 }
 
 impl<'a> Solver<'a> {
     /// Create a solver for a ground program.
     #[must_use]
     pub fn new(program: &'a GroundProgram) -> Self {
+        Solver::build(program, false)
+    }
+
+    /// A solver using the retained naive full-scan propagation pass.
+    ///
+    /// Semantically identical to [`Solver::new`]; kept as the differential
+    /// testing oracle and the `cpsrisk bench` baseline engine.
+    #[must_use]
+    pub fn new_reference(program: &'a GroundProgram) -> Self {
+        Solver::build(program, true)
+    }
+
+    fn build(program: &'a GroundProgram, reference: bool) -> Self {
+        let n_atoms = program.atom_count();
+        let n_rules = program.rules.len();
+        let mut occ_pos = vec![Vec::new(); if reference { 0 } else { n_atoms }];
+        let mut occ_neg = vec![Vec::new(); if reference { 0 } else { n_atoms }];
+        let mut occ_head = vec![Vec::new(); if reference { 0 } else { n_atoms }];
+        let mut choice_atoms = Vec::new();
+        let mut choice_seen = vec![false; n_atoms];
+        for (ri, r) in program.rules.iter().enumerate() {
+            if !reference {
+                for &p in &r.pos {
+                    occ_pos[p.index()].push(ri as u32);
+                }
+                for &n in &r.neg {
+                    occ_neg[n.index()].push(ri as u32);
+                }
+                if let GroundHead::Atom(h) = r.head {
+                    occ_head[h.index()].push(ri as u32);
+                }
+            }
+            if let GroundHead::Choice(h) = r.head {
+                if !choice_seen[h.index()] {
+                    choice_seen[h.index()] = true;
+                    choice_atoms.push(h.0);
+                }
+            }
+        }
+        let display: Vec<String> = program.atoms().map(|(_, a)| a.to_string()).collect();
+        let mut sorted_ids: Vec<u32> = (0..n_atoms as u32).collect();
+        sorted_ids.sort_by(|&a, &b| display[a as usize].cmp(&display[b as usize]));
+        let shown_flags: Vec<bool> = (0..n_atoms as u32)
+            .map(|i| program.shown(AtomId(i)))
+            .collect();
         Solver {
             g: program,
-            val: vec![Val::Unknown; program.atom_count()],
+            val: vec![Val::Unknown; n_atoms],
             trail: Vec::new(),
             decisions: Vec::new(),
             trail_lim: Vec::new(),
             decision_count: 0,
+            propagation_count: 0,
+            reference,
+            occ_pos,
+            occ_neg,
+            occ_head,
+            choice_atoms,
+            n_false: vec![0; if reference { 0 } else { n_rules }],
+            n_unknown: vec![0; if reference { 0 } else { n_rules }],
+            queue: std::collections::VecDeque::new(),
+            in_queue: vec![false; if reference { 0 } else { n_rules }],
+            uf_missing: vec![0; if reference { 0 } else { n_rules }],
+            uf_in_closure: vec![false; if reference { 0 } else { n_atoms }],
+            uf_stack: Vec::new(),
+            display,
+            sorted_ids,
+            shown_flags,
         }
+    }
+
+    /// Number of branching decisions made so far.
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.decision_count
+    }
+
+    /// Number of assignments propagated so far (including decisions).
+    #[must_use]
+    pub fn propagations(&self) -> u64 {
+        self.propagation_count
     }
 
     /// Enumerate answer sets (ignoring `#minimize`).
@@ -155,6 +277,7 @@ impl<'a> Solver<'a> {
             models,
             exhausted,
             decisions: self.decision_count,
+            propagations: self.propagation_count,
         })
     }
 
@@ -286,6 +409,17 @@ impl<'a> Solver<'a> {
         self.decisions.clear();
         self.trail_lim.clear();
         self.decision_count = 0;
+        self.propagation_count = 0;
+        if self.reference {
+            return;
+        }
+        self.queue.clear();
+        for (ri, r) in self.g.rules.iter().enumerate() {
+            self.n_false[ri] = 0;
+            self.n_unknown[ri] = (r.pos.len() + r.neg.len()) as u32;
+            self.in_queue[ri] = true;
+            self.queue.push_back(ri as u32);
+        }
     }
 
     /// Core DFS. `on_model` returns `false` to stop the search early;
@@ -351,7 +485,7 @@ impl<'a> Solver<'a> {
             let lim = self.trail_lim.pop().expect("trail_lim parallels decisions");
             while self.trail.len() > lim {
                 let a = self.trail.pop().expect("trail len checked");
-                self.val[a as usize] = Val::Unknown;
+                self.unassign(a);
             }
             if !tried_both {
                 self.decisions.push((atom, true));
@@ -366,6 +500,65 @@ impl<'a> Solver<'a> {
         debug_assert_eq!(self.val[atom as usize], Val::Unknown);
         self.val[atom as usize] = v;
         self.trail.push(atom);
+        self.propagation_count += 1;
+        if self.reference {
+            return;
+        }
+        let ai = atom as usize;
+        for i in 0..self.occ_pos[ai].len() {
+            let r = self.occ_pos[ai][i] as usize;
+            self.n_unknown[r] -= 1;
+            if v == Val::False {
+                self.n_false[r] += 1;
+            }
+            self.enqueue(r);
+        }
+        for i in 0..self.occ_neg[ai].len() {
+            let r = self.occ_neg[ai][i] as usize;
+            self.n_unknown[r] -= 1;
+            if v == Val::True {
+                self.n_false[r] += 1;
+            }
+            self.enqueue(r);
+        }
+        if v == Val::False {
+            // A falsified head may enable backward inference on its rules.
+            for i in 0..self.occ_head[ai].len() {
+                let r = self.occ_head[ai][i] as usize;
+                self.enqueue(r);
+            }
+        }
+    }
+
+    /// Undo an assignment (backtracking), reversing the rule counters.
+    fn unassign(&mut self, atom: u32) {
+        let v = self.val[atom as usize];
+        self.val[atom as usize] = Val::Unknown;
+        if self.reference {
+            return;
+        }
+        let ai = atom as usize;
+        for i in 0..self.occ_pos[ai].len() {
+            let r = self.occ_pos[ai][i] as usize;
+            self.n_unknown[r] += 1;
+            if v == Val::False {
+                self.n_false[r] -= 1;
+            }
+        }
+        for i in 0..self.occ_neg[ai].len() {
+            let r = self.occ_neg[ai][i] as usize;
+            self.n_unknown[r] += 1;
+            if v == Val::True {
+                self.n_false[r] -= 1;
+            }
+        }
+    }
+
+    fn enqueue(&mut self, rule: usize) {
+        if !self.in_queue[rule] {
+            self.in_queue[rule] = true;
+            self.queue.push_back(rule as u32);
+        }
     }
 
     /// Set with conflict detection. Returns false on conflict.
@@ -384,13 +577,13 @@ impl<'a> Solver<'a> {
     }
 
     /// Branch preferentially on choice atoms (the decision variables of the
-    /// encodings), then on any unknown atom.
+    /// encodings), then on any unknown atom. The choice-atom list is
+    /// precomputed once per solver, so a decision costs O(choices) rather
+    /// than a scan of every ground rule.
     fn pick_unknown(&self) -> Option<u32> {
-        for r in &self.g.rules {
-            if let GroundHead::Choice(h) = r.head {
-                if self.value(h) == Val::Unknown {
-                    return Some(h.0);
-                }
+        for &a in &self.choice_atoms {
+            if self.val[a as usize] == Val::Unknown {
+                return Some(a);
             }
         }
         self.val
@@ -401,9 +594,100 @@ impl<'a> Solver<'a> {
 
     /// Run propagation to fixpoint; false on conflict.
     fn propagate(&mut self) -> bool {
+        if self.reference {
+            return self.propagate_reference();
+        }
+        loop {
+            if !self.drain_fitting() {
+                return false;
+            }
+            let before = self.trail.len();
+            if !self.card_pass() {
+                return false;
+            }
+            if self.trail.len() != before {
+                continue; // new assignments re-enqueued rules
+            }
+            if !self.unfounded_pass() {
+                return false;
+            }
+            if self.trail.len() == before {
+                return true;
+            }
+        }
+    }
+
+    /// Drain the rule worklist, applying Fitting inference per touched
+    /// rule; false on conflict. O(touched rules), not O(program).
+    fn drain_fitting(&mut self) -> bool {
+        while let Some(r) = self.queue.pop_front() {
+            self.in_queue[r as usize] = false;
+            if !self.examine_rule(r as usize) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Fitting inference on one rule, using the incremental counters.
+    fn examine_rule(&mut self, ri: usize) -> bool {
+        if self.n_false[ri] > 0 {
+            return true; // body dead: nothing to infer here
+        }
+        let unknowns = self.n_unknown[ri];
+        match self.g.rules[ri].head {
+            GroundHead::Atom(h) => {
+                if unknowns == 0 {
+                    self.set(h, Val::True)
+                } else if unknowns == 1 && self.value(h) == Val::False {
+                    self.falsify_last_literal(ri)
+                } else {
+                    true
+                }
+            }
+            GroundHead::None => {
+                if unknowns == 0 {
+                    false // violated constraint
+                } else if unknowns == 1 {
+                    self.falsify_last_literal(ri)
+                } else {
+                    true
+                }
+            }
+            GroundHead::Choice(_) => true,
+        }
+    }
+
+    /// Backward inference: the rule body must not become satisfied, and
+    /// exactly one literal is still unknown — falsify it.
+    fn falsify_last_literal(&mut self, ri: usize) -> bool {
+        let mut forced = None;
+        {
+            let r = &self.g.rules[ri];
+            for &p in &r.pos {
+                if self.value(p) == Val::Unknown {
+                    forced = Some((p, Val::False));
+                    break;
+                }
+            }
+            if forced.is_none() {
+                for &n in &r.neg {
+                    if self.value(n) == Val::Unknown {
+                        forced = Some((n, Val::True));
+                        break;
+                    }
+                }
+            }
+        }
+        let (atom, v) = forced.expect("counter reported one unknown literal");
+        self.set(atom, v)
+    }
+
+    /// Reference propagation loop: full-scan passes, as before indexing.
+    fn propagate_reference(&mut self) -> bool {
         loop {
             let before = self.trail.len();
-            if !self.fitting_pass() {
+            if !self.fitting_pass_reference() {
                 return false;
             }
             if !self.card_pass() {
@@ -421,12 +705,13 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// One pass of Fitting-style forward/backward rule propagation.
-    fn fitting_pass(&mut self) -> bool {
+    /// One pass of Fitting-style forward/backward rule propagation over
+    /// every rule (the retained naive reference pass).
+    fn fitting_pass_reference(&mut self) -> bool {
         for ri in 0..self.g.rules.len() {
             let (head, pos, neg) = {
                 let r = &self.g.rules[ri];
-                (r.head.clone(), r.pos.clone(), r.neg.clone())
+                (r.head, r.pos.clone(), r.neg.clone())
             };
             let mut false_lits = 0usize;
             let mut unknown: Option<(AtomId, bool)> = None; // (atom, is_pos)
@@ -578,7 +863,72 @@ impl<'a> Solver<'a> {
     }
 
     /// Falsify atoms outside the can-be-true closure (unfounded atoms).
+    ///
+    /// The closure is computed semi-naively: per rule, count the positive
+    /// body atoms still outside the closure; when the count hits zero (and
+    /// no negative literal is certainly true, and the head is not false)
+    /// the head enters the closure and its positive occurrences are
+    /// decremented. O(program) per call instead of O(program × depth).
     fn unfounded_pass(&mut self) -> bool {
+        if self.reference {
+            return self.unfounded_pass_reference();
+        }
+        self.uf_in_closure.fill(false);
+        self.uf_stack.clear();
+        for ri in 0..self.g.rules.len() {
+            self.uf_missing[ri] = self.g.rules[ri].pos.len() as u32;
+            if self.uf_missing[ri] == 0 {
+                self.uf_try_fire(ri);
+            }
+        }
+        while let Some(a) = self.uf_stack.pop() {
+            for i in 0..self.occ_pos[a as usize].len() {
+                let ri = self.occ_pos[a as usize][i] as usize;
+                self.uf_missing[ri] -= 1;
+                if self.uf_missing[ri] == 0 {
+                    self.uf_try_fire(ri);
+                }
+            }
+        }
+        for i in 0..self.uf_in_closure.len() {
+            if !self.uf_in_closure[i] {
+                match self.val[i] {
+                    Val::True => return false,
+                    Val::Unknown => self.assign(i as u32, Val::False),
+                    Val::False => {}
+                }
+            }
+        }
+        true
+    }
+
+    /// Add a rule's head to the can-be-true closure if the rule supports
+    /// it: every positive body atom is in the closure (`uf_missing == 0`,
+    /// checked by the caller), no negative literal is certainly true, and
+    /// the head is not already false or closed.
+    fn uf_try_fire(&mut self, ri: usize) {
+        let h = {
+            let r = &self.g.rules[ri];
+            let h = match r.head {
+                GroundHead::Atom(h) | GroundHead::Choice(h) => h,
+                GroundHead::None => return,
+            };
+            if self.uf_in_closure[h.index()] || self.value(h) == Val::False {
+                return;
+            }
+            // Positive atoms in the closure are never false-valued (entry
+            // is guarded), so only the negative side needs re-checking.
+            if r.neg.iter().any(|&q| self.value(q) == Val::True) {
+                return;
+            }
+            h
+        };
+        self.uf_in_closure[h.index()] = true;
+        self.uf_stack.push(h.0);
+    }
+
+    /// The retained full-scan unfounded pass (reference engine).
+    fn unfounded_pass_reference(&mut self) -> bool {
         let n = self.g.atom_count();
         let mut in_closure = vec![false; n];
         let mut changed = true;
@@ -616,37 +966,37 @@ impl<'a> Solver<'a> {
     }
 
     fn build_model(&self, ids: HashSet<AtomId>) -> Model {
-        let mut atoms: Vec<Atom> = ids.iter().map(|&id| self.g.atom(id).clone()).collect();
-        atoms.sort_by_key(ToString::to_string);
-        let mut shown: Vec<Atom> = ids
-            .iter()
-            .filter(|&&id| self.g.shown(id))
-            .map(|&id| self.g.atom(id).clone())
-            .collect();
-        shown.sort_by_key(ToString::to_string);
+        // Walk the precomputed display order, so the member atoms, their
+        // display keys (the binary-search index of `Model::contains`) and
+        // the shown projection all come out sorted with no per-model sort
+        // or re-rendering.
+        let mut keys = Vec::with_capacity(ids.len());
+        let mut atoms = Vec::with_capacity(ids.len());
+        let mut shown = Vec::new();
+        for &ai in &self.sorted_ids {
+            let id = AtomId(ai);
+            if !ids.contains(&id) {
+                continue;
+            }
+            keys.push(self.display[ai as usize].clone());
+            atoms.push(self.g.atom(id).clone());
+            if self.shown_flags[ai as usize] {
+                shown.push(self.g.atom(id).clone());
+            }
+        }
         let cost = self
             .g
             .minimize
             .iter()
             .map(|(prio, lits)| {
-                let mut counted: HashSet<String> = HashSet::new();
+                // Set semantics: identical (weight, tuple) keys count once.
+                let mut counted: HashSet<(i64, &[crate::ast::Term])> = HashSet::new();
                 let mut total = 0i64;
                 for l in lits {
                     let holds = l.pos.iter().all(|p| ids.contains(p))
                         && l.neg.iter().all(|q| !ids.contains(q));
-                    if holds {
-                        let key = format!(
-                            "{}|{}",
-                            l.weight,
-                            l.tuple
-                                .iter()
-                                .map(ToString::to_string)
-                                .collect::<Vec<_>>()
-                                .join(",")
-                        );
-                        if counted.insert(key) {
-                            total += l.weight;
-                        }
+                    if holds && counted.insert((l.weight, l.tuple.as_slice())) {
+                        total += l.weight;
                     }
                 }
                 (*prio, total)
@@ -657,6 +1007,7 @@ impl<'a> Solver<'a> {
             shown,
             cost,
             ids,
+            keys,
         }
     }
 }

@@ -1,0 +1,265 @@
+//! Machine-readable performance measurement (`cpsrisk bench`).
+//!
+//! Runs the exhaustive ASP analysis of a [`chain_problem`] workload with
+//! both solver engines — the retained naive reference engine
+//! ([`Solver::new_reference`]) and the occurrence-indexed production engine
+//! ([`Solver::new`]) — over the **same** ground program, plus one parallel
+//! fixed-scenario sweep, and reports everything as a JSON document
+//! (`BENCH_asp.json`) so CI and EXPERIMENTS.md can consume the numbers
+//! without scraping logs.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+use cpsrisk_asp::{Grounder, SolveOptions, Solver};
+use cpsrisk_epa::parallel::{sweep_fixed, SweepOptions};
+use cpsrisk_epa::workload::chain_problem;
+use cpsrisk_epa::{encode, EncodeMode, Scenario, ScenarioSpace};
+
+use crate::error::CoreError;
+
+/// Schema tag carried by every report this module writes.
+pub const SCHEMA: &str = "cpsrisk-bench/1";
+
+/// One solver engine's measurement over the exhaustive workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSample {
+    /// `"reference"` (naive full-scan engine) or `"indexed"`.
+    pub mode: String,
+    /// Wall-clock enumeration time in milliseconds.
+    pub solve_ms: f64,
+    /// Answer sets found (= scenarios of the exhaustive encoding).
+    pub models: usize,
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Propagated assignments (decisions included).
+    pub propagations: u64,
+    /// Scenarios enumerated per second.
+    pub scenarios_per_sec: f64,
+}
+
+/// Comparison against an externally measured pre-optimization build.
+///
+/// `cpsrisk bench` measures both of **this** build's engines, but the
+/// naive reference engine still shares the optimized grounder, stability
+/// checker and model construction, so it understates the end-to-end win.
+/// When `--baseline-ms` supplies the exhaustive-analysis wall time of the
+/// pre-optimization commit (same workload, same machine), the report
+/// records that number and the resulting total speedup here.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrePrBaseline {
+    /// Exhaustive analysis wall time of the pre-optimization build, ms.
+    pub total_ms: f64,
+    /// `pre_pr.total_ms / total_ms` of this build.
+    pub speedup: f64,
+}
+
+/// Measurement of the sharded fixed-scenario sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepSample {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Scenarios evaluated (singleton scenarios of the workload).
+    pub scenarios: usize,
+    /// Wall-clock sweep time in milliseconds.
+    pub sweep_ms: f64,
+    /// The parallel sweep returned exactly the sequential result.
+    pub matches_sequential: bool,
+}
+
+/// The full `cpsrisk bench` report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Workload family (currently always `"chain_problem"`).
+    pub workload: String,
+    /// Workload size parameter (chain length).
+    pub n: usize,
+    /// Interned ground atoms.
+    pub ground_atoms: usize,
+    /// Ground rules.
+    pub ground_rules: usize,
+    /// Wall-clock encode + ground time in milliseconds.
+    pub grounding_ms: f64,
+    /// End-to-end exhaustive analysis (encode + ground + enumerate +
+    /// outcome extraction) in milliseconds — the number to compare against
+    /// a pre-optimization build.
+    pub total_ms: f64,
+    /// The naive reference engine on the shared ground program.
+    pub baseline: EngineSample,
+    /// The occurrence-indexed engine on the shared ground program.
+    pub optimized: EngineSample,
+    /// `baseline.solve_ms / optimized.solve_ms` (engines only; both share
+    /// the optimized grounder, checker and model construction).
+    pub speedup: f64,
+    /// Comparison against a pre-optimization build, when `--baseline-ms`
+    /// supplied its measurement.
+    pub pre_pr: Option<PrePrBaseline>,
+    /// The sharded fixed-scenario sweep.
+    pub parallel: SweepSample,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn sample(
+    mode: &str,
+    ground: &cpsrisk_asp::GroundProgram,
+    reference: bool,
+) -> Result<EngineSample, CoreError> {
+    let mut solver = if reference {
+        Solver::new_reference(ground)
+    } else {
+        Solver::new(ground)
+    };
+    let start = Instant::now();
+    let result = solver.enumerate(&SolveOptions::default())?;
+    let solve_ms = ms(start);
+    Ok(EngineSample {
+        mode: mode.to_owned(),
+        solve_ms,
+        models: result.models.len(),
+        decisions: result.decisions,
+        propagations: result.propagations,
+        scenarios_per_sec: result.models.len() as f64 / (solve_ms / 1e3).max(1e-9),
+    })
+}
+
+/// Run the benchmark on `chain_problem(n)` with `threads` sweep workers.
+/// `baseline_ms`, if given, is the externally measured exhaustive-analysis
+/// time of a pre-optimization build (see [`PrePrBaseline`]).
+///
+/// # Errors
+///
+/// [`CoreError`] on grounding/solving failure (the workloads themselves are
+/// generated valid).
+pub fn run(n: usize, threads: usize, baseline_ms: Option<f64>) -> Result<BenchReport, CoreError> {
+    let problem = chain_problem(n);
+
+    // End-to-end number first: the same call a pre-optimization build is
+    // measured with.
+    let start = Instant::now();
+    let outcomes = cpsrisk_epa::analyze_exhaustive(&problem, None)?;
+    let total_ms = ms(start);
+    drop(outcomes);
+
+    let start = Instant::now();
+    let program = encode(&problem, &EncodeMode::Exhaustive { max_faults: None });
+    let ground = Grounder::new().ground(&program)?;
+    let grounding_ms = ms(start);
+
+    let baseline = sample("reference", &ground, true)?;
+    let optimized = sample("indexed", &ground, false)?;
+    let speedup = baseline.solve_ms / optimized.solve_ms.max(1e-9);
+    let pre_pr = baseline_ms.map(|pre| PrePrBaseline {
+        total_ms: pre,
+        speedup: pre / total_ms.max(1e-9),
+    });
+
+    // Parallel sweep over the nominal + singleton scenarios (each one is a
+    // full encode/ground/solve, so the set is kept small on purpose).
+    let scenarios: Vec<Scenario> = ScenarioSpace::new(&problem, 1).iter().collect();
+    let start = Instant::now();
+    let outcomes = sweep_fixed(&problem, &scenarios, &SweepOptions::with_threads(threads))?;
+    let sweep_ms = ms(start);
+    let sequential = sweep_fixed(&problem, &scenarios, &SweepOptions::with_threads(1))?;
+    let parallel = SweepSample {
+        threads,
+        scenarios: scenarios.len(),
+        sweep_ms,
+        matches_sequential: outcomes == sequential,
+    };
+
+    Ok(BenchReport {
+        schema: SCHEMA.to_owned(),
+        workload: "chain_problem".to_owned(),
+        n,
+        ground_atoms: ground.atom_count(),
+        ground_rules: ground.rules.len(),
+        grounding_ms,
+        total_ms,
+        baseline,
+        optimized,
+        speedup,
+        pre_pr,
+        parallel,
+    })
+}
+
+/// Validate a previously written report: parseable JSON, the expected
+/// schema tag, and internally consistent measurements. Returns the parsed
+/// report so callers can print a summary.
+///
+/// # Errors
+///
+/// A descriptive message naming the first failed check.
+pub fn validate(json: &str) -> Result<BenchReport, String> {
+    let report: BenchReport =
+        serde_json::from_str(json).map_err(|e| format!("not a bench report: {e}"))?;
+    if report.schema != SCHEMA {
+        return Err(format!(
+            "schema mismatch: `{}` (expected `{SCHEMA}`)",
+            report.schema
+        ));
+    }
+    if report.baseline.models != report.optimized.models {
+        return Err(format!(
+            "engines disagree on the model count: reference {} vs indexed {}",
+            report.baseline.models, report.optimized.models
+        ));
+    }
+    for s in [&report.baseline, &report.optimized] {
+        if !(s.solve_ms.is_finite() && s.solve_ms >= 0.0) {
+            return Err(format!("{} solve_ms is not a valid duration", s.mode));
+        }
+        if s.models == 0 {
+            return Err(format!("{} enumerated no models", s.mode));
+        }
+    }
+    if !(report.speedup.is_finite() && report.speedup > 0.0) {
+        return Err("speedup is not a positive finite ratio".to_owned());
+    }
+    if let Some(pre) = &report.pre_pr {
+        if !(pre.total_ms.is_finite() && pre.total_ms > 0.0 && pre.speedup.is_finite()) {
+            return Err("pre_pr baseline is not a valid measurement".to_owned());
+        }
+    }
+    if !report.parallel.matches_sequential {
+        return Err("parallel sweep diverged from the sequential result".to_owned());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let report = run(2, 2, Some(100.0)).expect("bench runs");
+        assert_eq!(report.baseline.models, 16, "2^(n+2) scenarios");
+        assert_eq!(report.baseline.models, report.optimized.models);
+        assert!(report.parallel.matches_sequential);
+        assert_eq!(report.parallel.scenarios, 5, "nominal + 4 singletons");
+        assert_eq!(report.pre_pr.as_ref().unwrap().total_ms, 100.0);
+
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let parsed = validate(&json).expect("round-trip validates");
+        assert_eq!(parsed.n, 2);
+        assert_eq!(parsed.schema, SCHEMA);
+        assert!(parsed.pre_pr.is_some());
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_schema_drift() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        let mut report = run(1, 1, None).expect("bench runs");
+        assert!(report.pre_pr.is_none());
+        report.schema = "cpsrisk-bench/0".to_owned();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate(&json).unwrap_err().contains("schema mismatch"));
+    }
+}

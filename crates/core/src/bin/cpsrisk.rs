@@ -8,6 +8,7 @@
 //! cpsrisk solve <file.lp>        run the embedded ASP solver on a program
 //! cpsrisk lint [file.lp ...]     static-analyze ASP programs / the case study
 //! cpsrisk simulate f1,f2         simulate the plant under a fault set
+//! cpsrisk bench [--n N]          measure the ASP hot path, write BENCH_asp.json
 //! ```
 
 use std::process::ExitCode;
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
         "solve" => solve(&args[1..]),
         "lint" => lint(&args[1..]),
         "simulate" => simulate(&args[1..]),
+        "bench" => bench(&args[1..]),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -74,6 +76,11 @@ fn print_help() {
          \x20                        without files, lint the water-tank case study\n\
          \x20                        model (M001-M007) and its ASP encoding\n\
          \x20 simulate <f1,f2,...>   simulate the continuous plant under a fault set\n\
+         \x20 bench [--n N] [--threads T] [--out FILE]\n\
+         \x20                        measure the ASP hot path on chain_problem(N)\n\
+         \x20                        (reference vs indexed engine + parallel sweep)\n\
+         \x20                        and write a machine-readable JSON report;\n\
+         \x20                        `--validate FILE` checks an existing report\n\
          \x20 help                   this message"
     );
 }
@@ -126,8 +133,10 @@ fn paths() -> Result<(), Box<dyn std::error::Error>> {
     for p in shortest_attack_paths(&problem, Exposure::Corporate) {
         println!("{p}");
     }
+    // One ground program serves every per-requirement query.
+    let analysis = cpsrisk::epa::ExhaustiveAnalysis::new(&problem, None)?;
     for req in ["r1", "r2"] {
-        match cpsrisk::epa::cheapest_attack(&problem, req)? {
+        match analysis.cheapest_attack(req)? {
             Some((s, c)) => println!("cheapest attack on {req}: {s} (cost {c})"),
             None => println!("cheapest attack on {req}: none"),
         }
@@ -243,6 +252,95 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let q = cpsrisk::plant::qualitative::abstract_levels(&run)?;
     println!("qualitative level path: {}", q.level_path().join(" -> "));
+    Ok(())
+}
+
+fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut n: usize = 8;
+    let mut threads = cpsrisk::epa::SweepOptions::default().threads;
+    let mut out = "BENCH_asp.json".to_owned();
+    let mut validate: Option<String> = None;
+    let mut baseline_ms: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--n" => n = value("--n")?.parse()?,
+            "--threads" => threads = value("--threads")?.parse()?,
+            "--out" => out = value("--out")?,
+            "--validate" => validate = Some(value("--validate")?),
+            "--baseline-ms" => baseline_ms = Some(value("--baseline-ms")?.parse()?),
+            other => {
+                return Err(format!(
+                    "unknown bench flag `{other}` \
+                     (try --n/--threads/--out/--validate/--baseline-ms)"
+                )
+                .into())
+            }
+        }
+    }
+
+    if let Some(path) = validate {
+        let json = std::fs::read_to_string(&path)?;
+        let report = cpsrisk::bench::validate(&json).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: valid {} report (n={}, {} scenarios, speedup {:.2}x)",
+            report.schema, report.n, report.baseline.models, report.speedup
+        );
+        return Ok(());
+    }
+
+    if threads == 0 {
+        return Err("--threads must be >= 1".into());
+    }
+    let report = cpsrisk::bench::run(n, threads, baseline_ms)?;
+    std::fs::write(&out, serde_json::to_string_pretty(&report)? + "\n")?;
+    println!(
+        "chain_problem({n}): {} scenarios, ground {} atoms / {} rules in {:.1} ms, \
+         exhaustive analysis {:.1} ms end to end",
+        report.baseline.models,
+        report.ground_atoms,
+        report.ground_rules,
+        report.grounding_ms,
+        report.total_ms
+    );
+    println!(
+        "  reference engine: {:.1} ms ({:.0} scenarios/s, {} decisions, {} propagations)",
+        report.baseline.solve_ms,
+        report.baseline.scenarios_per_sec,
+        report.baseline.decisions,
+        report.baseline.propagations
+    );
+    println!(
+        "  indexed engine:   {:.1} ms ({:.0} scenarios/s, {} decisions, {} propagations)",
+        report.optimized.solve_ms,
+        report.optimized.scenarios_per_sec,
+        report.optimized.decisions,
+        report.optimized.propagations
+    );
+    println!("  engine speedup: {:.2}x", report.speedup);
+    if let Some(pre) = &report.pre_pr {
+        println!(
+            "  vs pre-optimization build: {:.1} ms -> {:.1} ms ({:.2}x)",
+            pre.total_ms, report.total_ms, pre.speedup
+        );
+    }
+    println!(
+        "  parallel sweep: {} scenarios on {} thread(s) in {:.1} ms (order check: {})",
+        report.parallel.scenarios,
+        report.parallel.threads,
+        report.parallel.sweep_ms,
+        if report.parallel.matches_sequential {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!("wrote {out}");
     Ok(())
 }
 

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod behavioral_casestudy;
+pub mod bench;
 pub mod casestudy;
 pub mod error;
 pub mod hierarchy;

@@ -167,6 +167,10 @@ pub fn analyze_fixed(
 /// Enumerate all scenarios (up to `max_faults`) through the ASP back-end;
 /// one [`ScenarioOutcome`] per answer set.
 ///
+/// Convenience wrapper around a one-shot [`ExhaustiveAnalysis`]; callers
+/// issuing several queries against the same problem should build the
+/// analysis once and reuse it.
+///
 /// # Errors
 ///
 /// [`EpaError::Asp`] on grounding/solving failure.
@@ -174,22 +178,128 @@ pub fn analyze_exhaustive(
     problem: &EpaProblem,
     max_faults: Option<u32>,
 ) -> Result<Vec<ScenarioOutcome>, EpaError> {
-    let program = encode(problem, &EncodeMode::Exhaustive { max_faults });
-    let ground = Grounder::new().ground(&program)?;
-    let mut solver = Solver::new(&ground);
-    let result = solver.enumerate(&SolveOptions::default())?;
-    Ok(result
-        .models
-        .iter()
-        .map(|m| {
-            let scenario: Scenario = m
-                .atoms_of("active_fault")
-                .iter()
-                .filter_map(|a| a.args.get(1).map(ToString::to_string))
-                .collect();
-            outcome_from_model(scenario, m)
+    ExhaustiveAnalysis::new(problem, max_faults)?.outcomes()
+}
+
+/// An exhaustive-mode analysis with a **cached ground program**.
+///
+/// Encoding and grounding the choice-rule program dominates the cost of
+/// small queries, and every exhaustive query (scenario enumeration, one
+/// `cheapest_attack` per requirement) shares the same ground program. This
+/// struct grounds once at construction; each query then works at the
+/// propositional level.
+pub struct ExhaustiveAnalysis {
+    ground: cpsrisk_asp::GroundProgram,
+    /// Fault id → attacker cost derived from the likelihood band.
+    attack_costs: std::collections::HashMap<String, i64>,
+}
+
+impl ExhaustiveAnalysis {
+    /// Encode and ground `problem` under exhaustive scenario enumeration.
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on grounding failure.
+    pub fn new(problem: &EpaProblem, max_faults: Option<u32>) -> Result<Self, EpaError> {
+        let program = encode(problem, &EncodeMode::Exhaustive { max_faults });
+        let ground = Grounder::new().ground(&program)?;
+        let attack_costs = problem
+            .mutations
+            .iter()
+            .map(|m| (m.id.clone(), (5 - m.likelihood.index() as i64) * 10))
+            .collect();
+        Ok(ExhaustiveAnalysis {
+            ground,
+            attack_costs,
         })
-        .collect())
+    }
+
+    /// The cached ground program.
+    #[must_use]
+    pub fn ground(&self) -> &cpsrisk_asp::GroundProgram {
+        &self.ground
+    }
+
+    /// Enumerate every scenario outcome (one per answer set).
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on solving failure.
+    pub fn outcomes(&self) -> Result<Vec<ScenarioOutcome>, EpaError> {
+        let mut solver = Solver::new(&self.ground);
+        let result = solver.enumerate(&SolveOptions::default())?;
+        Ok(result
+            .models
+            .iter()
+            .map(|m| outcome_from_model(scenario_of_model(m), m))
+            .collect())
+    }
+
+    /// §IV-D "most efficient attack" against one requirement, answered from
+    /// the cached ground program: the `#minimize` objective is attached at
+    /// the propositional level (one weighted literal per ground
+    /// `active_fault` atom), so no re-encoding or re-grounding happens per
+    /// requirement.
+    ///
+    /// Returns `None` if no potential fault combination violates the
+    /// requirement at all.
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on solving failure.
+    pub fn cheapest_attack(
+        &self,
+        requirement_id: &str,
+    ) -> Result<Option<(Scenario, i64)>, EpaError> {
+        use cpsrisk_asp::ast::Atom;
+        use cpsrisk_asp::program::{GroundHead, GroundRule, MinimizeLit};
+
+        // If `violated(req)` was never derived by any rule it is not even
+        // interned, and the constraint below would wipe out every model.
+        let Some(viol) = self
+            .ground
+            .lookup(&Atom::new("violated", vec![Term::sym(requirement_id)]))
+        else {
+            return Ok(None);
+        };
+
+        let mut g = self.ground.clone();
+        // The attack must succeed…
+        g.rules.push(GroundRule {
+            head: GroundHead::None,
+            pos: vec![],
+            neg: vec![viol],
+        });
+        // …at minimum total attacker cost. Tuples are keyed by fault id, so
+        // a fault counts once no matter how many components carry it —
+        // exactly the set semantics of the surface `#minimize` statement.
+        let mut lits = Vec::new();
+        for (id, atom) in self.ground.atoms() {
+            if atom.pred != "active_fault" {
+                continue;
+            }
+            let Some(fault @ Term::Const(name)) = atom.args.get(1) else {
+                continue;
+            };
+            let Some(&weight) = self.attack_costs.get(name) else {
+                continue;
+            };
+            lits.push(MinimizeLit {
+                weight,
+                tuple: vec![fault.clone()],
+                pos: vec![id],
+                neg: vec![],
+            });
+        }
+        g.minimize = vec![(0, lits)];
+
+        let mut solver = Solver::new(&g);
+        let best = solver.optimize(&SolveOptions::default())?;
+        Ok(best.map(|model| {
+            let cost = model.cost.first().map_or(0, |(_, c)| *c);
+            (scenario_of_model(&model), cost)
+        }))
+    }
 }
 
 /// §IV-D "most efficient attack": the cheapest fault combination (by
@@ -208,48 +318,17 @@ pub fn cheapest_attack(
     problem: &EpaProblem,
     requirement_id: &str,
 ) -> Result<Option<(Scenario, i64)>, EpaError> {
-    use cpsrisk_asp::ast::{Atom, Literal, Rule, Term as AstTerm};
+    ExhaustiveAnalysis::new(problem, None)?.cheapest_attack(requirement_id)
+}
 
-    let mut program = encode(problem, &EncodeMode::Exhaustive { max_faults: None });
-    // Attacker cost facts.
-    {
-        let mut b = ProgramBuilder::new();
-        for m in &problem.mutations {
-            let cost = (5 - m.likelihood.index() as i64) * 10;
-            b.fact("attack_cost", [Term::sym(&m.id), Term::Int(cost)]);
-        }
-        program.extend(b.finish());
-    }
-    // The attack must succeed…
-    program.push_rule(Rule::constraint(vec![Literal::Neg(Atom::new(
-        "violated",
-        vec![AstTerm::sym(requirement_id)],
-    ))]));
-    // …at minimum total attacker cost.
-    program.statements.push(cpsrisk_asp::Statement::Minimize {
-        priority: 0,
-        elements: vec![cpsrisk_asp::ast::MinimizeElement {
-            weight: AstTerm::var("W"),
-            terms: vec![AstTerm::var("F")],
-            condition: vec![
-                pos("active_fault", ["C", "F"]),
-                pos("attack_cost", ["F", "W"]),
-            ],
-        }],
-    });
-
-    let ground = Grounder::new().ground(&program)?;
-    let mut solver = Solver::new(&ground);
-    let best = solver.optimize(&SolveOptions::default())?;
-    Ok(best.map(|model| {
-        let scenario: Scenario = model
-            .atoms_of("active_fault")
-            .iter()
-            .filter_map(|a| a.args.get(1).map(ToString::to_string))
-            .collect();
-        let cost = model.cost.first().map_or(0, |(_, c)| *c);
-        (scenario, cost)
-    }))
+/// The scenario an answer set encodes: the fault ids of its
+/// `active_fault/2` atoms.
+fn scenario_of_model(model: &cpsrisk_asp::Model) -> Scenario {
+    model
+        .atoms_of("active_fault")
+        .iter()
+        .filter_map(|a| a.args.get(1).map(ToString::to_string))
+        .collect()
 }
 
 fn outcome_from_model(scenario: Scenario, model: &cpsrisk_asp::Model) -> ScenarioOutcome {
@@ -416,6 +495,26 @@ mod tests {
             .unwrap()
             .expect("still attackable");
         assert_eq!(scenario, Scenario::of(&["f_valve_closed"]));
+    }
+
+    #[test]
+    fn cached_analysis_answers_every_query_like_the_one_shot_api() {
+        let p = problem();
+        let cached = ExhaustiveAnalysis::new(&p, None).unwrap();
+        // Same enumeration, twice (the cache is reusable).
+        let one_shot = analyze_exhaustive(&p, None).unwrap();
+        assert_eq!(cached.outcomes().unwrap(), one_shot);
+        assert_eq!(cached.outcomes().unwrap(), one_shot);
+        // Same cheapest attack per requirement, without re-grounding.
+        for r in &p.requirements {
+            assert_eq!(
+                cached.cheapest_attack(&r.id).unwrap(),
+                cheapest_attack(&p, &r.id).unwrap(),
+                "requirement {}",
+                r.id
+            );
+        }
+        assert_eq!(cached.cheapest_attack("no_such_requirement").unwrap(), None);
     }
 
     #[test]

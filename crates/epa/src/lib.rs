@@ -26,7 +26,10 @@
 //! * [`cegar`] — CEGAR-style refinement: eliminate spurious hazards found
 //!   at the abstract level by consulting a concrete oracle, never dropping
 //!   a real hazard,
-//! * [`sensitivity`] — modeling-decision sensitivity analysis (§II-A).
+//! * [`sensitivity`] — modeling-decision sensitivity analysis (§II-A),
+//! * [`parallel`] — sharded multi-threaded scenario sweeps with
+//!   deterministic (input-order) results,
+//! * [`workload`] — parametric benchmark problem generators.
 //!
 //! The direct engine and the ASP encoding are **cross-checked** in the
 //! integration tests: both must report the same violated requirements for
@@ -38,15 +41,23 @@ pub mod cegar;
 pub mod encode;
 pub mod error;
 pub mod mutation;
+pub mod parallel;
 pub mod problem;
 pub mod scenario;
 pub mod sensitivity;
 pub mod topology;
+pub mod workload;
 
 pub use attack_path::{shortest_attack_paths, AttackPath};
-pub use encode::{cheapest_attack, encode, EncodeMode};
+pub use encode::{
+    analyze_exhaustive, analyze_fixed, cheapest_attack, encode, EncodeMode, ExhaustiveAnalysis,
+};
 pub use error::EpaError;
 pub use mutation::{inject_mutations, CandidateMutation, MutationSource};
+pub use parallel::{sweep_fixed, SweepOptions};
 pub use problem::{EpaProblem, MitigationOption, Requirement};
 pub use scenario::{Scenario, ScenarioOutcome, ScenarioSpace};
+pub use sensitivity::{
+    sensitivity_sweep, sensitivity_sweep_parallel, Decision, SensitivityFinding,
+};
 pub use topology::TopologyAnalysis;

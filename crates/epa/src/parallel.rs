@@ -1,0 +1,126 @@
+//! Sharded scenario sweeps over OS threads.
+//!
+//! The scenario space is embarrassingly parallel: every scenario (and every
+//! sensitivity variant) is evaluated independently. The sweep splits the
+//! input into one contiguous chunk per worker under [`std::thread::scope`]
+//! and writes results into pre-sized slots, so the output order equals the
+//! input order regardless of thread count or scheduling — a sweep with
+//! `threads = 1` and `threads = 8` return identical vectors.
+
+use crate::encode::analyze_fixed;
+use crate::error::EpaError;
+use crate::problem::EpaProblem;
+use crate::scenario::{Scenario, ScenarioOutcome};
+
+/// Knobs for a parallel sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Number of worker threads (≥ 1).
+    pub threads: usize,
+}
+
+impl SweepOptions {
+    /// Exactly `threads` workers.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        SweepOptions {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Default for SweepOptions {
+    /// Thread count from the `CPSRISK_THREADS` environment variable if set
+    /// to a positive integer, else the machine's available parallelism.
+    fn default() -> Self {
+        let threads = std::env::var("CPSRISK_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        SweepOptions { threads }
+    }
+}
+
+/// Apply `f` to every item on `threads` scoped workers, preserving input
+/// order in the output. Each worker owns one contiguous chunk of the input
+/// and the matching chunk of the output, so no synchronization beyond the
+/// scope join is needed.
+pub(crate) fn run_sharded<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (input, slots) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in slots.iter_mut().zip(input) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Evaluate every scenario through the ASP back-end
+/// ([`analyze_fixed`]) across worker threads. `outcomes[i]` corresponds to
+/// `scenarios[i]`; the result is bit-identical to the sequential sweep.
+///
+/// # Errors
+///
+/// The first (in input order) [`EpaError`] any scenario produced.
+pub fn sweep_fixed(
+    problem: &EpaProblem,
+    scenarios: &[Scenario],
+    opts: &SweepOptions,
+) -> Result<Vec<ScenarioOutcome>, EpaError> {
+    run_sharded(scenarios, opts.threads, |s| analyze_fixed(problem, s))
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioSpace;
+    use crate::workload::chain_problem;
+
+    #[test]
+    fn run_sharded_preserves_order_for_any_thread_count() {
+        let items: Vec<u32> = (0..23).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = run_sharded(&items, threads, |&x| x * 2);
+            assert_eq!(out, (0..23).map(|x| x * 2).collect::<Vec<_>>());
+        }
+        assert!(run_sharded(&[] as &[u32], 4, |&x: &u32| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_sweep_equals_sequential() {
+        let p = chain_problem(2);
+        let scenarios: Vec<Scenario> = ScenarioSpace::new(&p, usize::MAX).iter().collect();
+        let sequential: Vec<ScenarioOutcome> = scenarios
+            .iter()
+            .map(|s| analyze_fixed(&p, s).unwrap())
+            .collect();
+        for threads in [1, 4] {
+            let parallel = sweep_fixed(&p, &scenarios, &SweepOptions::with_threads(threads))
+                .expect("sweep succeeds");
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+}

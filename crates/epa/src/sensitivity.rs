@@ -77,13 +77,45 @@ pub fn sensitivity_sweep(problem: &EpaProblem, max_faults: usize) -> Vec<Sensiti
         .iter()
         .collect();
     let baseline = verdicts(problem, &scenarios);
-    let mut findings = Vec::new();
+    let mut findings: Vec<SensitivityFinding> = decision_variants(problem)
+        .into_iter()
+        .map(|(decision, variant)| diff(decision, &baseline, &verdicts(&variant, &scenarios)))
+        .collect();
+    rank(&mut findings);
+    findings
+}
 
+/// [`sensitivity_sweep`] with the per-decision variant evaluations fanned
+/// out across worker threads. Each variant re-runs the full scenario space
+/// independently, so the sweep parallelizes without any sharing; the
+/// result is identical to the sequential sweep (the final ranking is a
+/// total order).
+#[must_use]
+pub fn sensitivity_sweep_parallel(
+    problem: &EpaProblem,
+    max_faults: usize,
+    opts: &crate::parallel::SweepOptions,
+) -> Vec<SensitivityFinding> {
+    let scenarios: Vec<Scenario> = crate::scenario::ScenarioSpace::new(problem, max_faults)
+        .iter()
+        .collect();
+    let baseline = verdicts(problem, &scenarios);
+    let variants = decision_variants(problem);
+    let mut findings =
+        crate::parallel::run_sharded(&variants, opts.threads, |(decision, variant)| {
+            diff(decision.clone(), &baseline, &verdicts(variant, &scenarios))
+        });
+    rank(&mut findings);
+    findings
+}
+
+/// Every flippable decision paired with the problem variant it induces.
+fn decision_variants(problem: &EpaProblem) -> Vec<(Decision, EpaProblem)> {
+    let mut variants = Vec::new();
     for m in &problem.mutations {
         let mut variant = problem.clone();
         variant.mutations.retain(|x| x.id != m.id);
-        let v = verdicts(&variant, &scenarios);
-        findings.push(diff(Decision::DropMutation(m.id.clone()), &baseline, &v));
+        variants.push((Decision::DropMutation(m.id.clone()), variant));
     }
     for mit in &problem.mitigations {
         let mut variant = problem.clone();
@@ -94,19 +126,18 @@ pub fn sensitivity_sweep(problem: &EpaProblem, max_faults: usize) -> Vec<Sensiti
                 .activate_mitigation(&mit.id)
                 .expect("mitigation exists in the clone");
         }
-        let v = verdicts(&variant, &scenarios);
-        findings.push(diff(
-            Decision::ToggleMitigation(mit.id.clone()),
-            &baseline,
-            &v,
-        ));
+        variants.push((Decision::ToggleMitigation(mit.id.clone()), variant));
     }
+    variants
+}
+
+/// Rank findings by impact (descending), ties broken by decision order.
+fn rank(findings: &mut [SensitivityFinding]) {
     findings.sort_by(|a, b| {
         b.flipped_verdicts
             .cmp(&a.flipped_verdicts)
             .then_with(|| a.decision.cmp(&b.decision))
     });
-    findings
 }
 
 /// Verdicts of a problem over a fixed scenario list:
@@ -194,6 +225,20 @@ mod tests {
         let p = problem();
         let findings = sensitivity_sweep(&p, usize::MAX);
         assert_eq!(findings.len(), p.mutations.len() + p.mitigations.len());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let p = problem();
+        let sequential = sensitivity_sweep(&p, usize::MAX);
+        for threads in [1, 4] {
+            let parallel = sensitivity_sweep_parallel(
+                &p,
+                usize::MAX,
+                &crate::parallel::SweepOptions::with_threads(threads),
+            );
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Parametric benchmark workloads.
+//!
+//! Lives in the EPA crate (rather than the bench crate) so the analysis
+//! engines, the CLI `bench` subcommand, and the criterion benches can all
+//! generate identical problem instances; `cpsrisk-bench` re-exports it.
+
+use cpsrisk_model::{ElementKind, Relation, RelationKind, SystemModel};
+
+use crate::mutation::CandidateMutation;
+use crate::problem::{EpaProblem, MitigationOption, Requirement};
+
+/// A parametric control chain: `ew -> d1 -> … -> dn -> valve`, one
+/// `compromised` mutation per device plus a stuck-valve mutation, and a
+/// requirement on the valve mode. Scenario-space size grows as `2^(n+2)`.
+///
+/// # Panics
+///
+/// Never panics for `n ≥ 1` (identifiers are generated valid).
+#[must_use]
+pub fn chain_problem(n: usize) -> EpaProblem {
+    let mut m = SystemModel::new(format!("chain_{n}"));
+    m.add_element("ew", "Workstation", ElementKind::Node)
+        .expect("valid id");
+    let mut prev = "ew".to_owned();
+    for i in 1..=n {
+        let id = format!("d{i}");
+        m.add_element(&id, &format!("Device {i}"), ElementKind::Device)
+            .expect("valid id");
+        m.insert_relation(Relation::new(&prev, &id, RelationKind::Flow))
+            .expect("endpoints exist");
+        prev = id;
+    }
+    m.add_element("valve", "Valve", ElementKind::Equipment)
+        .expect("valid id");
+    m.insert_relation(Relation::new(&prev, "valve", RelationKind::Flow))
+        .expect("endpoints exist");
+
+    let mut mutations = vec![CandidateMutation::spontaneous(
+        "f_valve",
+        "valve",
+        "stuck_at_closed",
+    )];
+    mutations.push(CandidateMutation::spontaneous("f_ew", "ew", "compromised"));
+    for i in 1..=n {
+        mutations.push(CandidateMutation::spontaneous(
+            &format!("f_d{i}"),
+            &format!("d{i}"),
+            "compromised",
+        ));
+    }
+    let requirements = vec![Requirement::all_of(
+        "r1",
+        "valve must not stick",
+        &[("valve", "stuck_at_closed")],
+    )];
+    let mitigations = vec![MitigationOption::new(
+        "m_ew",
+        "Harden Workstation",
+        &["f_ew"],
+        100,
+    )];
+    EpaProblem::new(m, mutations, requirements, mitigations).expect("chain problem validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::topology::TopologyAnalysis;
+
+    #[test]
+    fn chain_problem_scales_and_propagates() {
+        for n in [1, 3, 6] {
+            let p = chain_problem(n);
+            assert_eq!(p.mutations.len(), n + 2);
+            // Compromising the workstation reaches the valve down the chain.
+            let out = TopologyAnalysis::new(&p).evaluate(&Scenario::of(&["f_ew"]));
+            assert!(out.violated.contains("r1"), "chain length {n}");
+        }
+    }
+}

@@ -7,5 +7,6 @@ Cargo.toml:
 
 # env-dep:CARGO_BIN_EXE_cpsrisk=placeholder:cpsrisk
 # env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -6,3 +6,4 @@ crates/core/../../tests/cli.rs:
 
 # env-dep:CARGO_BIN_EXE_cpsrisk=/root/repo/target/debug/cpsrisk
 # env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CARGO_TARGET_TMPDIR=/root/repo/target/tmp

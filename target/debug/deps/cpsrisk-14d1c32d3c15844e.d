@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/cpsrisk-14d1c32d3c15844e.d: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
+/root/repo/target/debug/deps/cpsrisk-14d1c32d3c15844e.d: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/bench.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
 
-/root/repo/target/debug/deps/cpsrisk-14d1c32d3c15844e: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
+/root/repo/target/debug/deps/cpsrisk-14d1c32d3c15844e: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/bench.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
 
 crates/core/src/lib.rs:
 crates/core/src/behavioral_casestudy.rs:
+crates/core/src/bench.rs:
 crates/core/src/casestudy.rs:
 crates/core/src/error.rs:
 crates/core/src/hierarchy.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/cpsrisk-a73d5ac2e1c8ffba.d: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs Cargo.toml
+/root/repo/target/debug/deps/cpsrisk-a73d5ac2e1c8ffba.d: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/bench.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcpsrisk-a73d5ac2e1c8ffba.rmeta: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs Cargo.toml
+/root/repo/target/debug/deps/libcpsrisk-a73d5ac2e1c8ffba.rmeta: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/bench.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/behavioral_casestudy.rs:
+crates/core/src/bench.rs:
 crates/core/src/casestudy.rs:
 crates/core/src/error.rs:
 crates/core/src/hierarchy.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/cpsrisk-ec9de86605c3e45d.d: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
+/root/repo/target/debug/deps/cpsrisk-ec9de86605c3e45d.d: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/bench.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
 
-/root/repo/target/debug/deps/libcpsrisk-ec9de86605c3e45d.rlib: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
+/root/repo/target/debug/deps/libcpsrisk-ec9de86605c3e45d.rlib: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/bench.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
 
-/root/repo/target/debug/deps/libcpsrisk-ec9de86605c3e45d.rmeta: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
+/root/repo/target/debug/deps/libcpsrisk-ec9de86605c3e45d.rmeta: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/bench.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
 
 crates/core/src/lib.rs:
 crates/core/src/behavioral_casestudy.rs:
+crates/core/src/bench.rs:
 crates/core/src/casestudy.rs:
 crates/core/src/error.rs:
 crates/core/src/hierarchy.rs:

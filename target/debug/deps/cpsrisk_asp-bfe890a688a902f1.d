@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/cpsrisk_asp-bfe890a688a902f1.d: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs Cargo.toml
+/root/repo/target/debug/deps/cpsrisk_asp-bfe890a688a902f1.d: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/intern.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcpsrisk_asp-bfe890a688a902f1.rmeta: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs Cargo.toml
+/root/repo/target/debug/deps/libcpsrisk_asp-bfe890a688a902f1.rmeta: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/intern.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs Cargo.toml
 
 crates/asp/src/lib.rs:
 crates/asp/src/ast.rs:
@@ -9,6 +9,7 @@ crates/asp/src/check.rs:
 crates/asp/src/diag.rs:
 crates/asp/src/error.rs:
 crates/asp/src/ground.rs:
+crates/asp/src/intern.rs:
 crates/asp/src/lexer.rs:
 crates/asp/src/lint.rs:
 crates/asp/src/parser.rs:

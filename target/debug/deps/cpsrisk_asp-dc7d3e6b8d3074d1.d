@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/cpsrisk_asp-dc7d3e6b8d3074d1.d: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
+/root/repo/target/debug/deps/cpsrisk_asp-dc7d3e6b8d3074d1.d: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/intern.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
 
-/root/repo/target/debug/deps/libcpsrisk_asp-dc7d3e6b8d3074d1.rlib: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
+/root/repo/target/debug/deps/libcpsrisk_asp-dc7d3e6b8d3074d1.rlib: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/intern.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
 
-/root/repo/target/debug/deps/libcpsrisk_asp-dc7d3e6b8d3074d1.rmeta: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
+/root/repo/target/debug/deps/libcpsrisk_asp-dc7d3e6b8d3074d1.rmeta: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/intern.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
 
 crates/asp/src/lib.rs:
 crates/asp/src/ast.rs:
@@ -11,6 +11,7 @@ crates/asp/src/check.rs:
 crates/asp/src/diag.rs:
 crates/asp/src/error.rs:
 crates/asp/src/ground.rs:
+crates/asp/src/intern.rs:
 crates/asp/src/lexer.rs:
 crates/asp/src/lint.rs:
 crates/asp/src/parser.rs:

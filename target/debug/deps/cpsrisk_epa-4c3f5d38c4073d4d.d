@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/cpsrisk_epa-4c3f5d38c4073d4d.d: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs Cargo.toml
+/root/repo/target/debug/deps/cpsrisk_epa-4c3f5d38c4073d4d.d: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/parallel.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs crates/epa/src/workload.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcpsrisk_epa-4c3f5d38c4073d4d.rmeta: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs Cargo.toml
+/root/repo/target/debug/deps/libcpsrisk_epa-4c3f5d38c4073d4d.rmeta: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/parallel.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs crates/epa/src/workload.rs Cargo.toml
 
 crates/epa/src/lib.rs:
 crates/epa/src/attack_path.rs:
@@ -9,10 +9,12 @@ crates/epa/src/cegar.rs:
 crates/epa/src/encode.rs:
 crates/epa/src/error.rs:
 crates/epa/src/mutation.rs:
+crates/epa/src/parallel.rs:
 crates/epa/src/problem.rs:
 crates/epa/src/scenario.rs:
 crates/epa/src/sensitivity.rs:
 crates/epa/src/topology.rs:
+crates/epa/src/workload.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

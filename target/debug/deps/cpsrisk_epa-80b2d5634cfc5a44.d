@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/cpsrisk_epa-80b2d5634cfc5a44.d: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs
+/root/repo/target/debug/deps/cpsrisk_epa-80b2d5634cfc5a44.d: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/parallel.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs crates/epa/src/workload.rs
 
-/root/repo/target/debug/deps/libcpsrisk_epa-80b2d5634cfc5a44.rlib: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs
+/root/repo/target/debug/deps/libcpsrisk_epa-80b2d5634cfc5a44.rlib: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/parallel.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs crates/epa/src/workload.rs
 
-/root/repo/target/debug/deps/libcpsrisk_epa-80b2d5634cfc5a44.rmeta: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs
+/root/repo/target/debug/deps/libcpsrisk_epa-80b2d5634cfc5a44.rmeta: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/parallel.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs crates/epa/src/workload.rs
 
 crates/epa/src/lib.rs:
 crates/epa/src/attack_path.rs:
@@ -11,7 +11,9 @@ crates/epa/src/cegar.rs:
 crates/epa/src/encode.rs:
 crates/epa/src/error.rs:
 crates/epa/src/mutation.rs:
+crates/epa/src/parallel.rs:
 crates/epa/src/problem.rs:
 crates/epa/src/scenario.rs:
 crates/epa/src/sensitivity.rs:
 crates/epa/src/topology.rs:
+crates/epa/src/workload.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/cpsrisk_epa-fe0ec5010a7a7955.d: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs
+/root/repo/target/debug/deps/cpsrisk_epa-fe0ec5010a7a7955.d: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/parallel.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs crates/epa/src/workload.rs
 
-/root/repo/target/debug/deps/cpsrisk_epa-fe0ec5010a7a7955: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs
+/root/repo/target/debug/deps/cpsrisk_epa-fe0ec5010a7a7955: crates/epa/src/lib.rs crates/epa/src/attack_path.rs crates/epa/src/behavioral.rs crates/epa/src/cegar.rs crates/epa/src/encode.rs crates/epa/src/error.rs crates/epa/src/mutation.rs crates/epa/src/parallel.rs crates/epa/src/problem.rs crates/epa/src/scenario.rs crates/epa/src/sensitivity.rs crates/epa/src/topology.rs crates/epa/src/workload.rs
 
 crates/epa/src/lib.rs:
 crates/epa/src/attack_path.rs:
@@ -9,7 +9,9 @@ crates/epa/src/cegar.rs:
 crates/epa/src/encode.rs:
 crates/epa/src/error.rs:
 crates/epa/src/mutation.rs:
+crates/epa/src/parallel.rs:
 crates/epa/src/problem.rs:
 crates/epa/src/scenario.rs:
 crates/epa/src/sensitivity.rs:
 crates/epa/src/topology.rs:
+crates/epa/src/workload.rs:

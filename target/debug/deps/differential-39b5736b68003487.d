@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-39b5736b68003487.d: crates/asp/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-39b5736b68003487: crates/asp/tests/differential.rs
+
+crates/asp/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-46c88d128ae1bfaf.d: crates/asp/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-46c88d128ae1bfaf.rmeta: crates/asp/tests/differential.rs Cargo.toml
+
+crates/asp/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

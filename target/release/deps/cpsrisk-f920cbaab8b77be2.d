@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/cpsrisk-f920cbaab8b77be2.d: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
+/root/repo/target/release/deps/cpsrisk-f920cbaab8b77be2.d: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/bench.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
 
-/root/repo/target/release/deps/libcpsrisk-f920cbaab8b77be2.rlib: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
+/root/repo/target/release/deps/libcpsrisk-f920cbaab8b77be2.rlib: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/bench.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
 
-/root/repo/target/release/deps/libcpsrisk-f920cbaab8b77be2.rmeta: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
+/root/repo/target/release/deps/libcpsrisk-f920cbaab8b77be2.rmeta: crates/core/src/lib.rs crates/core/src/behavioral_casestudy.rs crates/core/src/bench.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/hierarchy.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/uncertain.rs
 
 crates/core/src/lib.rs:
 crates/core/src/behavioral_casestudy.rs:
+crates/core/src/bench.rs:
 crates/core/src/casestudy.rs:
 crates/core/src/error.rs:
 crates/core/src/hierarchy.rs:

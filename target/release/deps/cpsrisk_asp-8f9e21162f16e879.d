@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/cpsrisk_asp-8f9e21162f16e879.d: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
+/root/repo/target/release/deps/cpsrisk_asp-8f9e21162f16e879.d: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/intern.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
 
-/root/repo/target/release/deps/libcpsrisk_asp-8f9e21162f16e879.rlib: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
+/root/repo/target/release/deps/libcpsrisk_asp-8f9e21162f16e879.rlib: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/intern.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
 
-/root/repo/target/release/deps/libcpsrisk_asp-8f9e21162f16e879.rmeta: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
+/root/repo/target/release/deps/libcpsrisk_asp-8f9e21162f16e879.rmeta: crates/asp/src/lib.rs crates/asp/src/ast.rs crates/asp/src/builder.rs crates/asp/src/check.rs crates/asp/src/diag.rs crates/asp/src/error.rs crates/asp/src/ground.rs crates/asp/src/intern.rs crates/asp/src/lexer.rs crates/asp/src/lint.rs crates/asp/src/parser.rs crates/asp/src/program.rs crates/asp/src/solve.rs
 
 crates/asp/src/lib.rs:
 crates/asp/src/ast.rs:
@@ -11,6 +11,7 @@ crates/asp/src/check.rs:
 crates/asp/src/diag.rs:
 crates/asp/src/error.rs:
 crates/asp/src/ground.rs:
+crates/asp/src/intern.rs:
 crates/asp/src/lexer.rs:
 crates/asp/src/lint.rs:
 crates/asp/src/parser.rs:

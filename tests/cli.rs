@@ -164,3 +164,26 @@ fn bad_fault_ids_are_rejected() {
     assert!(!ok);
     assert!(stderr.contains("unknown fault"));
 }
+
+#[test]
+fn bench_writes_a_validatable_report() {
+    let out = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("cpsrisk_bench_cli_test.json");
+    let out = out.to_str().unwrap();
+    let (stdout, stderr, ok) = run(&["bench", "--n", "2", "--threads", "2", "--out", out]);
+    assert!(ok, "bench runs: {stderr}");
+    assert!(
+        stdout.contains("chain_problem(2): 16 scenarios"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("engine speedup:"), "{stdout}");
+    assert!(stdout.contains("order check: ok"), "{stdout}");
+    // The written report passes the built-in validator.
+    let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
+    assert!(ok, "validate accepts the fresh report: {stderr}");
+    assert!(stdout.contains("valid cpsrisk-bench/1 report"), "{stdout}");
+    std::fs::remove_file(out).ok();
+    // Unknown flags are rejected.
+    let (_, stderr, ok) = run(&["bench", "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown bench flag"), "{stderr}");
+}
