@@ -3,13 +3,27 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Build artifacts must never be tracked (the tree once carried ~8.9k
+# target/ files; this guard keeps the regression out for good).
+if git ls-files | grep -q '^target/'; then
+    echo "ci.sh: target/ files are tracked in git — run 'git rm -r --cached target'" >&2
+    exit 1
+fi
+
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 
-# Smoke-bench: a tiny workload must produce a report the validator accepts.
+# Smoke-bench: a tiny workload must produce a cpsrisk-bench/2 report the
+# validator accepts. The validator also fails the gate when the
+# assumption-reuse stream diverges from — or is slower than — the
+# fresh-solve stream.
 smoke_bench=target/ci_smoke_bench.json
 ./target/release/cpsrisk bench --n 2 --threads 2 --out "$smoke_bench"
 ./target/release/cpsrisk bench --validate "$smoke_bench"
+grep -q '"schema": "cpsrisk-bench/2"' "$smoke_bench" || {
+    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/2 report" >&2
+    exit 1
+}
 rm -f "$smoke_bench"

@@ -23,12 +23,18 @@ type Subst = BTreeMap<String, Term>;
 pub struct Grounder {
     /// Maximum number of ground rule instances before aborting.
     pub max_instances: usize,
+    /// Predicate signatures whose *facts* become assumable atoms: instead
+    /// of baking `p(c).` in as a fact, the grounder emits a choice-supported
+    /// atom and records it in [`GroundProgram::assumable`], so a solver can
+    /// pin it true or false per query via assumption literals.
+    assumable: Vec<(String, usize)>,
 }
 
 impl Default for Grounder {
     fn default() -> Self {
         Grounder {
             max_instances: 2_000_000,
+            assumable: Vec::new(),
         }
     }
 }
@@ -108,7 +114,23 @@ impl Grounder {
     /// A grounder with a custom instance budget.
     #[must_use]
     pub fn with_budget(max_instances: usize) -> Self {
-        Grounder { max_instances }
+        Grounder {
+            max_instances,
+            ..Grounder::default()
+        }
+    }
+
+    /// Mark a predicate signature as *assumable*: every **fact** of that
+    /// signature is emitted as a choice-supported ground atom (listed in
+    /// [`GroundProgram::assumable`]) instead of an unconditional fact.
+    /// Rules with non-empty bodies are unaffected. Left unassumed, such an
+    /// atom is free (the solver branches on it); fixed via
+    /// [`Lit`](crate::solve::Lit) assumptions it behaves exactly like the
+    /// fact being present or absent — without re-grounding.
+    #[must_use]
+    pub fn assumable(mut self, pred: &str, arity: usize) -> Self {
+        self.assumable.push((pred.to_owned(), arity));
+        self
     }
 
     /// Ground a program.
@@ -234,16 +256,30 @@ impl Grounder {
         }
         match &rule.head {
             Head::Atom(a) => {
-                let head = out.intern(ground_atom(a, theta)?);
-                push_rule(
+                let ga = ground_atom(a, theta)?;
+                let is_assumable = body_pos.is_empty()
+                    && body_neg.is_empty()
+                    && self
+                        .assumable
+                        .iter()
+                        .any(|(p, n)| *p == ga.pred && *n == ga.args.len());
+                let head = out.intern(ga);
+                let inserted = push_rule(
                     out,
                     seen,
                     GroundRule {
-                        head: GroundHead::Atom(head),
+                        head: if is_assumable {
+                            GroundHead::Choice(head)
+                        } else {
+                            GroundHead::Atom(head)
+                        },
                         pos: body_pos,
                         neg: body_neg,
                     },
                 );
+                if inserted && is_assumable {
+                    out.assumable.push(head);
+                }
             }
             Head::None => {
                 push_rule(
@@ -314,10 +350,12 @@ impl Grounder {
     }
 }
 
-fn push_rule(out: &mut GroundProgram, seen: &mut HashSet<GroundRule>, rule: GroundRule) {
+fn push_rule(out: &mut GroundProgram, seen: &mut HashSet<GroundRule>, rule: GroundRule) -> bool {
     if seen.insert(rule.clone()) {
         out.rules.push(rule);
+        return true;
     }
+    false
 }
 
 /// Ground the positive/negative atoms of a literal list under a complete

@@ -17,7 +17,9 @@
 //! 3. [`solve`](solve::Solver) — a smodels-style stable-model solver
 //!    (Fitting + unfounded-set propagation, chronological backtracking,
 //!    model enumeration, branch-and-bound `#minimize` optimization,
-//!    brave/cautious reasoning),
+//!    brave/cautious reasoning, and assumption-based multi-shot solving:
+//!    one ground program, many queries via [`Lit`] assumptions, with
+//!    learned conflict nogoods retained across calls),
 //! 4. [`check`](check::is_stable_model) — an *independent* stability
 //!    verifier (reduct + least-model test) used to cross-validate every
 //!    answer set in tests and debug builds,
@@ -65,7 +67,7 @@ pub use error::AspError;
 pub use ground::Grounder;
 pub use parser::{parse_program_spanned, SpannedProgram};
 pub use program::{AtomId, GroundProgram};
-pub use solve::{Model, SolveOptions, SolveResult, Solver};
+pub use solve::{Lit, Model, SolveOptions, SolveResult, Solver};
 
 /// Parse a program from its textual representation.
 ///

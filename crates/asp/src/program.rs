@@ -103,6 +103,11 @@ pub struct GroundProgram {
     pub minimize: Vec<(i64, Vec<MinimizeLit>)>,
     /// `#show` projections (predicate, arity); empty = show everything.
     pub shows: Vec<(String, usize)>,
+    /// Atoms emitted as assumable (choice-supported facts of the
+    /// predicates marked via `Grounder::assumable`) — the handles a caller
+    /// pins per query with assumption literals.
+    #[serde(default)]
+    pub assumable: Vec<AtomId>,
 }
 
 impl GroundProgram {

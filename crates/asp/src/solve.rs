@@ -17,12 +17,51 @@ use crate::error::AspError;
 use crate::program::{AtomId, GroundHead, GroundProgram, MinimizeLit};
 
 /// Truth value during search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Val {
     Unknown,
     True,
     False,
 }
+
+/// An assumption literal: a ground atom fixed true or false for the
+/// duration of one [`Solver::solve_with_assumptions`] call.
+///
+/// Assumptions are the multi-shot interface of the solver: a program is
+/// grounded once with its scenario atoms left open (choice-supported, see
+/// [`Grounder::assumable`](crate::ground::Grounder::assumable)), and each
+/// query pins them at decision level 0 instead of re-grounding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit {
+    /// The assumed atom.
+    pub atom: AtomId,
+    /// `true` to assume the atom holds, `false` to assume it does not.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Assume the atom true.
+    #[must_use]
+    pub fn pos(atom: AtomId) -> Self {
+        Lit {
+            atom,
+            positive: true,
+        }
+    }
+
+    /// Assume the atom false.
+    #[must_use]
+    pub fn neg(atom: AtomId) -> Self {
+        Lit {
+            atom,
+            positive: false,
+        }
+    }
+}
+
+/// Retained learned nogoods are capped at this many entries; conflicts past
+/// the cap still backtrack normally, they just stop adding clauses.
+const MAX_LEARNED_NOGOODS: usize = 4096;
 
 /// Options controlling enumeration and optimization.
 #[derive(Debug, Clone)]
@@ -115,6 +154,9 @@ pub struct SolveResult {
     pub decisions: u64,
     /// Number of propagated (non-decision and decision) assignments.
     pub propagations: u64,
+    /// Conflicts hit during this call (propagation failures plus complete
+    /// assignments that failed the stability check).
+    pub conflicts: u64,
 }
 
 /// A stable-model solver over one ground program.
@@ -168,6 +210,26 @@ pub struct Solver<'a> {
     sorted_ids: Vec<u32>,
     /// Per atom: passes the `#show` projection.
     shown_flags: Vec<bool>,
+    /// The current call's assumption literals `(atom, assumed value)`,
+    /// assigned at decision level 0 and embedded in every learned nogood so
+    /// the nogood stays valid under *different* assumptions later.
+    assumptions: Vec<(u32, Val)>,
+    /// Learned conflict nogoods: sets of `(atom, value)` literals no stable
+    /// model satisfies simultaneously. **Retained across solve calls** —
+    /// this is the payoff of reusing one solver over many assumption sets.
+    nogoods: Vec<Vec<(u32, Val)>>,
+    /// Dedup index over `nogoods`.
+    nogood_set: HashSet<Vec<(u32, Val)>>,
+    /// Conflicts hit during the current call.
+    conflict_count: u64,
+    /// Conflicts hit over the solver's whole lifetime — unlike
+    /// `conflict_count` this survives the per-call reset, so a caller
+    /// streaming many assumption queries can report aggregate statistics.
+    lifetime_conflicts: u64,
+    /// Assignments forced by unit nogoods during the current call.
+    nogood_force_count: u64,
+    /// Branches abandoned by the branch-and-bound prune hook (current call).
+    bound_prune_count: u64,
 }
 
 impl<'a> Solver<'a> {
@@ -242,6 +304,13 @@ impl<'a> Solver<'a> {
             display,
             sorted_ids,
             shown_flags,
+            assumptions: Vec::new(),
+            nogoods: Vec::new(),
+            nogood_set: HashSet::new(),
+            conflict_count: 0,
+            lifetime_conflicts: 0,
+            nogood_force_count: 0,
+            bound_prune_count: 0,
         }
     }
 
@@ -257,28 +326,97 @@ impl<'a> Solver<'a> {
         self.propagation_count
     }
 
+    /// Number of learned conflict nogoods currently retained.
+    #[must_use]
+    pub fn learned_nogoods(&self) -> usize {
+        self.nogoods.len()
+    }
+
+    /// Conflicts hit over the solver's whole lifetime (across every
+    /// assumption call since construction).
+    #[must_use]
+    pub fn total_conflicts(&self) -> u64 {
+        self.lifetime_conflicts
+    }
+
+    /// Assignments forced by unit nogoods during the last call.
+    #[must_use]
+    pub fn nogood_propagations(&self) -> u64 {
+        self.nogood_force_count
+    }
+
+    /// Branches abandoned by branch-and-bound pruning during the last call.
+    #[must_use]
+    pub fn bound_prunes(&self) -> u64 {
+        self.bound_prune_count
+    }
+
+    /// Drop every retained learned nogood (e.g. to measure their effect).
+    pub fn clear_learned(&mut self) {
+        self.nogoods.clear();
+        self.nogood_set.clear();
+    }
+
     /// Enumerate answer sets (ignoring `#minimize`).
     ///
     /// # Errors
     ///
     /// [`AspError::SolveBudget`] if the decision budget is exceeded.
     pub fn enumerate(&mut self, opts: &SolveOptions) -> Result<SolveResult, AspError> {
+        self.solve_with_assumptions(&[], opts)
+    }
+
+    /// Enumerate answer sets with the given atoms fixed at decision level 0.
+    ///
+    /// The solver is fully reset between calls (trail, decisions, counters),
+    /// so one instance answers any number of assumption sets over the same
+    /// ground program; learned conflict nogoods are **retained** across
+    /// calls and keep pruning later queries. Contradictory assumptions (or
+    /// assumptions the program refutes outright) yield zero models with
+    /// `exhausted = true`.
+    ///
+    /// # Errors
+    ///
+    /// [`AspError::SolveBudget`] if the decision budget is exceeded.
+    pub fn solve_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        opts: &SolveOptions,
+    ) -> Result<SolveResult, AspError> {
         self.reset();
         let mut models = Vec::new();
-        let exhausted = self.search(
-            opts,
-            &mut |m| {
-                models.push(m);
-                opts.max_models == 0 || models.len() < opts.max_models
-            },
-            &mut |_| false,
-        )?;
+        let exhausted = if self.apply_assumptions(assumptions) {
+            self.search(
+                opts,
+                &mut |m| {
+                    models.push(m);
+                    opts.max_models == 0 || models.len() < opts.max_models
+                },
+                &mut |_| false,
+            )?
+        } else {
+            true // assumptions contradict each other: empty search space
+        };
         Ok(SolveResult {
             models,
             exhausted,
             decisions: self.decision_count,
             propagations: self.propagation_count,
+            conflicts: self.conflict_count,
         })
+    }
+
+    /// Assign the assumption literals at decision level 0 (before the first
+    /// `trail_lim`, so backtracking never undoes them). Returns false if the
+    /// assumptions are contradictory among themselves.
+    fn apply_assumptions(&mut self, assumptions: &[Lit]) -> bool {
+        let mut ok = true;
+        for l in assumptions {
+            let v = if l.positive { Val::True } else { Val::False };
+            self.assumptions.push((l.atom.0, v));
+            ok = ok && self.set(l.atom, v);
+        }
+        ok
     }
 
     /// Find one optimal model w.r.t. the program's `#minimize` statements
@@ -291,7 +429,26 @@ impl<'a> Solver<'a> {
     ///
     /// [`AspError::SolveBudget`] if the decision budget is exceeded.
     pub fn optimize(&mut self, opts: &SolveOptions) -> Result<Option<Model>, AspError> {
+        self.optimize_with_assumptions(&[], opts)
+    }
+
+    /// [`Solver::optimize`] with atoms fixed at decision level 0; see
+    /// [`Solver::solve_with_assumptions`] for the reuse contract. Returns
+    /// `None` when the assumptions are contradictory or the program has no
+    /// stable model under them.
+    ///
+    /// # Errors
+    ///
+    /// [`AspError::SolveBudget`] if the decision budget is exceeded.
+    pub fn optimize_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        opts: &SolveOptions,
+    ) -> Result<Option<Model>, AspError> {
         self.reset();
+        if !self.apply_assumptions(assumptions) {
+            return Ok(None);
+        }
         if self.g.minimize.is_empty() {
             let mut found = None;
             self.search(
@@ -403,6 +560,9 @@ impl<'a> Solver<'a> {
             .collect())
     }
 
+    /// Full per-call reset: assignment, trail, decisions and counters are
+    /// cleared, rule counters and the propagation worklist re-initialized.
+    /// Learned nogoods survive on purpose — they are program-level facts.
     fn reset(&mut self) {
         self.val.fill(Val::Unknown);
         self.trail.clear();
@@ -410,6 +570,10 @@ impl<'a> Solver<'a> {
         self.trail_lim.clear();
         self.decision_count = 0;
         self.propagation_count = 0;
+        self.assumptions.clear();
+        self.conflict_count = 0;
+        self.nogood_force_count = 0;
+        self.bound_prune_count = 0;
         if self.reference {
             return;
         }
@@ -431,16 +595,19 @@ impl<'a> Solver<'a> {
         on_model: &mut dyn FnMut(Model) -> bool,
         prune: &mut dyn FnMut(&Self) -> bool,
     ) -> Result<bool, AspError> {
-        let mut ok = self.propagate();
+        let mut ok = self.propagate_or_learn();
         loop {
             if ok && prune(self) {
+                // Bound prunes depend on the current incumbent, so no
+                // nogood is learned here — it would be unsound to retain.
+                self.bound_prune_count += 1;
                 ok = false;
             }
             if !ok {
                 if !self.backtrack() {
                     return Ok(true);
                 }
-                ok = self.propagate();
+                ok = self.propagate_or_learn();
                 continue;
             }
             match self.pick_unknown() {
@@ -454,7 +621,7 @@ impl<'a> Solver<'a> {
                     self.decisions.push((a, false));
                     self.trail_lim.push(self.trail.len());
                     self.assign(a, Val::True);
-                    ok = self.propagate();
+                    ok = self.propagate_or_learn();
                 }
                 None => {
                     let candidate: HashSet<AtomId> = self
@@ -469,11 +636,106 @@ impl<'a> Solver<'a> {
                         if !on_model(model) {
                             return Ok(false);
                         }
+                    } else {
+                        // Every assignment on the trail is either an
+                        // assumption, a decision, or a sound inference from
+                        // them, so this non-model leaf refutes the whole
+                        // {assumptions ∪ decisions} combination.
+                        self.learn_conflict();
                     }
                     ok = false; // keep searching
                 }
             }
         }
+    }
+
+    /// Propagate to fixpoint; on conflict, record a learned nogood over the
+    /// current assumption and decision literals before reporting failure.
+    fn propagate_or_learn(&mut self) -> bool {
+        if self.propagate() {
+            return true;
+        }
+        self.learn_conflict();
+        false
+    }
+
+    /// Learn the conflict nogood {assumption literals ∪ decision literals}.
+    ///
+    /// Sound across assumption calls: every propagation step (Fitting,
+    /// cardinality, unfounded-set, unit nogood) only infers literals that
+    /// hold in *every* stable model extending the current prefix, so a
+    /// conflict — or a complete assignment failing the independent stability
+    /// check — proves no stable model satisfies the prefix. Embedding the
+    /// assumption literals keeps the clause valid when later calls assume
+    /// differently. Never called for branch-and-bound prunes (those depend
+    /// on the incumbent) or after reported models (re-enumeration must stay
+    /// possible).
+    fn learn_conflict(&mut self) {
+        self.conflict_count += 1;
+        self.lifetime_conflicts += 1;
+        if self.nogoods.len() >= MAX_LEARNED_NOGOODS {
+            return;
+        }
+        let mut ng: Vec<(u32, Val)> =
+            Vec::with_capacity(self.assumptions.len() + self.decisions.len());
+        ng.extend(self.assumptions.iter().copied());
+        for &(a, _) in &self.decisions {
+            ng.push((a, self.val[a as usize]));
+        }
+        // An empty nogood means the program itself is inconsistent; nothing
+        // worth storing (the search concludes that on its own).
+        if ng.is_empty() || !self.nogood_set.insert(ng.clone()) {
+            return;
+        }
+        self.nogoods.push(ng);
+    }
+
+    /// Unit propagation over the learned nogoods: a fully satisfied nogood
+    /// is a conflict; a nogood with exactly one unknown literal and every
+    /// other literal satisfied forces that literal's complement.
+    fn nogood_pass(&mut self) -> bool {
+        if self.nogoods.is_empty() {
+            return true;
+        }
+        // Temporarily move the store out so forcing can borrow `self`
+        // mutably; nothing in `set`/`assign` touches the store.
+        let nogoods = std::mem::take(&mut self.nogoods);
+        let ok = self.nogood_pass_inner(&nogoods);
+        self.nogoods = nogoods;
+        ok
+    }
+
+    fn nogood_pass_inner(&mut self, nogoods: &[Vec<(u32, Val)>]) -> bool {
+        'outer: for ng in nogoods {
+            let mut unknown: Option<(u32, Val)> = None;
+            for &(a, v) in ng {
+                match self.val[a as usize] {
+                    Val::Unknown => {
+                        if unknown.is_some() {
+                            continue 'outer; // two unknowns: nothing to do
+                        }
+                        unknown = Some((a, v));
+                    }
+                    cur if cur == v => {}
+                    _ => continue 'outer, // a literal is falsified: inert
+                }
+            }
+            match unknown {
+                None => return false, // every literal satisfied: conflict
+                Some((a, v)) => {
+                    let complement = if v == Val::True {
+                        Val::False
+                    } else {
+                        Val::True
+                    };
+                    self.nogood_force_count += 1;
+                    if !self.set(AtomId(a), complement) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Chronological backtracking; returns false when the search is done.
@@ -608,6 +870,12 @@ impl<'a> Solver<'a> {
             if self.trail.len() != before {
                 continue; // new assignments re-enqueued rules
             }
+            if !self.nogood_pass() {
+                return false;
+            }
+            if self.trail.len() != before {
+                continue;
+            }
             if !self.unfounded_pass() {
                 return false;
             }
@@ -695,6 +963,12 @@ impl<'a> Solver<'a> {
             }
             if self.trail.len() != before {
                 continue; // re-run cheap passes before the closure
+            }
+            if !self.nogood_pass() {
+                return false;
+            }
+            if self.trail.len() != before {
+                continue;
             }
             if !self.unfounded_pass() {
                 return false;
@@ -1244,6 +1518,164 @@ mod tests {
                    :- edge(X, Y), assign(X, C), assign(Y, C).";
         let models = solve_all(src);
         assert_eq!(models.len(), 6);
+    }
+}
+
+#[cfg(test)]
+mod assumption_tests {
+    use super::*;
+    use crate::ast::Atom;
+    use crate::ground::Grounder;
+    use crate::parse;
+
+    fn ground_assumable(src: &str, preds: &[(&str, usize)]) -> crate::program::GroundProgram {
+        let mut g = Grounder::new();
+        for (p, n) in preds {
+            g = g.assumable(p, *n);
+        }
+        g.ground(&parse(src).unwrap()).unwrap()
+    }
+
+    fn lit(g: &crate::program::GroundProgram, name: &str, positive: bool) -> Lit {
+        Lit {
+            atom: g.lookup(&Atom::prop(name)).expect("atom interned"),
+            positive,
+        }
+    }
+
+    #[test]
+    fn assumable_facts_become_choice_atoms() {
+        let g = ground_assumable("p. q :- p.", &[("p", 0)]);
+        assert_eq!(g.assumable.len(), 1);
+        let mut s = Solver::new(&g);
+        // Unassumed, p is free: two models.
+        assert_eq!(
+            s.enumerate(&SolveOptions::default()).unwrap().models.len(),
+            2
+        );
+        // Pinned true: q follows.
+        let r = s
+            .solve_with_assumptions(&[lit(&g, "p", true)], &SolveOptions::default())
+            .unwrap();
+        assert_eq!(r.models.len(), 1);
+        assert!(r.models[0].contains_str("q"));
+        assert!(r.exhausted);
+        // Pinned false on the same reused solver: q gone.
+        let r = s
+            .solve_with_assumptions(&[lit(&g, "p", false)], &SolveOptions::default())
+            .unwrap();
+        assert_eq!(r.models.len(), 1);
+        assert!(!r.models[0].contains_str("q"));
+    }
+
+    #[test]
+    fn non_fact_rules_of_assumable_predicates_stay_normal() {
+        let g = ground_assumable("{ a }. p :- a.", &[("p", 0)]);
+        assert!(g.assumable.is_empty(), "only facts become assumable");
+    }
+
+    #[test]
+    fn contradictory_assumptions_are_unsat() {
+        let g = ground_assumable("p.", &[("p", 0)]);
+        let mut s = Solver::new(&g);
+        let r = s
+            .solve_with_assumptions(
+                &[lit(&g, "p", true), lit(&g, "p", false)],
+                &SolveOptions::default(),
+            )
+            .unwrap();
+        assert!(r.models.is_empty());
+        assert!(r.exhausted);
+    }
+
+    #[test]
+    fn program_refuted_assumption_is_unsat_and_learns() {
+        // p pinned true while a constraint forbids it.
+        let g = ground_assumable("p. :- p.", &[("p", 0)]);
+        let mut s = Solver::new(&g);
+        let r = s
+            .solve_with_assumptions(&[lit(&g, "p", true)], &SolveOptions::default())
+            .unwrap();
+        assert!(r.models.is_empty() && r.exhausted);
+        assert!(r.conflicts > 0);
+        assert_eq!(s.learned_nogoods(), 1, "the level-0 refutation is learned");
+        // The learned nogood must not leak into other assumption sets.
+        let r = s
+            .solve_with_assumptions(&[lit(&g, "p", false)], &SolveOptions::default())
+            .unwrap();
+        assert_eq!(r.models.len(), 1);
+    }
+
+    #[test]
+    fn reused_solver_equals_fresh_solver_across_assumption_sets() {
+        let src = "{ a; b }. p. q :- p, a. :- q, b.";
+        let g = ground_assumable(src, &[("p", 0)]);
+        let mut reused = Solver::new(&g);
+        for positive in [true, false, true, false] {
+            let assumptions = [lit(&g, "p", positive)];
+            let got = reused
+                .solve_with_assumptions(&assumptions, &SolveOptions::default())
+                .unwrap();
+            let fresh = Solver::new(&g)
+                .solve_with_assumptions(&assumptions, &SolveOptions::default())
+                .unwrap();
+            let render = |r: &SolveResult| {
+                let mut v: Vec<String> = r
+                    .models
+                    .iter()
+                    .map(|m| {
+                        m.atoms
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    })
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(render(&got), render(&fresh), "p = {positive}");
+            assert_eq!(got.exhausted, fresh.exhausted);
+        }
+    }
+
+    #[test]
+    fn optimize_with_assumptions_respects_the_pin() {
+        let src = "item(a). item(b). cost(a, 7). cost(b, 3). \
+                   1 { pick(I) : item(I) } 1. \
+                   allow_b. :- pick(b), not allow_b. \
+                   #minimize { C,I : pick(I), cost(I, C) }.";
+        let g = ground_assumable(src, &[("allow_b", 0)]);
+        let mut s = Solver::new(&g);
+        let with_b = s
+            .optimize_with_assumptions(
+                &[Lit::pos(g.lookup(&Atom::prop("allow_b")).unwrap())],
+                &SolveOptions::default(),
+            )
+            .unwrap()
+            .unwrap();
+        assert!(with_b.contains_str("pick(b)"));
+        assert_eq!(with_b.cost, vec![(0, 3)]);
+        let without_b = s
+            .optimize_with_assumptions(
+                &[Lit::neg(g.lookup(&Atom::prop("allow_b")).unwrap())],
+                &SolveOptions::default(),
+            )
+            .unwrap()
+            .unwrap();
+        assert!(without_b.contains_str("pick(a)"));
+        assert_eq!(without_b.cost, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn clear_learned_drops_the_store() {
+        let g = ground_assumable("p. :- p.", &[("p", 0)]);
+        let mut s = Solver::new(&g);
+        s.solve_with_assumptions(&[lit(&g, "p", true)], &SolveOptions::default())
+            .unwrap();
+        assert!(s.learned_nogoods() > 0);
+        s.clear_learned();
+        assert_eq!(s.learned_nogoods(), 0);
     }
 }
 

@@ -11,7 +11,8 @@
 
 use proptest::prelude::*;
 
-use cpsrisk_asp::{GroundProgram, Grounder, Program, SolveOptions, Solver};
+use cpsrisk_asp::ast::Atom;
+use cpsrisk_asp::{GroundProgram, Grounder, Lit, Program, SolveOptions, Solver};
 
 /// A random program over atoms a0..a{n-1}: facts, normal rules, choices,
 /// constraints, and an optional `#minimize` over a weighted atom subset —
@@ -75,6 +76,47 @@ fn canonical(solver: &mut Solver, opts: &SolveOptions) -> (Vec<String>, bool) {
     (models, result.exhausted)
 }
 
+/// A stream of assumption sets over atoms `a0..a{n-1}`: each set pins a
+/// few atoms to a polarity (contradictory pins included — both paths must
+/// then agree the query is unsatisfiable).
+fn arb_assumption_sets(n_atoms: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..n_atoms, any::<bool>()), 0..4),
+        1..6,
+    )
+}
+
+/// Resolve an assumption set against a ground program; atoms the grounder
+/// never interned are skipped (they cannot be assumed).
+fn lits(g: &GroundProgram, set: &[(usize, bool)]) -> Vec<Lit> {
+    set.iter()
+        .filter_map(|&(i, positive)| {
+            g.lookup(&Atom::prop(format!("a{i}")))
+                .map(|atom| Lit { atom, positive })
+        })
+        .collect()
+}
+
+/// [`canonical`] under an assumption set.
+fn canonical_assume(solver: &mut Solver, lits: &[Lit], opts: &SolveOptions) -> (Vec<String>, bool) {
+    let result = solver
+        .solve_with_assumptions(lits, opts)
+        .expect("within budget");
+    let mut models: Vec<String> = result
+        .models
+        .iter()
+        .map(|m| {
+            m.atoms
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    models.sort();
+    (models, result.exhausted)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -98,6 +140,69 @@ proptest! {
         let (reference, ex_r) = canonical(&mut Solver::new_reference(&g), &opts);
         prop_assert_eq!(&indexed, &reference, "program:\n{}", src);
         prop_assert_eq!(ex_i, ex_r, "exhausted flag, program:\n{}", src);
+    }
+
+    /// One solver reused across a whole stream of randomized assumption
+    /// sets (with and without learned-nogood retention) must enumerate
+    /// exactly what a fresh `Solver::new` enumerates per call: identical
+    /// answer sets and exhausted flags, query after query.
+    #[test]
+    fn reused_assumption_solver_matches_fresh_solver_per_call(
+        src in arb_program(6),
+        sets in arb_assumption_sets(6),
+        retain in any::<bool>(),
+    ) {
+        let g = ground(&src);
+        let opts = SolveOptions::default();
+        let mut reused = Solver::new(&g);
+        for (k, set) in sets.iter().enumerate() {
+            if !retain {
+                reused.clear_learned();
+            }
+            let assumptions = lits(&g, set);
+            let (got, ex_g) = canonical_assume(&mut reused, &assumptions, &opts);
+            let (want, ex_w) = canonical_assume(&mut Solver::new(&g), &assumptions, &opts);
+            prop_assert_eq!(
+                &got, &want,
+                "query {} (retain={}), program:\n{}", k, retain, src
+            );
+            prop_assert_eq!(
+                ex_g, ex_w,
+                "exhausted flag, query {} (retain={}), program:\n{}", k, retain, src
+            );
+        }
+    }
+
+    /// Same reuse property for the optimizer: equal optimal costs (or
+    /// equal unsatisfiability) under every assumption set in the stream.
+    #[test]
+    fn reused_assumption_optimizer_matches_fresh_solver_per_call(
+        src in arb_program(5),
+        sets in arb_assumption_sets(5),
+    ) {
+        let g = ground(&src);
+        let opts = SolveOptions::default();
+        let mut reused = Solver::new(&g);
+        for (k, set) in sets.iter().enumerate() {
+            let assumptions = lits(&g, set);
+            let got = reused
+                .optimize_with_assumptions(&assumptions, &opts)
+                .expect("within budget");
+            let want = Solver::new(&g)
+                .optimize_with_assumptions(&assumptions, &opts)
+                .expect("within budget");
+            match (&got, &want) {
+                (Some(a), Some(b)) => prop_assert_eq!(
+                    &a.cost, &b.cost,
+                    "optimal cost, query {}, program:\n{}", k, src
+                ),
+                (None, None) => {}
+                _ => prop_assert!(
+                    false,
+                    "reuse and fresh disagree on satisfiability, query {k}:\n{src}"
+                ),
+            }
+        }
     }
 
     #[test]

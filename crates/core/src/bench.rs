@@ -3,7 +3,9 @@
 //! Runs the exhaustive ASP analysis of a [`chain_problem`] workload with
 //! both solver engines — the retained naive reference engine
 //! ([`Solver::new_reference`]) and the occurrence-indexed production engine
-//! ([`Solver::new`]) — over the **same** ground program, plus one parallel
+//! ([`Solver::new`]) — over the **same** ground program, a fresh-solve
+//! vs. assumption-reuse comparison over a fixed-scenario stream (the
+//! `cpsrisk-bench/2` `incremental` section), plus one parallel
 //! fixed-scenario sweep, and reports everything as a JSON document
 //! (`BENCH_asp.json`) so CI and EXPERIMENTS.md can consume the numbers
 //! without scraping logs.
@@ -12,14 +14,18 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 use cpsrisk_asp::{Grounder, SolveOptions, Solver};
+use cpsrisk_epa::encode::analyze_fixed_fresh;
 use cpsrisk_epa::parallel::{sweep_fixed, SweepOptions};
 use cpsrisk_epa::workload::chain_problem;
-use cpsrisk_epa::{encode, EncodeMode, Scenario, ScenarioSpace};
+use cpsrisk_epa::{encode, EncodeMode, IncrementalAnalysis, Scenario, ScenarioSpace};
 
 use crate::error::CoreError;
 
 /// Schema tag carried by every report this module writes.
-pub const SCHEMA: &str = "cpsrisk-bench/1";
+pub const SCHEMA: &str = "cpsrisk-bench/2";
+
+/// Cap on the fixed-scenario stream measured by the incremental section.
+const MAX_INCREMENTAL_SCENARIOS: usize = 128;
 
 /// One solver engine's measurement over the exhaustive workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -52,6 +58,37 @@ pub struct PrePrBaseline {
     pub total_ms: f64,
     /// `pre_pr.total_ms / total_ms` of this build.
     pub speedup: f64,
+}
+
+/// Fresh-solve vs. assumption-reuse over the same fixed-scenario stream —
+/// the headline measurement of the incremental interface. "Fresh" encodes,
+/// grounds, and solves from scratch per scenario
+/// ([`analyze_fixed_fresh`]); "reused" grounds once
+/// ([`IncrementalAnalysis`], its construction time included in
+/// `reused_ms`) and answers every scenario as an assumption set on one
+/// reused solver.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncrementalSample {
+    /// Scenarios in the measured stream.
+    pub scenarios: usize,
+    /// Wall-clock time of the fresh-solve stream, ms.
+    pub fresh_ms: f64,
+    /// Wall-clock time of the assumption-reuse stream (including the
+    /// one-time encode + ground), ms.
+    pub reused_ms: f64,
+    /// `fresh_ms / scenarios`.
+    pub fresh_per_scenario_ms: f64,
+    /// `reused_ms / scenarios`.
+    pub reused_per_scenario_ms: f64,
+    /// `fresh_per_scenario_ms / reused_per_scenario_ms` — the amortized
+    /// per-scenario speedup of reuse over fresh solving.
+    pub amortized_speedup: f64,
+    /// Both streams returned outcome-for-outcome identical vectors.
+    pub matches_fresh: bool,
+    /// Conflict nogoods retained by the reused solver after the stream.
+    pub learned_nogoods: usize,
+    /// Conflicts the reused solver hit across the whole stream.
+    pub conflicts: u64,
 }
 
 /// Measurement of the sharded fixed-scenario sweep.
@@ -96,6 +133,8 @@ pub struct BenchReport {
     /// Comparison against a pre-optimization build, when `--baseline-ms`
     /// supplied its measurement.
     pub pre_pr: Option<PrePrBaseline>,
+    /// Fresh-solve vs. assumption-reuse over a fixed-scenario stream.
+    pub incremental: IncrementalSample,
     /// The sharded fixed-scenario sweep.
     pub parallel: SweepSample,
 }
@@ -158,15 +197,49 @@ pub fn run(n: usize, threads: usize, baseline_ms: Option<f64>) -> Result<BenchRe
         speedup: pre / total_ms.max(1e-9),
     });
 
-    // Parallel sweep over the nominal + singleton scenarios (each one is a
-    // full encode/ground/solve, so the set is kept small on purpose).
+    // Fresh-solve vs. assumption-reuse over the same fixed-scenario
+    // stream (the whole space, capped).
+    let stream: Vec<Scenario> = ScenarioSpace::new(&problem, usize::MAX)
+        .iter()
+        .take(MAX_INCREMENTAL_SCENARIOS)
+        .collect();
+    let start = Instant::now();
+    let fresh: Vec<_> = stream
+        .iter()
+        .map(|s| analyze_fixed_fresh(&problem, s))
+        .collect::<Result<_, _>>()?;
+    let fresh_ms = ms(start);
+    let start = Instant::now();
+    let analysis = IncrementalAnalysis::new(&problem)?;
+    let mut reused_solver = analysis.solver();
+    let reused: Vec<_> = stream
+        .iter()
+        .map(|s| analysis.analyze_with(&mut reused_solver, s))
+        .collect::<Result<_, _>>()?;
+    let reused_ms = ms(start);
+    let per_scenario = |t: f64| t / stream.len().max(1) as f64;
+    let incremental = IncrementalSample {
+        scenarios: stream.len(),
+        fresh_ms,
+        reused_ms,
+        fresh_per_scenario_ms: per_scenario(fresh_ms),
+        reused_per_scenario_ms: per_scenario(reused_ms),
+        amortized_speedup: fresh_ms / reused_ms.max(1e-9),
+        matches_fresh: fresh == reused,
+        learned_nogoods: reused_solver.learned_nogoods(),
+        conflicts: reused_solver.total_conflicts(),
+    };
+
+    // Parallel sweep over the nominal + singleton scenarios. The sweep
+    // grounds once and shards the assumption stream; the recorded thread
+    // count is the effective one after clamping to the item count.
     let scenarios: Vec<Scenario> = ScenarioSpace::new(&problem, 1).iter().collect();
     let start = Instant::now();
     let outcomes = sweep_fixed(&problem, &scenarios, &SweepOptions::with_threads(threads))?;
     let sweep_ms = ms(start);
     let sequential = sweep_fixed(&problem, &scenarios, &SweepOptions::with_threads(1))?;
     let parallel = SweepSample {
-        threads,
+        threads: threads.clamp(1, scenarios.len().max(1)),
         scenarios: scenarios.len(),
         sweep_ms,
         matches_sequential: outcomes == sequential,
@@ -184,6 +257,7 @@ pub fn run(n: usize, threads: usize, baseline_ms: Option<f64>) -> Result<BenchRe
         optimized,
         speedup,
         pre_pr,
+        incremental,
         parallel,
     })
 }
@@ -226,6 +300,32 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
             return Err("pre_pr baseline is not a valid measurement".to_owned());
         }
     }
+    let inc = &report.incremental;
+    if inc.scenarios == 0 {
+        return Err("incremental section measured no scenarios".to_owned());
+    }
+    for (name, v) in [
+        ("fresh_ms", inc.fresh_ms),
+        ("reused_ms", inc.reused_ms),
+        ("fresh_per_scenario_ms", inc.fresh_per_scenario_ms),
+        ("reused_per_scenario_ms", inc.reused_per_scenario_ms),
+    ] {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(format!("incremental.{name} is not a valid duration"));
+        }
+    }
+    if !inc.matches_fresh {
+        return Err("assumption-reuse stream diverged from the fresh-solve stream".to_owned());
+    }
+    if !(inc.amortized_speedup.is_finite() && inc.amortized_speedup >= 1.0) {
+        return Err(format!(
+            "assumption-reuse is slower than fresh-solve (amortized speedup {:.2}x)",
+            inc.amortized_speedup
+        ));
+    }
+    if report.parallel.threads == 0 {
+        return Err("parallel sweep recorded zero threads".to_owned());
+    }
     if !report.parallel.matches_sequential {
         return Err("parallel sweep diverged from the sequential result".to_owned());
     }
@@ -243,7 +343,10 @@ mod tests {
         assert_eq!(report.baseline.models, report.optimized.models);
         assert!(report.parallel.matches_sequential);
         assert_eq!(report.parallel.scenarios, 5, "nominal + 4 singletons");
+        assert_eq!(report.parallel.threads, 2, "effective thread count");
         assert_eq!(report.pre_pr.as_ref().unwrap().total_ms, 100.0);
+        assert_eq!(report.incremental.scenarios, 16, "full 2^(n+2) stream");
+        assert!(report.incremental.matches_fresh);
 
         let json = serde_json::to_string_pretty(&report).unwrap();
         let parsed = validate(&json).expect("round-trip validates");
@@ -261,5 +364,18 @@ mod tests {
         report.schema = "cpsrisk-bench/0".to_owned();
         let json = serde_json::to_string(&report).unwrap();
         assert!(validate(&json).unwrap_err().contains("schema mismatch"));
+    }
+
+    #[test]
+    fn validate_rejects_a_regressed_incremental_section() {
+        let mut report = run(1, 1, None).expect("bench runs");
+        report.incremental.amortized_speedup = 0.5;
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate(&json).unwrap_err().contains("slower than fresh"));
+
+        let mut report = run(1, 1, None).expect("bench runs");
+        report.incremental.matches_fresh = false;
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate(&json).unwrap_err().contains("diverged"));
     }
 }

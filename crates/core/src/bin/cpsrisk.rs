@@ -329,6 +329,21 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             pre.total_ms, report.total_ms, pre.speedup
         );
     }
+    let inc = &report.incremental;
+    println!(
+        "  incremental: {} scenarios, fresh {:.1} ms ({:.3} ms/scenario) vs \
+         reused {:.1} ms ({:.3} ms/scenario) = {:.2}x amortized \
+         ({} nogoods, {} conflicts, outcome check: {})",
+        inc.scenarios,
+        inc.fresh_ms,
+        inc.fresh_per_scenario_ms,
+        inc.reused_ms,
+        inc.reused_per_scenario_ms,
+        inc.amortized_speedup,
+        inc.learned_nogoods,
+        inc.conflicts,
+        if inc.matches_fresh { "ok" } else { "MISMATCH" }
+    );
     println!(
         "  parallel sweep: {} scenarios on {} thread(s) in {:.1} ms (order check: {})",
         report.parallel.scenarios,
@@ -340,6 +355,12 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "MISMATCH"
         }
     );
+    if report.parallel.threads == 1 {
+        eprintln!(
+            "warning: the parallel sweep ran single-threaded \
+             (pass --threads or set CPSRISK_THREADS to use more workers)"
+        );
+    }
     println!("wrote {out}");
     Ok(())
 }

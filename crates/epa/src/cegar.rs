@@ -9,14 +9,51 @@
 //! confirmed and spurious findings. It only ever *removes* findings, so
 //! the no-overlooked-hazard guarantee is preserved by construction.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::incremental::IncrementalAnalysis;
 use crate::scenario::ScenarioOutcome;
 
 /// A concrete oracle answering whether an abstract finding is real.
 pub trait ConcreteOracle {
     /// Does `requirement` really get violated in the scenario of `outcome`?
     fn confirms(&self, outcome: &ScenarioOutcome, requirement: &str) -> bool;
+}
+
+/// A concrete oracle backed by the incremental ASP analysis of a (usually
+/// refined) problem. The refinement loop consults the oracle once per
+/// `(hazard, requirement)` pair — a family of near-identical solves that
+/// the oracle answers from **one** shared ground program with one reused
+/// solver, re-checking each abstract hazard's scenario as an assumption
+/// set.
+///
+/// If a query fails to solve, the hazard is conservatively **confirmed**:
+/// CEGAR only ever removes findings, and an oracle error must never drop a
+/// potentially real hazard.
+pub struct AspOracle<'a> {
+    analysis: &'a IncrementalAnalysis,
+    solver: RefCell<cpsrisk_asp::Solver<'a>>,
+}
+
+impl<'a> AspOracle<'a> {
+    /// An oracle over an already-grounded incremental analysis.
+    #[must_use]
+    pub fn new(analysis: &'a IncrementalAnalysis) -> Self {
+        AspOracle {
+            analysis,
+            solver: RefCell::new(analysis.solver()),
+        }
+    }
+}
+
+impl ConcreteOracle for AspOracle<'_> {
+    fn confirms(&self, outcome: &ScenarioOutcome, requirement: &str) -> bool {
+        let mut solver = self.solver.borrow_mut();
+        self.analysis
+            .analyze_with(&mut solver, &outcome.scenario)
+            .map_or(true, |o| o.violated.contains(requirement))
+    }
 }
 
 impl<F> ConcreteOracle for F
@@ -155,6 +192,59 @@ mod tests {
             assert!(hazards.iter().any(|h| h.scenario == c.scenario));
         }
         assert_eq!(result.confirmed.len(), 1);
+    }
+
+    #[test]
+    fn asp_oracle_refines_against_the_mitigated_problem() {
+        use crate::scenario::ScenarioSpace;
+        use crate::topology::TopologyAnalysis;
+        use crate::workload::chain_problem;
+
+        // Abstract level: the unmitigated problem over-approximates.
+        let abstract_p = chain_problem(2);
+        let hazards: Vec<ScenarioOutcome> = {
+            let direct = TopologyAnalysis::new(&abstract_p);
+            ScenarioSpace::new(&abstract_p, usize::MAX)
+                .iter()
+                .map(|s| direct.evaluate(&s))
+                .filter(ScenarioOutcome::is_hazard)
+                .collect()
+        };
+        assert!(!hazards.is_empty());
+
+        // Concrete level 1: the same problem — everything is confirmed.
+        let same = IncrementalAnalysis::new(&abstract_p).unwrap();
+        let result = refine_hazards(&hazards, &AspOracle::new(&same));
+        assert_eq!(result.confirmed, hazards, "no hazard may be dropped");
+        assert!(result.spurious.is_empty());
+
+        // Concrete level 2: every mitigation active — hazards blocked at
+        // the concrete level become spurious, and only those.
+        let mut refined_p = abstract_p.clone();
+        for id in refined_p
+            .mitigations
+            .iter()
+            .map(|m| m.id.clone())
+            .collect::<Vec<_>>()
+        {
+            refined_p.activate_mitigation(&id).unwrap();
+        }
+        let refined = IncrementalAnalysis::new(&refined_p).unwrap();
+        let result = refine_hazards(&hazards, &AspOracle::new(&refined));
+        let direct = TopologyAnalysis::new(&refined_p);
+        for h in &hazards {
+            let concrete = direct.evaluate(&h.scenario);
+            let kept = result.confirmed.iter().find(|c| c.scenario == h.scenario);
+            for r in &h.violated {
+                let confirmed = kept.is_some_and(|c| c.violated.contains(r));
+                assert_eq!(
+                    confirmed,
+                    concrete.violated.contains(r),
+                    "scenario {} requirement {r}",
+                    h.scenario
+                );
+            }
+        }
     }
 
     #[test]

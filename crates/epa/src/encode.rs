@@ -27,6 +27,13 @@ pub enum EncodeMode {
         /// Maximum number of simultaneously active faults, if bounded.
         max_faults: Option<u32>,
     },
+    /// Multi-shot form: every scenario/decision toggle becomes an
+    /// *assumable* fact (`scenario_fault/1`, `fault_enabled/1`,
+    /// `active_mitigation/2`) so one ground program answers every fixed
+    /// scenario — and every sensitivity variant — via
+    /// [`Solver::solve_with_assumptions`]. Used by
+    /// [`IncrementalAnalysis`](crate::incremental::IncrementalAnalysis).
+    Assumable,
 }
 
 /// Build the full ASP program for a problem under an encoding mode.
@@ -54,7 +61,11 @@ pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
     }
 
     // Mitigation universe + activation facts (per carrying component, as in
-    // Listing 1's `active_mitigation(C, M)`).
+    // Listing 1's `active_mitigation(C, M)`). In assumable mode *every*
+    // applicable `(component, mitigation)` pair is emitted — the fact
+    // becomes an assumable atom pinned true or false per query, so one
+    // ground program covers every activation state.
+    let assumable = *mode == EncodeMode::Assumable;
     for mit in &problem.mitigations {
         for f in &mit.blocks {
             b.fact("mitigation", [Term::sym(f), Term::sym(&mit.id)]);
@@ -63,7 +74,7 @@ pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
             "mitigation_cost",
             [Term::sym(&mit.id), Term::Int(mit.cost as i64)],
         );
-        if problem.active_mitigations.contains(&mit.id) {
+        if assumable || problem.active_mitigations.contains(&mit.id) {
             for f in &mit.blocks {
                 if let Some(m) = problem.mutation(f) {
                     b.fact(
@@ -75,17 +86,21 @@ pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
         }
     }
 
-    // Listing 1 (fault activation guard) plus the no-mitigation case.
+    // Listing 1 (fault activation guard) plus the no-mitigation case. In
+    // assumable mode every fault-dependent rule is additionally guarded by
+    // `fault_enabled(F)` so a sensitivity variant can drop a mutation by
+    // assuming the guard false — no re-encoding, no re-grounding.
+    let guard = if assumable { "fault_enabled(F), " } else { "" };
     b.append(
-        cpsrisk_asp::parse(
-            "potential_fault(C, F) :- component(C), fault(F), fault_component(F, C), \
+        cpsrisk_asp::parse(&format!(
+            "potential_fault(C, F) :- component(C), fault(F), {guard}fault_component(F, C), \
                  mitigation(F, M), not active_mitigation(C, M). \
-             potential_fault(C, F) :- component(C), fault(F), fault_component(F, C), \
+             potential_fault(C, F) :- component(C), fault(F), {guard}fault_component(F, C), \
                  not has_mitigation(F). \
              has_mitigation(F) :- mitigation(F, M). \
-             fault_mode(C, M) :- fault_component(F, C), fault_mode_name(F, M). \
-             physical(C) :- element(C, K, physical).",
-        )
+             fault_mode(C, M) :- {guard}fault_component(F, C), fault_mode_name(F, M). \
+             physical(C) :- element(C, K, physical)."
+        ))
         .expect("static encoding parses"),
     );
 
@@ -110,6 +125,18 @@ pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
                 vec![pos("potential_fault", ["C", "F"])],
             );
             choice.done();
+        }
+        EncodeMode::Assumable => {
+            for m in &problem.mutations {
+                b.fact("scenario_fault", [Term::sym(&m.id)]);
+                b.fact("fault_enabled", [Term::sym(&m.id)]);
+            }
+            b.append(
+                cpsrisk_asp::parse(
+                    "active_fault(C, F) :- scenario_fault(F), potential_fault(C, F).",
+                )
+                .expect("static encoding parses"),
+            );
         }
     }
 
@@ -145,11 +172,31 @@ pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
 
 /// Solve a fixed scenario through the ASP back-end.
 ///
+/// Convenience wrapper around a one-shot
+/// [`IncrementalAnalysis`](crate::incremental::IncrementalAnalysis);
+/// callers evaluating several scenarios against the same problem should
+/// build the analysis once and iterate scenarios as assumption sets.
+///
 /// # Errors
 ///
 /// [`EpaError::Asp`] on grounding/solving failure, [`EpaError::NoModel`]
 /// if the (deterministic) program is inconsistent.
 pub fn analyze_fixed(
+    problem: &EpaProblem,
+    scenario: &Scenario,
+) -> Result<ScenarioOutcome, EpaError> {
+    crate::incremental::IncrementalAnalysis::new(problem)?.analyze(scenario)
+}
+
+/// Solve a fixed scenario by re-encoding, re-grounding, and solving from
+/// scratch — the pre-incremental path, kept as the reference baseline for
+/// the equivalence tests and the `cpsrisk bench` fresh-solve column.
+///
+/// # Errors
+///
+/// [`EpaError::Asp`] on grounding/solving failure, [`EpaError::NoModel`]
+/// if the (deterministic) program is inconsistent.
+pub fn analyze_fixed_fresh(
     problem: &EpaProblem,
     scenario: &Scenario,
 ) -> Result<ScenarioOutcome, EpaError> {
@@ -331,7 +378,10 @@ fn scenario_of_model(model: &cpsrisk_asp::Model) -> Scenario {
         .collect()
 }
 
-fn outcome_from_model(scenario: Scenario, model: &cpsrisk_asp::Model) -> ScenarioOutcome {
+pub(crate) fn outcome_from_model(
+    scenario: Scenario,
+    model: &cpsrisk_asp::Model,
+) -> ScenarioOutcome {
     let effective_modes: BTreeSet<(String, String)> = model
         .atoms_of("affected")
         .iter()

@@ -1,0 +1,234 @@
+//! Assumption-based incremental analysis: one ground program, many
+//! scenarios.
+//!
+//! Every fixed-scenario query against the same [`EpaProblem`] solves a
+//! near-identical ASP program — only the handful of `scenario_fault/1`
+//! facts differ. Instead of re-encoding and re-grounding per scenario (the
+//! [`analyze_fixed_fresh`](crate::encode::analyze_fixed_fresh) path), this
+//! module grounds the [`EncodeMode::Assumable`] encoding **once** and pins
+//! the scenario (and sensitivity-decision) toggles per query with
+//! assumption literals, in the style of clingo's multi-shot interface. One
+//! [`Solver`] instance is reused across the whole query stream, carrying
+//! its learned conflict nogoods from call to call.
+
+use cpsrisk_asp::ast::Term;
+use cpsrisk_asp::{GroundProgram, Grounder, Lit, SolveOptions, Solver};
+
+use crate::encode::{encode, outcome_from_model, EncodeMode};
+use crate::error::EpaError;
+use crate::parallel::{run_sharded_with, SweepOptions};
+use crate::problem::EpaProblem;
+use crate::scenario::{Scenario, ScenarioOutcome};
+use crate::sensitivity::Decision;
+use std::collections::BTreeSet;
+
+/// A fixed-scenario analysis with a **shared ground program** queried
+/// through assumption literals.
+///
+/// Construction encodes and grounds once; [`analyze`](Self::analyze) and
+/// [`sweep`](Self::sweep) then answer each scenario at the propositional
+/// level by fixing the assumable atoms (`scenario_fault/1`,
+/// `fault_enabled/1`, `active_mitigation/2`) at decision level 0.
+pub struct IncrementalAnalysis {
+    ground: GroundProgram,
+    /// Mitigations active in the problem the analysis was built from —
+    /// the baseline polarity of the `active_mitigation/2` assumptions.
+    baseline_active: BTreeSet<String>,
+}
+
+impl IncrementalAnalysis {
+    /// Encode and ground `problem` under [`EncodeMode::Assumable`].
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on grounding failure.
+    pub fn new(problem: &EpaProblem) -> Result<Self, EpaError> {
+        let program = encode(problem, &EncodeMode::Assumable);
+        let ground = Grounder::new()
+            .assumable("scenario_fault", 1)
+            .assumable("fault_enabled", 1)
+            .assumable("active_mitigation", 2)
+            .ground(&program)?;
+        Ok(IncrementalAnalysis {
+            ground,
+            baseline_active: problem.active_mitigations.clone(),
+        })
+    }
+
+    /// The shared ground program.
+    #[must_use]
+    pub fn ground(&self) -> &GroundProgram {
+        &self.ground
+    }
+
+    /// A fresh solver over the shared ground program. The instance is
+    /// reusable: every [`analyze_with`](Self::analyze_with) call resets it
+    /// and keeps its learned conflict nogoods.
+    #[must_use]
+    pub fn solver(&self) -> Solver<'_> {
+        Solver::new(&self.ground)
+    }
+
+    /// The assumption set selecting `scenario` under the baseline problem:
+    /// every assumable atom is pinned, so the query is exactly as
+    /// deterministic as the old fixed-scenario encoding. Scenario faults
+    /// unknown to the problem have no atom and are silently ignored.
+    #[must_use]
+    pub fn assumptions(&self, scenario: &Scenario) -> Vec<Lit> {
+        self.assumptions_for(scenario, None)
+    }
+
+    /// The assumption set selecting `scenario` under a flipped sensitivity
+    /// [`Decision`]: a dropped mutation negates its `fault_enabled`
+    /// assumption, a toggled mitigation inverts its `active_mitigation`
+    /// assumptions — the same ground program answers every variant.
+    #[must_use]
+    pub fn assumptions_for(&self, scenario: &Scenario, decision: Option<&Decision>) -> Vec<Lit> {
+        let (dropped, toggled) = match decision {
+            None => (None, None),
+            Some(Decision::DropMutation(f)) => (Some(f.as_str()), None),
+            Some(Decision::ToggleMitigation(m)) => (None, Some(m.as_str())),
+        };
+        let mut lits = Vec::with_capacity(self.ground.assumable.len());
+        for &id in &self.ground.assumable {
+            let atom = self.ground.atom(id);
+            let positive = match (atom.pred.as_str(), atom.args.as_slice()) {
+                ("scenario_fault", [Term::Const(f)]) => scenario.contains(f),
+                ("fault_enabled", [Term::Const(f)]) => dropped != Some(f.as_str()),
+                ("active_mitigation", [_, Term::Const(m)]) => {
+                    self.baseline_active.contains(m) != (toggled == Some(m.as_str()))
+                }
+                _ => false,
+            };
+            lits.push(Lit { atom: id, positive });
+        }
+        lits
+    }
+
+    /// Evaluate one scenario on a caller-provided solver (which must be
+    /// over [`Self::ground`], e.g. from [`Self::solver`]) — the reuse form
+    /// that amortizes solver setup and learned nogoods across a stream of
+    /// queries.
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on solving failure, [`EpaError::NoModel`] if the
+    /// assumptions are inconsistent with the program.
+    pub fn analyze_with(
+        &self,
+        solver: &mut Solver<'_>,
+        scenario: &Scenario,
+    ) -> Result<ScenarioOutcome, EpaError> {
+        self.outcome_under(solver, scenario, &self.assumptions(scenario))
+    }
+
+    /// [`analyze_with`](Self::analyze_with) under an explicit assumption
+    /// set (e.g. from [`assumptions_for`](Self::assumptions_for)); the
+    /// returned outcome is labeled with `scenario` verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on solving failure, [`EpaError::NoModel`] if the
+    /// assumptions are inconsistent with the program.
+    pub fn outcome_under(
+        &self,
+        solver: &mut Solver<'_>,
+        scenario: &Scenario,
+        assumptions: &[Lit],
+    ) -> Result<ScenarioOutcome, EpaError> {
+        let result = solver.solve_with_assumptions(
+            assumptions,
+            &SolveOptions {
+                max_models: 1,
+                ..SolveOptions::default()
+            },
+        )?;
+        let model = result.models.first().ok_or(EpaError::NoModel)?;
+        Ok(outcome_from_model(scenario.clone(), model))
+    }
+
+    /// Evaluate one scenario on a throwaway solver.
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on solving failure, [`EpaError::NoModel`] if the
+    /// assumptions are inconsistent with the program.
+    pub fn analyze(&self, scenario: &Scenario) -> Result<ScenarioOutcome, EpaError> {
+        self.analyze_with(&mut self.solver(), scenario)
+    }
+
+    /// Evaluate every scenario across worker threads. Each worker owns one
+    /// solver over the shared ground program and reuses it over its whole
+    /// contiguous chunk; `outcomes[i]` corresponds to `scenarios[i]`
+    /// regardless of thread count.
+    ///
+    /// # Errors
+    ///
+    /// The first (in input order) [`EpaError`] any scenario produced.
+    pub fn sweep(
+        &self,
+        scenarios: &[Scenario],
+        opts: &SweepOptions,
+    ) -> Result<Vec<ScenarioOutcome>, EpaError> {
+        run_sharded_with(
+            scenarios,
+            opts.threads,
+            || self.solver(),
+            |solver, s| self.analyze_with(solver, s),
+        )
+        .into_iter()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::analyze_fixed_fresh;
+    use crate::scenario::ScenarioSpace;
+    use crate::workload::chain_problem;
+
+    #[test]
+    fn every_assumable_atom_is_pinned_per_query() {
+        let p = chain_problem(2);
+        let analysis = IncrementalAnalysis::new(&p).unwrap();
+        assert!(!analysis.ground().assumable.is_empty());
+        let lits = analysis.assumptions(&Scenario::nominal());
+        assert_eq!(lits.len(), analysis.ground().assumable.len());
+        // Nominal scenario under the baseline problem: no scenario faults,
+        // all faults enabled.
+        for l in &lits {
+            let atom = analysis.ground().atom(l.atom);
+            match atom.pred.as_str() {
+                "scenario_fault" => assert!(!l.positive, "{atom}"),
+                "fault_enabled" => assert!(l.positive, "{atom}"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn reused_solver_matches_fresh_path_over_the_whole_space() {
+        let p = chain_problem(2);
+        let analysis = IncrementalAnalysis::new(&p).unwrap();
+        let mut solver = analysis.solver();
+        for scenario in ScenarioSpace::new(&p, usize::MAX).iter() {
+            let fresh = analyze_fixed_fresh(&p, &scenario).unwrap();
+            let reused = analysis.analyze_with(&mut solver, &scenario).unwrap();
+            assert_eq!(reused, fresh, "scenario {scenario}");
+        }
+    }
+
+    #[test]
+    fn unknown_faults_are_ignored_like_the_fresh_path() {
+        let p = chain_problem(1);
+        let scenario = Scenario::of(&["no_such_fault"]);
+        let out = IncrementalAnalysis::new(&p)
+            .unwrap()
+            .analyze(&scenario)
+            .unwrap();
+        assert_eq!(out, analyze_fixed_fresh(&p, &scenario).unwrap());
+        assert_eq!(out.scenario, scenario, "label preserved verbatim");
+        assert!(!out.is_hazard());
+    }
+}

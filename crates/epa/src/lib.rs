@@ -23,6 +23,9 @@
 //! * [`behavioral`] — detailed propagation analysis: per-component
 //!   qualitative state machines unrolled over time in ASP (Listing 2
 //!   semantics for stuck-at faults),
+//! * [`incremental`] — assumption-based multi-shot analysis: one shared
+//!   ground program answers every fixed scenario (and every sensitivity
+//!   variant) as an assumption set on a reused solver,
 //! * [`cegar`] — CEGAR-style refinement: eliminate spurious hazards found
 //!   at the abstract level by consulting a concrete oracle, never dropping
 //!   a real hazard,
@@ -40,6 +43,7 @@ pub mod behavioral;
 pub mod cegar;
 pub mod encode;
 pub mod error;
+pub mod incremental;
 pub mod mutation;
 pub mod parallel;
 pub mod problem;
@@ -49,15 +53,19 @@ pub mod topology;
 pub mod workload;
 
 pub use attack_path::{shortest_attack_paths, AttackPath};
+pub use cegar::{refine_hazards, AspOracle, CegarResult, ConcreteOracle};
 pub use encode::{
-    analyze_exhaustive, analyze_fixed, cheapest_attack, encode, EncodeMode, ExhaustiveAnalysis,
+    analyze_exhaustive, analyze_fixed, analyze_fixed_fresh, cheapest_attack, encode, EncodeMode,
+    ExhaustiveAnalysis,
 };
 pub use error::EpaError;
-pub use mutation::{inject_mutations, CandidateMutation, MutationSource};
+pub use incremental::IncrementalAnalysis;
+pub use mutation::{inject_mutations, screen_mutations, CandidateMutation, MutationSource};
 pub use parallel::{sweep_fixed, SweepOptions};
 pub use problem::{EpaProblem, MitigationOption, Requirement};
 pub use scenario::{Scenario, ScenarioOutcome, ScenarioSpace};
 pub use sensitivity::{
-    sensitivity_sweep, sensitivity_sweep_parallel, Decision, SensitivityFinding,
+    sensitivity_sweep, sensitivity_sweep_incremental, sensitivity_sweep_parallel, Decision,
+    SensitivityFinding,
 };
 pub use topology::TopologyAnalysis;

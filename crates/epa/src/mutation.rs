@@ -151,6 +151,29 @@ pub fn inject_mutations(
     dedup_mutations(out)
 }
 
+/// Screen every candidate mutation in isolation: evaluate the singleton
+/// scenario `{m}` for each mutation of the problem and return the outcomes
+/// in mutation order. The screen runs on **one** shared ground program
+/// ([`IncrementalAnalysis`](crate::incremental::IncrementalAnalysis)) —
+/// each worker reuses a single solver across its chunk, so screening `n`
+/// candidates costs one grounding plus `n` assumption solves instead of
+/// `n` full encode–ground–solve rounds.
+///
+/// # Errors
+///
+/// The first [`crate::EpaError`] any evaluation produced.
+pub fn screen_mutations(
+    problem: &crate::problem::EpaProblem,
+    opts: &crate::parallel::SweepOptions,
+) -> Result<Vec<crate::scenario::ScenarioOutcome>, crate::error::EpaError> {
+    let singletons: Vec<crate::scenario::Scenario> = problem
+        .mutations
+        .iter()
+        .map(|m| crate::scenario::Scenario::of(&[&m.id]))
+        .collect();
+    crate::incremental::IncrementalAnalysis::new(problem)?.sweep(&singletons, opts)
+}
+
 /// Collapse mutations that agree on (component, mode), keeping the highest
 /// severity/likelihood and the most informative source.
 fn dedup_mutations(mut muts: Vec<CandidateMutation>) -> Vec<CandidateMutation> {
@@ -247,6 +270,21 @@ mod tests {
         assert_eq!(out[0].severity, Qual::VeryHigh);
         assert_eq!(out[0].likelihood, Qual::Low, "max of Low and VeryLow");
         assert_eq!(out[0].source, MutationSource::Technique("t1".into()));
+    }
+
+    #[test]
+    fn mutation_screen_matches_per_scenario_evaluation() {
+        let p = crate::workload::chain_problem(3);
+        let screened = screen_mutations(&p, &crate::parallel::SweepOptions::with_threads(2))
+            .expect("screen succeeds");
+        assert_eq!(screened.len(), p.mutations.len());
+        let direct = crate::topology::TopologyAnalysis::new(&p);
+        for (m, outcome) in p.mutations.iter().zip(&screened) {
+            let scenario = crate::scenario::Scenario::of(&[&m.id]);
+            assert_eq!(outcome.scenario, scenario);
+            let expected = direct.evaluate(&scenario);
+            assert_eq!(outcome.violated, expected.violated, "mutation {}", m.id);
+        }
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! input order regardless of thread count or scheduling — a sweep with
 //! `threads = 1` and `threads = 8` return identical vectors.
 
-use crate::encode::analyze_fixed;
 use crate::error::EpaError;
+use crate::incremental::IncrementalAnalysis;
 use crate::problem::EpaProblem;
 use crate::scenario::{Scenario, ScenarioOutcome};
 
@@ -54,6 +54,20 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    run_sharded_with(items, threads, || (), |(), item| f(item))
+}
+
+/// [`run_sharded`] with per-worker state: each worker calls `init` once
+/// (on its own thread) and threads the state through its whole chunk. This
+/// is how the incremental sweep gives every worker its own reusable
+/// [`Solver`](cpsrisk_asp::Solver) over the shared ground program.
+pub(crate) fn run_sharded_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
@@ -61,12 +75,14 @@ where
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<Option<R>> = Vec::new();
     out.resize_with(items.len(), || None);
+    let init = &init;
     let f = &f;
     std::thread::scope(|scope| {
         for (input, slots) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             scope.spawn(move || {
+                let mut state = init();
                 for (slot, item) in slots.iter_mut().zip(input) {
-                    *slot = Some(f(item));
+                    *slot = Some(f(&mut state, item));
                 }
             });
         }
@@ -76,9 +92,12 @@ where
         .collect()
 }
 
-/// Evaluate every scenario through the ASP back-end
-/// ([`analyze_fixed`]) across worker threads. `outcomes[i]` corresponds to
-/// `scenarios[i]`; the result is bit-identical to the sequential sweep.
+/// Evaluate every scenario through the ASP back-end across worker threads:
+/// the problem is encoded and grounded **once**
+/// ([`IncrementalAnalysis`]), then each worker reuses its own solver over
+/// the shared ground program, iterating its chunk as assumption sets.
+/// `outcomes[i]` corresponds to `scenarios[i]`; the result is
+/// bit-identical to the sequential sweep.
 ///
 /// # Errors
 ///
@@ -88,9 +107,7 @@ pub fn sweep_fixed(
     scenarios: &[Scenario],
     opts: &SweepOptions,
 ) -> Result<Vec<ScenarioOutcome>, EpaError> {
-    run_sharded(scenarios, opts.threads, |s| analyze_fixed(problem, s))
-        .into_iter()
-        .collect()
+    IncrementalAnalysis::new(problem)?.sweep(scenarios, opts)
 }
 
 #[cfg(test)]
@@ -115,7 +132,7 @@ mod tests {
         let scenarios: Vec<Scenario> = ScenarioSpace::new(&p, usize::MAX).iter().collect();
         let sequential: Vec<ScenarioOutcome> = scenarios
             .iter()
-            .map(|s| analyze_fixed(&p, s).unwrap())
+            .map(|s| crate::encode::analyze_fixed(&p, s).unwrap())
             .collect();
         for threads in [1, 4] {
             let parallel = sweep_fixed(&p, &scenarios, &SweepOptions::with_threads(threads))

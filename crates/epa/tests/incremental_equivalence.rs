@@ -1,0 +1,63 @@
+//! Equivalence of the incremental (assumption-based) sweep and the old
+//! per-scenario fresh-solve path: outcome-for-outcome identical vectors,
+//! at every thread count.
+
+use cpsrisk_epa::encode::analyze_fixed_fresh;
+use cpsrisk_epa::workload::chain_problem;
+use cpsrisk_epa::{
+    sweep_fixed, IncrementalAnalysis, Scenario, ScenarioOutcome, ScenarioSpace, SweepOptions,
+};
+
+#[test]
+fn incremental_sweep_equals_fresh_per_scenario_path() {
+    let p = chain_problem(3);
+    let scenarios: Vec<Scenario> = ScenarioSpace::new(&p, usize::MAX).iter().collect();
+    assert_eq!(scenarios.len(), 32, "2^(3+2) scenarios");
+
+    // The old path: encode + ground + solve from scratch per scenario.
+    let fresh: Vec<ScenarioOutcome> = scenarios
+        .iter()
+        .map(|s| analyze_fixed_fresh(&p, s).expect("fresh solve succeeds"))
+        .collect();
+
+    // The incremental path, sequential and sharded.
+    for threads in [1, 4] {
+        let incremental = sweep_fixed(&p, &scenarios, &SweepOptions::with_threads(threads))
+            .expect("incremental sweep succeeds");
+        assert_eq!(incremental, fresh, "threads = {threads}");
+    }
+}
+
+#[test]
+fn incremental_sweep_equals_fresh_path_under_active_mitigations() {
+    let mut p = chain_problem(2);
+    p.activate_mitigation("m_ew").unwrap();
+    // Sweep the space of the *unmitigated* problem so blocked-fault
+    // scenarios are exercised too.
+    let scenarios: Vec<Scenario> = ScenarioSpace::new(&chain_problem(2), usize::MAX)
+        .iter()
+        .collect();
+    let fresh: Vec<ScenarioOutcome> = scenarios
+        .iter()
+        .map(|s| analyze_fixed_fresh(&p, s).expect("fresh solve succeeds"))
+        .collect();
+    for threads in [1, 4] {
+        let incremental = sweep_fixed(&p, &scenarios, &SweepOptions::with_threads(threads))
+            .expect("incremental sweep succeeds");
+        assert_eq!(incremental, fresh, "threads = {threads}");
+    }
+}
+
+#[test]
+fn one_reused_solver_survives_a_long_query_stream() {
+    let p = chain_problem(4);
+    let analysis = IncrementalAnalysis::new(&p).expect("grounds");
+    let mut solver = analysis.solver();
+    for (i, scenario) in ScenarioSpace::new(&p, usize::MAX).iter().enumerate() {
+        let reused = analysis
+            .analyze_with(&mut solver, &scenario)
+            .expect("assumption solve succeeds");
+        let fresh = analyze_fixed_fresh(&p, &scenario).expect("fresh solve succeeds");
+        assert_eq!(reused, fresh, "query {i}: scenario {scenario}");
+    }
+}

@@ -176,11 +176,13 @@ fn bench_writes_a_validatable_report() {
         "{stdout}"
     );
     assert!(stdout.contains("engine speedup:"), "{stdout}");
+    assert!(stdout.contains("amortized"), "{stdout}");
+    assert!(stdout.contains("outcome check: ok"), "{stdout}");
     assert!(stdout.contains("order check: ok"), "{stdout}");
     // The written report passes the built-in validator.
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the fresh report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/1 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/2 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // Unknown flags are rejected.
     let (_, stderr, ok) = run(&["bench", "--frobnicate"]);
