@@ -15,15 +15,23 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 
-# Smoke-bench: a tiny workload must produce a cpsrisk-bench/2 report the
+# Smoke-bench: a tiny workload must produce a cpsrisk-bench/3 report the
 # validator accepts. The validator also fails the gate when the
 # assumption-reuse stream diverges from — or is slower than — the
 # fresh-solve stream.
 smoke_bench=target/ci_smoke_bench.json
 ./target/release/cpsrisk bench --n 2 --threads 2 --out "$smoke_bench"
 ./target/release/cpsrisk bench --validate "$smoke_bench"
-grep -q '"schema": "cpsrisk-bench/2"' "$smoke_bench" || {
-    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/2 report" >&2
+grep -q '"schema": "cpsrisk-bench/3"' "$smoke_bench" || {
+    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/3 report" >&2
     exit 1
 }
 rm -f "$smoke_bench"
+
+# Grounding gate: on the grounding-bound temporal workload the validator
+# rejects reports where semi-naive grounding is slower than the reference
+# grounder, diverges from it, or is non-deterministic across threads.
+grounding_bench=target/ci_grounding_bench.json
+./target/release/cpsrisk bench --workload temporal --threads 2 --out "$grounding_bench"
+./target/release/cpsrisk bench --validate "$grounding_bench"
+rm -f "$grounding_bench"

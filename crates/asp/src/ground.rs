@@ -6,8 +6,17 @@
 //! possible set. Negative literals over atoms that can never be derived are
 //! trivially true and dropped; builtin comparisons and arithmetic are
 //! evaluated during instantiation.
+//!
+//! Two engines share this interface. [`Grounder::new`] selects the
+//! [semi-naive engine](crate::seminaive): stratified delta evaluation over
+//! the predicate dependency graph, multi-argument hash indexes, slot-based
+//! substitutions, and `CPSRISK_THREADS`-parallel instantiation.
+//! [`Grounder::new_reference`] retains the naive engine in this module —
+//! a global re-join fixpoint with first-argument narrowing — as the
+//! differential-testing baseline, mirroring `Solver::new_reference`.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::num::NonZeroUsize;
 
 use crate::ast::{Atom, ChoiceElement, CmpOp, Head, Literal, Program, Rule, Statement, Term};
 use crate::error::AspError;
@@ -17,6 +26,16 @@ use crate::program::{
 };
 
 type Subst = BTreeMap<String, Term>;
+
+/// Which evaluation strategy a [`Grounder`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Stratified semi-naive delta evaluation with argument indexes and
+    /// parallel instantiation (the default).
+    SemiNaive,
+    /// The retained naive fixpoint in this module (differential baseline).
+    Reference,
+}
 
 /// Grounder with a configurable instance budget.
 #[derive(Debug, Clone)]
@@ -28,6 +47,10 @@ pub struct Grounder {
     /// atom and records it in [`GroundProgram::assumable`], so a solver can
     /// pin it true or false per query via assumption literals.
     assumable: Vec<(String, usize)>,
+    engine: Engine,
+    /// Worker threads for semi-naive instantiation; `None` resolves from
+    /// `CPSRISK_THREADS`, then available parallelism.
+    threads: Option<usize>,
 }
 
 impl Default for Grounder {
@@ -35,8 +58,19 @@ impl Default for Grounder {
         Grounder {
             max_instances: 2_000_000,
             assumable: Vec::new(),
+            engine: Engine::SemiNaive,
+            threads: None,
         }
     }
+}
+
+/// Worker-thread default: `CPSRISK_THREADS`, then available parallelism.
+fn default_threads() -> usize {
+    std::env::var("CPSRISK_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
 }
 
 /// Index of possible ground atoms by predicate signature, with a secondary
@@ -105,10 +139,21 @@ impl PossibleSet {
 }
 
 impl Grounder {
-    /// A grounder with default limits.
+    /// A grounder with default limits, running the semi-naive engine.
     #[must_use]
     pub fn new() -> Self {
         Grounder::default()
+    }
+
+    /// A grounder running the retained naive reference engine. Produces
+    /// the same ground program as [`Grounder::new`] (pinned by differential
+    /// proptests); kept as the baseline for correctness and benchmarks.
+    #[must_use]
+    pub fn new_reference() -> Self {
+        Grounder {
+            engine: Engine::Reference,
+            ..Grounder::default()
+        }
     }
 
     /// A grounder with a custom instance budget.
@@ -118,6 +163,15 @@ impl Grounder {
             max_instances,
             ..Grounder::default()
         }
+    }
+
+    /// Pin the number of worker threads for semi-naive instantiation
+    /// (overriding `CPSRISK_THREADS`). The ground program is identical for
+    /// every thread count; `1` forces a fully sequential run.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 
     /// Mark a predicate signature as *assumable*: every **fact** of that
@@ -141,6 +195,22 @@ impl Grounder {
     /// * [`AspError::BadArithmetic`] for invalid arithmetic,
     /// * [`AspError::GroundingBudget`] if the instance budget is exceeded.
     pub fn ground(&self, program: &Program) -> Result<GroundProgram, AspError> {
+        match self.engine {
+            Engine::SemiNaive => crate::seminaive::ground(
+                program,
+                &crate::seminaive::Config {
+                    max_instances: self.max_instances,
+                    assumable: &self.assumable,
+                    threads: self.threads.unwrap_or_else(default_threads),
+                },
+            ),
+            Engine::Reference => self.ground_reference(program),
+        }
+    }
+
+    /// The retained naive engine: global re-join fixpoint, first-argument
+    /// narrowing, `String`-keyed substitutions.
+    fn ground_reference(&self, program: &Program) -> Result<GroundProgram, AspError> {
         let rules: Vec<&Rule> = program.rules().collect();
         for r in &rules {
             r.check_safety()?;
@@ -447,9 +517,10 @@ fn plan_body(body: &[Literal]) -> Vec<Literal> {
     let mut out = Vec::with_capacity(body.len());
     while !remaining.is_empty() {
         // 1. Any evaluable comparison (all vars bound).
-        if let Some(i) = remaining.iter().position(|l| {
-            matches!(l, Literal::Cmp(..)) && vars_of(l).iter().all(|v| bound.contains(v))
-        }) {
+        if let Some(i) = remaining
+            .iter()
+            .position(|l| matches!(l, Literal::Cmp(..)) && lit_vars_bound(l, &bound))
+        {
             out.push(remaining.remove(i));
             continue;
         }
@@ -458,9 +529,7 @@ fn plan_body(body: &[Literal]) -> Vec<Literal> {
             if let Literal::Cmp(CmpOp::Eq, a, b) = l {
                 for (x, y) in [(a, b), (b, a)] {
                     if let Term::Var(v) = x {
-                        let mut yv = std::collections::BTreeSet::new();
-                        y.collect_vars(&mut yv);
-                        if !bound.contains(v) && yv.iter().all(|u| bound.contains(u)) {
+                        if !bound.contains(v) && term_vars_bound(y, &bound) {
                             return true;
                         }
                     }
@@ -469,25 +538,22 @@ fn plan_body(body: &[Literal]) -> Vec<Literal> {
             false
         }) {
             let lit = remaining.remove(i);
-            for v in vars_of(&lit) {
-                bound.insert(v);
-            }
+            add_lit_vars(&lit, &mut bound);
             out.push(lit);
             continue;
         }
         // 3. A grounded negative literal.
-        if let Some(i) = remaining.iter().position(|l| {
-            matches!(l, Literal::Neg(_)) && vars_of(l).iter().all(|v| bound.contains(v))
-        }) {
+        if let Some(i) = remaining
+            .iter()
+            .position(|l| matches!(l, Literal::Neg(_)) && lit_vars_bound(l, &bound))
+        {
             out.push(remaining.remove(i));
             continue;
         }
         // 4. The first positive literal.
         if let Some(i) = remaining.iter().position(|l| matches!(l, Literal::Pos(_))) {
             let lit = remaining.remove(i);
-            for v in vars_of(&lit) {
-                bound.insert(v);
-            }
+            add_lit_vars(&lit, &mut bound);
             out.push(lit);
             continue;
         }
@@ -497,10 +563,54 @@ fn plan_body(body: &[Literal]) -> Vec<Literal> {
     out
 }
 
-fn vars_of(l: &Literal) -> Vec<String> {
-    let mut s = std::collections::BTreeSet::new();
-    l.collect_vars(&mut s);
-    s.into_iter().collect()
+/// True if every variable of `t` is in `bound` — the allocation-free
+/// replacement for collecting a `BTreeSet` per check.
+fn term_vars_bound(t: &Term, bound: &HashSet<String>) -> bool {
+    match t {
+        Term::Var(v) => bound.contains(v),
+        Term::Func(_, args) => args.iter().all(|a| term_vars_bound(a, bound)),
+        Term::BinOp(_, a, b) => term_vars_bound(a, bound) && term_vars_bound(b, bound),
+        Term::Int(_) | Term::Const(_) | Term::Str(_) => true,
+    }
+}
+
+fn lit_vars_bound(l: &Literal, bound: &HashSet<String>) -> bool {
+    match l {
+        Literal::Pos(a) | Literal::Neg(a) => a.args.iter().all(|t| term_vars_bound(t, bound)),
+        Literal::Cmp(_, x, y) => term_vars_bound(x, bound) && term_vars_bound(y, bound),
+    }
+}
+
+fn add_term_vars(t: &Term, bound: &mut HashSet<String>) {
+    match t {
+        Term::Var(v) => {
+            bound.insert(v.clone());
+        }
+        Term::Func(_, args) => {
+            for a in args {
+                add_term_vars(a, bound);
+            }
+        }
+        Term::BinOp(_, a, b) => {
+            add_term_vars(a, bound);
+            add_term_vars(b, bound);
+        }
+        Term::Int(_) | Term::Const(_) | Term::Str(_) => {}
+    }
+}
+
+fn add_lit_vars(l: &Literal, bound: &mut HashSet<String>) {
+    match l {
+        Literal::Pos(a) | Literal::Neg(a) => {
+            for t in &a.args {
+                add_term_vars(t, bound);
+            }
+        }
+        Literal::Cmp(_, x, y) => {
+            add_term_vars(x, bound);
+            add_term_vars(y, bound);
+        }
+    }
 }
 
 /// Nested-loop join of the planned literals against the possible set,
@@ -543,21 +653,22 @@ fn join(
             let la = apply(l, &theta);
             let ra = apply(r, &theta);
             if *op == CmpOp::Eq {
-                // Binding equality: X = expr (either side).
+                // Binding equality: X = expr (either side). `theta` is
+                // owned, so the binding extends it in place — no clone.
                 if let Term::Var(v) = &la {
                     if !theta.contains_key(v) {
                         let val = ra.eval()?;
-                        let mut theta2 = theta.clone();
-                        theta2.insert(v.clone(), val);
-                        return join(possible, rest, theta2, cb);
+                        let mut theta = theta;
+                        theta.insert(v.clone(), val);
+                        return join(possible, rest, theta, cb);
                     }
                 }
                 if let Term::Var(v) = &ra {
                     if !theta.contains_key(v) {
                         let val = la.eval()?;
-                        let mut theta2 = theta.clone();
-                        theta2.insert(v.clone(), val);
-                        return join(possible, rest, theta2, cb);
+                        let mut theta = theta;
+                        theta.insert(v.clone(), val);
+                        return join(possible, rest, theta, cb);
                     }
                 }
             }
@@ -733,6 +844,30 @@ mod tests {
         let g = ground_src("a. b. { x }. #minimize { 1@1 : x }. #minimize { 2@5 : x }.");
         let prios: Vec<i64> = g.minimize.iter().map(|(p, _)| *p).collect();
         assert_eq!(prios, vec![5, 1]);
+    }
+
+    #[test]
+    fn eq_binds_on_either_side() {
+        // `X = expr` and `expr = X` both bind the free variable, on both
+        // engines (the reference path extends θ in place, no clone).
+        for src in [
+            "q(1). q(2). p(X) :- q(Y), X = Y + 1.",
+            "q(1). q(2). p(X) :- q(Y), Y + 1 = X.",
+        ] {
+            for g in [
+                Grounder::new().ground(&parse(src).unwrap()).unwrap(),
+                Grounder::new_reference()
+                    .ground(&parse(src).unwrap())
+                    .unwrap(),
+            ] {
+                let ps: Vec<String> = g
+                    .atoms()
+                    .filter(|(_, a)| a.pred == "p")
+                    .map(|(_, a)| a.to_string())
+                    .collect();
+                assert_eq!(ps, vec!["p(2)", "p(3)"], "source: {src}");
+            }
+        }
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod lexer;
 pub mod lint;
 pub mod parser;
 pub mod program;
+mod seminaive;
 pub mod solve;
 
 pub use ast::{Atom, ChoiceElement, Head, Literal, Program, Rule, Statement, Term};

@@ -12,7 +12,7 @@ use cpsrisk_risk::DecisionTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-pub use cpsrisk_epa::workload::chain_problem;
+pub use cpsrisk_epa::workload::{chain_problem, grid_problem, temporal_tank_problem};
 
 /// A synthetic mitigation problem with `n_mit` candidates and `n_scen`
 /// scenarios over a small fault vocabulary, deterministic per seed.

@@ -1,60 +1,161 @@
 //! Machine-readable performance measurement (`cpsrisk bench`).
 //!
-//! Runs the exhaustive ASP analysis of a [`chain_problem`] workload with
-//! both solver engines — the retained naive reference engine
-//! ([`Solver::new_reference`]) and the occurrence-indexed production engine
-//! ([`Solver::new`]) — over the **same** ground program, a fresh-solve
-//! vs. assumption-reuse comparison over a fixed-scenario stream (the
-//! `cpsrisk-bench/2` `incremental` section), plus one parallel
-//! fixed-scenario sweep, and reports everything as a JSON document
-//! (`BENCH_asp.json`) so CI and EXPERIMENTS.md can consume the numbers
-//! without scraping logs.
+//! Runs one of the parametric workloads (`chain`, `grid`, `temporal`) and
+//! reports **grounding** and **solving** as separate sections — schema
+//! `cpsrisk-bench/3`. The v2 schema's single top-level `speedup` was
+//! misleading: on `chain_problem(8)` solving is enumeration-bound, so the
+//! indexed-vs-reference solver ratio reads ~1.0× no matter how fast the
+//! grounder got. v3 measures each stage against its own baseline:
+//!
+//! * `grounding` — [`Grounder::new_reference`] (naive global re-join) vs
+//!   the semi-naive delta engine ([`Grounder::new`]) at one thread and at
+//!   `--threads`, with equivalence checks on the produced programs;
+//! * `solve` — [`Solver::new_reference`] vs the occurrence-indexed
+//!   [`Solver::new`] over the **same** ground program;
+//! * `incremental` / `parallel` — the fresh-vs-reused assumption stream
+//!   and the sharded scenario sweep (EPA workloads only; the `temporal`
+//!   workload is a plain ASP program with no scenario space).
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-use cpsrisk_asp::{Grounder, SolveOptions, Solver};
+use cpsrisk_asp::program::{CardConstraint, GroundHead, MinimizeLit};
+use cpsrisk_asp::{GroundProgram, Grounder, SolveOptions, Solver};
 use cpsrisk_epa::encode::analyze_fixed_fresh;
 use cpsrisk_epa::parallel::{sweep_fixed, SweepOptions};
-use cpsrisk_epa::workload::chain_problem;
-use cpsrisk_epa::{encode, EncodeMode, IncrementalAnalysis, Scenario, ScenarioSpace};
+use cpsrisk_epa::workload::{chain_problem, grid_problem, temporal_tank_problem};
+use cpsrisk_epa::{encode, EncodeMode, EpaProblem, IncrementalAnalysis, Scenario, ScenarioSpace};
 
 use crate::error::CoreError;
 
 /// Schema tag carried by every report this module writes.
-pub const SCHEMA: &str = "cpsrisk-bench/2";
+pub const SCHEMA: &str = "cpsrisk-bench/3";
 
 /// Cap on the fixed-scenario stream measured by the incremental section.
 const MAX_INCREMENTAL_SCENARIOS: usize = 128;
 
-/// One solver engine's measurement over the exhaustive workload.
+/// The benchmark workload families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// `chain_problem(n)` — enumeration-bound (`2^(n+2)` scenarios).
+    Chain,
+    /// `grid_problem(n, n)` — grounding-bound (constant scenario space,
+    /// `n²` devices).
+    Grid,
+    /// `temporal_tank_problem(n)` — grounding-bound (deterministic
+    /// dynamics unrolled over an `n`-step horizon).
+    Temporal,
+}
+
+impl Workload {
+    /// Parse a `--workload` value.
+    ///
+    /// # Errors
+    ///
+    /// A message listing the accepted names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "chain" => Ok(Workload::Chain),
+            "grid" => Ok(Workload::Grid),
+            "temporal" => Ok(Workload::Temporal),
+            other => Err(format!(
+                "unknown workload `{other}` (expected chain, grid, or temporal)"
+            )),
+        }
+    }
+
+    /// The name recorded in the report.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Workload::Chain => "chain",
+            Workload::Grid => "grid",
+            Workload::Temporal => "temporal",
+        }
+    }
+
+    /// Default size parameter when `--n` is not given: chain length 8,
+    /// grid side 12, temporal horizon 24.
+    #[must_use]
+    pub fn default_n(self) -> usize {
+        match self {
+            Workload::Chain => 8,
+            Workload::Grid => 12,
+            Workload::Temporal => 24,
+        }
+    }
+
+    /// Is grounding (rather than model enumeration) the dominant cost?
+    /// Grounding speed gates only apply to these workloads.
+    #[must_use]
+    pub fn grounding_bound(self) -> bool {
+        matches!(self, Workload::Grid | Workload::Temporal)
+    }
+}
+
+/// The grounding stage: naive reference vs semi-naive delta engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundingSample {
+    /// Wall-clock time of [`Grounder::new_reference`], ms.
+    pub reference_ms: f64,
+    /// Wall-clock time of the semi-naive engine at one thread, ms.
+    pub seminaive_ms: f64,
+    /// Wall-clock time of the semi-naive engine at `threads`, ms.
+    pub parallel_ms: f64,
+    /// Threads used for `parallel_ms`.
+    pub threads: usize,
+    /// `reference_ms / seminaive_ms` — the delta+index win, single-threaded.
+    pub speedup: f64,
+    /// Interned ground atoms (semi-naive result).
+    pub atoms: usize,
+    /// Ground rules (semi-naive result).
+    pub rules: usize,
+    /// The semi-naive program is observationally identical to the
+    /// reference program (same atoms, rules modulo order, cards, minimize
+    /// literals, shows, assumables).
+    pub matches_reference: bool,
+    /// The multi-threaded run produced a bit-identical program to the
+    /// single-threaded run.
+    pub parallel_matches_single: bool,
+}
+
+/// One solver engine's measurement over the shared ground program.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineSample {
     /// `"reference"` (naive full-scan engine) or `"indexed"`.
     pub mode: String,
     /// Wall-clock enumeration time in milliseconds.
     pub solve_ms: f64,
-    /// Answer sets found (= scenarios of the exhaustive encoding).
+    /// Answer sets found.
     pub models: usize,
     /// Branching decisions made.
     pub decisions: u64,
     /// Propagated assignments (decisions included).
     pub propagations: u64,
-    /// Scenarios enumerated per second.
-    pub scenarios_per_sec: f64,
+    /// Models enumerated per second.
+    pub models_per_sec: f64,
+}
+
+/// The solving stage: both solver engines over the same ground program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveSample {
+    /// The naive reference engine.
+    pub baseline: EngineSample,
+    /// The occurrence-indexed engine.
+    pub optimized: EngineSample,
+    /// `baseline.solve_ms / optimized.solve_ms`. On enumeration-bound
+    /// workloads this hovers near 1.0× — that is expected and not gated.
+    pub engine_speedup: f64,
 }
 
 /// Comparison against an externally measured pre-optimization build.
 ///
-/// `cpsrisk bench` measures both of **this** build's engines, but the
-/// naive reference engine still shares the optimized grounder, stability
-/// checker and model construction, so it understates the end-to-end win.
-/// When `--baseline-ms` supplies the exhaustive-analysis wall time of the
+/// When `--baseline-ms` supplies the end-to-end wall time of the
 /// pre-optimization commit (same workload, same machine), the report
 /// records that number and the resulting total speedup here.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PrePrBaseline {
-    /// Exhaustive analysis wall time of the pre-optimization build, ms.
+    /// End-to-end wall time of the pre-optimization build, ms.
     pub total_ms: f64,
     /// `pre_pr.total_ms / total_ms` of this build.
     pub speedup: f64,
@@ -96,7 +197,7 @@ pub struct IncrementalSample {
 pub struct SweepSample {
     /// Worker threads used.
     pub threads: usize,
-    /// Scenarios evaluated (singleton scenarios of the workload).
+    /// Scenarios evaluated (nominal + singleton scenarios).
     pub scenarios: usize,
     /// Wall-clock sweep time in milliseconds.
     pub sweep_ms: f64,
@@ -104,48 +205,160 @@ pub struct SweepSample {
     pub matches_sequential: bool,
 }
 
-/// The full `cpsrisk bench` report.
+/// The full `cpsrisk bench` report (schema v3).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
     /// Schema tag ([`SCHEMA`]).
     pub schema: String,
-    /// Workload family (currently always `"chain_problem"`).
+    /// Workload family: `"chain"`, `"grid"`, or `"temporal"`.
     pub workload: String,
-    /// Workload size parameter (chain length).
+    /// Workload size parameter (chain length, grid side, or horizon).
     pub n: usize,
-    /// Interned ground atoms.
-    pub ground_atoms: usize,
-    /// Ground rules.
-    pub ground_rules: usize,
-    /// Wall-clock encode + ground time in milliseconds.
-    pub grounding_ms: f64,
-    /// End-to-end exhaustive analysis (encode + ground + enumerate +
-    /// outcome extraction) in milliseconds — the number to compare against
-    /// a pre-optimization build.
+    /// End-to-end wall time in milliseconds: the exhaustive analysis for
+    /// EPA workloads, ground + enumerate for `temporal`.
     pub total_ms: f64,
-    /// The naive reference engine on the shared ground program.
-    pub baseline: EngineSample,
-    /// The occurrence-indexed engine on the shared ground program.
-    pub optimized: EngineSample,
-    /// `baseline.solve_ms / optimized.solve_ms` (engines only; both share
-    /// the optimized grounder, checker and model construction).
-    pub speedup: f64,
+    /// The grounding stage, measured against its own baseline.
+    pub grounding: GroundingSample,
+    /// The solving stage, measured against its own baseline.
+    pub solve: SolveSample,
     /// Comparison against a pre-optimization build, when `--baseline-ms`
     /// supplied its measurement.
     pub pre_pr: Option<PrePrBaseline>,
-    /// Fresh-solve vs. assumption-reuse over a fixed-scenario stream.
-    pub incremental: IncrementalSample,
-    /// The sharded fixed-scenario sweep.
-    pub parallel: SweepSample,
+    /// Fresh-solve vs. assumption-reuse (EPA workloads only).
+    pub incremental: Option<IncrementalSample>,
+    /// The sharded fixed-scenario sweep (EPA workloads only).
+    pub parallel: Option<SweepSample>,
 }
 
 fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
-fn sample(
+/// Canonical rendering of a ground program: sorted strings for every
+/// component, so two programs are observationally identical iff their
+/// canonical forms are equal — independent of atom-id assignment and of
+/// rule/card/minimize instance order.
+fn canonical(g: &GroundProgram) -> Vec<String> {
+    let atom = |id| g.atom(id).to_string();
+    let atoms =
+        |ids: &[cpsrisk_asp::AtomId]| ids.iter().map(|&i| atom(i)).collect::<Vec<_>>().join(",");
+    let mut out: Vec<String> = Vec::new();
+    for (_, a) in g.atoms() {
+        out.push(format!("atom {a}"));
+    }
+    for r in &g.rules {
+        let head = match r.head {
+            GroundHead::Atom(h) => atom(h),
+            GroundHead::Choice(h) => format!("{{{}}}", atom(h)),
+            GroundHead::None => String::new(),
+        };
+        out.push(format!(
+            "rule {head} :- {}; not {}",
+            atoms(&r.pos),
+            atoms(&r.neg)
+        ));
+    }
+    for CardConstraint {
+        pos,
+        neg,
+        elements,
+        lower,
+        upper,
+    } in &g.cards
+    {
+        let mut elems: Vec<String> = elements
+            .iter()
+            .map(|e| {
+                format!(
+                    "{} if {}; not {}",
+                    atom(e.atom),
+                    atoms(&e.guard_pos),
+                    atoms(&e.guard_neg)
+                )
+            })
+            .collect();
+        elems.sort();
+        out.push(format!(
+            "card {lower}..{upper} :- {}; not {} | {}",
+            atoms(pos),
+            atoms(neg),
+            elems.join(" | ")
+        ));
+    }
+    for (prio, lits) in &g.minimize {
+        let mut rendered: Vec<String> = lits
+            .iter()
+            .map(
+                |MinimizeLit {
+                     weight,
+                     tuple,
+                     pos,
+                     neg,
+                 }| {
+                    let t: Vec<String> = tuple.iter().map(ToString::to_string).collect();
+                    format!(
+                        "min@{prio} {weight},{} : {}; not {}",
+                        t.join(","),
+                        atoms(pos),
+                        atoms(neg)
+                    )
+                },
+            )
+            .collect();
+        rendered.sort();
+        out.extend(rendered);
+    }
+    for (p, n) in &g.shows {
+        out.push(format!("show {p}/{n}"));
+    }
+    for &a in &g.assumable {
+        out.push(format!("assume {}", atom(a)));
+    }
+    out.sort();
+    out
+}
+
+/// Exact structural equality, atom ids included — the determinism bar for
+/// thread-count variations of the same engine.
+fn identical(a: &GroundProgram, b: &GroundProgram) -> bool {
+    a.atoms().eq(b.atoms())
+        && a.rules == b.rules
+        && a.cards == b.cards
+        && a.minimize == b.minimize
+        && a.shows == b.shows
+        && a.assumable == b.assumable
+}
+
+fn measure_grounding(
+    program: &cpsrisk_asp::Program,
+    threads: usize,
+) -> Result<(GroundingSample, GroundProgram), CoreError> {
+    let start = Instant::now();
+    let reference = Grounder::new_reference().ground(program)?;
+    let reference_ms = ms(start);
+    let start = Instant::now();
+    let single = Grounder::new().with_threads(1).ground(program)?;
+    let seminaive_ms = ms(start);
+    let start = Instant::now();
+    let parallel = Grounder::new().with_threads(threads).ground(program)?;
+    let parallel_ms = ms(start);
+    let sample = GroundingSample {
+        reference_ms,
+        seminaive_ms,
+        parallel_ms,
+        threads,
+        speedup: reference_ms / seminaive_ms.max(1e-9),
+        atoms: single.atom_count(),
+        rules: single.rules.len(),
+        matches_reference: canonical(&reference) == canonical(&single),
+        parallel_matches_single: identical(&single, &parallel),
+    };
+    Ok((sample, single))
+}
+
+fn sample_engine(
     mode: &str,
-    ground: &cpsrisk_asp::GroundProgram,
+    ground: &GroundProgram,
     reference: bool,
 ) -> Result<EngineSample, CoreError> {
     let mut solver = if reference {
@@ -162,55 +375,34 @@ fn sample(
         models: result.models.len(),
         decisions: result.decisions,
         propagations: result.propagations,
-        scenarios_per_sec: result.models.len() as f64 / (solve_ms / 1e3).max(1e-9),
+        models_per_sec: result.models.len() as f64 / (solve_ms / 1e3).max(1e-9),
     })
 }
 
-/// Run the benchmark on `chain_problem(n)` with `threads` sweep workers.
-/// `baseline_ms`, if given, is the externally measured exhaustive-analysis
-/// time of a pre-optimization build (see [`PrePrBaseline`]).
-///
-/// # Errors
-///
-/// [`CoreError`] on grounding/solving failure (the workloads themselves are
-/// generated valid).
-pub fn run(n: usize, threads: usize, baseline_ms: Option<f64>) -> Result<BenchReport, CoreError> {
-    let problem = chain_problem(n);
+fn measure_solve(ground: &GroundProgram) -> Result<SolveSample, CoreError> {
+    let baseline = sample_engine("reference", ground, true)?;
+    let optimized = sample_engine("indexed", ground, false)?;
+    let engine_speedup = baseline.solve_ms / optimized.solve_ms.max(1e-9);
+    Ok(SolveSample {
+        baseline,
+        optimized,
+        engine_speedup,
+    })
+}
 
-    // End-to-end number first: the same call a pre-optimization build is
-    // measured with.
-    let start = Instant::now();
-    let outcomes = cpsrisk_epa::analyze_exhaustive(&problem, None)?;
-    let total_ms = ms(start);
-    drop(outcomes);
-
-    let start = Instant::now();
-    let program = encode(&problem, &EncodeMode::Exhaustive { max_faults: None });
-    let ground = Grounder::new().ground(&program)?;
-    let grounding_ms = ms(start);
-
-    let baseline = sample("reference", &ground, true)?;
-    let optimized = sample("indexed", &ground, false)?;
-    let speedup = baseline.solve_ms / optimized.solve_ms.max(1e-9);
-    let pre_pr = baseline_ms.map(|pre| PrePrBaseline {
-        total_ms: pre,
-        speedup: pre / total_ms.max(1e-9),
-    });
-
-    // Fresh-solve vs. assumption-reuse over the same fixed-scenario
-    // stream (the whole space, capped).
-    let stream: Vec<Scenario> = ScenarioSpace::new(&problem, usize::MAX)
+fn measure_incremental(problem: &EpaProblem) -> Result<IncrementalSample, CoreError> {
+    let stream: Vec<Scenario> = ScenarioSpace::new(problem, usize::MAX)
         .iter()
         .take(MAX_INCREMENTAL_SCENARIOS)
         .collect();
     let start = Instant::now();
     let fresh: Vec<_> = stream
         .iter()
-        .map(|s| analyze_fixed_fresh(&problem, s))
+        .map(|s| analyze_fixed_fresh(problem, s))
         .collect::<Result<_, _>>()?;
     let fresh_ms = ms(start);
     let start = Instant::now();
-    let analysis = IncrementalAnalysis::new(&problem)?;
+    let analysis = IncrementalAnalysis::new(problem)?;
     let mut reused_solver = analysis.solver();
     let reused: Vec<_> = stream
         .iter()
@@ -218,7 +410,7 @@ pub fn run(n: usize, threads: usize, baseline_ms: Option<f64>) -> Result<BenchRe
         .collect::<Result<_, _>>()?;
     let reused_ms = ms(start);
     let per_scenario = |t: f64| t / stream.len().max(1) as f64;
-    let incremental = IncrementalSample {
+    Ok(IncrementalSample {
         scenarios: stream.len(),
         fresh_ms,
         reused_ms,
@@ -228,34 +420,82 @@ pub fn run(n: usize, threads: usize, baseline_ms: Option<f64>) -> Result<BenchRe
         matches_fresh: fresh == reused,
         learned_nogoods: reused_solver.learned_nogoods(),
         conflicts: reused_solver.total_conflicts(),
-    };
+    })
+}
 
-    // Parallel sweep over the nominal + singleton scenarios. The sweep
-    // grounds once and shards the assumption stream; the recorded thread
-    // count is the effective one after clamping to the item count.
-    let scenarios: Vec<Scenario> = ScenarioSpace::new(&problem, 1).iter().collect();
+fn measure_sweep(problem: &EpaProblem, threads: usize) -> Result<SweepSample, CoreError> {
+    let scenarios: Vec<Scenario> = ScenarioSpace::new(problem, 1).iter().collect();
     let start = Instant::now();
-    let outcomes = sweep_fixed(&problem, &scenarios, &SweepOptions::with_threads(threads))?;
+    let outcomes = sweep_fixed(problem, &scenarios, &SweepOptions::with_threads(threads))?;
     let sweep_ms = ms(start);
-    let sequential = sweep_fixed(&problem, &scenarios, &SweepOptions::with_threads(1))?;
-    let parallel = SweepSample {
+    let sequential = sweep_fixed(problem, &scenarios, &SweepOptions::with_threads(1))?;
+    Ok(SweepSample {
         threads: threads.clamp(1, scenarios.len().max(1)),
         scenarios: scenarios.len(),
         sweep_ms,
         matches_sequential: outcomes == sequential,
+    })
+}
+
+/// Run the benchmark on `workload` at size `n` with `threads` workers.
+/// `baseline_ms`, if given, is the externally measured end-to-end time of
+/// a pre-optimization build (see [`PrePrBaseline`]).
+///
+/// # Errors
+///
+/// [`CoreError`] on grounding/solving failure (the workloads themselves
+/// are generated valid).
+pub fn run(
+    workload: Workload,
+    n: usize,
+    threads: usize,
+    baseline_ms: Option<f64>,
+) -> Result<BenchReport, CoreError> {
+    let problem = match workload {
+        Workload::Chain => Some(chain_problem(n)),
+        Workload::Grid => Some(grid_problem(n, n)),
+        Workload::Temporal => None,
     };
+    let program = match &problem {
+        Some(p) => encode(p, &EncodeMode::Exhaustive { max_faults: None }),
+        None => temporal_tank_problem(n),
+    };
+
+    // End-to-end number first: the same call a pre-optimization build is
+    // measured with.
+    let start = Instant::now();
+    match &problem {
+        Some(p) => {
+            let outcomes = cpsrisk_epa::analyze_exhaustive(p, None)?;
+            drop(outcomes);
+        }
+        None => {
+            let ground = Grounder::new().ground(&program)?;
+            let mut solver = Solver::new(&ground);
+            solver.enumerate(&SolveOptions::default())?;
+        }
+    }
+    let total_ms = ms(start);
+
+    let (grounding, ground) = measure_grounding(&program, threads)?;
+    let solve = measure_solve(&ground)?;
+    let pre_pr = baseline_ms.map(|pre| PrePrBaseline {
+        total_ms: pre,
+        speedup: pre / total_ms.max(1e-9),
+    });
+    let incremental = problem.as_ref().map(measure_incremental).transpose()?;
+    let parallel = problem
+        .as_ref()
+        .map(|p| measure_sweep(p, threads))
+        .transpose()?;
 
     Ok(BenchReport {
         schema: SCHEMA.to_owned(),
-        workload: "chain_problem".to_owned(),
+        workload: workload.as_str().to_owned(),
         n,
-        ground_atoms: ground.atom_count(),
-        ground_rules: ground.rules.len(),
-        grounding_ms,
         total_ms,
-        baseline,
-        optimized,
-        speedup,
+        grounding,
+        solve,
         pre_pr,
         incremental,
         parallel,
@@ -263,8 +503,11 @@ pub fn run(n: usize, threads: usize, baseline_ms: Option<f64>) -> Result<BenchRe
 }
 
 /// Validate a previously written report: parseable JSON, the expected
-/// schema tag, and internally consistent measurements. Returns the parsed
-/// report so callers can print a summary.
+/// schema tag, and internally consistent measurements — each section gated
+/// on **its own** baseline. Grounding speed (`speedup >= 1.0`) is only
+/// gated on grounding-bound workloads (`grid`, `temporal`); equivalence
+/// (`matches_reference`, `parallel_matches_single`) is gated everywhere.
+/// Returns the parsed report so callers can print a summary.
 ///
 /// # Errors
 ///
@@ -278,56 +521,93 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
             report.schema
         ));
     }
-    if report.baseline.models != report.optimized.models {
+    let workload = Workload::parse(&report.workload)?;
+
+    let g = &report.grounding;
+    for (name, v) in [
+        ("reference_ms", g.reference_ms),
+        ("seminaive_ms", g.seminaive_ms),
+        ("parallel_ms", g.parallel_ms),
+    ] {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(format!("grounding.{name} is not a valid duration"));
+        }
+    }
+    if g.atoms == 0 || g.rules == 0 {
+        return Err("grounding produced an empty program".to_owned());
+    }
+    if !g.matches_reference {
+        return Err("semi-naive grounding diverged from the reference grounder".to_owned());
+    }
+    if !g.parallel_matches_single {
+        return Err("multi-threaded grounding diverged from single-threaded".to_owned());
+    }
+    if !(g.speedup.is_finite() && g.speedup > 0.0) {
+        return Err("grounding.speedup is not a positive finite ratio".to_owned());
+    }
+    if workload.grounding_bound() && g.speedup < 1.0 {
         return Err(format!(
-            "engines disagree on the model count: reference {} vs indexed {}",
-            report.baseline.models, report.optimized.models
+            "semi-naive grounding is slower than the reference grounder \
+             ({:.2}x on the grounding-bound `{}` workload)",
+            g.speedup, report.workload
         ));
     }
-    for s in [&report.baseline, &report.optimized] {
-        if !(s.solve_ms.is_finite() && s.solve_ms >= 0.0) {
-            return Err(format!("{} solve_ms is not a valid duration", s.mode));
+
+    let s = &report.solve;
+    if s.baseline.models != s.optimized.models {
+        return Err(format!(
+            "solver engines disagree on the model count: reference {} vs indexed {}",
+            s.baseline.models, s.optimized.models
+        ));
+    }
+    for e in [&s.baseline, &s.optimized] {
+        if !(e.solve_ms.is_finite() && e.solve_ms >= 0.0) {
+            return Err(format!("{} solve_ms is not a valid duration", e.mode));
         }
-        if s.models == 0 {
-            return Err(format!("{} enumerated no models", s.mode));
+        if e.models == 0 {
+            return Err(format!("{} enumerated no models", e.mode));
         }
     }
-    if !(report.speedup.is_finite() && report.speedup > 0.0) {
-        return Err("speedup is not a positive finite ratio".to_owned());
+    if !(s.engine_speedup.is_finite() && s.engine_speedup > 0.0) {
+        return Err("solve.engine_speedup is not a positive finite ratio".to_owned());
     }
+
     if let Some(pre) = &report.pre_pr {
         if !(pre.total_ms.is_finite() && pre.total_ms > 0.0 && pre.speedup.is_finite()) {
             return Err("pre_pr baseline is not a valid measurement".to_owned());
         }
     }
-    let inc = &report.incremental;
-    if inc.scenarios == 0 {
-        return Err("incremental section measured no scenarios".to_owned());
-    }
-    for (name, v) in [
-        ("fresh_ms", inc.fresh_ms),
-        ("reused_ms", inc.reused_ms),
-        ("fresh_per_scenario_ms", inc.fresh_per_scenario_ms),
-        ("reused_per_scenario_ms", inc.reused_per_scenario_ms),
-    ] {
-        if !(v.is_finite() && v >= 0.0) {
-            return Err(format!("incremental.{name} is not a valid duration"));
+    if let Some(inc) = &report.incremental {
+        if inc.scenarios == 0 {
+            return Err("incremental section measured no scenarios".to_owned());
+        }
+        for (name, v) in [
+            ("fresh_ms", inc.fresh_ms),
+            ("reused_ms", inc.reused_ms),
+            ("fresh_per_scenario_ms", inc.fresh_per_scenario_ms),
+            ("reused_per_scenario_ms", inc.reused_per_scenario_ms),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("incremental.{name} is not a valid duration"));
+            }
+        }
+        if !inc.matches_fresh {
+            return Err("assumption-reuse stream diverged from the fresh-solve stream".to_owned());
+        }
+        if !(inc.amortized_speedup.is_finite() && inc.amortized_speedup >= 1.0) {
+            return Err(format!(
+                "assumption-reuse is slower than fresh-solve (amortized speedup {:.2}x)",
+                inc.amortized_speedup
+            ));
         }
     }
-    if !inc.matches_fresh {
-        return Err("assumption-reuse stream diverged from the fresh-solve stream".to_owned());
-    }
-    if !(inc.amortized_speedup.is_finite() && inc.amortized_speedup >= 1.0) {
-        return Err(format!(
-            "assumption-reuse is slower than fresh-solve (amortized speedup {:.2}x)",
-            inc.amortized_speedup
-        ));
-    }
-    if report.parallel.threads == 0 {
-        return Err("parallel sweep recorded zero threads".to_owned());
-    }
-    if !report.parallel.matches_sequential {
-        return Err("parallel sweep diverged from the sequential result".to_owned());
+    if let Some(par) = &report.parallel {
+        if par.threads == 0 {
+            return Err("parallel sweep recorded zero threads".to_owned());
+        }
+        if !par.matches_sequential {
+            return Err("parallel sweep diverged from the sequential result".to_owned());
+        }
     }
     Ok(report)
 }
@@ -337,16 +617,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn report_round_trips_and_validates() {
-        let report = run(2, 2, Some(100.0)).expect("bench runs");
-        assert_eq!(report.baseline.models, 16, "2^(n+2) scenarios");
-        assert_eq!(report.baseline.models, report.optimized.models);
-        assert!(report.parallel.matches_sequential);
-        assert_eq!(report.parallel.scenarios, 5, "nominal + 4 singletons");
-        assert_eq!(report.parallel.threads, 2, "effective thread count");
+    fn chain_report_round_trips_and_validates() {
+        let report = run(Workload::Chain, 2, 2, Some(100.0)).expect("bench runs");
+        assert_eq!(report.solve.baseline.models, 16, "2^(n+2) scenarios");
+        assert_eq!(report.solve.baseline.models, report.solve.optimized.models);
+        assert!(report.grounding.matches_reference);
+        assert!(report.grounding.parallel_matches_single);
+        let parallel = report.parallel.as_ref().expect("EPA workload sweeps");
+        assert!(parallel.matches_sequential);
+        assert_eq!(parallel.scenarios, 5, "nominal + 4 singletons");
+        assert_eq!(parallel.threads, 2, "effective thread count");
         assert_eq!(report.pre_pr.as_ref().unwrap().total_ms, 100.0);
-        assert_eq!(report.incremental.scenarios, 16, "full 2^(n+2) stream");
-        assert!(report.incremental.matches_fresh);
+        let inc = report.incremental.as_ref().expect("EPA workload streams");
+        assert_eq!(inc.scenarios, 16, "full 2^(n+2) stream");
+        assert!(inc.matches_fresh);
 
         let json = serde_json::to_string_pretty(&report).unwrap();
         let parsed = validate(&json).expect("round-trip validates");
@@ -356,26 +640,70 @@ mod tests {
     }
 
     #[test]
+    fn grid_and_temporal_reports_validate() {
+        let report = run(Workload::Grid, 3, 1, None).expect("bench runs");
+        assert_eq!(report.workload, "grid");
+        assert_eq!(report.solve.baseline.models, 8, "2^3 constant scenarios");
+        assert!(report.grounding.matches_reference);
+
+        let mut report = run(Workload::Temporal, 6, 2, None).expect("bench runs");
+        assert_eq!(report.workload, "temporal");
+        assert_eq!(report.solve.baseline.models, 1, "deterministic dynamics");
+        assert!(report.incremental.is_none(), "no scenario space");
+        assert!(report.parallel.is_none(), "no scenario space");
+        assert!(report.grounding.matches_reference);
+        assert!(report.grounding.parallel_matches_single);
+        // Gate logic, decoupled from this tiny horizon's measured noise.
+        report.grounding.speedup = 2.0;
+        let json = serde_json::to_string(&report).unwrap();
+        validate(&json).expect("temporal report validates");
+    }
+
+    #[test]
     fn validate_rejects_garbage_and_schema_drift() {
         assert!(validate("not json").is_err());
         assert!(validate("{}").is_err());
-        let mut report = run(1, 1, None).expect("bench runs");
+        let mut report = run(Workload::Chain, 1, 1, None).expect("bench runs");
         assert!(report.pre_pr.is_none());
-        report.schema = "cpsrisk-bench/0".to_owned();
+        report.schema = "cpsrisk-bench/2".to_owned();
         let json = serde_json::to_string(&report).unwrap();
         assert!(validate(&json).unwrap_err().contains("schema mismatch"));
     }
 
     #[test]
-    fn validate_rejects_a_regressed_incremental_section() {
-        let mut report = run(1, 1, None).expect("bench runs");
-        report.incremental.amortized_speedup = 0.5;
+    fn validate_gates_each_section_on_its_own_baseline() {
+        let base = run(Workload::Chain, 1, 1, None).expect("bench runs");
+
+        // A grounding divergence is fatal on every workload.
+        let mut report = base.clone();
+        report.grounding.matches_reference = false;
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("diverged from the reference grounder"));
+
+        // Slow grounding is fatal only on grounding-bound workloads.
+        let mut report = base.clone();
+        report.grounding.speedup = 0.5;
+        let json = serde_json::to_string(&report).unwrap();
+        validate(&json).expect("chain is enumeration-bound: no grounding speed gate");
+        report.workload = "temporal".to_owned();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("slower than the reference grounder"));
+
+        // A regressed incremental section is still fatal.
+        let mut report = base.clone();
+        report.incremental.as_mut().unwrap().amortized_speedup = 0.5;
         let json = serde_json::to_string(&report).unwrap();
         assert!(validate(&json).unwrap_err().contains("slower than fresh"));
 
-        let mut report = run(1, 1, None).expect("bench runs");
-        report.incremental.matches_fresh = false;
+        let mut report = base;
+        report.incremental.as_mut().unwrap().matches_fresh = false;
         let json = serde_json::to_string(&report).unwrap();
-        assert!(validate(&json).unwrap_err().contains("diverged"));
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("diverged from the fresh-solve stream"));
     }
 }

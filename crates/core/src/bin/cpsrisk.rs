@@ -8,7 +8,7 @@
 //! cpsrisk solve <file.lp>        run the embedded ASP solver on a program
 //! cpsrisk lint [file.lp ...]     static-analyze ASP programs / the case study
 //! cpsrisk simulate f1,f2         simulate the plant under a fault set
-//! cpsrisk bench [--n N]          measure the ASP hot path, write BENCH_asp.json
+//! cpsrisk bench [--workload W]   measure the ASP hot path, write BENCH_asp.json
 //! ```
 
 use std::process::ExitCode;
@@ -76,11 +76,12 @@ fn print_help() {
          \x20                        without files, lint the water-tank case study\n\
          \x20                        model (M001-M007) and its ASP encoding\n\
          \x20 simulate <f1,f2,...>   simulate the continuous plant under a fault set\n\
-         \x20 bench [--n N] [--threads T] [--out FILE]\n\
-         \x20                        measure the ASP hot path on chain_problem(N)\n\
-         \x20                        (reference vs indexed engine + parallel sweep)\n\
-         \x20                        and write a machine-readable JSON report;\n\
-         \x20                        `--validate FILE` checks an existing report\n\
+         \x20 bench [--workload chain|grid|temporal] [--n N] [--threads T] [--out FILE]\n\
+         \x20                        measure the ASP hot path on a parametric workload\n\
+         \x20                        (grounding: reference vs semi-naive; solving:\n\
+         \x20                        reference vs indexed; plus incremental + sweep on\n\
+         \x20                        EPA workloads) and write a machine-readable JSON\n\
+         \x20                        report; `--validate FILE` checks an existing report\n\
          \x20 help                   this message"
     );
 }
@@ -256,7 +257,8 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let mut n: usize = 8;
+    let mut workload = cpsrisk::bench::Workload::Chain;
+    let mut n: Option<usize> = None;
     let mut threads = cpsrisk::epa::SweepOptions::default().threads;
     let mut out = "BENCH_asp.json".to_owned();
     let mut validate: Option<String> = None;
@@ -269,7 +271,8 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--n" => n = value("--n")?.parse()?,
+            "--workload" => workload = cpsrisk::bench::Workload::parse(&value("--workload")?)?,
+            "--n" => n = Some(value("--n")?.parse()?),
             "--threads" => threads = value("--threads")?.parse()?,
             "--out" => out = value("--out")?,
             "--validate" => validate = Some(value("--validate")?),
@@ -277,19 +280,25 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             other => {
                 return Err(format!(
                     "unknown bench flag `{other}` \
-                     (try --n/--threads/--out/--validate/--baseline-ms)"
+                     (try --workload/--n/--threads/--out/--validate/--baseline-ms)"
                 )
                 .into())
             }
         }
     }
+    let n = n.unwrap_or_else(|| workload.default_n());
 
     if let Some(path) = validate {
         let json = std::fs::read_to_string(&path)?;
         let report = cpsrisk::bench::validate(&json).map_err(|e| format!("{path}: {e}"))?;
         println!(
-            "{path}: valid {} report (n={}, {} scenarios, speedup {:.2}x)",
-            report.schema, report.n, report.baseline.models, report.speedup
+            "{path}: valid {} report ({} workload, n={}, grounding {:.2}x, \
+             solver engines {:.2}x)",
+            report.schema,
+            report.workload,
+            report.n,
+            report.grounding.speedup,
+            report.solve.engine_speedup
         );
         return Ok(());
     }
@@ -297,69 +306,83 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if threads == 0 {
         return Err("--threads must be >= 1".into());
     }
-    let report = cpsrisk::bench::run(n, threads, baseline_ms)?;
+    let report = cpsrisk::bench::run(workload, n, threads, baseline_ms)?;
     std::fs::write(&out, serde_json::to_string_pretty(&report)? + "\n")?;
+    let g = &report.grounding;
     println!(
-        "chain_problem({n}): {} scenarios, ground {} atoms / {} rules in {:.1} ms, \
-         exhaustive analysis {:.1} ms end to end",
-        report.baseline.models,
-        report.ground_atoms,
-        report.ground_rules,
-        report.grounding_ms,
-        report.total_ms
+        "{}({n}): {} ground atoms / {} rules, {:.1} ms end to end",
+        report.workload, g.atoms, g.rules, report.total_ms
     );
     println!(
-        "  reference engine: {:.1} ms ({:.0} scenarios/s, {} decisions, {} propagations)",
-        report.baseline.solve_ms,
-        report.baseline.scenarios_per_sec,
-        report.baseline.decisions,
-        report.baseline.propagations
+        "  grounding: reference {:.1} ms vs semi-naive {:.1} ms = {:.2}x \
+         (parallel {:.1} ms on {} thread(s); equivalence: {}, determinism: {})",
+        g.reference_ms,
+        g.seminaive_ms,
+        g.speedup,
+        g.parallel_ms,
+        g.threads,
+        if g.matches_reference {
+            "ok"
+        } else {
+            "MISMATCH"
+        },
+        if g.parallel_matches_single {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
     );
+    for e in [&report.solve.baseline, &report.solve.optimized] {
+        println!(
+            "  {} solver: {:.1} ms, {} model(s) ({:.0} models/s, {} decisions, \
+             {} propagations)",
+            e.mode, e.solve_ms, e.models, e.models_per_sec, e.decisions, e.propagations
+        );
+    }
     println!(
-        "  indexed engine:   {:.1} ms ({:.0} scenarios/s, {} decisions, {} propagations)",
-        report.optimized.solve_ms,
-        report.optimized.scenarios_per_sec,
-        report.optimized.decisions,
-        report.optimized.propagations
+        "  solver engine speedup: {:.2}x",
+        report.solve.engine_speedup
     );
-    println!("  engine speedup: {:.2}x", report.speedup);
     if let Some(pre) = &report.pre_pr {
         println!(
             "  vs pre-optimization build: {:.1} ms -> {:.1} ms ({:.2}x)",
             pre.total_ms, report.total_ms, pre.speedup
         );
     }
-    let inc = &report.incremental;
-    println!(
-        "  incremental: {} scenarios, fresh {:.1} ms ({:.3} ms/scenario) vs \
-         reused {:.1} ms ({:.3} ms/scenario) = {:.2}x amortized \
-         ({} nogoods, {} conflicts, outcome check: {})",
-        inc.scenarios,
-        inc.fresh_ms,
-        inc.fresh_per_scenario_ms,
-        inc.reused_ms,
-        inc.reused_per_scenario_ms,
-        inc.amortized_speedup,
-        inc.learned_nogoods,
-        inc.conflicts,
-        if inc.matches_fresh { "ok" } else { "MISMATCH" }
-    );
-    println!(
-        "  parallel sweep: {} scenarios on {} thread(s) in {:.1} ms (order check: {})",
-        report.parallel.scenarios,
-        report.parallel.threads,
-        report.parallel.sweep_ms,
-        if report.parallel.matches_sequential {
-            "ok"
-        } else {
-            "MISMATCH"
-        }
-    );
-    if report.parallel.threads == 1 {
-        eprintln!(
-            "warning: the parallel sweep ran single-threaded \
-             (pass --threads or set CPSRISK_THREADS to use more workers)"
+    if let Some(inc) = &report.incremental {
+        println!(
+            "  incremental: {} scenarios, fresh {:.1} ms ({:.3} ms/scenario) vs \
+             reused {:.1} ms ({:.3} ms/scenario) = {:.2}x amortized \
+             ({} nogoods, {} conflicts, outcome check: {})",
+            inc.scenarios,
+            inc.fresh_ms,
+            inc.fresh_per_scenario_ms,
+            inc.reused_ms,
+            inc.reused_per_scenario_ms,
+            inc.amortized_speedup,
+            inc.learned_nogoods,
+            inc.conflicts,
+            if inc.matches_fresh { "ok" } else { "MISMATCH" }
         );
+    }
+    if let Some(par) = &report.parallel {
+        println!(
+            "  parallel sweep: {} scenarios on {} thread(s) in {:.1} ms (order check: {})",
+            par.scenarios,
+            par.threads,
+            par.sweep_ms,
+            if par.matches_sequential {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+        );
+        if par.threads == 1 {
+            eprintln!(
+                "warning: the parallel sweep ran single-threaded \
+                 (pass --threads or set CPSRISK_THREADS to use more workers)"
+            );
+        }
     }
     println!("wrote {out}");
     Ok(())

@@ -4,7 +4,10 @@
 //! engines, the CLI `bench` subcommand, and the criterion benches can all
 //! generate identical problem instances; `cpsrisk-bench` re-exports it.
 
+use cpsrisk_asp::ast::{ArithOp, CmpOp};
+use cpsrisk_asp::{ProgramBuilder, Term};
 use cpsrisk_model::{ElementKind, Relation, RelationKind, SystemModel};
+use cpsrisk_temporal::{parse_ltl, unroll};
 
 use crate::mutation::CandidateMutation;
 use crate::problem::{EpaProblem, MitigationOption, Requirement};
@@ -62,6 +65,176 @@ pub fn chain_problem(n: usize) -> EpaProblem {
     EpaProblem::new(m, mutations, requirements, mitigations).expect("chain problem validates")
 }
 
+/// A `w × h` mesh of devices with `Flow` edges to the right and downward
+/// neighbours, fed by a workstation and draining into a valve. The mutation
+/// set is **constant** (workstation compromise, a mid-grid compromise, a
+/// stuck valve), so the scenario space stays at `2^3` while the ground
+/// program grows with `w · h` — a grounding-bound workload, in contrast to
+/// the enumeration-bound [`chain_problem`].
+///
+/// # Panics
+///
+/// Never panics for `w, h ≥ 1` (identifiers are generated valid).
+#[must_use]
+pub fn grid_problem(w: usize, h: usize) -> EpaProblem {
+    let mut m = SystemModel::new(format!("grid_{w}x{h}"));
+    m.add_element("ew", "Workstation", ElementKind::Node)
+        .expect("valid id");
+    for y in 0..h {
+        for x in 0..w {
+            let id = format!("g{x}_{y}");
+            m.add_element(&id, &format!("Device ({x},{y})"), ElementKind::Device)
+                .expect("valid id");
+            if x > 0 {
+                m.insert_relation(Relation::new(
+                    format!("g{}_{y}", x - 1),
+                    &id,
+                    RelationKind::Flow,
+                ))
+                .expect("endpoints exist");
+            }
+            if y > 0 {
+                m.insert_relation(Relation::new(
+                    format!("g{x}_{}", y - 1),
+                    &id,
+                    RelationKind::Flow,
+                ))
+                .expect("endpoints exist");
+            }
+        }
+    }
+    m.insert_relation(Relation::new("ew", "g0_0", RelationKind::Flow))
+        .expect("endpoints exist");
+    m.add_element("valve", "Valve", ElementKind::Equipment)
+        .expect("valid id");
+    m.insert_relation(Relation::new(
+        format!("g{}_{}", w - 1, h - 1),
+        "valve",
+        RelationKind::Flow,
+    ))
+    .expect("endpoints exist");
+
+    let mid = format!("g{}_{}", w / 2, h / 2);
+    let mutations = vec![
+        CandidateMutation::spontaneous("f_ew", "ew", "compromised"),
+        CandidateMutation::spontaneous("f_mid", &mid, "compromised"),
+        CandidateMutation::spontaneous("f_valve", "valve", "stuck_at_closed"),
+    ];
+    let requirements = vec![Requirement::all_of(
+        "r1",
+        "valve must not stick",
+        &[("valve", "stuck_at_closed")],
+    )];
+    let mitigations = vec![MitigationOption::new(
+        "m_ew",
+        "Harden Workstation",
+        &["f_ew"],
+        100,
+    )];
+    EpaProblem::new(m, mutations, requirements, mitigations).expect("grid problem validates")
+}
+
+/// A deterministic three-tank filling process unrolled over `horizon` time
+/// steps via [`cpsrisk_temporal`]: per-tank level dynamics driven by `U =
+/// T + 1` arithmetic binding, a pairwise level comparison joining on the
+/// *time* argument (third position — first-argument narrowing is useless
+/// there), alert propagation, and one `G(exceeds -> F alert)` LTLf
+/// requirement per tank. The single stable model makes solving trivial, so
+/// end-to-end cost is dominated by grounding, which scales with the
+/// horizon.
+///
+/// # Panics
+///
+/// Panics if `horizon < 2` (the unroller rejects empty horizons and the
+/// dynamics need at least one successor step).
+#[must_use]
+pub fn temporal_tank_problem(horizon: usize) -> cpsrisk_asp::Program {
+    assert!(horizon >= 2, "temporal_tank_problem needs horizon >= 2");
+    let limit = horizon as i64;
+    let tanks = ["boiler", "mixer", "reservoir"];
+    let mut b = ProgramBuilder::new();
+    for t in 0..horizon {
+        b.fact("time", [Term::Int(t as i64)]);
+    }
+    for (i, tank) in tanks.iter().enumerate() {
+        b.fact("tank", [Term::sym(*tank)]);
+        b.fact("inflow", [Term::sym(*tank), Term::Int(i as i64 + 1)]);
+        b.fact("reading", [Term::sym(*tank), Term::Int(0), Term::Int(0)]);
+    }
+    b.fact("limit", [Term::Int(limit)]);
+
+    let plus_one =
+        |v: &str| Term::BinOp(ArithOp::Add, Box::new(Term::var(v)), Box::new(Term::Int(1)));
+    // reading(C, L2, U) :- reading(C, L, T), inflow(C, R),
+    //                      L2 = L + R, U = T + 1, time(U).
+    b.rule(
+        "reading",
+        vec![Term::var("C"), Term::var("L2"), Term::var("U")],
+    )
+    .pos(
+        "reading",
+        vec![Term::var("C"), Term::var("L"), Term::var("T")],
+    )
+    .pos("inflow", vec![Term::var("C"), Term::var("R")])
+    .cmp(
+        CmpOp::Eq,
+        Term::var("L2"),
+        Term::BinOp(
+            ArithOp::Add,
+            Box::new(Term::var("L")),
+            Box::new(Term::var("R")),
+        ),
+    )
+    .cmp(CmpOp::Eq, Term::var("U"), plus_one("T"))
+    .pos("time", vec![Term::var("U")])
+    .done();
+    // ahead(C, D, T) :- reading(C, L, T), reading(D, K, T), L > K.
+    // The self-join lands on the third argument — the position the
+    // reference grounder cannot narrow on.
+    b.rule(
+        "ahead",
+        vec![Term::var("C"), Term::var("D"), Term::var("T")],
+    )
+    .pos(
+        "reading",
+        vec![Term::var("C"), Term::var("L"), Term::var("T")],
+    )
+    .pos(
+        "reading",
+        vec![Term::var("D"), Term::var("K"), Term::var("T")],
+    )
+    .cmp(CmpOp::Gt, Term::var("L"), Term::var("K"))
+    .done();
+    // exceeds(C, T) :- reading(C, L, T), limit(M), L > M.
+    b.rule("exceeds", vec![Term::var("C"), Term::var("T")])
+        .pos(
+            "reading",
+            vec![Term::var("C"), Term::var("L"), Term::var("T")],
+        )
+        .pos("limit", vec![Term::var("M")])
+        .cmp(CmpOp::Gt, Term::var("L"), Term::var("M"))
+        .done();
+    // alert(C, U) :- exceeds(C, T), U = T + 1, time(U).
+    b.rule("alert", vec![Term::var("C"), Term::var("U")])
+        .pos("exceeds", vec![Term::var("C"), Term::var("T")])
+        .cmp(CmpOp::Eq, Term::var("U"), plus_one("T"))
+        .pos("time", vec![Term::var("U")])
+        .done();
+    // alert(C, U) :- alert(C, T), U = T + 1, time(U).   (alerts latch)
+    b.rule("alert", vec![Term::var("C"), Term::var("U")])
+        .pos("alert", vec![Term::var("C"), Term::var("T")])
+        .cmp(CmpOp::Eq, Term::var("U"), plus_one("T"))
+        .pos("time", vec![Term::var("U")])
+        .done();
+
+    for tank in tanks {
+        let formula = parse_ltl(&format!("G(exceeds({tank}) -> F alert({tank}))"))
+            .expect("workload formula parses");
+        unroll(&mut b, &format!("r_{tank}"), &formula, horizon).expect("horizon >= 2");
+    }
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +249,34 @@ mod tests {
             // Compromising the workstation reaches the valve down the chain.
             let out = TopologyAnalysis::new(&p).evaluate(&Scenario::of(&["f_ew"]));
             assert!(out.violated.contains("r1"), "chain length {n}");
+        }
+    }
+
+    #[test]
+    fn grid_problem_scales_and_propagates() {
+        for (w, h) in [(2, 2), (4, 3)] {
+            let p = grid_problem(w, h);
+            assert_eq!(p.mutations.len(), 3, "constant mutation set");
+            assert_eq!(p.model.elements().count(), w * h + 2, "grid {w}x{h}");
+            // A workstation compromise reaches the valve across the grid.
+            let out = TopologyAnalysis::new(&p).evaluate(&Scenario::of(&["f_ew"]));
+            assert!(out.violated.contains("r1"), "grid {w}x{h}");
+        }
+    }
+
+    #[test]
+    fn temporal_tank_problem_is_deterministic_and_satisfied() {
+        let p = temporal_tank_problem(8);
+        let models = p.solve().expect("solves");
+        assert_eq!(models.len(), 1, "deterministic dynamics");
+        let m = &models[0];
+        // reservoir fills 3/step: level 21 at the last of 8 steps.
+        assert!(m.contains_str("reading(reservoir,21,7)"));
+        assert!(m.contains_str("ahead(reservoir,boiler,3)"));
+        // Every tank's G(exceeds -> F alert) holds: the slow boiler never
+        // exceeds, the fast tanks exceed early enough for alerts to latch.
+        for tank in ["boiler", "mixer", "reservoir"] {
+            assert!(m.contains_str(&format!("ltl_sat(r_{tank})")), "{tank}");
         }
     }
 }

@@ -171,21 +171,30 @@ fn bench_writes_a_validatable_report() {
     let out = out.to_str().unwrap();
     let (stdout, stderr, ok) = run(&["bench", "--n", "2", "--threads", "2", "--out", out]);
     assert!(ok, "bench runs: {stderr}");
-    assert!(
-        stdout.contains("chain_problem(2): 16 scenarios"),
-        "{stdout}"
-    );
-    assert!(stdout.contains("engine speedup:"), "{stdout}");
+    assert!(stdout.contains("chain(2):"), "{stdout}");
+    assert!(stdout.contains("grounding: reference"), "{stdout}");
+    assert!(stdout.contains("equivalence: ok"), "{stdout}");
+    assert!(stdout.contains("determinism: ok"), "{stdout}");
+    assert!(stdout.contains("solver engine speedup:"), "{stdout}");
     assert!(stdout.contains("amortized"), "{stdout}");
     assert!(stdout.contains("outcome check: ok"), "{stdout}");
     assert!(stdout.contains("order check: ok"), "{stdout}");
     // The written report passes the built-in validator.
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the fresh report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/2 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/3 report"), "{stdout}");
     std::fs::remove_file(out).ok();
-    // Unknown flags are rejected.
+    // A grounding-bound workload skips the EPA-only sections.
+    let (stdout, stderr, ok) = run(&["bench", "--workload", "temporal", "--n", "6", "--out", out]);
+    assert!(ok, "temporal bench runs: {stderr}");
+    assert!(stdout.contains("temporal(6):"), "{stdout}");
+    assert!(!stdout.contains("amortized"), "{stdout}");
+    std::fs::remove_file(out).ok();
+    // Unknown flags and workloads are rejected.
     let (_, stderr, ok) = run(&["bench", "--frobnicate"]);
     assert!(!ok);
     assert!(stderr.contains("unknown bench flag"), "{stderr}");
+    let (_, stderr, ok) = run(&["bench", "--workload", "mesh"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown workload"), "{stderr}");
 }
