@@ -10,28 +10,48 @@ if git ls-files | grep -q '^target/'; then
     exit 1
 fi
 
+# Every crate must forbid unsafe code at the root.
+for lib in crates/*/src/lib.rs; do
+    grep -q '^#!\[forbid(unsafe_code)\]' "$lib" || {
+        echo "ci.sh: $lib is missing #![forbid(unsafe_code)]" >&2
+        exit 1
+    }
+done
+
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 
-# Smoke-bench: a tiny workload must produce a cpsrisk-bench/3 report the
+# Smoke-bench: a tiny workload must produce a cpsrisk-bench/4 report the
 # validator accepts. The validator also fails the gate when the
 # assumption-reuse stream diverges from — or is slower than — the
-# fresh-solve stream.
+# fresh-solve stream, or when the tight fast path diverges from the
+# unfounded-set closure.
 smoke_bench=target/ci_smoke_bench.json
 ./target/release/cpsrisk bench --n 2 --threads 2 --out "$smoke_bench"
 ./target/release/cpsrisk bench --validate "$smoke_bench"
-grep -q '"schema": "cpsrisk-bench/3"' "$smoke_bench" || {
-    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/3 report" >&2
+grep -q '"schema": "cpsrisk-bench/4"' "$smoke_bench" || {
+    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/4 report" >&2
     exit 1
 }
 rm -f "$smoke_bench"
 
-# Grounding gate: on the grounding-bound temporal workload the validator
+# Static-analysis gate: the example programs must analyze without
+# error-severity findings, and on the temporal workload the grounding-size
+# prediction must stay within 10x of the actual grounding.
+./target/release/cpsrisk analyze examples/listing1.lp examples/water_tank.lp
+./target/release/cpsrisk analyze --workload temporal --max-divergence 10
+
+# Grounding + tight-solve gate: on the temporal workload the validator
 # rejects reports where semi-naive grounding is slower than the reference
-# grounder, diverges from it, or is non-deterministic across threads.
+# grounder, diverges from it, or is non-deterministic across threads — and
+# (v4) where the program fails to ground tight or the tight fast path is
+# slower than the unfounded-set closure.
 grounding_bench=target/ci_grounding_bench.json
 ./target/release/cpsrisk bench --workload temporal --threads 2 --out "$grounding_bench"
 ./target/release/cpsrisk bench --validate "$grounding_bench"
 rm -f "$grounding_bench"
+
+# The committed report must stay valid under the same gates.
+./target/release/cpsrisk bench --validate BENCH_asp.json

@@ -1,0 +1,28 @@
+//! Semantic program analysis: dependency structure, grounding-size
+//! prediction, and sound backward slicing.
+//!
+//! Three cooperating passes over a parsed (and optionally ground) program:
+//!
+//! * [`deps`] — the predicate dependency graph, SCC stratification,
+//!   positive-loop detection, and tightness classification. The ground
+//!   certificate [`deps::ground_tight`] is what lets
+//!   [`Solver`](crate::solve::Solver) skip the unfounded-set closure
+//!   (Fages' theorem: on tight programs, supported models are stable
+//!   models).
+//! * [`size`] — grounding-size prediction by abstract interpretation:
+//!   per-predicate domain-size bounds propagated through rule bodies
+//!   (shared variables join, so each variable is counted once) down to a
+//!   per-rule instantiation estimate. Backs lint codes `A009` (predicted
+//!   grounding explosion) and `A010` (predicate never derivable).
+//! * [`slice`] — sound backward slicing: the rules relevant to
+//!   constraints, `#minimize`, `#show`n predicates, and assumable
+//!   signatures; [`Grounder`](crate::ground::Grounder) can drop the rest
+//!   before grounding (see `Grounder::with_slicing`).
+
+pub mod deps;
+pub mod size;
+pub mod slice;
+
+pub use deps::{analyze_dependencies, ground_tight, DepAnalysis};
+pub use size::{predict_sizes, PredBound, RuleEstimate, SizePrediction, EXPLOSION_THRESHOLD};
+pub use slice::{slice_program, Slice};

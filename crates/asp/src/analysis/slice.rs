@@ -1,0 +1,344 @@
+//! Sound backward slicing: drop the statements that cannot influence any
+//! observable of the program.
+//!
+//! Observables are the `#show`n predicates, every constraint, every
+//! `#minimize` statement, and any extra root predicates the caller names
+//! (the grounder passes its assumable signatures). Relevance flows
+//! backward from those roots through rule bodies.
+//!
+//! Dropping a statement is sound only when it cannot change the *model
+//! count*, the shown projection of any model, or any optimization cost.
+//! Three statement classes therefore never drop:
+//!
+//! * choice rules — each one is a source of nondeterminism, and once a
+//!   predicate has one kept defining statement all of its defining
+//!   statements must stay;
+//! * rules whose predicate sits in an SCC with an internal *negative*
+//!   edge — even loops (`a :- not b. b :- not a.`) multiply the model
+//!   count and odd loops (`c :- not c.`) can kill every model;
+//! * constraints and `#minimize` — they prune and price models.
+//!
+//! What remains droppable: rules (and facts) for irrelevant predicates
+//! whose SCCs use only positive internal edges. Those predicates have a
+//! unique stable extension in every model (the least fixpoint), so
+//! removing them deletes atoms from the models without changing how many
+//! models there are or what they show.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::analysis::deps::{dependency_edges, tarjan_scc};
+use crate::ast::{Head, Literal, Program, Statement};
+
+/// The result of slicing: a partition of the statement indices plus the
+/// relevant-predicate set that justifies it.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    /// Statement indices (into `Program::statements`) that must stay.
+    pub kept: Vec<usize>,
+    /// Statement indices that are sound to drop.
+    pub dropped: Vec<usize>,
+    /// Names of the predicates that can influence an observable.
+    pub relevant: BTreeSet<String>,
+}
+
+impl Slice {
+    /// The sliced program: kept statements, in their original order.
+    #[must_use]
+    pub fn apply(&self, program: &Program) -> Program {
+        let keep: BTreeSet<usize> = self.kept.iter().copied().collect();
+        Program {
+            statements: program
+                .statements
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep.contains(i))
+                .map(|(_, s)| s.clone())
+                .collect(),
+        }
+    }
+}
+
+fn literal_pred(lit: &Literal) -> Option<&str> {
+    match lit {
+        Literal::Pos(a) | Literal::Neg(a) => Some(&a.pred),
+        Literal::Cmp(..) => None,
+    }
+}
+
+/// Compute the backward slice of `program` with respect to its shows,
+/// constraints, `#minimize` statements, and `extra_roots` (predicate
+/// names — the grounder passes its assumable signatures here).
+///
+/// A program with no `#show` directive observes every atom, so nothing
+/// can be dropped and the slice keeps all statements.
+#[must_use]
+pub fn slice_program(program: &Program, extra_roots: &[String]) -> Slice {
+    let n = program.statements.len();
+    let has_show = program
+        .statements
+        .iter()
+        .any(|s| matches!(s, Statement::Show { .. }));
+    if !has_show {
+        // No projection: every atom is observable.
+        let mut relevant = BTreeSet::new();
+        for stmt in &program.statements {
+            collect_stmt_preds(stmt, &mut relevant);
+        }
+        return Slice {
+            kept: (0..n).collect(),
+            dropped: Vec::new(),
+            relevant,
+        };
+    }
+
+    // Roots of relevance.
+    let mut relevant: BTreeSet<String> = extra_roots.iter().cloned().collect();
+    for stmt in &program.statements {
+        match stmt {
+            Statement::Show { pred, .. } => {
+                relevant.insert(pred.clone());
+            }
+            Statement::Minimize { elements, .. } => {
+                for e in elements {
+                    for lit in &e.condition {
+                        if let Some(p) = literal_pred(lit) {
+                            relevant.insert(p.to_owned());
+                        }
+                    }
+                }
+            }
+            Statement::Rule(rule) => match &rule.head {
+                // Constraints prune models: their bodies are observable.
+                Head::None => {
+                    for lit in &rule.body {
+                        if let Some(p) = literal_pred(lit) {
+                            relevant.insert(p.to_owned());
+                        }
+                    }
+                }
+                // Choice rules are kept unconditionally (nondeterminism),
+                // which forces everything they mention to stay relevant —
+                // including the element predicates themselves, so that
+                // *other* rules defining the same predicates stay too.
+                Head::Choice { elements, .. } => {
+                    for e in elements {
+                        relevant.insert(e.atom.pred.clone());
+                        for lit in &e.condition {
+                            if let Some(p) = literal_pred(lit) {
+                                relevant.insert(p.to_owned());
+                            }
+                        }
+                    }
+                    for lit in &rule.body {
+                        if let Some(p) = literal_pred(lit) {
+                            relevant.insert(p.to_owned());
+                        }
+                    }
+                }
+                Head::Atom(_) => {}
+            },
+        }
+    }
+
+    // Predicates inside an SCC with an internal negative edge can flip the
+    // model count on their own: force them relevant.
+    let edges = dependency_edges(program);
+    let mut pred_ix: HashMap<&str, usize> = HashMap::new();
+    let mut preds: Vec<&str> = Vec::new();
+    for (h, b, _) in &edges {
+        for p in [h.as_str(), b.as_str()] {
+            if !pred_ix.contains_key(p) {
+                pred_ix.insert(p, preds.len());
+                preds.push(p);
+            }
+        }
+    }
+    let mut adj = vec![Vec::new(); preds.len()];
+    for (h, b, _) in &edges {
+        adj[pred_ix[h.as_str()]].push(pred_ix[b.as_str()]);
+    }
+    let comp = tarjan_scc(&adj);
+    for (h, b, neg) in &edges {
+        if *neg && comp[pred_ix[h.as_str()]] == comp[pred_ix[b.as_str()]] {
+            relevant.insert(h.clone());
+            relevant.insert(b.clone());
+        }
+    }
+
+    // Backward closure: a relevant head makes its whole body relevant.
+    loop {
+        let before = relevant.len();
+        for stmt in &program.statements {
+            let Statement::Rule(rule) = stmt else {
+                continue;
+            };
+            let Head::Atom(a) = &rule.head else {
+                continue;
+            };
+            if !relevant.contains(&a.pred) {
+                continue;
+            }
+            for lit in &rule.body {
+                if let Some(p) = literal_pred(lit) {
+                    relevant.insert(p.to_owned());
+                }
+            }
+        }
+        if relevant.len() == before {
+            break;
+        }
+    }
+
+    let mut kept = Vec::new();
+    let mut dropped = Vec::new();
+    for (i, stmt) in program.statements.iter().enumerate() {
+        let keep = match stmt {
+            Statement::Show { .. } | Statement::Minimize { .. } => true,
+            Statement::Rule(rule) => match &rule.head {
+                Head::None | Head::Choice { .. } => true,
+                Head::Atom(a) => relevant.contains(&a.pred),
+            },
+        };
+        if keep {
+            kept.push(i);
+        } else {
+            dropped.push(i);
+        }
+    }
+    Slice {
+        kept,
+        dropped,
+        relevant,
+    }
+}
+
+fn collect_stmt_preds(stmt: &Statement, out: &mut BTreeSet<String>) {
+    match stmt {
+        Statement::Rule(rule) => {
+            match &rule.head {
+                Head::Atom(a) => {
+                    out.insert(a.pred.clone());
+                }
+                Head::Choice { elements, .. } => {
+                    for e in elements {
+                        out.insert(e.atom.pred.clone());
+                        for lit in &e.condition {
+                            if let Some(p) = literal_pred(lit) {
+                                out.insert(p.to_owned());
+                            }
+                        }
+                    }
+                }
+                Head::None => {}
+            }
+            for lit in &rule.body {
+                if let Some(p) = literal_pred(lit) {
+                    out.insert(p.to_owned());
+                }
+            }
+        }
+        Statement::Minimize { elements, .. } => {
+            for e in elements {
+                for lit in &e.condition {
+                    if let Some(p) = literal_pred(lit) {
+                        out.insert(p.to_owned());
+                    }
+                }
+            }
+        }
+        Statement::Show { pred, .. } => {
+            out.insert(pred.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn slice(src: &str) -> (Program, Slice) {
+        let p = parse(src).unwrap();
+        let s = slice_program(&p, &[]);
+        (p, s)
+    }
+
+    #[test]
+    fn no_show_keeps_everything() {
+        let (_, s) = slice("p(a). q(b). r(X) :- p(X).");
+        assert!(s.dropped.is_empty());
+        assert_eq!(s.kept.len(), 3);
+    }
+
+    #[test]
+    fn irrelevant_facts_and_rules_are_dropped() {
+        let (p, s) = slice("p(a). q(b). shadow(X) :- q(X). r(X) :- p(X). #show r/1.");
+        assert!(s.relevant.contains("p"));
+        assert!(s.relevant.contains("r"));
+        assert!(!s.relevant.contains("shadow"));
+        // q(b) and shadow/1 go; p(a), the r rule, and the show stay.
+        assert_eq!(s.dropped.len(), 2);
+        let sliced = s.apply(&p);
+        assert_eq!(sliced.statements.len(), 3);
+    }
+
+    #[test]
+    fn constraints_root_relevance() {
+        let (_, s) = slice("p(a). q(X) :- p(X). :- q(a). dead(b). #show p/1.");
+        assert!(s.relevant.contains("q"), "constraint body is observable");
+        assert!(s.relevant.contains("p"));
+        assert!(!s.relevant.contains("dead"));
+        assert_eq!(s.dropped.len(), 1);
+    }
+
+    #[test]
+    fn choice_rules_never_drop() {
+        // Dropping `{ c }.` would halve the model count even though c is
+        // never shown.
+        let (p, s) = slice("{ c }. shown(a). #show shown/1.");
+        assert!(s.dropped.is_empty());
+        assert!(s.relevant.contains("c"));
+        let sliced = s.apply(&p);
+        assert_eq!(sliced.statements.len(), p.statements.len());
+    }
+
+    #[test]
+    fn choice_keeps_sibling_definitions() {
+        // trigger forces c when shown holds; dropping it would add models.
+        let (_, s) = slice("{ c }. shown(a). c :- shown(a). #show shown/1.");
+        assert!(s.dropped.is_empty());
+    }
+
+    #[test]
+    fn negative_loops_never_drop() {
+        let (_, s) = slice("a :- not b. b :- not a. x. #show x/1.");
+        assert!(s.dropped.is_empty(), "even loop multiplies model count");
+        let (_, s) = slice("c :- not c. x. #show x/1.");
+        assert!(s.dropped.is_empty(), "odd loop kills every model");
+    }
+
+    #[test]
+    fn positive_loops_among_irrelevant_preds_do_drop() {
+        let (_, s) = slice("u(X) :- w(X). w(X) :- u(X). x. #show x/1.");
+        assert_eq!(s.dropped.len(), 2, "unique all-false extension");
+    }
+
+    #[test]
+    fn extra_roots_pin_assumable_predicates() {
+        let p = parse("scenario(a). helper(X) :- scenario(X). x. #show x/1.").unwrap();
+        let without = slice_program(&p, &[]);
+        assert_eq!(without.dropped.len(), 2);
+        let with = slice_program(&p, &["helper".to_owned()]);
+        assert!(with.relevant.contains("scenario"));
+        assert!(with.dropped.is_empty());
+    }
+
+    #[test]
+    fn minimize_roots_relevance() {
+        let (_, s) =
+            slice("p(a). cost(X, 3) :- p(X). junk(b). #minimize { W : cost(X, W) }. #show p/1.");
+        assert!(s.relevant.contains("cost"));
+        assert!(!s.relevant.contains("junk"));
+        assert_eq!(s.dropped.len(), 1);
+    }
+}

@@ -47,6 +47,11 @@ pub struct Grounder {
     /// atom and records it in [`GroundProgram::assumable`], so a solver can
     /// pin it true or false per query via assumption literals.
     assumable: Vec<(String, usize)>,
+    /// Apply the backward slice before grounding (see
+    /// [`slice_program`](crate::analysis::slice_program)): statements that
+    /// cannot influence a `#show`n predicate, a constraint, a `#minimize`
+    /// statement, or an assumable signature are dropped up front.
+    slicing: bool,
     engine: Engine,
     /// Worker threads for semi-naive instantiation; `None` resolves from
     /// `CPSRISK_THREADS`, then available parallelism.
@@ -58,6 +63,7 @@ impl Default for Grounder {
         Grounder {
             max_instances: 2_000_000,
             assumable: Vec::new(),
+            slicing: false,
             engine: Engine::SemiNaive,
             threads: None,
         }
@@ -187,6 +193,21 @@ impl Grounder {
         self
     }
 
+    /// Enable (or disable) sound backward slicing: before grounding, drop
+    /// every statement that cannot influence a `#show`n predicate, a
+    /// constraint, a `#minimize` statement, or an assumable signature (the
+    /// signatures registered via [`Grounder::assumable`] are the slice
+    /// roots). Sliced grounding preserves the model count, the shown
+    /// projection of every model, and all optimization costs — only
+    /// unobservable atoms disappear from the models. Off by default;
+    /// programs without a `#show` directive are never sliced (everything
+    /// is observable).
+    #[must_use]
+    pub fn with_slicing(mut self, on: bool) -> Self {
+        self.slicing = on;
+        self
+    }
+
     /// Ground a program.
     ///
     /// # Errors
@@ -195,6 +216,19 @@ impl Grounder {
     /// * [`AspError::BadArithmetic`] for invalid arithmetic,
     /// * [`AspError::GroundingBudget`] if the instance budget is exceeded.
     pub fn ground(&self, program: &Program) -> Result<GroundProgram, AspError> {
+        let sliced;
+        let program = if self.slicing {
+            let roots: Vec<String> = self.assumable.iter().map(|(p, _)| p.clone()).collect();
+            let slice = crate::analysis::slice_program(program, &roots);
+            if slice.dropped.is_empty() {
+                program
+            } else {
+                sliced = slice.apply(program);
+                &sliced
+            }
+        } else {
+            program
+        };
         match self.engine {
             Engine::SemiNaive => crate::seminaive::ground(
                 program,
@@ -896,6 +930,41 @@ mod tests {
         let g = ground_src("p :- q. r.");
         // Rule `p :- q` never instantiates because q is underivable.
         assert_eq!(g.rules.len(), 1);
+    }
+
+    #[test]
+    fn slicing_drops_unobservable_rules_but_keeps_models() {
+        let src = "p(a). q(b). shadow(X) :- q(X). r(X) :- p(X). \
+                   { c }. :- c, not r(a). #show r/1.";
+        let program = parse(src).unwrap();
+        let full = Grounder::new().ground(&program).unwrap();
+        let sliced = Grounder::new().with_slicing(true).ground(&program).unwrap();
+        assert!(sliced.rules.len() < full.rules.len());
+        assert!(!sliced.atoms().any(|(_, a)| a.pred == "shadow"));
+        let shown = |g: &GroundProgram| {
+            let mut out: Vec<String> = crate::solve::Solver::new(g)
+                .enumerate(&crate::solve::SolveOptions::default())
+                .unwrap()
+                .models
+                .iter()
+                .map(|m| {
+                    let mut v: Vec<String> = m.shown.iter().map(ToString::to_string).collect();
+                    v.sort();
+                    v.join(" ")
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        assert_eq!(shown(&full), shown(&sliced));
+    }
+
+    #[test]
+    fn slicing_without_show_is_a_no_op() {
+        let program = parse("p(a). q(b). r(X) :- p(X).").unwrap();
+        let full = Grounder::new().ground(&program).unwrap();
+        let sliced = Grounder::new().with_slicing(true).ground(&program).unwrap();
+        assert_eq!(full.rules.len(), sliced.rules.len());
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! A from-scratch Answer Set Programming (ASP) engine.
 //!
@@ -26,7 +27,12 @@
 //! 5. [`lint`](lint::lint_source) — a static-analysis pass producing
 //!    span-carrying [`Diagnostic`]s (undefined predicates with
 //!    did-you-mean hints, arity mismatches, unsafe variables, unreachable
-//!    or duplicate rules, negation cycles — codes `A001`…`A008`).
+//!    or duplicate rules, negation cycles — codes `A001`…`A011`),
+//! 6. [`analysis`] — semantic program analysis: stratification and
+//!    tightness classification (the certificate behind the solver's
+//!    tight-program fast path), grounding-size prediction, and sound
+//!    backward slicing consumed by
+//!    [`Grounder::with_slicing`](ground::Grounder::with_slicing).
 //!
 //! # Example
 //!
@@ -47,6 +53,7 @@
 //! # Ok::<(), cpsrisk_asp::AspError>(())
 //! ```
 
+pub mod analysis;
 pub mod ast;
 pub mod builder;
 pub mod check;
@@ -61,6 +68,7 @@ pub mod program;
 mod seminaive;
 pub mod solve;
 
+pub use analysis::{analyze_dependencies, ground_tight, predict_sizes, slice_program};
 pub use ast::{Atom, ChoiceElement, Head, Literal, Program, Rule, Statement, Term};
 pub use builder::ProgramBuilder;
 pub use diag::{Diagnostic, Severity, Span};

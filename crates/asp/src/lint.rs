@@ -1,4 +1,4 @@
-//! Static analysis of ASP programs: span-carrying lints `A000`–`A008`.
+//! Static analysis of ASP programs: span-carrying lints `A000`–`A011`.
 //!
 //! The pass runs over a [`SpannedProgram`] (parsed leniently, so unsafe
 //! rules survive into the AST) plus the predicate dependency graph, and
@@ -15,10 +15,15 @@
 //! | A006 | warning  | cyclic negation (non-stratified loop through `not`) |
 //! | A007 | info     | duplicate rule |
 //! | A008 | info     | `not p` over a never-defined `p` is always true |
+//! | A009 | warning  | predicted grounding explosion (estimated instances above [`EXPLOSION_THRESHOLD`](crate::analysis::EXPLOSION_THRESHOLD)) |
+//! | A010 | warning  | predicate defined by rules but never derivable (its size bound is zero) |
+//! | A011 | info     | non-tight loop through negation: recursion and `not` in one SCC |
 //!
 //! A program is *lint-clean* when it produces no errors and no warnings;
 //! info-level findings are advisory.
 
+use crate::analysis::deps::{analyze_dependencies, dependency_edges, tarjan_scc};
+use crate::analysis::size::{predict_sizes, EXPLOSION_THRESHOLD};
 use crate::ast::{Head, Literal, Program, Rule, Statement};
 use crate::diag::Diagnostic;
 use crate::error::AspError;
@@ -49,7 +54,15 @@ pub fn lint_program(sp: &SpannedProgram) -> Vec<Diagnostic> {
     unreachable_predicates(sp, &facts, &mut diags); // A005
     negation_cycles(sp, &mut diags); // A006
     duplicate_rules(sp, &mut diags); // A007
-    diags.sort_by_key(|d| (d.span.map_or(usize::MAX, |s| s.offset), d.code.clone()));
+    grounding_size_lints(sp, &facts, &mut diags); // A009, A010
+    non_tight_loops(sp, &mut diags); // A011
+    diags.sort_by_key(|d| {
+        (
+            d.span
+                .map_or((usize::MAX, usize::MAX), |s| (s.offset, s.len)),
+            d.code.clone(),
+        )
+    });
     diags
 }
 
@@ -399,44 +412,6 @@ fn duplicate_rules(sp: &SpannedProgram, diags: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Every `head -> body` predicate dependency, with negation marking.
-/// Choice-element conditions count as body dependencies of the element.
-fn dependency_edges(program: &Program) -> Vec<(String, String, bool)> {
-    let mut edges = Vec::new();
-    for stmt in &program.statements {
-        let Statement::Rule(rule) = stmt else {
-            continue;
-        };
-        let mut heads: Vec<String> = Vec::new();
-        match &rule.head {
-            Head::Atom(a) => heads.push(a.pred.clone()),
-            Head::Choice { elements, .. } => {
-                for e in elements {
-                    heads.push(e.atom.pred.clone());
-                    for lit in &e.condition {
-                        push_edges(&mut edges, &e.atom.pred, lit);
-                    }
-                }
-            }
-            Head::None => {}
-        }
-        for h in &heads {
-            for lit in &rule.body {
-                push_edges(&mut edges, h, lit);
-            }
-        }
-    }
-    edges
-}
-
-fn push_edges(edges: &mut Vec<(String, String, bool)>, head: &str, lit: &Literal) {
-    match lit {
-        Literal::Pos(a) => edges.push((head.to_owned(), a.pred.clone(), false)),
-        Literal::Neg(a) => edges.push((head.to_owned(), a.pred.clone(), true)),
-        Literal::Cmp(..) => {}
-    }
-}
-
 /// Find the span of a rule whose head derives `head` and whose body
 /// contains `not body_pred(...)`.
 fn rule_span_with_neg_edge(
@@ -474,56 +449,116 @@ fn in_constraint(program: &Program, stmt: usize) -> bool {
     )
 }
 
-/// Iterative Tarjan SCC; returns the component id of every node.
-fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<usize> {
-    let n = adj.len();
-    let (mut index, mut comp_count) = (0usize, 0usize);
-    let mut idx = vec![usize::MAX; n];
-    let mut low = vec![0usize; n];
-    let mut comp = vec![usize::MAX; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
-    // Explicit call stack: (node, next child position).
-    let mut call: Vec<(usize, usize)> = Vec::new();
-    for root in 0..n {
-        if idx[root] != usize::MAX {
-            continue;
-        }
-        call.push((root, 0));
-        while let Some(&mut (v, ref mut child)) = call.last_mut() {
-            if *child == 0 {
-                idx[v] = index;
-                low[v] = index;
-                index += 1;
-                stack.push(v);
-                on_stack[v] = true;
+/// A009 (a rule's predicted instantiation count crosses
+/// [`EXPLOSION_THRESHOLD`]) and A010 (a rule-defined predicate whose size
+/// bound is zero: no chain of rules can ever derive an instance).
+///
+/// A010 stays quiet while any predicate is undefined — the bounds are
+/// meaningless then, and A001/A004 already point at the real problem.
+fn grounding_size_lints(sp: &SpannedProgram, facts: &PredFacts, diags: &mut Vec<Diagnostic>) {
+    let prediction = predict_sizes(&sp.program);
+    for est in &prediction.rules {
+        if est.instances > EXPLOSION_THRESHOLD {
+            let mut d = Diagnostic::warning(
+                "A009",
+                format!(
+                    "predicted grounding explosion: about {:.1e} ground instances of this rule (threshold {:.1e})",
+                    est.instances, EXPLOSION_THRESHOLD
+                ),
+            );
+            if let Some(span) = sp.statement_spans.get(est.stmt) {
+                d = d.with_span(*span);
             }
-            if let Some(&w) = adj[v].get(*child) {
-                *child += 1;
-                if idx[w] == usize::MAX {
-                    call.push((w, 0));
-                } else if on_stack[w] {
-                    low[v] = low[v].min(idx[w]);
-                }
-            } else {
-                if low[v] == idx[v] {
-                    while let Some(w) = stack.pop() {
-                        on_stack[w] = false;
-                        comp[w] = comp_count;
-                        if w == v {
-                            break;
-                        }
-                    }
-                    comp_count += 1;
-                }
-                call.pop();
-                if let Some(&(parent, _)) = call.last() {
-                    low[parent] = low[parent].min(low[v]);
-                }
-            }
+            diags.push(d);
         }
     }
-    comp
+
+    let all_defined = sp
+        .occurrences
+        .iter()
+        .all(|o| o.role == OccRole::Def || facts.defined.contains(&o.pred));
+    if !all_defined {
+        return;
+    }
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for (idx, stmt) in sp.program.statements.iter().enumerate() {
+        let Statement::Rule(rule) = stmt else {
+            continue;
+        };
+        let heads: Vec<(&str, usize)> = match &rule.head {
+            Head::Atom(a) => vec![(a.pred.as_str(), a.args.len())],
+            Head::Choice { elements, .. } => elements
+                .iter()
+                .map(|e| (e.atom.pred.as_str(), e.atom.args.len()))
+                .collect(),
+            Head::None => Vec::new(),
+        };
+        for (pred, arity) in heads {
+            let underivable = prediction
+                .bound(pred, arity)
+                .is_some_and(|b| b.defined && b.atoms == 0.0);
+            if !underivable || !reported.insert(pred.to_owned()) {
+                continue;
+            }
+            let mut d = Diagnostic::warning(
+                "A010",
+                format!("predicate `{pred}/{arity}` can never be derived: no chain of rules produces any instance"),
+            );
+            if let Some(span) = sp.statement_spans.get(idx) {
+                d = d.with_span(*span);
+            }
+            diags.push(d);
+        }
+    }
+}
+
+/// A011: an SCC of the predicate dependency graph with both an internal
+/// positive and an internal negative edge. Such a program is not tight at
+/// the predicate level, so the solver may need the unfounded-set closure
+/// (advisory — the ground program can still be tight).
+fn non_tight_loops(sp: &SpannedProgram, diags: &mut Vec<Diagnostic>) {
+    let dep = analyze_dependencies(&sp.program);
+    for comp in &dep.neg_positive_loops {
+        let names: Vec<&str> = comp.iter().map(String::as_str).collect();
+        let mut d = Diagnostic::info(
+            "A011",
+            format!(
+                "non-tight loop through negation involving {}: positive recursion and `not` share a cycle",
+                quote_list(&names)
+            ),
+        );
+        if let Some(span) = rule_span_with_pos_edge(sp, comp) {
+            d = d.with_span(span);
+        }
+        diags.push(d);
+    }
+}
+
+/// Find the span of a rule that contributes a positive internal edge to
+/// the component `comp` — its head and some positive body literal both
+/// name predicates of the component.
+fn rule_span_with_pos_edge(sp: &SpannedProgram, comp: &[String]) -> Option<crate::diag::Span> {
+    let members: BTreeSet<&str> = comp.iter().map(String::as_str).collect();
+    for (idx, stmt) in sp.program.statements.iter().enumerate() {
+        let Statement::Rule(rule) = stmt else {
+            continue;
+        };
+        let derives = match &rule.head {
+            Head::Atom(a) => members.contains(a.pred.as_str()),
+            Head::Choice { elements, .. } => elements
+                .iter()
+                .any(|e| members.contains(e.atom.pred.as_str())),
+            Head::None => false,
+        };
+        let positive = rule
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Pos(a) if members.contains(a.pred.as_str())));
+        if derives && positive {
+            return sp.statement_spans.get(idx).copied();
+        }
+    }
+    None
 }
 
 /// Levenshtein edit distance with a cutoff of `max + 1`.
@@ -688,6 +723,57 @@ mod tests {
             (d.span.expect("span").line, d.span.expect("span").column),
             (2, 19)
         );
+    }
+
+    #[test]
+    fn a009_predicted_grounding_explosion() {
+        let src = "num(1..120).\nbig(X, Y, Z) :- num(X), num(Y), num(Z).";
+        let d = only(src, "A009");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("explosion"), "{}", d.message);
+        let span = d.span.expect("span");
+        assert_eq!((span.line, span.column), (2, 1), "points at the big rule");
+        // A bounded join stays quiet.
+        assert!(!codes("num(1..120). pair(X, Y) :- num(X), num(Y).").contains(&"A009".to_owned()));
+    }
+
+    #[test]
+    fn a010_underivable_predicate() {
+        let src = "seed(1).\nok(X) :- seed(X).\nghost(X) :- phantom(X).\nphantom(X) :- ghost(X).";
+        let diags: Vec<Diagnostic> = lint_source(src)
+            .into_iter()
+            .filter(|d| d.code == "A010")
+            .collect();
+        assert_eq!(diags.len(), 2, "ghost and phantom: {diags:?}");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(
+            diags[0].message.contains("`ghost/1`"),
+            "{}",
+            diags[0].message
+        );
+        assert_eq!(diags[0].span.expect("span").line, 3);
+        assert_eq!(diags[1].span.expect("span").line, 4);
+        // With an undefined predicate in the mix, A001 owns the report.
+        assert!(!codes("p(X) :- undefined_thing(X).").contains(&"A010".to_owned()));
+    }
+
+    #[test]
+    fn a011_non_tight_loop_through_negation() {
+        let src = "b :- not a.\na :- a, not b.";
+        let d = only(src, "A011");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(
+            d.message.contains("`a`") && d.message.contains("`b`"),
+            "{}",
+            d.message
+        );
+        assert_eq!(
+            d.span.expect("span").line,
+            2,
+            "anchored at the rule with the positive edge"
+        );
+        // A pure even loop is tight: A006 only, no A011.
+        assert!(!codes("a :- not b. b :- not a.").contains(&"A011".to_owned()));
     }
 
     #[test]

@@ -197,6 +197,23 @@ pub struct Solver<'a> {
     /// Worklist of rules touched since last examined.
     queue: std::collections::VecDeque<u32>,
     in_queue: Vec<bool>,
+    /// Atom-level tightness certificate of the ground program (positive
+    /// dependency graph acyclic — see
+    /// [`analysis::ground_tight`](crate::analysis::ground_tight)).
+    tight: bool,
+    /// Runtime switch for the tight fast path; defaults to on and only
+    /// matters when the certificate holds.
+    tight_mode: bool,
+    /// Per atom: number of defining rules (normal or choice heads).
+    support_base: Vec<u32>,
+    /// Per atom: defining rules whose bodies are not yet dead. Maintained
+    /// incrementally on the `n_false` 0↔1 transitions; an atom at zero can
+    /// no longer be supported and must be false. On tight programs this
+    /// counter reaches exactly the unfounded-set fixpoint (Fages'
+    /// theorem), letting [`Solver::propagate`] skip the closure.
+    n_support: Vec<u32>,
+    /// Worklist of atoms whose support count reached zero.
+    support_zero: Vec<u32>,
     /// Scratch buffers for the unfounded-set closure (reused per call to
     /// avoid re-allocating per propagation fixpoint).
     uf_missing: Vec<u32>,
@@ -256,6 +273,7 @@ impl<'a> Solver<'a> {
         let mut occ_head = vec![Vec::new(); if reference { 0 } else { n_atoms }];
         let mut choice_atoms = Vec::new();
         let mut choice_seen = vec![false; n_atoms];
+        let mut support_base = vec![0u32; if reference { 0 } else { n_atoms }];
         for (ri, r) in program.rules.iter().enumerate() {
             if !reference {
                 for &p in &r.pos {
@@ -266,6 +284,9 @@ impl<'a> Solver<'a> {
                 }
                 if let GroundHead::Atom(h) = r.head {
                     occ_head[h.index()].push(ri as u32);
+                }
+                if let GroundHead::Atom(h) | GroundHead::Choice(h) = r.head {
+                    support_base[h.index()] += 1;
                 }
             }
             if let GroundHead::Choice(h) = r.head {
@@ -293,6 +314,11 @@ impl<'a> Solver<'a> {
             occ_pos,
             occ_neg,
             occ_head,
+            tight: !reference && crate::analysis::ground_tight(program),
+            tight_mode: true,
+            support_base,
+            n_support: vec![0; if reference { 0 } else { n_atoms }],
+            support_zero: Vec::new(),
             choice_atoms,
             n_false: vec![0; if reference { 0 } else { n_rules }],
             n_unknown: vec![0; if reference { 0 } else { n_rules }],
@@ -349,6 +375,32 @@ impl<'a> Solver<'a> {
     #[must_use]
     pub fn bound_prunes(&self) -> u64 {
         self.bound_prune_count
+    }
+
+    /// Whether this solver holds a tightness certificate for its ground
+    /// program: the atom-level positive dependency graph is acyclic, so
+    /// supported models are stable models (Fages' theorem) and the
+    /// unfounded-set closure is replaced by incremental support counting.
+    /// Always `false` on the reference engine (it never computes the
+    /// certificate).
+    #[must_use]
+    pub fn tight(&self) -> bool {
+        self.tight
+    }
+
+    /// Enable or disable the tight-program fast path (default: enabled).
+    ///
+    /// Only affects programs whose certificate holds — non-tight programs
+    /// always run the unfounded-set closure. Disabling it on a tight
+    /// program is sound (the closure subsumes support counting); the
+    /// switch exists so benchmarks can measure the fast path against the
+    /// closure on identical inputs. Takes effect at the next solve call.
+    pub fn set_tight_mode(&mut self, on: bool) {
+        self.tight_mode = on;
+    }
+
+    fn use_tight(&self) -> bool {
+        self.tight && self.tight_mode && !self.reference
     }
 
     /// Drop every retained learned nogood (e.g. to measure their effect).
@@ -584,6 +636,16 @@ impl<'a> Solver<'a> {
             self.in_queue[ri] = true;
             self.queue.push_back(ri as u32);
         }
+        self.support_zero.clear();
+        if self.use_tight() {
+            self.n_support.copy_from_slice(&self.support_base);
+            for (a, &base) in self.support_base.iter().enumerate() {
+                if base == 0 {
+                    // No defining rule at all: unfounded from the start.
+                    self.support_zero.push(a as u32);
+                }
+            }
+        }
     }
 
     /// Core DFS. `on_model` returns `false` to stop the search early;
@@ -767,11 +829,15 @@ impl<'a> Solver<'a> {
             return;
         }
         let ai = atom as usize;
+        let tight = self.use_tight();
         for i in 0..self.occ_pos[ai].len() {
             let r = self.occ_pos[ai][i] as usize;
             self.n_unknown[r] -= 1;
             if v == Val::False {
                 self.n_false[r] += 1;
+                if tight && self.n_false[r] == 1 {
+                    self.support_dec(r);
+                }
             }
             self.enqueue(r);
         }
@@ -780,6 +846,9 @@ impl<'a> Solver<'a> {
             self.n_unknown[r] -= 1;
             if v == Val::True {
                 self.n_false[r] += 1;
+                if tight && self.n_false[r] == 1 {
+                    self.support_dec(r);
+                }
             }
             self.enqueue(r);
         }
@@ -792,6 +861,25 @@ impl<'a> Solver<'a> {
         }
     }
 
+    /// A rule body just died: its head lost one potential support.
+    fn support_dec(&mut self, ri: usize) {
+        let h = match self.g.rules[ri].head {
+            GroundHead::Atom(h) | GroundHead::Choice(h) => h,
+            GroundHead::None => return,
+        };
+        self.n_support[h.index()] -= 1;
+        if self.n_support[h.index()] == 0 {
+            self.support_zero.push(h.0);
+        }
+    }
+
+    /// A rule body came back to life (backtracking): restore the support.
+    fn support_inc(&mut self, ri: usize) {
+        if let GroundHead::Atom(h) | GroundHead::Choice(h) = self.g.rules[ri].head {
+            self.n_support[h.index()] += 1;
+        }
+    }
+
     /// Undo an assignment (backtracking), reversing the rule counters.
     fn unassign(&mut self, atom: u32) {
         let v = self.val[atom as usize];
@@ -800,11 +888,15 @@ impl<'a> Solver<'a> {
             return;
         }
         let ai = atom as usize;
+        let tight = self.use_tight();
         for i in 0..self.occ_pos[ai].len() {
             let r = self.occ_pos[ai][i] as usize;
             self.n_unknown[r] += 1;
             if v == Val::False {
                 self.n_false[r] -= 1;
+                if tight && self.n_false[r] == 0 {
+                    self.support_inc(r);
+                }
             }
         }
         for i in 0..self.occ_neg[ai].len() {
@@ -812,6 +904,9 @@ impl<'a> Solver<'a> {
             self.n_unknown[r] += 1;
             if v == Val::True {
                 self.n_false[r] -= 1;
+                if tight && self.n_false[r] == 0 {
+                    self.support_inc(r);
+                }
             }
         }
     }
@@ -886,15 +981,30 @@ impl<'a> Solver<'a> {
     }
 
     /// Drain the rule worklist, applying Fitting inference per touched
-    /// rule; false on conflict. O(touched rules), not O(program).
+    /// rule; false on conflict. O(touched rules), not O(program). In tight
+    /// mode the zero-support worklist drains alongside: an atom whose last
+    /// potential support died is false (and a true one is a conflict) —
+    /// on tight programs this is the whole unfounded-set inference.
     fn drain_fitting(&mut self) -> bool {
-        while let Some(r) = self.queue.pop_front() {
-            self.in_queue[r as usize] = false;
-            if !self.examine_rule(r as usize) {
-                return false;
+        loop {
+            while let Some(r) = self.queue.pop_front() {
+                self.in_queue[r as usize] = false;
+                if !self.examine_rule(r as usize) {
+                    return false;
+                }
+            }
+            let Some(a) = self.support_zero.pop() else {
+                return true;
+            };
+            if self.n_support[a as usize] > 0 {
+                continue; // stale: support restored by backtracking
+            }
+            match self.val[a as usize] {
+                Val::True => return false, // true but unsupportable
+                Val::Unknown => self.assign(a, Val::False),
+                Val::False => {}
             }
         }
-        true
     }
 
     /// Fitting inference on one rule, using the incremental counters.
@@ -1144,6 +1254,11 @@ impl<'a> Solver<'a> {
     /// the head enters the closure and its positive occurrences are
     /// decremented. O(program) per call instead of O(program × depth).
     fn unfounded_pass(&mut self) -> bool {
+        if self.use_tight() {
+            // Fages' theorem: the support counters drained by
+            // `drain_fitting` already computed this fixpoint.
+            return true;
+        }
         if self.reference {
             return self.unfounded_pass_reference();
         }
@@ -1357,6 +1472,59 @@ mod tests {
     fn choice_rule_enumerates_subsets() {
         let models = solve_all("{ a; b }.");
         assert_eq!(models.len(), 4);
+    }
+
+    #[test]
+    fn tight_certificate_tracks_ground_positive_loops() {
+        let tight_src = "{ fault(a) }. affected(X) :- fault(X). :- affected(a).";
+        let g = Grounder::new().ground(&parse(tight_src).unwrap()).unwrap();
+        assert!(Solver::new(&g).tight());
+        // Choices keep the loop derivable through the semi-naive grounder.
+        let loopy = "{ x }. a :- x. a :- b. b :- a.";
+        let g = Grounder::new().ground(&parse(loopy).unwrap()).unwrap();
+        assert!(!Solver::new(&g).tight());
+        // The reference engine never claims the certificate.
+        let g = Grounder::new().ground(&parse(tight_src).unwrap()).unwrap();
+        assert!(!Solver::new_reference(&g).tight());
+    }
+
+    #[test]
+    fn tight_fast_path_matches_closure_on_tight_programs() {
+        // Choice + chain + constraint + even negation loop: tight, with
+        // nondeterminism the support counters must track across backtracks.
+        let src = "{ c(1); c(2); c(3) }. r(X) :- c(X). s :- r(1), r(2). \
+                   :- r(3), not s. a :- not b. b :- not a.";
+        let g = Grounder::new().ground(&parse(src).unwrap()).unwrap();
+        let mut fast = Solver::new(&g);
+        assert!(fast.tight());
+        let rf = fast.enumerate(&SolveOptions::default()).unwrap();
+        let mut slow = Solver::new(&g);
+        slow.set_tight_mode(false);
+        let rs = slow.enumerate(&SolveOptions::default()).unwrap();
+        assert!(rf.exhausted && rs.exhausted);
+        assert_eq!(model_strings(&rf.models), model_strings(&rs.models));
+        assert_eq!(rf.models.len(), 10);
+    }
+
+    #[test]
+    fn tight_mode_falsifies_atoms_without_any_rule() {
+        // b has no defining rule: the zero-support seed must falsify it
+        // before the constraint can be judged.
+        let models = solve_all("{ a }. :- not b.");
+        assert!(models.is_empty());
+    }
+
+    #[test]
+    fn non_tight_programs_keep_the_unfounded_closure() {
+        // Forcing tight mode on has no effect without the certificate.
+        let g = Grounder::new()
+            .ground(&parse("{ x }. a :- x. a :- b. b :- a. :- not a.").unwrap())
+            .unwrap();
+        let mut s = Solver::new(&g);
+        s.set_tight_mode(true);
+        assert!(!s.tight());
+        let r = s.enumerate(&SolveOptions::default()).unwrap();
+        assert_eq!(model_strings(&r.models), vec!["a b x"]);
     }
 
     #[test]

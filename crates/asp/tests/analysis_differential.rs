@@ -1,0 +1,169 @@
+//! Differential testing: the analysis passes against the engines they feed.
+//!
+//! Three suites pin the semantic analyses to observable solver behavior on
+//! randomly generated programs:
+//!
+//! * **slicing** — grounding with [`Grounder::with_slicing`] under a random
+//!   `#show` footprint must preserve the model count, the multiset of shown
+//!   projections, the exhausted flag, and optimal costs;
+//! * **tight fast path** — [`Solver::set_tight_mode`] on or off must
+//!   enumerate exactly the answer sets of the reference engine;
+//! * **tightness certificate** — predicate-level tightness must imply the
+//!   ground certificate, the certificate must match what the solver
+//!   reports, and solving structural programs through the fast path must
+//!   agree with the reference engine.
+
+use proptest::prelude::*;
+
+use cpsrisk_asp::analysis::{analyze_dependencies, ground_tight};
+use cpsrisk_asp::{GroundProgram, Grounder, Program, SolveOptions, Solver};
+
+/// Random statements over a small universe mirroring the grounder's
+/// differential suite: unary/binary facts, derived predicates, arithmetic
+/// bindings, a recursive closure, choices, constraints, and `#minimize`.
+fn arb_statement() -> impl Strategy<Value = String> {
+    let con = || (0..4usize).prop_map(|i| format!("c{i}"));
+    let num = || 1..=4i64;
+    let u = || (0..2usize).prop_map(|i| format!("u{i}"));
+    let b = || (0..2usize).prop_map(|i| format!("b{i}"));
+    let d = || (0..2usize).prop_map(|i| format!("d{i}"));
+    prop_oneof![
+        (u(), con()).prop_map(|(p, c)| format!("{p}({c}).")),
+        (b(), con(), num()).prop_map(|(p, c, n)| format!("{p}({c},{n}).")),
+        (d(), u()).prop_map(|(h, p)| format!("{h}(X) :- {p}(X).")),
+        (d(), u(), b(), num())
+            .prop_map(|(h, p, q, n)| format!("{h}(X) :- {p}(X), {q}(X,N), N >= {n}.")),
+        (d(), u(), d()).prop_map(|(h, p, n)| format!("{h}(X) :- {p}(X), not {n}(X).")),
+        (b(), num()).prop_map(|(q, m)| format!("v(Z) :- {q}(X,N), Z = N + {m}.")),
+        (b(), b())
+            .prop_map(|(p, q)| format!("e(X,Y) :- {p}(X,N), {q}(Y,N). e(X,Z) :- e(X,Y), e(Y,Z).")),
+        (u(), 0..=2u32).prop_map(|(p, ub)| match ub {
+            0 => format!("{{ pick(X) : {p}(X) }}."),
+            ub => format!("{{ pick(X) : {p}(X) }} {ub}."),
+        }),
+        (u(),).prop_map(|(p,)| format!(":- pick(X), not {p}(X).")),
+        (b(),).prop_map(|(q,)| format!("#minimize {{ N,X : {q}(X,N), pick(X) }}.")),
+    ]
+}
+
+/// A random `#show` footprint: any subset of the signatures the statement
+/// templates can define. An empty subset leaves slicing a no-op, which the
+/// slicing suite must also survive.
+fn arb_shows() -> impl Strategy<Value = String> {
+    let sigs = ["d0/1", "d1/1", "v/1", "pick/1", "e/2", "u0/1"];
+    prop::collection::vec(0..sigs.len(), 0..4).prop_map(move |picked| {
+        let mut out: Vec<&str> = picked.iter().map(|&i| sigs[i]).collect();
+        out.sort_unstable();
+        out.dedup();
+        out.iter()
+            .map(|s| format!("#show {s}."))
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = String> {
+    (prop::collection::vec(arb_statement(), 2..10), arb_shows())
+        .prop_map(|(stmts, shows)| format!("{}\n{shows}", stmts.join("\n")))
+}
+
+fn parse(src: &str) -> Program {
+    src.parse().expect("generated programs parse")
+}
+
+/// Sorted rendering of every model's full atom set plus the exhausted flag.
+fn models(solver: &mut Solver, opts: &SolveOptions) -> (Vec<String>, bool) {
+    let result = solver.enumerate(opts).expect("within budget");
+    let mut out: Vec<String> = result
+        .models
+        .iter()
+        .map(|m| {
+            m.atoms
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    out.sort();
+    (out, result.exhausted)
+}
+
+/// Sorted multiset of shown projections — the observable a slice must
+/// preserve even while it drops atoms from the full models.
+fn projections(g: &GroundProgram, opts: &SolveOptions) -> (Vec<String>, bool) {
+    let result = Solver::new_reference(g)
+        .enumerate(opts)
+        .expect("within budget");
+    let mut out: Vec<String> = result
+        .models
+        .iter()
+        .map(|m| {
+            let mut atoms: Vec<String> = m.shown.iter().map(ToString::to_string).collect();
+            atoms.sort();
+            atoms.join(" ")
+        })
+        .collect();
+    out.sort();
+    (out, result.exhausted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sliced_grounding_preserves_the_observable_semantics(src in arb_program()) {
+        let p = parse(&src);
+        let full = Grounder::new().ground(&p).expect("grounds");
+        let sliced = Grounder::new().with_slicing(true).ground(&p).expect("grounds sliced");
+        prop_assert!(
+            sliced.rules.len() <= full.rules.len(),
+            "a slice never grows the grounding, program:\n{}", src
+        );
+        let opts = SolveOptions::default();
+        let (want, ex_w) = projections(&full, &opts);
+        let (got, ex_g) = projections(&sliced, &opts);
+        prop_assert_eq!(&got, &want, "shown projections, program:\n{}", src);
+        prop_assert_eq!(got.len(), want.len(), "model count, program:\n{}", src);
+        prop_assert_eq!(ex_g, ex_w, "exhausted flag, program:\n{}", src);
+        // Optimal costs survive too: slicing must never touch #minimize.
+        let best_f = Solver::new_reference(&full).optimize(&opts).expect("within budget");
+        let best_s = Solver::new_reference(&sliced).optimize(&opts).expect("within budget");
+        match (&best_f, &best_s) {
+            (Some(a), Some(b)) => prop_assert_eq!(&a.cost, &b.cost, "cost, program:\n{}", src),
+            (None, None) => {}
+            _ => prop_assert!(false, "slicing flipped satisfiability:\n{src}"),
+        }
+    }
+
+    #[test]
+    fn tight_mode_matches_the_unfounded_closure_and_the_reference(src in arb_program()) {
+        let p = parse(&src);
+        let g = Grounder::new().ground(&p).expect("grounds");
+        let opts = SolveOptions::default();
+        let (fast, ex_f) = models(&mut Solver::new(&g), &opts);
+        let mut closure_solver = Solver::new(&g);
+        closure_solver.set_tight_mode(false);
+        let (closure, ex_c) = models(&mut closure_solver, &opts);
+        let (reference, ex_r) = models(&mut Solver::new_reference(&g), &opts);
+        prop_assert_eq!(&fast, &closure, "tight mode vs closure, program:\n{}", src);
+        prop_assert_eq!(&fast, &reference, "tight mode vs reference, program:\n{}", src);
+        prop_assert!(ex_f == ex_c && ex_f == ex_r, "exhausted flags, program:\n{}", src);
+    }
+
+    #[test]
+    fn tightness_certificates_are_consistent_across_layers(src in arb_program()) {
+        let p = parse(&src);
+        let deps = analyze_dependencies(&p);
+        let g = Grounder::new().ground(&p).expect("grounds");
+        let ground_cert = ground_tight(&g);
+        // Predicate-level tightness over-approximates the ground positive
+        // dependency graph: it may miss tight groundings of recursive
+        // programs but never the converse.
+        if deps.pred_tight {
+            prop_assert!(ground_cert, "pred-tight program ground non-tight:\n{src}");
+        }
+        // The solver carries exactly the ground certificate.
+        prop_assert_eq!(Solver::new(&g).tight(), ground_cert, "program:\n{}", src);
+    }
+}

@@ -1,0 +1,344 @@
+//! `cpsrisk analyze` — the semantic program analysis report.
+//!
+//! One [`AnalyzeReport`] per analyzed ASP program, combining the three
+//! passes of [`cpsrisk_asp::analysis`] with a grounding cross-check:
+//!
+//! * **dependency structure** — strata, stratification, positive loops,
+//!   and the two tightness levels (predicate-level over-approximation vs
+//!   the atom-level ground certificate the solver's fast path uses);
+//! * **grounding-size prediction** — the abstract-interpretation estimate
+//!   next to the *actual* ground rule count, with their divergence ratio
+//!   (CI gates on it: a predictor drifting past 10× on the temporal
+//!   workload fails the build);
+//! * **slicing** — how many statements the backward slice drops and what
+//!   that saves in ground rules;
+//! * **lint findings** — the full `A000`…`A011` pass over the source.
+
+use serde::{Deserialize, Serialize};
+
+use cpsrisk_asp::analysis::{analyze_dependencies, ground_tight, predict_sizes, slice_program};
+use cpsrisk_asp::{lint, Grounder};
+
+use crate::error::CoreError;
+
+/// One lint finding, flattened for the JSON report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Finding {
+    /// `"error"`, `"warning"`, or `"info"`.
+    pub severity: String,
+    /// Stable code (`A000`…`A011`).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line, when the finding maps to analyzed text.
+    pub line: Option<usize>,
+}
+
+/// The dependency-structure section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DepsSection {
+    /// Distinct predicates in the dependency graph.
+    pub predicates: usize,
+    /// Strongly connected components.
+    pub sccs: usize,
+    /// Number of strata (1 when the program is negation-free).
+    pub strata: usize,
+    /// No cycle through negation.
+    pub stratified: bool,
+    /// SCCs with a positive cycle, each listed by its member predicates.
+    pub positive_loops: Vec<Vec<String>>,
+    /// Positive loops that also carry an internal negative edge (lint
+    /// `A011`): the classically non-tight shape.
+    pub non_tight_loops: Vec<Vec<String>>,
+    /// Predicate-level tightness (no positive predicate recursion). An
+    /// over-approximation: `false` here can still ground tight.
+    pub pred_tight: bool,
+    /// Atom-level tightness of the actual ground program — the solver's
+    /// fast-path certificate.
+    pub ground_tight: bool,
+}
+
+/// The grounding-size section: prediction vs reality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizeSection {
+    /// Predicted ground rule instances (saturating estimate).
+    pub predicted_rules: f64,
+    /// Ground rules the grounder actually produced.
+    pub actual_rules: usize,
+    /// `max(predicted/actual, actual/predicted)`, `>= 1.0`; `null` when a
+    /// side is zero and the other is not.
+    pub divergence: Option<f64>,
+}
+
+/// The slicing section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SliceSection {
+    /// Statements in the source program.
+    pub statements: usize,
+    /// Statements the backward slice keeps.
+    pub kept: usize,
+    /// Statements sliced away.
+    pub dropped: usize,
+    /// Ground rules after slicing (equals `actual_rules` when nothing
+    /// drops).
+    pub sliced_ground_rules: usize,
+}
+
+/// The full per-program analysis report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyzeReport {
+    /// Program name (file path or workload label).
+    pub name: String,
+    /// Dependency structure and tightness.
+    pub deps: DepsSection,
+    /// Predicted vs actual grounding size.
+    pub size: SizeSection,
+    /// Slice savings.
+    pub slice: SliceSection,
+    /// Lint findings (`A000`…`A011`), ordered by span then code.
+    pub findings: Vec<Finding>,
+}
+
+impl AnalyzeReport {
+    /// Count of error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == "error")
+            .count()
+    }
+}
+
+/// Analyze one ASP program given as source text.
+///
+/// # Errors
+///
+/// [`CoreError::Asp`] when the program parses but cannot be grounded
+/// (unsafe rules, arithmetic errors, grounding budget). Parse errors do
+/// **not** error out — they surface as `A000` findings in a report whose
+/// analysis sections are empty.
+pub fn analyze_source(name: &str, src: &str) -> Result<AnalyzeReport, CoreError> {
+    let findings: Vec<Finding> = lint::lint_source(src)
+        .iter()
+        .map(|d| Finding {
+            severity: format!("{:?}", d.severity).to_lowercase(),
+            code: d.code.clone(),
+            message: d.message.clone(),
+            line: d.span.map(|s| s.line),
+        })
+        .collect();
+
+    let Ok(program) = cpsrisk_asp::parse(src) else {
+        // Unparseable: the A000 finding already says so; report what we can.
+        return Ok(AnalyzeReport {
+            name: name.to_owned(),
+            deps: DepsSection {
+                predicates: 0,
+                sccs: 0,
+                strata: 0,
+                stratified: true,
+                positive_loops: Vec::new(),
+                non_tight_loops: Vec::new(),
+                pred_tight: true,
+                ground_tight: true,
+            },
+            size: SizeSection {
+                predicted_rules: 0.0,
+                actual_rules: 0,
+                divergence: None,
+            },
+            slice: SliceSection {
+                statements: 0,
+                kept: 0,
+                dropped: 0,
+                sliced_ground_rules: 0,
+            },
+            findings,
+        });
+    };
+
+    let deps = analyze_dependencies(&program);
+    let prediction = predict_sizes(&program);
+    let slice = slice_program(&program, &[]);
+
+    let ground = Grounder::new().ground(&program).map_err(CoreError::Asp)?;
+    let sliced_ground = if slice.dropped.is_empty() {
+        ground.rules.len()
+    } else {
+        Grounder::new()
+            .with_slicing(true)
+            .ground(&program)
+            .map_err(CoreError::Asp)?
+            .rules
+            .len()
+    };
+
+    let actual = ground.rules.len();
+    let predicted = prediction.total;
+    let divergence = if predicted > 0.0 && actual > 0 {
+        let a = actual as f64;
+        Some((predicted / a).max(a / predicted))
+    } else if predicted == 0.0 && actual == 0 {
+        Some(1.0)
+    } else {
+        None
+    };
+
+    Ok(AnalyzeReport {
+        name: name.to_owned(),
+        deps: DepsSection {
+            predicates: deps.preds.len(),
+            sccs: deps.components.len(),
+            strata: deps.stratum_count,
+            stratified: deps.stratified,
+            positive_loops: deps.positive_loops.clone(),
+            non_tight_loops: deps.neg_positive_loops.clone(),
+            pred_tight: deps.pred_tight,
+            ground_tight: ground_tight(&ground),
+        },
+        size: SizeSection {
+            predicted_rules: predicted,
+            actual_rules: actual,
+            divergence,
+        },
+        slice: SliceSection {
+            statements: program.statements.len(),
+            kept: slice.kept.len(),
+            dropped: slice.dropped.len(),
+            sliced_ground_rules: sliced_ground,
+        },
+        findings,
+    })
+}
+
+/// Human-readable rendering of a report (the non-`--json` CLI output).
+#[must_use]
+pub fn render(r: &AnalyzeReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", r.name);
+    let loops = |ls: &[Vec<String>]| {
+        ls.iter()
+            .map(|c| c.join(" <-> "))
+            .collect::<Vec<_>>()
+            .join("; ")
+    };
+    let _ = writeln!(
+        out,
+        "  dependencies: {} predicate(s), {} SCC(s), {} stratum(s), {}",
+        r.deps.predicates,
+        r.deps.sccs,
+        r.deps.strata,
+        if r.deps.stratified {
+            "stratified"
+        } else {
+            "NOT stratified"
+        }
+    );
+    if !r.deps.positive_loops.is_empty() {
+        let _ = writeln!(out, "  positive loops: {}", loops(&r.deps.positive_loops));
+    }
+    if !r.deps.non_tight_loops.is_empty() {
+        let _ = writeln!(
+            out,
+            "  non-tight loops through negation: {}",
+            loops(&r.deps.non_tight_loops)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  tightness: predicate-level {}, ground {} ({})",
+        if r.deps.pred_tight {
+            "tight"
+        } else {
+            "recursive"
+        },
+        if r.deps.ground_tight {
+            "tight"
+        } else {
+            "NOT tight"
+        },
+        if r.deps.ground_tight {
+            "solver fast path active"
+        } else {
+            "unfounded-set closure required"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  grounding: predicted {:.1} rule(s), actual {}, divergence {}",
+        r.size.predicted_rules,
+        r.size.actual_rules,
+        r.size
+            .divergence
+            .map_or_else(|| "n/a".to_owned(), |d| format!("{d:.2}x"))
+    );
+    let _ = writeln!(
+        out,
+        "  slice: {} statement(s), {} kept, {} dropped ({} ground rule(s) after slicing)",
+        r.slice.statements, r.slice.kept, r.slice.dropped, r.slice.sliced_ground_rules
+    );
+    if r.findings.is_empty() {
+        let _ = writeln!(out, "  findings: none");
+    } else {
+        let _ = writeln!(out, "  findings:");
+        for f in &r.findings {
+            let line = f.line.map_or_else(String::new, |l| format!(" (line {l})"));
+            let _ = writeln!(out, "    {}[{}]{line}: {}", f.severity, f.code, f.message);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_structure_prediction_and_slice() {
+        let r = analyze_source(
+            "t",
+            "p(a). q(b). shadow(X) :- q(X). r(X) :- p(X). #show r/1.",
+        )
+        .unwrap();
+        assert!(r.deps.stratified);
+        assert!(r.deps.pred_tight && r.deps.ground_tight);
+        assert_eq!(r.slice.dropped, 2);
+        assert!(r.slice.sliced_ground_rules < r.size.actual_rules);
+        assert_eq!(r.errors(), 0);
+        let d = r.size.divergence.expect("both sides positive");
+        assert!(d < 10.0, "tiny program predicts accurately, got {d}");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AnalyzeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.slice.dropped, 2);
+    }
+
+    #[test]
+    fn non_tight_programs_are_reported_as_such() {
+        let r = analyze_source("t", "{ x }. a :- x. a :- b. b :- a.").unwrap();
+        assert!(!r.deps.pred_tight);
+        assert!(!r.deps.ground_tight);
+        assert_eq!(
+            r.deps.positive_loops,
+            vec![vec!["a".to_owned(), "b".to_owned()]]
+        );
+    }
+
+    #[test]
+    fn parse_errors_surface_as_findings_not_failures() {
+        let r = analyze_source("t", "p(a\n").unwrap();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.findings[0].code, "A000");
+        assert_eq!(r.size.actual_rules, 0);
+    }
+
+    #[test]
+    fn rendering_mentions_the_fast_path() {
+        let r = analyze_source("prog.lp", "p(a). q(X) :- p(X).").unwrap();
+        let text = render(&r);
+        assert!(text.contains("== prog.lp =="));
+        assert!(text.contains("solver fast path active"));
+        assert!(text.contains("findings: none"));
+    }
+}

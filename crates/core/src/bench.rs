@@ -2,7 +2,9 @@
 //!
 //! Runs one of the parametric workloads (`chain`, `grid`, `temporal`) and
 //! reports **grounding** and **solving** as separate sections — schema
-//! `cpsrisk-bench/3`. The v2 schema's single top-level `speedup` was
+//! `cpsrisk-bench/4` (v4 adds the `tight_solve` section: the solver's
+//! tight-program fast path measured against the unfounded-set closure on
+//! the same ground program). The v2 schema's single top-level `speedup` was
 //! misleading: on `chain_problem(8)` solving is enumeration-bound, so the
 //! indexed-vs-reference solver ratio reads ~1.0× no matter how fast the
 //! grounder got. v3 measures each stage against its own baseline:
@@ -29,7 +31,7 @@ use cpsrisk_epa::{encode, EncodeMode, EpaProblem, IncrementalAnalysis, Scenario,
 use crate::error::CoreError;
 
 /// Schema tag carried by every report this module writes.
-pub const SCHEMA: &str = "cpsrisk-bench/3";
+pub const SCHEMA: &str = "cpsrisk-bench/4";
 
 /// Cap on the fixed-scenario stream measured by the incremental section.
 const MAX_INCREMENTAL_SCENARIOS: usize = 128;
@@ -148,6 +150,28 @@ pub struct SolveSample {
     pub engine_speedup: f64,
 }
 
+/// The tight-program fast path vs the unfounded-set closure, on the same
+/// ground program and the same (indexed) engine. When the tightness
+/// certificate holds, support counting replaces the closure entirely;
+/// `closure_ms` re-measures with the fast path switched off
+/// ([`Solver::set_tight_mode`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TightSolveSample {
+    /// The ground program carries the tightness certificate.
+    pub tight: bool,
+    /// Enumeration time with the fast path enabled (the default), ms.
+    pub fast_ms: f64,
+    /// Enumeration time with the unfounded-set closure forced, ms.
+    pub closure_ms: f64,
+    /// `closure_ms / fast_ms`. On non-tight programs both runs take the
+    /// closure path and this hovers near 1.0×.
+    pub speedup: f64,
+    /// Both runs produced identical model sets.
+    pub matches: bool,
+    /// Answer sets found (identical across both runs when `matches`).
+    pub models: usize,
+}
+
 /// Comparison against an externally measured pre-optimization build.
 ///
 /// When `--baseline-ms` supplies the end-to-end wall time of the
@@ -221,6 +245,8 @@ pub struct BenchReport {
     pub grounding: GroundingSample,
     /// The solving stage, measured against its own baseline.
     pub solve: SolveSample,
+    /// The tight fast path vs the unfounded-set closure (schema v4).
+    pub tight_solve: TightSolveSample,
     /// Comparison against a pre-optimization build, when `--baseline-ms`
     /// supplied its measurement.
     pub pre_pr: Option<PrePrBaseline>,
@@ -390,6 +416,36 @@ fn measure_solve(ground: &GroundProgram) -> Result<SolveSample, CoreError> {
     })
 }
 
+fn measure_tight_solve(ground: &GroundProgram) -> Result<TightSolveSample, CoreError> {
+    let model_set = |r: &cpsrisk_asp::SolveResult| {
+        let mut out: Vec<Vec<String>> = r
+            .models
+            .iter()
+            .map(|m| m.atoms.iter().map(ToString::to_string).collect())
+            .collect();
+        out.sort();
+        out
+    };
+    let mut solver = Solver::new(ground);
+    let tight = solver.tight();
+    let start = Instant::now();
+    let fast = solver.enumerate(&SolveOptions::default())?;
+    let fast_ms = ms(start);
+    let mut solver = Solver::new(ground);
+    solver.set_tight_mode(false);
+    let start = Instant::now();
+    let closure = solver.enumerate(&SolveOptions::default())?;
+    let closure_ms = ms(start);
+    Ok(TightSolveSample {
+        tight,
+        fast_ms,
+        closure_ms,
+        speedup: closure_ms / fast_ms.max(1e-9),
+        matches: model_set(&fast) == model_set(&closure),
+        models: fast.models.len(),
+    })
+}
+
 fn measure_incremental(problem: &EpaProblem) -> Result<IncrementalSample, CoreError> {
     let stream: Vec<Scenario> = ScenarioSpace::new(problem, usize::MAX)
         .iter()
@@ -479,6 +535,7 @@ pub fn run(
 
     let (grounding, ground) = measure_grounding(&program, threads)?;
     let solve = measure_solve(&ground)?;
+    let tight_solve = measure_tight_solve(&ground)?;
     let pre_pr = baseline_ms.map(|pre| PrePrBaseline {
         total_ms: pre,
         speedup: pre / total_ms.max(1e-9),
@@ -496,6 +553,7 @@ pub fn run(
         total_ms,
         grounding,
         solve,
+        tight_solve,
         pre_pr,
         incremental,
         parallel,
@@ -570,6 +628,31 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
     }
     if !(s.engine_speedup.is_finite() && s.engine_speedup > 0.0) {
         return Err("solve.engine_speedup is not a positive finite ratio".to_owned());
+    }
+
+    let t = &report.tight_solve;
+    for (name, v) in [("fast_ms", t.fast_ms), ("closure_ms", t.closure_ms)] {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(format!("tight_solve.{name} is not a valid duration"));
+        }
+    }
+    if !t.matches {
+        return Err("tight fast path diverged from the unfounded-set closure".to_owned());
+    }
+    if !(t.speedup.is_finite() && t.speedup > 0.0) {
+        return Err("tight_solve.speedup is not a positive finite ratio".to_owned());
+    }
+    if workload == Workload::Temporal {
+        if !t.tight {
+            return Err("the temporal workload must ground to a tight program".to_owned());
+        }
+        if t.speedup < 1.0 {
+            return Err(format!(
+                "tight fast path is slower than the unfounded-set closure \
+                 ({:.2}x on the tight `temporal` workload)",
+                t.speedup
+            ));
+        }
     }
 
     if let Some(pre) = &report.pre_pr {
@@ -653,8 +736,11 @@ mod tests {
         assert!(report.parallel.is_none(), "no scenario space");
         assert!(report.grounding.matches_reference);
         assert!(report.grounding.parallel_matches_single);
+        assert!(report.tight_solve.tight, "unrolled dynamics are tight");
+        assert!(report.tight_solve.matches);
         // Gate logic, decoupled from this tiny horizon's measured noise.
         report.grounding.speedup = 2.0;
+        report.tight_solve.speedup = 1.5;
         let json = serde_json::to_string(&report).unwrap();
         validate(&json).expect("temporal report validates");
     }
@@ -692,6 +778,19 @@ mod tests {
         assert!(validate(&json)
             .unwrap_err()
             .contains("slower than the reference grounder"));
+
+        // A tight-path divergence is fatal on every workload; a slow fast
+        // path only on the tight temporal workload.
+        let mut report = base.clone();
+        report.tight_solve.matches = false;
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("diverged from the unfounded-set closure"));
+        let mut report = base.clone();
+        report.tight_solve.speedup = 0.5;
+        let json = serde_json::to_string(&report).unwrap();
+        validate(&json).expect("chain is not gated on the tight-solve speedup");
 
         // A regressed incremental section is still fatal.
         let mut report = base.clone();

@@ -7,6 +7,7 @@
 //! cpsrisk matrices               print the O-RA and IEC 61508 matrices
 //! cpsrisk solve <file.lp>        run the embedded ASP solver on a program
 //! cpsrisk lint [file.lp ...]     static-analyze ASP programs / the case study
+//! cpsrisk analyze <file.lp ...>  semantic analysis: strata, tightness, sizes
 //! cpsrisk simulate f1,f2         simulate the plant under a fault set
 //! cpsrisk bench [--workload W]   measure the ASP hot path, write BENCH_asp.json
 //! ```
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
         "matrices" => matrices(),
         "solve" => solve(&args[1..]),
         "lint" => lint(&args[1..]),
+        "analyze" => analyze(&args[1..]),
         "simulate" => simulate(&args[1..]),
         "bench" => bench(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -71,10 +73,18 @@ fn print_help() {
          \x20 matrices               print the O-RA (Table I) and IEC 61508 matrices\n\
          \x20 solve <file.lp>        solve an ASP program with the embedded engine\n\
          \x20                        (lint gate: errors abort, warnings go to stderr)\n\
-         \x20 lint [--deny-warnings] [file.lp ...]\n\
-         \x20                        static-analyze ASP programs (codes A000-A008);\n\
-         \x20                        without files, lint the water-tank case study\n\
-         \x20                        model (M001-M007) and its ASP encoding\n\
+         \x20 lint [--deny-warnings] [file.lp | - ...]\n\
+         \x20                        static-analyze ASP programs (codes A000-A011,\n\
+         \x20                        `-` reads stdin); without files, lint the\n\
+         \x20                        water-tank case study model (M001-M007) and\n\
+         \x20                        its ASP encoding\n\
+         \x20 analyze [--json] [--workload chain|grid|temporal [--n N]]\n\
+         \x20         [--max-divergence R] [file.lp | - ...]\n\
+         \x20                        semantic analysis: dependency strata, tightness\n\
+         \x20                        (predicate + ground level), predicted vs actual\n\
+         \x20                        grounding size, slice savings, lint findings;\n\
+         \x20                        fails on error findings or when the prediction\n\
+         \x20                        diverges past R\n\
          \x20 simulate <f1,f2,...>   simulate the continuous plant under a fault set\n\
          \x20 bench [--workload chain|grid|temporal] [--n N] [--threads T] [--out FILE]\n\
          \x20                        measure the ASP hot path on a parametric workload\n\
@@ -189,32 +199,42 @@ fn lint(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     {
         return Err(format!("unknown lint flag `{bad}` (try --deny-warnings)").into());
     }
-    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut files: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") || a.as_str() == "-")
+        .collect();
+    // Deterministic output: files sorted by name; within each file the
+    // linter already orders findings by span, then code.
+    files.sort();
+    files.dedup();
     let mut all: Vec<cpsrisk::asp::Diagnostic> = Vec::new();
     if files.is_empty() {
         // Lint the shipped case study: the system model, then its
         // exhaustive ASP encoding.
         let problem = casestudy::water_tank_problem(&[])?;
         let model_diags = cpsrisk::model::lint_model(&problem.model);
+        println!("== model ==");
         for d in &model_diags {
-            println!("model: {d}");
+            println!("{d}");
         }
         let program = cpsrisk::epa::encode::encode(
             &problem,
             &cpsrisk::epa::encode::EncodeMode::Exhaustive { max_faults: None },
         );
         let asp_diags = cpsrisk::asp::lint::lint_source(&program.to_string());
+        println!("== encoding ==");
         for d in &asp_diags {
-            println!("encoding: {d}");
+            println!("{d}");
         }
         all.extend(model_diags);
         all.extend(asp_diags);
     } else {
         for path in files {
-            let src = std::fs::read_to_string(path)?;
+            let (name, src) = read_program_input(path)?;
             let diags = cpsrisk::asp::lint::lint_source(&src);
+            println!("== {name} ==");
             for d in &diags {
-                println!("{path}: {d}");
+                println!("{d}");
             }
             all.extend(diags);
         }
@@ -227,6 +247,118 @@ fn lint(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     );
     if errors > 0 || (deny_warnings && warnings > 0) {
         return Err("lint failed".into());
+    }
+    Ok(())
+}
+
+/// Resolve a `file.lp` argument, with `-` meaning stdin.
+fn read_program_input(path: &str) -> Result<(String, String), Box<dyn std::error::Error>> {
+    if path == "-" {
+        let mut src = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut src)?;
+        Ok(("<stdin>".to_owned(), src))
+    } else {
+        Ok((path.to_owned(), std::fs::read_to_string(path)?))
+    }
+}
+
+fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut json = false;
+    let mut workload: Option<cpsrisk::bench::Workload> = None;
+    let mut n: Option<usize> = None;
+    let mut max_divergence: Option<f64> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workload" => {
+                workload = Some(cpsrisk::bench::Workload::parse(&value("--workload")?)?);
+            }
+            "--n" => n = Some(value("--n")?.parse()?),
+            "--max-divergence" => max_divergence = Some(value("--max-divergence")?.parse()?),
+            other if other.starts_with("--") => {
+                return Err(format!(
+                    "unknown analyze flag `{other}` \
+                     (try --json/--workload/--n/--max-divergence)"
+                )
+                .into())
+            }
+            file => files.push(file.to_owned()),
+        }
+    }
+    if files.is_empty() && workload.is_none() {
+        return Err("usage: cpsrisk analyze <file.lp ...> [--json] \
+                    [--workload chain|grid|temporal [--n N]] [--max-divergence R]"
+            .into());
+    }
+
+    let mut inputs: Vec<(String, String)> = Vec::new();
+    files.sort();
+    files.dedup();
+    for path in &files {
+        inputs.push(read_program_input(path)?);
+    }
+    if let Some(w) = workload {
+        let n = n.unwrap_or_else(|| w.default_n());
+        let program = match w {
+            cpsrisk::bench::Workload::Chain => cpsrisk::epa::encode::encode(
+                &cpsrisk::epa::workload::chain_problem(n),
+                &cpsrisk::epa::encode::EncodeMode::Exhaustive { max_faults: None },
+            ),
+            cpsrisk::bench::Workload::Grid => cpsrisk::epa::encode::encode(
+                &cpsrisk::epa::workload::grid_problem(n, n),
+                &cpsrisk::epa::encode::EncodeMode::Exhaustive { max_faults: None },
+            ),
+            cpsrisk::bench::Workload::Temporal => cpsrisk::epa::workload::temporal_tank_problem(n),
+        };
+        inputs.push((
+            format!("workload:{}(n={n})", w.as_str()),
+            program.to_string(),
+        ));
+    }
+
+    let mut reports = Vec::new();
+    for (name, src) in &inputs {
+        reports.push(cpsrisk::analyze::analyze_source(name, src)?);
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&reports)?);
+    } else {
+        for r in &reports {
+            print!("{}", cpsrisk::analyze::render(r));
+        }
+    }
+
+    let errors: usize = reports
+        .iter()
+        .map(cpsrisk::analyze::AnalyzeReport::errors)
+        .sum();
+    if errors > 0 {
+        return Err(format!("analysis found {errors} error-severity finding(s)").into());
+    }
+    if let Some(limit) = max_divergence {
+        for r in &reports {
+            let diverged = match r.size.divergence {
+                Some(d) => d > limit,
+                // One side zero, the other not: unbounded divergence.
+                None => r.size.actual_rules > 0 || r.size.predicted_rules > 0.0,
+            };
+            if diverged {
+                return Err(format!(
+                    "{}: grounding-size prediction diverged past {limit}x \
+                     (predicted {:.1}, actual {})",
+                    r.name, r.size.predicted_rules, r.size.actual_rules
+                )
+                .into());
+            }
+        }
     }
     Ok(())
 }
@@ -342,6 +474,19 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  solver engine speedup: {:.2}x",
         report.solve.engine_speedup
+    );
+    let t = &report.tight_solve;
+    println!(
+        "  tight fast path: {} ({:.1} ms vs closure {:.1} ms = {:.2}x, model check: {})",
+        if t.tight {
+            "active"
+        } else {
+            "inactive (not tight)"
+        },
+        t.fast_ms,
+        t.closure_ms,
+        t.speedup,
+        if t.matches { "ok" } else { "MISMATCH" }
     );
     if let Some(pre) = &report.pre_pr {
         println!(

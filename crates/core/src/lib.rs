@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! `cpsrisk` — preliminary risk and mitigation assessment in
 //! cyber-physical systems.
@@ -39,6 +40,7 @@
 //! # Ok::<(), cpsrisk::CoreError>(())
 //! ```
 
+pub mod analyze;
 pub mod behavioral_casestudy;
 pub mod bench;
 pub mod casestudy;

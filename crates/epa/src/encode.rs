@@ -249,7 +249,9 @@ impl ExhaustiveAnalysis {
     /// [`EpaError::Asp`] on grounding failure.
     pub fn new(problem: &EpaProblem, max_faults: Option<u32>) -> Result<Self, EpaError> {
         let program = encode(problem, &EncodeMode::Exhaustive { max_faults });
-        let ground = Grounder::new().ground(&program)?;
+        // Sound backward slicing: every query reads only the shown
+        // predicates, so unobservable helper rules can go before grounding.
+        let ground = Grounder::new().with_slicing(true).ground(&program)?;
         let attack_costs = problem
             .mutations
             .iter()

@@ -44,10 +44,13 @@ impl IncrementalAnalysis {
     /// [`EpaError::Asp`] on grounding failure.
     pub fn new(problem: &EpaProblem) -> Result<Self, EpaError> {
         let program = encode(problem, &EncodeMode::Assumable);
+        // Slice before grounding: the assumable signatures are slice roots,
+        // so every atom an assumption can touch stays in the program.
         let ground = Grounder::new()
             .assumable("scenario_fault", 1)
             .assumable("fault_enabled", 1)
             .assumable("active_mitigation", 2)
+            .with_slicing(true)
             .ground(&program)?;
         Ok(IncrementalAnalysis {
             ground,

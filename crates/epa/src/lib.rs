@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Qualitative error-propagation analysis (EPA) — the core of the paper.
 //!

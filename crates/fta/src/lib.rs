@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Fault Tree Analysis (FTA) — the classical EPA baseline of §III-A.
 //!

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Mitigation strategy design (Fig. 1, step 7; §IV-C/D).
 //!

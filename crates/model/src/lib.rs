@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! ArchiMate-style MBSE modeling of IT/OT cyber-physical systems.
 //!

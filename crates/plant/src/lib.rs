@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Continuous-time water-tank plant simulator — the paper's case study.
 //!

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Qualitative reasoning (QR) kernel for the `cpsrisk` framework.
 //!

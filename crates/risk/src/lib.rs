@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Qualitative risk quantization (Fig. 1, step 6 and §IV-B / §V).
 //!

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Linear temporal logic over finite traces (LTLf) for requirement modeling.
 //!

@@ -14,6 +14,29 @@ fn run(args: &[&str]) -> (String, String, bool) {
     )
 }
 
+fn run_with_stdin(args: &[&str], input: &str) -> (String, String, bool) {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cpsrisk"))
+        .args(args)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
 #[test]
 fn table2_prints_the_paper_rows() {
     let (stdout, _, ok) = run(&["table2"]);
@@ -136,6 +159,79 @@ fn lint_command_checks_program_files() {
 }
 
 #[test]
+fn lint_reads_stdin_and_prints_per_file_headers() {
+    let (stdout, _, ok) = run_with_stdin(&["lint", "-"], "p(a). q(X) :- p(X).");
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("== <stdin> =="), "{stdout}");
+    assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
+
+    let (stdout, stderr, ok) = run_with_stdin(&["lint", "-"], "p(a\n");
+    assert!(!ok);
+    assert!(stdout.contains("error[A000]"), "{stdout}");
+    assert!(stderr.contains("lint failed"), "{stderr}");
+}
+
+#[test]
+fn analyze_reports_on_example_programs() {
+    let examples = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples");
+    let (stdout, stderr, ok) = run(&[
+        "analyze",
+        &format!("{examples}/listing1.lp"),
+        &format!("{examples}/water_tank.lp"),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("== "), "per-file headers: {stdout}");
+    assert!(stdout.contains("solver fast path active"), "{stdout}");
+    assert!(stdout.contains("divergence"), "{stdout}");
+    assert!(stdout.contains("slice:"), "{stdout}");
+}
+
+#[test]
+fn analyze_json_is_parseable() {
+    let examples = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples");
+    let (stdout, _, ok) = run(&["analyze", "--json", &format!("{examples}/listing1.lp")]);
+    assert!(ok);
+    let parsed: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    let reports = parsed.as_array().expect("array of reports");
+    assert_eq!(reports.len(), 1);
+    let deps = reports[0].get("deps").expect("deps section");
+    assert!(deps
+        .get("ground_tight")
+        .and_then(serde_json::Value::as_bool)
+        .is_some());
+    let size = reports[0].get("size").expect("size section");
+    assert!(size
+        .get("divergence")
+        .and_then(serde_json::Value::as_f64)
+        .is_some());
+}
+
+#[test]
+fn analyze_fails_on_error_findings_and_divergence() {
+    let dir = std::env::temp_dir().join("cpsrisk_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("analyze_broken.lp");
+    std::fs::write(&file, "p(a\n").unwrap();
+    let (stdout, stderr, ok) = run(&["analyze", file.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stdout.contains("error[A000]"), "{stdout}");
+    assert!(stderr.contains("error-severity"), "{stderr}");
+
+    // The temporal workload sits inside the 10x CI gate but not inside 1x.
+    let (_, stderr, ok) = run(&[
+        "analyze",
+        "--workload",
+        "temporal",
+        "--max-divergence",
+        "10",
+    ]);
+    assert!(ok, "temporal within the CI gate: {stderr}");
+    let (_, stderr, ok) = run(&["analyze", "--workload", "temporal", "--max-divergence", "1"]);
+    assert!(!ok, "an impossible gate trips");
+    assert!(stderr.contains("diverged"), "{stderr}");
+}
+
+#[test]
 fn lint_deny_warnings_promotes_warnings_to_failures() {
     let dir = std::env::temp_dir().join("cpsrisk_cli_test");
     std::fs::create_dir_all(&dir).unwrap();
@@ -182,7 +278,7 @@ fn bench_writes_a_validatable_report() {
     // The written report passes the built-in validator.
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the fresh report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/3 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/4 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // A grounding-bound workload skips the EPA-only sections.
     let (stdout, stderr, ok) = run(&["bench", "--workload", "temporal", "--n", "6", "--out", out]);
