@@ -22,17 +22,19 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
-# Smoke-bench: a tiny workload must produce a cpsrisk-bench/4 report the
+# Smoke-bench: a tiny workload must produce a cpsrisk-bench/5 report the
 # validator accepts. The validator also fails the gate when the
 # assumption-reuse stream diverges from — or is slower than — the
-# fresh-solve stream, or when the tight fast path diverges from the
-# unfounded-set closure.
+# fresh-solve stream, when the tight fast path diverges from the
+# unfounded-set closure, or (v5) when the WFM simplifier changes the model
+# set or a static WFM verdict disagrees with the search path.
 smoke_bench=target/ci_smoke_bench.json
 ./target/release/cpsrisk bench --n 2 --threads 2 --out "$smoke_bench"
 ./target/release/cpsrisk bench --validate "$smoke_bench"
-grep -q '"schema": "cpsrisk-bench/4"' "$smoke_bench" || {
-    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/4 report" >&2
+grep -q '"schema": "cpsrisk-bench/5"' "$smoke_bench" || {
+    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/5 report" >&2
     exit 1
 }
 rm -f "$smoke_bench"
@@ -43,11 +45,13 @@ rm -f "$smoke_bench"
 ./target/release/cpsrisk analyze examples/listing1.lp examples/water_tank.lp
 ./target/release/cpsrisk analyze --workload temporal --max-divergence 10
 
-# Grounding + tight-solve gate: on the temporal workload the validator
-# rejects reports where semi-naive grounding is slower than the reference
-# grounder, diverges from it, or is non-deterministic across threads — and
-# (v4) where the program fails to ground tight or the tight fast path is
-# slower than the unfounded-set closure.
+# Grounding + tight-solve + WFM gate: on the temporal workload the
+# validator rejects reports where semi-naive grounding is slower than the
+# reference grounder, diverges from it, or is non-deterministic across
+# threads — (v4) where the program fails to ground tight or the tight fast
+# path is slower than the unfounded-set closure — and (v5) where the
+# deterministic unrolled dynamics are not statically decided by the
+# well-founded model (static_fraction must be positive).
 grounding_bench=target/ci_grounding_bench.json
 ./target/release/cpsrisk bench --workload temporal --threads 2 --out "$grounding_bench"
 ./target/release/cpsrisk bench --validate "$grounding_bench"

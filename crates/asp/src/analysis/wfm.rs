@@ -1,0 +1,437 @@
+//! Well-founded model analysis — a polynomial-time static verdict engine.
+//!
+//! [`well_founded`] computes van Gelder's alternating fixpoint over a
+//! [`GroundProgram`]: the certainly-true set `T` grows and the
+//! possibly-true set `P` shrinks until both stabilize, yielding a sound
+//! 3-valued approximation of **every** stable model — an atom reported
+//! [`Truth::True`] is in every answer set, one reported [`Truth::False`]
+//! is in none, and only [`Truth::Undefined`] atoms need search. Choice
+//! atoms (and therefore assumables, which are choice-supported facts) are
+//! never certainly derived, so nondeterminism surfaces as `Undefined`
+//! rather than as unsoundness.
+//!
+//! Each half-step is a least-model computation over a reduct, reusing the
+//! semi-naive worklist scheme of
+//! [`check::least_model_of_reduct`](crate::check::least_model_of_reduct):
+//! CSR positive-occurrence lists, per-rule missing counters, and a
+//! derivation stack — every body literal is visited O(1) times per
+//! half-step, and the alternation converges in at most `atom_count`
+//! rounds (two or three in practice).
+//!
+//! [`well_founded_with`] is the assumption-aware conditional variant: the
+//! assumed literals are pinned before the fixpoint, so the result
+//! approximates the stable models *satisfying the assumptions*. When the
+//! conditional WFM is total and consistent, its true set **is** the unique
+//! answer set under those assumptions — the static fast path the EPA
+//! scenario sweeps use to answer verdict queries without search.
+
+use crate::program::{AtomId, CardConstraint, GroundHead, GroundProgram};
+use crate::solve::Lit;
+
+/// Three-valued truth under the well-founded semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// In every stable model.
+    True,
+    /// In no stable model.
+    False,
+    /// Not decided by the polynomial approximation.
+    Undefined,
+}
+
+/// The well-founded model of a ground program (possibly conditioned on
+/// assumptions), as produced by [`well_founded`] / [`well_founded_with`].
+#[derive(Debug, Clone)]
+pub struct WfmResult {
+    truth: Vec<Truth>,
+    /// Atoms certainly in every stable model.
+    pub true_count: usize,
+    /// Atoms certainly in no stable model.
+    pub false_count: usize,
+    /// The approximation proves there is no stable model at all: an
+    /// integrity constraint (or cardinality bound, or an assumed-false
+    /// atom) is violated by the certain part alone.
+    pub inconsistent: bool,
+}
+
+impl WfmResult {
+    /// The 3-valued verdict for one atom.
+    #[must_use]
+    pub fn value(&self, id: AtomId) -> Truth {
+        self.truth[id.index()]
+    }
+
+    /// Is the atom certainly in every stable model?
+    #[must_use]
+    pub fn is_true(&self, id: AtomId) -> bool {
+        self.truth[id.index()] == Truth::True
+    }
+
+    /// Is the atom certainly in no stable model?
+    #[must_use]
+    pub fn is_false(&self, id: AtomId) -> bool {
+        self.truth[id.index()] == Truth::False
+    }
+
+    /// Number of atoms in the program.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// True when the program has no atoms at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.truth.is_empty()
+    }
+
+    /// Atoms left undefined by the approximation.
+    #[must_use]
+    pub fn undefined_count(&self) -> usize {
+        self.len() - self.true_count - self.false_count
+    }
+
+    /// Every atom is decided: the WFM is 2-valued. A total, consistent
+    /// WFM's true set is the unique stable model.
+    #[must_use]
+    pub fn total(&self) -> bool {
+        self.undefined_count() == 0
+    }
+
+    /// Fraction of atoms decided (`1.0` for the empty program).
+    #[must_use]
+    pub fn decided_fraction(&self) -> f64 {
+        if self.truth.is_empty() {
+            return 1.0;
+        }
+        (self.true_count + self.false_count) as f64 / self.truth.len() as f64
+    }
+
+    /// The certainly-true atoms, in id order.
+    pub fn true_atoms(&self) -> impl Iterator<Item = AtomId> + '_ {
+        self.truth
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Truth::True)
+            .map(|(i, _)| AtomId(i as u32))
+    }
+
+    /// The certainly-false atoms, in id order.
+    pub fn false_atoms(&self) -> impl Iterator<Item = AtomId> + '_ {
+        self.truth
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Truth::False)
+            .map(|(i, _)| AtomId(i as u32))
+    }
+}
+
+/// The unconditional well-founded model: no atoms pinned, choice atoms and
+/// assumables free.
+#[must_use]
+pub fn well_founded(program: &GroundProgram) -> WfmResult {
+    well_founded_with(program, &[])
+}
+
+/// The conditional well-founded model under `assumptions`: assumed-true
+/// atoms join the certain set as facts, assumed-false atoms are removed
+/// from every derivation. Sound w.r.t. the stable models that satisfy the
+/// assumptions; `inconsistent` is set when the certain part alone
+/// contradicts a constraint, a cardinality bound, or an assumed-false atom
+/// (no such model exists). Later assumptions on the same atom win, and a
+/// directly contradictory pair marks the result inconsistent.
+#[must_use]
+pub fn well_founded_with(program: &GroundProgram, assumptions: &[Lit]) -> WfmResult {
+    let n_atoms = program.atom_count();
+    let rules = &program.rules;
+
+    // CSR positive-occurrence lists, shared by every half-step.
+    let mut off = vec![0u32; n_atoms + 1];
+    for r in rules {
+        for &p in &r.pos {
+            off[p.index() + 1] += 1;
+        }
+    }
+    for i in 0..n_atoms {
+        off[i + 1] += off[i];
+    }
+    let mut occ = vec![0u32; off[n_atoms] as usize];
+    let mut cursor = off.clone();
+    for (ri, r) in rules.iter().enumerate() {
+        for &p in &r.pos {
+            occ[cursor[p.index()] as usize] = ri as u32;
+            cursor[p.index()] += 1;
+        }
+    }
+
+    let mut assumed_true = vec![false; n_atoms];
+    let mut assumed_false = vec![false; n_atoms];
+    let mut contradictory = false;
+    for l in assumptions {
+        let i = l.atom.index();
+        if l.positive {
+            contradictory |= assumed_false[i];
+            assumed_true[i] = true;
+            assumed_false[i] = false;
+        } else {
+            contradictory |= assumed_true[i];
+            assumed_false[i] = true;
+            assumed_true[i] = false;
+        }
+    }
+
+    // One monotone half-step: the least set closed under the rules, where
+    // `certain` selects the underestimate (choice heads never fire; `not
+    // n` holds iff n is outside `opposite`, the current possible set) or
+    // the overestimate (choice heads fire; `not n` holds iff n is outside
+    // `opposite`, the current certain set). Assumed-true atoms always
+    // join; assumed-false atoms never fire as heads in the overestimate —
+    // in the underestimate they still derive, so a forced assumed-false
+    // atom is caught as an inconsistency afterwards.
+    let gamma = |certain: bool, opposite: &[bool]| -> Vec<bool> {
+        let mut derived = vec![false; n_atoms];
+        let mut missing: Vec<u32> = rules.iter().map(|r| r.pos.len() as u32).collect();
+        let mut stack: Vec<u32> = Vec::new();
+        let push = |a: usize, derived: &mut Vec<bool>, stack: &mut Vec<u32>| {
+            if !derived[a] {
+                derived[a] = true;
+                stack.push(a as u32);
+            }
+        };
+        for (a, &t) in assumed_true.iter().enumerate() {
+            if t {
+                push(a, &mut derived, &mut stack);
+            }
+        }
+        let fire = |ri: usize, derived: &mut Vec<bool>, stack: &mut Vec<u32>| {
+            let r = &rules[ri];
+            let h = match r.head {
+                GroundHead::Atom(h) => h,
+                GroundHead::Choice(h) if !certain => h,
+                _ => return,
+            };
+            if !certain && assumed_false[h.index()] {
+                return;
+            }
+            if r.neg.iter().any(|n| opposite[n.index()]) {
+                return;
+            }
+            push(h.index(), derived, stack);
+        };
+        for ri in (0..rules.len()).filter(|&ri| missing[ri] == 0) {
+            fire(ri, &mut derived, &mut stack);
+        }
+        while let Some(a) = stack.pop() {
+            for i in off[a as usize]..off[a as usize + 1] {
+                let ri = occ[i as usize] as usize;
+                missing[ri] -= 1;
+                if missing[ri] == 0 {
+                    fire(ri, &mut derived, &mut stack);
+                }
+            }
+        }
+        derived
+    };
+
+    // Alternate: T_0 = assumed-true; P = Γ_over(T); T' = Γ_under(P); the
+    // under-approximation grows monotonically, so the loop terminates in
+    // at most `n_atoms + 1` rounds.
+    let mut certain = assumed_true.clone();
+    let mut possible;
+    loop {
+        possible = gamma(false, &certain);
+        let next = gamma(true, &possible);
+        if next == certain {
+            break;
+        }
+        certain = next;
+    }
+
+    let mut truth = vec![Truth::Undefined; n_atoms];
+    let mut true_count = 0;
+    let mut false_count = 0;
+    for i in 0..n_atoms {
+        if certain[i] {
+            truth[i] = Truth::True;
+            true_count += 1;
+        } else if !possible[i] {
+            truth[i] = Truth::False;
+            false_count += 1;
+        }
+    }
+
+    // An assumed-false atom the certain derivation forces true means no
+    // stable model satisfies the assumptions.
+    let mut inconsistent = contradictory || (0..n_atoms).any(|i| assumed_false[i] && certain[i]);
+    // A constraint whose body is certainly satisfied (positives certainly
+    // true, negatives certainly false) rules out every stable model.
+    let certainly = |pos: &[AtomId], neg: &[AtomId]| {
+        pos.iter().all(|p| certain[p.index()]) && neg.iter().all(|n| !possible[n.index()])
+    };
+    inconsistent |= rules
+        .iter()
+        .any(|r| matches!(r.head, GroundHead::None) && certainly(&r.pos, &r.neg));
+    inconsistent |= program.cards.iter().any(|c| {
+        card_refuted(c, &certainly, |id| {
+            (certain[id.index()], possible[id.index()])
+        })
+    });
+
+    WfmResult {
+        truth,
+        true_count,
+        false_count,
+        inconsistent,
+    }
+}
+
+/// Conservative cardinality refutation: with the body certainly satisfied,
+/// the certainly-held element count already exceeds the upper bound, or
+/// even counting every possibly-held element cannot reach the lower bound.
+fn card_refuted(
+    c: &CardConstraint,
+    certainly: &impl Fn(&[AtomId], &[AtomId]) -> bool,
+    value: impl Fn(AtomId) -> (bool, bool),
+) -> bool {
+    if !certainly(&c.pos, &c.neg) {
+        return false;
+    }
+    let mut held_certain = 0u32;
+    let mut held_possible = 0u32;
+    for e in &c.elements {
+        let (atom_certain, atom_possible) = value(e.atom);
+        let guard_certain = certainly(&e.guard_pos, &e.guard_neg);
+        // The guard possibly holds unless a positive guard is certainly
+        // false or a negative guard certainly true.
+        let guard_possible =
+            e.guard_pos.iter().all(|p| value(*p).1) && e.guard_neg.iter().all(|n| !value(*n).0);
+        if atom_certain && guard_certain {
+            held_certain += 1;
+        }
+        if atom_possible && guard_possible {
+            held_possible += 1;
+        }
+    }
+    held_certain > c.upper || held_possible < c.lower
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::Grounder;
+    use crate::parse;
+
+    fn ground(src: &str) -> GroundProgram {
+        Grounder::new().ground(&parse(src).unwrap()).unwrap()
+    }
+
+    fn value(g: &GroundProgram, w: &WfmResult, name: &str) -> Truth {
+        let id = g
+            .atoms()
+            .find(|(_, a)| a.to_string() == name)
+            .unwrap_or_else(|| panic!("atom {name} not interned"))
+            .0;
+        w.value(id)
+    }
+
+    #[test]
+    fn stratified_programs_are_total() {
+        let g = ground("p. q :- p. r :- q, not s.");
+        let w = well_founded(&g);
+        assert!(w.total());
+        assert!(!w.inconsistent);
+        assert_eq!(value(&g, &w, "p"), Truth::True);
+        assert_eq!(value(&g, &w, "q"), Truth::True);
+        assert_eq!(value(&g, &w, "r"), Truth::True);
+        assert!((w.decided_fraction() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn positive_loops_are_unfounded() {
+        // The loop's only support (`b :- not f`) is refuted by the fact
+        // `f`, so the grounder keeps the rules but nothing founds them.
+        let g = ground("f. a :- b. b :- a. b :- not f. { x }. p :- x, not a.");
+        let w = well_founded(&g);
+        assert_eq!(value(&g, &w, "f"), Truth::True);
+        assert_eq!(value(&g, &w, "a"), Truth::False, "no external support");
+        assert_eq!(value(&g, &w, "b"), Truth::False);
+        assert_eq!(value(&g, &w, "x"), Truth::Undefined, "free choice");
+        assert_eq!(value(&g, &w, "p"), Truth::Undefined, "follows the choice");
+    }
+
+    #[test]
+    fn even_negation_loops_stay_undefined() {
+        let g = ground("a :- not b. b :- not a. c.");
+        let w = well_founded(&g);
+        assert_eq!(value(&g, &w, "a"), Truth::Undefined);
+        assert_eq!(value(&g, &w, "b"), Truth::Undefined);
+        assert_eq!(value(&g, &w, "c"), Truth::True);
+        assert_eq!(w.undefined_count(), 2);
+    }
+
+    #[test]
+    fn choice_atoms_and_their_consequences_are_undefined() {
+        let g = ground("{ m }. blocked :- m. alarm :- not blocked.");
+        let w = well_founded(&g);
+        assert_eq!(value(&g, &w, "m"), Truth::Undefined);
+        assert_eq!(value(&g, &w, "blocked"), Truth::Undefined);
+        assert_eq!(value(&g, &w, "alarm"), Truth::Undefined);
+    }
+
+    #[test]
+    fn certainly_violated_constraint_is_inconsistent() {
+        let w = well_founded(&ground("p. :- p."));
+        assert!(w.inconsistent);
+        // A constraint guarded by an undefined atom is not refuted.
+        let w = well_founded(&ground("{ x }. p :- x. :- p."));
+        assert!(!w.inconsistent);
+    }
+
+    #[test]
+    fn unreachable_lower_bound_is_inconsistent() {
+        // The only element can never hold, but the bound demands one.
+        let g = ground("f. dead :- live. live :- dead. live :- not f. 1 { pick : dead } 1.");
+        let w = well_founded(&g);
+        assert!(w.inconsistent, "lower bound 1 over impossible elements");
+    }
+
+    #[test]
+    fn conditional_wfm_pins_assumptions_and_detects_refutation() {
+        let g = ground("{ m }. blocked :- m. alarm :- not blocked.");
+        let m = g.atoms().find(|(_, a)| a.to_string() == "m").unwrap().0;
+        let w_on = well_founded_with(&g, &[Lit::pos(m)]);
+        assert_eq!(value(&g, &w_on, "blocked"), Truth::True);
+        assert_eq!(value(&g, &w_on, "alarm"), Truth::False);
+        assert!(w_on.total() && !w_on.inconsistent);
+        let w_off = well_founded_with(&g, &[Lit::neg(m)]);
+        assert_eq!(value(&g, &w_off, "blocked"), Truth::False);
+        assert_eq!(value(&g, &w_off, "alarm"), Truth::True);
+        assert!(w_off.total() && !w_off.inconsistent);
+
+        // Assuming a forced atom false is inconsistent.
+        let g = ground("p.");
+        let p = g.atoms().next().unwrap().0;
+        assert!(well_founded_with(&g, &[Lit::neg(p)]).inconsistent);
+        // So is a directly contradictory assumption pair.
+        assert!(well_founded_with(&g, &[Lit::pos(p), Lit::neg(p)]).inconsistent);
+    }
+
+    #[test]
+    fn conditional_total_wfm_is_the_unique_model() {
+        // Pinning every choice atom makes the WFM total — the EPA sweep
+        // fast path.
+        let g = ground("{ f }. { m }. bad :- f, not m. ok :- not bad.");
+        let f = g.atoms().find(|(_, a)| a.to_string() == "f").unwrap().0;
+        let m = g.atoms().find(|(_, a)| a.to_string() == "m").unwrap().0;
+        let w = well_founded_with(&g, &[Lit::pos(f), Lit::neg(m)]);
+        assert!(w.total() && !w.inconsistent);
+        assert_eq!(value(&g, &w, "bad"), Truth::True);
+        assert_eq!(value(&g, &w, "ok"), Truth::False);
+        let names: Vec<String> = w.true_atoms().map(|id| g.atom(id).to_string()).collect();
+        assert_eq!(
+            names,
+            ["f", "bad"],
+            "the unique stable model under f, not m"
+        );
+    }
+}

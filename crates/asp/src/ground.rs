@@ -8,7 +8,7 @@
 //! evaluated during instantiation.
 //!
 //! Two engines share this interface. [`Grounder::new`] selects the
-//! [semi-naive engine](crate::seminaive): stratified delta evaluation over
+//! semi-naive engine (`crate::seminaive`): stratified delta evaluation over
 //! the predicate dependency graph, multi-argument hash indexes, slot-based
 //! substitutions, and `CPSRISK_THREADS`-parallel instantiation.
 //! [`Grounder::new_reference`] retains the naive engine in this module —

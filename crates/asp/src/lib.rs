@@ -68,7 +68,10 @@ pub mod program;
 mod seminaive;
 pub mod solve;
 
-pub use analysis::{analyze_dependencies, ground_tight, predict_sizes, slice_program};
+pub use analysis::{
+    analyze_dependencies, ground_tight, predict_sizes, simplify, simplify_with, slice_program,
+    well_founded, well_founded_with, SimplifyResult, WfmResult,
+};
 pub use ast::{Atom, ChoiceElement, Head, Literal, Program, Rule, Statement, Term};
 pub use builder::ProgramBuilder;
 pub use diag::{Diagnostic, Severity, Span};

@@ -1,4 +1,4 @@
-//! Static analysis of ASP programs: span-carrying lints `A000`–`A011`.
+//! Static analysis of ASP programs: span-carrying lints `A000`–`A014`.
 //!
 //! The pass runs over a [`SpannedProgram`] (parsed leniently, so unsafe
 //! rules survive into the AST) plus the predicate dependency graph, and
@@ -15,19 +15,27 @@
 //! | A006 | warning  | cyclic negation (non-stratified loop through `not`) |
 //! | A007 | info     | duplicate rule |
 //! | A008 | info     | `not p` over a never-defined `p` is always true |
-//! | A009 | warning  | predicted grounding explosion (estimated instances above [`EXPLOSION_THRESHOLD`](crate::analysis::EXPLOSION_THRESHOLD)) |
+//! | A009 | warning  | predicted grounding explosion (estimated instances above [`EXPLOSION_THRESHOLD`]) |
 //! | A010 | warning  | predicate defined by rules but never derivable (its size bound is zero) |
 //! | A011 | info     | non-tight loop through negation: recursion and `not` in one SCC |
+//! | A012 | warning  | constraint statically violated: the [well-founded model](crate::analysis::wfm) already satisfies its body, so no answer set exists |
+//! | A013 | info     | choice predicate statically irrelevant: toggling it cannot change any shown atom, constraint, or objective |
+//! | A014 | warning  | predicate constrained but never derivable: every ground instance is false in the well-founded model |
 //!
 //! A program is *lint-clean* when it produces no errors and no warnings;
 //! info-level findings are advisory.
 
 use crate::analysis::deps::{analyze_dependencies, dependency_edges, tarjan_scc};
-use crate::analysis::size::{predict_sizes, EXPLOSION_THRESHOLD};
+use crate::analysis::simplify::simplify_with;
+use crate::analysis::size::{predict_sizes, SizePrediction, EXPLOSION_THRESHOLD};
+use crate::analysis::wfm::{well_founded, well_founded_with, WfmResult};
 use crate::ast::{Head, Literal, Program, Rule, Statement};
 use crate::diag::Diagnostic;
 use crate::error::AspError;
+use crate::ground::Grounder;
 use crate::parser::{parse_program_spanned, OccRole, SpannedProgram};
+use crate::program::{AtomId, GroundHead, GroundProgram};
+use crate::solve::Lit;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Lint a program from source text.
@@ -54,8 +62,10 @@ pub fn lint_program(sp: &SpannedProgram) -> Vec<Diagnostic> {
     unreachable_predicates(sp, &facts, &mut diags); // A005
     negation_cycles(sp, &mut diags); // A006
     duplicate_rules(sp, &mut diags); // A007
-    grounding_size_lints(sp, &facts, &mut diags); // A009, A010
+    let prediction = predict_sizes(&sp.program);
+    let never_derivable = grounding_size_lints(sp, &facts, &prediction, &mut diags); // A009, A010
     non_tight_loops(sp, &mut diags); // A011
+    wfm_lints(sp, &facts, &prediction, &never_derivable, &mut diags); // A012-A014
     diags.sort_by_key(|d| {
         (
             d.span
@@ -439,6 +449,329 @@ fn rule_span_with_neg_edge(
     None
 }
 
+/// Grounding budget for the WFM-backed lints: programs whose predicted
+/// grounding exceeds this many instances skip A012–A014 entirely (the
+/// point of the prediction is to avoid materializing exactly those
+/// programs).
+const WFM_LINT_BUDGET: f64 = 200_000.0;
+
+/// Cap on conditional-WFM probes across the whole A013 pass.
+const WFM_LINT_MAX_PROBES: usize = 32;
+
+/// Skip A013 entirely above this many distinct ground choice atoms.
+const WFM_LINT_MAX_CHOICE_ATOMS: usize = 256;
+
+/// A012 (constraint certainly violated under the WFM), A013 (choice
+/// predicate statically irrelevant), A014 (constrained predicate with no
+/// derivable instance).
+///
+/// These are the only lints that ground the program, so the size
+/// prediction gates them; grounding failures skip the pass silently (an
+/// unsafe rule is already reported as A003).
+fn wfm_lints(
+    sp: &SpannedProgram,
+    facts: &PredFacts,
+    prediction: &SizePrediction,
+    never_derivable: &BTreeSet<String>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if prediction.total > WFM_LINT_BUDGET {
+        return;
+    }
+    let Ok(g) = Grounder::new().ground(&sp.program) else {
+        return;
+    };
+    let wfm = well_founded(&g);
+    statically_violated_constraints(sp, &g, &wfm, diags); // A012
+    underivable_constrained_predicates(sp, facts, &g, &wfm, never_derivable, diags); // A014
+    irrelevant_choice_predicates(sp, &g, &wfm, diags); // A013
+}
+
+/// A012: a ground integrity constraint whose body the well-founded model
+/// already satisfies (positives all true, negatives all false). No answer
+/// set can avoid it — the program is statically inconsistent. The span
+/// points at the source constraint whose body signature matches the
+/// violated ground instance.
+fn statically_violated_constraints(
+    sp: &SpannedProgram,
+    g: &GroundProgram,
+    wfm: &WfmResult,
+    diags: &mut Vec<Diagnostic>,
+) {
+    type BodySig = BTreeMap<(String, usize, bool), usize>;
+    let mut sources: Vec<(usize, BodySig)> = Vec::new();
+    for (idx, stmt) in sp.program.statements.iter().enumerate() {
+        let Statement::Rule(Rule {
+            head: Head::None,
+            body,
+        }) = stmt
+        else {
+            continue;
+        };
+        let mut sig: BodySig = BTreeMap::new();
+        for lit in body {
+            let (atom, positive) = match lit {
+                Literal::Pos(a) => (a, true),
+                Literal::Neg(a) => (a, false),
+                Literal::Cmp(..) => continue,
+            };
+            *sig.entry((atom.pred.clone(), atom.args.len(), positive))
+                .or_insert(0) += 1;
+        }
+        sources.push((idx, sig));
+    }
+    let mut reported: BTreeSet<Option<usize>> = BTreeSet::new();
+    for r in &g.rules {
+        if !matches!(r.head, GroundHead::None)
+            || !r.pos.iter().all(|p| wfm.is_true(*p))
+            || !r.neg.iter().all(|n| wfm.is_false(*n))
+        {
+            continue;
+        }
+        let mut sig: BodySig = BTreeMap::new();
+        for (ids, positive) in [(&r.pos, true), (&r.neg, false)] {
+            for id in ids {
+                let a = g.atom(*id);
+                *sig.entry((a.pred.clone(), a.args.len(), positive))
+                    .or_insert(0) += 1;
+            }
+        }
+        let stmt = sources.iter().find(|(_, s)| *s == sig).map(|(idx, _)| *idx);
+        if !reported.insert(stmt) {
+            continue;
+        }
+        let mut d = Diagnostic::warning(
+            "A012",
+            "constraint statically violated: its body already holds in the \
+             well-founded model, so no answer set exists",
+        );
+        if let Some(span) = stmt.and_then(|idx| sp.statement_spans.get(idx)) {
+            d = d.with_span(*span);
+        }
+        diags.push(d);
+    }
+}
+
+/// A014: a defined predicate occurs positively in a constraint body, but
+/// every interned ground instance of it is false in the well-founded model
+/// (or the grounder materialized none at all) — the constraint is dead
+/// code. Predicates A010 already reported as never derivable are skipped.
+fn underivable_constrained_predicates(
+    sp: &SpannedProgram,
+    facts: &PredFacts,
+    g: &GroundProgram,
+    wfm: &WfmResult,
+    never_derivable: &BTreeSet<String>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut derivable: BTreeSet<(String, usize)> = BTreeSet::new();
+    for (id, a) in g.atoms() {
+        if !wfm.is_false(id) {
+            derivable.insert((a.pred.clone(), a.args.len()));
+        }
+    }
+    let mut reported: BTreeSet<(String, usize)> = BTreeSet::new();
+    for occ in &sp.occurrences {
+        if occ.role != OccRole::Pos
+            || !in_constraint(&sp.program, occ.stmt)
+            || !facts.defined.contains(&occ.pred)
+            || never_derivable.contains(&occ.pred)
+            || derivable.contains(&(occ.pred.clone(), occ.arity))
+            || !reported.insert((occ.pred.clone(), occ.arity))
+        {
+            continue;
+        }
+        diags.push(
+            Diagnostic::warning(
+                "A014",
+                format!(
+                    "predicate `{}/{}` is constrained but never derivable: every \
+                     ground instance is false in the well-founded model",
+                    occ.pred, occ.arity
+                ),
+            )
+            .with_span(occ.span),
+        );
+    }
+}
+
+/// The atoms whose values constitute the program's observable verdict:
+/// the `#show` projection, every atom an integrity constraint or
+/// cardinality constraint mentions, and every `#minimize` condition atom.
+fn verdict_atoms(p: &GroundProgram) -> Vec<bool> {
+    let mut v = vec![false; p.atom_count()];
+    let mark = |v: &mut Vec<bool>, ids: &[AtomId]| {
+        for id in ids {
+            v[id.index()] = true;
+        }
+    };
+    for r in &p.rules {
+        if matches!(r.head, GroundHead::None) {
+            mark(&mut v, &r.pos);
+            mark(&mut v, &r.neg);
+        }
+    }
+    for c in &p.cards {
+        mark(&mut v, &c.pos);
+        mark(&mut v, &c.neg);
+        for e in &c.elements {
+            v[e.atom.index()] = true;
+            mark(&mut v, &e.guard_pos);
+            mark(&mut v, &e.guard_neg);
+        }
+    }
+    for (_, lits) in &p.minimize {
+        for l in lits {
+            mark(&mut v, &l.pos);
+            mark(&mut v, &l.neg);
+        }
+    }
+    for (id, _) in p.atoms() {
+        if p.shown(id) {
+            v[id.index()] = true;
+        }
+    }
+    v
+}
+
+/// Route 1 of the A013 check: the forward dependency cone of `c` in the
+/// simplified program touches no verdict atom and contains no internal
+/// negative edge. By the splitting theorem the rest of the program is then
+/// independent of how `c` is chosen, and the cone itself (verdict-free and
+/// internally negation-free) can neither veto a model nor alter one —
+/// toggling `c` cannot change any verdict.
+fn cone_is_isolated(p: &GroundProgram, adj: &[Vec<u32>], c: AtomId, verdict: &[bool]) -> bool {
+    let mut cone = vec![false; p.atom_count()];
+    let mut stack = vec![c.0];
+    cone[c.index()] = true;
+    while let Some(a) = stack.pop() {
+        if verdict[a as usize] {
+            return false;
+        }
+        for &h in &adj[a as usize] {
+            if !cone[h as usize] {
+                cone[h as usize] = true;
+                stack.push(h);
+            }
+        }
+    }
+    for r in &p.rules {
+        let (GroundHead::Atom(h) | GroundHead::Choice(h)) = r.head else {
+            continue;
+        };
+        if cone[h.index()] && r.neg.iter().any(|n| cone[n.index()]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Route 2 of the A013 check: pin `c` true and then false; if both
+/// conditional well-founded models are consistent and decide every verdict
+/// atom to the same value, every stable model — with or without `c` —
+/// agrees on the whole verdict.
+fn conditional_verdicts_fixed(g: &GroundProgram, c: AtomId, verdict: &[bool]) -> bool {
+    use crate::analysis::wfm::Truth;
+    let on = well_founded_with(g, &[Lit::pos(c)]);
+    let off = well_founded_with(g, &[Lit::neg(c)]);
+    if on.inconsistent || off.inconsistent {
+        return false;
+    }
+    verdict.iter().enumerate().all(|(i, &is_verdict)| {
+        let id = AtomId(i as u32);
+        !is_verdict || (on.value(id) != Truth::Undefined && on.value(id) == off.value(id))
+    })
+}
+
+/// A013: a choice predicate none of whose ground atoms can influence the
+/// program's verdict — in the paper's encodings, a mitigation (or fault
+/// toggle) whose activation provably changes nothing. Each surviving atom
+/// must pass the structural cone check ([`cone_is_isolated`]) or the
+/// conditional-WFM check ([`conditional_verdicts_fixed`]); atoms the WFM
+/// already refutes are vacuously irrelevant.
+fn irrelevant_choice_predicates(
+    sp: &SpannedProgram,
+    g: &GroundProgram,
+    wfm: &WfmResult,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if g.shows.is_empty() {
+        // No projection: every atom is observable and nothing can be
+        // certified irrelevant (mirrors the A005 gate).
+        return;
+    }
+    let mut groups: BTreeMap<(String, usize), Vec<AtomId>> = BTreeMap::new();
+    let mut seen = vec![false; g.atom_count()];
+    for r in &g.rules {
+        if let GroundHead::Choice(h) = r.head {
+            if !seen[h.index()] {
+                seen[h.index()] = true;
+                let a = g.atom(h);
+                groups
+                    .entry((a.pred.clone(), a.args.len()))
+                    .or_default()
+                    .push(h);
+            }
+        }
+    }
+    if groups.values().map(Vec::len).sum::<usize>() > WFM_LINT_MAX_CHOICE_ATOMS {
+        return;
+    }
+    let s = simplify_with(g, wfm);
+    let verdict_orig = verdict_atoms(g);
+    let verdict_simpl = verdict_atoms(&s.program);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); s.program.atom_count()];
+    for r in &s.program.rules {
+        let (GroundHead::Atom(h) | GroundHead::Choice(h)) = r.head else {
+            continue;
+        };
+        for x in r.pos.iter().chain(&r.neg) {
+            adj[x.index()].push(h.0);
+        }
+    }
+    let mut probes = 0usize;
+    'groups: for ((pred, arity), atoms) in &groups {
+        let surviving: Vec<AtomId> = atoms
+            .iter()
+            .filter(|a| s.map[a.index()].is_some())
+            .copied()
+            .collect();
+        if surviving.is_empty() {
+            continue;
+        }
+        for &c in &surviving {
+            let c_new = s.map[c.index()].expect("surviving atoms are mapped");
+            if cone_is_isolated(&s.program, &adj, c_new, &verdict_simpl) {
+                continue;
+            }
+            if probes >= WFM_LINT_MAX_PROBES {
+                continue 'groups; // out of budget: cannot certify the group
+            }
+            probes += 1;
+            if !conditional_verdicts_fixed(g, c, &verdict_orig) {
+                continue 'groups;
+            }
+        }
+        let stmt = sp.program.statements.iter().position(|stmt| {
+            matches!(stmt, Statement::Rule(Rule { head: Head::Choice { elements, .. }, .. })
+                if elements
+                    .iter()
+                    .any(|e| e.atom.pred == *pred && e.atom.args.len() == *arity))
+        });
+        let mut d = Diagnostic::info(
+            "A013",
+            format!(
+                "choice predicate `{pred}/{arity}` is statically irrelevant: \
+                 toggling it cannot change any shown atom, constraint, or objective"
+            ),
+        );
+        if let Some(span) = stmt.and_then(|idx| sp.statement_spans.get(idx)) {
+            d = d.with_span(*span);
+        }
+        diags.push(d);
+    }
+}
+
 fn in_constraint(program: &Program, stmt: usize) -> bool {
     matches!(
         program.statements.get(stmt),
@@ -455,8 +788,12 @@ fn in_constraint(program: &Program, stmt: usize) -> bool {
 ///
 /// A010 stays quiet while any predicate is undefined — the bounds are
 /// meaningless then, and A001/A004 already point at the real problem.
-fn grounding_size_lints(sp: &SpannedProgram, facts: &PredFacts, diags: &mut Vec<Diagnostic>) {
-    let prediction = predict_sizes(&sp.program);
+fn grounding_size_lints(
+    sp: &SpannedProgram,
+    facts: &PredFacts,
+    prediction: &SizePrediction,
+    diags: &mut Vec<Diagnostic>,
+) -> BTreeSet<String> {
     for est in &prediction.rules {
         if est.instances > EXPLOSION_THRESHOLD {
             let mut d = Diagnostic::warning(
@@ -478,7 +815,7 @@ fn grounding_size_lints(sp: &SpannedProgram, facts: &PredFacts, diags: &mut Vec<
         .iter()
         .all(|o| o.role == OccRole::Def || facts.defined.contains(&o.pred));
     if !all_defined {
-        return;
+        return BTreeSet::new();
     }
     let mut reported: BTreeSet<String> = BTreeSet::new();
     for (idx, stmt) in sp.program.statements.iter().enumerate() {
@@ -510,6 +847,7 @@ fn grounding_size_lints(sp: &SpannedProgram, facts: &PredFacts, diags: &mut Vec<
             diags.push(d);
         }
     }
+    reported
 }
 
 /// A011: an SCC of the predicate dependency graph with both an internal
@@ -774,6 +1112,69 @@ mod tests {
         );
         // A pure even loop is tight: A006 only, no A011.
         assert!(!codes("a :- not b. b :- not a.").contains(&"A011".to_owned()));
+    }
+
+    #[test]
+    fn a012_statically_violated_constraint() {
+        let src = "p. q :- p. :- q.";
+        let d = only(src, "A012");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("no answer set"), "{}", d.message);
+        let span = d.span.expect("span points at the constraint");
+        assert_eq!(span.offset, src.find(":- q").unwrap());
+        // A constraint guarded by a free choice is not statically violated.
+        assert!(!codes("{ x }. p :- x. :- p.").contains(&"A012".to_owned()));
+    }
+
+    #[test]
+    fn a013_statically_irrelevant_choice() {
+        // `junk` only feeds `spin`; neither is shown or constrained. `f`
+        // drives the shown `alarm`, so it must not be flagged.
+        let src = "{ junk }. spin :- junk. { f }. alarm :- f. #show alarm/0.";
+        let d = only(src, "A013");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("`junk/0`"), "{}", d.message);
+        assert_eq!(d.span.expect("span").offset, 0, "at the choice rule");
+        // Without a #show projection every atom is observable: no A013.
+        assert!(!codes("{ junk }. spin :- junk.").contains(&"A013".to_owned()));
+    }
+
+    #[test]
+    fn a013_needs_the_conditional_route_for_shadowed_choices() {
+        // `v` is derived whichever way `c` goes — reachability alone cannot
+        // see that, but the conditional WFM decides `v` true under both
+        // `c` and `not c`.
+        let src = "{ c }. v :- c. v :- not c. #show v/0.";
+        let d = only(src, "A013");
+        assert!(d.message.contains("`c/0`"), "{}", d.message);
+    }
+
+    #[test]
+    fn a014_constrained_but_never_derivable() {
+        // `f` refutes `danger`'s only rule, so the constraint is dead code.
+        let src = "f. danger :- not f. :- danger.";
+        let d = only(src, "A014");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("`danger/0`"), "{}", d.message);
+        assert_eq!(
+            d.span.expect("span").offset,
+            src.rfind("danger").unwrap(),
+            "at the occurrence inside the constraint"
+        );
+        // A derivable constrained predicate stays silent.
+        assert!(!codes("f. danger :- f. :- danger, f.").contains(&"A014".to_owned()));
+    }
+
+    #[test]
+    fn wfm_lints_respect_the_grounding_budget() {
+        // Statically violated, but the predicted grounding of the n^3
+        // cross join is far past the budget: the pass must not ground it.
+        let mut src = String::new();
+        for i in 0..120 {
+            src.push_str(&format!("n({i}). "));
+        }
+        src.push_str("big(X, Y, Z) :- n(X), n(Y), n(Z). p. :- p.");
+        assert!(!codes(&src).contains(&"A012".to_owned()));
     }
 
     #[test]

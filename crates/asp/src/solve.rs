@@ -247,6 +247,16 @@ pub struct Solver<'a> {
     nogood_force_count: u64,
     /// Branches abandoned by the branch-and-bound prune hook (current call).
     bound_prune_count: u64,
+    /// The well-founded model of the ground program, computed once at
+    /// construction (never on the reference engine, which stays a pure
+    /// search oracle). Sound for every solve call: its verdicts hold in
+    /// every stable model regardless of assumptions.
+    wfm: Option<crate::analysis::wfm::WfmResult>,
+    /// The WFM verdicts as level-0 assignments, pre-flattened so each
+    /// solve call replays them without re-walking the truth vector. When
+    /// the WFM is total the seeds decide every atom and the search
+    /// returns without a single decision.
+    wfm_seeds: Vec<(u32, Val)>,
 }
 
 impl<'a> Solver<'a> {
@@ -296,6 +306,11 @@ impl<'a> Solver<'a> {
                 }
             }
         }
+        let wfm = if reference {
+            None
+        } else {
+            Some(crate::analysis::well_founded(program))
+        };
         let display: Vec<String> = program.atoms().map(|(_, a)| a.to_string()).collect();
         let mut sorted_ids: Vec<u32> = (0..n_atoms as u32).collect();
         sorted_ids.sort_by(|&a, &b| display[a as usize].cmp(&display[b as usize]));
@@ -337,6 +352,15 @@ impl<'a> Solver<'a> {
             lifetime_conflicts: 0,
             nogood_force_count: 0,
             bound_prune_count: 0,
+            wfm_seeds: match &wfm {
+                Some(w) => w
+                    .true_atoms()
+                    .map(|id| (id.0, Val::True))
+                    .chain(w.false_atoms().map(|id| (id.0, Val::False)))
+                    .collect(),
+                None => Vec::new(),
+            },
+            wfm,
         }
     }
 
@@ -409,6 +433,36 @@ impl<'a> Solver<'a> {
         self.nogood_set.clear();
     }
 
+    /// The well-founded model computed at construction, or `None` on the
+    /// reference engine. Its true/false verdicts hold in every stable
+    /// model, so callers can answer cautious/brave membership for decided
+    /// atoms without searching.
+    #[must_use]
+    pub fn wfm(&self) -> Option<&crate::analysis::wfm::WfmResult> {
+        self.wfm.as_ref()
+    }
+
+    /// Replay the WFM verdicts as level-0 assignments. Returns false when
+    /// a seed conflicts with an already-assigned value (an assumption
+    /// contradicting the backbone — no stable model can satisfy it).
+    fn seed_wfm(&mut self) -> bool {
+        for i in 0..self.wfm_seeds.len() {
+            let (atom, v) = self.wfm_seeds[i];
+            if !self.set(AtomId(atom), v) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Per-call setup shared by every solve entry point: reset, pin the
+    /// assumptions at level 0, then seed the WFM backbone. False means the
+    /// search space is empty before the first decision.
+    fn prepare(&mut self, assumptions: &[Lit]) -> bool {
+        self.reset();
+        self.apply_assumptions(assumptions) && self.seed_wfm()
+    }
+
     /// Enumerate answer sets (ignoring `#minimize`).
     ///
     /// # Errors
@@ -435,9 +489,8 @@ impl<'a> Solver<'a> {
         assumptions: &[Lit],
         opts: &SolveOptions,
     ) -> Result<SolveResult, AspError> {
-        self.reset();
         let mut models = Vec::new();
-        let exhausted = if self.apply_assumptions(assumptions) {
+        let exhausted = if self.prepare(assumptions) {
             self.search(
                 opts,
                 &mut |m| {
@@ -497,8 +550,7 @@ impl<'a> Solver<'a> {
         assumptions: &[Lit],
         opts: &SolveOptions,
     ) -> Result<Option<Model>, AspError> {
-        self.reset();
-        if !self.apply_assumptions(assumptions) {
+        if !self.prepare(assumptions) {
             return Ok(None);
         }
         if self.g.minimize.is_empty() {
@@ -575,41 +627,86 @@ impl<'a> Solver<'a> {
 
     /// Brave consequences: atoms true in **some** answer set.
     ///
+    /// Maintains a running union over the enumeration, marking membership
+    /// by [`AtomId`] instead of materializing models and stringifying
+    /// atoms. WFM-false atoms bound the union from above: once every atom
+    /// the WFM does not refute has appeared, enumeration stops early.
+    ///
     /// # Errors
     ///
     /// [`AspError::SolveBudget`] if the decision budget is exceeded.
     pub fn brave(&mut self, opts: &SolveOptions) -> Result<Vec<Atom>, AspError> {
-        let result = self.enumerate(opts)?;
-        let mut out: Vec<Atom> = Vec::new();
-        let mut seen = HashSet::new();
-        for m in &result.models {
-            for a in &m.atoms {
-                if seen.insert(a.to_string()) {
-                    out.push(a.clone());
-                }
-            }
+        if !self.prepare(&[]) {
+            return Ok(Vec::new());
         }
-        out.sort_by_key(ToString::to_string);
-        Ok(out)
+        let n = self.g.atom_count();
+        let cap = n - self.wfm.as_ref().map_or(0, |w| w.false_count);
+        let mut in_some = vec![false; n];
+        let mut marked = 0usize;
+        let mut models_seen = 0usize;
+        self.search(
+            opts,
+            &mut |m| {
+                models_seen += 1;
+                for id in m.ids() {
+                    if !in_some[id.index()] {
+                        in_some[id.index()] = true;
+                        marked += 1;
+                    }
+                }
+                marked < cap && (opts.max_models == 0 || models_seen < opts.max_models)
+            },
+            &mut |_| false,
+        )?;
+        Ok(self.collect_sorted(&in_some))
     }
 
     /// Cautious consequences: atoms true in **every** answer set
     /// (empty if the program is inconsistent).
     ///
+    /// Maintains a running intersection over the enumeration (by
+    /// [`AtomId`], no per-model materialization) and stops as soon as it
+    /// can no longer shrink: the intersection never drops below the WFM
+    /// backbone, so reaching it — the empty set on programs with no
+    /// backbone — ends the search early.
+    ///
     /// # Errors
     ///
     /// [`AspError::SolveBudget`] if the decision budget is exceeded.
     pub fn cautious(&mut self, opts: &SolveOptions) -> Result<Vec<Atom>, AspError> {
-        let result = self.enumerate(opts)?;
-        let Some((first, rest)) = result.models.split_first() else {
+        if !self.prepare(&[]) {
             return Ok(Vec::new());
-        };
-        Ok(first
-            .atoms
+        }
+        let floor = self.wfm.as_ref().map_or(0, |w| w.true_count);
+        let mut candidates: Option<Vec<AtomId>> = None;
+        let mut models_seen = 0usize;
+        self.search(
+            opts,
+            &mut |m| {
+                models_seen += 1;
+                match &mut candidates {
+                    None => candidates = Some(m.ids().iter().copied().collect()),
+                    Some(c) => c.retain(|id| m.ids().contains(id)),
+                }
+                candidates.as_ref().expect("just set").len() > floor
+                    && (opts.max_models == 0 || models_seen < opts.max_models)
+            },
+            &mut |_| false,
+        )?;
+        let mut in_all = vec![false; self.g.atom_count()];
+        for id in candidates.unwrap_or_default() {
+            in_all[id.index()] = true;
+        }
+        Ok(self.collect_sorted(&in_all))
+    }
+
+    /// The marked atoms in display order (the order models print in).
+    fn collect_sorted(&self, marked: &[bool]) -> Vec<Atom> {
+        self.sorted_ids
             .iter()
-            .filter(|a| rest.iter().all(|m| m.contains_str(&a.to_string())))
-            .cloned()
-            .collect())
+            .filter(|&&i| marked[i as usize])
+            .map(|&i| self.g.atom(AtomId(i)).clone())
+            .collect()
     }
 
     /// Full per-call reset: assignment, trail, decisions and counters are
@@ -1610,6 +1707,36 @@ mod tests {
             .map(ToString::to_string)
             .collect();
         assert_eq!(cautious, vec!["c"]);
+    }
+
+    #[test]
+    fn total_wfm_solves_without_decisions() {
+        // Stratified program: the WFM decides every atom, so the seeds
+        // leave nothing to branch on.
+        let src = "p. q :- p. r :- q, not s.";
+        let g = Grounder::new().ground(&parse(src).unwrap()).unwrap();
+        let mut s = Solver::new(&g);
+        assert!(s.wfm().expect("non-reference computes the WFM").total());
+        let res = s.enumerate(&SolveOptions::default()).unwrap();
+        assert_eq!(res.models.len(), 1);
+        assert_eq!(res.decisions, 0, "the backbone is the model");
+    }
+
+    #[test]
+    fn assumptions_against_the_backbone_yield_no_models() {
+        let src = "p. q :- not r.";
+        let g = Grounder::new().ground(&parse(src).unwrap()).unwrap();
+        let p = g.lookup(&Atom::prop("p")).unwrap();
+        let mut s = Solver::new(&g);
+        let res = s
+            .solve_with_assumptions(&[Lit::neg(p)], &SolveOptions::default())
+            .unwrap();
+        assert!(res.models.is_empty() && res.exhausted);
+        // The same assumption still enumerates fine when compatible.
+        let res = s
+            .solve_with_assumptions(&[Lit::pos(p)], &SolveOptions::default())
+            .unwrap();
+        assert_eq!(res.models.len(), 1);
     }
 
     #[test]

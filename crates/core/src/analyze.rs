@@ -12,21 +12,30 @@
 //!   workload fails the build);
 //! * **slicing** — how many statements the backward slice drops and what
 //!   that saves in ground rules;
-//! * **lint findings** — the full `A000`…`A011` pass over the source.
+//! * **consequences** — the well-founded model of the ground program (the
+//!   polynomial-time backbone every stable model must respect) and what
+//!   the WFM-based simplifier makes of it;
+//! * **lint findings** — the full `A000`…`A014` pass over the source.
 
 use serde::{Deserialize, Serialize};
 
-use cpsrisk_asp::analysis::{analyze_dependencies, ground_tight, predict_sizes, slice_program};
+use cpsrisk_asp::analysis::{
+    analyze_dependencies, ground_tight, predict_sizes, simplify_with, slice_program, well_founded,
+};
 use cpsrisk_asp::{lint, Grounder};
 
 use crate::error::CoreError;
+
+/// Schema identifier stamped into every report so downstream tooling can
+/// validate the shape it parses (mirrors the bench report's `schema`).
+pub const ANALYZE_SCHEMA: &str = "cpsrisk-analyze/1";
 
 /// One lint finding, flattened for the JSON report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Finding {
     /// `"error"`, `"warning"`, or `"info"`.
     pub severity: String,
-    /// Stable code (`A000`…`A011`).
+    /// Stable code (`A000`…`A014`).
     pub code: String,
     /// Human-readable description.
     pub message: String,
@@ -84,9 +93,57 @@ pub struct SliceSection {
     pub sliced_ground_rules: usize,
 }
 
+/// The well-founded-consequences section: what the polynomial-time
+/// 3-valued approximation already decides about every stable model, and
+/// what simplifying against that backbone buys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsequencesSection {
+    /// Interned ground atoms.
+    pub atoms: usize,
+    /// Atoms true in every stable model (the backbone).
+    pub wfm_true: usize,
+    /// Atoms false in every stable model.
+    pub wfm_false: usize,
+    /// Atoms the WFM leaves open (choices and what depends on them).
+    pub wfm_undefined: usize,
+    /// The WFM decides every atom — solving needs no search at all.
+    pub total: bool,
+    /// The WFM refutes the program outright (no stable model exists).
+    pub inconsistent: bool,
+    /// `(wfm_true + wfm_false) / atoms` (1.0 for the empty program).
+    pub decided_fraction: f64,
+    /// Ground rules before simplification.
+    pub rules_before: usize,
+    /// Ground rules after fixing the backbone and dropping dead rules.
+    pub rules_after: usize,
+    /// Tightness certificate re-derived on the simplified program — can
+    /// be `true` where the original certificate was `false`, unlocking
+    /// the solver's tight fast path.
+    pub tight_after_simplify: bool,
+}
+
+impl Default for ConsequencesSection {
+    fn default() -> Self {
+        ConsequencesSection {
+            atoms: 0,
+            wfm_true: 0,
+            wfm_false: 0,
+            wfm_undefined: 0,
+            total: true,
+            inconsistent: false,
+            decided_fraction: 1.0,
+            rules_before: 0,
+            rules_after: 0,
+            tight_after_simplify: true,
+        }
+    }
+}
+
 /// The full per-program analysis report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnalyzeReport {
+    /// Report schema version ([`ANALYZE_SCHEMA`]).
+    pub schema: String,
     /// Program name (file path or workload label).
     pub name: String,
     /// Dependency structure and tightness.
@@ -95,7 +152,9 @@ pub struct AnalyzeReport {
     pub size: SizeSection,
     /// Slice savings.
     pub slice: SliceSection,
-    /// Lint findings (`A000`…`A011`), ordered by span then code.
+    /// Well-founded consequences and simplification effect.
+    pub consequences: ConsequencesSection,
+    /// Lint findings (`A000`…`A014`), ordered by span then code.
     pub findings: Vec<Finding>,
 }
 
@@ -132,6 +191,7 @@ pub fn analyze_source(name: &str, src: &str) -> Result<AnalyzeReport, CoreError>
     let Ok(program) = cpsrisk_asp::parse(src) else {
         // Unparseable: the A000 finding already says so; report what we can.
         return Ok(AnalyzeReport {
+            schema: ANALYZE_SCHEMA.to_owned(),
             name: name.to_owned(),
             deps: DepsSection {
                 predicates: 0,
@@ -154,6 +214,7 @@ pub fn analyze_source(name: &str, src: &str) -> Result<AnalyzeReport, CoreError>
                 dropped: 0,
                 sliced_ground_rules: 0,
             },
+            consequences: ConsequencesSection::default(),
             findings,
         });
     };
@@ -185,7 +246,11 @@ pub fn analyze_source(name: &str, src: &str) -> Result<AnalyzeReport, CoreError>
         None
     };
 
+    let wfm = well_founded(&ground);
+    let simplified = simplify_with(&ground, &wfm);
+
     Ok(AnalyzeReport {
+        schema: ANALYZE_SCHEMA.to_owned(),
         name: name.to_owned(),
         deps: DepsSection {
             predicates: deps.preds.len(),
@@ -207,6 +272,18 @@ pub fn analyze_source(name: &str, src: &str) -> Result<AnalyzeReport, CoreError>
             kept: slice.kept.len(),
             dropped: slice.dropped.len(),
             sliced_ground_rules: sliced_ground,
+        },
+        consequences: ConsequencesSection {
+            atoms: wfm.len(),
+            wfm_true: wfm.true_count,
+            wfm_false: wfm.false_count,
+            wfm_undefined: wfm.undefined_count(),
+            total: wfm.total(),
+            inconsistent: wfm.inconsistent,
+            decided_fraction: wfm.decided_fraction(),
+            rules_before: simplified.rules_before,
+            rules_after: simplified.rules_after,
+            tight_after_simplify: simplified.tight_after,
         },
         findings,
     })
@@ -279,6 +356,34 @@ pub fn render(r: &AnalyzeReport) -> String {
         "  slice: {} statement(s), {} kept, {} dropped ({} ground rule(s) after slicing)",
         r.slice.statements, r.slice.kept, r.slice.dropped, r.slice.sliced_ground_rules
     );
+    let c = &r.consequences;
+    let verdict = if c.inconsistent {
+        "INCONSISTENT: no stable model exists"
+    } else if c.total {
+        "total: solving needs no search"
+    } else {
+        "partial"
+    };
+    let _ = writeln!(
+        out,
+        "  consequences: {} atom(s), {} true / {} false / {} open ({:.0}% decided, {verdict})",
+        c.atoms,
+        c.wfm_true,
+        c.wfm_false,
+        c.wfm_undefined,
+        c.decided_fraction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  simplify: {} -> {} rule(s), simplified program {}",
+        c.rules_before,
+        c.rules_after,
+        if c.tight_after_simplify {
+            "tight"
+        } else {
+            "NOT tight"
+        }
+    );
     if r.findings.is_empty() {
         let _ = writeln!(out, "  findings: none");
     } else {
@@ -309,9 +414,16 @@ mod tests {
         assert_eq!(r.errors(), 0);
         let d = r.size.divergence.expect("both sides positive");
         assert!(d < 10.0, "tiny program predicts accurately, got {d}");
+        assert_eq!(r.schema, ANALYZE_SCHEMA);
+        // A stratified choice-free program is fully decided by the WFM.
+        assert!(r.consequences.total && !r.consequences.inconsistent);
+        assert!((r.consequences.decided_fraction - 1.0).abs() < f64::EPSILON);
+        assert_eq!(r.consequences.wfm_true, 4, "p(a) q(b) shadow(b) r(a)");
         let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"schema\":\"cpsrisk-analyze/1\""));
         let back: AnalyzeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.slice.dropped, 2);
+        assert_eq!(back.consequences.wfm_true, 4);
     }
 
     #[test]
@@ -323,6 +435,13 @@ mod tests {
             r.deps.positive_loops,
             vec![vec!["a".to_owned(), "b".to_owned()]]
         );
+        // The a/b loop is supported only through the choice on x, so the
+        // WFM leaves all three atoms open...
+        assert!(!r.consequences.total);
+        assert_eq!(r.consequences.wfm_undefined, 3);
+        // ...but simplification cannot break the supported loop: still
+        // non-tight afterwards.
+        assert!(!r.consequences.tight_after_simplify);
     }
 
     #[test]
@@ -331,6 +450,8 @@ mod tests {
         assert_eq!(r.errors(), 1);
         assert_eq!(r.findings[0].code, "A000");
         assert_eq!(r.size.actual_rules, 0);
+        assert_eq!(r.schema, ANALYZE_SCHEMA);
+        assert_eq!(r.consequences.atoms, 0);
     }
 
     #[test]
@@ -339,6 +460,7 @@ mod tests {
         let text = render(&r);
         assert!(text.contains("== prog.lp =="));
         assert!(text.contains("solver fast path active"));
+        assert!(text.contains("total: solving needs no search"));
         assert!(text.contains("findings: none"));
     }
 }

@@ -2,10 +2,13 @@
 //!
 //! Runs one of the parametric workloads (`chain`, `grid`, `temporal`) and
 //! reports **grounding** and **solving** as separate sections — schema
-//! `cpsrisk-bench/4` (v4 adds the `tight_solve` section: the solver's
-//! tight-program fast path measured against the unfounded-set closure on
-//! the same ground program). The v2 schema's single top-level `speedup` was
-//! misleading: on `chain_problem(8)` solving is enumeration-bound, so the
+//! `cpsrisk-bench/5` (v5 adds the `wfm` section: the polynomial-time
+//! well-founded analysis, its backbone simplifier, and the fraction of the
+//! scenario stream it decides without any search; v4 added the
+//! `tight_solve` section: the solver's tight-program fast path measured
+//! against the unfounded-set closure on the same ground program). The v2
+//! schema's single top-level `speedup` was misleading: on
+//! `chain_problem(8)` solving is enumeration-bound, so the
 //! indexed-vs-reference solver ratio reads ~1.0× no matter how fast the
 //! grounder got. v3 measures each stage against its own baseline:
 //!
@@ -22,7 +25,7 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 use cpsrisk_asp::program::{CardConstraint, GroundHead, MinimizeLit};
-use cpsrisk_asp::{GroundProgram, Grounder, SolveOptions, Solver};
+use cpsrisk_asp::{simplify_with, well_founded, GroundProgram, Grounder, SolveOptions, Solver};
 use cpsrisk_epa::encode::analyze_fixed_fresh;
 use cpsrisk_epa::parallel::{sweep_fixed, SweepOptions};
 use cpsrisk_epa::workload::{chain_problem, grid_problem, temporal_tank_problem};
@@ -31,7 +34,7 @@ use cpsrisk_epa::{encode, EncodeMode, EpaProblem, IncrementalAnalysis, Scenario,
 use crate::error::CoreError;
 
 /// Schema tag carried by every report this module writes.
-pub const SCHEMA: &str = "cpsrisk-bench/4";
+pub const SCHEMA: &str = "cpsrisk-bench/5";
 
 /// Cap on the fixed-scenario stream measured by the incremental section.
 const MAX_INCREMENTAL_SCENARIOS: usize = 128;
@@ -216,6 +219,52 @@ pub struct IncrementalSample {
     pub conflicts: u64,
 }
 
+/// The well-founded static-analysis stage (schema v5): the polynomial
+/// 3-valued approximation on the shared ground program, what the backbone
+/// simplifier makes of it, and — the headline number — the fraction of
+/// the scenario stream the conditional WFM decides **without any
+/// search**. For the `temporal` workload (no scenario space) the single
+/// "scenario" is the program itself, decided statically exactly when the
+/// unconditional WFM is total.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WfmSample {
+    /// Wall-clock time of WFM + simplification, ms.
+    pub wfm_ms: f64,
+    /// Interned ground atoms.
+    pub atoms: usize,
+    /// Atoms the WFM proves true in every stable model.
+    pub true_atoms: usize,
+    /// Atoms the WFM proves false in every stable model.
+    pub false_atoms: usize,
+    /// Atoms the WFM leaves open.
+    pub undefined_atoms: usize,
+    /// The unconditional WFM decides every atom.
+    pub total: bool,
+    /// `(true_atoms + false_atoms) / atoms` (1.0 for the empty program).
+    pub decided_fraction: f64,
+    /// Ground rules before simplification.
+    pub rules_before: usize,
+    /// Ground rules after fixing the backbone (degenerated cardinality
+    /// constraints included).
+    pub rules_after: usize,
+    /// Tightness certificate of the input program.
+    pub tight_before: bool,
+    /// Tightness certificate re-derived after simplification (never worse
+    /// than `tight_before`: deleting literals only removes edges).
+    pub tight_after: bool,
+    /// The simplified program enumerates exactly the same model set.
+    pub simplified_matches: bool,
+    /// Scenarios probed for a static verdict (1 for `temporal`).
+    pub scenarios: usize,
+    /// Scenarios whose conditional WFM was total and consistent — their
+    /// outcome was read off without search.
+    pub statically_decided: usize,
+    /// `statically_decided / scenarios`.
+    pub static_fraction: f64,
+    /// Every static verdict agreed with the search path.
+    pub static_matches_search: bool,
+}
+
 /// Measurement of the sharded fixed-scenario sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepSample {
@@ -229,7 +278,7 @@ pub struct SweepSample {
     pub matches_sequential: bool,
 }
 
-/// The full `cpsrisk bench` report (schema v3).
+/// The full `cpsrisk bench` report (schema v5).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
     /// Schema tag ([`SCHEMA`]).
@@ -247,6 +296,9 @@ pub struct BenchReport {
     pub solve: SolveSample,
     /// The tight fast path vs the unfounded-set closure (schema v4).
     pub tight_solve: TightSolveSample,
+    /// Well-founded analysis, simplification, and static scenario verdicts
+    /// (schema v5).
+    pub wfm: WfmSample,
     /// Comparison against a pre-optimization build, when `--baseline-ms`
     /// supplied its measurement.
     pub pre_pr: Option<PrePrBaseline>,
@@ -446,6 +498,93 @@ fn measure_tight_solve(ground: &GroundProgram) -> Result<TightSolveSample, CoreE
     })
 }
 
+fn measure_wfm(
+    ground: &GroundProgram,
+    problem: Option<&EpaProblem>,
+) -> Result<WfmSample, CoreError> {
+    let start = Instant::now();
+    let wfm = well_founded(ground);
+    let simp = simplify_with(ground, &wfm);
+    let wfm_ms = ms(start);
+
+    // Canonical model sets (inner vectors sorted too: the simplified
+    // program interns atoms in a different order, so its display sort can
+    // differ from the original's).
+    let model_set = |g: &GroundProgram| -> Result<Vec<Vec<String>>, CoreError> {
+        let mut out: Vec<Vec<String>> = Solver::new(g)
+            .enumerate(&SolveOptions::default())?
+            .models
+            .iter()
+            .map(|m| {
+                let mut atoms: Vec<String> = m.atoms.iter().map(ToString::to_string).collect();
+                atoms.sort();
+                atoms
+            })
+            .collect();
+        out.sort();
+        Ok(out)
+    };
+    let original_models = model_set(ground)?;
+    let simplified_matches = original_models == model_set(&simp.program)?;
+
+    let (scenarios, statically_decided, static_matches_search) = match problem {
+        Some(p) => {
+            let analysis = IncrementalAnalysis::new(p)?;
+            let mut solver = analysis.solver();
+            let stream: Vec<Scenario> = ScenarioSpace::new(p, usize::MAX)
+                .iter()
+                .take(MAX_INCREMENTAL_SCENARIOS)
+                .collect();
+            let mut decided = 0usize;
+            let mut matches = true;
+            for s in &stream {
+                let assumptions = analysis.assumptions(s);
+                if let Some(verdict) = analysis.static_outcome(s, &assumptions) {
+                    decided += 1;
+                    matches &= verdict == analysis.outcome_under(&mut solver, s, &assumptions)?;
+                }
+            }
+            (stream.len(), decided, matches)
+        }
+        None => {
+            // Plain ASP program: the one "scenario" is the program itself,
+            // statically decided when the unconditional WFM pins every
+            // atom — checked against the enumerated model.
+            let decided = wfm.total() && !wfm.inconsistent;
+            let matches = if decided {
+                let mut wfm_true: Vec<String> = wfm
+                    .true_atoms()
+                    .map(|id| ground.atom(id).to_string())
+                    .collect();
+                wfm_true.sort();
+                original_models.len() == 1 && original_models[0] == wfm_true
+            } else {
+                true
+            };
+            (1, usize::from(decided), matches)
+        }
+    };
+
+    Ok(WfmSample {
+        wfm_ms,
+        atoms: wfm.len(),
+        true_atoms: wfm.true_count,
+        false_atoms: wfm.false_count,
+        undefined_atoms: wfm.undefined_count(),
+        total: wfm.total(),
+        decided_fraction: wfm.decided_fraction(),
+        rules_before: simp.rules_before,
+        rules_after: simp.rules_after,
+        tight_before: simp.tight_before,
+        tight_after: simp.tight_after,
+        simplified_matches,
+        scenarios,
+        statically_decided,
+        static_fraction: statically_decided as f64 / scenarios.max(1) as f64,
+        static_matches_search,
+    })
+}
+
 fn measure_incremental(problem: &EpaProblem) -> Result<IncrementalSample, CoreError> {
     let stream: Vec<Scenario> = ScenarioSpace::new(problem, usize::MAX)
         .iter()
@@ -536,6 +675,7 @@ pub fn run(
     let (grounding, ground) = measure_grounding(&program, threads)?;
     let solve = measure_solve(&ground)?;
     let tight_solve = measure_tight_solve(&ground)?;
+    let wfm = measure_wfm(&ground, problem.as_ref())?;
     let pre_pr = baseline_ms.map(|pre| PrePrBaseline {
         total_ms: pre,
         speedup: pre / total_ms.max(1e-9),
@@ -554,6 +694,7 @@ pub fn run(
         grounding,
         solve,
         tight_solve,
+        wfm,
         pre_pr,
         incremental,
         parallel,
@@ -655,6 +796,45 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
         }
     }
 
+    let w = &report.wfm;
+    if !(w.wfm_ms.is_finite() && w.wfm_ms >= 0.0) {
+        return Err("wfm.wfm_ms is not a valid duration".to_owned());
+    }
+    if w.true_atoms + w.false_atoms + w.undefined_atoms != w.atoms {
+        return Err("wfm truth-value counts do not sum to the atom count".to_owned());
+    }
+    for (name, v) in [
+        ("decided_fraction", w.decided_fraction),
+        ("static_fraction", w.static_fraction),
+    ] {
+        if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+            return Err(format!("wfm.{name} is not a fraction in [0, 1]"));
+        }
+    }
+    if !w.simplified_matches {
+        return Err("the simplified program diverged from the original model set".to_owned());
+    }
+    if w.rules_after > w.rules_before {
+        return Err("simplification grew the program".to_owned());
+    }
+    if w.tight_before && !w.tight_after {
+        return Err("simplification destroyed the tightness certificate".to_owned());
+    }
+    if !w.static_matches_search {
+        return Err("a static WFM verdict diverged from the search path".to_owned());
+    }
+    if w.scenarios == 0 {
+        return Err("wfm section probed no scenarios".to_owned());
+    }
+    if w.statically_decided > w.scenarios {
+        return Err("wfm decided more scenarios than it probed".to_owned());
+    }
+    if workload == Workload::Temporal && w.static_fraction <= 0.0 {
+        return Err(
+            "the deterministic temporal workload must be statically decided by the WFM".to_owned(),
+        );
+    }
+
     if let Some(pre) = &report.pre_pr {
         if !(pre.total_ms.is_finite() && pre.total_ms > 0.0 && pre.speedup.is_finite()) {
             return Err("pre_pr baseline is not a valid measurement".to_owned());
@@ -714,6 +894,19 @@ mod tests {
         let inc = report.incremental.as_ref().expect("EPA workload streams");
         assert_eq!(inc.scenarios, 16, "full 2^(n+2) stream");
         assert!(inc.matches_fresh);
+        let w = &report.wfm;
+        assert_eq!(w.scenarios, 16, "same stream as the incremental section");
+        assert!(w.simplified_matches);
+        assert!(w.static_matches_search);
+        assert!(
+            w.statically_decided > 0,
+            "assumptions pin every toggle, so the conditional WFM decides"
+        );
+        assert_eq!(w.true_atoms + w.false_atoms + w.undefined_atoms, w.atoms);
+        assert!(
+            !w.total,
+            "the exhaustive encoding's choice space stays undefined"
+        );
 
         let json = serde_json::to_string_pretty(&report).unwrap();
         let parsed = validate(&json).expect("round-trip validates");
@@ -738,6 +931,11 @@ mod tests {
         assert!(report.grounding.parallel_matches_single);
         assert!(report.tight_solve.tight, "unrolled dynamics are tight");
         assert!(report.tight_solve.matches);
+        assert!(report.wfm.total, "deterministic dynamics: WFM decides all");
+        assert_eq!(report.wfm.statically_decided, 1);
+        assert!((report.wfm.static_fraction - 1.0).abs() < f64::EPSILON);
+        assert!(report.wfm.static_matches_search);
+        assert!(report.wfm.simplified_matches);
         // Gate logic, decoupled from this tiny horizon's measured noise.
         report.grounding.speedup = 2.0;
         report.tight_solve.speedup = 1.5;
@@ -791,6 +989,38 @@ mod tests {
         report.tight_solve.speedup = 0.5;
         let json = serde_json::to_string(&report).unwrap();
         validate(&json).expect("chain is not gated on the tight-solve speedup");
+
+        // A simplifier or static-verdict divergence is fatal everywhere; a
+        // temporal report must be statically decided.
+        let mut report = base.clone();
+        report.wfm.simplified_matches = false;
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("diverged from the original model set"));
+        let mut report = base.clone();
+        report.wfm.static_matches_search = false;
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("diverged from the search path"));
+        let mut report = base.clone();
+        report.wfm.true_atoms += 1;
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate(&json).unwrap_err().contains("do not sum"));
+        let mut report = base.clone();
+        report.wfm.statically_decided = 0;
+        report.wfm.static_fraction = 0.0;
+        let json = serde_json::to_string(&report).unwrap();
+        validate(&json).expect("chain has no static-fraction gate");
+        report.workload = "temporal".to_owned();
+        report.grounding.speedup = 2.0;
+        report.tight_solve.speedup = 1.5;
+        report.tight_solve.tight = true;
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("statically decided by the WFM"));
 
         // A regressed incremental section is still fatal.
         let mut report = base.clone();

@@ -74,7 +74,7 @@ fn print_help() {
          \x20 solve <file.lp>        solve an ASP program with the embedded engine\n\
          \x20                        (lint gate: errors abort, warnings go to stderr)\n\
          \x20 lint [--deny-warnings] [file.lp | - ...]\n\
-         \x20                        static-analyze ASP programs (codes A000-A011,\n\
+         \x20                        static-analyze ASP programs (codes A000-A014,\n\
          \x20                        `-` reads stdin); without files, lint the\n\
          \x20                        water-tank case study model (M001-M007) and\n\
          \x20                        its ASP encoding\n\
@@ -82,7 +82,8 @@ fn print_help() {
          \x20         [--max-divergence R] [file.lp | - ...]\n\
          \x20                        semantic analysis: dependency strata, tightness\n\
          \x20                        (predicate + ground level), predicted vs actual\n\
-         \x20                        grounding size, slice savings, lint findings;\n\
+         \x20                        grounding size, slice savings, well-founded\n\
+         \x20                        consequences + simplification, lint findings;\n\
          \x20                        fails on error findings or when the prediction\n\
          \x20                        diverges past R\n\
          \x20 simulate <f1,f2,...>   simulate the continuous plant under a fault set\n\
@@ -487,6 +488,31 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         t.closure_ms,
         t.speedup,
         if t.matches { "ok" } else { "MISMATCH" }
+    );
+    let w = &report.wfm;
+    println!(
+        "  well-founded: {:.1} ms, {}/{} atoms decided ({} true, {} false), \
+         rules {} -> {}, {}/{} scenario(s) decided without search \
+         (simplify check: {}, static check: {})",
+        w.wfm_ms,
+        w.true_atoms + w.false_atoms,
+        w.atoms,
+        w.true_atoms,
+        w.false_atoms,
+        w.rules_before,
+        w.rules_after,
+        w.statically_decided,
+        w.scenarios,
+        if w.simplified_matches {
+            "ok"
+        } else {
+            "MISMATCH"
+        },
+        if w.static_matches_search {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
     );
     if let Some(pre) = &report.pre_pr {
         println!(

@@ -384,19 +384,34 @@ pub(crate) fn outcome_from_model(
     scenario: Scenario,
     model: &cpsrisk_asp::Model,
 ) -> ScenarioOutcome {
-    let effective_modes: BTreeSet<(String, String)> = model
-        .atoms_of("affected")
-        .iter()
-        .filter_map(|a| match (a.args.first(), a.args.get(1)) {
-            (Some(c), Some(m)) => Some((c.to_string(), m.to_string())),
-            _ => None,
-        })
-        .collect();
-    let violated: BTreeSet<String> = model
-        .atoms_of("violated")
-        .iter()
-        .filter_map(|a| a.args.first().map(ToString::to_string))
-        .collect();
+    outcome_from_atoms(scenario, model.atoms.iter())
+}
+
+/// Build a [`ScenarioOutcome`] from any stream of true atoms — shared by
+/// the model-based form above and the static (well-founded) verdict path
+/// in [`IncrementalAnalysis`](crate::incremental::IncrementalAnalysis),
+/// which reads atoms off a ground program instead of a solved model.
+pub(crate) fn outcome_from_atoms<'a>(
+    scenario: Scenario,
+    atoms: impl Iterator<Item = &'a cpsrisk_asp::Atom>,
+) -> ScenarioOutcome {
+    let mut effective_modes: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut violated: BTreeSet<String> = BTreeSet::new();
+    for a in atoms {
+        match a.pred.as_str() {
+            "affected" => {
+                if let (Some(c), Some(m)) = (a.args.first(), a.args.get(1)) {
+                    effective_modes.insert((c.to_string(), m.to_string()));
+                }
+            }
+            "violated" => {
+                if let Some(r) = a.args.first() {
+                    violated.insert(r.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
     ScenarioOutcome {
         scenario,
         effective_modes,

@@ -14,7 +14,7 @@
 use cpsrisk_asp::ast::Term;
 use cpsrisk_asp::{GroundProgram, Grounder, Lit, SolveOptions, Solver};
 
-use crate::encode::{encode, outcome_from_model, EncodeMode};
+use crate::encode::{encode, outcome_from_atoms, outcome_from_model, EncodeMode};
 use crate::error::EpaError;
 use crate::parallel::{run_sharded_with, SweepOptions};
 use crate::problem::EpaProblem;
@@ -122,7 +122,41 @@ impl IncrementalAnalysis {
         solver: &mut Solver<'_>,
         scenario: &Scenario,
     ) -> Result<ScenarioOutcome, EpaError> {
-        self.outcome_under(solver, scenario, &self.assumptions(scenario))
+        let assumptions = self.assumptions(scenario);
+        if let Some(out) = self.static_outcome(scenario, &assumptions) {
+            return Ok(out);
+        }
+        self.outcome_under(solver, scenario, &assumptions)
+    }
+
+    /// Try to decide `scenario` without search: the conditional
+    /// well-founded model under the scenario's assumptions. When that
+    /// polynomial-time approximation is total and consistent it pins every
+    /// atom of the unique stable model, so the outcome is read straight
+    /// off the WFM-true atoms. Returns `None` when the WFM leaves atoms
+    /// open (or refutes the assumptions) — callers fall back to search.
+    #[must_use]
+    pub fn decide_statically(&self, scenario: &Scenario) -> Option<ScenarioOutcome> {
+        self.static_outcome(scenario, &self.assumptions(scenario))
+    }
+
+    /// [`decide_statically`](Self::decide_statically) under an explicit
+    /// assumption set (e.g. from
+    /// [`assumptions_for`](Self::assumptions_for)).
+    #[must_use]
+    pub fn static_outcome(
+        &self,
+        scenario: &Scenario,
+        assumptions: &[Lit],
+    ) -> Option<ScenarioOutcome> {
+        let wfm = cpsrisk_asp::well_founded_with(&self.ground, assumptions);
+        if wfm.inconsistent || !wfm.total() {
+            return None;
+        }
+        Some(outcome_from_atoms(
+            scenario.clone(),
+            wfm.true_atoms().map(|id| self.ground.atom(id)),
+        ))
     }
 
     /// [`analyze_with`](Self::analyze_with) under an explicit assumption
@@ -220,6 +254,29 @@ mod tests {
             let reused = analysis.analyze_with(&mut solver, &scenario).unwrap();
             assert_eq!(reused, fresh, "scenario {scenario}");
         }
+    }
+
+    #[test]
+    fn static_verdicts_match_the_search_path() {
+        let p = chain_problem(2);
+        let analysis = IncrementalAnalysis::new(&p).unwrap();
+        let mut solver = analysis.solver();
+        let mut decided = 0usize;
+        for scenario in ScenarioSpace::new(&p, usize::MAX).iter() {
+            let assumptions = analysis.assumptions(&scenario);
+            let Some(static_out) = analysis.static_outcome(&scenario, &assumptions) else {
+                continue;
+            };
+            decided += 1;
+            let searched = analysis
+                .outcome_under(&mut solver, &scenario, &assumptions)
+                .unwrap();
+            assert_eq!(static_out, searched, "scenario {scenario}");
+        }
+        // The assumable encoding pins every toggle, so the conditional WFM
+        // decides every scenario of this choice-free-after-assumption
+        // workload without search.
+        assert!(decided > 0, "no scenario was statically decided");
     }
 
     #[test]

@@ -278,7 +278,7 @@ fn bench_writes_a_validatable_report() {
     // The written report passes the built-in validator.
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the fresh report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/4 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/5 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // A grounding-bound workload skips the EPA-only sections.
     let (stdout, stderr, ok) = run(&["bench", "--workload", "temporal", "--n", "6", "--out", out]);
