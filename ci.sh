@@ -24,7 +24,7 @@ cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
-# Smoke-bench: a tiny workload must produce a cpsrisk-bench/5 report the
+# Smoke-bench: a tiny workload must produce a cpsrisk-bench/6 report the
 # validator accepts. The validator also fails the gate when the
 # assumption-reuse stream diverges from — or is slower than — the
 # fresh-solve stream, when the tight fast path diverges from the
@@ -33,11 +33,25 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 smoke_bench=target/ci_smoke_bench.json
 ./target/release/cpsrisk bench --n 2 --threads 2 --out "$smoke_bench"
 ./target/release/cpsrisk bench --validate "$smoke_bench"
-grep -q '"schema": "cpsrisk-bench/5"' "$smoke_bench" || {
-    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/5 report" >&2
+grep -q '"schema": "cpsrisk-bench/6"' "$smoke_bench" || {
+    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/6 report" >&2
     exit 1
 }
 rm -f "$smoke_bench"
+
+# CDCL search gate (v6): the UNSAT adversarial workload must be refuted
+# through real conflict-driven search. The validator rejects a search
+# section with zero decisions or zero conflicts, a CDCL/reference model
+# disagreement, and a CDCL engine that is not at least as fast as the
+# chronological reference engine on this search-bound workload.
+search_bench=target/ci_search_bench.json
+./target/release/cpsrisk bench --workload adversarial --out "$search_bench"
+./target/release/cpsrisk bench --validate "$search_bench"
+if grep -q '"decisions": 0' "$search_bench"; then
+    echo "ci.sh: adversarial bench reported zero decisions" >&2
+    exit 1
+fi
+rm -f "$search_bench"
 
 # Static-analysis gate: the example programs must analyze without
 # error-severity findings, and on the temporal workload the grounding-size

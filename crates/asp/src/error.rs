@@ -21,10 +21,16 @@ pub enum AspError {
         /// The configured maximum number of ground rule instances.
         limit: usize,
     },
-    /// Solving exceeded the configured branch budget.
+    /// Solving exceeded the configured search budget: the sum of branching
+    /// decisions and conflicts passed `max_decisions`. Carries the partial
+    /// statistics at the moment of abort.
     SolveBudget {
-        /// The configured maximum number of decisions.
+        /// The configured budget (decisions + conflicts).
         limit: u64,
+        /// Decisions made before the abort.
+        decisions: u64,
+        /// Conflicts hit before the abort.
+        conflicts: u64,
     },
     /// The program is inconsistent where a model was required.
     Unsatisfiable,
@@ -43,8 +49,16 @@ impl fmt::Display for AspError {
             AspError::GroundingBudget { limit } => {
                 write!(f, "grounding exceeded the budget of {limit} rule instances")
             }
-            AspError::SolveBudget { limit } => {
-                write!(f, "solving exceeded the budget of {limit} decisions")
+            AspError::SolveBudget {
+                limit,
+                decisions,
+                conflicts,
+            } => {
+                write!(
+                    f,
+                    "solving exceeded the budget of {limit} decisions+conflicts \
+                     ({decisions} decisions, {conflicts} conflicts)"
+                )
             }
             AspError::Unsatisfiable => write!(f, "program has no answer set"),
             AspError::Internal(msg) => write!(f, "internal solver error: {msg}"),

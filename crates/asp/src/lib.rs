@@ -15,12 +15,15 @@
 //!    `#minimize` statements, `#show` directives, intervals `l..u`),
 //! 2. [`ground`](ground::Grounder) — a semi-naive grounder producing a
 //!    propositional program,
-//! 3. [`solve`](solve::Solver) — a smodels-style stable-model solver
-//!    (Fitting + unfounded-set propagation, chronological backtracking,
-//!    model enumeration, branch-and-bound `#minimize` optimization,
-//!    brave/cautious reasoning, and assumption-based multi-shot solving:
-//!    one ground program, many queries via [`Lit`] assumptions, with
-//!    learned conflict nogoods retained across calls),
+//! 3. [`solve`](solve::Solver) — a CDCL stable-model solver in the clasp
+//!    tradition (two-watched-literal propagation over completion nogoods,
+//!    1UIP conflict analysis with backjumping, EVSIDS branching with phase
+//!    saving, Luby restarts, LBD-managed learned database, an
+//!    unfounded-set backstop for non-tight programs, model enumeration,
+//!    branch-and-bound `#minimize` optimization, brave/cautious
+//!    reasoning, and assumption-based multi-shot solving: one ground
+//!    program, many queries via [`Lit`] assumptions, with learned
+//!    conflict nogoods retained across calls),
 //! 4. [`check`](check::is_stable_model) — an *independent* stability
 //!    verifier (reduct + least-model test) used to cross-validate every
 //!    answer set in tests and debug builds,

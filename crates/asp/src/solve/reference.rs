@@ -1,0 +1,455 @@
+//! The retained naive reference engine: full-scan Fitting passes,
+//! unfounded-set closure by repeated scans, chronological `tried_both`
+//! backtracking. Semantically identical to the CDCL engine; kept as the
+//! differential-testing oracle and the benchmark baseline, so it is
+//! deliberately simple rather than fast.
+
+use super::{fingerprint, Lit, Model, SolveOptions, Solver, Val};
+use crate::error::AspError;
+use crate::program::{AtomId, GroundHead};
+
+impl Solver<'_> {
+    /// Reference per-call setup: reset the assignment, pin the assumptions
+    /// at level 0. False means the assumptions contradict each other.
+    pub(super) fn prepare_reference(&mut self, assumptions: &[Lit]) -> bool {
+        self.val.fill(Val::Unknown);
+        self.trail.clear();
+        self.decisions.clear();
+        self.trail_lim.clear();
+        let mut ok = true;
+        for l in assumptions {
+            let v = if l.positive { Val::True } else { Val::False };
+            self.assumptions.push((l.atom.0, v));
+            ok = ok && self.set_ref(l.atom, v);
+        }
+        ok
+    }
+
+    /// Core chronological DFS (the pre-CDCL search loop).
+    pub(super) fn search_reference(
+        &mut self,
+        opts: &SolveOptions,
+        on_model: &mut dyn FnMut(Model) -> bool,
+        prune: &mut dyn FnMut(&Self) -> bool,
+    ) -> Result<bool, AspError> {
+        let mut ok = self.propagate_or_learn();
+        loop {
+            if ok && prune(self) {
+                // Bound prunes depend on the current incumbent, so no
+                // nogood is learned here — it would be unsound to retain.
+                self.bound_prune_count += 1;
+                ok = false;
+            }
+            if !ok {
+                if !self.backtrack() {
+                    return Ok(true);
+                }
+                ok = self.propagate_or_learn();
+                continue;
+            }
+            match self.pick_unknown() {
+                Some(a) => {
+                    self.decision_count += 1;
+                    self.check_budget(opts)?;
+                    self.decisions.push((a, false));
+                    self.trail_lim.push(self.trail.len());
+                    self.assign_ref(a, Val::True);
+                    ok = self.propagate_or_learn();
+                }
+                None => {
+                    if let Some(model) = self.check_candidate() {
+                        if !on_model(model) {
+                            return Ok(false);
+                        }
+                    } else {
+                        // Every assignment on the trail is either an
+                        // assumption, a decision, or a sound inference from
+                        // them, so this non-model leaf refutes the whole
+                        // {assumptions ∪ decisions} combination.
+                        self.learn_conflict();
+                    }
+                    ok = false; // keep searching
+                }
+            }
+        }
+    }
+
+    /// Propagate to fixpoint; on conflict, record a learned nogood over the
+    /// current assumption and decision literals before reporting failure.
+    fn propagate_or_learn(&mut self) -> bool {
+        if self.propagate_reference() {
+            return true;
+        }
+        self.learn_conflict();
+        false
+    }
+
+    /// Learn the conflict nogood {assumption literals ∪ decision literals}.
+    ///
+    /// Sound across assumption calls: every propagation step only infers
+    /// literals that hold in *every* stable model extending the current
+    /// prefix, so a conflict — or a complete assignment failing the
+    /// independent stability check — proves no stable model satisfies the
+    /// prefix. Embedding the assumption literals keeps the clause valid
+    /// when later calls assume differently. Never called for
+    /// branch-and-bound prunes (those depend on the incumbent) or after
+    /// reported models (re-enumeration must stay possible).
+    fn learn_conflict(&mut self) {
+        self.conflict_count += 1;
+        self.lifetime_conflicts += 1;
+        let mut ng: Vec<(u32, Val)> =
+            Vec::with_capacity(self.assumptions.len() + self.decisions.len());
+        ng.extend(self.assumptions.iter().copied());
+        for &(a, _) in &self.decisions {
+            ng.push((a, self.val[a as usize]));
+        }
+        // An empty nogood means the program itself is inconsistent; nothing
+        // worth storing (the search concludes that on its own).
+        if ng.is_empty() || !self.nogood_fps.insert(fingerprint(&ng)) {
+            return;
+        }
+        self.nogoods.push(ng);
+    }
+
+    /// Unit propagation over the learned nogoods: a fully satisfied nogood
+    /// is a conflict; a nogood with exactly one unknown literal and every
+    /// other literal satisfied forces that literal's complement.
+    fn nogood_pass(&mut self) -> bool {
+        if self.nogoods.is_empty() {
+            return true;
+        }
+        // Temporarily move the store out so forcing can borrow `self`
+        // mutably; nothing in `set_ref`/`assign_ref` touches the store.
+        let nogoods = std::mem::take(&mut self.nogoods);
+        let ok = self.nogood_pass_inner(&nogoods);
+        self.nogoods = nogoods;
+        ok
+    }
+
+    fn nogood_pass_inner(&mut self, nogoods: &[Vec<(u32, Val)>]) -> bool {
+        'outer: for ng in nogoods {
+            let mut unknown: Option<(u32, Val)> = None;
+            for &(a, v) in ng {
+                match self.val[a as usize] {
+                    Val::Unknown => {
+                        if unknown.is_some() {
+                            continue 'outer; // two unknowns: nothing to do
+                        }
+                        unknown = Some((a, v));
+                    }
+                    cur if cur == v => {}
+                    _ => continue 'outer, // a literal is falsified: inert
+                }
+            }
+            match unknown {
+                None => return false, // every literal satisfied: conflict
+                Some((a, v)) => {
+                    let complement = if v == Val::True {
+                        Val::False
+                    } else {
+                        Val::True
+                    };
+                    self.nogood_force_count += 1;
+                    if !self.set_ref(AtomId(a), complement) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Chronological backtracking; returns false when the search is done.
+    fn backtrack(&mut self) -> bool {
+        loop {
+            let Some((atom, tried_both)) = self.decisions.pop() else {
+                return false;
+            };
+            let lim = self.trail_lim.pop().expect("trail_lim parallels decisions");
+            while self.trail.len() > lim {
+                let a = self.trail.pop().expect("trail len checked");
+                self.val[a as usize] = Val::Unknown;
+            }
+            if !tried_both {
+                self.decisions.push((atom, true));
+                self.trail_lim.push(self.trail.len());
+                self.assign_ref(atom, Val::False);
+                return true;
+            }
+        }
+    }
+
+    fn assign_ref(&mut self, atom: u32, v: Val) {
+        debug_assert_eq!(self.val[atom as usize], Val::Unknown);
+        self.val[atom as usize] = v;
+        self.trail.push(atom);
+        self.propagation_count += 1;
+    }
+
+    /// Set with conflict detection. Returns false on conflict.
+    fn set_ref(&mut self, atom: AtomId, v: Val) -> bool {
+        match self.val[atom.index()] {
+            Val::Unknown => {
+                self.assign_ref(atom.0, v);
+                true
+            }
+            cur => cur == v,
+        }
+    }
+
+    /// Branch preferentially on choice atoms (the decision variables of the
+    /// encodings), then on any unknown atom.
+    fn pick_unknown(&self) -> Option<u32> {
+        for &a in &self.choice_atoms {
+            if self.val[a as usize] == Val::Unknown {
+                return Some(a);
+            }
+        }
+        self.val
+            .iter()
+            .position(|v| *v == Val::Unknown)
+            .map(|i| i as u32)
+    }
+
+    /// Reference propagation loop: full-scan passes to fixpoint.
+    fn propagate_reference(&mut self) -> bool {
+        loop {
+            let before = self.trail.len();
+            if !self.fitting_pass_reference() {
+                return false;
+            }
+            if !self.card_pass_reference() {
+                return false;
+            }
+            if self.trail.len() != before {
+                continue; // re-run cheap passes before the closure
+            }
+            if !self.nogood_pass() {
+                return false;
+            }
+            if self.trail.len() != before {
+                continue;
+            }
+            if !self.unfounded_pass_reference() {
+                return false;
+            }
+            if self.trail.len() == before {
+                return true;
+            }
+        }
+    }
+
+    /// One pass of Fitting-style forward/backward rule propagation over
+    /// every rule (the retained naive reference pass).
+    fn fitting_pass_reference(&mut self) -> bool {
+        for ri in 0..self.g.rules.len() {
+            let (head, pos, neg) = {
+                let r = &self.g.rules[ri];
+                (r.head, r.pos.clone(), r.neg.clone())
+            };
+            let mut false_lits = 0usize;
+            let mut unknown: Option<(AtomId, bool)> = None; // (atom, is_pos)
+            let mut unknowns = 0usize;
+            for &p in &pos {
+                match self.val[p.index()] {
+                    Val::False => false_lits += 1,
+                    Val::Unknown => {
+                        unknowns += 1;
+                        unknown = Some((p, true));
+                    }
+                    Val::True => {}
+                }
+            }
+            for &n in &neg {
+                match self.val[n.index()] {
+                    Val::True => false_lits += 1,
+                    Val::Unknown => {
+                        unknowns += 1;
+                        unknown = Some((n, false));
+                    }
+                    Val::False => {}
+                }
+            }
+            if false_lits > 0 {
+                continue; // body dead: nothing to infer here
+            }
+            let body_sat = unknowns == 0;
+            match head {
+                GroundHead::Atom(h) => {
+                    if body_sat {
+                        if !self.set_ref(h, Val::True) {
+                            return false;
+                        }
+                    } else if unknowns == 1 && self.val[h.index()] == Val::False {
+                        let (a, is_pos) = unknown.expect("one unknown");
+                        if !self.set_ref(a, if is_pos { Val::False } else { Val::True }) {
+                            return false;
+                        }
+                    }
+                }
+                GroundHead::None => {
+                    if body_sat {
+                        return false; // violated constraint
+                    }
+                    if unknowns == 1 {
+                        let (a, is_pos) = unknown.expect("one unknown");
+                        if !self.set_ref(a, if is_pos { Val::False } else { Val::True }) {
+                            return false;
+                        }
+                    }
+                }
+                GroundHead::Choice(_) => {}
+            }
+        }
+        true
+    }
+
+    /// Propagate cardinality constraints (full scan).
+    fn card_pass_reference(&mut self) -> bool {
+        for ci in 0..self.g.cards.len() {
+            let c = self.g.cards[ci].clone();
+            let mut body_false = false;
+            let mut body_unknowns = 0usize;
+            let mut body_unknown: Option<(AtomId, bool)> = None;
+            for &p in &c.pos {
+                match self.val[p.index()] {
+                    Val::False => body_false = true,
+                    Val::Unknown => {
+                        body_unknowns += 1;
+                        body_unknown = Some((p, true));
+                    }
+                    Val::True => {}
+                }
+            }
+            for &n in &c.neg {
+                match self.val[n.index()] {
+                    Val::True => body_false = true,
+                    Val::Unknown => {
+                        body_unknowns += 1;
+                        body_unknown = Some((n, false));
+                    }
+                    Val::False => {}
+                }
+            }
+            if body_false {
+                continue;
+            }
+            let mut held = 0u32;
+            let mut open: Vec<&crate::program::CardElement> = Vec::new();
+            for e in &c.elements {
+                let guard_false = e
+                    .guard_pos
+                    .iter()
+                    .any(|&p| self.val[p.index()] == Val::False)
+                    || e.guard_neg
+                        .iter()
+                        .any(|&n| self.val[n.index()] == Val::True);
+                let guard_true = e
+                    .guard_pos
+                    .iter()
+                    .all(|&p| self.val[p.index()] == Val::True)
+                    && e.guard_neg
+                        .iter()
+                        .all(|&n| self.val[n.index()] == Val::False);
+                match self.val[e.atom.index()] {
+                    Val::True if guard_true => held += 1,
+                    Val::False => {}
+                    _ if guard_false => {}
+                    _ => open.push(e),
+                }
+            }
+            let max_possible = held + open.len() as u32;
+            let violated_surely = held > c.upper || max_possible < c.lower;
+            if body_unknowns == 0 {
+                if violated_surely {
+                    return false;
+                }
+                if held == c.upper {
+                    // No further element may become held.
+                    let forced: Vec<AtomId> = open
+                        .iter()
+                        .filter(|e| {
+                            e.guard_pos
+                                .iter()
+                                .all(|&p| self.val[p.index()] == Val::True)
+                                && e.guard_neg
+                                    .iter()
+                                    .all(|&n| self.val[n.index()] == Val::False)
+                        })
+                        .map(|e| e.atom)
+                        .collect();
+                    for a in forced {
+                        if self.val[a.index()] == Val::Unknown && !self.set_ref(a, Val::False) {
+                            return false;
+                        }
+                    }
+                } else if max_possible == c.lower {
+                    // Every open element must be held.
+                    let forced: Vec<AtomId> = open
+                        .iter()
+                        .filter(|e| {
+                            e.guard_pos
+                                .iter()
+                                .all(|&p| self.val[p.index()] == Val::True)
+                                && e.guard_neg
+                                    .iter()
+                                    .all(|&n| self.val[n.index()] == Val::False)
+                        })
+                        .map(|e| e.atom)
+                        .collect();
+                    for a in forced {
+                        if self.val[a.index()] == Val::Unknown && !self.set_ref(a, Val::True) {
+                            return false;
+                        }
+                    }
+                }
+            } else if body_unknowns == 1 && violated_surely {
+                // Bound already violated: body must be falsified.
+                let (a, is_pos) = body_unknown.expect("one unknown");
+                if !self.set_ref(a, if is_pos { Val::False } else { Val::True }) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The retained full-scan unfounded pass: falsify atoms outside the
+    /// can-be-true closure.
+    fn unfounded_pass_reference(&mut self) -> bool {
+        let n = self.g.atom_count();
+        let mut in_closure = vec![false; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for r in &self.g.rules {
+                let h = match r.head {
+                    GroundHead::Atom(h) | GroundHead::Choice(h) => h,
+                    GroundHead::None => continue,
+                };
+                if in_closure[h.index()] || self.val[h.index()] == Val::False {
+                    continue;
+                }
+                let body_possible = r
+                    .pos
+                    .iter()
+                    .all(|&p| self.val[p.index()] != Val::False && in_closure[p.index()])
+                    && r.neg.iter().all(|&q| self.val[q.index()] != Val::True);
+                if body_possible {
+                    in_closure[h.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+        for (i, reachable) in in_closure.iter().enumerate() {
+            if !reachable {
+                match self.val[i] {
+                    Val::True => return false,
+                    Val::Unknown => self.assign_ref(i as u32, Val::False),
+                    Val::False => {}
+                }
+            }
+        }
+        true
+    }
+}

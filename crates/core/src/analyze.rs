@@ -15,6 +15,9 @@
 //! * **consequences** — the well-founded model of the ground program (the
 //!   polynomial-time backbone every stable model must respect) and what
 //!   the WFM-based simplifier makes of it;
+//! * **search** (schema v2) — the CDCL solver's counters from a bounded
+//!   enumeration of the ground program: decisions, conflicts, restarts,
+//!   propagations, and retained learned nogoods;
 //! * **lint findings** — the full `A000`…`A014` pass over the source.
 
 use serde::{Deserialize, Serialize};
@@ -22,13 +25,21 @@ use serde::{Deserialize, Serialize};
 use cpsrisk_asp::analysis::{
     analyze_dependencies, ground_tight, predict_sizes, simplify_with, slice_program, well_founded,
 };
-use cpsrisk_asp::{lint, Grounder};
+use cpsrisk_asp::{lint, Grounder, SolveOptions, Solver};
 
 use crate::error::CoreError;
 
 /// Schema identifier stamped into every report so downstream tooling can
 /// validate the shape it parses (mirrors the bench report's `schema`).
-pub const ANALYZE_SCHEMA: &str = "cpsrisk-analyze/1";
+pub const ANALYZE_SCHEMA: &str = "cpsrisk-analyze/2";
+
+/// Models the search section enumerates before stopping: enough to expose
+/// real solver counters without letting analysis degenerate into a full
+/// enumeration of a huge answer-set space.
+const SEARCH_MODEL_CAP: usize = 64;
+
+/// Decision+conflict budget for the search section's bounded enumeration.
+const SEARCH_BUDGET: u64 = 1_000_000;
 
 /// One lint finding, flattened for the JSON report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -122,6 +133,31 @@ pub struct ConsequencesSection {
     pub tight_after_simplify: bool,
 }
 
+/// The search section (schema v2): what the CDCL solver actually did on a
+/// bounded enumeration of the ground program (at most 64 models, at most
+/// one million decisions+conflicts — `SEARCH_MODEL_CAP` /
+/// `SEARCH_BUDGET`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SearchSection {
+    /// Branching decisions.
+    pub decisions: u64,
+    /// Conflicts (each learns a 1UIP nogood).
+    pub conflicts: u64,
+    /// Luby restarts.
+    pub restarts: u64,
+    /// Propagated assignments (decisions included).
+    pub propagations: u64,
+    /// Learned nogoods retained by the solver after the run.
+    pub learned_nogoods: usize,
+    /// Models found within the caps.
+    pub models: usize,
+    /// The bounded enumeration exhausted the search space.
+    pub exhausted: bool,
+    /// The run stopped on the decision+conflict budget (counters above
+    /// are the partial statistics at that point).
+    pub budget_exhausted: bool,
+}
+
 impl Default for ConsequencesSection {
     fn default() -> Self {
         ConsequencesSection {
@@ -154,6 +190,8 @@ pub struct AnalyzeReport {
     pub slice: SliceSection,
     /// Well-founded consequences and simplification effect.
     pub consequences: ConsequencesSection,
+    /// CDCL solver counters from a bounded enumeration (schema v2).
+    pub search: SearchSection,
     /// Lint findings (`A000`…`A014`), ordered by span then code.
     pub findings: Vec<Finding>,
 }
@@ -215,6 +253,7 @@ pub fn analyze_source(name: &str, src: &str) -> Result<AnalyzeReport, CoreError>
                 sliced_ground_rules: 0,
             },
             consequences: ConsequencesSection::default(),
+            search: SearchSection::default(),
             findings,
         });
     };
@@ -248,6 +287,41 @@ pub fn analyze_source(name: &str, src: &str) -> Result<AnalyzeReport, CoreError>
 
     let wfm = well_founded(&ground);
     let simplified = simplify_with(&ground, &wfm);
+
+    let search = {
+        let mut solver = Solver::new(&ground);
+        let opts = SolveOptions {
+            max_models: SEARCH_MODEL_CAP,
+            max_decisions: SEARCH_BUDGET,
+        };
+        match solver.enumerate(&opts) {
+            Ok(r) => SearchSection {
+                decisions: r.decisions,
+                conflicts: r.conflicts,
+                restarts: r.restarts,
+                propagations: r.propagations,
+                learned_nogoods: solver.learned_nogoods(),
+                models: r.models.len(),
+                exhausted: r.exhausted,
+                budget_exhausted: false,
+            },
+            Err(cpsrisk_asp::AspError::SolveBudget {
+                decisions,
+                conflicts,
+                ..
+            }) => SearchSection {
+                decisions,
+                conflicts,
+                restarts: 0,
+                propagations: 0,
+                learned_nogoods: solver.learned_nogoods(),
+                models: 0,
+                exhausted: false,
+                budget_exhausted: true,
+            },
+            Err(e) => return Err(CoreError::Asp(e)),
+        }
+    };
 
     Ok(AnalyzeReport {
         schema: ANALYZE_SCHEMA.to_owned(),
@@ -285,6 +359,7 @@ pub fn analyze_source(name: &str, src: &str) -> Result<AnalyzeReport, CoreError>
             rules_after: simplified.rules_after,
             tight_after_simplify: simplified.tight_after,
         },
+        search,
         findings,
     })
 }
@@ -384,6 +459,25 @@ pub fn render(r: &AnalyzeReport) -> String {
             "NOT tight"
         }
     );
+    let s = &r.search;
+    let _ = writeln!(
+        out,
+        "  search: {} decision(s), {} conflict(s), {} restart(s), \
+         {} propagation(s), {} learned nogood(s), {} model(s){}",
+        s.decisions,
+        s.conflicts,
+        s.restarts,
+        s.propagations,
+        s.learned_nogoods,
+        s.models,
+        if s.budget_exhausted {
+            " [budget exhausted]"
+        } else if s.exhausted {
+            " [exhausted]"
+        } else {
+            " [model cap]"
+        }
+    );
     if r.findings.is_empty() {
         let _ = writeln!(out, "  findings: none");
     } else {
@@ -419,11 +513,26 @@ mod tests {
         assert!(r.consequences.total && !r.consequences.inconsistent);
         assert!((r.consequences.decided_fraction - 1.0).abs() < f64::EPSILON);
         assert_eq!(r.consequences.wfm_true, 4, "p(a) q(b) shadow(b) r(a)");
+        // Deterministic program: one model, no branching needed.
+        assert_eq!(r.search.models, 1);
+        assert!(r.search.exhausted);
+        assert!(!r.search.budget_exhausted);
+        assert!(r.search.propagations > 0);
         let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"schema\":\"cpsrisk-analyze/1\""));
+        assert!(json.contains("\"schema\":\"cpsrisk-analyze/2\""));
         let back: AnalyzeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.slice.dropped, 2);
         assert_eq!(back.consequences.wfm_true, 4);
+        assert_eq!(back.search.models, 1);
+    }
+
+    #[test]
+    fn search_section_reports_real_branching_on_choice_programs() {
+        let r = analyze_source("t", "{ a; b; c }. :- a, b. :- b, c.").unwrap();
+        assert!(r.search.decisions > 0, "choices force branching");
+        assert!(r.search.exhausted, "5 models, well under the cap");
+        assert_eq!(r.search.models, 5, "2^3 minus the two excluded pairs");
+        assert!(!r.search.budget_exhausted);
     }
 
     #[test]
@@ -461,6 +570,8 @@ mod tests {
         assert!(text.contains("== prog.lp =="));
         assert!(text.contains("solver fast path active"));
         assert!(text.contains("total: solving needs no search"));
+        assert!(text.contains("search: "));
+        assert!(text.contains("[exhausted]"));
         assert!(text.contains("findings: none"));
     }
 }

@@ -1,12 +1,18 @@
 //! Machine-readable performance measurement (`cpsrisk bench`).
 //!
-//! Runs one of the parametric workloads (`chain`, `grid`, `temporal`) and
-//! reports **grounding** and **solving** as separate sections — schema
-//! `cpsrisk-bench/5` (v5 adds the `wfm` section: the polynomial-time
-//! well-founded analysis, its backbone simplifier, and the fraction of the
-//! scenario stream it decides without any search; v4 added the
-//! `tight_solve` section: the solver's tight-program fast path measured
-//! against the unfounded-set closure on the same ground program). The v2
+//! Runs one of the parametric workloads (`chain`, `grid`, `temporal`,
+//! `adversarial`) and reports **grounding** and **solving** as separate
+//! sections — schema `cpsrisk-bench/6` (v6 adds the `adversarial`
+//! workload — mitigation selection under an infeasible cardinality
+//! budget, pigeonhole-hard and UNSAT by construction — and the `search`
+//! section: the CDCL engine's decision/conflict/restart counters and
+//! learned-nogood economy measured against the chronological reference
+//! engine on the same ground program; v5 added the `wfm` section: the
+//! polynomial-time well-founded analysis, its backbone simplifier, and
+//! the fraction of the scenario stream it decides without any search; v4
+//! added the `tight_solve` section: the solver's tight-program fast path
+//! measured against the unfounded-set closure on the same ground
+//! program). The v2
 //! schema's single top-level `speedup` was misleading: on
 //! `chain_problem(8)` solving is enumeration-bound, so the
 //! indexed-vs-reference solver ratio reads ~1.0× no matter how fast the
@@ -28,13 +34,15 @@ use cpsrisk_asp::program::{CardConstraint, GroundHead, MinimizeLit};
 use cpsrisk_asp::{simplify_with, well_founded, GroundProgram, Grounder, SolveOptions, Solver};
 use cpsrisk_epa::encode::analyze_fixed_fresh;
 use cpsrisk_epa::parallel::{sweep_fixed, SweepOptions};
-use cpsrisk_epa::workload::{chain_problem, grid_problem, temporal_tank_problem};
+use cpsrisk_epa::workload::{
+    adversarial_needed, adversarial_problem, chain_problem, grid_problem, temporal_tank_problem,
+};
 use cpsrisk_epa::{encode, EncodeMode, EpaProblem, IncrementalAnalysis, Scenario, ScenarioSpace};
 
 use crate::error::CoreError;
 
 /// Schema tag carried by every report this module writes.
-pub const SCHEMA: &str = "cpsrisk-bench/5";
+pub const SCHEMA: &str = "cpsrisk-bench/6";
 
 /// Cap on the fixed-scenario stream measured by the incremental section.
 const MAX_INCREMENTAL_SCENARIOS: usize = 128;
@@ -50,6 +58,12 @@ pub enum Workload {
     /// `temporal_tank_problem(n)` — grounding-bound (deterministic
     /// dynamics unrolled over an `n`-step horizon).
     Temporal,
+    /// `adversarial_problem(n, ⌈n/3⌉ - 1)` — search-bound: selecting
+    /// mitigations under a cardinality budget one below the covering
+    /// number of `n` circularly overlapping attack chains. UNSAT and
+    /// pigeonhole-hard, so refutation cost is pure conflict-driven
+    /// search.
+    Adversarial,
 }
 
 impl Workload {
@@ -63,8 +77,9 @@ impl Workload {
             "chain" => Ok(Workload::Chain),
             "grid" => Ok(Workload::Grid),
             "temporal" => Ok(Workload::Temporal),
+            "adversarial" => Ok(Workload::Adversarial),
             other => Err(format!(
-                "unknown workload `{other}` (expected chain, grid, or temporal)"
+                "unknown workload `{other}` (expected chain, grid, temporal, or adversarial)"
             )),
         }
     }
@@ -76,17 +91,21 @@ impl Workload {
             Workload::Chain => "chain",
             Workload::Grid => "grid",
             Workload::Temporal => "temporal",
+            Workload::Adversarial => "adversarial",
         }
     }
 
     /// Default size parameter when `--n` is not given: chain length 8,
-    /// grid side 12, temporal horizon 24.
+    /// grid side 12, temporal horizon 24, adversarial chain count 27
+    /// (the reference engine needs ~0.5 s there while CDCL refutes in
+    /// tens of milliseconds).
     #[must_use]
     pub fn default_n(self) -> usize {
         match self {
             Workload::Chain => 8,
             Workload::Grid => 12,
             Workload::Temporal => 24,
+            Workload::Adversarial => 27,
         }
     }
 
@@ -173,6 +192,36 @@ pub struct TightSolveSample {
     pub matches: bool,
     /// Answer sets found (identical across both runs when `matches`).
     pub models: usize,
+}
+
+/// The conflict-driven search stage (schema v6): the CDCL engine's
+/// counters and learned-nogood economy against the chronological
+/// reference engine, both exhausting the same ground program. Reported
+/// only for the search-bound `adversarial` workload, where refutation is
+/// pure search and the two engines' costs diverge by orders of
+/// magnitude.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchSample {
+    /// Branching decisions the CDCL engine made.
+    pub decisions: u64,
+    /// Conflicts the CDCL engine hit (each learns one 1UIP nogood).
+    pub conflicts: u64,
+    /// Luby restarts the CDCL engine performed.
+    pub restarts: u64,
+    /// Nogoods learned over the run (one per conflict).
+    pub learned_nogoods: u64,
+    /// Learned nogoods still retained after LBD-based reduction.
+    pub kept_nogoods: usize,
+    /// Wall-clock time of the CDCL engine, ms.
+    pub cdcl_ms: f64,
+    /// Wall-clock time of the reference engine, ms.
+    pub reference_ms: f64,
+    /// `reference_ms / cdcl_ms` — the conflict-driven-search win.
+    pub speedup: f64,
+    /// Models found (0 on the UNSAT adversarial instance).
+    pub models: usize,
+    /// Both engines agree on the model set size and the exhausted flag.
+    pub matches_reference: bool,
 }
 
 /// Comparison against an externally measured pre-optimization build.
@@ -299,6 +348,9 @@ pub struct BenchReport {
     /// Well-founded analysis, simplification, and static scenario verdicts
     /// (schema v5).
     pub wfm: WfmSample,
+    /// CDCL search counters vs the reference engine (schema v6;
+    /// `adversarial` workload only).
+    pub search: Option<SearchSample>,
     /// Comparison against a pre-optimization build, when `--baseline-ms`
     /// supplied its measurement.
     pub pre_pr: Option<PrePrBaseline>,
@@ -498,6 +550,29 @@ fn measure_tight_solve(ground: &GroundProgram) -> Result<TightSolveSample, CoreE
     })
 }
 
+fn measure_search(ground: &GroundProgram) -> Result<SearchSample, CoreError> {
+    let mut cdcl = Solver::new(ground);
+    let start = Instant::now();
+    let c = cdcl.enumerate(&SolveOptions::default())?;
+    let cdcl_ms = ms(start);
+    let kept_nogoods = cdcl.learned_nogoods();
+    let start = Instant::now();
+    let r = Solver::new_reference(ground).enumerate(&SolveOptions::default())?;
+    let reference_ms = ms(start);
+    Ok(SearchSample {
+        decisions: c.decisions,
+        conflicts: c.conflicts,
+        restarts: c.restarts,
+        learned_nogoods: c.conflicts,
+        kept_nogoods,
+        cdcl_ms,
+        reference_ms,
+        speedup: reference_ms / cdcl_ms.max(1e-9),
+        models: c.models.len(),
+        matches_reference: c.models.len() == r.models.len() && c.exhausted == r.exhausted,
+    })
+}
+
 fn measure_wfm(
     ground: &GroundProgram,
     problem: Option<&EpaProblem>,
@@ -649,11 +724,12 @@ pub fn run(
     let problem = match workload {
         Workload::Chain => Some(chain_problem(n)),
         Workload::Grid => Some(grid_problem(n, n)),
-        Workload::Temporal => None,
+        Workload::Temporal | Workload::Adversarial => None,
     };
-    let program = match &problem {
-        Some(p) => encode(p, &EncodeMode::Exhaustive { max_faults: None }),
-        None => temporal_tank_problem(n),
+    let program = match (&problem, workload) {
+        (Some(p), _) => encode(p, &EncodeMode::Exhaustive { max_faults: None }),
+        (None, Workload::Adversarial) => adversarial_problem(n, adversarial_needed(n) - 1),
+        (None, _) => temporal_tank_problem(n),
     };
 
     // End-to-end number first: the same call a pre-optimization build is
@@ -676,6 +752,10 @@ pub fn run(
     let solve = measure_solve(&ground)?;
     let tight_solve = measure_tight_solve(&ground)?;
     let wfm = measure_wfm(&ground, problem.as_ref())?;
+    let search = match workload {
+        Workload::Adversarial => Some(measure_search(&ground)?),
+        _ => None,
+    };
     let pre_pr = baseline_ms.map(|pre| PrePrBaseline {
         total_ms: pre,
         speedup: pre / total_ms.max(1e-9),
@@ -695,6 +775,7 @@ pub fn run(
         solve,
         tight_solve,
         wfm,
+        search,
         pre_pr,
         incremental,
         parallel,
@@ -763,7 +844,9 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
         if !(e.solve_ms.is_finite() && e.solve_ms >= 0.0) {
             return Err(format!("{} solve_ms is not a valid duration", e.mode));
         }
-        if e.models == 0 {
+        // The adversarial workload is UNSAT by construction: an empty
+        // model set is its *correct* answer, not a degenerate run.
+        if e.models == 0 && workload != Workload::Adversarial {
             return Err(format!("{} enumerated no models", e.mode));
         }
     }
@@ -835,6 +918,42 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
         );
     }
 
+    if workload == Workload::Adversarial && report.search.is_none() {
+        return Err("the adversarial workload must report a search section".to_owned());
+    }
+    if let Some(se) = &report.search {
+        for (name, v) in [("cdcl_ms", se.cdcl_ms), ("reference_ms", se.reference_ms)] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("search.{name} is not a valid duration"));
+            }
+        }
+        if se.decisions == 0 {
+            return Err("search section reports zero decisions — no search happened".to_owned());
+        }
+        if !se.matches_reference {
+            return Err("CDCL engine diverged from the reference engine".to_owned());
+        }
+        if !(se.speedup.is_finite() && se.speedup > 0.0) {
+            return Err("search.speedup is not a positive finite ratio".to_owned());
+        }
+        if workload == Workload::Adversarial {
+            if se.conflicts == 0 {
+                return Err(
+                    "the UNSAT adversarial workload must be refuted through conflicts".to_owned(),
+                );
+            }
+            if se.models != 0 {
+                return Err("the adversarial workload is UNSAT by construction".to_owned());
+            }
+            if se.speedup < 1.0 {
+                return Err(format!(
+                    "CDCL search is slower than the chronological reference engine \
+                     ({:.2}x on the search-bound `adversarial` workload)",
+                    se.speedup
+                ));
+            }
+        }
+    }
     if let Some(pre) = &report.pre_pr {
         if !(pre.total_ms.is_finite() && pre.total_ms > 0.0 && pre.speedup.is_finite()) {
             return Err("pre_pr baseline is not a valid measurement".to_owned());
@@ -941,6 +1060,63 @@ mod tests {
         report.tight_solve.speedup = 1.5;
         let json = serde_json::to_string(&report).unwrap();
         validate(&json).expect("temporal report validates");
+    }
+
+    #[test]
+    fn adversarial_report_validates_and_gates_on_search() {
+        let mut report = run(Workload::Adversarial, 12, 1, None).expect("bench runs");
+        assert_eq!(report.workload, "adversarial");
+        assert_eq!(report.solve.baseline.models, 0, "UNSAT by construction");
+        assert_eq!(report.solve.optimized.models, 0);
+        assert!(
+            report.tight_solve.tight,
+            "no recursion: the program is tight"
+        );
+        assert!(report.incremental.is_none(), "no scenario space");
+        assert!(report.parallel.is_none(), "no scenario space");
+        let se = report.search.as_ref().expect("search section present");
+        assert!(se.decisions > 0, "refutation requires branching");
+        assert!(se.conflicts > 0, "refutation requires conflicts");
+        assert_eq!(
+            se.learned_nogoods, se.conflicts,
+            "one 1UIP nogood per conflict"
+        );
+        assert_eq!(se.models, 0);
+        assert!(se.matches_reference);
+        // Gate logic, decoupled from this tiny instance's timing noise.
+        report.search.as_mut().unwrap().speedup = 2.0;
+        let json = serde_json::to_string(&report).unwrap();
+        validate(&json).expect("adversarial report validates");
+
+        // A search section reporting zero decisions is fatal.
+        let mut broken = report.clone();
+        broken.search.as_mut().unwrap().decisions = 0;
+        let json = serde_json::to_string(&broken).unwrap();
+        assert!(validate(&json).unwrap_err().contains("zero decisions"));
+
+        // A CDCL engine slower than the reference fails the speed gate.
+        let mut slow = report.clone();
+        slow.search.as_mut().unwrap().speedup = 0.5;
+        let json = serde_json::to_string(&slow).unwrap();
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("slower than the chronological reference"));
+
+        // An engine divergence is fatal.
+        let mut diverged = report.clone();
+        diverged.search.as_mut().unwrap().matches_reference = false;
+        let json = serde_json::to_string(&diverged).unwrap();
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("diverged from the reference engine"));
+
+        // The section itself is mandatory for this workload.
+        let mut missing = report;
+        missing.search = None;
+        let json = serde_json::to_string(&missing).unwrap();
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("must report a search section"));
     }
 
     #[test]

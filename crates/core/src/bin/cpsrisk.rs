@@ -78,7 +78,7 @@ fn print_help() {
          \x20                        `-` reads stdin); without files, lint the\n\
          \x20                        water-tank case study model (M001-M007) and\n\
          \x20                        its ASP encoding\n\
-         \x20 analyze [--json] [--workload chain|grid|temporal [--n N]]\n\
+         \x20 analyze [--json] [--workload chain|grid|temporal|adversarial [--n N]]\n\
          \x20         [--max-divergence R] [file.lp | - ...]\n\
          \x20                        semantic analysis: dependency strata, tightness\n\
          \x20                        (predicate + ground level), predicted vs actual\n\
@@ -87,12 +87,13 @@ fn print_help() {
          \x20                        fails on error findings or when the prediction\n\
          \x20                        diverges past R\n\
          \x20 simulate <f1,f2,...>   simulate the continuous plant under a fault set\n\
-         \x20 bench [--workload chain|grid|temporal] [--n N] [--threads T] [--out FILE]\n\
-         \x20                        measure the ASP hot path on a parametric workload\n\
+         \x20 bench [--workload chain|grid|temporal|adversarial] [--n N] [--threads T]\n\
+         \x20       [--out FILE]     measure the ASP hot path on a parametric workload\n\
          \x20                        (grounding: reference vs semi-naive; solving:\n\
-         \x20                        reference vs indexed; plus incremental + sweep on\n\
-         \x20                        EPA workloads) and write a machine-readable JSON\n\
-         \x20                        report; `--validate FILE` checks an existing report\n\
+         \x20                        reference vs CDCL; CDCL search counters on the\n\
+         \x20                        UNSAT adversarial workload; plus incremental +\n\
+         \x20                        sweep on EPA workloads) and write a JSON report;\n\
+         \x20                        `--validate FILE` checks an existing report\n\
          \x20 help                   this message"
     );
 }
@@ -183,6 +184,10 @@ fn solve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             println!("Answer {}: {m}", i + 1);
         }
         println!("{} model(s)", result.models.len());
+        println!(
+            "search: {} decisions, {} conflicts, {} restarts, {} propagations",
+            result.decisions, result.conflicts, result.restarts, result.propagations
+        );
     } else {
         match solver.optimize(&cpsrisk::asp::SolveOptions::default())? {
             Some(m) => println!("Optimum: {m}\ncost: {:?}", m.cost),
@@ -295,7 +300,8 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if files.is_empty() && workload.is_none() {
         return Err("usage: cpsrisk analyze <file.lp ...> [--json] \
-                    [--workload chain|grid|temporal [--n N]] [--max-divergence R]"
+                    [--workload chain|grid|temporal|adversarial [--n N]] \
+                    [--max-divergence R]"
             .into());
     }
 
@@ -317,6 +323,10 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 &cpsrisk::epa::encode::EncodeMode::Exhaustive { max_faults: None },
             ),
             cpsrisk::bench::Workload::Temporal => cpsrisk::epa::workload::temporal_tank_problem(n),
+            cpsrisk::bench::Workload::Adversarial => cpsrisk::epa::workload::adversarial_problem(
+                n,
+                cpsrisk::epa::workload::adversarial_needed(n) - 1,
+            ),
         };
         inputs.push((
             format!("workload:{}(n={n})", w.as_str()),
@@ -514,6 +524,27 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "MISMATCH"
         }
     );
+    if let Some(se) = &report.search {
+        println!(
+            "  cdcl search: {:.1} ms vs reference {:.1} ms = {:.2}x \
+             ({} decisions, {} conflicts, {} restarts, {} learned / {} kept nogoods, \
+             {} model(s), engine check: {})",
+            se.cdcl_ms,
+            se.reference_ms,
+            se.speedup,
+            se.decisions,
+            se.conflicts,
+            se.restarts,
+            se.learned_nogoods,
+            se.kept_nogoods,
+            se.models,
+            if se.matches_reference {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
     if let Some(pre) = &report.pre_pr {
         println!(
             "  vs pre-optimization build: {:.1} ms -> {:.1} ms ({:.2}x)",

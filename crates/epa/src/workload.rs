@@ -235,6 +235,64 @@ pub fn temporal_tank_problem(horizon: usize) -> cpsrisk_asp::Program {
     b.finish()
 }
 
+/// Minimum number of mitigations that cover all `n` attack chains of
+/// [`adversarial_problem`]: each mitigation covers a circular window of 3
+/// consecutive chains, so `⌈n/3⌉` selections are necessary and sufficient.
+#[must_use]
+pub fn adversarial_needed(n: usize) -> usize {
+    n.div_ceil(3)
+}
+
+/// A search-heavy workload: mitigation selection under a cardinality
+/// budget against `n` overlapping attack chains.
+///
+/// Chains `0..n` are each covered by three mitigations (mitigation `m`
+/// covers the circular window `m, m+1, m+2 (mod n)`), at most `budget`
+/// mitigations may be selected, and every chain must be blocked. The
+/// covering structure makes the instance pigeonhole-hard below the
+/// covering number: at `budget = adversarial_needed(n) - 1` the program is
+/// unsatisfiable but proving it requires genuine search — unlike every
+/// other workload here, propagation decides nothing up front (the WFM
+/// leaves all `select` atoms open), so this is the benchmark that
+/// exercises the solver's search core rather than the grounder.
+///
+/// # Panics
+///
+/// Panics for `n < 3` (the circular windows need at least one full turn).
+#[must_use]
+pub fn adversarial_problem(n: usize, budget: usize) -> cpsrisk_asp::Program {
+    assert!(n >= 3, "adversarial_problem needs n >= 3");
+    let n_i = n as i64;
+    let mut b = ProgramBuilder::new();
+    for i in 0..n_i {
+        b.fact("chain", [Term::Int(i)]);
+        b.fact("mitigation", [Term::Int(i)]);
+        for w in 0..3 {
+            b.fact("covers", [Term::Int(i), Term::Int((i + w) % n_i)]);
+        }
+    }
+    // { select(M) : mitigation(M) } budget.
+    b.choice(None, Some(budget as u32))
+        .element_if(
+            "select",
+            [Term::var("M")],
+            vec![cpsrisk_asp::builder::pos("mitigation", [Term::var("M")])],
+        )
+        .done();
+    // blocked(C) :- select(M), covers(M, C).
+    b.rule("blocked", [Term::var("C")])
+        .pos("select", [Term::var("M")])
+        .pos("covers", [Term::var("M"), Term::var("C")])
+        .done();
+    // :- chain(C), not blocked(C).
+    b.constraint()
+        .pos("chain", [Term::var("C")])
+        .neg("blocked", [Term::var("C")])
+        .done();
+    b.show("select", 1);
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +319,24 @@ mod tests {
             // A workstation compromise reaches the valve across the grid.
             let out = TopologyAnalysis::new(&p).evaluate(&Scenario::of(&["f_ew"]));
             assert!(out.violated.contains("r1"), "grid {w}x{h}");
+        }
+    }
+
+    #[test]
+    fn adversarial_problem_is_sat_at_the_covering_number_and_unsat_below() {
+        for n in [6, 9, 10] {
+            let needed = adversarial_needed(n);
+            let sat = adversarial_problem(n, needed)
+                .solve()
+                .expect("solves within budget");
+            assert!(!sat.is_empty(), "n={n}: coverable at budget {needed}");
+            for m in &sat {
+                assert!(m.atoms_of("select").len() <= needed, "budget respected");
+            }
+            let unsat = adversarial_problem(n, needed - 1)
+                .solve()
+                .expect("solves within budget");
+            assert!(unsat.is_empty(), "n={n}: pigeonhole-hard below {needed}");
         }
     }
 

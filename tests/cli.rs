@@ -278,13 +278,32 @@ fn bench_writes_a_validatable_report() {
     // The written report passes the built-in validator.
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the fresh report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/5 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/6 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // A grounding-bound workload skips the EPA-only sections.
     let (stdout, stderr, ok) = run(&["bench", "--workload", "temporal", "--n", "6", "--out", out]);
     assert!(ok, "temporal bench runs: {stderr}");
     assert!(stdout.contains("temporal(6):"), "{stdout}");
     assert!(!stdout.contains("amortized"), "{stdout}");
+    std::fs::remove_file(out).ok();
+    // The search-bound adversarial workload reports CDCL counters and
+    // validates despite its (correct) empty model set.
+    let (stdout, stderr, ok) = run(&[
+        "bench",
+        "--workload",
+        "adversarial",
+        "--n",
+        "15",
+        "--out",
+        out,
+    ]);
+    assert!(ok, "adversarial bench runs: {stderr}");
+    assert!(stdout.contains("adversarial(15):"), "{stdout}");
+    assert!(stdout.contains("cdcl search:"), "{stdout}");
+    assert!(stdout.contains("engine check: ok"), "{stdout}");
+    let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
+    assert!(ok, "validate accepts the adversarial report: {stderr}");
+    assert!(stdout.contains("valid cpsrisk-bench/6 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // Unknown flags and workloads are rejected.
     let (_, stderr, ok) = run(&["bench", "--frobnicate"]);
