@@ -24,20 +24,36 @@ cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
-# Smoke-bench: a tiny workload must produce a cpsrisk-bench/6 report the
+# Smoke-bench: a tiny workload must produce a cpsrisk-bench/7 report the
 # validator accepts. The validator also fails the gate when the
 # assumption-reuse stream diverges from — or is slower than — the
 # fresh-solve stream, when the tight fast path diverges from the
-# unfounded-set closure, or (v5) when the WFM simplifier changes the model
-# set or a static WFM verdict disagrees with the search path.
+# unfounded-set closure, (v5) when the WFM simplifier changes the model
+# set or a static WFM verdict disagrees with the search path, or (v7)
+# when any sweep scheduler configuration diverges from the sequential
+# result or the streaming pass exceeds its in-flight bound.
 smoke_bench=target/ci_smoke_bench.json
 ./target/release/cpsrisk bench --n 2 --threads 2 --out "$smoke_bench"
 ./target/release/cpsrisk bench --validate "$smoke_bench"
-grep -q '"schema": "cpsrisk-bench/6"' "$smoke_bench" || {
-    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/6 report" >&2
+grep -q '"schema": "cpsrisk-bench/7"' "$smoke_bench" || {
+    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/7 report" >&2
     exit 1
 }
 rm -f "$smoke_bench"
+
+# Catalog sweep gate (v7): a small catalog-scale run must produce a
+# report whose work-stealing, static-chunk, and memory-bounded streaming
+# sweeps all agree with the sequential reference, with one in-range
+# utilization entry per worker and the streaming peak within its bound.
+catalog_bench=target/ci_catalog_bench.json
+./target/release/cpsrisk bench --workload catalog --n 36 --threads 2 \
+    --steal-batch 1 --max-in-flight 64 --out "$catalog_bench"
+./target/release/cpsrisk bench --validate "$catalog_bench"
+grep -q '"workload": "catalog"' "$catalog_bench" || {
+    echo "ci.sh: catalog bench did not report the catalog workload" >&2
+    exit 1
+}
+rm -f "$catalog_bench"
 
 # CDCL search gate (v6): the UNSAT adversarial workload must be refuted
 # through real conflict-driven search. The validator rejects a search

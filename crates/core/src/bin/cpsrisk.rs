@@ -78,7 +78,7 @@ fn print_help() {
          \x20                        `-` reads stdin); without files, lint the\n\
          \x20                        water-tank case study model (M001-M007) and\n\
          \x20                        its ASP encoding\n\
-         \x20 analyze [--json] [--workload chain|grid|temporal|adversarial [--n N]]\n\
+         \x20 analyze [--json] [--workload chain|grid|temporal|adversarial|catalog [--n N]]\n\
          \x20         [--max-divergence R] [file.lp | - ...]\n\
          \x20                        semantic analysis: dependency strata, tightness\n\
          \x20                        (predicate + ground level), predicted vs actual\n\
@@ -87,12 +87,15 @@ fn print_help() {
          \x20                        fails on error findings or when the prediction\n\
          \x20                        diverges past R\n\
          \x20 simulate <f1,f2,...>   simulate the continuous plant under a fault set\n\
-         \x20 bench [--workload chain|grid|temporal|adversarial] [--n N] [--threads T]\n\
+         \x20 bench [--workload chain|grid|temporal|adversarial|catalog] [--n N]\n\
+         \x20       [--threads T] [--steal-batch B] [--max-in-flight M]\n\
          \x20       [--out FILE]     measure the ASP hot path on a parametric workload\n\
          \x20                        (grounding: reference vs semi-naive; solving:\n\
          \x20                        reference vs CDCL; CDCL search counters on the\n\
-         \x20                        UNSAT adversarial workload; plus incremental +\n\
-         \x20                        sweep on EPA workloads) and write a JSON report;\n\
+         \x20                        UNSAT adversarial workload; incremental + the\n\
+         \x20                        work-stealing vs static-chunk sweep with a\n\
+         \x20                        memory-bounded streaming pass on EPA workloads)\n\
+         \x20                        and write a JSON report;\n\
          \x20                        `--validate FILE` checks an existing report\n\
          \x20 help                   this message"
     );
@@ -300,7 +303,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if files.is_empty() && workload.is_none() {
         return Err("usage: cpsrisk analyze <file.lp ...> [--json] \
-                    [--workload chain|grid|temporal|adversarial [--n N]] \
+                    [--workload chain|grid|temporal|adversarial|catalog [--n N]] \
                     [--max-divergence R]"
             .into());
     }
@@ -326,6 +329,19 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             cpsrisk::bench::Workload::Adversarial => cpsrisk::epa::workload::adversarial_problem(
                 n,
                 cpsrisk::epa::workload::adversarial_needed(n) - 1,
+            ),
+            // The catalog's full choice space is astronomically large;
+            // analyze the singleton-bounded encoding, like the bench's
+            // grounding/solve sections do.
+            cpsrisk::bench::Workload::Catalog => cpsrisk::epa::encode::encode(
+                &cpsrisk::epa::workload::catalog_problem(
+                    n,
+                    cpsrisk::bench::catalog_chains(n),
+                    cpsrisk::bench::CATALOG_SEED,
+                ),
+                &cpsrisk::epa::encode::EncodeMode::Exhaustive {
+                    max_faults: Some(1),
+                },
             ),
         };
         inputs.push((
@@ -402,7 +418,8 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut workload = cpsrisk::bench::Workload::Chain;
     let mut n: Option<usize> = None;
-    let mut threads = cpsrisk::epa::SweepOptions::default().threads;
+    // Env-derived defaults (CPSRISK_THREADS etc.); flags override.
+    let mut opts = cpsrisk::epa::SweepOptions::default();
     let mut out = "BENCH_asp.json".to_owned();
     let mut validate: Option<String> = None;
     let mut baseline_ms: Option<f64> = None;
@@ -416,14 +433,32 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         match arg.as_str() {
             "--workload" => workload = cpsrisk::bench::Workload::parse(&value("--workload")?)?,
             "--n" => n = Some(value("--n")?.parse()?),
-            "--threads" => threads = value("--threads")?.parse()?,
+            "--threads" => {
+                opts.threads = value("--threads")?.parse()?;
+                if opts.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+            }
+            "--steal-batch" => {
+                opts.steal_batch = value("--steal-batch")?.parse()?;
+                if opts.steal_batch == 0 {
+                    return Err("--steal-batch must be >= 1".into());
+                }
+            }
+            "--max-in-flight" => {
+                opts.max_in_flight = value("--max-in-flight")?.parse()?;
+                if opts.max_in_flight == 0 {
+                    return Err("--max-in-flight must be >= 1".into());
+                }
+            }
             "--out" => out = value("--out")?,
             "--validate" => validate = Some(value("--validate")?),
             "--baseline-ms" => baseline_ms = Some(value("--baseline-ms")?.parse()?),
             other => {
                 return Err(format!(
                     "unknown bench flag `{other}` \
-                     (try --workload/--n/--threads/--out/--validate/--baseline-ms)"
+                     (try --workload/--n/--threads/--steal-batch/--max-in-flight\
+                     /--out/--validate/--baseline-ms)"
                 )
                 .into())
             }
@@ -446,10 +481,7 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    if threads == 0 {
-        return Err("--threads must be >= 1".into());
-    }
-    let report = cpsrisk::bench::run(workload, n, threads, baseline_ms)?;
+    let report = cpsrisk::bench::run(workload, n, &opts, baseline_ms)?;
     std::fs::write(&out, serde_json::to_string_pretty(&report)? + "\n")?;
     let g = &report.grounding;
     println!(
@@ -568,12 +600,43 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if let Some(par) = &report.parallel {
+        let util = par
+            .utilization
+            .iter()
+            .map(|u| format!("{:.0}%", u * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ");
         println!(
-            "  parallel sweep: {} scenarios on {} thread(s) in {:.1} ms (order check: {})",
+            "  sweep: {} queries on {} thread(s), static {:.1} ms vs stealing {:.1} ms \
+             = {:.2}x ({:.0} queries/s, {} steals of batch {}, utilization [{util}], \
+             order check: {})",
             par.scenarios,
             par.threads,
-            par.sweep_ms,
+            par.static_ms,
+            par.stealing_ms,
+            par.speedup,
+            par.scenarios_per_sec,
+            par.steals,
+            par.steal_batch,
             if par.matches_sequential {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+        );
+        let st = &par.streaming;
+        println!(
+            "  streaming sweep: {:.1} ms, peak {} in flight (bound {}, {}; \
+             stream check: {})",
+            st.stream_ms,
+            st.peak_in_flight,
+            st.max_in_flight,
+            if st.within_bound {
+                "within bound"
+            } else {
+                "BOUND EXCEEDED"
+            },
+            if st.matches_materialized {
                 "ok"
             } else {
                 "MISMATCH"
@@ -581,7 +644,7 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         );
         if par.threads == 1 {
             eprintln!(
-                "warning: the parallel sweep ran single-threaded \
+                "warning: the sweep ran single-threaded \
                  (pass --threads or set CPSRISK_THREADS to use more workers)"
             );
         }

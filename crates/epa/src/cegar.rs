@@ -13,6 +13,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::incremental::IncrementalAnalysis;
+use crate::parallel::{run_stealing_with, SweepOptions};
 use crate::scenario::ScenarioOutcome;
 
 /// A concrete oracle answering whether an abstract finding is real.
@@ -109,6 +110,57 @@ pub fn refine_hazards(hazards: &[ScenarioOutcome], oracle: &dyn ConcreteOracle) 
         for r in &h.violated {
             oracle_calls += 1;
             if oracle.confirms(h, r) {
+                kept.insert(r.clone());
+            } else {
+                refuted.insert(r.clone());
+            }
+        }
+        if !refuted.is_empty() {
+            spurious.push((h.clone(), refuted));
+        }
+        if !kept.is_empty() {
+            let mut c = h.clone();
+            c.violated = kept;
+            confirmed.push(c);
+        }
+    }
+    CegarResult {
+        confirmed,
+        spurious,
+        oracle_calls,
+    }
+}
+
+/// [`refine_hazards`] with the ASP oracle's concrete solves fanned out
+/// across the work-stealing scheduler: each hazard's scenario is
+/// re-evaluated once on a per-worker reused solver over `analysis`'s
+/// shared ground program, and every violated requirement of the hazard is
+/// checked against that concrete outcome. Produces exactly the result of
+/// `refine_hazards(hazards, &AspOracle::new(analysis))` — including the
+/// conservative confirm-on-error rule — at any thread count.
+#[must_use]
+pub fn refine_hazards_parallel(
+    analysis: &IncrementalAnalysis,
+    hazards: &[ScenarioOutcome],
+    opts: &SweepOptions,
+) -> CegarResult {
+    let (outcomes, _) = run_stealing_with(
+        hazards,
+        opts,
+        || analysis.solver(),
+        |solver, h: &ScenarioOutcome| analysis.analyze_with(solver, &h.scenario).ok(),
+    );
+    let mut confirmed = Vec::new();
+    let mut spurious = Vec::new();
+    let mut oracle_calls = 0usize;
+    for (h, concrete) in hazards.iter().zip(outcomes) {
+        let mut kept = BTreeSet::new();
+        let mut refuted = BTreeSet::new();
+        for r in &h.violated {
+            oracle_calls += 1;
+            // An oracle error must never drop a potentially real hazard.
+            let confirms = concrete.as_ref().is_none_or(|o| o.violated.contains(r));
+            if confirms {
                 kept.insert(r.clone());
             } else {
                 refuted.insert(r.clone());
@@ -244,6 +296,39 @@ mod tests {
                     h.scenario
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_refinement_matches_the_sequential_oracle_loop() {
+        use crate::scenario::ScenarioSpace;
+        use crate::topology::TopologyAnalysis;
+        use crate::workload::chain_problem;
+
+        let abstract_p = chain_problem(2);
+        let hazards: Vec<ScenarioOutcome> = {
+            let direct = TopologyAnalysis::new(&abstract_p);
+            ScenarioSpace::new(&abstract_p, usize::MAX)
+                .iter()
+                .map(|s| direct.evaluate(&s))
+                .filter(ScenarioOutcome::is_hazard)
+                .collect()
+        };
+        let mut refined_p = abstract_p.clone();
+        for id in refined_p
+            .mitigations
+            .iter()
+            .map(|m| m.id.clone())
+            .collect::<Vec<_>>()
+        {
+            refined_p.activate_mitigation(&id).unwrap();
+        }
+        let refined = IncrementalAnalysis::new(&refined_p).unwrap();
+        let sequential = refine_hazards(&hazards, &AspOracle::new(&refined));
+        for threads in [1, 4] {
+            let opts = crate::parallel::SweepOptions::with_threads(threads).steal_batch(1);
+            let parallel = refine_hazards_parallel(&refined, &hazards, &opts);
+            assert_eq!(parallel, sequential, "threads = {threads}");
         }
     }
 

@@ -34,6 +34,21 @@ pub enum EncodeMode {
     /// [`Solver::solve_with_assumptions`]. Used by
     /// [`IncrementalAnalysis`](crate::incremental::IncrementalAnalysis).
     Assumable,
+    /// Multi-shot **attack-extension** form: the [`Assumable`] vocabulary
+    /// plus an assumable `target/1` fact per requirement, a bounded choice
+    /// `{ chosen(F) : fault(F), fault_enabled(F) } ≤ budget` giving the
+    /// attacker up to `budget` extra faults on top of the pinned scenario,
+    /// and the constraint `:- target(R), not violated(R)` — so a query is
+    /// satisfiable iff some extension of at most `budget` faults violates
+    /// the targeted requirement. Unlike the WFM-decided [`Assumable`]
+    /// queries this leaves real choice atoms open: answering takes CDCL
+    /// search. Used by [`AttackMargin`](crate::margin::AttackMargin).
+    ///
+    /// [`Assumable`]: EncodeMode::Assumable
+    Contested {
+        /// Maximum number of attacker-chosen extension faults.
+        budget: u32,
+    },
 }
 
 /// Build the full ASP program for a problem under an encoding mode.
@@ -65,7 +80,7 @@ pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
     // applicable `(component, mitigation)` pair is emitted — the fact
     // becomes an assumable atom pinned true or false per query, so one
     // ground program covers every activation state.
-    let assumable = *mode == EncodeMode::Assumable;
+    let assumable = matches!(mode, EncodeMode::Assumable | EncodeMode::Contested { .. });
     for mit in &problem.mitigations {
         for f in &mit.blocks {
             b.fact("mitigation", [Term::sym(f), Term::sym(&mit.id)]);
@@ -126,7 +141,7 @@ pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
             );
             choice.done();
         }
-        EncodeMode::Assumable => {
+        EncodeMode::Assumable | EncodeMode::Contested { .. } => {
             for m in &problem.mutations {
                 b.fact("scenario_fault", [Term::sym(&m.id)]);
                 b.fact("fault_enabled", [Term::sym(&m.id)]);
@@ -138,6 +153,25 @@ pub fn encode(problem: &EpaProblem, mode: &EncodeMode) -> Program {
                 .expect("static encoding parses"),
             );
         }
+    }
+    if let EncodeMode::Contested { budget } = mode {
+        for r in &problem.requirements {
+            b.fact("target", [Term::sym(&r.id)]);
+        }
+        b.choice(None, Some(*budget))
+            .element_if(
+                "chosen",
+                ["F"],
+                vec![pos("fault", ["F"]), pos("fault_enabled", ["F"])],
+            )
+            .done();
+        b.append(
+            cpsrisk_asp::parse(
+                "active_fault(C, F) :- chosen(F), potential_fault(C, F). \
+                 :- target(R), not violated(R).",
+            )
+            .expect("static encoding parses"),
+        );
     }
 
     // Worst-case propagation (same semantics as the direct engine).

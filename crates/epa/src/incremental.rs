@@ -16,7 +16,8 @@ use cpsrisk_asp::{GroundProgram, Grounder, Lit, SolveOptions, Solver};
 
 use crate::encode::{encode, outcome_from_atoms, outcome_from_model, EncodeMode};
 use crate::error::EpaError;
-use crate::parallel::{run_sharded_with, SweepOptions};
+use crate::parallel::SweepStats;
+use crate::parallel::{run_static_with, run_stealing_stream, run_stealing_with, SweepOptions};
 use crate::problem::EpaProblem;
 use crate::scenario::{Scenario, ScenarioOutcome};
 use crate::sensitivity::Decision;
@@ -194,10 +195,10 @@ impl IncrementalAnalysis {
         self.analyze_with(&mut self.solver(), scenario)
     }
 
-    /// Evaluate every scenario across worker threads. Each worker owns one
-    /// solver over the shared ground program and reuses it over its whole
-    /// contiguous chunk; `outcomes[i]` corresponds to `scenarios[i]`
-    /// regardless of thread count.
+    /// Evaluate every scenario across work-stealing worker threads. Each
+    /// worker owns one solver over the shared ground program and reuses it
+    /// over every batch it processes or steals; `outcomes[i]` corresponds
+    /// to `scenarios[i]` regardless of thread count or steal schedule.
     ///
     /// # Errors
     ///
@@ -207,7 +208,44 @@ impl IncrementalAnalysis {
         scenarios: &[Scenario],
         opts: &SweepOptions,
     ) -> Result<Vec<ScenarioOutcome>, EpaError> {
-        run_sharded_with(
+        self.sweep_with_stats(scenarios, opts).map(|(out, _)| out)
+    }
+
+    /// [`sweep`](Self::sweep) returning the scheduler's observability
+    /// counters (steals, per-worker utilization, peak in-flight) alongside
+    /// the outcomes.
+    ///
+    /// # Errors
+    ///
+    /// The first (in input order) [`EpaError`] any scenario produced.
+    pub fn sweep_with_stats(
+        &self,
+        scenarios: &[Scenario],
+        opts: &SweepOptions,
+    ) -> Result<(Vec<ScenarioOutcome>, SweepStats), EpaError> {
+        let (results, stats) = run_stealing_with(
+            scenarios,
+            opts,
+            || self.solver(),
+            |solver, s| self.analyze_with(solver, s),
+        );
+        let outcomes = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok((outcomes, stats))
+    }
+
+    /// [`sweep`](Self::sweep) on the retired static-chunk scheduler — the
+    /// measured baseline `cpsrisk bench` compares the work-stealing sweep
+    /// against. Produces identical outcomes, only the schedule differs.
+    ///
+    /// # Errors
+    ///
+    /// The first (in input order) [`EpaError`] any scenario produced.
+    pub fn sweep_static(
+        &self,
+        scenarios: &[Scenario],
+        opts: &SweepOptions,
+    ) -> Result<Vec<ScenarioOutcome>, EpaError> {
+        run_static_with(
             scenarios,
             opts.threads,
             || self.solver(),
@@ -215,6 +253,52 @@ impl IncrementalAnalysis {
         )
         .into_iter()
         .collect()
+    }
+
+    /// Memory-bounded streaming sweep: scenarios come from an iterator and
+    /// at most [`SweepOptions::max_in_flight`] of them are materialized at
+    /// any moment, so arbitrarily long scenario streams sweep in `O(window)`
+    /// memory. `emit` receives every outcome in input order with its global
+    /// stream index; per-worker solvers persist across windows. Returns the
+    /// accumulated scheduler stats (`peak_in_flight` is the largest window
+    /// actually held).
+    ///
+    /// # Errors
+    ///
+    /// The first (in input order) [`EpaError`] any scenario produced;
+    /// outcomes past the failing window are not emitted.
+    pub fn sweep_streaming<E>(
+        &self,
+        scenarios: impl Iterator<Item = Scenario>,
+        opts: &SweepOptions,
+        mut emit: E,
+    ) -> Result<SweepStats, EpaError>
+    where
+        E: FnMut(usize, ScenarioOutcome),
+    {
+        let mut first_err: Option<(usize, EpaError)> = None;
+        let stats = run_stealing_stream(
+            scenarios,
+            opts,
+            || self.solver(),
+            |solver, s| self.analyze_with(solver, s),
+            |i, r| match r {
+                Ok(out) => {
+                    if first_err.is_none() {
+                        emit(i, out);
+                    }
+                }
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            },
+        );
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => Ok(stats),
+        }
     }
 }
 

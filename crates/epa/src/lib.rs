@@ -45,6 +45,7 @@ pub mod cegar;
 pub mod encode;
 pub mod error;
 pub mod incremental;
+pub mod margin;
 pub mod mutation;
 pub mod parallel;
 pub mod problem;
@@ -54,15 +55,16 @@ pub mod topology;
 pub mod workload;
 
 pub use attack_path::{shortest_attack_paths, AttackPath};
-pub use cegar::{refine_hazards, AspOracle, CegarResult, ConcreteOracle};
+pub use cegar::{refine_hazards, refine_hazards_parallel, AspOracle, CegarResult, ConcreteOracle};
 pub use encode::{
     analyze_exhaustive, analyze_fixed, analyze_fixed_fresh, cheapest_attack, encode, EncodeMode,
     ExhaustiveAnalysis,
 };
 pub use error::EpaError;
 pub use incremental::IncrementalAnalysis;
+pub use margin::AttackMargin;
 pub use mutation::{inject_mutations, screen_mutations, CandidateMutation, MutationSource};
-pub use parallel::{sweep_fixed, SweepOptions};
+pub use parallel::{sweep_fixed, SweepOptions, SweepStats};
 pub use problem::{EpaProblem, MitigationOption, Requirement};
 pub use scenario::{Scenario, ScenarioOutcome, ScenarioSpace};
 pub use sensitivity::{
@@ -70,3 +72,7 @@ pub use sensitivity::{
     SensitivityFinding,
 };
 pub use topology::TopologyAnalysis;
+pub use workload::{
+    catalog_margin_budget, catalog_problem, catalog_queries, catalog_requirements_ranked,
+    catalog_zone_count, CatalogAnalysis, CatalogAnswer, CatalogQuery,
+};

@@ -1,0 +1,280 @@
+//! Bounded attack-extension queries: "can an attacker with `budget` extra
+//! faults break this requirement from here?"
+//!
+//! The plain incremental sweep pins *every* toggle per query, so the
+//! conditional well-founded model decides each scenario without search.
+//! Margin queries are the genuinely contested counterpart: the scenario is
+//! pinned, but the attacker may add up to `budget` further enabled faults
+//! ([`EncodeMode::Contested`]), and the question is whether **some**
+//! extension violates a targeted requirement. That existential leaves real
+//! choice atoms open — answering is a SAT call over the shared ground
+//! program, UNSAT answers take conflict-driven search (the catalog
+//! workload makes them pigeonhole-hard). Margin queries are what gives
+//! catalog sweeps their honest cheap-vs-expensive skew.
+
+use cpsrisk_asp::ast::Term;
+use cpsrisk_asp::{GroundProgram, Grounder, Lit, SolveOptions, Solver};
+use std::collections::BTreeSet;
+
+use crate::encode::{encode, EncodeMode};
+use crate::error::EpaError;
+use crate::problem::EpaProblem;
+use crate::scenario::Scenario;
+
+/// An attack-margin analysis with a **shared ground program** queried
+/// through assumption literals, in the style of
+/// [`IncrementalAnalysis`](crate::incremental::IncrementalAnalysis).
+///
+/// Construction encodes and grounds [`EncodeMode::Contested`] once;
+/// [`attack_exists_with`](Self::attack_exists_with) then answers each
+/// `(scenario, requirement)` pair by pinning the assumable atoms
+/// (`scenario_fault/1`, `fault_enabled/1`, `active_mitigation/2`,
+/// `target/1`) at decision level 0 and checking satisfiability.
+pub struct AttackMargin {
+    ground: GroundProgram,
+    baseline_active: BTreeSet<String>,
+    budget: u32,
+}
+
+impl AttackMargin {
+    /// Encode and ground `problem` under [`EncodeMode::Contested`] with
+    /// the given attacker budget.
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on grounding failure.
+    pub fn new(problem: &EpaProblem, budget: u32) -> Result<Self, EpaError> {
+        let program = encode(problem, &EncodeMode::Contested { budget });
+        let ground = Grounder::new()
+            .assumable("scenario_fault", 1)
+            .assumable("fault_enabled", 1)
+            .assumable("active_mitigation", 2)
+            .assumable("target", 1)
+            .with_slicing(true)
+            .ground(&program)?;
+        Ok(AttackMargin {
+            ground,
+            baseline_active: problem.active_mitigations.clone(),
+            budget,
+        })
+    }
+
+    /// The attacker's extension budget the program was encoded with.
+    #[must_use]
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// The shared ground program.
+    #[must_use]
+    pub fn ground(&self) -> &GroundProgram {
+        &self.ground
+    }
+
+    /// A fresh reusable solver over the shared ground program.
+    #[must_use]
+    pub fn solver(&self) -> Solver<'_> {
+        Solver::new(&self.ground)
+    }
+
+    /// The assumption set pinning `scenario` and targeting `requirement`:
+    /// every assumable atom is fixed (faults enabled, baseline mitigation
+    /// polarity, exactly one positive `target/1`), leaving only the
+    /// attacker's `chosen/1` atoms open.
+    #[must_use]
+    pub fn assumptions(&self, scenario: &Scenario, requirement: &str) -> Vec<Lit> {
+        let mut lits = Vec::with_capacity(self.ground.assumable.len());
+        for &id in &self.ground.assumable {
+            let atom = self.ground.atom(id);
+            let positive = match (atom.pred.as_str(), atom.args.as_slice()) {
+                ("scenario_fault", [Term::Const(f)]) => scenario.contains(f),
+                ("fault_enabled", _) => true,
+                ("active_mitigation", [_, Term::Const(m)]) => self.baseline_active.contains(m),
+                ("target", [Term::Const(r)]) => r == requirement,
+                _ => false,
+            };
+            lits.push(Lit { atom: id, positive });
+        }
+        lits
+    }
+
+    /// Can some extension of at most [`budget`](Self::budget) enabled
+    /// faults, on top of `scenario`, violate `requirement`? Answered on a
+    /// caller-provided solver (which must be over [`Self::ground`]) — the
+    /// reuse form that carries learned nogoods across a query stream.
+    ///
+    /// A requirement id the problem does not know has no `target/1` atom;
+    /// the constraint is then vacuous and the query is trivially
+    /// satisfiable, so unknown requirements answer `true` (conservative,
+    /// like unknown scenario faults answering as absent).
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on solving failure.
+    pub fn attack_exists_with(
+        &self,
+        solver: &mut Solver<'_>,
+        scenario: &Scenario,
+        requirement: &str,
+    ) -> Result<bool, EpaError> {
+        let assumptions = self.assumptions(scenario, requirement);
+        let result = solver.solve_with_assumptions(
+            &assumptions,
+            &SolveOptions {
+                max_models: 1,
+                ..SolveOptions::default()
+            },
+        )?;
+        Ok(!result.models.is_empty())
+    }
+
+    /// [`attack_exists_with`](Self::attack_exists_with) on a throwaway
+    /// solver.
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on solving failure.
+    pub fn attack_exists(&self, scenario: &Scenario, requirement: &str) -> Result<bool, EpaError> {
+        self.attack_exists_with(&mut self.solver(), scenario, requirement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::CandidateMutation;
+    use crate::problem::Requirement;
+    use crate::scenario::ScenarioSpace;
+    use crate::topology::TopologyAnalysis;
+    use cpsrisk_model::{ElementKind, SystemModel};
+
+    /// Three zones in a ring, three spreaders each compromising two
+    /// adjacent zones. Covering all three zones takes two spreaders.
+    fn covering_problem() -> EpaProblem {
+        let mut m = SystemModel::new("ring");
+        for z in 0..3 {
+            m.add_element(&format!("zn{z}"), &format!("Zone {z}"), ElementKind::Device)
+                .unwrap();
+            m.add_element(
+                &format!("sp{z}"),
+                &format!("Spreader {z}"),
+                ElementKind::Device,
+            )
+            .unwrap();
+        }
+        for z in 0..3u32 {
+            for off in 0..2u32 {
+                m.add_relation(
+                    &format!("sp{z}"),
+                    &format!("zn{}", (z + off) % 3),
+                    cpsrisk_model::RelationKind::Flow,
+                )
+                .unwrap();
+            }
+        }
+        let mutations: Vec<CandidateMutation> = (0..3)
+            .map(|z| {
+                CandidateMutation::spontaneous(
+                    &format!("f_sp{z}"),
+                    &format!("sp{z}"),
+                    "compromised",
+                )
+            })
+            .collect();
+        let requirements = vec![Requirement::all_of(
+            "r_ring",
+            "no full-ring compromise",
+            &[
+                ("zn0", "compromised"),
+                ("zn1", "compromised"),
+                ("zn2", "compromised"),
+            ],
+        )];
+        EpaProblem::new(m, mutations, requirements, vec![]).unwrap()
+    }
+
+    /// Brute-force reference: does any extension of at most `budget`
+    /// mutations on top of `scenario` make the topology engine violate
+    /// `requirement`?
+    fn attack_exists_brute(
+        p: &EpaProblem,
+        scenario: &Scenario,
+        requirement: &str,
+        budget: usize,
+    ) -> bool {
+        let direct = TopologyAnalysis::new(p);
+        ScenarioSpace::new(p, budget).iter().any(|ext| {
+            let mut combined = scenario.clone();
+            for f in ext.iter() {
+                combined.insert(f);
+            }
+            direct.evaluate(&combined).violated.contains(requirement)
+        })
+    }
+
+    #[test]
+    fn margin_matches_brute_force_on_the_ring() {
+        let p = covering_problem();
+        for budget in 0..=3u32 {
+            let margin = AttackMargin::new(&p, budget).unwrap();
+            let mut solver = margin.solver();
+            for scenario in ScenarioSpace::new(&p, usize::MAX).iter() {
+                let expected = attack_exists_brute(&p, &scenario, "r_ring", budget as usize);
+                let got = margin
+                    .attack_exists_with(&mut solver, &scenario, "r_ring")
+                    .unwrap();
+                assert_eq!(got, expected, "budget {budget} scenario {scenario}");
+            }
+        }
+    }
+
+    #[test]
+    fn covering_number_separates_sat_from_unsat() {
+        let p = covering_problem();
+        let nominal = Scenario::nominal();
+        // One spreader misses a zone; two adjacent spreaders cover all
+        // three.
+        assert!(!AttackMargin::new(&p, 1)
+            .unwrap()
+            .attack_exists(&nominal, "r_ring")
+            .unwrap());
+        assert!(AttackMargin::new(&p, 2)
+            .unwrap()
+            .attack_exists(&nominal, "r_ring")
+            .unwrap());
+        // A head start changes the margin: with sp0 already compromised,
+        // one extension fault finishes the ring.
+        assert!(AttackMargin::new(&p, 1)
+            .unwrap()
+            .attack_exists(&Scenario::of(&["f_sp0"]), "r_ring")
+            .unwrap());
+    }
+
+    #[test]
+    fn margin_matches_brute_force_on_the_chain_workload() {
+        let p = crate::workload::chain_problem(2);
+        for budget in [0u32, 1] {
+            let margin = AttackMargin::new(&p, budget).unwrap();
+            let mut solver = margin.solver();
+            let reqs: Vec<String> = p.requirements.iter().map(|r| r.id.clone()).collect();
+            for scenario in ScenarioSpace::new(&p, 1).iter() {
+                for r in &reqs {
+                    let expected = attack_exists_brute(&p, &scenario, r, budget as usize);
+                    let got = margin
+                        .attack_exists_with(&mut solver, &scenario, r)
+                        .unwrap();
+                    assert_eq!(got, expected, "budget {budget} scenario {scenario} req {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_requirement_is_conservatively_attackable() {
+        let p = covering_problem();
+        let margin = AttackMargin::new(&p, 0).unwrap();
+        assert!(margin
+            .attack_exists(&Scenario::nominal(), "no_such_requirement")
+            .unwrap());
+    }
+}

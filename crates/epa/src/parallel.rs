@@ -1,67 +1,370 @@
-//! Sharded scenario sweeps over OS threads.
+//! Work-stealing, memory-bounded scenario sweeps over OS threads.
 //!
-//! The scenario space is embarrassingly parallel: every scenario (and every
-//! sensitivity variant) is evaluated independently. The sweep splits the
-//! input into one contiguous chunk per worker under [`std::thread::scope`]
-//! and writes results into pre-sized slots, so the output order equals the
-//! input order regardless of thread count or scheduling — a sweep with
-//! `threads = 1` and `threads = 8` return identical vectors.
+//! The scenario space is embarrassingly parallel, but it is no longer
+//! uniform: the conditional well-founded model decides plain scenarios in
+//! microseconds while contested margin queries take milliseconds of CDCL
+//! search. Static contiguous chunks (the old scheme, retained as
+//! `run_static_with` for benchmarking) let one hard run of scenarios
+//! idle every other core. The sweep therefore runs a **work-stealing
+//! scheduler**: the input is pre-split into batches of
+//! [`SweepOptions::steal_batch`] consecutive items, each worker owns a
+//! deque of batches, pops from the front, and — when empty — steals half
+//! of a victim's remaining batches from the back.
+//!
+//! Results are written into preallocated index-addressed slots (each batch
+//! carries its own disjoint `&mut` window of the output), so the output
+//! order equals the input order and the result is **bit-identical to the
+//! sequential sweep at any thread count and any steal schedule** — no
+//! unsafe code, no per-slot locks.
+//!
+//! For inputs too large to materialize, `run_stealing_stream` consumes
+//! scenarios from an iterator and keeps only a bounded window
+//! ([`SweepOptions::max_in_flight`]) in memory at a time, emitting results
+//! in input order between windows.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::{Duration, Instant};
 
 use crate::error::EpaError;
 use crate::incremental::IncrementalAnalysis;
 use crate::problem::EpaProblem;
 use crate::scenario::{Scenario, ScenarioOutcome};
 
+/// Default number of consecutive items per work-stealing batch.
+pub const DEFAULT_STEAL_BATCH: usize = 16;
+
+/// Default bound on materialized scenarios in streaming sweeps.
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 4096;
+
 /// Knobs for a parallel sweep.
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
     /// Number of worker threads (≥ 1).
     pub threads: usize,
+    /// Consecutive items per work-stealing batch (≥ 1). Small batches
+    /// balance skewed workloads better; large batches amortize deque
+    /// traffic on uniform ones.
+    pub steal_batch: usize,
+    /// Upper bound on scenarios materialized at once in streaming sweeps
+    /// (≥ 1). Memory use of the streaming form is `O(max_in_flight)`
+    /// regardless of stream length.
+    pub max_in_flight: usize,
 }
 
 impl SweepOptions {
-    /// Exactly `threads` workers.
+    /// Exactly `threads` workers, default batching and streaming bounds.
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
         SweepOptions {
             threads: threads.max(1),
+            steal_batch: DEFAULT_STEAL_BATCH,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
         }
+    }
+
+    /// Replace the work-stealing batch size.
+    #[must_use]
+    pub fn steal_batch(mut self, batch: usize) -> Self {
+        self.steal_batch = batch.max(1);
+        self
+    }
+
+    /// Replace the streaming in-flight bound.
+    #[must_use]
+    pub fn max_in_flight(mut self, bound: usize) -> Self {
+        self.max_in_flight = bound.max(1);
+        self
+    }
+
+    /// Thread count from the `CPSRISK_THREADS` environment variable if set
+    /// to a positive integer, else the machine's available parallelism. A
+    /// malformed value (e.g. `CPSRISK_THREADS=abc` or `0`) falls back to
+    /// the machine default and emits a one-time stderr warning naming the
+    /// rejected value.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let threads = match parse_threads(std::env::var("CPSRISK_THREADS").ok().as_deref()) {
+            Ok(Some(t)) => t,
+            Ok(None) => default_parallelism(),
+            Err(raw) => {
+                static WARN: Once = Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "cpsrisk: ignoring CPSRISK_THREADS={raw:?} (expected a \
+                         positive integer); using available parallelism"
+                    );
+                });
+                default_parallelism()
+            }
+        };
+        SweepOptions::with_threads(threads)
     }
 }
 
 impl Default for SweepOptions {
-    /// Thread count from the `CPSRISK_THREADS` environment variable if set
-    /// to a positive integer, else the machine's available parallelism.
+    /// Same as [`SweepOptions::from_env`].
     fn default() -> Self {
-        let threads = std::env::var("CPSRISK_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            });
-        SweepOptions { threads }
+        SweepOptions::from_env()
     }
 }
 
-/// Apply `f` to every item on `threads` scoped workers, preserving input
-/// order in the output. Each worker owns one contiguous chunk of the input
-/// and the matching chunk of the output, so no synchronization beyond the
-/// scope join is needed.
-pub(crate) fn run_sharded<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Interpret a raw `CPSRISK_THREADS` value: `Ok(None)` when unset,
+/// `Ok(Some(t))` for a positive integer, `Err(raw)` for anything else
+/// (the caller warns and falls back).
+fn parse_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    match raw {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(t) if t > 0 => Ok(Some(t)),
+            _ => Err(v.to_owned()),
+        },
+    }
+}
+
+/// Observability counters from one work-stealing sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepStats {
+    /// Worker threads actually spawned.
+    pub threads: usize,
+    /// Work batches the input was split into.
+    pub batches: usize,
+    /// Successful steal operations (each moves half a victim's deque).
+    pub steals: u64,
+    /// Items processed per worker (sums to the input length).
+    pub processed: Vec<usize>,
+    /// Time each worker spent evaluating items (excludes idle scanning).
+    pub busy: Vec<Duration>,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Peak number of items materialized at once. Equals the input length
+    /// for materialized sweeps; bounded by
+    /// [`SweepOptions::max_in_flight`] for streaming sweeps.
+    pub peak_in_flight: usize,
+}
+
+impl SweepStats {
+    /// Per-worker busy fraction of the sweep's wall-clock time, in
+    /// `[0, 1]` per worker.
+    #[must_use]
+    pub fn utilization(&self) -> Vec<f64> {
+        let wall = self.wall.as_secs_f64();
+        self.busy
+            .iter()
+            .map(|b| {
+                if wall > 0.0 {
+                    (b.as_secs_f64() / wall).min(1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Fold a later window's counters into an accumulated total (streaming
+    /// sweeps run one scheduler round per window).
+    fn absorb(&mut self, w: &SweepStats) {
+        self.threads = self.threads.max(w.threads);
+        self.batches += w.batches;
+        self.steals += w.steals;
+        if self.processed.len() < w.processed.len() {
+            self.processed.resize(w.processed.len(), 0);
+            self.busy.resize(w.busy.len(), Duration::ZERO);
+        }
+        for (a, b) in self.processed.iter_mut().zip(&w.processed) {
+            *a += b;
+        }
+        for (a, b) in self.busy.iter_mut().zip(&w.busy) {
+            *a += *b;
+        }
+        self.wall += w.wall;
+        self.peak_in_flight = self.peak_in_flight.max(w.peak_in_flight);
+    }
+}
+
+/// One unit of schedulable work: a run of consecutive input items plus
+/// the matching disjoint window of output slots.
+struct Batch<'a, T, R> {
+    items: &'a [T],
+    slots: &'a mut [Option<R>],
+}
+
+/// Run the work-stealing scheduler over `items` with caller-provided
+/// per-worker states (one `&mut S` per worker, reused across every batch
+/// the worker processes or steals). `out` must have the same length as
+/// `items`; slot `i` receives `f(state, &items[i])`.
+fn stealing_round<'env, T, R, S, F>(
+    items: &'env [T],
+    out: &'env mut [Option<R>],
+    states: &mut [S],
+    steal_batch: usize,
+    f: &F,
+) -> SweepStats
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    debug_assert_eq!(items.len(), out.len());
+    let threads = states.len().max(1);
+    let start = Instant::now();
+    if items.is_empty() {
+        return SweepStats {
+            threads,
+            processed: vec![0; threads],
+            busy: vec![Duration::ZERO; threads],
+            wall: start.elapsed(),
+            peak_in_flight: 0,
+            ..SweepStats::default()
+        };
+    }
+    let batch = steal_batch.max(1);
+    let mut batches: Vec<Batch<'_, T, R>> = items
+        .chunks(batch)
+        .zip(out.chunks_mut(batch))
+        .map(|(items, slots)| Batch { items, slots })
+        .collect();
+    let n_batches = batches.len();
+
+    // Deal contiguous runs of batches to the workers (the same split the
+    // static scheme used, at batch granularity) — locality first, stealing
+    // only when a worker runs dry.
+    let deques: Vec<Mutex<VecDeque<Batch<'_, T, R>>>> = {
+        let per = n_batches.div_ceil(threads);
+        let mut dqs: Vec<VecDeque<Batch<'_, T, R>>> = Vec::with_capacity(threads);
+        dqs.resize_with(threads, VecDeque::new);
+        for (i, b) in batches.drain(..).enumerate() {
+            dqs[(i / per).min(threads - 1)].push_back(b);
+        }
+        dqs.into_iter().map(Mutex::new).collect()
+    };
+    let steals = AtomicU64::new(0);
+    let deques = &deques;
+    let steals_ref = &steals;
+    let f = &f;
+
+    let mut processed = vec![0usize; threads];
+    let mut busy = vec![Duration::ZERO; threads];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (w, state) in states.iter_mut().enumerate() {
+            handles.push(scope.spawn(move || {
+                let mut done = 0usize;
+                let mut active = Duration::ZERO;
+                loop {
+                    // Own work first, front to back.
+                    let mine = deques[w].lock().expect("deque poisoned").pop_front();
+                    if let Some(b) = mine {
+                        let t0 = Instant::now();
+                        for (slot, item) in b.slots.iter_mut().zip(b.items) {
+                            *slot = Some(f(state, item));
+                        }
+                        done += b.items.len();
+                        active += t0.elapsed();
+                        continue;
+                    }
+                    // Empty: scan the other workers round-robin and steal
+                    // the back half of the first non-empty deque found.
+                    let mut stolen: Option<VecDeque<Batch<'_, T, R>>> = None;
+                    for off in 1..threads {
+                        let v = (w + off) % threads;
+                        let mut dq = deques[v].lock().expect("deque poisoned");
+                        let len = dq.len();
+                        if len > 0 {
+                            let take = len.div_ceil(2);
+                            stolen = Some(dq.split_off(len - take));
+                            break;
+                        }
+                    }
+                    match stolen {
+                        Some(batches) => {
+                            steals_ref.fetch_add(1, Ordering::Relaxed);
+                            deques[w].lock().expect("deque poisoned").extend(batches);
+                        }
+                        // Every deque was empty at scan time: no work is
+                        // left for this worker (batches in flight are
+                        // finished by whoever holds them).
+                        None => break,
+                    }
+                }
+                (done, active)
+            }));
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            let (done, active) = h.join().expect("sweep worker panicked");
+            processed[w] = done;
+            busy[w] = active;
+        }
+    });
+
+    SweepStats {
+        threads,
+        batches: n_batches,
+        steals: steals.into_inner(),
+        processed,
+        busy,
+        wall: start.elapsed(),
+        peak_in_flight: items.len(),
+    }
+}
+
+fn collect_slots<R>(out: Vec<Option<R>>) -> Vec<R> {
+    out.into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Apply `f` to every item across work-stealing workers, preserving input
+/// order in the output.
+pub(crate) fn run_stealing<T, R, F>(items: &[T], opts: &SweepOptions, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    run_sharded_with(items, threads, || (), |(), item| f(item))
+    run_stealing_with(items, opts, || (), |(), item| f(item)).0
 }
 
-/// [`run_sharded`] with per-worker state: each worker calls `init` once
-/// (on its own thread) and threads the state through its whole chunk. This
-/// is how the incremental sweep gives every worker its own reusable
+/// [`run_stealing`] with per-worker state: each worker calls `init` once
+/// (on its own thread before the round starts) and threads the state
+/// through every batch it processes or steals. This is how the
+/// incremental sweep gives every worker its own reusable
 /// [`Solver`](cpsrisk_asp::Solver) over the shared ground program.
-pub(crate) fn run_sharded_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+///
+/// `f` must be a pure function of the item for the output to be
+/// schedule-independent (solver reuse qualifies: reused solving is pinned
+/// to fresh solving by the PR 3 differential suite).
+pub(crate) fn run_stealing_with<T, R, S, I, F>(
+    items: &[T],
+    opts: &SweepOptions,
+    init: I,
+    f: F,
+) -> (Vec<R>, SweepStats)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = opts.threads.clamp(1, items.len().max(1));
+    let mut states: Vec<S> = std::iter::repeat_with(&init).take(threads).collect();
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let stats = stealing_round(items, &mut out, &mut states, opts.steal_batch, &f);
+    (collect_slots(out), stats)
+}
+
+/// The retired static-chunk scheme, kept as the measured baseline the
+/// work-stealing scheduler is benchmarked against: one contiguous chunk
+/// per worker, no load balancing.
+pub(crate) fn run_static_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -87,17 +390,65 @@ where
             });
         }
     });
-    out.into_iter()
-        .map(|r| r.expect("worker filled every slot"))
-        .collect()
+    collect_slots(out)
 }
 
-/// Evaluate every scenario through the ASP back-end across worker threads:
-/// the problem is encoded and grounded **once**
+/// Memory-bounded streaming sweep: consume `stream` window by window
+/// (at most [`SweepOptions::max_in_flight`] items materialized at any
+/// moment), run the work-stealing scheduler over each window with
+/// per-worker states that **persist across windows**, and hand every
+/// result to `emit` in input order with its global index. Returns the
+/// accumulated scheduler stats; `stats.peak_in_flight` is the largest
+/// window actually materialized.
+pub(crate) fn run_stealing_stream<T, R, S, I, F, E>(
+    stream: impl Iterator<Item = T>,
+    opts: &SweepOptions,
+    init: I,
+    f: F,
+    mut emit: E,
+) -> SweepStats
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+    E: FnMut(usize, R),
+{
+    let threads = opts.threads.max(1);
+    let mut states: Vec<S> = std::iter::repeat_with(&init).take(threads).collect();
+    let mut total = SweepStats {
+        threads,
+        processed: vec![0; threads],
+        busy: vec![Duration::ZERO; threads],
+        ..SweepStats::default()
+    };
+    let mut stream = stream.peekable();
+    let mut next_index = 0usize;
+    let window_cap = opts.max_in_flight.max(1);
+    let mut window: Vec<T> = Vec::new();
+    let mut out: Vec<Option<R>> = Vec::new();
+    while stream.peek().is_some() {
+        window.clear();
+        window.extend(stream.by_ref().take(window_cap));
+        out.clear();
+        out.resize_with(window.len(), || None);
+        let w = stealing_round(&window, &mut out, &mut states, opts.steal_batch, &f);
+        total.absorb(&w);
+        for r in out.drain(..) {
+            emit(next_index, r.expect("worker filled every slot"));
+            next_index += 1;
+        }
+    }
+    total
+}
+
+/// Evaluate every scenario through the ASP back-end across work-stealing
+/// worker threads: the problem is encoded and grounded **once**
 /// ([`IncrementalAnalysis`]), then each worker reuses its own solver over
-/// the shared ground program, iterating its chunk as assumption sets.
-/// `outcomes[i]` corresponds to `scenarios[i]`; the result is
-/// bit-identical to the sequential sweep.
+/// the shared ground program. `outcomes[i]` corresponds to
+/// `scenarios[i]`; the result is bit-identical to the sequential sweep at
+/// any thread count and steal schedule.
 ///
 /// # Errors
 ///
@@ -117,13 +468,99 @@ mod tests {
     use crate::workload::chain_problem;
 
     #[test]
-    fn run_sharded_preserves_order_for_any_thread_count() {
+    fn run_stealing_preserves_order_for_any_thread_count_and_batch() {
+        let items: Vec<u32> = (0..97).collect();
+        let expected: Vec<u32> = items.iter().map(|x| x * 2).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            for batch in [1, 7, 64] {
+                let opts = SweepOptions::with_threads(threads).steal_batch(batch);
+                let (out, stats) = run_stealing_with(&items, &opts, || (), |(), &x| x * 2);
+                assert_eq!(out, expected, "threads={threads} batch={batch}");
+                assert_eq!(stats.processed.iter().sum::<usize>(), items.len());
+                assert_eq!(stats.batches, items.len().div_ceil(batch));
+                assert_eq!(stats.peak_in_flight, items.len());
+            }
+        }
+        assert!(run_stealing(&[] as &[u32], &SweepOptions::with_threads(4), |&x| x).is_empty());
+    }
+
+    #[test]
+    fn static_baseline_preserves_order() {
         let items: Vec<u32> = (0..23).collect();
         for threads in [1, 2, 3, 8, 64] {
-            let out = run_sharded(&items, threads, |&x| x * 2);
+            let out = run_static_with(&items, threads, || (), |(), &x| x * 2);
             assert_eq!(out, (0..23).map(|x| x * 2).collect::<Vec<_>>());
         }
-        assert!(run_sharded(&[] as &[u32], 4, |&x: &u32| x).is_empty());
+    }
+
+    #[test]
+    fn skewed_items_are_stolen() {
+        // One pathological run of slow items at the tail of the input: a
+        // static split gives them all to the last worker; stealing must
+        // spread them. With batch size 1 and 4 workers over 64 items where
+        // the last 16 are slow, at least one steal must occur.
+        let items: Vec<u64> = (0..64).collect();
+        let opts = SweepOptions::with_threads(4).steal_batch(1);
+        let (out, stats) = run_stealing_with(
+            &items,
+            &opts,
+            || (),
+            |(), &x| {
+                if x >= 48 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        assert!(stats.steals > 0, "no steals on a skewed workload");
+        assert_eq!(stats.processed.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn streaming_matches_materialized_and_bounds_the_window() {
+        let items: Vec<u32> = (0..217).collect();
+        let opts = SweepOptions::with_threads(3)
+            .steal_batch(4)
+            .max_in_flight(32);
+        let mut emitted: Vec<(usize, u32)> = Vec::new();
+        let stats = run_stealing_stream(
+            items.iter().copied(),
+            &opts,
+            || (),
+            |(), &x| x * 3,
+            |i, r| emitted.push((i, r)),
+        );
+        let expected: Vec<(usize, u32)> = items.iter().map(|&x| (x as usize, x * 3)).collect();
+        assert_eq!(emitted, expected, "in-order emission");
+        assert!(stats.peak_in_flight <= 32, "peak {}", stats.peak_in_flight);
+        assert_eq!(stats.processed.iter().sum::<usize>(), items.len());
+    }
+
+    #[test]
+    fn from_env_rejects_malformed_thread_counts() {
+        assert_eq!(parse_threads(None), Ok(None));
+        assert_eq!(parse_threads(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_threads(Some(" 2 ")), Ok(Some(2)));
+        // Malformed values are surfaced (the one-time warning names them),
+        // never silently swallowed.
+        assert_eq!(parse_threads(Some("abc")), Err("abc".to_owned()));
+        assert_eq!(parse_threads(Some("0")), Err("0".to_owned()));
+        assert_eq!(parse_threads(Some("-3")), Err("-3".to_owned()));
+        assert_eq!(parse_threads(Some("")), Err(String::new()));
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let stats = SweepStats {
+            threads: 2,
+            busy: vec![Duration::from_millis(5), Duration::from_millis(20)],
+            wall: Duration::from_millis(10),
+            ..SweepStats::default()
+        };
+        let u = stats.utilization();
+        assert_eq!(u.len(), 2);
+        assert!(u.iter().all(|&x| (0.0..=1.0).contains(&x)), "{u:?}");
     }
 
     #[test]
@@ -138,6 +575,53 @@ mod tests {
             let parallel = sweep_fixed(&p, &scenarios, &SweepOptions::with_threads(threads))
                 .expect("sweep succeeds");
             assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// Result slots are index-addressed: a task that fails lands its
+        /// error in exactly its input slot, for every thread count and
+        /// batch size — so callers that take the first error in slot
+        /// order always surface the first *input-order* failure, no
+        /// matter which worker hit it first on the wall clock.
+        #[test]
+        fn errors_land_in_input_order_slots(
+            n in 1usize..40,
+            fail_mask in proptest::prelude::any::<u64>(),
+            threads_ix in 0usize..3,
+            batch_ix in 0usize..3,
+        ) {
+            let threads = [1usize, 2, 8][threads_ix];
+            let batch = [1usize, 7, 64][batch_ix];
+            let items: Vec<usize> = (0..n).collect();
+            let fails = |i: usize| fail_mask & (1 << (i % 64)) != 0;
+            let opts = SweepOptions::with_threads(threads).steal_batch(batch);
+            let (out, _) = run_stealing_with(&items, &opts, || (), |(), &i| {
+                if fails(i) { Err(format!("task {i} failed")) } else { Ok(i * 2) }
+            });
+            proptest::prop_assert_eq!(out.len(), n);
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) => {
+                        proptest::prop_assert!(!fails(i));
+                        proptest::prop_assert_eq!(*v, i * 2);
+                    }
+                    Err(e) => {
+                        proptest::prop_assert!(fails(i));
+                        proptest::prop_assert_eq!(e, &format!("task {i} failed"));
+                    }
+                }
+            }
+            // The selection rule every sweep wrapper applies.
+            let first = out.into_iter().collect::<Result<Vec<_>, _>>();
+            match (0..n).find(|&i| fails(i)) {
+                None => proptest::prop_assert!(first.is_ok()),
+                Some(i) => {
+                    proptest::prop_assert_eq!(first.unwrap_err(), format!("task {i} failed"));
+                }
+            }
         }
     }
 }

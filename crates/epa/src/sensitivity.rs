@@ -88,10 +88,10 @@ pub fn sensitivity_sweep(problem: &EpaProblem, max_faults: usize) -> Vec<Sensiti
 }
 
 /// [`sensitivity_sweep`] with the per-decision variant evaluations fanned
-/// out across worker threads. Each variant re-runs the full scenario space
-/// independently, so the sweep parallelizes without any sharing; the
-/// result is identical to the sequential sweep (the final ranking is a
-/// total order).
+/// out across work-stealing worker threads. Each variant re-runs the full
+/// scenario space independently, so the sweep parallelizes without any
+/// sharing; the result is identical to the sequential sweep (the final
+/// ranking is a total order).
 #[must_use]
 pub fn sensitivity_sweep_parallel(
     problem: &EpaProblem,
@@ -103,10 +103,9 @@ pub fn sensitivity_sweep_parallel(
         .collect();
     let baseline = verdicts(problem, &scenarios);
     let variants = decision_variants(problem);
-    let mut findings =
-        crate::parallel::run_sharded(&variants, opts.threads, |(decision, variant)| {
-            diff(decision.clone(), &baseline, &verdicts(variant, &scenarios))
-        });
+    let mut findings = crate::parallel::run_stealing(&variants, opts, |(decision, variant)| {
+        diff(decision.clone(), &baseline, &verdicts(variant, &scenarios))
+    });
     rank(&mut findings);
     findings
 }
@@ -137,9 +136,9 @@ pub fn sensitivity_sweep_incremental(
     let items: Vec<Option<Decision>> = std::iter::once(None)
         .chain(decisions(problem).into_iter().map(Some))
         .collect();
-    let maps = crate::parallel::run_sharded_with(
+    let (maps, _) = crate::parallel::run_stealing_with(
         &items,
-        opts.threads,
+        opts,
         || analysis.solver(),
         |solver, decision| -> Result<BTreeMap<(Scenario, String), bool>, EpaError> {
             let mut out = BTreeMap::new();

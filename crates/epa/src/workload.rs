@@ -4,13 +4,25 @@
 //! engines, the CLI `bench` subcommand, and the criterion benches can all
 //! generate identical problem instances; `cpsrisk-bench` re-exports it.
 
-use cpsrisk_asp::ast::{ArithOp, CmpOp};
-use cpsrisk_asp::{ProgramBuilder, Term};
-use cpsrisk_model::{ElementKind, Relation, RelationKind, SystemModel};
-use cpsrisk_temporal::{parse_ltl, unroll};
+use std::collections::{BTreeMap, BTreeSet};
 
-use crate::mutation::CandidateMutation;
+use cpsrisk_asp::ast::{ArithOp, CmpOp};
+use cpsrisk_asp::{predict_sizes, ProgramBuilder, Solver, Term};
+use cpsrisk_model::{ElementKind, FlowKind, Relation, RelationKind, SystemModel};
+use cpsrisk_qr::Qual;
+use cpsrisk_temporal::{parse_ltl, unroll};
+use cpsrisk_threat::generator::{generate, GeneratorConfig};
+
+use crate::encode::{encode, EncodeMode};
+use crate::error::EpaError;
+use crate::incremental::IncrementalAnalysis;
+use crate::margin::AttackMargin;
+use crate::mutation::{CandidateMutation, MutationSource};
+use crate::parallel::{
+    run_static_with, run_stealing_stream, run_stealing_with, SweepOptions, SweepStats,
+};
 use crate::problem::{EpaProblem, MitigationOption, Requirement};
+use crate::scenario::{Scenario, ScenarioOutcome, ScenarioSpace};
 
 /// A parametric control chain: `ew -> d1 -> … -> dn -> valve`, one
 /// `compromised` mutation per device plus a stuck-valve mutation, and a
@@ -293,6 +305,475 @@ pub fn adversarial_problem(n: usize, budget: usize) -> cpsrisk_asp::Program {
     b.finish()
 }
 
+/// Deterministic 64-bit mixer (splitmix64 finalizer over a seed and two
+/// coordinates). The EPA crate deliberately carries no `rand` dependency,
+/// so the catalog workload derives all its structural choices from this.
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z =
+        seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Number of security zones in [`catalog_problem`]'s covering block.
+#[must_use]
+pub fn catalog_zone_count(chains: usize) -> usize {
+    chains.clamp(4, 12)
+}
+
+/// The attacker budget at which `r_zone` margin queries on
+/// [`catalog_problem`] are unsatisfiable but require genuine search to
+/// refute: one below the zone covering number (each spreader covers a
+/// circular window of 3 zones, so `⌈zones/3⌉` spreaders are needed).
+#[must_use]
+pub fn catalog_margin_budget(chains: usize) -> u32 {
+    (catalog_zone_count(chains).div_ceil(3) - 1) as u32
+}
+
+/// A catalog-scale plant: `chains` parallel control chains (engineering
+/// workstation → `depth` typed devices → feed valve → buffer tank) with
+/// cross-chain fan-out edges at odd depths and a shared SCADA/historian
+/// fan-in, plus an isolated ring of `catalog_zone_count` security zones
+/// covered by spreader components. `depth` is sized so the model carries
+/// at least `components` elements.
+///
+/// Mutations mix spontaneous faults (workstation compromise, stuck
+/// valves, zone spreaders) with technique-induced fault modes drawn from
+/// a seeded [`cpsrisk_threat::generator`] catalog sized to the plant
+/// ([`GeneratorConfig::scaled`]); mitigation options come from the same
+/// catalog's technique→mitigation fan-out. Everything is deterministic in
+/// `(components, chains, seed)`.
+///
+/// The zone ring is deliberately unreachable from the chain graph: its
+/// covering structure is what makes `r_zone` attack-margin queries
+/// ([`AttackMargin`]) pigeonhole-hard below the covering number, giving
+/// catalog sweeps an honest cheap-vs-expensive query skew.
+///
+/// # Panics
+///
+/// Never panics for `chains ≥ 1` (identifiers are generated valid).
+#[must_use]
+pub fn catalog_problem(components: usize, chains: usize, seed: u64) -> EpaProblem {
+    let chains = chains.max(1);
+    let zones = catalog_zone_count(chains);
+    let config = GeneratorConfig::scaled(components);
+    let catalog = generate(&config, seed);
+    let types = &config.component_types;
+
+    let mut m = SystemModel::new(format!("catalog_{components}x{chains}"));
+    m.add_element("scada", "SCADA Server", ElementKind::ApplicationComponent)
+        .expect("valid id");
+    m.add_element("historian", "Plant Historian", ElementKind::Node)
+        .expect("valid id");
+    m.add_relation("scada", "historian", RelationKind::Flow)
+        .expect("endpoints exist");
+
+    // Workstation + valve + tank per chain, zone + spreader per zone,
+    // SCADA + historian; the remainder becomes per-chain device depth.
+    let fixed = 3 * chains + 2 * zones + 2;
+    let depth = components.saturating_sub(fixed).div_ceil(chains).max(2);
+
+    let mut mutations: Vec<CandidateMutation> = Vec::new();
+    let mut seen_induced: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut blocks: BTreeMap<String, Vec<String>> = BTreeMap::new();
+
+    for c in 0..chains {
+        let ew = format!("ew{c}");
+        m.add_element(
+            &ew,
+            &format!("Engineering Workstation {c}"),
+            ElementKind::Node,
+        )
+        .expect("valid id");
+        m.add_relation(&ew, "scada", RelationKind::Flow)
+            .expect("endpoints exist");
+        mutations.push(CandidateMutation::spontaneous(
+            &format!("f_{ew}"),
+            &ew,
+            "compromised",
+        ));
+        let mut prev = ew;
+        for i in 0..depth {
+            let id = format!("d{c}_{i}");
+            let ty = &types[(mix(seed, c as u64, i as u64) % types.len() as u64) as usize];
+            let e = m
+                .add_element(&id, &format!("Chain {c} Device {i}"), ElementKind::Device)
+                .expect("valid id");
+            e.type_ref = Some(ty.clone());
+            m.add_relation(&prev, &id, RelationKind::Flow)
+                .expect("endpoints exist");
+            // Up to two technique-induced fault modes per device, drawn
+            // from the catalog entries applicable to its assigned type.
+            let techs = catalog.techniques_for_type(ty);
+            for k in 0..2u64 {
+                if techs.is_empty() {
+                    break;
+                }
+                let pick = mix(seed ^ 0x7454, mix(seed, c as u64, i as u64), k);
+                let t = techs[(pick % techs.len() as u64) as usize];
+                if !seen_induced.insert((id.clone(), t.induced_fault.clone())) {
+                    continue;
+                }
+                let fid = format!("f_{id}_{}", t.induced_fault);
+                for mid in &t.mitigations {
+                    blocks.entry(mid.clone()).or_default().push(fid.clone());
+                }
+                mutations.push(CandidateMutation {
+                    id: fid,
+                    component: id.clone(),
+                    mode: t.induced_fault.clone(),
+                    source: MutationSource::Technique(t.id.clone()),
+                    severity: Qual::High,
+                    likelihood: match t.difficulty {
+                        Qual::VeryLow | Qual::Low => Qual::High,
+                        Qual::Medium => Qual::Medium,
+                        Qual::High | Qual::VeryHigh => Qual::Low,
+                    },
+                });
+            }
+            prev = id;
+        }
+        let vl = format!("vl{c}");
+        m.add_element(&vl, &format!("Feed Valve {c}"), ElementKind::Equipment)
+            .expect("valid id");
+        m.add_relation(&prev, &vl, RelationKind::Flow)
+            .expect("endpoints exist");
+        mutations.push(CandidateMutation::spontaneous(
+            &format!("f_{vl}"),
+            &vl,
+            "stuck_at_closed",
+        ));
+        let tank = format!("tank{c}");
+        m.add_element(&tank, &format!("Buffer Tank {c}"), ElementKind::Equipment)
+            .expect("valid id");
+        m.insert_relation(
+            Relation::new(&vl, &tank, RelationKind::Flow).with_flow(FlowKind::Quantity),
+        )
+        .expect("endpoints exist");
+    }
+    // Cross-chain fan-out at odd depths (second pass: every device exists).
+    if chains > 1 {
+        for c in 0..chains {
+            for i in (1..depth).step_by(2) {
+                m.add_relation(
+                    &format!("d{c}_{i}"),
+                    &format!("d{}_{i}", (c + 1) % chains),
+                    RelationKind::Flow,
+                )
+                .expect("endpoints exist");
+            }
+        }
+    }
+    // The zone covering block. Spreaders have no incoming edges, so no
+    // chain compromise ever reaches a zone — only the attacker's own
+    // spreader choices do, which keeps the covering bound exact.
+    for z in 0..zones {
+        m.add_element(&format!("zn{z}"), &format!("Zone {z}"), ElementKind::Device)
+            .expect("valid id");
+        m.add_element(
+            &format!("sp{z}"),
+            &format!("Spreader {z}"),
+            ElementKind::Device,
+        )
+        .expect("valid id");
+        mutations.push(CandidateMutation::spontaneous(
+            &format!("f_sp{z}"),
+            &format!("sp{z}"),
+            "compromised",
+        ));
+    }
+    for z in 0..zones {
+        for off in 0..3 {
+            m.add_relation(
+                &format!("sp{z}"),
+                &format!("zn{}", (z + off) % zones),
+                RelationKind::Flow,
+            )
+            .expect("endpoints exist");
+        }
+    }
+
+    let mut requirements: Vec<Requirement> = (0..chains)
+        .map(|c| {
+            let vl = format!("vl{c}");
+            Requirement::all_of(
+                &format!("r_chain{c}"),
+                &format!("feed valve {c} must not stick"),
+                &[(vl.as_str(), "stuck_at_closed")],
+            )
+        })
+        .collect();
+    let zone_ids: Vec<String> = (0..zones).map(|z| format!("zn{z}")).collect();
+    let pairs: Vec<(&str, &str)> = zone_ids
+        .iter()
+        .map(|z| (z.as_str(), "compromised"))
+        .collect();
+    requirements.push(Requirement::all_of(
+        "r_zone",
+        "no plant-wide zone compromise",
+        &pairs,
+    ));
+
+    let mut mitigations: Vec<MitigationOption> = (0..chains)
+        .map(|c| {
+            MitigationOption::new(
+                &format!("m_ew{c}"),
+                &format!("Harden Workstation {c}"),
+                &[&format!("f_ew{c}")],
+                100,
+            )
+        })
+        .collect();
+    for (mid, faults) in blocks {
+        let entry = catalog
+            .mitigation(&mid)
+            .expect("generated techniques reference catalog mitigations");
+        let refs: Vec<&str> = faults.iter().map(String::as_str).collect();
+        mitigations.push(MitigationOption::new(&mid, &entry.name, &refs, entry.cost));
+    }
+
+    EpaProblem::new(m, mutations, requirements, mitigations).expect("catalog problem validates")
+}
+
+/// Requirement ids of `problem` ordered cheapest-first by the PR 5
+/// grounding-size predictor: each requirement's contested search space is
+/// proxied by its widest DNF violation group times the predicted number of
+/// `chosen/1` atoms of the [`EncodeMode::Contested`] encoding. On
+/// [`catalog_problem`] this puts the single-literal `r_chain*` margins
+/// first and the wide `r_zone` covering margin last — the stratified order
+/// [`catalog_queries`] uses to cluster expensive queries at the stream
+/// tail.
+#[must_use]
+pub fn catalog_requirements_ranked(problem: &EpaProblem, budget: u32) -> Vec<String> {
+    let program = encode(problem, &EncodeMode::Contested { budget });
+    let sizes = predict_sizes(&program);
+    let chosen = sizes
+        .bound("chosen", 1)
+        .map_or(problem.mutations.len() as f64, |b| b.atoms);
+    let mut ranked: Vec<(f64, String)> = problem
+        .requirements
+        .iter()
+        .map(|r| {
+            let width = r.violated_when.iter().map(Vec::len).max().unwrap_or(0);
+            (width as f64 * chosen, r.id.clone())
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    ranked.into_iter().map(|(_, id)| id).collect()
+}
+
+/// One unit of catalog sweep work: either a fixed-scenario outcome query
+/// (WFM-decided, microseconds) or an attack-margin query (a SAT call,
+/// potentially pigeonhole-hard — see [`AttackMargin`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogQuery {
+    /// Evaluate the scenario's propagation outcome.
+    Outcome(Scenario),
+    /// Can the attacker extend `scenario` within budget to violate
+    /// `requirement`?
+    Margin {
+        /// The pinned starting scenario.
+        scenario: Scenario,
+        /// The targeted requirement id.
+        requirement: String,
+    },
+}
+
+/// The answer to a [`CatalogQuery`], same variant order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogAnswer {
+    /// Propagation outcome of an [`CatalogQuery::Outcome`] query.
+    Outcome(ScenarioOutcome),
+    /// Attack existence for a [`CatalogQuery::Margin`] query.
+    Margin(bool),
+}
+
+/// The catalog query stream, lazily generated: every scenario's outcome
+/// query in [`ScenarioSpace`] cardinality order, then margin queries
+/// sampled every `margin_every` scenarios, grouped by
+/// [`catalog_requirements_ranked`] rank (`ranked` cheapest-first) so the
+/// expensive wide-requirement margins cluster at the tail — the schedule
+/// shape that starves static chunking and rewards work stealing.
+/// `margin_every == 0` disables margin queries.
+pub fn catalog_queries<'a>(
+    space: &'a ScenarioSpace,
+    ranked: &[String],
+    margin_every: usize,
+) -> impl Iterator<Item = CatalogQuery> + 'a {
+    let ranked: Vec<String> = if margin_every == 0 {
+        Vec::new()
+    } else {
+        ranked.to_vec()
+    };
+    let stride = ranked.len().max(1) * margin_every.max(1);
+    let margins = ranked.into_iter().enumerate().flat_map(move |(rank, req)| {
+        space
+            .iter()
+            .skip(rank * margin_every)
+            .step_by(stride)
+            .map(move |scenario| CatalogQuery::Margin {
+                scenario,
+                requirement: req.clone(),
+            })
+    });
+    space.iter().map(CatalogQuery::Outcome).chain(margins)
+}
+
+/// Paired incremental analyses answering a [`CatalogQuery`] stream: one
+/// shared ground program for outcome queries ([`IncrementalAnalysis`]) and
+/// one for margin queries ([`AttackMargin`]), each worker carrying a
+/// reusable solver over both.
+pub struct CatalogAnalysis {
+    outcome: IncrementalAnalysis,
+    margin: AttackMargin,
+}
+
+impl CatalogAnalysis {
+    /// Encode and ground both programs for `problem`, margins at `budget`.
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on grounding failure.
+    pub fn new(problem: &EpaProblem, budget: u32) -> Result<Self, EpaError> {
+        Ok(CatalogAnalysis {
+            outcome: IncrementalAnalysis::new(problem)?,
+            margin: AttackMargin::new(problem, budget)?,
+        })
+    }
+
+    /// The outcome-query analysis.
+    #[must_use]
+    pub fn outcome_analysis(&self) -> &IncrementalAnalysis {
+        &self.outcome
+    }
+
+    /// The margin-query analysis.
+    #[must_use]
+    pub fn margin_analysis(&self) -> &AttackMargin {
+        &self.margin
+    }
+
+    /// A fresh reusable solver pair (outcome, margin) — one per sweep
+    /// worker.
+    #[must_use]
+    pub fn solvers(&self) -> (Solver<'_>, Solver<'_>) {
+        (self.outcome.solver(), self.margin.solver())
+    }
+
+    /// Answer one query on a caller-provided solver pair (from
+    /// [`Self::solvers`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EpaError::Asp`] on solving failure, [`EpaError::NoModel`] if an
+    /// outcome query's assumptions are inconsistent.
+    pub fn answer_with(
+        &self,
+        solvers: &mut (Solver<'_>, Solver<'_>),
+        query: &CatalogQuery,
+    ) -> Result<CatalogAnswer, EpaError> {
+        match query {
+            CatalogQuery::Outcome(s) => Ok(CatalogAnswer::Outcome(
+                self.outcome.analyze_with(&mut solvers.0, s)?,
+            )),
+            CatalogQuery::Margin {
+                scenario,
+                requirement,
+            } => Ok(CatalogAnswer::Margin(self.margin.attack_exists_with(
+                &mut solvers.1,
+                scenario,
+                requirement,
+            )?)),
+        }
+    }
+
+    /// Answer every query across work-stealing workers; `answers[i]`
+    /// corresponds to `queries[i]` regardless of thread count or steal
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// The first (in input order) [`EpaError`] any query produced.
+    pub fn sweep(
+        &self,
+        queries: &[CatalogQuery],
+        opts: &SweepOptions,
+    ) -> Result<(Vec<CatalogAnswer>, SweepStats), EpaError> {
+        let (results, stats) = run_stealing_with(
+            queries,
+            opts,
+            || self.solvers(),
+            |st, q| self.answer_with(st, q),
+        );
+        Ok((results.into_iter().collect::<Result<Vec<_>, _>>()?, stats))
+    }
+
+    /// [`sweep`](Self::sweep) on the static-chunk baseline scheduler.
+    ///
+    /// # Errors
+    ///
+    /// The first (in input order) [`EpaError`] any query produced.
+    pub fn sweep_static(
+        &self,
+        queries: &[CatalogQuery],
+        opts: &SweepOptions,
+    ) -> Result<Vec<CatalogAnswer>, EpaError> {
+        run_static_with(
+            queries,
+            opts.threads,
+            || self.solvers(),
+            |st, q| self.answer_with(st, q),
+        )
+        .into_iter()
+        .collect()
+    }
+
+    /// Memory-bounded streaming sweep over a lazy query stream (e.g.
+    /// [`catalog_queries`]): at most [`SweepOptions::max_in_flight`]
+    /// queries are materialized at any moment, `emit` receives answers in
+    /// input order with their global stream index, and per-worker solver
+    /// pairs persist across windows.
+    ///
+    /// # Errors
+    ///
+    /// The first (in input order) [`EpaError`] any query produced; answers
+    /// at or past the first failing index are not emitted.
+    pub fn sweep_streaming<E>(
+        &self,
+        queries: impl Iterator<Item = CatalogQuery>,
+        opts: &SweepOptions,
+        mut emit: E,
+    ) -> Result<SweepStats, EpaError>
+    where
+        E: FnMut(usize, CatalogAnswer),
+    {
+        let mut first_err: Option<(usize, EpaError)> = None;
+        let stats = run_stealing_stream(
+            queries,
+            opts,
+            || self.solvers(),
+            |st, q| self.answer_with(st, q),
+            |i, r| match r {
+                Ok(a) => {
+                    if first_err.is_none() {
+                        emit(i, a);
+                    }
+                }
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            },
+        );
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => Ok(stats),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +819,125 @@ mod tests {
                 .expect("solves within budget");
             assert!(unsat.is_empty(), "n={n}: pigeonhole-hard below {needed}");
         }
+    }
+
+    #[test]
+    fn catalog_problem_is_deterministic_and_meets_its_size_floor() {
+        let p = catalog_problem(120, 12, 7);
+        assert!(
+            p.model.elements().count() >= 120,
+            "got {} elements",
+            p.model.elements().count()
+        );
+        assert!(
+            p.mutations.len() >= 40,
+            "got {} mutations",
+            p.mutations.len()
+        );
+        assert_eq!(p.requirements.len(), 13, "12 chain requirements + r_zone");
+        assert!(p.mitigations.len() > 12, "catalog mitigations beyond m_ew*");
+        assert!(ScenarioSpace::new(&p, 2).scenario_count() >= 1_000);
+
+        let q = catalog_problem(120, 12, 7);
+        let ids =
+            |p: &EpaProblem| -> Vec<String> { p.mutations.iter().map(|f| f.id.clone()).collect() };
+        assert_eq!(ids(&p), ids(&q), "same seed, same problem");
+    }
+
+    #[test]
+    fn catalog_chain_compromise_fans_out_across_chains() {
+        let p = catalog_problem(40, 4, 1);
+        let out = TopologyAnalysis::new(&p).evaluate(&Scenario::of(&["f_ew0"]));
+        // The workstation compromise walks its own chain and crosses the
+        // odd-depth fan-out edges into the neighbours' valves.
+        assert!(out.violated.contains("r_chain0"));
+        assert!(out.violated.contains("r_chain1"));
+        // The zone block is unreachable from the chain graph.
+        assert!(!out.violated.contains("r_zone"));
+    }
+
+    #[test]
+    fn catalog_zone_margin_separates_at_the_covering_number() {
+        let p = catalog_problem(40, 4, 1);
+        let nominal = Scenario::nominal();
+        let below = catalog_margin_budget(4);
+        assert_eq!(catalog_zone_count(4), 4);
+        assert_eq!(below, 1, "covering number 2 at 4 zones");
+        assert!(!AttackMargin::new(&p, below)
+            .unwrap()
+            .attack_exists(&nominal, "r_zone")
+            .unwrap());
+        assert!(AttackMargin::new(&p, below + 1)
+            .unwrap()
+            .attack_exists(&nominal, "r_zone")
+            .unwrap());
+        // Chain margins are cheap by comparison: one chosen fault breaks
+        // a valve requirement.
+        assert!(AttackMargin::new(&p, 1)
+            .unwrap()
+            .attack_exists(&nominal, "r_chain0")
+            .unwrap());
+    }
+
+    #[test]
+    fn catalog_queries_cluster_expensive_margins_at_the_tail() {
+        let p = catalog_problem(40, 4, 1);
+        let budget = catalog_margin_budget(4);
+        let ranked = catalog_requirements_ranked(&p, budget);
+        assert_eq!(ranked.len(), p.requirements.len());
+        assert_eq!(
+            ranked.last().map(String::as_str),
+            Some("r_zone"),
+            "the wide covering requirement predicts most expensive"
+        );
+        let space = ScenarioSpace::new(&p, 1);
+        let n = usize::try_from(space.scenario_count()).unwrap();
+        let queries: Vec<CatalogQuery> = catalog_queries(&space, &ranked, 4).collect();
+        assert!(queries.len() > n, "margin queries were sampled");
+        assert!(queries[..n]
+            .iter()
+            .all(|q| matches!(q, CatalogQuery::Outcome(_))));
+        assert!(queries[n..]
+            .iter()
+            .all(|q| matches!(q, CatalogQuery::Margin { .. })));
+        match queries.last() {
+            Some(CatalogQuery::Margin { requirement, .. }) => assert_eq!(requirement, "r_zone"),
+            other => panic!("stream should end on an r_zone margin, got {other:?}"),
+        }
+        // Disabling sampling leaves a pure outcome stream.
+        assert_eq!(catalog_queries(&space, &ranked, 0).count(), n);
+    }
+
+    #[test]
+    fn catalog_sweeps_agree_across_schedulers() {
+        let p = catalog_problem(36, 4, 2);
+        let budget = catalog_margin_budget(4);
+        let ranked = catalog_requirements_ranked(&p, budget);
+        let space = ScenarioSpace::new(&p, 1);
+        let queries: Vec<CatalogQuery> = catalog_queries(&space, &ranked, 6).collect();
+        let analysis = CatalogAnalysis::new(&p, budget).unwrap();
+
+        let (sequential, _) = analysis
+            .sweep(&queries, &SweepOptions::with_threads(1))
+            .unwrap();
+        let opts = SweepOptions::with_threads(4).steal_batch(1);
+        let (stolen, _) = analysis.sweep(&queries, &opts).unwrap();
+        assert_eq!(stolen, sequential);
+        let chunked = analysis.sweep_static(&queries, &opts).unwrap();
+        assert_eq!(chunked, sequential);
+
+        let mut streamed: Vec<Option<CatalogAnswer>> = vec![None; queries.len()];
+        let stream_opts = SweepOptions::with_threads(4)
+            .steal_batch(1)
+            .max_in_flight(16);
+        let stats = analysis
+            .sweep_streaming(catalog_queries(&space, &ranked, 6), &stream_opts, |i, a| {
+                streamed[i] = Some(a)
+            })
+            .unwrap();
+        assert!(stats.peak_in_flight <= 16);
+        let streamed: Vec<CatalogAnswer> = streamed.into_iter().map(Option::unwrap).collect();
+        assert_eq!(streamed, sequential);
     }
 
     #[test]

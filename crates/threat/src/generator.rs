@@ -29,6 +29,26 @@ pub struct GeneratorConfig {
     pub fault_modes: Vec<String>,
 }
 
+impl GeneratorConfig {
+    /// A config sized proportionally to a target plant of `components`
+    /// elements: roughly one technique per component with the default
+    /// technique/mitigation/vulnerability ratios (5:2:3) and the default
+    /// ICS vocabulary. This is the shape the catalog-scale sweep workload
+    /// ([`epa::workload::catalog_problem`]) draws its threat entries from.
+    ///
+    /// [`epa::workload::catalog_problem`]: https://docs.rs/cpsrisk-epa
+    #[must_use]
+    pub fn scaled(components: usize) -> Self {
+        let techniques = components.max(8);
+        GeneratorConfig {
+            techniques,
+            mitigations: (techniques * 2 / 5).max(4),
+            vulnerabilities: (techniques * 3 / 5).max(4),
+            ..GeneratorConfig::default()
+        }
+    }
+}
+
 impl Default for GeneratorConfig {
     fn default() -> Self {
         GeneratorConfig {

@@ -275,10 +275,14 @@ fn bench_writes_a_validatable_report() {
     assert!(stdout.contains("amortized"), "{stdout}");
     assert!(stdout.contains("outcome check: ok"), "{stdout}");
     assert!(stdout.contains("order check: ok"), "{stdout}");
+    assert!(stdout.contains("static"), "{stdout}");
+    assert!(stdout.contains("stealing"), "{stdout}");
+    assert!(stdout.contains("streaming sweep:"), "{stdout}");
+    assert!(stdout.contains("stream check: ok"), "{stdout}");
     // The written report passes the built-in validator.
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the fresh report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/6 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/7 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // A grounding-bound workload skips the EPA-only sections.
     let (stdout, stderr, ok) = run(&["bench", "--workload", "temporal", "--n", "6", "--out", out]);
@@ -303,7 +307,7 @@ fn bench_writes_a_validatable_report() {
     assert!(stdout.contains("engine check: ok"), "{stdout}");
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the adversarial report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/6 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/7 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // Unknown flags and workloads are rejected.
     let (_, stderr, ok) = run(&["bench", "--frobnicate"]);
@@ -312,4 +316,14 @@ fn bench_writes_a_validatable_report() {
     let (_, stderr, ok) = run(&["bench", "--workload", "mesh"]);
     assert!(!ok);
     assert!(stderr.contains("unknown workload"), "{stderr}");
+    // The error names every valid workload (including catalog).
+    for name in ["chain", "grid", "temporal", "adversarial", "catalog"] {
+        assert!(
+            stderr.contains(name),
+            "error should list `{name}`: {stderr}"
+        );
+    }
+    let (_, stderr, ok) = run(&["bench", "--steal-batch", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--steal-batch must be >= 1"), "{stderr}");
 }
