@@ -24,19 +24,22 @@ cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
-# Smoke-bench: a tiny workload must produce a cpsrisk-bench/7 report the
+# Smoke-bench: a tiny workload must produce a cpsrisk-bench/8 report the
 # validator accepts. The validator also fails the gate when the
 # assumption-reuse stream diverges from — or is slower than — the
 # fresh-solve stream, when the tight fast path diverges from the
 # unfounded-set closure, (v5) when the WFM simplifier changes the model
-# set or a static WFM verdict disagrees with the search path, or (v7)
+# set or a static WFM verdict disagrees with the search path, (v7)
 # when any sweep scheduler configuration diverges from the sequential
-# result or the streaming pass exceeds its in-flight bound.
+# result or the streaming pass exceeds its in-flight bound, or (v8) when
+# parallel grounding is dominated by spawn overhead, the indexed engine
+# loses an enumeration-bound workload, or the streaming pass exceeds its
+# overhead ceiling over the materialized sweep.
 smoke_bench=target/ci_smoke_bench.json
 ./target/release/cpsrisk bench --n 2 --threads 2 --out "$smoke_bench"
 ./target/release/cpsrisk bench --validate "$smoke_bench"
-grep -q '"schema": "cpsrisk-bench/7"' "$smoke_bench" || {
-    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/7 report" >&2
+grep -q '"schema": "cpsrisk-bench/8"' "$smoke_bench" || {
+    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/8 report" >&2
     exit 1
 }
 rm -f "$smoke_bench"
@@ -86,6 +89,21 @@ grounding_bench=target/ci_grounding_bench.json
 ./target/release/cpsrisk bench --workload temporal --threads 2 --out "$grounding_bench"
 ./target/release/cpsrisk bench --validate "$grounding_bench"
 rm -f "$grounding_bench"
+
+# Horizon sweep gate (v8): the incremental minimal-violating-horizon
+# sweep must match from-scratch checking verdict-for-verdict at every
+# horizon of the tank workload, agree on the minimal violating horizon,
+# ground only bounded slice deltas per extension, and not lose to
+# from-scratch (amortized speedup >= 1.0; the validator holds long
+# ranges to >= 5.0).
+horizon_bench=target/ci_horizon_bench.json
+./target/release/cpsrisk bench --workload horizon --n 16 --out "$horizon_bench"
+./target/release/cpsrisk bench --validate "$horizon_bench"
+grep -q '"verdicts_match": true' "$horizon_bench" || {
+    echo "ci.sh: horizon bench did not confirm verdict equality" >&2
+    exit 1
+}
+rm -f "$horizon_bench"
 
 # The committed report must stay valid under the same gates.
 ./target/release/cpsrisk bench --validate BENCH_asp.json

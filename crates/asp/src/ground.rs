@@ -79,6 +79,11 @@ fn default_threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
 }
 
+/// Predicted grounding sizes below this instantiate sequentially: sharding
+/// a few thousand instances across workers costs more in thread spawns and
+/// cache transfer than the instantiation itself.
+const PAR_SPAWN_FLOOR: f64 = 10_000.0;
+
 /// Index of possible ground atoms by predicate signature, with a secondary
 /// index on the first argument (a big win for the `state(c, S, T)`-style
 /// patterns the behavioural encodings produce).
@@ -235,11 +240,70 @@ impl Grounder {
                 &crate::seminaive::Config {
                     max_instances: self.max_instances,
                     assumable: &self.assumable,
-                    threads: self.threads.unwrap_or_else(default_threads),
+                    threads: self.effective_threads(program),
+                    keep_unpossible_neg: false,
                 },
             ),
             Engine::Reference => self.ground_reference(program),
         }
+    }
+
+    /// Resolve the worker-thread count for `program`. The configured count
+    /// is clamped to the machine's parallelism — oversubscribing the
+    /// CPU-bound instantiation shards buys nothing but scheduler thrash —
+    /// and drops to one when [`predict_sizes`](crate::analysis::predict_sizes)
+    /// puts the grounding below the spawn-overhead floor.
+    fn effective_threads(&self, program: &Program) -> usize {
+        let requested = self.threads.unwrap_or_else(default_threads);
+        let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        let threads = requested.min(cores);
+        if threads > 1 && crate::analysis::predict_sizes(program).total < PAR_SPAWN_FLOOR {
+            return 1;
+        }
+        threads
+    }
+
+    /// Ground a program into a resident [`GroundSession`] that can later be
+    /// [`extend`](Grounder::extend)ed with program deltas. Runs the
+    /// semi-naive engine regardless of the configured engine (the reference
+    /// grounder has no incremental mode); slicing is not applied, since a
+    /// slice computed now could wrongly drop rules a later delta reaches.
+    ///
+    /// Unlike one-shot grounding, a session keeps negative body literals
+    /// over not-yet-possible atoms (interned, left undefined — semantically
+    /// identical for the solver), so already-emitted rules stay correct if
+    /// an extension later makes such an atom derivable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Grounder::ground`].
+    pub fn session(&self, program: &Program) -> Result<GroundSession, AspError> {
+        crate::seminaive::Session::new(
+            program,
+            &crate::seminaive::Config {
+                max_instances: self.max_instances,
+                assumable: &self.assumable,
+                threads: self.effective_threads(program),
+                keep_unpossible_neg: true,
+            },
+        )
+        .map(|inner| GroundSession { inner })
+    }
+
+    /// Extend a session with a program delta: convenience forwarding of
+    /// [`GroundSession::extend`], so the grounder owns the whole
+    /// ground-then-extend lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GroundSession::extend`].
+    pub fn extend(
+        &self,
+        session: &mut GroundSession,
+        delta: &Program,
+        revoke: &[Atom],
+    ) -> Result<ExtendStats, AspError> {
+        session.extend(delta, revoke)
     }
 
     /// The retained naive engine: global re-join fixpoint, first-argument
@@ -460,6 +524,50 @@ fn push_rule(out: &mut GroundProgram, seen: &mut HashSet<GroundRule>, rule: Grou
         return true;
     }
     false
+}
+
+pub use crate::seminaive::ExtendStats;
+
+/// A resident grounding session produced by [`Grounder::session`].
+///
+/// The session retains the compiled rules, symbol table, possible-atom
+/// arena, and the [`GroundProgram`] itself across [`extend`] calls, so each
+/// delta only grounds the genuinely new instances — the semi-naive windows
+/// restrict old rules to joins that touch at least one new atom. Atom ids
+/// are stable (the ground program is mutated in place, never rebuilt),
+/// which is what lets solver state survive alongside.
+///
+/// [`extend`]: GroundSession::extend
+pub struct GroundSession {
+    inner: crate::seminaive::Session,
+}
+
+impl GroundSession {
+    /// The ground program in its current state. Re-solve (or re-build a
+    /// solver over) this after every extension.
+    #[must_use]
+    pub fn program(&self) -> &GroundProgram {
+        self.inner.program()
+    }
+
+    /// Ground a program delta on top of the session.
+    ///
+    /// `revoke` names atoms whose *bare choice rules* (`{ a }.` with an
+    /// empty body, emitted verbatim in an earlier delta) are retracted —
+    /// the temporal frontier defers that this delta replaces with real
+    /// definitions. Bare choice rules contribute no completion nogoods,
+    /// so retracting one keeps the solver's nogood set monotone.
+    ///
+    /// # Errors
+    ///
+    /// * [`AspError::Internal`] if a revoked atom is unknown or has no bare
+    ///   choice rule, or if the session (or delta) contains a
+    ///   cardinality-bounded choice rule — an old `CardConstraint` gaining
+    ///   elements cannot be patched soundly.
+    /// * Otherwise the same conditions as [`Grounder::ground`].
+    pub fn extend(&mut self, delta: &Program, revoke: &[Atom]) -> Result<ExtendStats, AspError> {
+        self.inner.extend(delta, revoke)
+    }
 }
 
 /// Ground the positive/negative atoms of a literal list under a complete

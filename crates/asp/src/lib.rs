@@ -79,10 +79,10 @@ pub use ast::{Atom, ChoiceElement, Head, Literal, Program, Rule, Statement, Term
 pub use builder::ProgramBuilder;
 pub use diag::{Diagnostic, Severity, Span};
 pub use error::AspError;
-pub use ground::Grounder;
+pub use ground::{ExtendStats, GroundSession, Grounder};
 pub use parser::{parse_program_spanned, SpannedProgram};
 pub use program::{AtomId, GroundProgram};
-pub use solve::{Lit, Model, SolveOptions, SolveResult, Solver};
+pub use solve::{LearnedState, Lit, Model, SolveOptions, SolveResult, Solver};
 
 /// Parse a program from its textual representation.
 ///

@@ -43,6 +43,12 @@ pub(crate) struct Config<'a> {
     pub assumable: &'a [(String, usize)],
     /// Worker threads for Phase-2 instantiation.
     pub threads: usize,
+    /// Keep negative body literals over atoms that are not (yet) possible,
+    /// interning the atom instead of dropping the literal. One-shot
+    /// grounding drops them (they are trivially true); a [`Session`] must
+    /// keep them so that already-emitted rule bodies stay correct when a
+    /// later extension makes the atom derivable.
+    pub keep_unpossible_neg: bool,
 }
 
 /// Phase-2 parallelism is only worth its spawn cost on real programs.
@@ -77,6 +83,11 @@ struct CAtom {
     /// Interned signature (for index lookups).
     sig: Sig,
     pats: Vec<Pat>,
+    /// The exact atom when every argument is ground and arithmetic-free.
+    /// Session extension uses it to replace a windowed delta join with a
+    /// single arena lookup — the common case once accumulated slice deltas
+    /// are all ground rules.
+    ground: Option<Atom>,
 }
 
 /// A compiled body literal.
@@ -124,6 +135,10 @@ struct CRule {
     /// Variable names by slot (error messages only).
     names: Vec<String>,
     n_slots: usize,
+    /// Every positive literal place and its signature, in plan order —
+    /// cached at compile time so schedule construction and session
+    /// extension never re-walk the plans.
+    reads: Vec<(Place, Sig)>,
 }
 
 /// A compiled `#minimize` element (its own slot space).
@@ -184,10 +199,15 @@ fn compile_term(t: &Term, vars: &mut Vars) -> Pat {
 }
 
 fn compile_atom(a: &Atom, vars: &mut Vars, syms: &mut SymbolTable) -> CAtom {
+    let pats: Vec<Pat> = a.args.iter().map(|t| compile_term(t, vars)).collect();
     CAtom {
         pred: a.pred.clone(),
         sig: (syms.intern(&a.pred), a.args.len() as u32),
-        pats: a.args.iter().map(|t| compile_term(t, vars)).collect(),
+        ground: pats
+            .iter()
+            .all(|p| matches!(p, Pat::Ground(_)))
+            .then(|| a.clone()),
+        pats,
     }
 }
 
@@ -362,13 +382,16 @@ fn compile_rule(r: &Rule, syms: &mut SymbolTable) -> CRule {
                 .collect(),
         },
     };
-    CRule {
+    let mut rule = CRule {
         head,
         body_plan,
         body_src,
         n_slots: vars.names.len(),
         names: vars.names,
-    }
+        reads: Vec::new(),
+    };
+    rule.reads = rule.read_places();
+    rule
 }
 
 // ---------------------------------------------------------------------------
@@ -490,8 +513,21 @@ struct PossibleSet {
 impl PossibleSet {
     fn register(&mut self, sig: Sig, pos: u32) {
         let positions = self.registered.entry(sig).or_default();
-        if !positions.contains(&pos) {
-            positions.push(pos);
+        if positions.contains(&pos) {
+            return;
+        }
+        positions.push(pos);
+        // Backfill: a session extension can register a probe position after
+        // atoms of the signature already exist. Arena ids in `by_sig` are
+        // ascending, so the rebuilt `by_arg` lists stay window-sliceable.
+        if let Some(ids) = self.by_sig.get(&sig) {
+            let index = self.by_arg.entry((sig.0, sig.1, pos)).or_default();
+            for &id in ids {
+                index
+                    .entry(self.atoms[id as usize].args[pos as usize].clone())
+                    .or_default()
+                    .push(id);
+            }
         }
     }
 
@@ -520,6 +556,11 @@ impl PossibleSet {
         self.index.contains_key(atom)
     }
 
+    /// The arena id of an exact atom, if it is possible.
+    fn arena_id(&self, atom: &Atom) -> Option<u32> {
+        self.index.get(atom).copied()
+    }
+
     fn atom(&self, id: u32) -> &Atom {
         &self.atoms[id as usize]
     }
@@ -538,6 +579,29 @@ impl PossibleSet {
             .get(&(sig.0, sig.1, pos))
             .and_then(|m| m.get(val))
             .map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Can a delta-windowed join at `place` produce anything? Empty windows
+/// never can; a fully ground read literal only can when its exact atom was
+/// interned inside the window — one arena lookup instead of a join over
+/// every new atom of the predicate.
+fn place_hits_window(
+    possible: &PossibleSet,
+    rule: &CRule,
+    place: Place,
+    sig: Sig,
+    lo: u32,
+    hi: u32,
+) -> bool {
+    if window(possible.candidates(sig), lo, hi).is_empty() {
+        return false;
+    }
+    match &rule.read_atom(place).ground {
+        Some(atom) => possible
+            .arena_id(atom)
+            .is_some_and(|id| (lo..hi).contains(&id)),
+        None => true,
     }
 }
 
@@ -658,6 +722,23 @@ impl CRule {
             CHead::Atom(a) => vec![a.sig],
             CHead::Choice { elements, .. } => elements.iter().map(|e| e.atom.sig).collect(),
             CHead::None => Vec::new(),
+        }
+    }
+
+    /// The positive literal's compiled atom at a read place.
+    fn read_atom(&self, place: Place) -> &CAtom {
+        let lit = match place {
+            Place::Body(i) => &self.body_plan[i],
+            Place::Elem(e, i) => match &self.head {
+                CHead::Choice { elements, .. } => &elements[e].cond_plan[i],
+                CHead::Atom(_) | CHead::None => {
+                    unreachable!("element place on a non-choice head")
+                }
+            },
+        };
+        match lit {
+            CLit::Pos { atom, .. } => atom,
+            CLit::Neg(_) | CLit::Cmp(..) => unreachable!("read place names a positive literal"),
         }
     }
 
@@ -823,7 +904,7 @@ fn possible_fixpoint(crules: &[CRule], possible: &mut PossibleSet) -> Result<(),
             .into_iter()
             .map(|s| node(&mut node_of, s))
             .collect();
-        for (_, sig) in r.read_places() {
+        for &(_, sig) in &r.reads {
             let from = node(&mut node_of, sig);
             for &to in &heads {
                 edges.push((from, to));
@@ -865,8 +946,9 @@ fn possible_fixpoint(crules: &[CRule], possible: &mut PossibleSet) -> Result<(),
             .iter()
             .flat_map(|&ri| {
                 crules[ri]
-                    .read_places()
-                    .into_iter()
+                    .reads
+                    .iter()
+                    .copied()
                     .filter(|(_, sig)| comp_of[node_of[sig]] == c)
                     .map(move |(place, _)| (ri, place))
             })
@@ -957,6 +1039,7 @@ fn ground_condition(
     frame: &Frame,
     names: &[String],
     possible: &PossibleSet,
+    keep_unpossible_neg: bool,
     out: &mut GroundProgram,
 ) -> Result<(Vec<AtomId>, Vec<AtomId>, bool), AspError> {
     let mut pos = Vec::new();
@@ -972,7 +1055,7 @@ fn ground_condition(
             }
             CLit::Neg(atom) => {
                 let g = ground_catom(atom, frame, names)?;
-                if possible.contains(&g) {
+                if keep_unpossible_neg || possible.contains(&g) {
                     neg.push(out.intern(g));
                 }
             }
@@ -1005,8 +1088,9 @@ fn emit_rule(
     seen: &mut HashSet<GroundRule>,
 ) -> Result<(), AspError> {
     let names = &rule.names;
+    let keep = cfg.keep_unpossible_neg;
     let (body_pos, body_neg, alive) =
-        ground_condition(&rule.body_src, frame, names, possible, out)?;
+        ground_condition(&rule.body_src, frame, names, possible, keep, out)?;
     if !alive {
         return Ok(());
     }
@@ -1069,7 +1153,7 @@ fn emit_rule(
                     };
                     let atom = out.intern(ground_catom(&el.atom, &f2, names)?);
                     let (gpos, gneg, galive) =
-                        ground_condition(&el.cond_src, &f2, names, possible, out)?;
+                        ground_condition(&el.cond_src, &f2, names, possible, keep, out)?;
                     if !galive {
                         continue;
                     }
@@ -1111,163 +1195,482 @@ fn emit_rule(
 }
 
 // ---------------------------------------------------------------------------
-// Entry point.
+// Entry point and resident sessions.
 // ---------------------------------------------------------------------------
 
 /// Ground a program with the semi-naive engine. Observationally identical
 /// to the reference grounder (same atoms, rules, cards, minimize literals,
 /// shows, and assumables), pinned by differential proptests.
 pub(crate) fn ground(program: &Program, cfg: &Config<'_>) -> Result<GroundProgram, AspError> {
-    let rules: Vec<&Rule> = program.rules().collect();
-    for r in &rules {
-        r.check_safety()?;
-    }
-    let mut syms = SymbolTable::new();
-    let crules: Vec<CRule> = rules.iter().map(|r| compile_rule(r, &mut syms)).collect();
+    Ok(Session::new(program, cfg)?.out)
+}
 
-    // Compile #minimize elements up front so their probes register too.
-    let mut cmins: Vec<Vec<CMinElement>> = Vec::new();
-    for stmt in &program.statements {
-        if let Statement::Minimize { elements, .. } = stmt {
-            cmins.push(
-                elements
+/// Statistics of one [`GroundSession::extend`](crate::GroundSession::extend) call.
+#[derive(Debug, Clone, Default)]
+pub struct ExtendStats {
+    /// Ground atoms interned by this extension (the per-slice growth a
+    /// horizon sweep checks against).
+    pub new_atoms: usize,
+    /// Ground rule instances added by this extension.
+    pub new_rules: usize,
+    /// Ids of the revoked (previously deferred) atoms: they just received
+    /// their real defining rules, so learned nogoods mentioning them must
+    /// be dropped on transfer.
+    pub revoked: Vec<AtomId>,
+    /// A pre-existing atom *other than a revoked defer* gained a new
+    /// defining rule. Its old completion nogood is stale, and stale
+    /// resolvents need not mention the atom — the caller must discard all
+    /// learned solver state instead of filtering it.
+    pub dirty: bool,
+}
+
+fn compile_min_elements(
+    elements: &[crate::ast::MinimizeElement],
+    syms: &mut SymbolTable,
+) -> Vec<CMinElement> {
+    elements
+        .iter()
+        .map(|el| {
+            let mut vars = Vars::default();
+            let cond_src: Vec<CLit> = el
+                .condition
+                .iter()
+                .map(|l| compile_lit(l, &mut vars, syms))
+                .collect();
+            let mut bound = HashSet::new();
+            let cond_plan = plan(cond_src.clone(), &mut bound);
+            CMinElement {
+                weight: compile_term(&el.weight, &mut vars),
+                terms: el
+                    .terms
                     .iter()
-                    .map(|el| {
-                        let mut vars = Vars::default();
-                        let cond_src: Vec<CLit> = el
-                            .condition
-                            .iter()
-                            .map(|l| compile_lit(l, &mut vars, &mut syms))
-                            .collect();
-                        let mut bound = HashSet::new();
-                        let cond_plan = plan(cond_src.clone(), &mut bound);
-                        CMinElement {
-                            weight: compile_term(&el.weight, &mut vars),
-                            terms: el
-                                .terms
-                                .iter()
-                                .map(|t| compile_term(t, &mut vars))
-                                .collect(),
-                            cond_plan,
-                            cond_src,
-                            n_slots: vars.names.len(),
-                            names: vars.names,
-                        }
-                    })
+                    .map(|t| compile_term(t, &mut vars))
                     .collect(),
-            );
+                cond_plan,
+                cond_src,
+                n_slots: vars.names.len(),
+                names: vars.names,
+            }
+        })
+        .collect()
+}
+
+/// Register every probe position of the given rules and minimize groups.
+fn register_probes<'a>(
+    possible: &mut PossibleSet,
+    crules: &[CRule],
+    cmin_groups: impl Iterator<Item = &'a Vec<CMinElement>>,
+) {
+    let register_plan = |possible: &mut PossibleSet, plan: &[CLit]| {
+        for l in plan {
+            if let CLit::Pos {
+                atom,
+                probe: Some(p),
+            } = l
+            {
+                possible.register(atom.sig, *p);
+            }
+        }
+    };
+    for r in crules {
+        register_plan(possible, &r.body_plan);
+        if let CHead::Choice { elements, .. } = &r.head {
+            for el in elements {
+                register_plan(possible, &el.cond_plan);
+            }
         }
     }
+    for group in cmin_groups {
+        for el in group {
+            register_plan(possible, &el.cond_plan);
+        }
+    }
+}
 
-    // Register every probe position before the first insert, so the
-    // argument indexes are maintained incrementally from the start.
-    let mut possible = PossibleSet::default();
-    {
-        let register_plan = |possible: &mut PossibleSet, plan: &[CLit]| {
-            for l in plan {
-                if let CLit::Pos {
-                    atom,
-                    probe: Some(p),
-                } = l
-                {
-                    possible.register(atom.sig, *p);
+fn has_bounded_choice(r: &Rule) -> bool {
+    matches!(
+        &r.head,
+        Head::Choice { lower, upper, .. } if lower.is_some() || upper.is_some()
+    )
+}
+
+/// A resident grounding session: the compiled rule set, symbol table,
+/// possible-atom arena, dedup set, and ground program survive across
+/// [`Session::extend`] calls, so a program delta (new time slices of a
+/// temporal unrolling, say) is ground semi-naively against the existing
+/// state instead of from scratch.
+pub(crate) struct Session {
+    max_instances: usize,
+    assumable: Vec<(String, usize)>,
+    keep_unpossible_neg: bool,
+    syms: SymbolTable,
+    crules: Vec<CRule>,
+    cmins: Vec<(i64, Vec<CMinElement>)>,
+    possible: PossibleSet,
+    seen: HashSet<GroundRule>,
+    pub(crate) out: GroundProgram,
+    bounded_choice: bool,
+}
+
+impl Session {
+    /// Ground `program` and retain all intermediate state. With
+    /// `cfg.keep_unpossible_neg == false` this is exactly the one-shot
+    /// [`ground`] pipeline (which delegates here).
+    pub(crate) fn new(program: &Program, cfg: &Config<'_>) -> Result<Session, AspError> {
+        let rules: Vec<&Rule> = program.rules().collect();
+        for r in &rules {
+            r.check_safety()?;
+        }
+        let mut syms = SymbolTable::new();
+        let crules: Vec<CRule> = rules.iter().map(|r| compile_rule(r, &mut syms)).collect();
+        let bounded_choice = rules.iter().any(|r| has_bounded_choice(r));
+
+        // Compile #minimize elements up front so their probes register too.
+        let mut cmins: Vec<(i64, Vec<CMinElement>)> = Vec::new();
+        for stmt in &program.statements {
+            if let Statement::Minimize { priority, elements } = stmt {
+                cmins.push((*priority, compile_min_elements(elements, &mut syms)));
+            }
+        }
+
+        // Register every probe position before the first insert, so the
+        // argument indexes are maintained incrementally from the start.
+        let mut possible = PossibleSet::default();
+        register_probes(&mut possible, &crules, cmins.iter().map(|(_, g)| g));
+
+        // Phase 1: stratified semi-naive possible-atom fixpoint.
+        possible_fixpoint(&crules, &mut possible)?;
+
+        // Phase 2: parallel instantiation, sequential source-order emission.
+        let snaps = shard_instances(&crules, &possible, cfg.threads);
+        let mut out = GroundProgram::new();
+        let mut seen: HashSet<GroundRule> = HashSet::new();
+        for (rule, snap) in crules.iter().zip(snaps) {
+            let mut frame = Frame::new(rule.n_slots);
+            for slots in snap? {
+                frame.slots = slots;
+                frame.trail.clear();
+                emit_rule(cfg, rule, &mut frame, &possible, &mut out, &mut seen)?;
+                if out.rules.len() > cfg.max_instances {
+                    return Err(AspError::GroundingBudget {
+                        limit: cfg.max_instances,
+                    });
                 }
             }
+        }
+
+        // Phase 3: projections, then optimization statements.
+        for stmt in &program.statements {
+            if let Statement::Show { pred, arity } = stmt {
+                out.shows.push((pred.clone(), *arity));
+            }
+        }
+        let mut session = Session {
+            max_instances: cfg.max_instances,
+            assumable: cfg.assumable.to_vec(),
+            keep_unpossible_neg: cfg.keep_unpossible_neg,
+            syms,
+            crules,
+            cmins,
+            possible,
+            seen,
+            out,
+            bounded_choice,
         };
-        for r in &crules {
-            register_plan(&mut possible, &r.body_plan);
-            if let CHead::Choice { elements, .. } = &r.head {
-                for el in elements {
-                    register_plan(&mut possible, &el.cond_plan);
-                }
-            }
-        }
-        for group in &cmins {
-            for el in group {
-                register_plan(&mut possible, &el.cond_plan);
-            }
-        }
+        session.recompute_minimize()?;
+        Ok(session)
     }
 
-    // Phase 1: stratified semi-naive possible-atom fixpoint.
-    possible_fixpoint(&crules, &mut possible)?;
-
-    // Phase 2: parallel instantiation, sequential source-order emission.
-    let snaps = shard_instances(&crules, &possible, cfg.threads);
-    let mut out = GroundProgram::new();
-    let mut seen: HashSet<GroundRule> = HashSet::new();
-    for (rule, snap) in crules.iter().zip(snaps) {
-        let mut frame = Frame::new(rule.n_slots);
-        for slots in snap? {
-            frame.slots = slots;
-            frame.trail.clear();
-            emit_rule(cfg, rule, &mut frame, &possible, &mut out, &mut seen)?;
-            if out.rules.len() > cfg.max_instances {
-                return Err(AspError::GroundingBudget {
-                    limit: cfg.max_instances,
-                });
-            }
-        }
+    /// The ground program in its current state.
+    pub(crate) fn program(&self) -> &GroundProgram {
+        &self.out
     }
 
-    // Phase 3: optimization statements and projections.
-    let mut minimize: BTreeMap<i64, Vec<MinimizeLit>> = BTreeMap::new();
-    let mut cmin_groups = cmins.iter();
-    for stmt in &program.statements {
-        match stmt {
-            Statement::Minimize { priority, .. } => {
-                let group = cmin_groups.next().expect("compiled per statement");
-                for el in group {
-                    let mut found: Vec<Snapshot> = Vec::new();
-                    let mut frame = Frame::new(el.n_slots);
-                    join(
-                        &possible,
-                        &el.cond_plan,
-                        0,
-                        None,
-                        &mut frame,
-                        &el.names,
-                        &mut |fr| {
-                            found.push(fr.slots.clone());
-                            Ok(())
-                        },
-                    )?;
-                    for slots in found {
-                        let f = Frame {
-                            slots,
-                            trail: Vec::new(),
-                        };
-                        let w = eval_pat(&el.weight, &f, &el.names)?;
-                        let Term::Int(weight) = w else {
-                            return Err(AspError::BadArithmetic(format!(
-                                "minimize weight `{w}` is not an integer"
-                            )));
-                        };
-                        let tuple = el
-                            .terms
-                            .iter()
-                            .map(|t| eval_pat(t, &f, &el.names))
-                            .collect::<Result<Vec<_>, _>>()?;
-                        let (pos, neg, alive) =
-                            ground_condition(&el.cond_src, &f, &el.names, &possible, &mut out)?;
-                        if alive {
-                            minimize.entry(*priority).or_default().push(MinimizeLit {
-                                weight,
-                                tuple,
-                                pos,
-                                neg,
-                            });
-                        }
+    /// Ground a program delta on top of the session: `revoke` lists atoms
+    /// whose bare choice rules (`{ a }.`, empty body, single element) are
+    /// retracted — the frontier defers now receiving real definitions —
+    /// and `delta` holds the new statements. Atom ids are stable: the
+    /// ground program is extended in place, never rebuilt.
+    pub(crate) fn extend(
+        &mut self,
+        delta: &Program,
+        revoke: &[Atom],
+    ) -> Result<ExtendStats, AspError> {
+        let new_rules: Vec<&Rule> = delta.rules().collect();
+        for r in &new_rules {
+            r.check_safety()?;
+        }
+        if self.bounded_choice || new_rules.iter().any(|r| has_bounded_choice(r)) {
+            return Err(AspError::Internal(
+                "session extension cannot patch cardinality-bounded choice rules".into(),
+            ));
+        }
+
+        // Compile the delta against the session's symbol table and register
+        // its probes (with backfill over already-present atoms).
+        let new_crules: Vec<CRule> = new_rules
+            .iter()
+            .map(|r| compile_rule(r, &mut self.syms))
+            .collect();
+        let mut new_cmins: Vec<(i64, Vec<CMinElement>)> = Vec::new();
+        for stmt in &delta.statements {
+            if let Statement::Minimize { priority, elements } = stmt {
+                new_cmins.push((*priority, compile_min_elements(elements, &mut self.syms)));
+            }
+        }
+        register_probes(
+            &mut self.possible,
+            &new_crules,
+            new_cmins.iter().map(|(_, g)| g),
+        );
+
+        // Retract the revoked defers before emitting anything new.
+        let mut revoked_ids: Vec<AtomId> = Vec::with_capacity(revoke.len());
+        for atom in revoke {
+            let Some(id) = self.out.lookup(atom) else {
+                return Err(AspError::Internal(format!(
+                    "revoked atom `{atom}` is not in the session program"
+                )));
+            };
+            let target = GroundRule {
+                head: GroundHead::Choice(id),
+                pos: Vec::new(),
+                neg: Vec::new(),
+            };
+            if !self.seen.remove(&target) {
+                return Err(AspError::Internal(format!(
+                    "revoked atom `{atom}` has no bare choice rule to retract"
+                )));
+            }
+            self.out.rules.retain(|r| *r != target);
+            self.out.assumable.retain(|&a| a != id);
+            revoked_ids.push(id);
+        }
+
+        let atom_watermark = self.out.atom_count() as u32;
+        let rules_low = self.out.rules.len();
+        let possible_low = self.possible.len();
+
+        // Phase 1 (delta): seed with a full pass over the new rules, then
+        // run an unstratified semi-naive loop over *all* rules, windowed to
+        // the atoms added since `possible_low`. The possible fixpoint
+        // ignores negation, so dropping the SCC schedule loses nothing but
+        // scheduling quality — and the delta windows keep it cheap.
+        let mut buf: Vec<(Sig, Atom)> = Vec::new();
+        for rule in &new_crules {
+            derive_heads(rule, &self.possible, None, &mut buf)?;
+            for (sig, a) in buf.drain(..) {
+                self.possible.insert(sig, a);
+            }
+        }
+        let mut lo = possible_low;
+        loop {
+            let hi = self.possible.len();
+            if lo == hi {
+                break;
+            }
+            for rule in self.crules.iter().chain(new_crules.iter()) {
+                for &(place, sig) in &rule.reads {
+                    if !place_hits_window(&self.possible, rule, place, sig, lo, hi) {
+                        continue;
+                    }
+                    derive_heads(rule, &self.possible, Some((place, (lo, hi))), &mut buf)?;
+                    for (s, a) in buf.drain(..) {
+                        self.possible.insert(s, a);
                     }
                 }
             }
-            Statement::Show { pred, arity } => out.shows.push((pred.clone(), *arity)),
-            Statement::Rule(_) => {}
+            lo = hi;
         }
+
+        // Phase 2 (delta): new rules instantiate fully; old rules re-join
+        // only through windows over the atoms this extension added. The
+        // `seen` set absorbs the overlap between delta anchors.
+        let hi = self.possible.len();
+        {
+            let Session {
+                ref assumable,
+                ref crules,
+                ref possible,
+                ref mut out,
+                ref mut seen,
+                max_instances,
+                keep_unpossible_neg,
+                ..
+            } = *self;
+            let cfg = Config {
+                max_instances,
+                assumable,
+                threads: 1,
+                keep_unpossible_neg,
+            };
+            let emit_all = |rule: &CRule,
+                            out: &mut GroundProgram,
+                            seen: &mut HashSet<GroundRule>|
+             -> Result<(), AspError> {
+                let mut frame = Frame::new(rule.n_slots);
+                for slots in instances(rule, possible)? {
+                    frame.slots = slots;
+                    frame.trail.clear();
+                    emit_rule(&cfg, rule, &mut frame, possible, out, seen)?;
+                    if out.rules.len() > max_instances {
+                        return Err(AspError::GroundingBudget {
+                            limit: max_instances,
+                        });
+                    }
+                }
+                Ok(())
+            };
+            for rule in &new_crules {
+                emit_all(rule, out, seen)?;
+            }
+            if hi > possible_low {
+                for rule in crules {
+                    // Body-literal deltas re-join through one window each;
+                    // an element-condition delta falls back to a full
+                    // re-instantiation (deduped), since `emit_rule` grounds
+                    // elements from the body frame.
+                    let mut body_deltas: Vec<usize> = Vec::new();
+                    let mut elem_hit = false;
+                    for &(place, sig) in &rule.reads {
+                        if !place_hits_window(possible, rule, place, sig, possible_low, hi) {
+                            continue;
+                        }
+                        match place {
+                            Place::Body(i) => body_deltas.push(i),
+                            Place::Elem(..) => elem_hit = true,
+                        }
+                    }
+                    if elem_hit {
+                        emit_all(rule, out, seen)?;
+                        continue;
+                    }
+                    for i in body_deltas {
+                        let mut frame = Frame::new(rule.n_slots);
+                        join(
+                            possible,
+                            &rule.body_plan,
+                            0,
+                            Some((i, (possible_low, hi))),
+                            &mut frame,
+                            &rule.names,
+                            &mut |fr| {
+                                emit_rule(&cfg, rule, fr, possible, out, seen)?;
+                                if out.rules.len() > max_instances {
+                                    return Err(AspError::GroundingBudget {
+                                        limit: max_instances,
+                                    });
+                                }
+                                Ok(())
+                            },
+                        )?;
+                    }
+                }
+            }
+        }
+
+        // Phase 3: append new projections, adopt the delta rules, and
+        // recompute minimize literals wholesale (set semantics make the
+        // rebuild order-insensitive; atom ids are already interned).
+        for stmt in &delta.statements {
+            if let Statement::Show { pred, arity } = stmt {
+                if !self.out.shows.contains(&(pred.clone(), *arity)) {
+                    self.out.shows.push((pred.clone(), *arity));
+                }
+            }
+        }
+        self.crules.extend(new_crules);
+        self.cmins.extend(new_cmins);
+        self.recompute_minimize()?;
+
+        // A new rule whose head already existed (and is not a revoked
+        // defer) invalidates that atom's completion nogood — and stale
+        // resolvents need not mention the atom, so the caller must drop
+        // all learned state, not filter it.
+        let mut dirty = false;
+        for r in &self.out.rules[rules_low..] {
+            let head = match r.head {
+                GroundHead::Atom(h) | GroundHead::Choice(h) => h,
+                GroundHead::None => continue,
+            };
+            if head.0 < atom_watermark && !revoked_ids.contains(&head) {
+                dirty = true;
+                break;
+            }
+        }
+        Ok(ExtendStats {
+            new_atoms: self.out.atom_count() - atom_watermark as usize,
+            new_rules: self.out.rules.len() - rules_low,
+            revoked: revoked_ids,
+            dirty,
+        })
     }
-    // Higher priorities first.
-    out.minimize = minimize.into_iter().rev().collect();
-    Ok(out)
+
+    /// Rebuild `out.minimize` from every compiled minimize statement.
+    fn recompute_minimize(&mut self) -> Result<(), AspError> {
+        let mut minimize: BTreeMap<i64, Vec<MinimizeLit>> = BTreeMap::new();
+        let Session {
+            ref cmins,
+            ref possible,
+            ref mut out,
+            keep_unpossible_neg,
+            ..
+        } = *self;
+        for (priority, group) in cmins {
+            for el in group {
+                let mut found: Vec<Snapshot> = Vec::new();
+                let mut frame = Frame::new(el.n_slots);
+                join(
+                    possible,
+                    &el.cond_plan,
+                    0,
+                    None,
+                    &mut frame,
+                    &el.names,
+                    &mut |fr| {
+                        found.push(fr.slots.clone());
+                        Ok(())
+                    },
+                )?;
+                for slots in found {
+                    let f = Frame {
+                        slots,
+                        trail: Vec::new(),
+                    };
+                    let w = eval_pat(&el.weight, &f, &el.names)?;
+                    let Term::Int(weight) = w else {
+                        return Err(AspError::BadArithmetic(format!(
+                            "minimize weight `{w}` is not an integer"
+                        )));
+                    };
+                    let tuple = el
+                        .terms
+                        .iter()
+                        .map(|t| eval_pat(t, &f, &el.names))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let (pos, neg, alive) = ground_condition(
+                        &el.cond_src,
+                        &f,
+                        &el.names,
+                        possible,
+                        keep_unpossible_neg,
+                        out,
+                    )?;
+                    if alive {
+                        minimize.entry(*priority).or_default().push(MinimizeLit {
+                            weight,
+                            tuple,
+                            pos,
+                            neg,
+                        });
+                    }
+                }
+            }
+        }
+        // Higher priorities first.
+        out.minimize = minimize.into_iter().rev().collect();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

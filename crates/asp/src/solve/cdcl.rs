@@ -83,6 +83,44 @@ pub(super) enum Reason {
     Ante(u32),
 }
 
+/// One literal of an exported learned nogood. The `bool` is the stored
+/// truth value (`true` = `Val::True`).
+#[derive(Debug, Clone, Copy)]
+enum LearnedLit {
+    /// An atom variable, by (stable) atom id.
+    Atom(u32, bool),
+    /// A body variable, by index into [`LearnedState::bodies`].
+    Body(u32, bool),
+}
+
+/// A portable snapshot of a solver's learned-nogood database, produced by
+/// [`Solver::export_learned`] and replayed into a solver over an extended
+/// ground program by [`Solver::import_learned`] — the mechanism that lets
+/// search effort carry across incremental horizon extensions.
+#[derive(Debug, Clone, Default)]
+pub struct LearnedState {
+    /// Deduplicated body keys referenced by `Body` literals.
+    bodies: Vec<(Vec<u32>, Vec<u32>)>,
+    /// Watched nogoods with their learn-time LBD.
+    nogoods: Vec<(Vec<LearnedLit>, u32)>,
+    /// Unit nogoods (replayed as level-0 forcings).
+    units: Vec<LearnedLit>,
+}
+
+impl LearnedState {
+    /// Number of nogoods in the snapshot (watched plus units).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nogoods.len() + self.units.len()
+    }
+
+    /// True when the snapshot holds no nogoods.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nogoods.is_empty() && self.units.is_empty()
+    }
+}
+
 /// One stored nogood. `lits[0]` and `lits[1]` are the watched positions.
 #[derive(Debug)]
 pub(super) struct Nogood {
@@ -160,6 +198,12 @@ pub(super) struct Cdcl {
     restart_seq: u64,
     /// Completed learned-DB reductions (raises the next threshold).
     reduce_count: u64,
+    /// Body variable keys, by body index (`var = n_atoms + index`): the
+    /// sorted deduplicated `(pos, neg)` atom-id lists. Retained so learned
+    /// nogoods can be exported/imported across program extensions — body
+    /// *indices* are build-order dependent, body *keys* are the stable
+    /// identity.
+    bodies: Vec<(Vec<u32>, Vec<u32>)>,
 }
 
 impl Cdcl {
@@ -195,6 +239,7 @@ impl Cdcl {
             conflicts_since_restart: 0,
             restart_seq: 1,
             reduce_count: 0,
+            bodies: Vec::new(),
         }
     }
 
@@ -351,6 +396,7 @@ impl Cdcl {
             }
         }
 
+        cd.bodies = bodies;
         cd
     }
 
@@ -526,6 +572,127 @@ impl Solver<'_> {
             activity: 0.0,
         });
         ni
+    }
+
+    /// Export the learned-nogood database in a program-independent form,
+    /// for transfer onto a solver over an *extension* of this ground
+    /// program (same atom ids, a superset of the rules).
+    ///
+    /// Returns an empty state unless the program is tight: on non-tight
+    /// programs the learned database may contain prefix nogoods from
+    /// stability failures and unfounded-set antecedent resolvents, which
+    /// are not consequences of the completion alone and do not survive a
+    /// program change.
+    ///
+    /// Body variables are translated to their stable identity — the sorted
+    /// deduplicated `(pos, neg)` atom-id key — since body *indices* depend
+    /// on build order.
+    #[must_use]
+    pub fn export_learned(&self) -> LearnedState {
+        let mut state = LearnedState::default();
+        if !self.tight() {
+            return state;
+        }
+        let n_atoms = self.cdcl.n_atoms as u32;
+        let mut body_idx: HashMap<u32, u32> = HashMap::new();
+        let mut convert = |state: &mut LearnedState, c: u32| -> LearnedLit {
+            let var = code_var(c);
+            let positive = code_val(c) == Val::True;
+            if var < n_atoms {
+                LearnedLit::Atom(var, positive)
+            } else {
+                let idx = *body_idx.entry(var).or_insert_with(|| {
+                    state
+                        .bodies
+                        .push(self.cdcl.bodies[(var - n_atoms) as usize].clone());
+                    (state.bodies.len() - 1) as u32
+                });
+                LearnedLit::Body(idx, positive)
+            }
+        };
+        for ng in &self.cdcl.ngs[self.cdcl.first_learned..] {
+            let lits: Vec<LearnedLit> = ng.lits.iter().map(|&c| convert(&mut state, c)).collect();
+            state.nogoods.push((lits, ng.lbd));
+        }
+        for &c in &self.cdcl.learned_units {
+            let l = convert(&mut state, c);
+            state.units.push(l);
+        }
+        state
+    }
+
+    /// Import a learned-nogood database exported from a solver over an
+    /// earlier version of this program. Nogoods survive when every literal
+    /// still refers to live structure: atom literals must be in range and
+    /// not mention a `revoked` atom, body literals must resolve (by key)
+    /// to a body of the current program whose atoms are likewise live.
+    /// Everything else is dropped; duplicates are absorbed by the learned
+    /// fingerprint set. Returns the number of nogoods retained.
+    ///
+    /// Refuses (returns 0) unless the current program is tight — the
+    /// soundness argument for transfer rests on learned nogoods being
+    /// resolvents of completion nogoods, which only holds there.
+    pub fn import_learned(&mut self, state: &LearnedState, revoked: &[AtomId]) -> usize {
+        if !self.tight() || state.is_empty() {
+            return 0;
+        }
+        let n_atoms = self.cdcl.n_atoms as u32;
+        let revoked: HashSet<u32> = revoked.iter().map(|a| a.0).collect();
+        let key_to_var: HashMap<&(Vec<u32>, Vec<u32>), u32> = self
+            .cdcl
+            .bodies
+            .iter()
+            .enumerate()
+            .map(|(i, key)| (key, n_atoms + i as u32))
+            .collect();
+        let resolved: Vec<Option<u32>> = state
+            .bodies
+            .iter()
+            .map(|key| {
+                if key
+                    .0
+                    .iter()
+                    .chain(key.1.iter())
+                    .any(|a| revoked.contains(a))
+                {
+                    return None;
+                }
+                key_to_var.get(key).copied()
+            })
+            .collect();
+        let live_code = |l: &LearnedLit| -> Option<u32> {
+            match *l {
+                LearnedLit::Atom(a, positive) => {
+                    if a >= n_atoms || revoked.contains(&a) {
+                        return None;
+                    }
+                    Some(code(a, if positive { Val::True } else { Val::False }))
+                }
+                LearnedLit::Body(i, positive) => {
+                    let var = resolved.get(i as usize).copied().flatten()?;
+                    Some(code(var, if positive { Val::True } else { Val::False }))
+                }
+            }
+        };
+        let mut kept = 0usize;
+        for (lits, lbd) in &state.nogoods {
+            let Some(codes) = lits.iter().map(&live_code).collect::<Option<Vec<u32>>>() else {
+                continue;
+            };
+            if codes.len() < 2 {
+                continue;
+            }
+            let before = self.cdcl.learned_count();
+            self.learn_stored(codes, *lbd);
+            kept += usize::from(self.cdcl.learned_count() > before);
+        }
+        for l in &state.units {
+            let Some(c) = live_code(l) else { continue };
+            let before = self.cdcl.learned_count();
+            self.learn_stored(vec![c], 1);
+            kept += usize::from(self.cdcl.learned_count() > before);
+        }
+        kept
     }
 
     /// Move the two best watch candidates into positions 0 and 1:
@@ -1067,15 +1234,20 @@ impl Solver<'_> {
         };
 
         // EVSIDS bumps: every variable that participated in the analysis.
-        for &v in &to_clear {
-            self.cdcl.activity[v as usize] += self.cdcl.var_inc;
-        }
-        self.cdcl.var_inc /= 0.95;
-        if self.cdcl.var_inc > 1e100 {
-            for a in &mut self.cdcl.activity {
-                *a *= 1e-100;
+        // Suppressed while enumerating — movement is chronological there,
+        // so the branching heuristic is frozen anyway, and the per-conflict
+        // decay (plus its periodic full-array rescale) is pure churn.
+        if !self.in_flip_mode() {
+            for &v in &to_clear {
+                self.cdcl.activity[v as usize] += self.cdcl.var_inc;
             }
-            self.cdcl.var_inc *= 1e-100;
+            self.cdcl.var_inc /= 0.95;
+            if self.cdcl.var_inc > 1e100 {
+                for a in &mut self.cdcl.activity {
+                    *a *= 1e-100;
+                }
+                self.cdcl.var_inc *= 1e-100;
+            }
         }
         for v in to_clear {
             self.cdcl.seen[v as usize] = false;
@@ -1127,6 +1299,10 @@ impl Solver<'_> {
         if self.in_flip_mode() {
             // Enumeration mode: learn the 1UIP nogood for pruning but move
             // chronologically — exhaustiveness relies on the flip trail.
+            // Restarts (and with them learned-DB reduction) stay off, and
+            // `analyze` skips activity bumps/decay: dropping pruning
+            // nogoods or reshuffling the heuristic mid-enumeration costs
+            // more than either is worth when movement is chronological.
             let (lits, _bl, lbd) = self.analyze(confl);
             let alive = self.flip_deepest();
             self.learn_stored(lits, lbd);

@@ -20,6 +20,8 @@
 //! testing oracle and the benchmark baseline.
 
 mod cdcl;
+
+pub use cdcl::LearnedState;
 mod reference;
 
 use std::collections::HashSet;

@@ -1,0 +1,369 @@
+//! Differential tests for incremental horizon extension.
+//!
+//! A [`GroundSession`] grown one time slice at a time must be
+//! indistinguishable — models, verdict atoms, optimal costs — from a
+//! from-scratch grounding of the accumulated program at every horizon.
+//! The program family is a timed chain in the shape the temporal unroller
+//! produces: per-slice choices, a frontier atom `ok(h)` deferred as a bare
+//! choice rule `{ ok(h) }.` that gets *revoked* and redefined on every
+//! extension, variable rules whose instances must be re-derived from the
+//! delta windows, and a `#minimize` over the choices for cost
+//! differentials. The frontier is pinned by assumptions exactly as the
+//! temporal layer pins it.
+
+use std::collections::BTreeSet;
+
+use cpsrisk_asp::{
+    parse, Atom, GroundProgram, GroundSession, Grounder, Lit, SolveOptions, Solver, Term,
+};
+use proptest::prelude::*;
+
+/// Base program: slice 0 plus the variable machinery covering all future
+/// slices, with the frontier deferred at horizon 1.
+fn base_src(consts: usize, forced: &[bool]) -> String {
+    let mut s = String::new();
+    for c in 0..consts {
+        s.push_str(&format!("cand(c{c}). "));
+    }
+    s.push_str("step(0).\n");
+    s.push_str("{ go(C,T) } :- cand(C), step(T).\n");
+    s.push_str("any(T) :- go(C,T).\n");
+    s.push_str(":- step(T), not any(T).\n");
+    s.push_str("blocked(C,T) :- cand(C), step(T), not go(C,T).\n");
+    s.push_str("reach(C,U) :- go(C,T), U = T + 1, step(U).\n");
+    s.push_str("ok(T) :- go(c0,T).\n");
+    s.push_str("ok(T) :- any(T), U = T + 1, ok(U).\n");
+    s.push_str("win :- ok(0).\n");
+    s.push_str("#minimize { 1,C,T : go(C,T) }.\n");
+    if forced.first().copied().unwrap_or(false) {
+        s.push_str("go(c0,0).\n");
+    }
+    s.push_str("{ ok(1) }.\n");
+    s
+}
+
+/// Delta extending the horizon from `h` to `h + 1`: one new `step` fact
+/// and the re-deferred frontier. The caller revokes `ok(h)`.
+fn delta_src(h: usize, forced: &[bool]) -> String {
+    let mut s = format!("step({h}).\n{{ ok({}) }}.\n", h + 1);
+    if forced.get(h).copied().unwrap_or(false) {
+        s.push_str(&format!("go(c0,{h}).\n"));
+    }
+    s
+}
+
+/// The accumulated program at horizon `h`, grounded from scratch.
+fn scratch_src(consts: usize, h: usize, forced: &[bool]) -> String {
+    let mut s = base_src(consts, forced);
+    // Strip the horizon-1 defer; re-add steps and the defer at `h`.
+    s.truncate(s.len() - "{ ok(1) }.\n".len());
+    for t in 1..h {
+        s.push_str(&format!("step({t}).\n"));
+        if forced.get(t).copied().unwrap_or(false) {
+            s.push_str(&format!("go(c0,{t}).\n"));
+        }
+    }
+    s.push_str(&format!("{{ ok({h}) }}.\n"));
+    s
+}
+
+fn frontier(h: usize) -> Atom {
+    Atom::new("ok", vec![Term::Int(h as i64)])
+}
+
+fn go_atom(c: usize, t: usize) -> Atom {
+    Atom::new("go", vec![Term::sym(format!("c{c}")), Term::Int(t as i64)])
+}
+
+/// Pin the frontier and, when `determinize` carries the candidate count,
+/// every `go(c,t)` for `c > 0` to false so enumeration stays linear in
+/// the horizon.
+fn pins(g: &GroundProgram, h: usize, pin_true: bool, determinize: Option<usize>) -> Vec<Lit> {
+    let id = g
+        .lookup(&frontier(h))
+        .unwrap_or_else(|| panic!("frontier ok({h}) not ground"));
+    let mut v = vec![if pin_true { Lit::pos(id) } else { Lit::neg(id) }];
+    if let Some(consts) = determinize {
+        for c in 1..consts {
+            for t in 0..h {
+                if let Some(id) = g.lookup(&go_atom(c, t)) {
+                    v.push(Lit::neg(id));
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Enumerate all models under `assumptions` as a canonical set of
+/// true-atom sets.
+fn model_sets(g: &GroundProgram, assumptions: &[Lit]) -> BTreeSet<BTreeSet<String>> {
+    let mut solver = Solver::new(g);
+    let res = solver
+        .solve_with_assumptions(assumptions, &SolveOptions::default())
+        .expect("solve");
+    assert!(res.exhausted, "enumeration must exhaust the search space");
+    res.models
+        .iter()
+        .map(|m| m.atoms.iter().map(ToString::to_string).collect())
+        .collect()
+}
+
+fn optimal_cost(g: &GroundProgram, assumptions: &[Lit]) -> Option<Vec<(i64, i64)>> {
+    let mut solver = Solver::new(g);
+    solver
+        .optimize_with_assumptions(assumptions, &SolveOptions::default())
+        .expect("optimize")
+        .map(|m| m.cost)
+}
+
+/// Grow a session from horizon 1 to `h_max`, asserting model, verdict and
+/// cost equality against from-scratch grounding at every horizon.
+/// `enumerate` compares full (un-determinized) model sets; optimal costs
+/// are compared up to `cost_cap` (optimality proofs enumerate, so the
+/// exponential family must stay small). Returns per-extension atom growth.
+fn check_sweep(
+    consts: usize,
+    h_max: usize,
+    forced: &[bool],
+    enumerate: bool,
+    cost_cap: usize,
+) -> Vec<usize> {
+    let grounder = Grounder::new();
+    let base = parse(&base_src(consts, forced)).expect("parse base");
+    let mut session = grounder.session(&base).expect("session");
+    let mut growth = Vec::new();
+    for h in 2..=h_max {
+        let delta = parse(&delta_src(h - 1, forced)).expect("parse delta");
+        let stats = session.extend(&delta, &[frontier(h - 1)]).expect("extend");
+        assert!(!stats.dirty, "slice deltas must stay clean at h={h}");
+        assert_eq!(stats.revoked.len(), 1, "one frontier revoked at h={h}");
+        growth.push(stats.new_atoms);
+
+        let scratch = parse(&scratch_src(consts, h, forced)).expect("parse scratch");
+        let ground = grounder.ground(&scratch).expect("ground scratch");
+        for pin_true in [false, true] {
+            let det = if enumerate { None } else { Some(consts) };
+            let sp = pins(session.program(), h, pin_true, det);
+            let gp = pins(&ground, h, pin_true, det);
+            let sm = model_sets(session.program(), &sp);
+            let gm = model_sets(&ground, &gp);
+            assert_eq!(sm, gm, "model sets diverge at h={h} pin={pin_true}");
+            // The verdict atom must agree in every model.
+            let verdicts: BTreeSet<bool> = sm.iter().map(|m| m.contains("win")).collect();
+            let scratch_verdicts: BTreeSet<bool> = gm.iter().map(|m| m.contains("win")).collect();
+            assert_eq!(verdicts, scratch_verdicts, "verdicts at h={h}");
+            if h <= cost_cap {
+                assert_eq!(
+                    optimal_cost(session.program(), &sp),
+                    optimal_cost(&ground, &gp),
+                    "optimal costs diverge at h={h} pin={pin_true}"
+                );
+            }
+        }
+    }
+    growth
+}
+
+/// Full model enumeration at small horizons: every stable model of the
+/// extended session matches from-scratch grounding, under both frontier
+/// pins.
+#[test]
+fn session_models_match_scratch_small() {
+    check_sweep(2, 5, &[], true, 5);
+}
+
+/// Deep sweep to h = 16 with a single candidate: model sets, verdicts and
+/// costs match at every horizon, and per-slice atom growth is bounded by a
+/// constant (slice-delta grounding, not re-grounding).
+#[test]
+fn session_models_match_scratch_deep() {
+    let growth = check_sweep(1, 16, &[], true, 16);
+    let cap = growth[0].max(growth[1]) + 2;
+    for (i, g) in growth.iter().enumerate() {
+        assert!(
+            *g <= cap,
+            "slice {i} ground {g} atoms, expected <= {cap}: growth must not scale with h"
+        );
+    }
+}
+
+/// Optimal costs under branch-and-bound match from-scratch at every
+/// horizon with a real (two-candidate) search space.
+#[test]
+fn session_costs_match_scratch() {
+    check_sweep(2, 8, &[], false, 8);
+}
+
+/// UNSAT assumption query whose refutation produces learned nogoods over
+/// surviving (`go`) atoms only — transferable across any extension.
+fn mutex_query(g: &GroundProgram, consts: usize) -> Vec<Lit> {
+    (0..consts)
+        .map(|c| Lit::neg(g.lookup(&go_atom(c, 0)).expect("go atom")))
+        .collect()
+}
+
+/// Exporting learned nogoods and re-importing them into a fresh solver on
+/// the *same* program must keep every nogood (nothing is revoked).
+#[test]
+fn export_import_roundtrip_on_unchanged_program() {
+    let base = parse(&base_src(2, &[])).expect("parse");
+    let g = Grounder::new().ground(&base).expect("ground");
+    let mut solver = Solver::new(&g);
+    let res = solver
+        .solve_with_assumptions(&mutex_query(&g, 2), &SolveOptions::default())
+        .expect("solve");
+    assert!(res.models.is_empty(), "mutex query must be UNSAT");
+    let state = solver.export_learned();
+    assert!(!state.is_empty(), "refutation must learn nogoods");
+    let mut fresh = Solver::new(&g);
+    let imported = fresh.import_learned(&state, &[]);
+    assert_eq!(imported, state.len(), "nothing revoked, all must survive");
+    // The warm solver still answers exactly like a cold one.
+    let sp = pins(&g, 1, false, None);
+    assert_eq!(model_sets(&g, &sp), {
+        let res = fresh
+            .solve_with_assumptions(&sp, &SolveOptions::default())
+            .expect("solve");
+        res.models
+            .iter()
+            .map(|m| m.atoms.iter().map(ToString::to_string).collect())
+            .collect()
+    });
+}
+
+/// Learned nogoods exported before an extension and imported after it must
+/// not change the answer: models and optimal costs agree with a fresh
+/// solver at every horizon, under an alternating assumption stream.
+#[test]
+fn nogood_retention_is_sound_under_assumption_streams() {
+    let consts = 2;
+    let grounder = Grounder::new();
+    let base = parse(&base_src(consts, &[])).expect("parse base");
+    let mut session = grounder.session(&base).expect("session");
+    let mut carried: Option<cpsrisk_asp::LearnedState> = None;
+    let mut total_imported = 0usize;
+    for h in 2..=16 {
+        let delta = parse(&delta_src(h - 1, &[])).expect("parse delta");
+        let stats = session.extend(&delta, &[frontier(h - 1)]).expect("extend");
+
+        let g = session.program();
+        let mut warm = Solver::new(g);
+        if let Some(state) = carried.as_ref().filter(|_| !stats.dirty) {
+            // Only the *latest* extension redefines atoms; earlier
+            // frontiers were already settled when `carried` was exported.
+            total_imported += warm.import_learned(state, &stats.revoked);
+        }
+        let mut fresh = Solver::new(g);
+
+        // Assumption stream: an UNSAT mutex query (drives conflicts and
+        // learning over surviving atoms), then both frontier pins,
+        // determinized, compared model-for-model against the cold solver.
+        let opts = SolveOptions::default();
+        let unsat = warm
+            .solve_with_assumptions(&mutex_query(g, consts), &opts)
+            .expect("mutex solve");
+        assert!(
+            unsat.models.is_empty(),
+            "mutex query must be UNSAT at h={h}"
+        );
+        for pin_true in [h % 2 == 0, h % 2 != 0] {
+            let a = pins(g, h, pin_true, Some(consts));
+            let wm = warm.solve_with_assumptions(&a, &opts).expect("warm solve");
+            let fm = fresh
+                .solve_with_assumptions(&a, &opts)
+                .expect("fresh solve");
+            let canon = |r: &cpsrisk_asp::SolveResult| -> BTreeSet<BTreeSet<String>> {
+                r.models
+                    .iter()
+                    .map(|m| m.atoms.iter().map(ToString::to_string).collect())
+                    .collect()
+            };
+            assert_eq!(canon(&wm), canon(&fm), "models diverge at h={h}");
+        }
+        if h <= 8 {
+            let a = pins(g, h, false, None);
+            let wc = warm
+                .optimize_with_assumptions(&a, &opts)
+                .expect("warm optimize")
+                .map(|m| m.cost);
+            let fc = fresh
+                .optimize_with_assumptions(&a, &opts)
+                .expect("fresh optimize")
+                .map(|m| m.cost);
+            assert_eq!(wc, fc, "optimal costs diverge at h={h}");
+        }
+        carried = Some(warm.export_learned());
+    }
+    assert!(
+        total_imported > 0,
+        "no nogoods survived any extension: the transfer path never ran"
+    );
+}
+
+/// Sessions refuse cardinality-bounded choice rules, whose completion
+/// nogoods cannot be patched incrementally.
+#[test]
+fn bounded_choice_rules_are_rejected() {
+    let base = parse("p(1). p(2). 1 { q(X) : p(X) } 1.").expect("parse");
+    let grounder = Grounder::new();
+    let mut session = grounder.session(&base).expect("session");
+    let delta = parse("p(3).").expect("parse");
+    assert!(session.extend(&delta, &[]).is_err());
+
+    let base = parse("p(1).").expect("parse");
+    let mut session = grounder.session(&base).expect("session");
+    let delta = parse("1 { q(X) : p(X) } 1.").expect("parse");
+    assert!(session.extend(&delta, &[]).is_err());
+}
+
+/// Revoking an atom that was never deferred as a bare choice is an error,
+/// not a silent no-op.
+#[test]
+fn revoking_a_defined_atom_is_rejected() {
+    let base = parse("p(1). q(X) :- p(X).").expect("parse");
+    let grounder = Grounder::new();
+    let mut session = grounder.session(&base).expect("session");
+    let delta = parse("p(2).").expect("parse");
+    let bad = Atom::new("q", vec![Term::Int(1)]);
+    assert!(session.extend(&delta, &[bad]).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized chains: candidate count, horizon depth and per-slice
+    /// forced moves all vary; the session must track from-scratch
+    /// grounding on models (determinized), verdicts and optimal costs at
+    /// every horizon along the way.
+    #[test]
+    fn random_chains_match_scratch(
+        consts in 1usize..=2,
+        h_max in 4usize..=7,
+        forced in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        check_sweep(consts, h_max, &forced, false, 6);
+    }
+}
+
+/// A session holding a `GroundSession` in a struct stays usable across
+/// extensions (the public API is `'static`-friendly for resident
+/// sessions, as `epa` requires).
+#[test]
+fn session_is_resident_friendly() {
+    struct Holder {
+        session: GroundSession,
+    }
+    let base = parse(&base_src(1, &[])).expect("parse");
+    let mut holder = Holder {
+        session: Grounder::new().session(&base).expect("session"),
+    };
+    for h in 2..=4 {
+        let delta = parse(&delta_src(h - 1, &[])).expect("parse");
+        holder
+            .session
+            .extend(&delta, &[frontier(h - 1)])
+            .expect("extend");
+    }
+    assert!(holder.session.program().lookup(&frontier(4)).is_some());
+}

@@ -78,7 +78,8 @@ fn print_help() {
          \x20                        `-` reads stdin); without files, lint the\n\
          \x20                        water-tank case study model (M001-M007) and\n\
          \x20                        its ASP encoding\n\
-         \x20 analyze [--json] [--workload chain|grid|temporal|adversarial|catalog [--n N]]\n\
+         \x20 analyze [--json] [--workload chain|grid|temporal|adversarial|catalog|horizon\n\
+         \x20         [--n N]]\n\
          \x20         [--max-divergence R] [file.lp | - ...]\n\
          \x20                        semantic analysis: dependency strata, tightness\n\
          \x20                        (predicate + ground level), predicted vs actual\n\
@@ -87,14 +88,16 @@ fn print_help() {
          \x20                        fails on error findings or when the prediction\n\
          \x20                        diverges past R\n\
          \x20 simulate <f1,f2,...>   simulate the continuous plant under a fault set\n\
-         \x20 bench [--workload chain|grid|temporal|adversarial|catalog] [--n N]\n\
+         \x20 bench [--workload chain|grid|temporal|adversarial|catalog|horizon] [--n N]\n\
          \x20       [--threads T] [--steal-batch B] [--max-in-flight M]\n\
          \x20       [--out FILE]     measure the ASP hot path on a parametric workload\n\
          \x20                        (grounding: reference vs semi-naive; solving:\n\
          \x20                        reference vs CDCL; CDCL search counters on the\n\
          \x20                        UNSAT adversarial workload; incremental + the\n\
          \x20                        work-stealing vs static-chunk sweep with a\n\
-         \x20                        memory-bounded streaming pass on EPA workloads)\n\
+         \x20                        memory-bounded streaming pass on EPA workloads;\n\
+         \x20                        incremental vs from-scratch horizon sweep on\n\
+         \x20                        the horizon workload)\n\
          \x20                        and write a JSON report;\n\
          \x20                        `--validate FILE` checks an existing report\n\
          \x20 help                   this message"
@@ -303,7 +306,7 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if files.is_empty() && workload.is_none() {
         return Err("usage: cpsrisk analyze <file.lp ...> [--json] \
-                    [--workload chain|grid|temporal|adversarial|catalog [--n N]] \
+                    [--workload chain|grid|temporal|adversarial|catalog|horizon [--n N]] \
                     [--max-divergence R]"
             .into());
     }
@@ -326,6 +329,9 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 &cpsrisk::epa::encode::EncodeMode::Exhaustive { max_faults: None },
             ),
             cpsrisk::bench::Workload::Temporal => cpsrisk::epa::workload::temporal_tank_problem(n),
+            // The horizon workload analyzes the same tank unrolling at
+            // its top horizon (the sweep itself is a bench-only measure).
+            cpsrisk::bench::Workload::Horizon => cpsrisk::epa::workload::temporal_tank_problem(n),
             cpsrisk::bench::Workload::Adversarial => cpsrisk::epa::workload::adversarial_problem(
                 n,
                 cpsrisk::epa::workload::adversarial_needed(n) - 1,
@@ -626,9 +632,10 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         );
         let st = &par.streaming;
         println!(
-            "  streaming sweep: {:.1} ms, peak {} in flight (bound {}, {}; \
-             stream check: {})",
+            "  streaming sweep: {:.1} ms ({:.2}x the materialized sweep), \
+             peak {} in flight (bound {}, {}; stream check: {})",
             st.stream_ms,
+            st.overhead_ratio,
             st.peak_in_flight,
             st.max_in_flight,
             if st.within_bound {
@@ -648,6 +655,26 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                  (pass --threads or set CPSRISK_THREADS to use more workers)"
             );
         }
+    }
+    if let Some(hz) = &report.horizon {
+        println!(
+            "  horizon sweep {}..={}: incremental {:.1} ms ({:.2} ms/horizon) vs \
+             from-scratch {:.1} ms ({:.2} ms/horizon) = {:.2}x amortized \
+             (min violating {}, {} nogoods retained, slices {:?}, \
+             verdict check: {})",
+            hz.h_min,
+            hz.h_max,
+            hz.incremental_ms,
+            hz.incremental_per_horizon_ms,
+            hz.scratch_ms,
+            hz.scratch_per_horizon_ms,
+            hz.amortized_speedup,
+            hz.min_violating
+                .map_or_else(|| "none".to_owned(), |h| h.to_string()),
+            hz.retained_nogoods,
+            hz.slice_atoms,
+            if hz.verdicts_match { "ok" } else { "MISMATCH" }
+        );
     }
     println!("wrote {out}");
     Ok(())

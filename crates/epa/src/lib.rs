@@ -44,6 +44,7 @@ pub mod behavioral;
 pub mod cegar;
 pub mod encode;
 pub mod error;
+pub mod horizon;
 pub mod incremental;
 pub mod margin;
 pub mod mutation;
@@ -61,6 +62,10 @@ pub use encode::{
     ExhaustiveAnalysis,
 };
 pub use error::EpaError;
+pub use horizon::{
+    check_horizon_scratch, check_horizon_sweep, HorizonReport, HorizonRow, HorizonSession,
+    RequirementVerdict,
+};
 pub use incremental::IncrementalAnalysis;
 pub use margin::AttackMargin;
 pub use mutation::{inject_mutations, screen_mutations, CandidateMutation, MutationSource};
@@ -74,5 +79,6 @@ pub use sensitivity::{
 pub use topology::TopologyAnalysis;
 pub use workload::{
     catalog_margin_budget, catalog_problem, catalog_queries, catalog_requirements_ranked,
-    catalog_zone_count, CatalogAnalysis, CatalogAnswer, CatalogQuery,
+    catalog_zone_count, temporal_tank_base, temporal_tank_min_violating, temporal_tank_problem,
+    temporal_tank_requirements, temporal_tank_step, CatalogAnalysis, CatalogAnswer, CatalogQuery,
 };

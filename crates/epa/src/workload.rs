@@ -10,7 +10,7 @@ use cpsrisk_asp::ast::{ArithOp, CmpOp};
 use cpsrisk_asp::{predict_sizes, ProgramBuilder, Solver, Term};
 use cpsrisk_model::{ElementKind, FlowKind, Relation, RelationKind, SystemModel};
 use cpsrisk_qr::Qual;
-use cpsrisk_temporal::{parse_ltl, unroll};
+use cpsrisk_temporal::{parse_ltl, unroll, Ltl};
 use cpsrisk_threat::generator::{generate, GeneratorConfig};
 
 use crate::encode::{encode, EncodeMode};
@@ -162,12 +162,24 @@ pub fn grid_problem(w: usize, h: usize) -> EpaProblem {
 #[must_use]
 pub fn temporal_tank_problem(horizon: usize) -> cpsrisk_asp::Program {
     assert!(horizon >= 2, "temporal_tank_problem needs horizon >= 2");
-    let limit = horizon as i64;
-    let tanks = ["boiler", "mixer", "reservoir"];
     let mut b = ProgramBuilder::new();
     for t in 0..horizon {
         b.fact("time", [Term::Int(t as i64)]);
     }
+    tank_dynamics(&mut b, horizon as i64);
+    for (name, formula) in temporal_tank_requirements() {
+        unroll(&mut b, &name, &formula, horizon).expect("horizon >= 2");
+    }
+    b.finish()
+}
+
+const TANKS: [&str; 3] = ["boiler", "mixer", "reservoir"];
+
+/// The three-tank level dynamics of [`temporal_tank_problem`], without the
+/// `time/1` facts and the unrolled requirements: everything that does not
+/// depend on the horizon.
+fn tank_dynamics(b: &mut ProgramBuilder, limit: i64) {
+    let tanks = TANKS;
     for (i, tank) in tanks.iter().enumerate() {
         b.fact("tank", [Term::sym(*tank)]);
         b.fact("inflow", [Term::sym(*tank), Term::Int(i as i64 + 1)]);
@@ -238,13 +250,54 @@ pub fn temporal_tank_problem(horizon: usize) -> cpsrisk_asp::Program {
         .cmp(CmpOp::Eq, Term::var("U"), plus_one("T"))
         .pos("time", vec![Term::var("U")])
         .done();
+}
 
-    for tank in tanks {
-        let formula = parse_ltl(&format!("G(exceeds({tank}) -> F alert({tank}))"))
-            .expect("workload formula parses");
-        unroll(&mut b, &format!("r_{tank}"), &formula, horizon).expect("horizon >= 2");
-    }
+/// Horizon-independent base program for a tank-workload horizon sweep:
+/// the dynamics of [`temporal_tank_problem`] with an explicit, fixed
+/// overflow `limit` instead of one tied to the horizon. Pair with
+/// [`temporal_tank_step`] and [`temporal_tank_requirements`] for
+/// [`check_horizon_sweep`](crate::horizon::check_horizon_sweep).
+#[must_use]
+pub fn temporal_tank_base(limit: i64) -> cpsrisk_asp::Program {
+    let mut b = ProgramBuilder::new();
+    tank_dynamics(&mut b, limit);
     b.finish()
+}
+
+/// The time-slice delta of the tank workload: the single fact `time(t).`.
+#[must_use]
+pub fn temporal_tank_step(t: usize) -> cpsrisk_asp::Program {
+    let mut b = ProgramBuilder::new();
+    b.fact("time", [Term::Int(t as i64)]);
+    b.finish()
+}
+
+/// The per-tank `G(exceeds -> F alert)` requirements of the tank
+/// workload, named `r_<tank>`.
+#[must_use]
+pub fn temporal_tank_requirements() -> Vec<(String, Ltl)> {
+    TANKS
+        .iter()
+        .map(|tank| {
+            let formula = parse_ltl(&format!("G(exceeds({tank}) -> F alert({tank}))"))
+                .expect("workload formula parses");
+            (format!("r_{tank}"), formula)
+        })
+        .collect()
+}
+
+/// The analytically derived minimal violating horizon of the tank sweep
+/// at a given `limit`.
+///
+/// The fastest tank (the reservoir, inflow 3) first exceeds the limit at
+/// `t* = limit/3 + 1`; its alert only fires at `t* + 1`, so the horizon
+/// ending exactly at `t*` — i.e. `h = t* + 1` — sees the exceedance with
+/// no alert in range and violates `G(exceeds -> F alert)`. One step later
+/// the latched alert is back in range, so `h = t* + 1` is the unique
+/// first violation.
+#[must_use]
+pub fn temporal_tank_min_violating(limit: i64) -> usize {
+    (limit / 3 + 2) as usize
 }
 
 /// Minimum number of mitigations that cover all `n` attack chains of

@@ -1,0 +1,519 @@
+//! Incrementally extendable bounded unrolling.
+//!
+//! [`unroll`](crate::unroll::unroll) re-emits the whole reduction whenever
+//! the horizon changes. [`IncrementalUnrolling`] instead keeps the per-node
+//! structure of the (desugared) formula and emits *deltas*: extending the
+//! horizon from `h` to `h'` produces only the rules for the new time
+//! slices plus a bounded frontier rewiring at the old last step.
+//!
+//! # Frontier encoding
+//!
+//! The fixed-horizon reduction bakes the end of the trace into the rule
+//! set: `X φ` has no rule at the last slice (strong next is false there),
+//! `wX φ` is a fact at the last slice, and `φ U ψ` drops its recursion at
+//! the boundary. Those end-of-trace special cases are exactly what a later
+//! extension would have to *retract* — and retracting rules invalidates
+//! learned solver state.
+//!
+//! Instead, every temporal node *defers* its own atom at its boundary
+//! slice: the atom is emitted as a bare choice `{ ltl(id, b) }.` and the
+//! caller pins it with a level-0 assumption to the node's trace-independent
+//! end-of-trace value (`X` → false, `wX` → true, `U` → false). Extending
+//! the horizon then only ever **adds** rules: the stale choice rule is
+//! revoked (it contributed no completion nogoods, so the solver's nogood
+//! database stays monotone), the deferred atom gains its real defining
+//! rules, interior rules are appended for the new slices, and fresh defers
+//! appear at the new boundary. Under the pins the encoding is equivalent
+//! to the fixed-horizon reduction at every step — pinned by the
+//! differential tests in `asp/tests/horizon_differential.rs`.
+
+use cpsrisk_asp::ast::{ChoiceElement, Head, Literal, Program, Rule};
+use cpsrisk_asp::{Atom, Term};
+
+use crate::error::TemporalError;
+use crate::formula::Ltl;
+use crate::unroll::UnrolledRequirement;
+
+/// One frontier pin: assume `atom` is `value` until the boundary moves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierPin {
+    /// The deferred `ltl(id, t)` atom at the current boundary.
+    pub atom: Atom,
+    /// The trace-independent value the caller must assume for it.
+    pub value: bool,
+}
+
+/// The program delta produced by creating or extending an unrolling.
+#[derive(Debug, Clone, Default)]
+pub struct UnrollDelta {
+    /// New rules (and choice defers) to ground on top of the session.
+    pub program: Program,
+    /// Old deferred atoms that just received their real defining rules:
+    /// their bare choice rules must be revoked and they must no longer be
+    /// pinned.
+    pub revoked: Vec<Atom>,
+}
+
+/// Node kinds of the desugared core fragment, with child indices.
+#[derive(Debug, Clone)]
+enum NodeKind {
+    True,
+    False,
+    Prop(Atom),
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Next(usize),
+    WeakNext(usize),
+    Until(usize, usize),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    id: String,
+    kind: NodeKind,
+}
+
+/// A bounded unrolling that can be extended in place.
+///
+/// Created at an initial horizon with [`IncrementalUnrolling::new`]; each
+/// [`extend_to`](IncrementalUnrolling::extend_to) call returns the slice
+/// delta. The caller grounds every delta into one resident session and
+/// pins the current [`pins`](IncrementalUnrolling::pins) as assumptions
+/// on every solve.
+#[derive(Debug, Clone)]
+pub struct IncrementalUnrolling {
+    name: String,
+    nodes: Vec<Node>,
+    root: usize,
+    horizon: usize,
+    sat_atom: Atom,
+    violated_atom: Atom,
+}
+
+fn holds(id: &str, t: usize) -> Atom {
+    Atom::new("ltl", vec![Term::sym(id), Term::Int(t as i64)])
+}
+
+/// A bare choice rule `{ atom }.` — the assumable frontier defer.
+fn defer_rule(atom: Atom) -> Rule {
+    Rule {
+        head: Head::Choice {
+            lower: None,
+            upper: None,
+            elements: vec![ChoiceElement::plain(atom)],
+        },
+        body: Vec::new(),
+    }
+}
+
+impl IncrementalUnrolling {
+    /// Build the unrolling at an initial horizon, returning the handle and
+    /// the full initial program (including the `ltl_sat`/`ltl_violated`
+    /// root rules and the first frontier defers).
+    ///
+    /// # Errors
+    ///
+    /// * [`TemporalError::EmptyHorizon`] if `horizon == 0`.
+    /// * [`TemporalError::NonGroundProp`] if a proposition has variables.
+    pub fn new(
+        name: &str,
+        formula: &Ltl,
+        horizon: usize,
+    ) -> Result<(Self, UnrollDelta), TemporalError> {
+        if horizon == 0 {
+            return Err(TemporalError::EmptyHorizon);
+        }
+        let core = formula.desugar();
+        let mut nodes = Vec::new();
+        let root = flatten(&core, name, &mut nodes)?;
+        let mut this = IncrementalUnrolling {
+            name: name.to_owned(),
+            nodes,
+            root,
+            horizon: 0,
+            sat_atom: Atom::new("ltl_sat", vec![Term::sym(name)]),
+            violated_atom: Atom::new("ltl_violated", vec![Term::sym(name)]),
+        };
+        let mut delta = this.extend_to(horizon)?;
+        // Root verdict rules, emitted once: the root's value at time 0.
+        let root0 = holds(&this.nodes[this.root].id, 0);
+        delta.program.push_rule(Rule::normal(
+            this.sat_atom.clone(),
+            vec![Literal::Pos(root0.clone())],
+        ));
+        delta.program.push_rule(Rule::normal(
+            this.violated_atom.clone(),
+            vec![Literal::Neg(root0)],
+        ));
+        Ok((this, delta))
+    }
+
+    /// Extend the horizon in place, returning the slice delta to ground.
+    ///
+    /// # Errors
+    ///
+    /// [`TemporalError::EmptyHorizon`] if `new_horizon` does not grow the
+    /// current horizon.
+    pub fn extend_to(&mut self, new_horizon: usize) -> Result<UnrollDelta, TemporalError> {
+        if new_horizon <= self.horizon {
+            return Err(TemporalError::EmptyHorizon);
+        }
+        let old = self.horizon;
+        let new = new_horizon;
+        let mut delta = UnrollDelta::default();
+        for n in &self.nodes {
+            let id = &n.id;
+            match &n.kind {
+                NodeKind::True => {
+                    for t in old..new {
+                        delta.program.push_rule(Rule::fact(holds(id, t)));
+                    }
+                }
+                NodeKind::False => {}
+                NodeKind::Prop(a) => {
+                    for t in old..new {
+                        let mut stamped = a.clone();
+                        stamped.args.push(Term::Int(t as i64));
+                        delta
+                            .program
+                            .push_rule(Rule::normal(holds(id, t), vec![Literal::Pos(stamped)]));
+                    }
+                }
+                NodeKind::Not(g) => {
+                    let gid = &self.nodes[*g].id;
+                    for t in old..new {
+                        delta.program.push_rule(Rule::normal(
+                            holds(id, t),
+                            vec![Literal::Neg(holds(gid, t))],
+                        ));
+                    }
+                }
+                NodeKind::And(a, b) => {
+                    let (aid, bid) = (&self.nodes[*a].id, &self.nodes[*b].id);
+                    for t in old..new {
+                        delta.program.push_rule(Rule::normal(
+                            holds(id, t),
+                            vec![Literal::Pos(holds(aid, t)), Literal::Pos(holds(bid, t))],
+                        ));
+                    }
+                }
+                NodeKind::Or(a, b) => {
+                    let (aid, bid) = (&self.nodes[*a].id, &self.nodes[*b].id);
+                    for t in old..new {
+                        delta.program.push_rule(Rule::normal(
+                            holds(id, t),
+                            vec![Literal::Pos(holds(aid, t))],
+                        ));
+                        delta.program.push_rule(Rule::normal(
+                            holds(id, t),
+                            vec![Literal::Pos(holds(bid, t))],
+                        ));
+                    }
+                }
+                NodeKind::Next(g) | NodeKind::WeakNext(g) => {
+                    // Interior rule `ltl(id,t) :- ltl(g,t+1)` exists for
+                    // t < horizon-1; the boundary atom is deferred. On
+                    // extension the old defer at old-1 gains its real rule.
+                    let gid = &self.nodes[*g].id;
+                    let from = old.saturating_sub(1);
+                    for t in from..new - 1 {
+                        delta.program.push_rule(Rule::normal(
+                            holds(id, t),
+                            vec![Literal::Pos(holds(gid, t + 1))],
+                        ));
+                    }
+                    if old > 0 {
+                        delta.revoked.push(holds(id, old - 1));
+                    }
+                    delta.program.push_rule(defer_rule(holds(id, new - 1)));
+                }
+                NodeKind::Until(a, b) => {
+                    // b-branch and recursion exist for t < horizon; the
+                    // recursion at t = horizon-1 reads the deferred atom at
+                    // slice `horizon` (pinned false = trace ends).
+                    let (aid, bid) = (&self.nodes[*a].id, &self.nodes[*b].id);
+                    for t in old..new {
+                        delta.program.push_rule(Rule::normal(
+                            holds(id, t),
+                            vec![Literal::Pos(holds(bid, t))],
+                        ));
+                        delta.program.push_rule(Rule::normal(
+                            holds(id, t),
+                            vec![Literal::Pos(holds(aid, t)), Literal::Pos(holds(id, t + 1))],
+                        ));
+                    }
+                    if old > 0 {
+                        delta.revoked.push(holds(id, old));
+                    }
+                    delta.program.push_rule(defer_rule(holds(id, new)));
+                }
+            }
+        }
+        self.horizon = new;
+        Ok(delta)
+    }
+
+    /// The current frontier pins: every deferred atom with the value the
+    /// caller must assume for it. Recomputed from the node structure, so
+    /// the list is always consistent with the current horizon.
+    #[must_use]
+    pub fn pins(&self) -> Vec<FrontierPin> {
+        let h = self.horizon;
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            match n.kind {
+                NodeKind::Next(_) => out.push(FrontierPin {
+                    atom: holds(&n.id, h - 1),
+                    value: false,
+                }),
+                NodeKind::WeakNext(_) => out.push(FrontierPin {
+                    atom: holds(&n.id, h - 1),
+                    value: true,
+                }),
+                NodeKind::Until(..) => out.push(FrontierPin {
+                    atom: holds(&n.id, h),
+                    value: false,
+                }),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The current horizon.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The requirement handle at the current horizon (same shape as the
+    /// one [`unroll`](crate::unroll::unroll) returns).
+    #[must_use]
+    pub fn requirement(&self) -> UnrolledRequirement {
+        UnrolledRequirement {
+            name: self.name.clone(),
+            sat_atom: self.sat_atom.clone(),
+            violated_atom: self.violated_atom.clone(),
+            horizon: self.horizon,
+        }
+    }
+}
+
+/// Flatten the desugared core fragment into indexed nodes, pre-order with
+/// the same `{name}_{counter}` ids as the fixed-horizon encoder.
+fn flatten(f: &Ltl, name: &str, nodes: &mut Vec<Node>) -> Result<usize, TemporalError> {
+    let idx = nodes.len();
+    let id = format!("{name}_{idx}");
+    // Reserve the slot so children number after this node.
+    nodes.push(Node {
+        id,
+        kind: NodeKind::True,
+    });
+    let kind = match f {
+        Ltl::True => NodeKind::True,
+        Ltl::False => NodeKind::False,
+        Ltl::Prop(a) => {
+            if !a.is_ground() {
+                return Err(TemporalError::NonGroundProp(a.to_string()));
+            }
+            NodeKind::Prop(a.clone())
+        }
+        Ltl::Not(g) => NodeKind::Not(flatten(g, name, nodes)?),
+        Ltl::And(a, b) => {
+            let ai = flatten(a, name, nodes)?;
+            NodeKind::And(ai, flatten(b, name, nodes)?)
+        }
+        Ltl::Or(a, b) => {
+            let ai = flatten(a, name, nodes)?;
+            NodeKind::Or(ai, flatten(b, name, nodes)?)
+        }
+        Ltl::Next(g) => NodeKind::Next(flatten(g, name, nodes)?),
+        Ltl::WeakNext(g) => NodeKind::WeakNext(flatten(g, name, nodes)?),
+        Ltl::Until(a, b) => {
+            let ai = flatten(a, name, nodes)?;
+            NodeKind::Until(ai, flatten(b, name, nodes)?)
+        }
+        Ltl::Implies(..) | Ltl::Finally(_) | Ltl::Globally(_) | Ltl::Release(..) => {
+            unreachable!("desugar() removes this operator")
+        }
+    };
+    nodes[idx].kind = kind;
+    Ok(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ltl;
+    use crate::trace::Trace;
+    use cpsrisk_asp::solve::{Lit, SolveOptions, Solver};
+    use cpsrisk_asp::{Grounder, ProgramBuilder};
+
+    /// Extend step by step and compare the verdict at every horizon with
+    /// direct finite-trace evaluation.
+    fn check_incremental(formula_src: &str, steps: Vec<Vec<&str>>) {
+        let formula = parse_ltl(formula_src).unwrap();
+
+        let (mut unrolling, initial) = IncrementalUnrolling::new("r", &formula, 1).unwrap();
+        let mut deltas: Vec<Program> = vec![initial.program.clone()];
+        let mut revoked: Vec<Atom> = initial.revoked.clone();
+        for h in 1..=steps.len() {
+            if h > 1 {
+                let d = unrolling.extend_to(h).unwrap();
+                revoked.extend(d.revoked.iter().cloned());
+                deltas.push(d.program);
+            }
+            // Base facts: the trace prefix of length h.
+            let mut b = ProgramBuilder::new();
+            for (t, props) in steps.iter().take(h).enumerate() {
+                for p in props {
+                    b.fact(p, [Term::Int(t as i64)]);
+                }
+            }
+            let base = b.finish();
+            // Expected: direct finite-trace evaluation on the prefix.
+            let prefix = Trace::from_steps(
+                steps
+                    .iter()
+                    .take(h)
+                    .map(|s| s.iter().map(|p| p.to_string()).collect::<Vec<_>>())
+                    .collect::<Vec<_>>()
+                    .iter()
+                    .map(|s| s.iter().map(String::as_str).collect())
+                    .collect(),
+            );
+            let expected = formula.eval(&prefix, 0);
+
+            // From-scratch solve of the accumulated deltas minus revoked
+            // defers, under the current pins.
+            let mut all = cpsrisk_asp::Program::new();
+            all.extend(base);
+            for d in &deltas {
+                all.extend(d.clone());
+            }
+            let mut pruned = cpsrisk_asp::Program::new();
+            for st in all.statements {
+                if let cpsrisk_asp::ast::Statement::Rule(r) = &st {
+                    if let Head::Choice { elements, .. } = &r.head {
+                        if r.body.is_empty()
+                            && elements.len() == 1
+                            && revoked.contains(&elements[0].atom)
+                        {
+                            continue;
+                        }
+                    }
+                }
+                pruned.statements.push(st);
+            }
+            let ground = Grounder::new().ground(&pruned).unwrap();
+            let mut solver = Solver::new(&ground);
+            let assumptions: Vec<Lit> =
+                unrolling
+                    .pins()
+                    .iter()
+                    .filter_map(|p| {
+                        ground.lookup(&p.atom).map(|id| {
+                            if p.value {
+                                Lit::pos(id)
+                            } else {
+                                Lit::neg(id)
+                            }
+                        })
+                    })
+                    .collect();
+            let res = solver
+                .solve_with_assumptions(&assumptions, &SolveOptions::default())
+                .unwrap();
+            assert_eq!(res.models.len(), 1, "deterministic trace program at h={h}");
+            let got = res.models[0].contains(&unrolling.requirement().sat_atom);
+            assert_eq!(
+                got, expected,
+                "incremental encoding disagrees with trace semantics for \
+                 `{formula_src}` at horizon {h} of {steps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_eval_on_basic_operators() {
+        check_incremental("p", vec![vec!["p"], vec![]]);
+        check_incremental("p", vec![vec![], vec!["p"]]);
+        check_incremental("X p", vec![vec![], vec!["p"], vec![]]);
+        check_incremental("X p", vec![vec!["p"], vec![]]);
+        check_incremental("wX p", vec![vec!["p"], vec![], vec!["p"]]);
+        check_incremental("F p", vec![vec![], vec![], vec!["p"]]);
+        check_incremental("F p", vec![vec![], vec![], vec![]]);
+        check_incremental("G p", vec![vec!["p"], vec!["p"], vec![]]);
+        check_incremental("G p", vec![vec!["p"], vec![]]);
+    }
+
+    #[test]
+    fn incremental_matches_eval_on_nested_formulas() {
+        check_incremental("G(p -> F q)", vec![vec!["p"], vec![], vec!["q"], vec![]]);
+        check_incremental("G(p -> F q)", vec![vec!["p"], vec![], vec![]]);
+        check_incremental("p U q", vec![vec!["p"], vec!["p"], vec!["q"]]);
+        check_incremental("p U q", vec![vec!["p"], vec![], vec!["q"]]);
+        check_incremental("!(p U q) | G p", vec![vec!["p"], vec!["p"], vec![]]);
+        check_incremental("p R q", vec![vec!["q"], vec!["q", "p"], vec![]]);
+        check_incremental("p R q", vec![vec!["q"], vec![], vec![]]);
+    }
+
+    #[test]
+    fn zero_horizon_and_non_growth_are_rejected() {
+        let f = parse_ltl("G p").unwrap();
+        assert!(matches!(
+            IncrementalUnrolling::new("r", &f, 0),
+            Err(TemporalError::EmptyHorizon)
+        ));
+        let (mut u, _) = IncrementalUnrolling::new("r", &f, 3).unwrap();
+        assert!(matches!(u.extend_to(3), Err(TemporalError::EmptyHorizon)));
+        assert!(matches!(u.extend_to(2), Err(TemporalError::EmptyHorizon)));
+    }
+
+    #[test]
+    fn non_ground_props_are_rejected() {
+        let bad = Ltl::Prop(Atom::new("p", vec![Term::var("X")]));
+        assert!(matches!(
+            IncrementalUnrolling::new("r", &bad, 2),
+            Err(TemporalError::NonGroundProp(_))
+        ));
+    }
+
+    #[test]
+    fn deltas_only_touch_new_slices_and_the_frontier() {
+        let f = parse_ltl("G(p -> F q)").unwrap();
+        let (mut u, _) = IncrementalUnrolling::new("r", &f, 4).unwrap();
+        let d = u.extend_to(5).unwrap();
+        // Every rule in the delta mentions only slices >= 2 (old frontier
+        // rewiring at h-1 = 3 and the defer one past it).
+        for r in d.program.rules() {
+            for a in rule_atoms(r) {
+                if a.pred == "ltl" {
+                    if let Term::Int(t) = a.args[1] {
+                        assert!(t >= 3, "delta rule touches old interior slice {t}: {r:?}");
+                    }
+                }
+            }
+        }
+        assert!(!d.revoked.is_empty(), "frontier defers must be revoked");
+    }
+
+    fn rule_atoms(r: &Rule) -> Vec<Atom> {
+        let mut out = Vec::new();
+        match &r.head {
+            Head::Atom(a) => out.push(a.clone()),
+            Head::Choice { elements, .. } => {
+                out.extend(elements.iter().map(|e| e.atom.clone()));
+            }
+            Head::None => {}
+        }
+        for l in &r.body {
+            match l {
+                Literal::Pos(a) | Literal::Neg(a) => out.push(a.clone()),
+                Literal::Cmp(..) => {}
+            }
+        }
+        out
+    }
+}

@@ -31,12 +31,14 @@
 
 pub mod error;
 pub mod formula;
+pub mod incremental;
 pub mod parser;
 pub mod trace;
 pub mod unroll;
 
 pub use error::TemporalError;
 pub use formula::Ltl;
+pub use incremental::{FrontierPin, IncrementalUnrolling, UnrollDelta};
 pub use parser::parse_ltl;
 pub use trace::Trace;
 pub use unroll::{unroll, UnrolledRequirement};

@@ -282,7 +282,7 @@ fn bench_writes_a_validatable_report() {
     // The written report passes the built-in validator.
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the fresh report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/7 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/8 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // A grounding-bound workload skips the EPA-only sections.
     let (stdout, stderr, ok) = run(&["bench", "--workload", "temporal", "--n", "6", "--out", out]);
@@ -307,7 +307,17 @@ fn bench_writes_a_validatable_report() {
     assert!(stdout.contains("engine check: ok"), "{stdout}");
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the adversarial report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/7 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/8 report"), "{stdout}");
+    std::fs::remove_file(out).ok();
+    // The horizon workload reports the incremental sweep and validates.
+    let (stdout, stderr, ok) = run(&["bench", "--workload", "horizon", "--n", "12", "--out", out]);
+    assert!(ok, "horizon bench runs: {stderr}");
+    assert!(stdout.contains("horizon(12):"), "{stdout}");
+    assert!(stdout.contains("horizon sweep 8..=12:"), "{stdout}");
+    assert!(stdout.contains("verdict check: ok"), "{stdout}");
+    let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
+    assert!(ok, "validate accepts the horizon report: {stderr}");
+    assert!(stdout.contains("valid cpsrisk-bench/8 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // Unknown flags and workloads are rejected.
     let (_, stderr, ok) = run(&["bench", "--frobnicate"]);
