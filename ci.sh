@@ -20,6 +20,9 @@ done
 
 cargo build --release
 cargo test -q
+# The independent certificate checker's unit + mutation suite must pass
+# on its own (proof replay, model audits, corrupted-proof rejection).
+cargo test -q -p cpsrisk-asp check
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
@@ -38,8 +41,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 smoke_bench=target/ci_smoke_bench.json
 ./target/release/cpsrisk bench --n 2 --threads 2 --out "$smoke_bench"
 ./target/release/cpsrisk bench --validate "$smoke_bench"
-grep -q '"schema": "cpsrisk-bench/8"' "$smoke_bench" || {
-    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/8 report" >&2
+grep -q '"schema": "cpsrisk-bench/9"' "$smoke_bench" || {
+    echo "ci.sh: smoke bench did not produce a cpsrisk-bench/9 report" >&2
     exit 1
 }
 rm -f "$smoke_bench"
@@ -58,19 +61,28 @@ grep -q '"workload": "catalog"' "$catalog_bench" || {
 }
 rm -f "$catalog_bench"
 
-# CDCL search gate (v6): the UNSAT adversarial workload must be refuted
-# through real conflict-driven search. The validator rejects a search
-# section with zero decisions or zero conflicts, a CDCL/reference model
-# disagreement, and a CDCL engine that is not at least as fast as the
-# chronological reference engine on this search-bound workload.
+# CDCL search + certify gate (v6/v9): the UNSAT adversarial workload
+# must be refuted through real conflict-driven search, and with --certify
+# the proof-logging run must match the plain run verdict-for-verdict,
+# stay within its 2.5x overhead ceiling at the default size (the
+# validator enforces both), and emit a certificate the solver-independent
+# checker accepts — replayed here once inside the bench and once
+# stand-alone from the written proof file via `cpsrisk check`.
 search_bench=target/ci_search_bench.json
-./target/release/cpsrisk bench --workload adversarial --out "$search_bench"
+search_proof=target/ci_search_bench.proof
+./target/release/cpsrisk bench --workload adversarial --certify \
+    --out "$search_bench" --proof-out "$search_proof"
 ./target/release/cpsrisk bench --validate "$search_bench"
 if grep -q '"decisions": 0' "$search_bench"; then
     echo "ci.sh: adversarial bench reported zero decisions" >&2
     exit 1
 fi
-rm -f "$search_bench"
+grep -q '"check_pass": true' "$search_bench" || {
+    echo "ci.sh: adversarial bench did not confirm the certificate check" >&2
+    exit 1
+}
+./target/release/cpsrisk check "$search_proof"
+rm -f "$search_bench" "$search_proof"
 
 # Static-analysis gate: the example programs must analyze without
 # error-severity findings, and on the temporal workload the grounding-size

@@ -32,6 +32,11 @@ pub enum AspError {
         /// Conflicts hit before the abort.
         conflicts: u64,
     },
+    /// A serialized proof exceeded the configured byte cap.
+    ProofTooLarge {
+        /// The configured maximum serialized size in bytes.
+        limit: usize,
+    },
     /// The program is inconsistent where a model was required.
     Unsatisfiable,
     /// An internal invariant failed (a bug; reported rather than panicking).
@@ -59,6 +64,9 @@ impl fmt::Display for AspError {
                     "solving exceeded the budget of {limit} decisions+conflicts \
                      ({decisions} decisions, {conflicts} conflicts)"
                 )
+            }
+            AspError::ProofTooLarge { limit } => {
+                write!(f, "serialized proof exceeds the cap of {limit} bytes")
             }
             AspError::Unsatisfiable => write!(f, "program has no answer set"),
             AspError::Internal(msg) => write!(f, "internal solver error: {msg}"),

@@ -68,6 +68,7 @@ pub mod lexer;
 pub mod lint;
 pub mod parser;
 pub mod program;
+pub mod proof;
 mod seminaive;
 pub mod solve;
 
@@ -77,11 +78,13 @@ pub use analysis::{
 };
 pub use ast::{Atom, ChoiceElement, Head, Literal, Program, Rule, Statement, Term};
 pub use builder::ProgramBuilder;
+pub use check::{check_proof, CheckError, CheckReport};
 pub use diag::{Diagnostic, Severity, Span};
 pub use error::AspError;
 pub use ground::{ExtendStats, GroundSession, Grounder};
 pub use parser::{parse_program_spanned, SpannedProgram};
 pub use program::{AtomId, GroundProgram};
+pub use proof::{ProofLog, ProofStep};
 pub use solve::{LearnedState, Lit, Model, SolveOptions, SolveResult, Solver};
 
 /// Parse a program from its textual representation.

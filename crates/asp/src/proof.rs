@@ -1,0 +1,510 @@
+//! Proof logging for certified solving.
+//!
+//! When [`SolveOptions::certify`](crate::solve::SolveOptions) is set, the
+//! CDCL engine appends every inference it makes to a [`ProofLog`]: the
+//! completion axioms of the translation, the well-founded facts seeded at
+//! level 0, every materialized cardinality and unfounded-set antecedent,
+//! every learned nogood (RUP-checkable against the live set, in exactly
+//! the order the 1UIP reason graph produced them), deletions mirrored
+//! from learned-database reduction, per-call assumption markers, and a
+//! terminal model line (SAT) or unsatisfiability marker (UNSAT) per solve
+//! call. The log is a *derivation trace*, not a trusted artifact: the
+//! independent checker in [`check`](crate::check) replays it against the
+//! ground program and accepts only proofs whose every step is justified.
+//!
+//! # Literal encoding
+//!
+//! A proof literal is the solver's packed code `var << 1 | sign`, where
+//! `sign` is `0` for *true* and `1` for *false*. Variables `0..n_atoms`
+//! are the stable [`AtomId`](crate::program::AtomId)s of the ground
+//! program; variables `n_atoms..` are body variables, declared in the
+//! header by their stable identity — the sorted deduplicated
+//! `(pos, neg)` atom-id lists of the rule body they stand for. A
+//! *nogood* is a set of literals no solution may satisfy simultaneously.
+//!
+//! # Text format
+//!
+//! One step per line, literals as signed nonzero integers (`v+1` for
+//! `(v, true)`, `-(v+1)` for `(v, false)`):
+//!
+//! ```text
+//! cpsrisk-proof/1
+//! atoms <n>
+//! program <bytes>        (optional; verbatim source follows)
+//! body <pos..> | <neg..>
+//! ax <lits..>            completion axiom
+//! wfm <lit>              well-founded fact (unit nogood)
+//! card <i> <lits..>      cardinality inference over constraint i
+//! unf <lits..>           unfounded-set inference (target last)
+//! stab <lits..>          stability refutation of a propagation prefix
+//! call <k> <lits..>      solve call k with its assumption literals
+//! learn <lits..>         learned nogood (RUP w.r.t. the live set)
+//! del <lits..>           learned-database deletion
+//! model <p:c..> | <ids>  answer set: costs, then true atom ids
+//! unsat                  the current call is unsatisfiable
+//! end
+//! ```
+//!
+//! Serialization is size-capped: [`ProofLog::to_text`] refuses to render
+//! past the byte cap, and the in-memory log stops appending (and marks
+//! itself truncated) past [`MAX_PROOF_STEPS`] — the checker rejects
+//! truncated proofs outright.
+
+use crate::error::AspError;
+
+/// Hard cap on in-memory proof steps; past it the log marks itself
+/// truncated and drops further steps (the checker rejects such proofs).
+pub const MAX_PROOF_STEPS: usize = 4_000_000;
+
+/// Default byte cap for [`ProofLog::to_text`].
+pub const DEFAULT_TEXT_CAP: usize = 256 * 1024 * 1024;
+
+/// Pack a (variable, sign) literal into its proof code.
+#[must_use]
+pub fn lit_code(var: u32, positive: bool) -> u32 {
+    (var << 1) | u32::from(!positive)
+}
+
+/// The variable of a packed proof literal.
+#[must_use]
+pub fn lit_var(code: u32) -> u32 {
+    code >> 1
+}
+
+/// The sign of a packed proof literal (`true` = the variable is true).
+#[must_use]
+pub fn lit_positive(code: u32) -> bool {
+    code & 1 == 0
+}
+
+/// One logged inference step. See the module docs for the semantics of
+/// each kind; `Vec<u32>` payloads are packed literal codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A completion axiom of the translation (possibly a unit, possibly
+    /// the empty nogood when the program is root-unsatisfiable).
+    Axiom(Vec<u32>),
+    /// A well-founded fact: a unit nogood forcing the literal's
+    /// complement, sound in every stable model.
+    Wfm(u32),
+    /// A cardinality inference: a nogood semantically entailed by the
+    /// indexed cardinality constraint of the ground program.
+    Card {
+        /// Index into `GroundProgram::cards`.
+        card: u32,
+        /// The entailed nogood (witness literals plus the forced/conflict
+        /// literal).
+        lits: Vec<u32>,
+    },
+    /// An unfounded-set inference: the assumption/decision prefix followed
+    /// by the target `(atom, true)` literal — no stable model consistent
+    /// with the prefix makes the target atom true.
+    Unfounded(Vec<u32>),
+    /// A stability refutation: the assumption/decision prefix of a total
+    /// propagation fixpoint that failed the independent stability check.
+    Stability(Vec<u32>),
+    /// Start of a solve call, tagging the assumptions every terminal step
+    /// of the call is conditional on.
+    Call {
+        /// Call sequence number (0-based over the solver's certified life).
+        seq: u32,
+        /// The call's assumption literals.
+        assumptions: Vec<u32>,
+    },
+    /// A learned nogood, RUP-derivable from the live set at this point.
+    Learned(Vec<u32>),
+    /// A learned nogood removed by database reduction.
+    Delete(Vec<u32>),
+    /// An answer set reported by the current call.
+    Model {
+        /// `(priority, cost)` per `#minimize` statement, as reported.
+        cost: Vec<(i64, i64)>,
+        /// The true atoms of the model, by stable atom id, ascending.
+        atoms: Vec<u32>,
+    },
+    /// The current call is unsatisfiable: its assumptions plus the live
+    /// set propagate to a conflict.
+    Unsat,
+}
+
+/// A compact solver-emitted derivation log, replayable by
+/// [`check::check_proof`](crate::check::check_proof).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProofLog {
+    /// Number of atom variables (codes below `2 * n_atoms` are atoms).
+    pub n_atoms: u32,
+    /// Body variable declarations: variable `n_atoms + i` stands for the
+    /// rule body with sorted deduplicated positive/negative atom lists
+    /// `bodies[i]`.
+    pub bodies: Vec<(Vec<u32>, Vec<u32>)>,
+    /// The derivation steps, in emission order.
+    pub steps: Vec<ProofStep>,
+    /// The step cap was hit and later steps were dropped; the proof is
+    /// incomplete and the checker rejects it.
+    pub truncated: bool,
+}
+
+impl ProofLog {
+    /// Append a step, honoring the step cap.
+    pub fn push(&mut self, step: ProofStep) {
+        if self.steps.len() >= MAX_PROOF_STEPS {
+            self.truncated = true;
+            return;
+        }
+        self.steps.push(step);
+    }
+
+    /// Number of steps recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no steps were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Render the log (optionally embedding the program source so the
+    /// proof file is self-contained) as the line-oriented text format.
+    ///
+    /// # Errors
+    ///
+    /// [`AspError::ProofTooLarge`] when the rendering exceeds `cap` bytes.
+    pub fn to_text(&self, program_src: Option<&str>, cap: usize) -> Result<String, AspError> {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("cpsrisk-proof/1\n");
+        let _ = writeln!(out, "atoms {}", self.n_atoms);
+        if self.truncated {
+            out.push_str("truncated\n");
+        }
+        if let Some(src) = program_src {
+            let _ = writeln!(out, "program {}", src.len());
+            out.push_str(src);
+            out.push('\n');
+        }
+        for (pos, neg) in &self.bodies {
+            out.push_str("body");
+            for p in pos {
+                let _ = write!(out, " {p}");
+            }
+            out.push_str(" |");
+            for n in neg {
+                let _ = write!(out, " {n}");
+            }
+            out.push('\n');
+        }
+        let lits = |out: &mut String, lits: &[u32]| {
+            for &c in lits {
+                let v = i64::from(lit_var(c)) + 1;
+                let signed = if lit_positive(c) { v } else { -v };
+                let _ = write!(out, " {signed}");
+            }
+        };
+        for step in &self.steps {
+            match step {
+                ProofStep::Axiom(l) => {
+                    out.push_str("ax");
+                    lits(&mut out, l);
+                }
+                ProofStep::Wfm(c) => {
+                    out.push_str("wfm");
+                    lits(&mut out, &[*c]);
+                }
+                ProofStep::Card { card, lits: l } => {
+                    let _ = write!(out, "card {card}");
+                    lits(&mut out, l);
+                }
+                ProofStep::Unfounded(l) => {
+                    out.push_str("unf");
+                    lits(&mut out, l);
+                }
+                ProofStep::Stability(l) => {
+                    out.push_str("stab");
+                    lits(&mut out, l);
+                }
+                ProofStep::Call { seq, assumptions } => {
+                    let _ = write!(out, "call {seq}");
+                    lits(&mut out, assumptions);
+                }
+                ProofStep::Learned(l) => {
+                    out.push_str("learn");
+                    lits(&mut out, l);
+                }
+                ProofStep::Delete(l) => {
+                    out.push_str("del");
+                    lits(&mut out, l);
+                }
+                ProofStep::Model { cost, atoms } => {
+                    out.push_str("model");
+                    for (p, c) in cost {
+                        let _ = write!(out, " {p}:{c}");
+                    }
+                    out.push_str(" |");
+                    for a in atoms {
+                        let _ = write!(out, " {a}");
+                    }
+                }
+                ProofStep::Unsat => out.push_str("unsat"),
+            }
+            out.push('\n');
+            if out.len() > cap {
+                return Err(AspError::ProofTooLarge { limit: cap });
+            }
+        }
+        out.push_str("end\n");
+        if out.len() > cap {
+            return Err(AspError::ProofTooLarge { limit: cap });
+        }
+        Ok(out)
+    }
+
+    /// Parse the text format back into an embedded program source (if
+    /// present) and the log.
+    ///
+    /// # Errors
+    ///
+    /// [`AspError::Parse`] on any malformed line.
+    pub fn from_text(text: &str) -> Result<(Option<String>, ProofLog), AspError> {
+        let err = |msg: String| AspError::Parse(msg);
+        let mut rest = text
+            .strip_prefix("cpsrisk-proof/1\n")
+            .ok_or_else(|| err("missing cpsrisk-proof/1 header".into()))?;
+        let mut log = ProofLog::default();
+        let mut program: Option<String> = None;
+        let mut saw_atoms = false;
+        let mut saw_end = false;
+        while !rest.is_empty() {
+            let line_end = rest.find('\n').unwrap_or(rest.len());
+            let line = &rest[..line_end];
+            rest = &rest[(line_end + 1).min(rest.len())..];
+            let mut toks = line.split_ascii_whitespace();
+            let Some(kind) = toks.next() else { continue };
+            match kind {
+                "atoms" => {
+                    log.n_atoms = toks
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad atoms line".into()))?;
+                    saw_atoms = true;
+                }
+                "truncated" => log.truncated = true,
+                "program" => {
+                    let n: usize = toks
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad program length".into()))?;
+                    if rest.len() < n {
+                        return Err(err("embedded program shorter than declared".into()));
+                    }
+                    if !rest.is_char_boundary(n) {
+                        return Err(err("program length splits a character".into()));
+                    }
+                    program = Some(rest[..n].to_string());
+                    rest = rest[n..].strip_prefix('\n').unwrap_or(&rest[n..]);
+                }
+                "body" => {
+                    let mut pos = Vec::new();
+                    let mut neg = Vec::new();
+                    let mut in_neg = false;
+                    for t in toks {
+                        if t == "|" {
+                            in_neg = true;
+                        } else {
+                            let a: u32 =
+                                t.parse().map_err(|_| err(format!("bad body atom `{t}`")))?;
+                            if in_neg {
+                                neg.push(a);
+                            } else {
+                                pos.push(a);
+                            }
+                        }
+                    }
+                    log.bodies.push((pos, neg));
+                }
+                "end" => {
+                    saw_end = true;
+                    break;
+                }
+                _ => {
+                    let step = parse_step(kind, &mut toks)
+                        .ok_or_else(|| err(format!("bad proof line `{line}`")))?;
+                    log.steps.push(step);
+                }
+            }
+        }
+        if !saw_atoms {
+            return Err(err("missing atoms line".into()));
+        }
+        if !saw_end {
+            return Err(err("missing end marker".into()));
+        }
+        Ok((program, log))
+    }
+}
+
+/// Parse one step line's remaining tokens. `None` on malformed input.
+fn parse_step<'a>(kind: &str, toks: &mut impl Iterator<Item = &'a str>) -> Option<ProofStep> {
+    let parse_lit = |t: &str| -> Option<u32> {
+        let v: i64 = t.parse().ok()?;
+        if v == 0 {
+            return None;
+        }
+        let var = u32::try_from(v.unsigned_abs().checked_sub(1)?).ok()?;
+        Some(lit_code(var, v > 0))
+    };
+    let parse_lits = |toks: &mut dyn Iterator<Item = &'a str>| -> Option<Vec<u32>> {
+        toks.map(parse_lit).collect()
+    };
+    Some(match kind {
+        "ax" => ProofStep::Axiom(parse_lits(toks)?),
+        "wfm" => {
+            let l = parse_lit(toks.next()?)?;
+            if toks.next().is_some() {
+                return None;
+            }
+            ProofStep::Wfm(l)
+        }
+        "card" => {
+            let card: u32 = toks.next()?.parse().ok()?;
+            ProofStep::Card {
+                card,
+                lits: parse_lits(toks)?,
+            }
+        }
+        "unf" => ProofStep::Unfounded(parse_lits(toks)?),
+        "stab" => ProofStep::Stability(parse_lits(toks)?),
+        "call" => {
+            let seq: u32 = toks.next()?.parse().ok()?;
+            ProofStep::Call {
+                seq,
+                assumptions: parse_lits(toks)?,
+            }
+        }
+        "learn" => ProofStep::Learned(parse_lits(toks)?),
+        "del" => ProofStep::Delete(parse_lits(toks)?),
+        "model" => {
+            let mut cost = Vec::new();
+            let mut atoms = Vec::new();
+            let mut in_atoms = false;
+            for t in toks {
+                if t == "|" {
+                    in_atoms = true;
+                } else if in_atoms {
+                    atoms.push(t.parse().ok()?);
+                } else {
+                    let (p, c) = t.split_once(':')?;
+                    cost.push((p.parse().ok()?, c.parse().ok()?));
+                }
+            }
+            if !in_atoms {
+                return None;
+            }
+            ProofStep::Model { cost, atoms }
+        }
+        "unsat" => {
+            if toks.next().is_some() {
+                return None;
+            }
+            ProofStep::Unsat
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip_preserves_every_step_kind() {
+        let mut log = ProofLog {
+            n_atoms: 3,
+            bodies: vec![(vec![0, 2], vec![1]), (vec![], vec![0])],
+            ..ProofLog::default()
+        };
+        log.push(ProofStep::Axiom(vec![
+            lit_code(0, true),
+            lit_code(3, false),
+        ]));
+        log.push(ProofStep::Axiom(vec![]));
+        log.push(ProofStep::Wfm(lit_code(1, false)));
+        log.push(ProofStep::Card {
+            card: 2,
+            lits: vec![lit_code(2, true)],
+        });
+        log.push(ProofStep::Unfounded(vec![
+            lit_code(0, true),
+            lit_code(2, true),
+        ]));
+        log.push(ProofStep::Stability(vec![lit_code(1, true)]));
+        log.push(ProofStep::Call {
+            seq: 0,
+            assumptions: vec![lit_code(0, false)],
+        });
+        log.push(ProofStep::Learned(vec![
+            lit_code(0, false),
+            lit_code(1, true),
+        ]));
+        log.push(ProofStep::Delete(vec![
+            lit_code(0, false),
+            lit_code(1, true),
+        ]));
+        log.push(ProofStep::Model {
+            cost: vec![(0, -4), (1, 7)],
+            atoms: vec![0, 2],
+        });
+        log.push(ProofStep::Unsat);
+        let text = log
+            .to_text(Some("a :- not b.\nb :- not a.\n"), DEFAULT_TEXT_CAP)
+            .expect("under cap");
+        let (src, back) = ProofLog::from_text(&text).expect("roundtrip parses");
+        assert_eq!(src.as_deref(), Some("a :- not b.\nb :- not a.\n"));
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn byte_cap_is_enforced() {
+        let mut log = ProofLog {
+            n_atoms: 1,
+            ..ProofLog::default()
+        };
+        for _ in 0..100 {
+            log.push(ProofStep::Learned(vec![lit_code(0, true)]));
+        }
+        assert!(matches!(
+            log.to_text(None, 64),
+            Err(AspError::ProofTooLarge { limit: 64 })
+        ));
+        assert!(log.to_text(None, 1 << 20).is_ok());
+    }
+
+    #[test]
+    fn step_cap_marks_truncation() {
+        let mut log = ProofLog::default();
+        for _ in 0..MAX_PROOF_STEPS {
+            log.steps.push(ProofStep::Unsat);
+        }
+        log.push(ProofStep::Unsat);
+        assert!(log.truncated);
+        assert_eq!(log.steps.len(), MAX_PROOF_STEPS);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(ProofLog::from_text("nonsense").is_err());
+        assert!(ProofLog::from_text("cpsrisk-proof/1\natoms x\nend\n").is_err());
+        assert!(ProofLog::from_text("cpsrisk-proof/1\natoms 2\nlearn 0\nend\n").is_err());
+        assert!(
+            ProofLog::from_text("cpsrisk-proof/1\natoms 2\n").is_err(),
+            "no end"
+        );
+        assert!(
+            ProofLog::from_text("cpsrisk-proof/1\nend\n").is_err(),
+            "no atoms"
+        );
+        assert!(ProofLog::from_text("cpsrisk-proof/1\natoms 2\nmodel 1 2\nend\n").is_err());
+    }
+}

@@ -37,6 +37,7 @@ use std::collections::{HashMap, HashSet};
 use super::{fingerprint, Lit, Model, SolveOptions, Solver, Val};
 use crate::error::AspError;
 use crate::program::{AtomId, GroundHead, GroundProgram};
+use crate::proof::{ProofLog, ProofStep};
 
 /// Complement of a truth value (`Unknown` is not a valid input).
 fn negate(v: Val) -> Val {
@@ -548,6 +549,9 @@ impl Solver<'_> {
             return;
         }
         if lits.len() == 1 {
+            if self.proof.is_some() {
+                self.plog(ProofStep::Learned(lits.clone()));
+            }
             self.cdcl.learned_units.push(lits[0]);
             return;
         }
@@ -562,6 +566,9 @@ impl Solver<'_> {
         debug_assert!(lits.len() >= 2);
         if choose {
             self.choose_watches(&mut lits);
+        }
+        if self.proof.is_some() {
+            self.plog(ProofStep::Learned(lits.clone()));
         }
         let ni = self.cdcl.ngs.len() as u32;
         self.cdcl.watches[lits[0] as usize].push(ni);
@@ -631,9 +638,11 @@ impl Solver<'_> {
     ///
     /// Refuses (returns 0) unless the current program is tight — the
     /// soundness argument for transfer rests on learned nogoods being
-    /// resolvents of completion nogoods, which only holds there.
+    /// resolvents of completion nogoods, which only holds there. Also
+    /// refuses while a proof log is active: imported nogoods come from a
+    /// *different* solver's derivation and are not RUP-justifiable here.
     pub fn import_learned(&mut self, state: &LearnedState, revoked: &[AtomId]) -> usize {
-        if !self.tight() || state.is_empty() {
+        if !self.tight() || state.is_empty() || self.proof.is_some() {
             return 0;
         }
         let n_atoms = self.cdcl.n_atoms as u32;
@@ -674,6 +683,29 @@ impl Solver<'_> {
                 }
             }
         };
+        // Debug-mode validity screen: the filtering above must already
+        // guarantee these invariants for every translated candidate, so a
+        // violation here is a translation bug, not bad input.
+        #[cfg(debug_assertions)]
+        let screen = |codes: &[u32], n_vars: usize| {
+            for &c in codes {
+                let var = code_var(c);
+                assert!(
+                    (var as usize) < n_vars,
+                    "imported literal outside the session's variable range"
+                );
+                assert!(
+                    var >= n_atoms || !revoked.contains(&var),
+                    "imported literal mentions a revoked atom"
+                );
+            }
+        };
+        #[cfg(debug_assertions)]
+        let fp_of = |codes: &[u32]| {
+            let pairs: Vec<(u32, Val)> =
+                codes.iter().map(|&c| (code_var(c), code_val(c))).collect();
+            fingerprint(&pairs)
+        };
         let mut kept = 0usize;
         for (lits, lbd) in &state.nogoods {
             let Some(codes) = lits.iter().map(&live_code).collect::<Option<Vec<u32>>>() else {
@@ -682,15 +714,29 @@ impl Solver<'_> {
             if codes.len() < 2 {
                 continue;
             }
+            #[cfg(debug_assertions)]
+            screen(&codes, self.cdcl.n_vars);
+            #[cfg(debug_assertions)]
+            let dup = self.cdcl.learned_fps.contains(&fp_of(&codes));
             let before = self.cdcl.learned_count();
             self.learn_stored(codes, *lbd);
-            kept += usize::from(self.cdcl.learned_count() > before);
+            let grown = self.cdcl.learned_count() > before;
+            #[cfg(debug_assertions)]
+            assert!(!(dup && grown), "duplicate fingerprint re-imported");
+            kept += usize::from(grown);
         }
         for l in &state.units {
             let Some(c) = live_code(l) else { continue };
+            #[cfg(debug_assertions)]
+            screen(&[c], self.cdcl.n_vars);
+            #[cfg(debug_assertions)]
+            let dup = self.cdcl.learned_fps.contains(&fp_of(&[c]));
             let before = self.cdcl.learned_count();
             self.learn_stored(vec![c], 1);
-            kept += usize::from(self.cdcl.learned_count() > before);
+            let grown = self.cdcl.learned_count() > before;
+            #[cfg(debug_assertions)]
+            assert!(!(dup && grown), "duplicate fingerprint re-imported");
+            kept += usize::from(grown);
         }
         kept
     }
@@ -944,26 +990,46 @@ impl Solver<'_> {
                 }
                 ng.sort_unstable();
                 ng.dedup();
+                if self.proof.is_some() {
+                    self.plog(ProofStep::Card {
+                        card: ci as u32,
+                        lits: ng.clone(),
+                    });
+                }
                 return Some(ng);
             }
             if held == c.upper {
                 // No further element may become held: falsify guard-true
-                // open atoms.
-                let forced: Vec<AtomId> = open
+                // open atoms. The forced element's guard literals join the
+                // antecedent — "atom true" alone does not make the element
+                // held, and without them the nogood would overreach.
+                let forced: Vec<(AtomId, Vec<u32>)> = open
                     .iter()
                     .filter(|e| {
                         e.guard_pos.iter().all(|&p| v(self, p) == Val::True)
                             && e.guard_neg.iter().all(|&n| v(self, n) == Val::False)
                     })
-                    .map(|e| e.atom)
+                    .map(|e| {
+                        let mut guard: Vec<u32> =
+                            e.guard_pos.iter().map(|&p| code(p.0, Val::True)).collect();
+                        guard.extend(e.guard_neg.iter().map(|&n| code(n.0, Val::False)));
+                        (e.atom, guard)
+                    })
                     .collect();
-                for a in forced {
+                for (a, guard) in forced {
                     if self.cdcl.val[a.index()] == Val::Unknown {
                         let mut ante = body_sat_lits.clone();
                         ante.extend(held_witness.iter().copied());
+                        ante.extend(guard);
                         ante.push(code(a.0, Val::True));
                         ante.sort_unstable();
                         ante.dedup();
+                        if self.proof.is_some() {
+                            self.plog(ProofStep::Card {
+                                card: ci as u32,
+                                lits: ante.clone(),
+                            });
+                        }
                         let ai = self.cdcl.antes.len() as u32;
                         self.cdcl.antes.push(ante);
                         self.cd_assign(a.0, Val::False, Reason::Ante(ai));
@@ -986,6 +1052,12 @@ impl Solver<'_> {
                         ante.push(code(a.0, Val::False));
                         ante.sort_unstable();
                         ante.dedup();
+                        if self.proof.is_some() {
+                            self.plog(ProofStep::Card {
+                                card: ci as u32,
+                                lits: ante.clone(),
+                            });
+                        }
                         let ai = self.cdcl.antes.len() as u32;
                         self.cdcl.antes.push(ante);
                         self.cd_assign(a.0, Val::True, Reason::Ante(ai));
@@ -1006,6 +1078,12 @@ impl Solver<'_> {
                 ante.push(unk);
                 ante.sort_unstable();
                 ante.dedup();
+                if self.proof.is_some() {
+                    self.plog(ProofStep::Card {
+                        card: ci as u32,
+                        lits: ante.clone(),
+                    });
+                }
                 let ai = self.cdcl.antes.len() as u32;
                 self.cdcl.antes.push(ante);
                 self.cd_assign(code_var(unk), negate(code_val(unk)), Reason::Ante(ai));
@@ -1059,12 +1137,23 @@ impl Solver<'_> {
                 Val::True => {
                     let mut ng = prefix.unwrap_or_else(|| self.prefix_codes());
                     ng.push(code(i as u32, Val::True));
+                    if self.proof.is_some() {
+                        self.plog(ProofStep::Unfounded(ng.clone()));
+                    }
                     return Some(ng);
                 }
                 Val::Unknown => {
                     let p = prefix.get_or_insert_with(|| self.prefix_codes()).clone();
                     let mut ante = p;
-                    ante.push(code(i as u32, Val::False));
+                    // As a nogood the antecedent carries the *satisfied*
+                    // form of the inference target — `(i, True)` is what no
+                    // stable model under this prefix can hold (conflict
+                    // analysis only filters by variable, so the polarity
+                    // must be the semantically sound one).
+                    ante.push(code(i as u32, Val::True));
+                    if self.proof.is_some() {
+                        self.plog(ProofStep::Unfounded(ante.clone()));
+                    }
                     let ai = self.cdcl.antes.len() as u32;
                     self.cdcl.antes.push(ante);
                     self.cd_assign(i as u32, Val::False, Reason::Ante(ai));
@@ -1314,6 +1403,9 @@ impl Solver<'_> {
             let c = lits[0];
             let pairs = [(code_var(c), code_val(c))];
             if self.cdcl.learned_fps.insert(fingerprint(&pairs)) {
+                if self.proof.is_some() {
+                    self.plog(ProofStep::Learned(vec![c]));
+                }
                 self.cdcl.learned_units.push(c);
             }
             if self.cdcl.val[code_var(c) as usize] == Val::Unknown {
@@ -1391,6 +1483,15 @@ impl Solver<'_> {
         let dropped: HashSet<u32> = candidates[drop_from..].iter().copied().collect();
         if dropped.is_empty() {
             return;
+        }
+        if self.proof.is_some() {
+            let dels: Vec<Vec<u32>> = dropped
+                .iter()
+                .map(|&i| self.cdcl.ngs[i as usize].lits.clone())
+                .collect();
+            for d in dels {
+                self.plog(ProofStep::Delete(d));
+            }
         }
         // Compact the store, remapping reasons and rebuilding every watch
         // list (statics keep their indices: they all precede `first`).
@@ -1472,6 +1573,15 @@ impl Solver<'_> {
                 }
                 None => {
                     if let Some(model) = self.check_candidate() {
+                        if self.certify_call && self.proof.is_some() {
+                            let atoms: Vec<u32> = (0..self.cdcl.n_atoms as u32)
+                                .filter(|&a| self.cdcl.val[a as usize] == Val::True)
+                                .collect();
+                            self.plog(ProofStep::Model {
+                                cost: model.cost.clone(),
+                                atoms,
+                            });
+                        }
                         if !on_model(model) {
                             return Ok(false);
                         }
@@ -1482,12 +1592,86 @@ impl Solver<'_> {
                         // Sound prefix refutation (assignment is a fixpoint
                         // of sound propagation yet not stable).
                         let confl = self.prefix_nogood();
+                        if self.proof.is_some() {
+                            self.plog(ProofStep::Stability(confl.clone()));
+                        }
                         if !self.handle_conflict(&confl, opts)? {
                             return Ok(true);
                         }
                     }
                 }
             }
+        }
+    }
+
+    /// Start the proof log: drop the (no longer justifiable) learned
+    /// database and record the translation — body declarations, completion
+    /// axioms, static units and the well-founded backbone — that every
+    /// later derivation step builds on.
+    fn init_proof(&mut self) {
+        // Pre-existing learned nogoods were derived before logging began;
+        // the checker could never justify them, so search restarts cold.
+        self.clear_learned();
+        let cd = &self.cdcl;
+        let mut log = ProofLog {
+            n_atoms: cd.n_atoms as u32,
+            bodies: cd.bodies.clone(),
+            steps: Vec::new(),
+            truncated: false,
+        };
+        if cd.root_unsat {
+            log.push(ProofStep::Axiom(Vec::new()));
+        }
+        for ng in &cd.ngs {
+            log.push(ProofStep::Axiom(ng.lits.clone()));
+        }
+        for &(var, v) in &cd.units {
+            log.push(ProofStep::Axiom(vec![code(var, negate(v))]));
+        }
+        for &(a, v) in &self.wfm_seeds {
+            log.push(ProofStep::Wfm(code(a, negate(v))));
+        }
+        self.proof = Some(log);
+        self.call_seq = 0;
+    }
+
+    /// Begin a certified solve call: lazily initialize the log and tag the
+    /// call's assumptions so its terminal (model / unsat) steps are scoped
+    /// to them. A no-op on the reference engine, which never certifies.
+    pub(super) fn begin_certified_call(&mut self, assumptions: &[Lit]) {
+        self.certify_call = false;
+        if self.reference {
+            return;
+        }
+        if self.proof.is_none() {
+            self.init_proof();
+        }
+        let lits: Vec<u32> = assumptions
+            .iter()
+            .map(|l| code(l.atom.0, if l.positive { Val::True } else { Val::False }))
+            .collect();
+        let seq = self.call_seq;
+        self.call_seq += 1;
+        self.plog(ProofStep::Call {
+            seq,
+            assumptions: lits,
+        });
+        self.certify_call = true;
+    }
+
+    /// Mirror a full learned-database clear into the proof log as `Delete`
+    /// steps. No-op without an active log.
+    pub(super) fn log_learned_clear(&mut self) {
+        if self.proof.is_none() {
+            return;
+        }
+        let dels: Vec<Vec<u32>> = self.cdcl.ngs[self.cdcl.first_learned..]
+            .iter()
+            .map(|ng| ng.lits.clone())
+            .chain(self.cdcl.learned_units.iter().map(|&c| vec![c]))
+            .collect();
+        for d in dels {
+            self.plog(ProofStep::Delete(d));
         }
     }
 

@@ -86,6 +86,15 @@ pub struct SolveOptions {
     /// conflict-bound with few decisions (restarts replay decisions
     /// cheaply, conflicts are the real work).
     pub max_decisions: u64,
+    /// Emit a machine-checkable [`ProofLog`](crate::proof::ProofLog) for
+    /// this call: every inference is appended to the solver's proof, and
+    /// the call's verdict gets a terminal model / unsat step tagged with
+    /// its assumptions. The first certified call drops any retained
+    /// learned nogoods (they predate the log and could not be justified).
+    /// Ignored by the reference engine. Retrieve the log with
+    /// [`Solver::proof`] or [`Solver::take_proof`] and validate it with
+    /// [`check_proof`](crate::check::check_proof).
+    pub certify: bool,
 }
 
 impl Default for SolveOptions {
@@ -93,6 +102,7 @@ impl Default for SolveOptions {
         SolveOptions {
             max_models: 0,
             max_decisions: 50_000_000,
+            certify: false,
         }
     }
 }
@@ -256,6 +266,16 @@ pub struct Solver<'a> {
     nogood_fps: HashSet<u64>,
     /// The CDCL engine state (empty shell on the reference engine).
     cdcl: cdcl::Cdcl,
+    /// The active proof log (certified solving only, CDCL engine only).
+    /// While present, every engine inference is appended — including those
+    /// of interleaved uncertified calls, so learned-nogood retention
+    /// across a multi-shot stream stays checkable.
+    proof: Option<crate::proof::ProofLog>,
+    /// The current call claims its verdicts in the proof (set by
+    /// [`SolveOptions::certify`]; terminal steps are gated on it).
+    certify_call: bool,
+    /// Certified calls begun since the proof was (re)initialized.
+    call_seq: u32,
 }
 
 impl<'a> Solver<'a> {
@@ -335,7 +355,31 @@ impl<'a> Solver<'a> {
             } else {
                 cdcl::Cdcl::build(program)
             },
+            proof: None,
+            certify_call: false,
+            call_seq: 0,
         }
+    }
+
+    /// Append a step to the active proof log, if any.
+    pub(crate) fn plog(&mut self, step: crate::proof::ProofStep) {
+        if let Some(p) = self.proof.as_mut() {
+            p.push(step);
+        }
+    }
+
+    /// The proof log accumulated by certified calls, if any.
+    #[must_use]
+    pub fn proof(&self) -> Option<&crate::proof::ProofLog> {
+        self.proof.as_ref()
+    }
+
+    /// Detach and return the accumulated proof log. The next certified
+    /// call starts a fresh log (dropping retained learned nogoods again,
+    /// since the new log could not justify them).
+    pub fn take_proof(&mut self) -> Option<crate::proof::ProofLog> {
+        self.certify_call = false;
+        self.proof.take()
     }
 
     /// Number of branching decisions made so far.
@@ -425,6 +469,7 @@ impl<'a> Solver<'a> {
         self.nogoods.clear();
         self.nogood_fps.clear();
         if !self.reference {
+            self.log_learned_clear();
             self.cdcl.clear_learned();
         }
     }
@@ -509,6 +554,11 @@ impl<'a> Solver<'a> {
         assumptions: &[Lit],
         opts: &SolveOptions,
     ) -> Result<SolveResult, AspError> {
+        if opts.certify {
+            self.begin_certified_call(assumptions);
+        } else {
+            self.certify_call = false;
+        }
         let mut models = Vec::new();
         let exhausted = if self.prepare(assumptions) {
             self.search(
@@ -522,6 +572,9 @@ impl<'a> Solver<'a> {
         } else {
             true // assumptions contradict each other: empty search space
         };
+        if self.certify_call && exhausted && models.is_empty() {
+            self.plog(crate::proof::ProofStep::Unsat);
+        }
         Ok(SolveResult {
             models,
             exhausted,
@@ -558,7 +611,15 @@ impl<'a> Solver<'a> {
         assumptions: &[Lit],
         opts: &SolveOptions,
     ) -> Result<Option<Model>, AspError> {
+        if opts.certify {
+            self.begin_certified_call(assumptions);
+        } else {
+            self.certify_call = false;
+        }
         if !self.prepare(assumptions) {
+            if self.certify_call {
+                self.plog(crate::proof::ProofStep::Unsat);
+            }
             return Ok(None);
         }
         if self.g.minimize.is_empty() {
@@ -571,6 +632,9 @@ impl<'a> Solver<'a> {
                 },
                 &mut |_| false,
             )?;
+            if self.certify_call && found.is_none() {
+                self.plog(crate::proof::ProofStep::Unsat);
+            }
             return Ok(found);
         }
         // Lower bounds are only sound for pruning at the highest priority;
@@ -603,6 +667,9 @@ impl<'a> Solver<'a> {
                 lb > bound || (single_priority && lb >= bound)
             },
         )?;
+        if self.certify_call && best.is_none() {
+            self.plog(crate::proof::ProofStep::Unsat);
+        }
         Ok(best)
     }
 
@@ -644,6 +711,7 @@ impl<'a> Solver<'a> {
     ///
     /// [`AspError::SolveBudget`] if the search budget is exceeded.
     pub fn brave(&mut self, opts: &SolveOptions) -> Result<Vec<Atom>, AspError> {
+        self.certify_call = false; // brave reasoning is never certified
         if !self.prepare(&[]) {
             return Ok(Vec::new());
         }
@@ -682,6 +750,7 @@ impl<'a> Solver<'a> {
     ///
     /// [`AspError::SolveBudget`] if the search budget is exceeded.
     pub fn cautious(&mut self, opts: &SolveOptions) -> Result<Vec<Atom>, AspError> {
+        self.certify_call = false; // cautious reasoning is never certified
         if !self.prepare(&[]) {
             return Ok(Vec::new());
         }

@@ -232,6 +232,88 @@ fn export_import_roundtrip_on_unchanged_program() {
     });
 }
 
+/// A *stale* [`cpsrisk_asp::LearnedState`] — exported before an extension
+/// that revokes the frontier — must shed every nogood touching revoked
+/// structure on import and leave the warm solver's answers identical to
+/// a cold solver's. In debug builds the validity screen inside
+/// `import_learned` audits every translated literal (range, revocation,
+/// fingerprint dedup) along the way, so this test also exercises the
+/// screen on genuinely stale input. A proof-logging solver must refuse
+/// the import outright: foreign nogoods carry no RUP justification in
+/// its certificate.
+#[test]
+fn stale_state_import_across_extend_is_screened() {
+    let consts = 2;
+    let grounder = Grounder::new();
+    let base = parse(&base_src(consts, &[])).expect("parse base");
+    let mut session = grounder.session(&base).expect("session");
+
+    // Learn on the horizon-1 program: the UNSAT mutex query drives
+    // conflict learning over surviving `go` atoms, and a frontier-pinned
+    // enumeration may additionally learn nogoods mentioning `ok(1)` —
+    // exactly the literals the extension is about to revoke.
+    let opts = SolveOptions::default();
+    let stale = {
+        let g = session.program();
+        let mut solver = Solver::new(g);
+        let unsat = solver
+            .solve_with_assumptions(&mutex_query(g, consts), &opts)
+            .expect("mutex solve");
+        assert!(unsat.models.is_empty(), "mutex query must be UNSAT");
+        solver
+            .solve_with_assumptions(&pins(g, 1, true, None), &opts)
+            .expect("pinned solve");
+        solver.export_learned()
+    };
+    assert!(!stale.is_empty(), "refutation must learn nogoods");
+
+    let delta = parse(&delta_src(1, &[])).expect("parse delta");
+    let stats = session.extend(&delta, &[frontier(1)]).expect("extend");
+    assert_eq!(stats.revoked.len(), 1, "the frontier is revoked");
+
+    let g = session.program();
+    let mut warm = Solver::new(g);
+    let imported = warm.import_learned(&stale, &stats.revoked);
+    assert!(imported <= stale.len(), "import never invents nogoods");
+    assert!(
+        imported > 0,
+        "revocation-free nogoods from the mutex refutation must survive"
+    );
+
+    // The warm solver answers exactly like a cold one at the new horizon.
+    let mut fresh = Solver::new(g);
+    for pin_true in [false, true] {
+        let a = pins(g, 2, pin_true, None);
+        let canon = |r: &cpsrisk_asp::SolveResult| -> BTreeSet<BTreeSet<String>> {
+            r.models
+                .iter()
+                .map(|m| m.atoms.iter().map(ToString::to_string).collect())
+                .collect()
+        };
+        let wm = warm.solve_with_assumptions(&a, &opts).expect("warm solve");
+        let fm = fresh
+            .solve_with_assumptions(&a, &opts)
+            .expect("fresh solve");
+        assert_eq!(canon(&wm), canon(&fm), "stale import changed the answer");
+    }
+
+    // Certify interaction: once a proof log is active, imports are
+    // refused wholesale.
+    let mut certifying = Solver::new(g);
+    let copts = SolveOptions {
+        certify: true,
+        ..SolveOptions::default()
+    };
+    certifying
+        .solve_with_assumptions(&pins(g, 2, false, None), &copts)
+        .expect("certified solve");
+    assert_eq!(
+        certifying.import_learned(&stale, &stats.revoked),
+        0,
+        "a proof-logging solver must refuse foreign nogoods"
+    );
+}
+
 /// Learned nogoods exported before an extension and imported after it must
 /// not change the answer: models and optimal costs agree with a fresh
 /// solver at every horizon, under an alternating assumption stream.

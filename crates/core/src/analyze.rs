@@ -293,6 +293,7 @@ pub fn analyze_source(name: &str, src: &str) -> Result<AnalyzeReport, CoreError>
         let opts = SolveOptions {
             max_models: SEARCH_MODEL_CAP,
             max_decisions: SEARCH_BUDGET,
+            ..SolveOptions::default()
         };
         match solver.enumerate(&opts) {
             Ok(r) => SearchSection {

@@ -2,7 +2,12 @@
 //!
 //! Runs one of the parametric workloads (`chain`, `grid`, `temporal`,
 //! `adversarial`, `catalog`, `horizon`) and reports **grounding** and
-//! **solving** as separate sections — schema `cpsrisk-bench/8` (v8 adds
+//! **solving** as separate sections — schema `cpsrisk-bench/9` (v9 adds
+//! the optional `certify` section — the proof-logging solve measured
+//! against the plain solve on the same re-grounded program, the emitted
+//! certificate replayed by the independent checker, and the certified
+//! run gated on verdict equality and, on the search-bound adversarial
+//! workload at its default size, on a 2.5× overhead ceiling; v8 adds
 //! the `horizon` workload — a minimal-violating-horizon sweep over the
 //! tank dynamics that extends one resident ground session slice by slice
 //! and is gated on verdict equality with from-scratch checking at every
@@ -43,7 +48,10 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 use cpsrisk_asp::program::{CardConstraint, GroundHead, MinimizeLit};
-use cpsrisk_asp::{simplify_with, well_founded, GroundProgram, Grounder, SolveOptions, Solver};
+use cpsrisk_asp::proof::DEFAULT_TEXT_CAP;
+use cpsrisk_asp::{
+    check_proof, parse, simplify_with, well_founded, GroundProgram, Grounder, SolveOptions, Solver,
+};
 use cpsrisk_epa::encode::analyze_fixed_fresh;
 use cpsrisk_epa::parallel::SweepOptions;
 use cpsrisk_epa::workload::{
@@ -60,7 +68,7 @@ use cpsrisk_epa::{
 use crate::error::CoreError;
 
 /// Schema tag carried by every report this module writes.
-pub const SCHEMA: &str = "cpsrisk-bench/8";
+pub const SCHEMA: &str = "cpsrisk-bench/9";
 
 /// Cap on the fixed-scenario stream measured by the incremental section.
 const MAX_INCREMENTAL_SCENARIOS: usize = 128;
@@ -113,24 +121,49 @@ pub enum Workload {
 }
 
 impl Workload {
+    /// Every workload, in presentation order. The single source of truth
+    /// behind [`Workload::parse`]'s error message and the CLI help
+    /// strings — adding a variant here is the whole registration.
+    pub const ALL: [Workload; 6] = [
+        Workload::Chain,
+        Workload::Grid,
+        Workload::Temporal,
+        Workload::Adversarial,
+        Workload::Catalog,
+        Workload::Horizon,
+    ];
+
+    /// The `a|b|c` rendering of [`Workload::ALL`] used by usage strings.
+    #[must_use]
+    pub fn names_usage() -> String {
+        let names: Vec<&str> = Self::ALL.iter().map(|w| w.as_str()).collect();
+        names.join("|")
+    }
+
+    /// The `a, b, or c` rendering of [`Workload::ALL`] used by error
+    /// messages.
+    #[must_use]
+    pub fn names_prose() -> String {
+        let names: Vec<&str> = Self::ALL.iter().map(|w| w.as_str()).collect();
+        match names.split_last() {
+            Some((last, rest)) if !rest.is_empty() => {
+                format!("{}, or {last}", rest.join(", "))
+            }
+            _ => names.join(""),
+        }
+    }
+
     /// Parse a `--workload` value.
     ///
     /// # Errors
     ///
-    /// A message listing the accepted names.
+    /// A message listing every name in [`Workload::ALL`].
     pub fn parse(s: &str) -> Result<Self, String> {
-        match s {
-            "chain" => Ok(Workload::Chain),
-            "grid" => Ok(Workload::Grid),
-            "temporal" => Ok(Workload::Temporal),
-            "adversarial" => Ok(Workload::Adversarial),
-            "catalog" => Ok(Workload::Catalog),
-            "horizon" => Ok(Workload::Horizon),
-            other => Err(format!(
-                "unknown workload `{other}` \
-                 (expected chain, grid, temporal, adversarial, catalog, or horizon)"
-            )),
-        }
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|w| w.as_str() == s)
+            .ok_or_else(|| format!("unknown workload `{s}` (expected {})", Self::names_prose()))
     }
 
     /// The name recorded in the report.
@@ -277,6 +310,40 @@ pub struct SearchSample {
     pub models: usize,
     /// Both engines agree on the model set size and the exhausted flag.
     pub matches_reference: bool,
+}
+
+/// The certified-solving stage (schema v9, `--certify` only): the
+/// proof-logging solve measured against the plain solve on the same
+/// program, and the emitted certificate replayed by the independent
+/// checker ([`cpsrisk_asp::check_proof`]). The program is re-grounded
+/// from its rendered source first, so the measured run certifies exactly
+/// what `cpsrisk check` will re-derive from the embedded source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CertifySample {
+    /// Best-of-three enumeration time without proof logging, ms.
+    pub uncertified_ms: f64,
+    /// Best-of-three enumeration time with proof logging, ms.
+    pub certified_ms: f64,
+    /// `certified_ms / uncertified_ms` — what the certificate costs.
+    pub overhead_ratio: f64,
+    /// The certified run found the same model count and exhausted flag
+    /// as the uncertified run.
+    pub matches_uncertified: bool,
+    /// Steps in the emitted proof.
+    pub proof_steps: usize,
+    /// Bytes of the serialized text certificate (program embedded).
+    pub proof_bytes: usize,
+    /// Learned-nogood steps the checker replayed by unit propagation.
+    pub learned_steps: usize,
+    /// Models the checker fully audited (stability, support, bounds,
+    /// recomputed `#minimize` cost).
+    pub models_audited: usize,
+    /// Refutations the checker re-derived.
+    pub unsats_audited: usize,
+    /// Wall-clock time of the independent checker, ms.
+    pub check_ms: f64,
+    /// The checker accepted the certificate (hard gate).
+    pub check_pass: bool,
 }
 
 /// Comparison against an externally measured pre-optimization build.
@@ -493,6 +560,10 @@ pub struct BenchReport {
     pub parallel: Option<SweepSample>,
     /// The incremental horizon sweep (schema v8; `horizon` workload only).
     pub horizon: Option<HorizonSample>,
+    /// Certified solving vs plain solving plus the independent check
+    /// (schema v9; present only when the bench ran with `--certify`).
+    #[serde(default)]
+    pub certify: Option<CertifySample>,
 }
 
 fn ms(start: Instant) -> f64 {
@@ -964,6 +1035,68 @@ fn measure_catalog_sweep(
     ))
 }
 
+/// The certify stage: re-ground the workload from its rendered source
+/// (the same derivation `cpsrisk check` performs on the embedded
+/// program), enumerate with and without proof logging (best of three
+/// each), replay the certificate through the independent checker, and
+/// return the serialized proof so the caller can write it to disk.
+fn measure_certify(program_src: &str) -> Result<(CertifySample, String), CoreError> {
+    let parsed = parse(program_src)?;
+    let ground = Grounder::new().ground(&parsed)?;
+    let mut uncertified_ms = f64::INFINITY;
+    let mut plain = None;
+    for _ in 0..3 {
+        let mut solver = Solver::new(&ground);
+        let start = Instant::now();
+        let run = solver.enumerate(&SolveOptions::default())?;
+        uncertified_ms = uncertified_ms.min(ms(start));
+        plain = Some(run);
+    }
+    let certify_opts = SolveOptions {
+        certify: true,
+        ..SolveOptions::default()
+    };
+    let mut certified_ms = f64::INFINITY;
+    let mut certified = None;
+    let mut log = None;
+    for _ in 0..3 {
+        let mut solver = Solver::new(&ground);
+        let start = Instant::now();
+        let run = solver.enumerate(&certify_opts)?;
+        certified_ms = certified_ms.min(ms(start));
+        certified = Some(run);
+        log = solver.take_proof();
+    }
+    let (plain, certified) = (plain.expect("three runs"), certified.expect("three runs"));
+    let log = log.ok_or_else(|| {
+        CoreError::Asp(cpsrisk_asp::AspError::Internal(
+            "certified enumeration emitted no proof".into(),
+        ))
+    })?;
+    let text = log.to_text(Some(program_src), DEFAULT_TEXT_CAP)?;
+    let start = Instant::now();
+    let checked = check_proof(&ground, &log);
+    let check_ms = ms(start);
+    let report = checked.as_ref().ok();
+    Ok((
+        CertifySample {
+            uncertified_ms,
+            certified_ms,
+            overhead_ratio: certified_ms / uncertified_ms.max(1e-9),
+            matches_uncertified: certified.models.len() == plain.models.len()
+                && certified.exhausted == plain.exhausted,
+            proof_steps: log.len(),
+            proof_bytes: text.len(),
+            learned_steps: report.map_or(0, |r| r.learned),
+            models_audited: report.map_or(0, |r| r.models),
+            unsats_audited: report.map_or(0, |r| r.unsats),
+            check_ms,
+            check_pass: checked.is_ok(),
+        },
+        text,
+    ))
+}
+
 /// Starting horizon of the `horizon` workload's sweep.
 const HORIZON_H_MIN: usize = 8;
 
@@ -1038,6 +1171,34 @@ pub fn run(
     opts: &SweepOptions,
     baseline_ms: Option<f64>,
 ) -> Result<BenchReport, CoreError> {
+    run_inner(workload, n, opts, baseline_ms, false).map(|(report, _)| report)
+}
+
+/// [`run`], plus the certify stage: the report gains its `certify`
+/// section and the serialized text certificate (program source embedded,
+/// so `cpsrisk check` can replay it stand-alone) is returned alongside.
+///
+/// # Errors
+///
+/// [`CoreError`] on grounding/solving failure or when the proof exceeds
+/// the serialization cap.
+pub fn run_certified(
+    workload: Workload,
+    n: usize,
+    opts: &SweepOptions,
+    baseline_ms: Option<f64>,
+) -> Result<(BenchReport, String), CoreError> {
+    let (report, proof) = run_inner(workload, n, opts, baseline_ms, true)?;
+    Ok((report, proof.expect("certify stage always emits a proof")))
+}
+
+fn run_inner(
+    workload: Workload,
+    n: usize,
+    opts: &SweepOptions,
+    baseline_ms: Option<f64>,
+    certify: bool,
+) -> Result<(BenchReport, Option<String>), CoreError> {
     let threads = opts.threads;
     let problem = match workload {
         Workload::Chain => Some(chain_problem(n)),
@@ -1109,22 +1270,32 @@ pub fn run(
         .as_ref()
         .map(|p| measure_incremental(p, incremental_cap))
         .transpose()?;
+    let (certify, proof) = if certify {
+        let (sample, text) = measure_certify(&program.to_string())?;
+        (Some(sample), Some(text))
+    } else {
+        (None, None)
+    };
 
-    Ok(BenchReport {
-        schema: SCHEMA.to_owned(),
-        workload: workload.as_str().to_owned(),
-        n,
-        total_ms,
-        grounding,
-        solve,
-        tight_solve,
-        wfm,
-        search,
-        pre_pr,
-        incremental,
-        parallel,
-        horizon,
-    })
+    Ok((
+        BenchReport {
+            schema: SCHEMA.to_owned(),
+            workload: workload.as_str().to_owned(),
+            n,
+            total_ms,
+            grounding,
+            solve,
+            tight_solve,
+            wfm,
+            search,
+            pre_pr,
+            incremental,
+            parallel,
+            horizon,
+            certify,
+        },
+        proof,
+    ))
 }
 
 /// Validate a previously written report: parseable JSON, the expected
@@ -1487,6 +1658,44 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
             ));
         }
     }
+
+    if let Some(c) = &report.certify {
+        for (name, v) in [
+            ("uncertified_ms", c.uncertified_ms),
+            ("certified_ms", c.certified_ms),
+            ("check_ms", c.check_ms),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("certify.{name} is not a valid duration"));
+            }
+        }
+        if !c.check_pass {
+            return Err("the independent checker rejected the certificate".to_owned());
+        }
+        if !c.matches_uncertified {
+            return Err("certified solve diverged from the uncertified run".to_owned());
+        }
+        if c.proof_steps == 0 {
+            return Err("certified run emitted an empty proof".to_owned());
+        }
+        if c.models_audited + c.unsats_audited == 0 {
+            return Err("the checker audited no terminal verdict".to_owned());
+        }
+        if !(c.overhead_ratio.is_finite() && c.overhead_ratio > 0.0) {
+            return Err("certify.overhead_ratio is not a positive finite ratio".to_owned());
+        }
+        // Proof logging is append-only bookkeeping on the search path; on
+        // the conflict-heavy adversarial workload at its default size it
+        // must stay within 2.5x of the plain refutation. Smaller
+        // instances refute in microseconds and stay noise-gated only.
+        if workload == Workload::Adversarial && report.n >= 27 && c.overhead_ratio > 2.5 {
+            return Err(format!(
+                "proof logging exceeds its 2.5x overhead ceiling \
+                 ({:.2}x on the `adversarial` workload at n={})",
+                c.overhead_ratio, report.n
+            ));
+        }
+    }
     Ok(report)
 }
 
@@ -1829,16 +2038,104 @@ mod tests {
     #[test]
     fn unknown_workload_error_lists_the_valid_names() {
         let err = Workload::parse("catalogue").unwrap_err();
-        for name in [
-            "chain",
-            "grid",
-            "temporal",
-            "adversarial",
-            "catalog",
-            "horizon",
-        ] {
-            assert!(err.contains(name), "error should list `{name}`: {err}");
+        for w in Workload::ALL {
+            assert!(
+                err.contains(w.as_str()),
+                "error should list `{}`: {err}",
+                w.as_str()
+            );
         }
+        // The same registry feeds the CLI help strings.
+        for w in Workload::ALL {
+            assert!(Workload::names_usage().contains(w.as_str()));
+            assert!(Workload::names_prose().contains(w.as_str()));
+        }
+        assert_eq!(Workload::parse("horizon").unwrap(), Workload::Horizon);
+    }
+
+    #[test]
+    fn certified_adversarial_bench_round_trips_and_validates() {
+        let (mut report, proof) = run_certified(
+            Workload::Adversarial,
+            12,
+            &SweepOptions::with_threads(1),
+            None,
+        )
+        .expect("bench runs");
+        let c = report.certify.as_ref().expect("certify section present");
+        assert!(c.check_pass, "the checker accepts the live certificate");
+        assert!(c.matches_uncertified);
+        assert!(c.proof_steps > 0);
+        assert!(c.learned_steps > 0, "refutation learns nogoods");
+        assert_eq!(c.unsats_audited, 1, "one UNSAT terminal audited");
+        assert_eq!(c.models_audited, 0, "UNSAT by construction");
+        assert_eq!(c.proof_bytes, proof.len());
+
+        // The emitted certificate is self-contained: parse it back,
+        // re-ground the embedded program, and replay stand-alone —
+        // exactly what `cpsrisk check` does.
+        let (src, log) = cpsrisk_asp::ProofLog::from_text(&proof).expect("proof parses");
+        let embedded = src.expect("program source embedded");
+        let ground = Grounder::new()
+            .ground(&parse(&embedded).expect("embedded program parses"))
+            .expect("embedded program grounds");
+        check_proof(&ground, &log).expect("stand-alone replay passes");
+
+        // Gate logic, decoupled from this tiny instance's timing noise.
+        report.search.as_mut().unwrap().speedup = 2.0;
+        let json = serde_json::to_string(&report).unwrap();
+        validate(&json).expect("certified adversarial report validates");
+
+        // A rejected certificate is fatal.
+        let mut bad = report.clone();
+        bad.certify.as_mut().unwrap().check_pass = false;
+        let json = serde_json::to_string(&bad).unwrap();
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("rejected the certificate"));
+
+        // So is a certified/uncertified verdict divergence.
+        let mut diverged = report.clone();
+        diverged.certify.as_mut().unwrap().matches_uncertified = false;
+        let json = serde_json::to_string(&diverged).unwrap();
+        assert!(validate(&json)
+            .unwrap_err()
+            .contains("diverged from the uncertified run"));
+
+        // An empty proof cannot certify anything.
+        let mut empty = report.clone();
+        empty.certify.as_mut().unwrap().proof_steps = 0;
+        let json = serde_json::to_string(&empty).unwrap();
+        assert!(validate(&json).unwrap_err().contains("empty proof"));
+
+        // The 2.5x overhead ceiling binds at the default adversarial
+        // size...
+        let mut slow = report.clone();
+        slow.n = 27;
+        slow.certify.as_mut().unwrap().overhead_ratio = 3.0;
+        let json = serde_json::to_string(&slow).unwrap();
+        assert!(validate(&json).unwrap_err().contains("overhead ceiling"));
+
+        // ... and stays noise-gated below it.
+        let mut small = report;
+        small.certify.as_mut().unwrap().overhead_ratio = 3.0;
+        let json = serde_json::to_string(&small).unwrap();
+        validate(&json).expect("n=12: no overhead gate");
+    }
+
+    #[test]
+    fn certified_chain_bench_audits_every_model() {
+        let (report, _proof) =
+            run_certified(Workload::Chain, 1, &SweepOptions::with_threads(1), None)
+                .expect("bench runs");
+        let c = report.certify.as_ref().expect("certify section present");
+        assert!(c.check_pass);
+        assert!(c.matches_uncertified);
+        assert_eq!(
+            c.models_audited, report.solve.baseline.models,
+            "every enumerated model is audited"
+        );
+        assert_eq!(c.unsats_audited, 0);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! cpsrisk paths                  shortest attack paths on the case study
 //! cpsrisk matrices               print the O-RA and IEC 61508 matrices
 //! cpsrisk solve <file.lp>        run the embedded ASP solver on a program
+//!                                (--certify FILE emits a checkable proof)
+//! cpsrisk check <file.proof>     replay a certificate with the independent checker
 //! cpsrisk lint [file.lp ...]     static-analyze ASP programs / the case study
 //! cpsrisk analyze <file.lp ...>  semantic analysis: strata, tightness, sizes
 //! cpsrisk simulate f1,f2         simulate the plant under a fault set
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
         "paths" => paths(),
         "matrices" => matrices(),
         "solve" => solve(&args[1..]),
+        "check" => check(&args[1..]),
         "lint" => lint(&args[1..]),
         "analyze" => analyze(&args[1..]),
         "simulate" => simulate(&args[1..]),
@@ -62,6 +65,7 @@ fn main() -> ExitCode {
 }
 
 fn print_help() {
+    let workloads = cpsrisk::bench::Workload::names_usage();
     println!(
         "cpsrisk — preliminary risk and mitigation assessment in cyber-physical systems\n\n\
          USAGE: cpsrisk <command> [options]\n\n\
@@ -71,14 +75,21 @@ fn print_help() {
          \x20                        run the 7-step pipeline on the water-tank case study\n\
          \x20 paths                  shortest attack paths from exposed assets\n\
          \x20 matrices               print the O-RA (Table I) and IEC 61508 matrices\n\
-         \x20 solve <file.lp>        solve an ASP program with the embedded engine\n\
-         \x20                        (lint gate: errors abort, warnings go to stderr)\n\
+         \x20 solve <file.lp> [--certify FILE]\n\
+         \x20                        solve an ASP program with the embedded engine\n\
+         \x20                        (lint gate: errors abort, warnings go to stderr;\n\
+         \x20                        --certify writes a self-contained proof the\n\
+         \x20                        independent checker can replay)\n\
+         \x20 check <file.proof>     replay a certificate emitted by solve/bench\n\
+         \x20                        --certify: re-ground the embedded program and\n\
+         \x20                        verify every inference, model, and refutation\n\
+         \x20                        with the solver-independent checker\n\
          \x20 lint [--deny-warnings] [file.lp | - ...]\n\
          \x20                        static-analyze ASP programs (codes A000-A014,\n\
          \x20                        `-` reads stdin); without files, lint the\n\
          \x20                        water-tank case study model (M001-M007) and\n\
          \x20                        its ASP encoding\n\
-         \x20 analyze [--json] [--workload chain|grid|temporal|adversarial|catalog|horizon\n\
+         \x20 analyze [--json] [--workload {workloads}\n\
          \x20         [--n N]]\n\
          \x20         [--max-divergence R] [file.lp | - ...]\n\
          \x20                        semantic analysis: dependency strata, tightness\n\
@@ -88,8 +99,9 @@ fn print_help() {
          \x20                        fails on error findings or when the prediction\n\
          \x20                        diverges past R\n\
          \x20 simulate <f1,f2,...>   simulate the continuous plant under a fault set\n\
-         \x20 bench [--workload chain|grid|temporal|adversarial|catalog|horizon] [--n N]\n\
+         \x20 bench [--workload {workloads}] [--n N]\n\
          \x20       [--threads T] [--steal-batch B] [--max-in-flight M]\n\
+         \x20       [--certify] [--proof-out FILE]\n\
          \x20       [--out FILE]     measure the ASP hot path on a parametric workload\n\
          \x20                        (grounding: reference vs semi-naive; solving:\n\
          \x20                        reference vs CDCL; CDCL search counters on the\n\
@@ -97,7 +109,9 @@ fn print_help() {
          \x20                        work-stealing vs static-chunk sweep with a\n\
          \x20                        memory-bounded streaming pass on EPA workloads;\n\
          \x20                        incremental vs from-scratch horizon sweep on\n\
-         \x20                        the horizon workload)\n\
+         \x20                        the horizon workload; --certify adds the\n\
+         \x20                        proof-logging overhead + independent-check\n\
+         \x20                        section and writes the certificate)\n\
          \x20                        and write a JSON report;\n\
          \x20                        `--validate FILE` checks an existing report\n\
          \x20 help                   this message"
@@ -170,7 +184,30 @@ fn matrices() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn solve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let path = args.first().ok_or("usage: cpsrisk solve <file.lp>")?;
+    let usage = "usage: cpsrisk solve <file.lp> [--certify FILE]";
+    let mut path: Option<&String> = None;
+    let mut proof_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--certify" => {
+                proof_out = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or("--certify needs a proof output path")?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown solve flag `{other}` (try --certify FILE)").into());
+            }
+            _ => {
+                if path.replace(arg).is_some() {
+                    return Err(usage.into());
+                }
+            }
+        }
+    }
+    let path = path.ok_or(usage)?;
     let src = std::fs::read_to_string(path)?;
     // Lint gate: error diagnostics abort the solve; warnings and infos go
     // to stderr but do not block.
@@ -184,8 +221,12 @@ fn solve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let program = cpsrisk::asp::parse(&src)?;
     let ground = cpsrisk::asp::Grounder::new().ground(&program)?;
     let mut solver = cpsrisk::asp::Solver::new(&ground);
+    let opts = cpsrisk::asp::SolveOptions {
+        certify: proof_out.is_some(),
+        ..cpsrisk::asp::SolveOptions::default()
+    };
     if ground.minimize.is_empty() {
-        let result = solver.enumerate(&cpsrisk::asp::SolveOptions::default())?;
+        let result = solver.enumerate(&opts)?;
         for (i, m) in result.models.iter().enumerate() {
             println!("Answer {}: {m}", i + 1);
         }
@@ -195,11 +236,61 @@ fn solve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             result.decisions, result.conflicts, result.restarts, result.propagations
         );
     } else {
-        match solver.optimize(&cpsrisk::asp::SolveOptions::default())? {
+        match solver.optimize(&opts)? {
             Some(m) => println!("Optimum: {m}\ncost: {:?}", m.cost),
             None => println!("UNSATISFIABLE"),
         }
     }
+    if let Some(out) = proof_out {
+        let log = solver
+            .take_proof()
+            .ok_or("certified solve emitted no proof")?;
+        let text = log.to_text(Some(&src), cpsrisk::asp::proof::DEFAULT_TEXT_CAP)?;
+        std::fs::write(&out, &text)?;
+        println!(
+            "wrote certificate to {out} ({} steps, {} bytes; verify with `cpsrisk check {out}`)",
+            log.len(),
+            text.len()
+        );
+    }
+    Ok(())
+}
+
+/// Replay a certificate with the solver-independent checker: parse the
+/// proof file, re-ground the embedded program source, and verify every
+/// step. Exits non-zero when the certificate is rejected.
+fn check(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let usage = "usage: cpsrisk check <file.proof>";
+    if args.len() != 1 || args[0].starts_with("--") {
+        return Err(usage.into());
+    }
+    let path = &args[0];
+    let text = std::fs::read_to_string(path)?;
+    let (src, log) = cpsrisk::asp::ProofLog::from_text(&text)?;
+    let src = src.ok_or(
+        "proof file embeds no program source; \
+         re-emit it with `cpsrisk solve --certify` or `cpsrisk bench --certify`",
+    )?;
+    let program = cpsrisk::asp::parse(&src)?;
+    let ground = cpsrisk::asp::Grounder::new().ground(&program)?;
+    let start = std::time::Instant::now();
+    let report = cpsrisk::asp::check_proof(&ground, &log)
+        .map_err(|e| format!("{path}: certificate REJECTED: {e}"))?;
+    let check_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "{path}: certificate OK in {check_ms:.1} ms — {} steps ({} axioms, \
+         {} well-founded facts, {} inferences, {} learned, {} deleted), \
+         {} call(s), {} model(s) audited, {} refutation(s) replayed",
+        report.steps,
+        report.axioms,
+        report.wfm_facts,
+        report.inferences,
+        report.learned,
+        report.deleted,
+        report.calls,
+        report.models,
+        report.unsats
+    );
     Ok(())
 }
 
@@ -305,10 +396,13 @@ fn analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     if files.is_empty() && workload.is_none() {
-        return Err("usage: cpsrisk analyze <file.lp ...> [--json] \
-                    [--workload chain|grid|temporal|adversarial|catalog|horizon [--n N]] \
-                    [--max-divergence R]"
-            .into());
+        return Err(format!(
+            "usage: cpsrisk analyze <file.lp ...> [--json] \
+             [--workload {} [--n N]] \
+             [--max-divergence R]",
+            cpsrisk::bench::Workload::names_usage()
+        )
+        .into());
     }
 
     let mut inputs: Vec<(String, String)> = Vec::new();
@@ -429,6 +523,8 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut out = "BENCH_asp.json".to_owned();
     let mut validate: Option<String> = None;
     let mut baseline_ms: Option<f64> = None;
+    let mut certify = false;
+    let mut proof_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -460,11 +556,13 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--out" => out = value("--out")?,
             "--validate" => validate = Some(value("--validate")?),
             "--baseline-ms" => baseline_ms = Some(value("--baseline-ms")?.parse()?),
+            "--certify" => certify = true,
+            "--proof-out" => proof_out = Some(value("--proof-out")?),
             other => {
                 return Err(format!(
                     "unknown bench flag `{other}` \
                      (try --workload/--n/--threads/--steal-batch/--max-in-flight\
-                     /--out/--validate/--baseline-ms)"
+                     /--out/--validate/--baseline-ms/--certify/--proof-out)"
                 )
                 .into())
             }
@@ -487,7 +585,15 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    let report = cpsrisk::bench::run(workload, n, &opts, baseline_ms)?;
+    if proof_out.is_some() && !certify {
+        return Err("--proof-out requires --certify".into());
+    }
+    let (report, proof) = if certify {
+        let (report, proof) = cpsrisk::bench::run_certified(workload, n, &opts, baseline_ms)?;
+        (report, Some(proof))
+    } else {
+        (cpsrisk::bench::run(workload, n, &opts, baseline_ms)?, None)
+    };
     std::fs::write(&out, serde_json::to_string_pretty(&report)? + "\n")?;
     let g = &report.grounding;
     println!(
@@ -674,6 +780,35 @@ fn bench(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             hz.retained_nogoods,
             hz.slice_atoms,
             if hz.verdicts_match { "ok" } else { "MISMATCH" }
+        );
+    }
+    if let Some(c) = &report.certify {
+        println!(
+            "  certify: plain {:.1} ms vs logged {:.1} ms = {:.2}x overhead \
+             ({} proof steps, {} learned; checker {:.1} ms: {} model(s) + {} \
+             refutation(s) audited, verdict check: {}, certificate: {})",
+            c.uncertified_ms,
+            c.certified_ms,
+            c.overhead_ratio,
+            c.proof_steps,
+            c.learned_steps,
+            c.check_ms,
+            c.models_audited,
+            c.unsats_audited,
+            if c.matches_uncertified {
+                "ok"
+            } else {
+                "MISMATCH"
+            },
+            if c.check_pass { "ok" } else { "REJECTED" }
+        );
+    }
+    if let Some(text) = proof {
+        let proof_path = proof_out.unwrap_or_else(|| format!("{out}.proof"));
+        std::fs::write(&proof_path, &text)?;
+        println!(
+            "wrote certificate to {proof_path} \
+             (verify with `cpsrisk check {proof_path}`)"
         );
     }
     println!("wrote {out}");

@@ -12,7 +12,7 @@
 //! its learned conflict nogoods from call to call.
 
 use cpsrisk_asp::ast::Term;
-use cpsrisk_asp::{GroundProgram, Grounder, Lit, SolveOptions, Solver};
+use cpsrisk_asp::{check_proof, AspError, GroundProgram, Grounder, Lit, SolveOptions, Solver};
 
 use crate::encode::{encode, outcome_from_atoms, outcome_from_model, EncodeMode};
 use crate::error::EpaError;
@@ -22,6 +22,17 @@ use crate::problem::EpaProblem;
 use crate::scenario::{Scenario, ScenarioOutcome};
 use crate::sensitivity::Decision;
 use std::collections::BTreeSet;
+
+/// What [`IncrementalAnalysis::sweep_certified`] verified.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CertifySummary {
+    /// Scenarios re-solved under proof logging and audited.
+    pub checked: usize,
+    /// Steps in the accumulated multi-shot certificate.
+    pub proof_steps: usize,
+    /// Models the independent checker fully audited.
+    pub models_audited: usize,
+}
 
 /// A fixed-scenario analysis with a **shared ground program** queried
 /// through assumption literals.
@@ -255,6 +266,68 @@ impl IncrementalAnalysis {
         .collect()
     }
 
+    /// [`sweep`](Self::sweep) with certified spot checks: after the normal
+    /// parallel sweep, a configurable fraction of the scenarios (an evenly
+    /// spaced, deterministic sample; `fraction` is clamped to `(0, 1]`) is
+    /// re-solved on a proof-logging solver and the emitted certificate is
+    /// replayed through the independent checker
+    /// ([`cpsrisk_asp::check_proof`]). The re-solved verdict
+    /// must agree with the sweep's — this audits the work-stealing sweep,
+    /// the learned-nogood reuse, *and* the static well-founded fast path
+    /// with a certificate per sampled scenario.
+    ///
+    /// # Errors
+    ///
+    /// Any sweep error; [`EpaError::Asp`] with an internal error if a
+    /// certificate fails to check or a certified verdict disagrees with
+    /// the sweep.
+    pub fn sweep_certified(
+        &self,
+        scenarios: &[Scenario],
+        opts: &SweepOptions,
+        fraction: f64,
+    ) -> Result<(Vec<ScenarioOutcome>, CertifySummary), EpaError> {
+        let outcomes = self.sweep(scenarios, opts)?;
+        let fraction = fraction.clamp(f64::MIN_POSITIVE, 1.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let stride = (1.0 / fraction).ceil().max(1.0) as usize;
+        let mut summary = CertifySummary::default();
+        let certify_opts = SolveOptions {
+            max_models: 1,
+            certify: true,
+            ..SolveOptions::default()
+        };
+        // One proof-logging solver answers every sampled scenario; the
+        // accumulated multi-shot certificate (learned-nogood retention
+        // included) is replayed once at the end.
+        let mut solver = self.solver();
+        for (i, scenario) in scenarios.iter().enumerate().step_by(stride) {
+            let assumptions = self.assumptions(scenario);
+            let result = solver.solve_with_assumptions(&assumptions, &certify_opts)?;
+            let model = result.models.first().ok_or(EpaError::NoModel)?;
+            let certified = outcome_from_model(scenario.clone(), model);
+            if certified != outcomes[i] {
+                return Err(EpaError::Asp(AspError::Internal(format!(
+                    "certified verdict disagrees with sweep for scenario {scenario}"
+                ))));
+            }
+            summary.checked += 1;
+        }
+        if summary.checked > 0 {
+            let log = solver.take_proof().ok_or_else(|| {
+                EpaError::Asp(AspError::Internal(
+                    "certified calls emitted no proof".into(),
+                ))
+            })?;
+            let report = check_proof(&self.ground, &log).map_err(|e| {
+                EpaError::Asp(AspError::Internal(format!("certificate rejected: {e}")))
+            })?;
+            summary.proof_steps = report.steps;
+            summary.models_audited = report.models;
+        }
+        Ok((outcomes, summary))
+    }
+
     /// Memory-bounded streaming sweep: scenarios come from an iterator and
     /// at most [`SweepOptions::max_in_flight`] of them are materialized at
     /// any moment, so arbitrarily long scenario streams sweep in `O(window)`
@@ -361,6 +434,24 @@ mod tests {
         // decides every scenario of this choice-free-after-assumption
         // workload without search.
         assert!(decided > 0, "no scenario was statically decided");
+    }
+
+    #[test]
+    fn certified_sweep_audits_a_sample_and_matches() {
+        let p = chain_problem(2);
+        let analysis = IncrementalAnalysis::new(&p).unwrap();
+        let scenarios: Vec<Scenario> = ScenarioSpace::new(&p, usize::MAX).iter().collect();
+        let opts = SweepOptions::default();
+        let plain = analysis.sweep(&scenarios, &opts).unwrap();
+        // Full fraction: every scenario is certified.
+        let (outcomes, summary) = analysis.sweep_certified(&scenarios, &opts, 1.0).unwrap();
+        assert_eq!(outcomes, plain);
+        assert_eq!(summary.checked, scenarios.len());
+        assert_eq!(summary.models_audited, scenarios.len());
+        assert!(summary.proof_steps > 0);
+        // Quarter fraction: an evenly spaced sample.
+        let (_, sparse) = analysis.sweep_certified(&scenarios, &opts, 0.25).unwrap();
+        assert_eq!(sparse.checked, scenarios.len().div_ceil(4));
     }
 
     #[test]

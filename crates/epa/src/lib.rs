@@ -66,7 +66,7 @@ pub use horizon::{
     check_horizon_scratch, check_horizon_sweep, HorizonReport, HorizonRow, HorizonSession,
     RequirementVerdict,
 };
-pub use incremental::IncrementalAnalysis;
+pub use incremental::{CertifySummary, IncrementalAnalysis};
 pub use margin::AttackMargin;
 pub use mutation::{inject_mutations, screen_mutations, CandidateMutation, MutationSource};
 pub use parallel::{sweep_fixed, SweepOptions, SweepStats};

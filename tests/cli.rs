@@ -282,7 +282,7 @@ fn bench_writes_a_validatable_report() {
     // The written report passes the built-in validator.
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the fresh report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/8 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/9 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // A grounding-bound workload skips the EPA-only sections.
     let (stdout, stderr, ok) = run(&["bench", "--workload", "temporal", "--n", "6", "--out", out]);
@@ -307,7 +307,7 @@ fn bench_writes_a_validatable_report() {
     assert!(stdout.contains("engine check: ok"), "{stdout}");
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the adversarial report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/8 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/9 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // The horizon workload reports the incremental sweep and validates.
     let (stdout, stderr, ok) = run(&["bench", "--workload", "horizon", "--n", "12", "--out", out]);
@@ -317,7 +317,7 @@ fn bench_writes_a_validatable_report() {
     assert!(stdout.contains("verdict check: ok"), "{stdout}");
     let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
     assert!(ok, "validate accepts the horizon report: {stderr}");
-    assert!(stdout.contains("valid cpsrisk-bench/8 report"), "{stdout}");
+    assert!(stdout.contains("valid cpsrisk-bench/9 report"), "{stdout}");
     std::fs::remove_file(out).ok();
     // Unknown flags and workloads are rejected.
     let (_, stderr, ok) = run(&["bench", "--frobnicate"]);
@@ -326,8 +326,15 @@ fn bench_writes_a_validatable_report() {
     let (_, stderr, ok) = run(&["bench", "--workload", "mesh"]);
     assert!(!ok);
     assert!(stderr.contains("unknown workload"), "{stderr}");
-    // The error names every valid workload (including catalog).
-    for name in ["chain", "grid", "temporal", "adversarial", "catalog"] {
+    // The error names every valid workload.
+    for name in [
+        "chain",
+        "grid",
+        "temporal",
+        "adversarial",
+        "catalog",
+        "horizon",
+    ] {
         assert!(
             stderr.contains(name),
             "error should list `{name}`: {stderr}"
@@ -336,4 +343,65 @@ fn bench_writes_a_validatable_report() {
     let (_, stderr, ok) = run(&["bench", "--steal-batch", "0"]);
     assert!(!ok);
     assert!(stderr.contains("--steal-batch must be >= 1"), "{stderr}");
+}
+
+#[test]
+fn certified_solving_round_trips_through_check() {
+    let tmp = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    // `solve --certify` writes a proof the `check` subcommand accepts.
+    let lp = tmp.join("cpsrisk_cli_certify.lp");
+    std::fs::write(&lp, "{ a; b }. c :- a, not b. :- a, b.").unwrap();
+    let proof = tmp.join("cpsrisk_cli_solve.proof");
+    let proof = proof.to_str().unwrap();
+    let (stdout, stderr, ok) = run(&["solve", lp.to_str().unwrap(), "--certify", proof]);
+    assert!(ok, "certified solve runs: {stderr}");
+    assert!(stdout.contains("wrote certificate"), "{stdout}");
+    let (stdout, stderr, ok) = run(&["check", proof]);
+    assert!(ok, "checker accepts the certificate: {stderr}");
+    assert!(stdout.contains("certificate OK"), "{stdout}");
+    // A corrupted proof is rejected with a nonzero exit.
+    let text = std::fs::read_to_string(proof).unwrap();
+    let corrupt = tmp.join("cpsrisk_cli_corrupt.proof");
+    std::fs::write(&corrupt, text.replace("\nmodel", "\nunsat\nmodel")).unwrap();
+    let (_, stderr, ok) = run(&["check", corrupt.to_str().unwrap()]);
+    assert!(!ok, "corrupted certificate must be rejected");
+    assert!(stderr.contains("REJECTED"), "{stderr}");
+    std::fs::remove_file(&lp).ok();
+    std::fs::remove_file(proof).ok();
+    std::fs::remove_file(corrupt).ok();
+    // `bench --certify` emits a checkable proof next to the report.
+    let out = tmp.join("cpsrisk_cli_certify_bench.json");
+    let out = out.to_str().unwrap();
+    let bench_proof = tmp.join("cpsrisk_cli_certify_bench.proof");
+    let bench_proof = bench_proof.to_str().unwrap();
+    let (stdout, stderr, ok) = run(&[
+        "bench",
+        "--workload",
+        "adversarial",
+        "--n",
+        "9",
+        "--certify",
+        "--out",
+        out,
+        "--proof-out",
+        bench_proof,
+    ]);
+    assert!(ok, "certified bench runs: {stderr}");
+    assert!(stdout.contains("certify:"), "{stdout}");
+    assert!(stdout.contains("certificate: ok"), "{stdout}");
+    let (stdout, stderr, ok) = run(&["bench", "--validate", out]);
+    assert!(ok, "validate accepts the certified report: {stderr}");
+    assert!(stdout.contains("valid cpsrisk-bench/9 report"), "{stdout}");
+    let (stdout, stderr, ok) = run(&["check", bench_proof]);
+    assert!(ok, "checker accepts the bench certificate: {stderr}");
+    assert!(stdout.contains("certificate OK"), "{stdout}");
+    std::fs::remove_file(out).ok();
+    std::fs::remove_file(bench_proof).ok();
+    // --proof-out without --certify is rejected.
+    let (_, stderr, ok) = run(&["bench", "--proof-out", bench_proof]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--proof-out requires --certify"),
+        "{stderr}"
+    );
 }
